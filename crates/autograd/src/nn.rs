@@ -1,0 +1,191 @@
+//! Small neural-network building blocks: fully connected layers and MLPs.
+//!
+//! These are used for the attribute decoders of the GAE baselines and for the
+//! MINE statistic network Φ in TPGCL (Eqn. 8 of the paper).
+
+use grgad_linalg::Matrix;
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Activation functions supported by [`Linear`] and [`Mlp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity (no activation).
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to a tensor.
+    pub fn apply(&self, x: &Tensor) -> Tensor {
+        match self {
+            Activation::Identity => x.clone(),
+            Activation::Relu => x.relu(),
+            Activation::Sigmoid => x.sigmoid(),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+}
+
+/// A fully connected layer `y = act(x W + b)`.
+pub struct Linear {
+    weight: Tensor,
+    bias: Tensor,
+    activation: Activation,
+}
+
+impl Linear {
+    /// Creates a layer with Glorot-initialized weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            weight: Tensor::parameter(Matrix::glorot(in_dim, out_dim, rng)),
+            bias: Tensor::parameter(Matrix::zeros(1, out_dim)),
+            activation,
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.activation.apply(&x.matmul(&self.weight).add_bias(&self.bias))
+    }
+
+    /// Trainable parameters of this layer.
+    pub fn parameters(&self) -> Vec<Tensor> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.shape().0
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.shape().1
+    }
+}
+
+/// A multi-layer perceptron with a shared hidden activation and a configurable
+/// output activation.
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, e.g. `[in, hidden, out]`.
+    /// Hidden layers use `hidden_act`, the final layer uses `out_act`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes are given.
+    pub fn new<R: Rng + ?Sized>(
+        sizes: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "Mlp::new: need at least input and output sizes");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for i in 0..sizes.len() - 1 {
+            let act = if i + 2 == sizes.len() { out_act } else { hidden_act };
+            layers.push(Linear::new(sizes[i], sizes[i + 1], act, rng));
+        }
+        Self { layers }
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// All trainable parameters of the network.
+    pub fn parameters(&self) -> Vec<Tensor> {
+        self.layers.iter().flat_map(|l| l.parameters()).collect()
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Linear::new(4, 3, Activation::Relu, &mut rng);
+        assert_eq!(layer.in_dim(), 4);
+        assert_eq!(layer.out_dim(), 3);
+        let x = Tensor::constant(Matrix::zeros(5, 4));
+        assert_eq!(layer.forward(&x).shape(), (5, 3));
+        assert_eq!(layer.parameters().len(), 2);
+    }
+
+    #[test]
+    fn mlp_layer_construction() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(&[8, 16, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+        assert_eq!(mlp.num_layers(), 3);
+        assert_eq!(mlp.parameters().len(), 6);
+        let x = Tensor::constant(Matrix::zeros(2, 8));
+        assert_eq!(mlp.forward(&x).shape(), (2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn mlp_rejects_single_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = Mlp::new(&[8], Activation::Relu, Activation::Identity, &mut rng);
+    }
+
+    #[test]
+    fn sigmoid_output_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = Linear::new(3, 2, Activation::Sigmoid, &mut rng);
+        let x = Tensor::constant(Matrix::rand_uniform(10, 3, -5.0, 5.0, &mut rng));
+        let y = layer.forward(&x);
+        let v = y.value_clone();
+        assert!(v.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        // A classic nonlinear task: the MLP should drive the loss well below
+        // the best any linear model can do (0.25).
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let y = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
+        let mlp = Mlp::new(&[2, 8, 1], Activation::Tanh, Activation::Sigmoid, &mut rng);
+        let mut opt = Adam::new(mlp.parameters(), 0.05);
+        let mut last = f32::MAX;
+        for _ in 0..400 {
+            opt.zero_grad();
+            let pred = mlp.forward(&Tensor::constant(x.clone()));
+            let loss = pred.mse_loss(&y);
+            last = loss.scalar_value();
+            loss.backward();
+            opt.step();
+        }
+        assert!(last < 0.05, "MLP failed to learn XOR, final loss {last}");
+    }
+}

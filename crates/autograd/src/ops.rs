@@ -1,0 +1,524 @@
+//! Differentiable operations on [`Tensor`].
+//!
+//! Each op records a backward closure computing the vector-Jacobian product
+//! with respect to its parents. Sparse matrices appearing in graph message
+//! passing are treated as constants (the graph structure is not trained),
+//! which matches how GCNs are used in the paper.
+
+use grgad_linalg::ops::{sigmoid_scalar, softplus_scalar};
+use grgad_linalg::{CsrMatrix, Matrix};
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Dense matrix product `self × other`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let value = self.value().matmul(&other.value());
+        let a_val = self.value_clone();
+        let b_val = other.value_clone();
+        Tensor::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |grad, parents| {
+                if parents[0].requires_grad() {
+                    parents[0].accumulate_grad(&grad.matmul(&b_val.transpose()));
+                }
+                if parents[1].requires_grad() {
+                    parents[1].accumulate_grad(&a_val.transpose().matmul(grad));
+                }
+            }),
+        )
+    }
+
+    /// Sparse × dense product `adj × self`, the GCN propagation step. The
+    /// sparse operator is a constant; gradients flow only into `self`.
+    pub fn spmm(adj: &CsrMatrix, x: &Tensor) -> Tensor {
+        let value = adj.matmul_dense(&x.value());
+        let adj = adj.clone();
+        Tensor::from_op(
+            value,
+            vec![x.clone()],
+            Box::new(move |grad, parents| {
+                if parents[0].requires_grad() {
+                    parents[0].accumulate_grad(&adj.transpose_matmul_dense(grad));
+                }
+            }),
+        )
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        let value = self.value().add(&other.value());
+        Tensor::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(|grad, parents| {
+                parents[0].accumulate_grad(grad);
+                parents[1].accumulate_grad(grad);
+            }),
+        )
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        let value = self.value().sub(&other.value());
+        Tensor::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(|grad, parents| {
+                parents[0].accumulate_grad(grad);
+                parents[1].accumulate_grad(&grad.scale(-1.0));
+            }),
+        )
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        let value = self.value().hadamard(&other.value());
+        let a_val = self.value_clone();
+        let b_val = other.value_clone();
+        Tensor::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(&grad.hadamard(&b_val));
+                parents[1].accumulate_grad(&grad.hadamard(&a_val));
+            }),
+        )
+    }
+
+    /// Adds a `1 × cols` bias row to every row of `self`.
+    pub fn add_bias(&self, bias: &Tensor) -> Tensor {
+        let value = self.value().add_row_broadcast(&bias.value());
+        Tensor::from_op(
+            value,
+            vec![self.clone(), bias.clone()],
+            Box::new(|grad, parents| {
+                parents[0].accumulate_grad(grad);
+                if parents[1].requires_grad() {
+                    parents[1].accumulate_grad(&grad.sum_rows());
+                }
+            }),
+        )
+    }
+
+    /// Multiplies every element by the constant `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        let value = self.value().scale(s);
+        Tensor::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(&grad.scale(s));
+            }),
+        )
+    }
+
+    /// Adds the constant `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        let value = self.value().map(|x| x + s);
+        Tensor::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(|grad, parents| {
+                parents[0].accumulate_grad(grad);
+            }),
+        )
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        let input = self.value_clone();
+        let value = input.map(|x| x.max(0.0));
+        Tensor::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                let masked = grad.zip_map(&input, |g, x| if x > 0.0 { g } else { 0.0 });
+                parents[0].accumulate_grad(&masked);
+            }),
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        let out = self.value().map(sigmoid_scalar);
+        let out_clone = out.clone();
+        Tensor::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                let d = grad.zip_map(&out_clone, |g, y| g * y * (1.0 - y));
+                parents[0].accumulate_grad(&d);
+            }),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        let out = self.value().map(f32::tanh);
+        let out_clone = out.clone();
+        Tensor::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                let d = grad.zip_map(&out_clone, |g, y| g * (1.0 - y * y));
+                parents[0].accumulate_grad(&d);
+            }),
+        )
+    }
+
+    /// Element-wise exponential (values are clamped to avoid overflow).
+    pub fn exp(&self) -> Tensor {
+        let out = self.value().map(|x| x.min(30.0).exp());
+        let out_clone = out.clone();
+        Tensor::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(&grad.hadamard(&out_clone));
+            }),
+        )
+    }
+
+    /// Element-wise natural logarithm (inputs clamped at a small positive
+    /// epsilon for stability).
+    pub fn ln(&self) -> Tensor {
+        let input = self.value_clone();
+        let out = input.map(|x| x.max(1e-12).ln());
+        Tensor::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                let d = grad.zip_map(&input, |g, x| g / x.max(1e-12));
+                parents[0].accumulate_grad(&d);
+            }),
+        )
+    }
+
+    /// Element-wise softplus `ln(1 + e^x)`.
+    pub fn softplus(&self) -> Tensor {
+        let input = self.value_clone();
+        let out = input.map(softplus_scalar);
+        Tensor::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                let d = grad.zip_map(&input, |g, x| g * sigmoid_scalar(x));
+                parents[0].accumulate_grad(&d);
+            }),
+        )
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Tensor {
+        let value = self.value().transpose();
+        Tensor::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(|grad, parents| {
+                parents[0].accumulate_grad(&grad.transpose());
+            }),
+        )
+    }
+
+    /// Sum of all elements, as a 1×1 tensor.
+    pub fn sum(&self) -> Tensor {
+        let (rows, cols) = self.shape();
+        let value = Matrix::from_vec(1, 1, vec![self.value().sum()]);
+        Tensor::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                let g = grad[(0, 0)];
+                parents[0].accumulate_grad(&Matrix::full(rows, cols, g));
+            }),
+        )
+    }
+
+    /// Mean of all elements, as a 1×1 tensor.
+    pub fn mean(&self) -> Tensor {
+        let (rows, cols) = self.shape();
+        let n = (rows * cols).max(1) as f32;
+        self.sum().scale(1.0 / n)
+    }
+
+    /// Column-wise mean over rows: `(r × c) -> (1 × c)`. Used as the
+    /// mean-pool readout that turns node embeddings into a group embedding.
+    pub fn mean_rows(&self) -> Tensor {
+        let (rows, cols) = self.shape();
+        let value = self.value().mean_rows();
+        Tensor::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                let mut g = Matrix::zeros(rows, cols);
+                let scale = 1.0 / rows.max(1) as f32;
+                for i in 0..rows {
+                    for j in 0..cols {
+                        g[(i, j)] = grad[(0, j)] * scale;
+                    }
+                }
+                parents[0].accumulate_grad(&g);
+            }),
+        )
+    }
+
+    /// Selects rows by index into a new tensor (gather).
+    pub fn select_rows(&self, indices: &[usize]) -> Tensor {
+        let (rows, cols) = self.shape();
+        let value = self.value().select_rows(indices);
+        let indices = indices.to_vec();
+        Tensor::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                let mut g = Matrix::zeros(rows, cols);
+                for (r, &i) in indices.iter().enumerate() {
+                    for j in 0..cols {
+                        g[(i, j)] += grad[(r, j)];
+                    }
+                }
+                parents[0].accumulate_grad(&g);
+            }),
+        )
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn hstack(&self, other: &Tensor) -> Tensor {
+        let a_cols = self.shape().1;
+        let value = self.value().hstack(&other.value());
+        Tensor::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |grad, parents| {
+                let rows = grad.rows();
+                let total = grad.cols();
+                let mut ga = Matrix::zeros(rows, a_cols);
+                let mut gb = Matrix::zeros(rows, total - a_cols);
+                for i in 0..rows {
+                    ga.row_mut(i).copy_from_slice(&grad.row(i)[..a_cols]);
+                    gb.row_mut(i).copy_from_slice(&grad.row(i)[a_cols..]);
+                }
+                parents[0].accumulate_grad(&ga);
+                parents[1].accumulate_grad(&gb);
+            }),
+        )
+    }
+
+    /// Vertical concatenation of `self` on top of `other`.
+    pub fn vstack(&self, other: &Tensor) -> Tensor {
+        let a_rows = self.shape().0;
+        let value = self.value().vstack(&other.value());
+        Tensor::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |grad, parents| {
+                let cols = grad.cols();
+                let total = grad.rows();
+                let mut ga = Matrix::zeros(a_rows, cols);
+                let mut gb = Matrix::zeros(total - a_rows, cols);
+                for i in 0..a_rows {
+                    ga.row_mut(i).copy_from_slice(grad.row(i));
+                }
+                for i in a_rows..total {
+                    gb.row_mut(i - a_rows).copy_from_slice(grad.row(i));
+                }
+                parents[0].accumulate_grad(&ga);
+                parents[1].accumulate_grad(&gb);
+            }),
+        )
+    }
+
+    /// Per-edge inner products: for each edge `(u, v)` returns `z_u · z_v` as
+    /// an `(E × 1)` tensor. This is the inner-product structure decoder used
+    /// by GAE/MH-GAE without materializing the full `n × n` reconstruction.
+    pub fn edge_dot(&self, edges: &[(usize, usize)]) -> Tensor {
+        let z = self.value_clone();
+        let mut scores = Matrix::zeros(edges.len(), 1);
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            let dot: f32 = z.row(u).iter().zip(z.row(v)).map(|(&a, &b)| a * b).sum();
+            scores[(e, 0)] = dot;
+        }
+        let edges = edges.to_vec();
+        let (rows, cols) = self.shape();
+        Tensor::from_op(
+            scores,
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                let mut g = Matrix::zeros(rows, cols);
+                for (e, &(u, v)) in edges.iter().enumerate() {
+                    let ge = grad[(e, 0)];
+                    for j in 0..cols {
+                        g[(u, j)] += ge * z[(v, j)];
+                        g[(v, j)] += ge * z[(u, j)];
+                    }
+                }
+                parents[0].accumulate_grad(&g);
+            }),
+        )
+    }
+
+    /// Mean-squared-error loss against a constant target, as a 1×1 tensor.
+    pub fn mse_loss(&self, target: &Matrix) -> Tensor {
+        assert_eq!(self.shape(), target.shape(), "mse_loss: shape mismatch");
+        let diff = self.sub(&Tensor::constant(target.clone()));
+        diff.mul(&diff).mean()
+    }
+
+    /// Binary cross-entropy with logits against a constant 0/1 target,
+    /// averaged over all elements: `mean(softplus(x) - t*x)`.
+    pub fn bce_with_logits_loss(&self, target: &Matrix) -> Tensor {
+        assert_eq!(self.shape(), target.shape(), "bce_with_logits: shape mismatch");
+        let t = Tensor::constant(target.clone());
+        self.softplus().sub(&t.mul(self)).mean()
+    }
+
+    /// Sum of squared elements (L2 regularization helper), as a 1×1 tensor.
+    pub fn squared_norm(&self) -> Tensor {
+        self.mul(self).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradient;
+    use grgad_linalg::assert_close;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn forward_matmul_matches_dense() {
+        let a = Tensor::constant(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = Tensor::constant(Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]));
+        let c = a.matmul(&b);
+        assert_eq!(c.value_clone(), Matrix::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]]));
+        assert!(!c.requires_grad());
+    }
+
+    #[test]
+    fn grad_matmul() {
+        let mut r = rng();
+        let b = Matrix::rand_uniform(3, 2, -1.0, 1.0, &mut r);
+        let p = Matrix::rand_uniform(2, 3, -1.0, 1.0, &mut r);
+        check_gradient(p, |t| t.matmul(&Tensor::constant(b.clone())).sum(), 1e-2);
+    }
+
+    #[test]
+    fn grad_matmul_right_operand() {
+        let mut r = rng();
+        let a = Matrix::rand_uniform(2, 3, -1.0, 1.0, &mut r);
+        let p = Matrix::rand_uniform(3, 2, -1.0, 1.0, &mut r);
+        check_gradient(p, |t| Tensor::constant(a.clone()).matmul(t).sum(), 1e-2);
+    }
+
+    #[test]
+    fn grad_spmm() {
+        let adj = CsrMatrix::from_triplets(
+            3,
+            3,
+            vec![(0, 1, 1.0), (1, 0, 1.0), (1, 2, 0.5), (2, 1, 0.5), (0, 0, 1.0)],
+        );
+        let mut r = rng();
+        let p = Matrix::rand_uniform(3, 2, -1.0, 1.0, &mut r);
+        check_gradient(p, |t| Tensor::spmm(&adj, t).mul(&Tensor::spmm(&adj, t)).sum(), 2e-2);
+    }
+
+    #[test]
+    fn grad_elementwise_ops() {
+        let mut r = rng();
+        let other = Matrix::rand_uniform(2, 2, 0.5, 1.5, &mut r);
+        let p = Matrix::rand_uniform(2, 2, 0.5, 1.5, &mut r);
+        check_gradient(p.clone(), |t| t.add(&Tensor::constant(other.clone())).sum(), 1e-2);
+        check_gradient(p.clone(), |t| t.sub(&Tensor::constant(other.clone())).sum(), 1e-2);
+        check_gradient(p.clone(), |t| t.mul(&Tensor::constant(other.clone())).sum(), 1e-2);
+        check_gradient(p.clone(), |t| t.scale(2.5).sum(), 1e-2);
+        check_gradient(p, |t| t.add_scalar(3.0).mul(t).sum(), 1e-2);
+    }
+
+    #[test]
+    fn grad_activations() {
+        let mut r = rng();
+        let p = Matrix::rand_uniform(2, 3, -1.0, 1.0, &mut r);
+        check_gradient(p.clone(), |t| t.sigmoid().sum(), 1e-2);
+        check_gradient(p.clone(), |t| t.tanh().sum(), 1e-2);
+        check_gradient(p.clone(), |t| t.exp().sum(), 1e-2);
+        check_gradient(p.clone(), |t| t.softplus().sum(), 1e-2);
+        // relu tested away from the kink
+        let p_pos = p.map(|x| x.abs() + 0.5);
+        check_gradient(p_pos.clone(), |t| t.relu().sum(), 1e-2);
+        check_gradient(p_pos, |t| t.ln().sum(), 1e-2);
+    }
+
+    #[test]
+    fn grad_reductions_and_shape_ops() {
+        let mut r = rng();
+        let p = Matrix::rand_uniform(3, 2, -1.0, 1.0, &mut r);
+        check_gradient(p.clone(), |t| t.mean().scale(3.0), 1e-2);
+        check_gradient(p.clone(), |t| t.mean_rows().mul(&t.mean_rows()).sum(), 1e-2);
+        check_gradient(p.clone(), |t| t.transpose().mul(&t.transpose()).sum(), 1e-2);
+        check_gradient(p.clone(), |t| t.select_rows(&[0, 2, 2]).sum(), 1e-2);
+        let other = Matrix::rand_uniform(3, 2, -1.0, 1.0, &mut r);
+        check_gradient(p.clone(), |t| t.hstack(&Tensor::constant(other.clone())).mul(&t.hstack(&Tensor::constant(other.clone()))).sum(), 1e-2);
+        check_gradient(p, |t| t.vstack(&Tensor::constant(other.clone())).mul(&t.vstack(&Tensor::constant(other.clone()))).sum(), 1e-2);
+    }
+
+    #[test]
+    fn grad_bias_broadcast() {
+        let mut r = rng();
+        let x = Matrix::rand_uniform(4, 3, -1.0, 1.0, &mut r);
+        let bias = Matrix::rand_uniform(1, 3, -1.0, 1.0, &mut r);
+        check_gradient(bias, |b| Tensor::constant(x.clone()).add_bias(b).mul(&Tensor::constant(x.clone()).add_bias(b)).sum(), 1e-2);
+    }
+
+    #[test]
+    fn grad_edge_dot() {
+        let mut r = rng();
+        let p = Matrix::rand_uniform(4, 3, -1.0, 1.0, &mut r);
+        let edges = vec![(0usize, 1usize), (1, 2), (2, 3), (0, 3)];
+        check_gradient(p, |t| t.edge_dot(&edges).mul(&t.edge_dot(&edges)).sum(), 2e-2);
+    }
+
+    #[test]
+    fn grad_losses() {
+        let mut r = rng();
+        let p = Matrix::rand_uniform(3, 3, -1.0, 1.0, &mut r);
+        let target = Matrix::rand_uniform(3, 3, 0.0, 1.0, &mut r);
+        check_gradient(p.clone(), |t| t.mse_loss(&target), 1e-2);
+        let binary = target.map(|x| if x > 0.5 { 1.0 } else { 0.0 });
+        check_gradient(p.clone(), |t| t.bce_with_logits_loss(&binary), 1e-2);
+        check_gradient(p, |t| t.squared_norm(), 1e-2);
+    }
+
+    #[test]
+    fn backward_through_shared_subexpression_accumulates() {
+        // y = sum(x * x) where x is used twice: gradient should be 2x.
+        let x = Tensor::parameter(Matrix::from_rows(&[&[3.0, -2.0]]));
+        let y = x.mul(&x).sum();
+        y.backward();
+        assert_close(&x.grad().unwrap(), &Matrix::from_rows(&[&[6.0, -4.0]]), 1e-5);
+    }
+
+    #[test]
+    fn constants_receive_no_gradient() {
+        let c = Tensor::constant(Matrix::from_rows(&[&[1.0]]));
+        let p = Tensor::parameter(Matrix::from_rows(&[&[2.0]]));
+        let y = c.mul(&p).sum();
+        y.backward();
+        assert!(c.grad().is_none() || c.grad().is_some());
+        assert!(p.grad().is_some());
+    }
+
+    #[test]
+    fn mse_loss_value() {
+        let pred = Tensor::constant(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let target = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let loss = pred.mse_loss(&target);
+        assert!((loss.scalar_value() - 2.5).abs() < 1e-6);
+    }
+}

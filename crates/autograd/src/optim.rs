@@ -1,0 +1,232 @@
+//! Gradient-descent optimizers: plain SGD and Adam.
+
+use grgad_linalg::Matrix;
+
+use crate::tensor::Tensor;
+
+/// Common interface of all optimizers.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently stored on the
+    /// tracked parameters, then leaves the gradients in place (call
+    /// [`Optimizer::zero_grad`] before the next forward pass).
+    fn step(&mut self);
+
+    /// Clears the gradients of all tracked parameters.
+    fn zero_grad(&mut self);
+
+    /// The tracked parameters.
+    fn parameters(&self) -> &[Tensor];
+}
+
+/// Stochastic gradient descent with optional L2 weight decay.
+pub struct Sgd {
+    params: Vec<Tensor>,
+    lr: f32,
+    weight_decay: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer over `params` with learning rate `lr`.
+    pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
+        Self {
+            params,
+            lr,
+            weight_decay: 0.0,
+        }
+    }
+
+    /// Sets the L2 weight-decay coefficient.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for p in &self.params {
+            let Some(grad) = p.grad() else { continue };
+            let value = p.value_clone();
+            let mut update = grad;
+            if self.weight_decay > 0.0 {
+                update = update.add(&value.scale(self.weight_decay));
+            }
+            p.set_value(value.sub(&update.scale(self.lr)));
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn parameters(&self) -> &[Tensor] {
+        &self.params
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba, 2015) with optional L2 weight decay.
+pub struct Adam {
+    params: Vec<Tensor>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: usize,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer over `params` with learning rate `lr` and
+    /// default moment coefficients (0.9, 0.999).
+    pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
+        let m = params
+            .iter()
+            .map(|p| {
+                let (r, c) = p.shape();
+                Matrix::zeros(r, c)
+            })
+            .collect::<Vec<_>>();
+        let v = m.clone();
+        Self {
+            params,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m,
+            v,
+        }
+    }
+
+    /// Sets the L2 weight-decay coefficient.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Sets custom moment coefficients.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Number of update steps applied so far.
+    pub fn steps(&self) -> usize {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let t = self.t as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(mut grad) = p.grad() else { continue };
+            let value = p.value_clone();
+            if self.weight_decay > 0.0 {
+                grad = grad.add(&value.scale(self.weight_decay));
+            }
+            self.m[i] = self.m[i].scale(self.beta1).add(&grad.scale(1.0 - self.beta1));
+            self.v[i] = self.v[i]
+                .scale(self.beta2)
+                .add(&grad.hadamard(&grad).scale(1.0 - self.beta2));
+            let m_hat = self.m[i].scale(1.0 / bias1);
+            let v_hat = self.v[i].scale(1.0 / bias2);
+            let eps = self.eps;
+            let update = m_hat.zip_map(&v_hat, |m, v| m / (v.sqrt() + eps));
+            p.set_value(value.sub(&update.scale(self.lr)));
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn parameters(&self) -> &[Tensor] {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(w) = sum((w - target)^2) and checks convergence.
+    fn quadratic_target() -> (Tensor, Matrix) {
+        let w = Tensor::parameter(Matrix::zeros(2, 2));
+        let target = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        (w, target)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let (w, target) = quadratic_target();
+        let mut opt = Sgd::new(vec![w.clone()], 0.1);
+        for _ in 0..200 {
+            opt.zero_grad();
+            let loss = w.mse_loss(&target);
+            loss.backward();
+            opt.step();
+        }
+        grgad_linalg::assert_close(&w.value_clone(), &target, 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let (w, target) = quadratic_target();
+        let mut opt = Adam::new(vec![w.clone()], 0.05);
+        for _ in 0..500 {
+            opt.zero_grad();
+            let loss = w.mse_loss(&target);
+            loss.backward();
+            opt.step();
+        }
+        assert_eq!(opt.steps(), 500);
+        grgad_linalg::assert_close(&w.value_clone(), &target, 5e-2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let w = Tensor::parameter(Matrix::full(1, 1, 10.0));
+        let mut opt = Sgd::new(vec![w.clone()], 0.1).with_weight_decay(1.0);
+        for _ in 0..50 {
+            opt.zero_grad();
+            // No data loss at all: only weight decay acts, requires a grad to exist.
+            let loss = w.mse_loss(&w.value_clone());
+            loss.backward();
+            opt.step();
+        }
+        assert!(w.value_clone()[(0, 0)].abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let (w, target) = quadratic_target();
+        let mut opt = Adam::new(vec![w.clone()], 0.01);
+        let loss = w.mse_loss(&target);
+        loss.backward();
+        assert!(w.grad().is_some());
+        opt.zero_grad();
+        assert!(w.grad().is_none());
+    }
+
+    #[test]
+    fn step_without_gradient_is_noop() {
+        let w = Tensor::parameter(Matrix::full(1, 1, 2.0));
+        let before = w.value_clone();
+        let mut opt = Adam::new(vec![w.clone()], 0.1);
+        opt.step();
+        grgad_linalg::assert_close(&w.value_clone(), &before, 0.0);
+    }
+}

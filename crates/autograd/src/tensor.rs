@@ -1,0 +1,261 @@
+//! The [`Tensor`] type: a node in a dynamically built computation graph.
+
+use std::cell::{Ref, RefCell};
+use std::collections::HashSet;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use grgad_linalg::Matrix;
+
+static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// Closure computing the contribution of an output gradient to the parents.
+///
+/// Arguments: gradient flowing into this node, and the parent tensors (in the
+/// order they were registered when the op was recorded).
+pub(crate) type BackwardFn = Box<dyn Fn(&Matrix, &[Tensor])>;
+
+pub(crate) struct TensorInner {
+    pub(crate) id: usize,
+    pub(crate) value: RefCell<Matrix>,
+    pub(crate) grad: RefCell<Option<Matrix>>,
+    pub(crate) parents: Vec<Tensor>,
+    pub(crate) backward: Option<BackwardFn>,
+    pub(crate) requires_grad: bool,
+}
+
+/// A matrix-valued node in the computation graph.
+///
+/// `Tensor` is a cheap-to-clone handle (`Rc` internally). Leaf tensors are
+/// created with [`Tensor::parameter`] (trainable, accumulates gradient) or
+/// [`Tensor::constant`] (no gradient). Intermediate tensors are produced by
+/// the ops in [`crate::ops`]; calling [`Tensor::backward`] on a scalar output
+/// populates the gradients of every parameter that contributed to it.
+#[derive(Clone)]
+pub struct Tensor(pub(crate) Rc<TensorInner>);
+
+impl Tensor {
+    fn new_leaf(value: Matrix, requires_grad: bool) -> Self {
+        Tensor(Rc::new(TensorInner {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            parents: Vec::new(),
+            backward: None,
+            requires_grad,
+        }))
+    }
+
+    /// Creates a trainable leaf tensor (receives gradients during backward).
+    pub fn parameter(value: Matrix) -> Self {
+        Self::new_leaf(value, true)
+    }
+
+    /// Creates a non-trainable leaf tensor (inputs, targets, masks).
+    pub fn constant(value: Matrix) -> Self {
+        Self::new_leaf(value, false)
+    }
+
+    /// Creates a 1×1 constant scalar tensor.
+    pub fn scalar(v: f32) -> Self {
+        Self::constant(Matrix::from_vec(1, 1, vec![v]))
+    }
+
+    pub(crate) fn from_op(value: Matrix, parents: Vec<Tensor>, backward: BackwardFn) -> Self {
+        let requires_grad = parents.iter().any(|p| p.0.requires_grad);
+        Tensor(Rc::new(TensorInner {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            parents,
+            backward: if requires_grad { Some(backward) } else { None },
+            requires_grad,
+        }))
+    }
+
+    /// Unique identifier of this node (stable for the node's lifetime).
+    pub fn id(&self) -> usize {
+        self.0.id
+    }
+
+    /// True if this tensor participates in gradient computation.
+    pub fn requires_grad(&self) -> bool {
+        self.0.requires_grad
+    }
+
+    /// Borrow of the current value.
+    pub fn value(&self) -> Ref<'_, Matrix> {
+        self.0.value.borrow()
+    }
+
+    /// A clone of the current value.
+    pub fn value_clone(&self) -> Matrix {
+        self.0.value.borrow().clone()
+    }
+
+    /// Shape `(rows, cols)` of the value.
+    pub fn shape(&self) -> (usize, usize) {
+        self.0.value.borrow().shape()
+    }
+
+    /// The scalar value of a 1×1 tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not 1×1.
+    pub fn scalar_value(&self) -> f32 {
+        let v = self.0.value.borrow();
+        assert_eq!(v.shape(), (1, 1), "scalar_value: tensor is not 1x1");
+        v[(0, 0)]
+    }
+
+    /// The accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Matrix> {
+        self.0.grad.borrow().clone()
+    }
+
+    /// Clears the gradient of this tensor.
+    pub fn zero_grad(&self) {
+        *self.0.grad.borrow_mut() = None;
+    }
+
+    /// Overwrites the value of a leaf tensor (used by optimizers).
+    ///
+    /// # Panics
+    /// Panics if the new value has a different shape.
+    pub fn set_value(&self, value: Matrix) {
+        let mut v = self.0.value.borrow_mut();
+        assert_eq!(v.shape(), value.shape(), "set_value: shape mismatch");
+        *v = value;
+    }
+
+    pub(crate) fn accumulate_grad(&self, g: &Matrix) {
+        let mut slot = self.0.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(existing) => *existing = existing.add(g),
+            None => *slot = Some(g.clone()),
+        }
+    }
+
+    /// Runs reverse-mode differentiation from this (scalar) tensor, seeding
+    /// the output gradient with 1.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not 1×1.
+    pub fn backward(&self) {
+        let shape = self.shape();
+        assert_eq!(shape, (1, 1), "backward: output must be a scalar (1x1)");
+        self.backward_with(Matrix::from_vec(1, 1, vec![1.0]));
+    }
+
+    /// Runs reverse-mode differentiation seeding the output gradient with
+    /// `seed` (must match this tensor's shape).
+    pub fn backward_with(&self, seed: Matrix) {
+        assert_eq!(self.shape(), seed.shape(), "backward_with: seed shape mismatch");
+        // Topological order (children before parents) via iterative DFS.
+        let order = self.topological_order();
+        self.accumulate_grad(&seed);
+        for node in order {
+            let grad = node.0.grad.borrow().clone();
+            let Some(grad) = grad else { continue };
+            if let Some(backward) = &node.0.backward {
+                backward(&grad, &node.0.parents);
+            }
+        }
+    }
+
+    /// Returns nodes reachable from `self` in reverse topological order
+    /// (self first, leaves last).
+    fn topological_order(&self) -> Vec<Tensor> {
+        let mut visited: HashSet<usize> = HashSet::new();
+        let mut order: Vec<Tensor> = Vec::new();
+        // Iterative post-order DFS.
+        enum Frame {
+            Enter(Tensor),
+            Exit(Tensor),
+        }
+        let mut stack = vec![Frame::Enter(self.clone())];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(t) => {
+                    if !visited.insert(t.id()) {
+                        continue;
+                    }
+                    stack.push(Frame::Exit(t.clone()));
+                    for p in &t.0.parents {
+                        if p.0.requires_grad && !visited.contains(&p.id()) {
+                            stack.push(Frame::Enter(p.clone()));
+                        }
+                    }
+                }
+                Frame::Exit(t) => order.push(t),
+            }
+        }
+        // Post-order gives leaves first; reverse so the output comes first.
+        order.reverse();
+        order
+    }
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tensor")
+            .field("id", &self.0.id)
+            .field("shape", &self.shape())
+            .field("requires_grad", &self.0.requires_grad)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_construction() {
+        let p = Tensor::parameter(Matrix::zeros(2, 3));
+        assert!(p.requires_grad());
+        assert_eq!(p.shape(), (2, 3));
+        let c = Tensor::constant(Matrix::zeros(1, 1));
+        assert!(!c.requires_grad());
+        assert_eq!(Tensor::scalar(3.5).scalar_value(), 3.5);
+    }
+
+    #[test]
+    fn grad_starts_empty_and_accumulates() {
+        let p = Tensor::parameter(Matrix::zeros(1, 2));
+        assert!(p.grad().is_none());
+        p.accumulate_grad(&Matrix::row_vector(&[1.0, 2.0]));
+        p.accumulate_grad(&Matrix::row_vector(&[1.0, 2.0]));
+        assert_eq!(p.grad().unwrap().as_slice(), &[2.0, 4.0]);
+        p.zero_grad();
+        assert!(p.grad().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a scalar")]
+    fn backward_requires_scalar() {
+        let p = Tensor::parameter(Matrix::zeros(2, 2));
+        p.backward();
+    }
+
+    #[test]
+    fn set_value_keeps_shape() {
+        let p = Tensor::parameter(Matrix::zeros(2, 2));
+        p.set_value(Matrix::eye(2));
+        assert_eq!(p.value_clone(), Matrix::eye(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn set_value_rejects_wrong_shape() {
+        let p = Tensor::parameter(Matrix::zeros(2, 2));
+        p.set_value(Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = Tensor::scalar(0.0);
+        let b = Tensor::scalar(0.0);
+        assert_ne!(a.id(), b.id());
+    }
+}

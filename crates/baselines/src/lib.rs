@@ -1,0 +1,95 @@
+//! Baseline detectors used in the paper's comparison (Table III, Fig. 5,
+//! Fig. 8): three node-level (N-GAD) methods — DOMINANT, DeepAE, ComGA — and
+//! two subgraph-level (Sub-GAD) methods — DeepFD, AS-GAE.
+//!
+//! All five baselines score individual nodes first. Following the paper's
+//! generalization protocol (Sec. VII-A-3), they are lifted to the Gr-GAD task
+//! by flagging the top-scoring nodes and extracting connected components of
+//! the flagged set as predicted groups, each scored by the mean node score of
+//! its members.
+//!
+//! The implementations are faithful to each method's core idea but are
+//! necessarily re-implementations on this workspace's own GNN substrate (see
+//! DESIGN.md): DOMINANT is a dual-decoder GAE on the plain adjacency; DeepAE
+//! is a structure-agnostic deep attribute autoencoder; ComGA augments the GAE
+//! with community-membership information; DeepFD reconstructs co-connection
+//! similarity; AS-GAE couples a GAE with substructure-level score
+//! aggregation.
+
+pub mod extraction;
+pub mod scorers;
+
+pub use extraction::{groups_from_node_scores, GroupExtractionConfig};
+pub use scorers::{AsGae, BaselineConfig, ComGa, DeepAe, DeepFd, Dominant, NodeAnomalyScorer};
+
+use grgad_graph::{Graph, Group};
+
+/// The output of a baseline lifted to the group level: predicted groups, one
+/// anomaly score per group, and the underlying per-node scores.
+#[derive(Clone, Debug)]
+pub struct BaselineDetection {
+    /// Predicted anomalous groups (connected components of flagged nodes).
+    pub groups: Vec<Group>,
+    /// Anomaly score per predicted group (mean member node score).
+    pub group_scores: Vec<f32>,
+    /// Raw per-node anomaly scores.
+    pub node_scores: Vec<f32>,
+}
+
+/// Runs a node scorer and lifts it to groups with the paper's protocol.
+pub fn detect_groups(
+    scorer: &dyn NodeAnomalyScorer,
+    graph: &Graph,
+    extraction: &GroupExtractionConfig,
+) -> BaselineDetection {
+    let node_scores = scorer.score_nodes(graph);
+    let (groups, group_scores) = groups_from_node_scores(graph, &node_scores, extraction);
+    BaselineDetection {
+        groups,
+        group_scores,
+        node_scores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grgad_linalg::Matrix;
+
+    /// Host graph with an attribute-outlier path hanging off a community.
+    fn toy_graph() -> Graph {
+        let n = 24;
+        let mut features = Matrix::zeros(n, 4);
+        for i in 0..18 {
+            features[(i, 0)] = 1.0;
+            features[(i, 1)] = 1.0;
+        }
+        for i in 18..24 {
+            features[(i, 0)] = -3.0;
+            features[(i, 2)] = 3.0;
+        }
+        let mut g = Graph::new(n, features);
+        for i in 0..18 {
+            g.add_edge(i, (i + 1) % 18);
+            g.add_edge(i, (i + 4) % 18);
+        }
+        g.add_edge(0, 18);
+        for i in 18..23 {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn detect_groups_produces_consistent_output() {
+        let g = toy_graph();
+        let scorer = DeepAe::new(BaselineConfig::fast_test());
+        let detection = detect_groups(&scorer, &g, &GroupExtractionConfig::default());
+        assert_eq!(detection.node_scores.len(), g.num_nodes());
+        assert_eq!(detection.groups.len(), detection.group_scores.len());
+        for (group, &score) in detection.groups.iter().zip(&detection.group_scores) {
+            assert!(!group.is_empty());
+            assert!(score.is_finite());
+        }
+    }
+}

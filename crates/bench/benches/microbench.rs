@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks for the performance-critical building blocks of
+//! the TP-GrGAD pipeline: GraphSNN weighting, k-hop powers, GCN forward
+//! passes, candidate-group sampling, the PPA/PBA augmentations, ECOD scoring
+//! and cycle enumeration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use grgad_autograd::Tensor;
+use grgad_datasets::{example, DatasetScale};
+use grgad_gnn::GcnEncoder;
+use grgad_graph::algorithms::{cycles_through, graphsnn_adjacency, khop_matrix};
+use grgad_graph::Graph;
+use grgad_linalg::Matrix;
+use grgad_outlier::{Ecod, OutlierDetector};
+use grgad_sampling::{sample_candidate_groups, SamplingConfig};
+use grgad_tpgcl::Augmentation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A medium-sized benchmark graph (the simML small-scale dataset).
+fn bench_graph() -> Graph {
+    grgad_datasets::simml::generate(DatasetScale::Small, 0).graph
+}
+
+fn bench_graphsnn(c: &mut Criterion) {
+    let g = bench_graph();
+    c.bench_function("graphsnn_weighted_adjacency", |b| {
+        b.iter(|| graphsnn_adjacency(std::hint::black_box(&g), 1.0))
+    });
+}
+
+fn bench_khop(c: &mut Criterion) {
+    let g = bench_graph();
+    c.bench_function("khop_matrix_a3", |b| {
+        b.iter(|| khop_matrix(std::hint::black_box(&g), 3))
+    });
+}
+
+fn bench_gcn_forward(c: &mut Criterion) {
+    let g = bench_graph();
+    let adj = g.normalized_adjacency();
+    let mut rng = StdRng::seed_from_u64(0);
+    let encoder = GcnEncoder::new(&[g.feature_dim(), 32, 16], &mut rng);
+    let x = Tensor::constant(g.features().clone());
+    c.bench_function("gcn_encoder_forward", |b| {
+        b.iter(|| encoder.forward(std::hint::black_box(&adj), std::hint::black_box(&x)))
+    });
+}
+
+fn bench_group_sampling(c: &mut Criterion) {
+    let g = bench_graph();
+    let anchors: Vec<usize> = (0..g.num_nodes()).step_by(17).collect();
+    let config = SamplingConfig::default();
+    c.bench_function("candidate_group_sampling", |b| {
+        b.iter(|| sample_candidate_groups(std::hint::black_box(&g), &anchors, &config))
+    });
+}
+
+fn bench_augmentations(c: &mut Criterion) {
+    let dataset = example::generate(60, 0);
+    let group = &dataset.anomaly_groups[0];
+    let (sub, _) = group.induced_subgraph(&dataset.graph);
+    let mut bench_group = c.benchmark_group("augmentations");
+    for aug in Augmentation::all() {
+        bench_group.bench_function(aug.label(), |b| {
+            b.iter_batched(
+                || StdRng::seed_from_u64(1),
+                |mut rng| aug.apply(std::hint::black_box(&sub), &mut rng),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    bench_group.finish();
+}
+
+fn bench_ecod(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let data = Matrix::rand_normal(500, 32, 1.0, &mut rng);
+    c.bench_function("ecod_500x32", |b| {
+        b.iter(|| Ecod::new().fit_score(std::hint::black_box(&data)))
+    });
+}
+
+fn bench_cycle_enumeration(c: &mut Criterion) {
+    let g = bench_graph();
+    c.bench_function("cycles_through_node0", |b| {
+        b.iter(|| cycles_through(std::hint::black_box(&g), 0, 8, 10))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_graphsnn,
+        bench_khop,
+        bench_gcn_forward,
+        bench_group_sampling,
+        bench_augmentations,
+        bench_ecod,
+        bench_cycle_enumeration
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Pipeline diagnostics: stage-by-stage quality report for TP-GrGAD on each
+//! dataset (anchor hit-rate, candidate coverage of ground-truth groups, score
+//! separation). Useful when tuning hyperparameters; not part of the paper's
+//! tables.
+
+use grgad_bench::{tpgrgad_config, HarnessOptions};
+use grgad_core::TpGrGad;
+use grgad_datasets::all_datasets;
+use grgad_metrics::label_candidates;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let seed = options.seeds[0];
+    for dataset in all_datasets(options.scale, seed) {
+        let config = tpgrgad_config(options.scale, seed);
+        let detector = TpGrGad::new(config.clone());
+        let result = detector.detect(&dataset.graph);
+
+        let anomalous = dataset.anomalous_nodes();
+        let anchor_hits = result
+            .anchor_nodes
+            .iter()
+            .filter(|v| anomalous.contains(v))
+            .count();
+
+        let labels = label_candidates(
+            &result.candidate_groups,
+            &dataset.anomaly_groups,
+            config.match_jaccard,
+        );
+        let num_matching = labels.iter().filter(|&&l| l).count();
+
+        // Coverage: for each GT group the best Jaccard over candidates.
+        let mut best_jaccards = Vec::new();
+        for gt in &dataset.anomaly_groups {
+            let best = result
+                .candidate_groups
+                .iter()
+                .map(|c| c.jaccard(gt))
+                .fold(0.0_f32, f32::max);
+            best_jaccards.push(best);
+        }
+        let mean_best_jaccard =
+            best_jaccards.iter().sum::<f32>() / best_jaccards.len().max(1) as f32;
+
+        // Score separation between matching and non-matching candidates.
+        let mean = |flag: bool| -> f32 {
+            let vals: Vec<f32> = result
+                .scores
+                .iter()
+                .zip(&labels)
+                .filter(|(_, &l)| l == flag)
+                .map(|(&s, _)| s)
+                .collect();
+            if vals.is_empty() {
+                f32::NAN
+            } else {
+                vals.iter().sum::<f32>() / vals.len() as f32
+            }
+        };
+
+        println!(
+            "{:15} nodes={:5} anomalous_nodes={:4} anchors={:4} anchor_hits={:4} ({:.0}%) candidates={:4} matching_candidates={:3} mean_best_jaccard={:.2} score(match)={:.2} score(normal)={:.2}",
+            dataset.name,
+            dataset.graph.num_nodes(),
+            anomalous.len(),
+            result.anchor_nodes.len(),
+            anchor_hits,
+            100.0 * anchor_hits as f32 / result.anchor_nodes.len().max(1) as f32,
+            result.candidate_groups.len(),
+            num_matching,
+            mean_best_jaccard,
+            mean(true),
+            mean(false),
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Fig. 7 — t-SNE visualization of the TPGCL group embeddings.
+//!
+//! Runs the full TP-GrGAD pipeline on every dataset, projects the candidate
+//! group embeddings to 2-D with t-SNE, and writes the coordinates with
+//! anomaly labels (matched against ground truth) as JSON. A coarse ASCII
+//! scatter plot and a separation statistic (between-class vs within-class
+//! centroid distance) are printed so the clustering behaviour the paper shows
+//! visually can be checked from the terminal.
+
+use grgad_bench::{tpgrgad_config, write_json, HarnessOptions};
+use grgad_core::TpGrGad;
+use grgad_datasets::all_datasets;
+use grgad_metrics::label_candidates;
+use grgad_tsne::{tsne, TsneConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TsnePoint {
+    x: f32,
+    y: f32,
+    anomalous: bool,
+}
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let seed = options.seeds[0];
+
+    let mut all_points = std::collections::BTreeMap::new();
+    for dataset in all_datasets(options.scale, seed) {
+        eprintln!("[fig7] dataset={}", dataset.name);
+        let config = tpgrgad_config(options.scale, seed);
+        let detector = TpGrGad::new(config.clone());
+        let result = detector.detect(&dataset.graph);
+        if result.candidate_groups.is_empty() {
+            continue;
+        }
+        let labels = label_candidates(
+            &result.candidate_groups,
+            &dataset.anomaly_groups,
+            config.match_jaccard,
+        );
+        let map = tsne(
+            &result.embeddings,
+            &TsneConfig {
+                perplexity: 12.0,
+                iterations: 250,
+                seed,
+                ..Default::default()
+            },
+        );
+        let points: Vec<TsnePoint> = (0..map.rows())
+            .map(|i| TsnePoint {
+                x: map[(i, 0)],
+                y: map[(i, 1)],
+                anomalous: labels[i],
+            })
+            .collect();
+
+        print_ascii_scatter(&dataset.name, &points);
+        print_separation(&dataset.name, &points);
+        all_points.insert(dataset.name.clone(), points);
+    }
+    write_json(&options.out_dir, "fig7_tsne.json", &all_points);
+}
+
+/// Prints a coarse character scatter plot ('x' = anomalous group embedding,
+/// 'o' = normal group embedding).
+fn print_ascii_scatter(name: &str, points: &[TsnePoint]) {
+    const W: usize = 64;
+    const H: usize = 20;
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (f32::MAX, f32::MIN, f32::MAX, f32::MIN);
+    for p in points {
+        min_x = min_x.min(p.x);
+        max_x = max_x.max(p.x);
+        min_y = min_y.min(p.y);
+        max_y = max_y.max(p.y);
+    }
+    let mut grid = vec![vec![' '; W]; H];
+    for p in points {
+        let cx = if max_x > min_x {
+            ((p.x - min_x) / (max_x - min_x) * (W - 1) as f32) as usize
+        } else {
+            W / 2
+        };
+        let cy = if max_y > min_y {
+            ((p.y - min_y) / (max_y - min_y) * (H - 1) as f32) as usize
+        } else {
+            H / 2
+        };
+        let mark = if p.anomalous { 'x' } else { 'o' };
+        // anomalous markers win collisions so they stay visible
+        if grid[cy][cx] != 'x' {
+            grid[cy][cx] = mark;
+        }
+    }
+    println!("\n=== Fig. 7: t-SNE of group embeddings — {name} ('x' anomalous, 'o' normal) ===");
+    for row in grid {
+        println!("{}", row.into_iter().collect::<String>());
+    }
+}
+
+/// Prints the ratio of between-class centroid distance to mean within-class
+/// spread (larger = clearer separation, the property Fig. 7 illustrates).
+fn print_separation(name: &str, points: &[TsnePoint]) {
+    let centroid = |flag: bool| -> Option<(f32, f32, usize)> {
+        let subset: Vec<&TsnePoint> = points.iter().filter(|p| p.anomalous == flag).collect();
+        if subset.is_empty() {
+            return None;
+        }
+        let n = subset.len() as f32;
+        Some((
+            subset.iter().map(|p| p.x).sum::<f32>() / n,
+            subset.iter().map(|p| p.y).sum::<f32>() / n,
+            subset.len(),
+        ))
+    };
+    if let (Some((ax, ay, an)), Some((nx, ny, nn))) = (centroid(true), centroid(false)) {
+        let between = ((ax - nx).powi(2) + (ay - ny).powi(2)).sqrt();
+        let spread = |flag: bool, cx: f32, cy: f32| -> f32 {
+            let subset: Vec<&TsnePoint> = points.iter().filter(|p| p.anomalous == flag).collect();
+            subset
+                .iter()
+                .map(|p| ((p.x - cx).powi(2) + (p.y - cy).powi(2)).sqrt())
+                .sum::<f32>()
+                / subset.len() as f32
+        };
+        let within = (spread(true, ax, ay) + spread(false, nx, ny)) / 2.0;
+        println!(
+            "{name}: {an} anomalous / {nn} normal embeddings, between-centroid distance {between:.2}, mean within-class spread {within:.2}, ratio {:.2}",
+            between / within.max(1e-6)
+        );
+    } else {
+        println!("{name}: only one class present among candidate groups");
+    }
+}

@@ -1,0 +1,93 @@
+//! Fig. 3 / Fig. 8 — GAE-based detectors on the example graph.
+//!
+//! Generates the small illustration graph with three planted anomaly groups
+//! (a path, a tree and a cycle) and reports, for DOMINANT, DeepAE, ComGA and
+//! MH-GAE, how much of each planted group is covered by the detector's
+//! flagged nodes. The paper's point: plain GAE methods only flag boundary
+//! nodes and fragments, while MH-GAE covers the whole groups by capturing
+//! long-range inconsistency.
+
+use std::collections::BTreeMap;
+
+use grgad_baselines::{BaselineConfig, ComGa, DeepAe, Dominant, NodeAnomalyScorer};
+use grgad_bench::{baseline_config, print_table, write_json, HarnessOptions};
+use grgad_datasets::example;
+use grgad_gnn::{select_anchor_nodes, MhGae, ReconstructionTarget};
+use grgad_graph::patterns::classify;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let seed = options.seeds[0];
+    let dataset = example::generate(120, seed);
+    let contamination = dataset.contamination();
+    println!(
+        "example graph: {} nodes, {} edges, {} planted groups (contamination {:.2})",
+        dataset.graph.num_nodes(),
+        dataset.graph.num_edges(),
+        dataset.anomaly_groups.len(),
+        contamination
+    );
+
+    let base_config: BaselineConfig = baseline_config(options.scale, seed);
+    let methods: Vec<(&str, Vec<f32>)> = vec![
+        (
+            "DOMINANT",
+            Dominant::new(base_config.clone()).score_nodes(&dataset.graph),
+        ),
+        (
+            "DeepAE",
+            DeepAe::new(base_config.clone()).score_nodes(&dataset.graph),
+        ),
+        (
+            "ComGA",
+            ComGa::new(base_config.clone()).score_nodes(&dataset.graph),
+        ),
+        ("MH-GAE", {
+            let mut mhgae = MhGae::new(
+                dataset.graph.feature_dim(),
+                ReconstructionTarget::GraphSnn { lambda: 1.0 },
+                grgad_gnn::GaeConfig {
+                    hidden_dim: base_config.hidden_dim,
+                    embed_dim: base_config.embed_dim,
+                    epochs: base_config.epochs,
+                    lr: base_config.lr,
+                    lambda: base_config.lambda,
+                    negative_samples: 1,
+                    seed,
+                },
+            );
+            mhgae.fit(&dataset.graph);
+            mhgae.node_errors().combined.clone()
+        }),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json: BTreeMap<String, BTreeMap<String, f32>> = BTreeMap::new();
+    for (name, scores) in &methods {
+        // Flag the top `contamination` fraction, as each method would in the
+        // group-extraction protocol.
+        let flagged = select_anchor_nodes(scores, contamination);
+        let flagged_set: std::collections::HashSet<usize> = flagged.into_iter().collect();
+        let mut row = vec![name.to_string()];
+        let entry = json.entry(name.to_string()).or_default();
+        let mut total_cov = 0.0;
+        for (gi, group) in dataset.anomaly_groups.iter().enumerate() {
+            let pattern = classify(&group.induced_subgraph(&dataset.graph).0);
+            let covered = group.nodes().iter().filter(|v| flagged_set.contains(v)).count();
+            let coverage = covered as f32 / group.len() as f32;
+            total_cov += coverage;
+            row.push(format!("{:.0}% ({})", coverage * 100.0, pattern.name()));
+            entry.insert(format!("group{gi}_{}", pattern.name()), coverage);
+        }
+        let mean_cov = total_cov / dataset.anomaly_groups.len() as f32;
+        row.push(format!("{:.0}%", mean_cov * 100.0));
+        entry.insert("mean_coverage".to_string(), mean_cov);
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 8: fraction of each planted anomaly group covered by flagged nodes",
+        &["Method", "Group 1", "Group 2", "Group 3", "Mean"],
+        &rows,
+    );
+    write_json(&options.out_dir, "fig8_example.json", &json);
+}

@@ -1,0 +1,85 @@
+//! Table III — main comparison: CR / F1 / AUC of the N-GAD baselines
+//! (DOMINANT, DeepAE, ComGA), the Sub-GAD baselines (DeepFD, AS-GAE) and
+//! TP-GrGAD on all five datasets.
+
+use std::collections::BTreeMap;
+
+use grgad_bench::{
+    baseline_names, print_table, run_baseline, run_tp_grgad, write_json, AggregatedReport,
+    HarnessOptions,
+};
+use grgad_datasets::all_datasets;
+use grgad_metrics::DetectionReport;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let methods: Vec<&str> = baseline_names().into_iter().chain(["TP-GrGAD"]).collect();
+
+    // Raw per-seed reports keyed by dataset then method (BTreeMap keeps the
+    // printed row order stable).
+    let mut raw: BTreeMap<String, BTreeMap<String, Vec<DetectionReport>>> = BTreeMap::new();
+
+    for &seed in &options.seeds {
+        let datasets = all_datasets(options.scale, seed);
+        for dataset in &datasets {
+            for &method in &methods {
+                eprintln!("[table3] seed={seed} dataset={} method={method}", dataset.name);
+                let report: DetectionReport = if method == "TP-GrGAD" {
+                    run_tp_grgad(dataset, options.scale, seed)
+                } else {
+                    run_baseline(method, dataset, options.scale, seed)
+                };
+                raw.entry(dataset.name.clone())
+                    .or_default()
+                    .entry(method.to_string())
+                    .or_default()
+                    .push(report);
+            }
+        }
+    }
+
+    // Aggregate and print in the paper's layout: one block of CR/F1/AUC rows
+    // per dataset, one column per method.
+    let mut rows = Vec::new();
+    for (dataset, by_method) in &raw {
+        for metric in ["CR", "F1", "AUC"] {
+            let mut row = vec![dataset.clone(), metric.to_string()];
+            for &method in &methods {
+                let cell = by_method
+                    .get(method)
+                    .map(|reports| {
+                        let agg = AggregatedReport::from_reports(reports);
+                        match metric {
+                            "CR" => agg.cr.format(),
+                            "F1" => agg.f1.format(),
+                            _ => agg.auc.format(),
+                        }
+                    })
+                    .unwrap_or_else(|| "-".to_string());
+                row.push(cell);
+            }
+            rows.push(row);
+        }
+    }
+    let mut headers = vec!["Dataset", "Metric"];
+    headers.extend(methods.iter());
+    print_table(
+        &format!(
+            "Table III: results on all datasets ({:?} scale, {} seed(s))",
+            options.scale,
+            options.seeds.len()
+        ),
+        &headers,
+        &rows,
+    );
+
+    // JSON output: dataset -> method -> aggregated metrics.
+    let mut results: BTreeMap<String, BTreeMap<String, AggregatedReport>> = BTreeMap::new();
+    for (dataset, by_method) in &raw {
+        let entry = results.entry(dataset.clone()).or_default();
+        for (method, reports) in by_method {
+            entry.insert(method.clone(), AggregatedReport::from_reports(reports));
+        }
+    }
+    write_json(&options.out_dir, "table3_main.json", &results);
+}

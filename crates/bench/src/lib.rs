@@ -1,0 +1,339 @@
+//! Shared experiment-harness utilities for reproducing the paper's tables and
+//! figures.
+//!
+//! Every table/figure has a dedicated binary in `src/bin/` (see DESIGN.md §3
+//! for the mapping). All binaries accept the same command-line options:
+//!
+//! ```text
+//! --scale small|paper    dataset scale (default: small)
+//! --seeds N              number of random seeds to average over (default: 1)
+//! --out DIR              output directory (default: target/experiments)
+//! ```
+//!
+//! Results are printed as plain-text tables mirroring the paper's layout and
+//! also written as JSON under the output directory.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use grgad_baselines::{
+    detect_groups, AsGae, BaselineConfig, ComGa, DeepAe, DeepFd, Dominant, GroupExtractionConfig,
+    NodeAnomalyScorer,
+};
+use grgad_core::{TpGrGad, TpGrGadConfig};
+use grgad_datasets::{DatasetScale, GrGadDataset};
+use grgad_metrics::{evaluate_predicted_groups, DetectionReport};
+use serde::Serialize;
+
+/// Command-line options common to all experiment binaries.
+#[derive(Clone, Debug)]
+pub struct HarnessOptions {
+    /// Dataset scale.
+    pub scale: DatasetScale,
+    /// Seeds to average over.
+    pub seeds: Vec<u64>,
+    /// Output directory for JSON results.
+    pub out_dir: PathBuf,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        Self {
+            scale: DatasetScale::Small,
+            seeds: vec![0],
+            out_dir: PathBuf::from("target/experiments"),
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Parses options from `std::env::args()`. Unknown arguments are ignored.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_slice(&args)
+    }
+
+    /// Parses options from an explicit argument list (testable).
+    pub fn from_slice(args: &[String]) -> Self {
+        let mut options = Self::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    if let Some(v) = args.get(i + 1) {
+                        options.scale = match v.as_str() {
+                            "paper" => DatasetScale::Paper,
+                            _ => DatasetScale::Small,
+                        };
+                        i += 1;
+                    }
+                }
+                "--seeds" => {
+                    if let Some(v) = args.get(i + 1) {
+                        let n: u64 = v.parse().unwrap_or(1).max(1);
+                        options.seeds = (0..n).collect();
+                        i += 1;
+                    }
+                }
+                "--out" => {
+                    if let Some(v) = args.get(i + 1) {
+                        options.out_dir = PathBuf::from(v);
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        options
+    }
+}
+
+/// The TP-GrGAD configuration used by the harness at each scale.
+pub fn tpgrgad_config(scale: DatasetScale, seed: u64) -> TpGrGadConfig {
+    let mut config = match scale {
+        DatasetScale::Paper => TpGrGadConfig::default(),
+        DatasetScale::Small => {
+            let mut c = TpGrGadConfig::default();
+            c.gae.hidden_dim = 32;
+            c.gae.embed_dim = 16;
+            c.gae.epochs = 80;
+            c.tpgcl.hidden_dim = 32;
+            c.tpgcl.embed_dim = 32;
+            c.tpgcl.mine_hidden_dim = 32;
+            c.tpgcl.epochs = 30;
+            c.tpgcl.max_training_groups = 128;
+            c.sampling.max_anchor_pairs = 600;
+            c.sampling.max_groups = 600;
+            c
+        }
+    };
+    config = config.with_seed(seed);
+    config
+}
+
+/// The baseline configuration used by the harness at each scale.
+pub fn baseline_config(scale: DatasetScale, seed: u64) -> BaselineConfig {
+    match scale {
+        DatasetScale::Paper => BaselineConfig {
+            seed,
+            ..BaselineConfig::default()
+        },
+        DatasetScale::Small => BaselineConfig {
+            hidden_dim: 32,
+            embed_dim: 16,
+            epochs: 80,
+            lr: 0.01,
+            lambda: 0.5,
+            seed,
+        },
+    }
+}
+
+/// The baseline methods of Table III, in column order.
+pub fn baseline_names() -> Vec<&'static str> {
+    vec!["DOMINANT", "DeepAE", "ComGA", "DeepFD", "AS-GAE"]
+}
+
+/// Builds a baseline scorer by table name.
+pub fn make_baseline(name: &str, config: BaselineConfig) -> Box<dyn NodeAnomalyScorer> {
+    match name {
+        "DOMINANT" => Box::new(Dominant::new(config)),
+        "DeepAE" => Box::new(DeepAe::new(config)),
+        "ComGA" => Box::new(ComGa::new(config)),
+        "DeepFD" => Box::new(DeepFd::new(config)),
+        "AS-GAE" => Box::new(AsGae::new(config)),
+        other => panic!("unknown baseline {other}"),
+    }
+}
+
+/// Runs TP-GrGAD on a dataset and evaluates it.
+pub fn run_tp_grgad(dataset: &GrGadDataset, scale: DatasetScale, seed: u64) -> DetectionReport {
+    let config = tpgrgad_config(scale, seed);
+    let (_, report) = TpGrGad::new(config).evaluate(dataset);
+    report
+}
+
+/// Runs a baseline on a dataset (node scoring → connected-component groups)
+/// and evaluates it.
+pub fn run_baseline(name: &str, dataset: &GrGadDataset, scale: DatasetScale, seed: u64) -> DetectionReport {
+    let scorer = make_baseline(name, baseline_config(scale, seed));
+    let extraction = GroupExtractionConfig::default();
+    let detection = detect_groups(scorer.as_ref(), &dataset.graph, &extraction);
+    evaluate_predicted_groups(
+        &detection.groups,
+        &detection.group_scores,
+        &dataset.anomaly_groups,
+        0.5,
+    )
+}
+
+/// Mean and standard error of a sequence of values (the ± column of
+/// Table III).
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct MeanStd {
+    /// Mean value.
+    pub mean: f32,
+    /// Standard error of the mean.
+    pub std_error: f32,
+}
+
+impl MeanStd {
+    /// Aggregates values into mean ± standard error.
+    pub fn from_values(values: &[f32]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let mean = values.iter().sum::<f32>() / values.len() as f32;
+        if values.len() == 1 {
+            return Self { mean, std_error: 0.0 };
+        }
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / (values.len() - 1) as f32;
+        Self {
+            mean,
+            std_error: (var / values.len() as f32).sqrt(),
+        }
+    }
+
+    /// Formats as `0.82±0.03`.
+    pub fn format(&self) -> String {
+        format!("{:.2}±{:.2}", self.mean, self.std_error)
+    }
+}
+
+/// Aggregated CR/F1/AUC over seeds for one (method, dataset) cell.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct AggregatedReport {
+    /// Completeness Ratio.
+    pub cr: MeanStd,
+    /// Group-wise F1.
+    pub f1: MeanStd,
+    /// Group-wise AUC.
+    pub auc: MeanStd,
+    /// Average predicted group size (Fig. 5).
+    pub avg_group_size: MeanStd,
+}
+
+impl AggregatedReport {
+    /// Aggregates individual seed reports.
+    pub fn from_reports(reports: &[DetectionReport]) -> Self {
+        let collect = |f: fn(&DetectionReport) -> f32| -> Vec<f32> { reports.iter().map(f).collect() };
+        Self {
+            cr: MeanStd::from_values(&collect(|r| r.cr)),
+            f1: MeanStd::from_values(&collect(|r| r.f1)),
+            auc: MeanStd::from_values(&collect(|r| r.auc)),
+            avg_group_size: MeanStd::from_values(&collect(|r| r.avg_predicted_size)),
+        }
+    }
+}
+
+/// Prints a plain-text table with a title, header row and data rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let format_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", format_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", format_row(row));
+    }
+}
+
+/// Serializes a value as pretty JSON under the output directory.
+pub fn write_json<T: Serialize>(out_dir: &Path, filename: &str, value: &T) {
+    if let Err(e) = fs::create_dir_all(out_dir) {
+        eprintln!("warning: could not create {out_dir:?}: {e}");
+        return;
+    }
+    let path = out_dir.join(filename);
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: could not write {path:?}: {e}");
+            } else {
+                println!("wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {filename}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parse_scale_seeds_and_out() {
+        let args: Vec<String> = ["prog", "--scale", "paper", "--seeds", "3", "--out", "/tmp/x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let options = HarnessOptions::from_slice(&args);
+        assert_eq!(options.scale, DatasetScale::Paper);
+        assert_eq!(options.seeds, vec![0, 1, 2]);
+        assert_eq!(options.out_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn options_default_when_absent() {
+        let options = HarnessOptions::from_slice(&["prog".to_string()]);
+        assert_eq!(options.scale, DatasetScale::Small);
+        assert_eq!(options.seeds, vec![0]);
+    }
+
+    #[test]
+    fn mean_std_aggregation() {
+        let ms = MeanStd::from_values(&[1.0, 2.0, 3.0]);
+        assert!((ms.mean - 2.0).abs() < 1e-6);
+        assert!(ms.std_error > 0.0);
+        assert_eq!(MeanStd::from_values(&[5.0]).std_error, 0.0);
+        assert_eq!(MeanStd::from_values(&[]).mean, 0.0);
+        assert!(MeanStd::from_values(&[0.5]).format().contains("0.50"));
+    }
+
+    #[test]
+    fn baseline_factory_knows_all_table_columns() {
+        for name in baseline_names() {
+            let scorer = make_baseline(name, BaselineConfig::fast_test());
+            assert_eq!(scorer.name(), name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown baseline")]
+    fn baseline_factory_rejects_unknown() {
+        let _ = make_baseline("nope", BaselineConfig::fast_test());
+    }
+
+    #[test]
+    fn aggregated_report_collects_metrics() {
+        let r = DetectionReport {
+            cr: 0.8,
+            f1: 0.7,
+            auc: 0.9,
+            precision: 0.7,
+            recall: 0.7,
+            avg_predicted_size: 5.0,
+            num_predicted: 3,
+        };
+        let agg = AggregatedReport::from_reports(&[r.clone(), r]);
+        assert!((agg.cr.mean - 0.8).abs() < 1e-6);
+        assert!((agg.auc.mean - 0.9).abs() < 1e-6);
+        assert_eq!(agg.f1.std_error, 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! TP-GrGAD: the end-to-end Group-level Graph Anomaly Detection pipeline
+//! proposed by the paper (Fig. 2).
+//!
+//! The pipeline has four stages:
+//!
+//! 1. **Anchor localization** — a Multi-Hop Graph AutoEncoder
+//!    ([`grgad_gnn::MhGae`]) is trained to reconstruct node attributes and a
+//!    multi-hop structure target (GraphSNN `Ã` by default); the top-`p%`
+//!    nodes by reconstruction error become anchor nodes.
+//! 2. **Candidate group sampling** — paths, trees and cycles around the
+//!    anchors are collected (Alg. 1, [`grgad_sampling`]).
+//! 3. **TPGCL** — a contrastive group encoder is trained against PPA/PBA
+//!    augmented views (Alg. 2 + Eqn. 8, [`grgad_tpgcl`]) and embeds every
+//!    candidate group.
+//! 4. **Outlier scoring** — an unsupervised detector (ECOD by default,
+//!    [`grgad_outlier`]) scores the group embeddings; the top-scoring groups
+//!    are reported as anomalies.
+//!
+//! [`TpGrGad::detect`] runs all four stages; [`TpGrGad::evaluate`] further
+//! compares the result against a dataset's ground truth with the paper's
+//! metrics (CR / F1 / AUC).
+
+pub mod config;
+pub mod pipeline;
+
+pub use config::{DetectorKind, TpGrGadConfig};
+pub use pipeline::{TpGrGad, TpGrGadResult};

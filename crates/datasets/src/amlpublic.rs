@@ -1,0 +1,156 @@
+//! AMLPublic: a bank-transaction graph with path-dominant money-laundering
+//! groups.
+//!
+//! The original dataset (90k accounts, reduced by the paper's cleaning to a
+//! 16,720-node / 17,238-edge graph with 16 transaction attributes and 19
+//! labeled laundering groups of average size ≈19) is not redistributable, so
+//! this generator reproduces its statistical profile: a very sparse
+//! transaction background (average degree ≈2) plus 19 laundering groups,
+//! 18 of which are long transfer chains (paths) and one a fan-out tree —
+//! exactly the Table II topology-pattern mix.
+
+use grgad_graph::Graph;
+use grgad_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::GrGadDataset;
+use crate::injection::{inject_pattern_group, InjectedPattern};
+use crate::{gauss, DatasetScale};
+
+/// Generates the AMLPublic-style dataset at the requested scale.
+pub fn generate(scale: DatasetScale, seed: u64) -> GrGadDataset {
+    let (normal_nodes, feature_dim, num_groups, path_len): (usize, usize, usize, usize) = match scale {
+        DatasetScale::Paper => (16_350, 16, 19, 19),
+        DatasetScale::Small => (900, 16, 10, 10),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graph = sparse_transaction_background(normal_nodes, feature_dim, &mut rng);
+
+    // Laundering accounts: rapid in-and-out transfer statistics.
+    let mut profile = vec![0.0_f32; feature_dim];
+    profile[0] = 4.0; // turnover
+    profile[1] = -3.0; // retained balance
+    profile[2] = 2.5; // counterparty diversity
+    profile[3] = 2.0; // velocity
+
+    let mut groups = Vec::with_capacity(num_groups);
+    for gi in 0..num_groups {
+        // Table II: 18 paths, 1 tree.
+        let pattern = if gi == num_groups - 1 {
+            InjectedPattern::Tree {
+                children: 4,
+                grandchildren: (path_len.saturating_sub(5)) / 4,
+            }
+        } else {
+            // Jitter path lengths around the average so group sizes vary.
+            let len = path_len + (gi % 5) - 2;
+            InjectedPattern::Path(len.max(4))
+        };
+        groups.push(inject_pattern_group(&mut graph, pattern, &profile, 0.4, 1, &mut rng));
+    }
+
+    let dataset = GrGadDataset::new("AMLPublic", graph, groups);
+    dataset
+        .validate()
+        .expect("AMLPublic generator produced an inconsistent dataset");
+    dataset
+}
+
+/// Extremely sparse background: most accounts have only one or two
+/// counterparties (matching the ≈1.03 edge/node ratio of the original data).
+/// Accounts belong to a small number of behavioural types (retail, corporate,
+/// merchant, ...) whose members share an attribute profile — the regularity a
+/// reconstruction-based detector can learn, against which the laundering
+/// profile stands out.
+fn sparse_transaction_background(n: usize, feature_dim: usize, rng: &mut StdRng) -> Graph {
+    let account_types = 8;
+    // Per-type attribute profile, kept well inside the laundering profile's range.
+    let mut profiles = Vec::with_capacity(account_types);
+    for t in 0..account_types {
+        let profile: Vec<f32> = (0..feature_dim)
+            .map(|j| 0.8 * (((t * 31 + j * 17) % 7) as f32 / 6.0 - 0.5))
+            .collect();
+        profiles.push(profile);
+    }
+    let mut features = Matrix::zeros(n, feature_dim);
+    for i in 0..n {
+        let profile = &profiles[i % account_types];
+        for j in 0..feature_dim {
+            features[(i, j)] = profile[j] + gauss(rng, 0.15);
+        }
+    }
+    let mut graph = Graph::new(n, features);
+    // Transactions are biased towards accounts of the same behavioural type.
+    let target_edges = n; // edge/node ratio ≈ 1
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < target_edges && attempts < target_edges * 20 {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = if rng.gen_bool(0.6) {
+            let step = rng.gen_range(1..(n / account_types).max(2));
+            (u + step * account_types) % n
+        } else {
+            rng.gen_range(0..n)
+        };
+        if u != v && graph.add_edge(u, v) {
+            added += 1;
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_statistics() {
+        let d = generate(DatasetScale::Small, 1);
+        let s = d.statistics();
+        assert_eq!(s.name, "AMLPublic");
+        assert_eq!(s.attributes, 16);
+        assert_eq!(s.anomaly_groups, 10);
+        assert!(s.avg_group_size > 7.0, "avg size {}", s.avg_group_size);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn pattern_mix_is_path_dominant() {
+        let d = generate(DatasetScale::Small, 1);
+        let (paths, trees, cycles, other) = d.pattern_statistics();
+        assert_eq!(paths, 9);
+        assert_eq!(trees, 1);
+        assert_eq!(cycles, 0);
+        assert_eq!(other, 0);
+    }
+
+    #[test]
+    fn background_is_sparse() {
+        let d = generate(DatasetScale::Small, 2);
+        assert!(d.graph.average_degree() < 3.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = generate(DatasetScale::Small, 9);
+        let b = generate(DatasetScale::Small, 9);
+        assert_eq!(a.statistics(), b.statistics());
+        assert_eq!(a.anomaly_groups, b.anomaly_groups);
+    }
+
+    #[test]
+    #[ignore = "paper-scale generation allocates a 16k-node graph; run explicitly"]
+    fn paper_scale_matches_table_one() {
+        let d = generate(DatasetScale::Paper, 0);
+        let s = d.statistics();
+        assert!((s.nodes as i64 - 16_720).abs() < 100, "nodes {}", s.nodes);
+        assert!((s.edges as i64 - 17_238).abs() < 1000, "edges {}", s.edges);
+        assert_eq!(s.anomaly_groups, 19);
+        assert!((s.avg_group_size - 19.05).abs() < 2.0, "avg {}", s.avg_group_size);
+        let (paths, trees, _, _) = d.pattern_statistics();
+        assert_eq!(paths, 18);
+        assert_eq!(trees, 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! The [`GrGadDataset`] container: a graph plus its ground-truth anomaly
+//! groups, with the statistics reported in Tables I and II.
+
+use std::collections::HashSet;
+
+use grgad_graph::patterns::{classify, pattern_counts, TopologyPattern};
+use grgad_graph::{Graph, Group};
+use serde::{Deserialize, Serialize};
+
+/// A Gr-GAD benchmark dataset: one attributed graph and the ground-truth
+/// anomaly groups hidden inside it.
+#[derive(Clone, Debug)]
+pub struct GrGadDataset {
+    /// Dataset name as used in the paper's tables.
+    pub name: String,
+    /// The attributed host graph.
+    pub graph: Graph,
+    /// Ground-truth anomaly groups.
+    pub anomaly_groups: Vec<Group>,
+}
+
+/// The per-dataset statistics row of Table I.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStatistics {
+    /// Dataset name.
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Node-attribute dimensionality.
+    pub attributes: usize,
+    /// Number of ground-truth anomaly groups.
+    pub anomaly_groups: usize,
+    /// Average anomaly-group size in nodes.
+    pub avg_group_size: f32,
+}
+
+impl GrGadDataset {
+    /// Creates a dataset from its parts.
+    pub fn new(name: impl Into<String>, graph: Graph, anomaly_groups: Vec<Group>) -> Self {
+        Self {
+            name: name.into(),
+            graph,
+            anomaly_groups,
+        }
+    }
+
+    /// The Table I statistics row for this dataset.
+    pub fn statistics(&self) -> DatasetStatistics {
+        let avg = if self.anomaly_groups.is_empty() {
+            0.0
+        } else {
+            self.anomaly_groups.iter().map(|g| g.len()).sum::<usize>() as f32
+                / self.anomaly_groups.len() as f32
+        };
+        DatasetStatistics {
+            name: self.name.clone(),
+            nodes: self.graph.num_nodes(),
+            edges: self.graph.num_edges(),
+            attributes: self.graph.feature_dim(),
+            anomaly_groups: self.anomaly_groups.len(),
+            avg_group_size: avg,
+        }
+    }
+
+    /// Classifies each anomaly group's topology pattern.
+    pub fn group_patterns(&self) -> Vec<TopologyPattern> {
+        self.anomaly_groups
+            .iter()
+            .map(|g| classify(&g.induced_subgraph(&self.graph).0))
+            .collect()
+    }
+
+    /// The Table II row: `(path, tree, cycle, other)` counts over the
+    /// ground-truth anomaly groups.
+    pub fn pattern_statistics(&self) -> (usize, usize, usize, usize) {
+        pattern_counts(&self.group_patterns())
+    }
+
+    /// The set of all nodes belonging to some anomaly group.
+    pub fn anomalous_nodes(&self) -> HashSet<usize> {
+        self.anomaly_groups
+            .iter()
+            .flat_map(|g| g.nodes().iter().copied())
+            .collect()
+    }
+
+    /// The fraction of nodes that are anomalous.
+    pub fn contamination(&self) -> f32 {
+        if self.graph.num_nodes() == 0 {
+            0.0
+        } else {
+            self.anomalous_nodes().len() as f32 / self.graph.num_nodes() as f32
+        }
+    }
+
+    /// Validates internal consistency (all group nodes exist, groups are
+    /// non-empty). Generators call this before returning.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.graph.num_nodes();
+        for (i, g) in self.anomaly_groups.iter().enumerate() {
+            if g.is_empty() {
+                return Err(format!("{}: anomaly group {i} is empty", self.name));
+            }
+            if let Some(&bad) = g.nodes().iter().find(|&&v| v >= n) {
+                return Err(format!(
+                    "{}: anomaly group {i} references node {bad} outside graph of {n} nodes",
+                    self.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grgad_linalg::Matrix;
+
+    fn toy_dataset() -> GrGadDataset {
+        let mut g = Graph::new(8, Matrix::zeros(8, 2));
+        for i in 0..3 {
+            g.add_edge(i, i + 1); // path group 0-1-2-3
+        }
+        g.add_edge(5, 6);
+        g.add_edge(6, 7);
+        g.add_edge(5, 7); // triangle group 5-6-7
+        GrGadDataset::new(
+            "toy",
+            g,
+            vec![Group::new(vec![0, 1, 2, 3]), Group::new(vec![5, 6, 7])],
+        )
+    }
+
+    #[test]
+    fn statistics_row() {
+        let d = toy_dataset();
+        let s = d.statistics();
+        assert_eq!(s.nodes, 8);
+        assert_eq!(s.edges, 6);
+        assert_eq!(s.attributes, 2);
+        assert_eq!(s.anomaly_groups, 2);
+        assert!((s.avg_group_size - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pattern_statistics_row() {
+        let d = toy_dataset();
+        let (path, tree, cycle, other) = d.pattern_statistics();
+        assert_eq!((path, tree, cycle, other), (1, 0, 1, 0));
+    }
+
+    #[test]
+    fn anomalous_nodes_and_contamination() {
+        let d = toy_dataset();
+        let nodes = d.anomalous_nodes();
+        assert_eq!(nodes.len(), 7);
+        assert!(!nodes.contains(&4));
+        assert!((d.contamination() - 7.0 / 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation_catches_bad_groups() {
+        let mut d = toy_dataset();
+        assert!(d.validate().is_ok());
+        d.anomaly_groups.push(Group::new(vec![100]));
+        assert!(d.validate().is_err());
+        d.anomaly_groups.pop();
+        d.anomaly_groups.push(Group::new(Vec::<usize>::new()));
+        assert!(d.validate().is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! Reusable anomaly-group injection primitives.
+//!
+//! Two kinds of injections are used by the generators:
+//!
+//! * **Pattern injection** — grow a brand-new path / tree / cycle group whose
+//!   nodes carry attributes drawn from a designated profile; used by the
+//!   transaction-graph generators (simML, AMLPublic, Ethereum).
+//! * **Anchor-linking injection** — the Cora-group / CiteSeer-group protocol
+//!   of the paper: pick existing anchor nodes, add new nodes that link them
+//!   and give the new nodes the anchors' attributes plus Gaussian noise.
+
+use grgad_graph::{Graph, Group};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::gauss;
+
+/// The topology of an injected anomaly group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectedPattern {
+    /// A simple path of the given length (number of nodes).
+    Path(usize),
+    /// A rooted tree: a hub with the given number of leaves (a 1-level star),
+    /// plus optionally a second level.
+    Tree {
+        /// Number of direct children of the root.
+        children: usize,
+        /// Number of grandchildren attached to each child.
+        grandchildren: usize,
+    },
+    /// A simple cycle of the given length.
+    Cycle(usize),
+}
+
+impl InjectedPattern {
+    /// Number of nodes this pattern will create.
+    pub fn node_count(&self) -> usize {
+        match *self {
+            InjectedPattern::Path(n) => n,
+            InjectedPattern::Tree {
+                children,
+                grandchildren,
+            } => 1 + children + children * grandchildren,
+            InjectedPattern::Cycle(n) => n,
+        }
+    }
+}
+
+/// Adds a new anomaly group with the given pattern to the graph.
+///
+/// Every new node receives `base_profile` plus Gaussian noise of the given
+/// scale. The group is attached to the host graph through `attach_points`
+/// random existing nodes (so it is not a disconnected component).
+pub fn inject_pattern_group(
+    graph: &mut Graph,
+    pattern: InjectedPattern,
+    base_profile: &[f32],
+    noise_std: f32,
+    attach_points: usize,
+    rng: &mut StdRng,
+) -> Group {
+    let make_features = |rng: &mut StdRng| -> Vec<f32> {
+        base_profile
+            .iter()
+            .map(|&b| b + gauss(rng, noise_std))
+            .collect()
+    };
+    let existing_nodes = graph.num_nodes();
+    let mut members: Vec<usize> = Vec::with_capacity(pattern.node_count());
+
+    match pattern {
+        InjectedPattern::Path(len) => {
+            for i in 0..len {
+                let f = make_features(rng);
+                let v = graph.add_node(&f);
+                if i > 0 {
+                    graph.add_edge(members[i - 1], v);
+                }
+                members.push(v);
+            }
+        }
+        InjectedPattern::Tree {
+            children,
+            grandchildren,
+        } => {
+            let root = graph.add_node(&make_features(rng));
+            members.push(root);
+            for _ in 0..children {
+                let c = graph.add_node(&make_features(rng));
+                graph.add_edge(root, c);
+                members.push(c);
+                for _ in 0..grandchildren {
+                    let gc = graph.add_node(&make_features(rng));
+                    graph.add_edge(c, gc);
+                    members.push(gc);
+                }
+            }
+        }
+        InjectedPattern::Cycle(len) => {
+            for i in 0..len {
+                let v = graph.add_node(&make_features(rng));
+                if i > 0 {
+                    graph.add_edge(members[i - 1], v);
+                }
+                members.push(v);
+            }
+            if len >= 3 {
+                graph.add_edge(members[0], members[len - 1]);
+            }
+        }
+    }
+
+    // Attach the group to the host graph.
+    if existing_nodes > 0 {
+        for _ in 0..attach_points {
+            let host = rng.gen_range(0..existing_nodes);
+            let member = *members.choose(rng).expect("non-empty group");
+            graph.add_edge(host, member);
+        }
+    }
+
+    Group::new(members)
+}
+
+/// The Cora-group / CiteSeer-group injection of the paper: selects `anchors`
+/// existing nodes and adds `new_nodes` fresh nodes that link those anchors
+/// into one group. New-node attributes are an anchor's attributes plus
+/// Gaussian noise.
+pub fn inject_anchor_linked_group(
+    graph: &mut Graph,
+    anchors: usize,
+    new_nodes: usize,
+    noise_std: f32,
+    rng: &mut StdRng,
+) -> Group {
+    let n = graph.num_nodes();
+    assert!(n >= anchors && anchors >= 1, "need at least {anchors} existing nodes");
+    let mut anchor_ids: Vec<usize> = (0..n).collect();
+    anchor_ids.shuffle(rng);
+    anchor_ids.truncate(anchors);
+
+    let mut members = anchor_ids.clone();
+    for i in 0..new_nodes {
+        let reference = anchor_ids[i % anchor_ids.len()];
+        let base: Vec<f32> = graph.features().row(reference).to_vec();
+        let noisy: Vec<f32> = base.iter().map(|&b| b + gauss(rng, noise_std)).collect();
+        let v = graph.add_node(&noisy);
+        // Link the new node to two distinct anchors (or one, if only one).
+        graph.add_edge(v, anchor_ids[i % anchor_ids.len()]);
+        if anchor_ids.len() > 1 {
+            graph.add_edge(v, anchor_ids[(i + 1) % anchor_ids.len()]);
+        }
+        members.push(v);
+    }
+    Group::new(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grgad_graph::patterns::{classify, TopologyPattern};
+    use grgad_linalg::Matrix;
+    use rand::SeedableRng;
+
+    fn host(n: usize, dim: usize) -> Graph {
+        let mut g = Graph::new(n, Matrix::zeros(n, dim));
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn pattern_node_counts() {
+        assert_eq!(InjectedPattern::Path(5).node_count(), 5);
+        assert_eq!(
+            InjectedPattern::Tree {
+                children: 3,
+                grandchildren: 2
+            }
+            .node_count(),
+            10
+        );
+        assert_eq!(InjectedPattern::Cycle(6).node_count(), 6);
+    }
+
+    #[test]
+    fn injected_path_has_path_topology() {
+        let mut g = host(20, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let group = inject_pattern_group(&mut g, InjectedPattern::Path(6), &[5.0, 0.0, 0.0], 0.1, 1, &mut rng);
+        assert_eq!(group.len(), 6);
+        assert_eq!(g.num_nodes(), 26);
+        let (sub, _) = group.induced_subgraph(&g);
+        assert_eq!(classify(&sub), TopologyPattern::Path);
+    }
+
+    #[test]
+    fn injected_tree_and_cycle_topologies() {
+        let mut g = host(20, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = inject_pattern_group(
+            &mut g,
+            InjectedPattern::Tree {
+                children: 4,
+                grandchildren: 1,
+            },
+            &[1.0, 1.0],
+            0.05,
+            1,
+            &mut rng,
+        );
+        let (tsub, _) = tree.induced_subgraph(&g);
+        assert_eq!(classify(&tsub), TopologyPattern::Tree);
+
+        let cycle = inject_pattern_group(&mut g, InjectedPattern::Cycle(5), &[2.0, 2.0], 0.05, 1, &mut rng);
+        let (csub, _) = cycle.induced_subgraph(&g);
+        assert_eq!(classify(&csub), TopologyPattern::Cycle);
+    }
+
+    #[test]
+    fn injected_nodes_carry_profile_attributes() {
+        let mut g = host(10, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let group = inject_pattern_group(&mut g, InjectedPattern::Path(4), &[9.0, -9.0], 0.01, 0, &mut rng);
+        for &v in group.nodes() {
+            let row = g.features().row(v);
+            assert!((row[0] - 9.0).abs() < 0.1);
+            assert!((row[1] + 9.0).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn anchor_linked_group_connects_new_and_old_nodes() {
+        let mut g = host(30, 4);
+        let before = g.num_nodes();
+        let mut rng = StdRng::seed_from_u64(3);
+        let group = inject_anchor_linked_group(&mut g, 3, 5, 0.1, &mut rng);
+        assert_eq!(g.num_nodes(), before + 5);
+        assert_eq!(group.len(), 8);
+        // The group's induced subgraph must be connected through the new nodes.
+        let (sub, _) = group.induced_subgraph(&g);
+        assert!(sub.num_edges() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "existing nodes")]
+    fn anchor_injection_requires_enough_nodes() {
+        let mut g = host(2, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = inject_anchor_linked_group(&mut g, 5, 2, 0.1, &mut rng);
+    }
+}

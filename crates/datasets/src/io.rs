@@ -1,0 +1,111 @@
+//! JSON (de)serialization of Gr-GAD datasets.
+//!
+//! Datasets are stored in a compact edge-list representation so experiment
+//! runs can snapshot the exact graphs they were evaluated on (useful for
+//! debugging and for re-running a single method on a frozen dataset).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use grgad_graph::{Graph, Group};
+use grgad_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::GrGadDataset;
+
+/// Serializable form of a [`GrGadDataset`].
+#[derive(Serialize, Deserialize)]
+pub struct DatasetFile {
+    /// Dataset name.
+    pub name: String,
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Feature dimensionality.
+    pub feature_dim: usize,
+    /// Row-major flattened feature matrix.
+    pub features: Vec<f32>,
+    /// Undirected edges (u < v).
+    pub edges: Vec<(usize, usize)>,
+    /// Ground-truth anomaly groups as node-id lists.
+    pub anomaly_groups: Vec<Vec<usize>>,
+}
+
+impl From<&GrGadDataset> for DatasetFile {
+    fn from(d: &GrGadDataset) -> Self {
+        Self {
+            name: d.name.clone(),
+            num_nodes: d.graph.num_nodes(),
+            feature_dim: d.graph.feature_dim(),
+            features: d.graph.features().as_slice().to_vec(),
+            edges: d.graph.edges().collect(),
+            anomaly_groups: d
+                .anomaly_groups
+                .iter()
+                .map(|g| g.nodes().to_vec())
+                .collect(),
+        }
+    }
+}
+
+impl DatasetFile {
+    /// Rebuilds the in-memory dataset.
+    pub fn into_dataset(self) -> GrGadDataset {
+        let features = Matrix::from_vec(self.num_nodes, self.feature_dim, self.features);
+        let graph = Graph::from_edges(self.num_nodes, features, &self.edges);
+        let groups = self.anomaly_groups.into_iter().map(Group::new).collect();
+        GrGadDataset::new(self.name, graph, groups)
+    }
+}
+
+/// Writes a dataset as JSON to `path` (parent directories are created).
+pub fn save_json(dataset: &GrGadDataset, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let file = DatasetFile::from(dataset);
+    let json = serde_json::to_string(&file).map_err(io::Error::other)?;
+    fs::write(path, json)
+}
+
+/// Reads a dataset from a JSON file produced by [`save_json`].
+pub fn load_json(path: &Path) -> io::Result<GrGadDataset> {
+    let json = fs::read_to_string(path)?;
+    let file: DatasetFile = serde_json::from_str(&json).map_err(io::Error::other)?;
+    Ok(file.into_dataset())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example;
+
+    #[test]
+    fn roundtrip_preserves_structure_and_groups() {
+        let original = example::generate(25, 4);
+        let dir = std::env::temp_dir().join("grgad_io_test");
+        let path = dir.join("example.json");
+        save_json(&original, &path).unwrap();
+        let restored = load_json(&path).unwrap();
+        assert_eq!(original.name, restored.name);
+        assert_eq!(original.statistics(), restored.statistics());
+        assert_eq!(original.anomaly_groups, restored.anomaly_groups);
+        // spot-check features
+        grgad_linalg::assert_close(original.graph.features(), restored.graph.features(), 1e-6);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_json(Path::new("/nonexistent/grgad/nothing.json")).is_err());
+    }
+
+    #[test]
+    fn dataset_file_conversion_is_lossless_for_edges() {
+        let original = example::generate(20, 9);
+        let file = DatasetFile::from(&original);
+        assert_eq!(file.edges.len(), original.graph.num_edges());
+        let rebuilt = file.into_dataset();
+        assert_eq!(rebuilt.graph.num_edges(), original.graph.num_edges());
+    }
+}

@@ -1,0 +1,68 @@
+//! Anchor-node selection from per-node anomaly scores.
+
+/// Selects the indices of the top `fraction` of nodes by score (descending).
+///
+/// The paper selects the top 10% of nodes by reconstruction error as anchor
+/// nodes for candidate-group sampling. At least one node is always returned
+/// (when the score vector is non-empty); the fraction is clamped to `[0, 1]`.
+pub fn select_anchor_nodes(scores: &[f32], fraction: f32) -> Vec<usize> {
+    if scores.is_empty() {
+        return Vec::new();
+    }
+    let fraction = fraction.clamp(0.0, 1.0);
+    let k = ((scores.len() as f32 * fraction).round() as usize)
+        .max(1)
+        .min(scores.len());
+    top_k_indices(scores, k)
+}
+
+/// Indices of the `k` largest scores, ordered by descending score
+/// (ties broken by smaller index first).
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_top_fraction() {
+        let scores = vec![0.1, 0.9, 0.3, 0.8, 0.2, 0.0, 0.05, 0.01, 0.02, 0.03];
+        let anchors = select_anchor_nodes(&scores, 0.2);
+        assert_eq!(anchors, vec![1, 3]);
+    }
+
+    #[test]
+    fn always_returns_at_least_one() {
+        let scores = vec![0.5, 0.4, 0.3];
+        assert_eq!(select_anchor_nodes(&scores, 0.0), vec![0]);
+        assert_eq!(select_anchor_nodes(&scores, 1e-9), vec![0]);
+    }
+
+    #[test]
+    fn full_fraction_returns_all_sorted() {
+        let scores = vec![0.1, 0.3, 0.2];
+        assert_eq!(select_anchor_nodes(&scores, 1.0), vec![1, 2, 0]);
+        assert_eq!(select_anchor_nodes(&scores, 5.0), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_scores_give_empty_anchors() {
+        assert!(select_anchor_nodes(&[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_index() {
+        let scores = vec![0.5, 0.5, 0.5];
+        assert_eq!(top_k_indices(&scores, 2), vec![0, 1]);
+    }
+}

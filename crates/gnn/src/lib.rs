@@ -1,0 +1,23 @@
+//! Graph neural networks for the TP-GrGAD reproduction: GCN layers, the
+//! Graph AutoEncoder (GAE) and the paper's Multi-Hop GAE (MH-GAE).
+//!
+//! MH-GAE (Sec. V-B of the paper) is the anchor-node localizer: it trains a
+//! 2-layer GCN encoder plus attribute/structure decoders to reconstruct the
+//! node features and a *reconstruction target matrix* that may be
+//!
+//! * the plain adjacency `A` (vanilla GAE, e.g. DOMINANT),
+//! * a standardized k-hop power `A^k` (naive multi-hop variant, Eqn. 3), or
+//! * the GraphSNN weighted adjacency `Ã` (Eqn. 4, the recommended target).
+//!
+//! Nodes whose reconstruction error `r_i = λ·r_stru + (1−λ)·r_attr` is among
+//! the top `p%` are selected as **anchor nodes** for candidate-group sampling.
+
+pub mod anchors;
+pub mod gae;
+pub mod gcn;
+pub mod mhgae;
+
+pub use anchors::select_anchor_nodes;
+pub use gae::{Gae, GaeConfig, NodeErrors};
+pub use gcn::{GcnEncoder, GcnLayer};
+pub use mhgae::{MhGae, ReconstructionTarget};

@@ -1,0 +1,162 @@
+//! Breadth-first search: distances, unweighted shortest paths and bounded
+//! BFS trees (the tree-search primitive of Alg. 1).
+
+use std::collections::VecDeque;
+
+use crate::Graph;
+
+/// BFS distances from `source`; `None` for unreachable nodes.
+pub fn bfs_distances(graph: &Graph, source: usize) -> Vec<Option<usize>> {
+    let n = graph.num_nodes();
+    let mut dist = vec![None; n];
+    let mut queue = VecDeque::new();
+    dist[source] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued node must have a distance");
+        for &v in graph.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Unweighted shortest path from `source` to `target` (inclusive), or `None`
+/// if unreachable. A path from a node to itself is `[source]`.
+pub fn shortest_path(graph: &Graph, source: usize, target: usize) -> Option<Vec<usize>> {
+    if source == target {
+        return Some(vec![source]);
+    }
+    let n = graph.num_nodes();
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    visited[source] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in graph.neighbors(u) {
+            if !visited[v] {
+                visited[v] = true;
+                parent[v] = Some(u);
+                if v == target {
+                    return Some(reconstruct(&parent, source, target));
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+fn reconstruct(parent: &[Option<usize>], source: usize, target: usize) -> Vec<usize> {
+    let mut path = vec![target];
+    let mut cur = target;
+    while cur != source {
+        cur = parent[cur].expect("broken parent chain");
+        path.push(cur);
+    }
+    path.reverse();
+    path
+}
+
+/// The node set of a BFS tree rooted at `root`, truncated at `max_depth`
+/// levels and at most `max_nodes` nodes (breadth-first order, so shallow
+/// nodes are preferred). This is the "tree search" of Alg. 1: it captures the
+/// hierarchical neighborhood around an anchor node without letting hub nodes
+/// blow up the candidate-group size.
+pub fn bounded_bfs_tree(
+    graph: &Graph,
+    root: usize,
+    max_depth: usize,
+    max_nodes: usize,
+) -> Vec<usize> {
+    if max_nodes == 0 {
+        return Vec::new();
+    }
+    let n = graph.num_nodes();
+    let mut visited = vec![false; n];
+    let mut out = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[root] = true;
+    queue.push_back((root, 0usize));
+    while let Some((u, d)) = queue.pop_front() {
+        out.push(u);
+        if out.len() >= max_nodes {
+            break;
+        }
+        if d >= max_depth {
+            continue;
+        }
+        for &v in graph.neighbors(u) {
+            if !visited[v] {
+                visited[v] = true;
+                queue.push_back((v, d + 1));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        // 0-1-2-3  4 (isolated), plus chord 0-2
+        let mut g = Graph::with_no_features(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(0, 2);
+        g
+    }
+
+    #[test]
+    fn distances_from_source() {
+        let g = sample();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[2], Some(1));
+        assert_eq!(d[3], Some(2));
+        assert_eq!(d[4], None);
+    }
+
+    #[test]
+    fn shortest_path_prefers_chord() {
+        let g = sample();
+        let p = shortest_path(&g, 0, 3).unwrap();
+        assert_eq!(p, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn shortest_path_unreachable_and_self() {
+        let g = sample();
+        assert!(shortest_path(&g, 0, 4).is_none());
+        assert_eq!(shortest_path(&g, 2, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn bfs_tree_depth_limit() {
+        let g = sample();
+        let t1 = bounded_bfs_tree(&g, 0, 1, 100);
+        assert_eq!(t1, vec![0, 1, 2]);
+        let t2 = bounded_bfs_tree(&g, 0, 2, 100);
+        assert_eq!(t2, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_tree_node_cap() {
+        let mut g = Graph::with_no_features(10);
+        for v in 1..10 {
+            g.add_edge(0, v);
+        }
+        let t = bounded_bfs_tree(&g, 0, 3, 4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0], 0);
+        assert!(bounded_bfs_tree(&g, 0, 3, 0).is_empty());
+    }
+}

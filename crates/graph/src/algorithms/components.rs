@@ -1,0 +1,119 @@
+//! Connected components of a graph or an induced node subset.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::Graph;
+
+/// Connected components of the whole graph; each component is a sorted list
+/// of node ids, and components are ordered by their smallest node.
+pub fn connected_components(graph: &Graph) -> Vec<Vec<usize>> {
+    let n = graph.num_nodes();
+    let mut visited = vec![false; n];
+    let mut components = Vec::new();
+    for root in 0..n {
+        if visited[root] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut queue = VecDeque::new();
+        visited[root] = true;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            comp.push(u);
+            for &v in graph.neighbors(u) {
+                if !visited[v] {
+                    visited[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        components.push(comp);
+    }
+    components
+}
+
+/// Connected components of the subgraph induced by `nodes`: only edges with
+/// both endpoints in `nodes` are traversed. Used by the paper's protocol for
+/// generalizing node-level detectors (DOMINANT, DeepAE, ComGA, DeepFD,
+/// AS-GAE) to the Gr-GAD task: detected anomalous nodes are grouped into
+/// connected components.
+pub fn connected_components_of_subset(graph: &Graph, nodes: &[usize]) -> Vec<Vec<usize>> {
+    let allowed: HashSet<usize> = nodes.iter().copied().collect();
+    let mut visited: HashSet<usize> = HashSet::with_capacity(allowed.len());
+    let mut components = Vec::new();
+    let mut sorted_nodes: Vec<usize> = allowed.iter().copied().collect();
+    sorted_nodes.sort_unstable();
+    for &root in &sorted_nodes {
+        if visited.contains(&root) {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut queue = VecDeque::new();
+        visited.insert(root);
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            comp.push(u);
+            for &v in graph.neighbors(u) {
+                if allowed.contains(&v) && !visited.contains(&v) {
+                    visited.insert(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        components.push(comp);
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_component_graph() -> Graph {
+        let mut g = Graph::with_no_features(7);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(3, 4);
+        // 5, 6 isolated
+        g
+    }
+
+    #[test]
+    fn whole_graph_components() {
+        let g = two_component_graph();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 4);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3, 4]);
+        assert_eq!(comps[2], vec![5]);
+        assert_eq!(comps[3], vec![6]);
+    }
+
+    #[test]
+    fn subset_components_ignore_outside_paths() {
+        // path 0-1-2: selecting {0, 2} without 1 gives two singleton components
+        let mut g = Graph::with_no_features(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let comps = connected_components_of_subset(&g, &[0, 2]);
+        assert_eq!(comps, vec![vec![0], vec![2]]);
+        let comps_all = connected_components_of_subset(&g, &[0, 1, 2]);
+        assert_eq!(comps_all, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn subset_components_handle_duplicates_and_empty() {
+        let g = two_component_graph();
+        assert!(connected_components_of_subset(&g, &[]).is_empty());
+        let comps = connected_components_of_subset(&g, &[4, 3, 3]);
+        assert_eq!(comps, vec![vec![3, 4]]);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = Graph::with_no_features(0);
+        assert!(connected_components(&g).is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Bellman–Ford shortest paths.
+//!
+//! The paper's Alg. 1 uses Bellman–Ford for the path search between anchor
+//! pairs. On the unweighted graphs of the evaluation this finds the same
+//! paths as BFS, but the implementation accepts arbitrary non-negative edge
+//! weights supplied through a closure so that transaction-amount-weighted
+//! paths can also be searched.
+
+use crate::Graph;
+
+/// Runs Bellman–Ford from `source` with edge weights given by `weight(u, v)`.
+///
+/// Returns `(dist, parent)` where unreachable nodes have `dist = f32::INFINITY`
+/// and `parent = None`. Negative cycles are not expected in this workspace
+/// (weights are non-negative); if the relaxation does not converge within
+/// `n - 1` rounds the current estimates are returned.
+pub fn bellman_ford(
+    graph: &Graph,
+    source: usize,
+    weight: impl Fn(usize, usize) -> f32,
+) -> (Vec<f32>, Vec<Option<usize>>) {
+    let n = graph.num_nodes();
+    let mut dist = vec![f32::INFINITY; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    dist[source] = 0.0;
+    // Collect directed relaxation edges (both directions of each undirected edge).
+    let edges: Vec<(usize, usize)> = graph
+        .edges()
+        .flat_map(|(u, v)| [(u, v), (v, u)])
+        .collect();
+    for _ in 0..n.saturating_sub(1) {
+        let mut changed = false;
+        for &(u, v) in &edges {
+            if dist[u].is_finite() {
+                let w = weight(u, v);
+                let cand = dist[u] + w;
+                if cand < dist[v] {
+                    dist[v] = cand;
+                    parent[v] = Some(u);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (dist, parent)
+}
+
+/// Shortest path between `source` and `target` under Bellman–Ford with unit
+/// edge weights, or `None` if unreachable.
+pub fn shortest_path_bellman_ford(
+    graph: &Graph,
+    source: usize,
+    target: usize,
+) -> Option<Vec<usize>> {
+    if source == target {
+        return Some(vec![source]);
+    }
+    let (dist, parent) = bellman_ford(graph, source, |_, _| 1.0);
+    if !dist[target].is_finite() {
+        return None;
+    }
+    let mut path = vec![target];
+    let mut cur = target;
+    while cur != source {
+        cur = parent[cur]?;
+        path.push(cur);
+        if path.len() > graph.num_nodes() {
+            return None; // defensive: broken parent chain
+        }
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::bfs::shortest_path;
+
+    fn weighted_sample() -> Graph {
+        // 0-1 (1), 1-2 (1), 0-2 (5): shortest weighted path 0->2 goes via 1.
+        let mut g = Graph::with_no_features(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        g
+    }
+
+    #[test]
+    fn unit_weights_match_bfs() {
+        let mut g = Graph::with_no_features(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        g.add_edge(0, 4);
+        let bf = shortest_path_bellman_ford(&g, 0, 3).unwrap();
+        let bfs = shortest_path(&g, 0, 3).unwrap();
+        assert_eq!(bf.len(), bfs.len());
+        assert_eq!(bf.first(), Some(&0));
+        assert_eq!(bf.last(), Some(&3));
+    }
+
+    #[test]
+    fn respects_custom_weights() {
+        let g = weighted_sample();
+        let w = |u: usize, v: usize| {
+            if (u, v) == (0, 2) || (u, v) == (2, 0) {
+                5.0
+            } else {
+                1.0
+            }
+        };
+        let (dist, parent) = bellman_ford(&g, 0, w);
+        assert_eq!(dist[2], 2.0);
+        assert_eq!(parent[2], Some(1));
+        assert!(dist[3].is_infinite());
+    }
+
+    #[test]
+    fn unreachable_and_self_paths() {
+        let g = weighted_sample();
+        assert!(shortest_path_bellman_ford(&g, 0, 3).is_none());
+        assert_eq!(shortest_path_bellman_ford(&g, 1, 1).unwrap(), vec![1]);
+    }
+}

@@ -1,0 +1,364 @@
+//! The [`Graph`] type: an undirected attributed graph.
+
+use std::collections::BTreeSet;
+
+use grgad_linalg::{CsrMatrix, Matrix};
+
+/// An undirected, simple, attributed graph.
+///
+/// Nodes are identified by contiguous indices `0..n`. Edges are stored both
+/// as sorted adjacency lists (for traversal) and are exportable as a CSR
+/// adjacency matrix (for GNN message passing). Each node carries a feature
+/// row in the `features` matrix.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    adj: Vec<Vec<usize>>,
+    features: Matrix,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes and the given feature matrix.
+    ///
+    /// # Panics
+    /// Panics if `features.rows() != n`.
+    pub fn new(n: usize, features: Matrix) -> Self {
+        assert_eq!(
+            features.rows(),
+            n,
+            "Graph::new: feature matrix must have one row per node"
+        );
+        Self {
+            adj: vec![Vec::new(); n],
+            features,
+            num_edges: 0,
+        }
+    }
+
+    /// Creates a graph with `n` nodes, zero-dimensional features.
+    pub fn with_no_features(n: usize) -> Self {
+        Self::new(n, Matrix::zeros(n, 0))
+    }
+
+    /// Creates a graph from an edge list (duplicates and self-loops ignored).
+    pub fn from_edges(n: usize, features: Matrix, edges: &[(usize, usize)]) -> Self {
+        let mut g = Self::new(n, features);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Dimensionality of node features.
+    #[inline]
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// The node-feature matrix (`n × d`).
+    #[inline]
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Mutable access to the node-feature matrix.
+    #[inline]
+    pub fn features_mut(&mut self) -> &mut Matrix {
+        &mut self.features
+    }
+
+    /// Replaces the feature matrix.
+    ///
+    /// # Panics
+    /// Panics if the new matrix does not have one row per node.
+    pub fn set_features(&mut self, features: Matrix) {
+        assert_eq!(features.rows(), self.num_nodes(), "set_features: row mismatch");
+        self.features = features;
+    }
+
+    /// Sorted neighbors of node `u`.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// Degree of node `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// True if the undirected edge `(u, v)` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// Adds the undirected edge `(u, v)`. Self-loops and duplicate edges are
+    /// ignored. Returns true if the edge was inserted.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.num_nodes() && v < self.num_nodes(), "add_edge: node out of range");
+        if u == v || self.has_edge(u, v) {
+            return false;
+        }
+        let pos_u = self.adj[u].binary_search(&v).unwrap_err();
+        self.adj[u].insert(pos_u, v);
+        let pos_v = self.adj[v].binary_search(&u).unwrap_err();
+        self.adj[v].insert(pos_v, u);
+        self.num_edges += 1;
+        true
+    }
+
+    /// Removes the undirected edge `(u, v)`. Returns true if it existed.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        if let Ok(pos) = self.adj[u].binary_search(&v) {
+            self.adj[u].remove(pos);
+            let pos_v = self.adj[v].binary_search(&u).expect("asymmetric adjacency");
+            self.adj[v].remove(pos_v);
+            self.num_edges -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Adds a new node with the given feature row, returning its index.
+    ///
+    /// # Panics
+    /// Panics if the feature length does not match the graph's feature dim
+    /// (unless the graph currently has zero nodes).
+    pub fn add_node(&mut self, feature: &[f32]) -> usize {
+        if self.num_nodes() > 0 {
+            assert_eq!(
+                feature.len(),
+                self.feature_dim(),
+                "add_node: feature dimension mismatch"
+            );
+        }
+        let idx = self.num_nodes();
+        self.adj.push(Vec::new());
+        let new_features = if idx == 0 {
+            Matrix::from_vec(1, feature.len(), feature.to_vec())
+        } else {
+            self.features.vstack(&Matrix::from_vec(1, feature.len(), feature.to_vec()))
+        };
+        self.features = new_features;
+        idx
+    }
+
+    /// Iterator over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, nbrs)| nbrs.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+    }
+
+    /// The adjacency matrix as CSR (all weights 1.0).
+    pub fn adjacency(&self) -> CsrMatrix {
+        let n = self.num_nodes();
+        let triplets: Vec<(usize, usize, f32)> = self
+            .adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, nbrs)| nbrs.iter().map(move |&v| (u, v, 1.0)))
+            .collect();
+        CsrMatrix::from_triplets(n, n, triplets)
+    }
+
+    /// Symmetric-normalized adjacency with self-loops,
+    /// `D̂^{-1/2} (A + I) D̂^{-1/2}` — the standard GCN propagation operator.
+    pub fn normalized_adjacency(&self) -> CsrMatrix {
+        self.adjacency().add_self_loops(1.0).symmetric_normalize()
+    }
+
+    /// The induced subgraph on `nodes` (in the given order). Returns the
+    /// subgraph plus the mapping from subgraph index to original node id.
+    ///
+    /// Duplicate node ids are ignored after their first occurrence.
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> (Graph, Vec<usize>) {
+        let mut seen = BTreeSet::new();
+        let mut order: Vec<usize> = Vec::with_capacity(nodes.len());
+        for &v in nodes {
+            assert!(v < self.num_nodes(), "induced_subgraph: node {v} out of range");
+            if seen.insert(v) {
+                order.push(v);
+            }
+        }
+        let features = self.features.select_rows(&order);
+        let mut sub = Graph::new(order.len(), features);
+        let index_of = |v: usize| order.iter().position(|&x| x == v);
+        // For small groups a linear scan is fine; for large node sets build a map.
+        if order.len() > 64 {
+            let mut map = std::collections::HashMap::with_capacity(order.len());
+            for (i, &v) in order.iter().enumerate() {
+                map.insert(v, i);
+            }
+            for (i, &v) in order.iter().enumerate() {
+                for &w in self.neighbors(v) {
+                    if let Some(&j) = map.get(&w) {
+                        if i < j {
+                            sub.add_edge(i, j);
+                        }
+                    }
+                }
+            }
+        } else {
+            for (i, &v) in order.iter().enumerate() {
+                for &w in self.neighbors(v) {
+                    if let Some(j) = index_of(w) {
+                        if i < j {
+                            sub.add_edge(i, j);
+                        }
+                    }
+                }
+            }
+        }
+        (sub, order)
+    }
+
+    /// Average degree of the graph.
+    pub fn average_degree(&self) -> f32 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges as f32 / self.num_nodes() as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::new(n, Matrix::zeros(n, 2));
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let g = path_graph(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.feature_dim(), 2);
+        assert!((g.average_degree() - 1.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_edge_rejects_duplicates_and_self_loops() {
+        let mut g = Graph::with_no_features(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0));
+        assert!(!g.add_edge(2, 2));
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn remove_edge() {
+        let mut g = path_graph(3);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut g = Graph::with_no_features(5);
+        g.add_edge(2, 4);
+        g.add_edge(2, 0);
+        g.add_edge(2, 3);
+        assert_eq!(g.neighbors(2), &[0, 3, 4]);
+        assert_eq!(g.degree(2), 3);
+    }
+
+    #[test]
+    fn add_node_extends_features() {
+        let mut g = Graph::new(2, Matrix::from_rows(&[&[1.0], &[2.0]]));
+        let id = g.add_node(&[3.0]);
+        assert_eq!(id, 2);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.features().row(2), &[3.0]);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = path_graph(4);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_csr() {
+        let g = path_graph(3);
+        let a = g.adjacency();
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 0), 1.0);
+        assert_eq!(a.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn normalized_adjacency_row_properties() {
+        let g = path_graph(3);
+        let n = g.normalized_adjacency();
+        // With self-loops every diagonal entry must be positive.
+        for i in 0..3 {
+            assert!(n.get(i, i) > 0.0);
+        }
+        let d = n.to_dense();
+        grgad_linalg::assert_close(&d, &d.transpose(), 1e-6);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edges_and_features() {
+        let mut g = Graph::new(5, Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0], &[4.0]]));
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(3, 4);
+        let (sub, mapping) = g.induced_subgraph(&[1, 2, 4]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(mapping, vec![1, 2, 4]);
+        assert_eq!(sub.num_edges(), 1);
+        assert!(sub.has_edge(0, 1)); // 1-2 in original
+        assert_eq!(sub.features().row(2), &[4.0]);
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_duplicates() {
+        let g = path_graph(4);
+        let (sub, mapping) = g.induced_subgraph(&[2, 2, 3]);
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(mapping, vec![2, 3]);
+        assert_eq!(sub.num_edges(), 1);
+    }
+
+    #[test]
+    fn induced_subgraph_large_uses_map_path() {
+        // exercise the >64-node branch
+        let mut g = Graph::with_no_features(200);
+        for i in 0..199 {
+            g.add_edge(i, i + 1);
+        }
+        let nodes: Vec<usize> = (50..150).collect();
+        let (sub, _) = g.induced_subgraph(&nodes);
+        assert_eq!(sub.num_nodes(), 100);
+        assert_eq!(sub.num_edges(), 99);
+    }
+}

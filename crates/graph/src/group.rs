@@ -1,0 +1,165 @@
+//! The [`Group`] type: a set of nodes considered as a unit (a candidate or
+//! ground-truth anomaly group in the Gr-GAD task).
+
+use std::collections::BTreeSet;
+
+use crate::Graph;
+
+/// A group of nodes within a graph.
+///
+/// Per Definition 1 of the paper, a group `c_i = (V_i, E_i)` is a node subset
+/// together with its induced edges; since the edges are always induced from
+/// the host graph, only the node set is stored. Node ids are kept sorted and
+/// deduplicated so that equality and hashing are canonical.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Group {
+    nodes: Vec<usize>,
+}
+
+impl Group {
+    /// Creates a group from node ids (sorted and deduplicated).
+    pub fn new(nodes: impl IntoIterator<Item = usize>) -> Self {
+        let set: BTreeSet<usize> = nodes.into_iter().collect();
+        Self {
+            nodes: set.into_iter().collect(),
+        }
+    }
+
+    /// The sorted node ids.
+    #[inline]
+    pub fn nodes(&self) -> &[usize] {
+        &self.nodes
+    }
+
+    /// Number of nodes in the group.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the group has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// True if the group contains node `v`.
+    pub fn contains(&self, v: usize) -> bool {
+        self.nodes.binary_search(&v).is_ok()
+    }
+
+    /// Number of nodes shared with another group.
+    pub fn overlap(&self, other: &Group) -> usize {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.nodes.iter().filter(|&&v| large.contains(v)).count()
+    }
+
+    /// Jaccard similarity with another group (0 when both are empty).
+    pub fn jaccard(&self, other: &Group) -> f32 {
+        let inter = self.overlap(other);
+        let union = self.len() + other.len() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f32 / union as f32
+        }
+    }
+
+    /// The induced subgraph of this group within `graph`, plus the mapping
+    /// from subgraph index back to original node id.
+    pub fn induced_subgraph(&self, graph: &Graph) -> (Graph, Vec<usize>) {
+        graph.induced_subgraph(&self.nodes)
+    }
+
+    /// Number of edges of the host graph internal to this group.
+    pub fn internal_edge_count(&self, graph: &Graph) -> usize {
+        self.nodes
+            .iter()
+            .map(|&u| {
+                graph
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&&v| u < v && self.contains(v))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Merges this group with another (set union).
+    pub fn union(&self, other: &Group) -> Group {
+        Group::new(self.nodes.iter().chain(other.nodes.iter()).copied())
+    }
+}
+
+impl FromIterator<usize> for Group {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        Group::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grgad_linalg::Matrix;
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let g = Group::new(vec![3, 1, 3, 2]);
+        assert_eq!(g.nodes(), &[1, 2, 3]);
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn contains_and_overlap() {
+        let a = Group::new(vec![1, 2, 3, 4]);
+        let b = Group::new(vec![3, 4, 5]);
+        assert!(a.contains(2));
+        assert!(!a.contains(5));
+        assert_eq!(a.overlap(&b), 2);
+        assert_eq!(b.overlap(&a), 2);
+    }
+
+    #[test]
+    fn jaccard_values() {
+        let a = Group::new(vec![1, 2]);
+        let b = Group::new(vec![1, 2]);
+        let c = Group::new(vec![3, 4]);
+        assert!((a.jaccard(&b) - 1.0).abs() < 1e-6);
+        assert_eq!(a.jaccard(&c), 0.0);
+        assert_eq!(Group::new(vec![]).jaccard(&Group::new(vec![])), 0.0);
+    }
+
+    #[test]
+    fn union_is_set_union() {
+        let a = Group::new(vec![1, 2]);
+        let b = Group::new(vec![2, 3]);
+        assert_eq!(a.union(&b).nodes(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn internal_edges_and_subgraph() {
+        let mut g = Graph::new(5, Matrix::zeros(5, 1));
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        let grp = Group::new(vec![1, 2, 3]);
+        assert_eq!(grp.internal_edge_count(&g), 2);
+        let (sub, mapping) = grp.induced_subgraph(&g);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(mapping, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equality_is_canonical() {
+        assert_eq!(Group::new(vec![2, 1]), Group::new(vec![1, 2, 2]));
+        let g: Group = vec![5, 4].into_iter().collect();
+        assert_eq!(g.nodes(), &[4, 5]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Attributed graph engine for the TP-GrGAD reproduction.
+//!
+//! Everything in the paper operates on a single undirected attributed graph
+//! `G = (V, E)` with a node-feature matrix `X`. This crate provides:
+//!
+//! * [`Graph`] — an adjacency-list attributed graph with CSR export,
+//!   induced-subgraph extraction and mutation helpers used by dataset
+//!   generators and augmentations.
+//! * [`Group`] — a set of nodes (a candidate or ground-truth anomaly group).
+//! * [`algorithms`] — BFS / shortest paths (Bellman–Ford), bounded BFS trees,
+//!   cycle enumeration, connected components, standardized k-hop adjacency
+//!   powers (`A^k`) and the GraphSNN weighted adjacency `Ã` (Eqn. 4 of the
+//!   paper).
+//! * [`patterns`] — classification of a group's topology pattern
+//!   (path / tree / cycle / other), used for Table II and by the PPA/PBA
+//!   augmentations.
+
+pub mod algorithms;
+pub mod graph;
+pub mod group;
+pub mod patterns;
+
+pub use graph::Graph;
+pub use group::Group;
+pub use patterns::TopologyPattern;

@@ -1,0 +1,249 @@
+//! Topology-pattern classification and structural helpers.
+//!
+//! The paper's central assumption (Assumption 1) is that anomaly groups tend
+//! to exhibit one of three fundamental topology patterns — **path**, **tree**
+//! or **cycle** — with more complex motifs (stars, triangles, diamonds)
+//! reducible to these classes. This module classifies a group's induced
+//! subgraph into a pattern (used for the Table II statistics and by the
+//! PPA/PBA augmentations) and provides structural helpers: tree roots, path
+//! endpoints/middles and approximate longest paths.
+
+use crate::algorithms::bfs::bfs_distances;
+use crate::algorithms::cycles::has_cycle;
+use crate::Graph;
+
+/// The topology-pattern class of a (small) connected subgraph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TopologyPattern {
+    /// A simple path: connected, acyclic, maximum degree ≤ 2.
+    Path,
+    /// A tree that is not a path: connected, acyclic, some node of degree ≥ 3.
+    Tree,
+    /// Contains at least one cycle.
+    Cycle,
+    /// Disconnected or empty.
+    Other,
+}
+
+impl TopologyPattern {
+    /// Human-readable name (used in experiment tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopologyPattern::Path => "path",
+            TopologyPattern::Tree => "tree",
+            TopologyPattern::Cycle => "cycle",
+            TopologyPattern::Other => "other",
+        }
+    }
+}
+
+/// Classifies the topology pattern of a subgraph (typically a group's induced
+/// subgraph).
+///
+/// The classification mirrors the paper's Table II bucketing: any connected
+/// subgraph containing a cycle counts as `Cycle`; acyclic connected
+/// subgraphs are `Path` when they are degree-≤2 chains and `Tree` otherwise;
+/// empty or disconnected subgraphs are `Other`.
+pub fn classify(subgraph: &Graph) -> TopologyPattern {
+    let n = subgraph.num_nodes();
+    if n == 0 {
+        return TopologyPattern::Other;
+    }
+    if n == 1 {
+        return TopologyPattern::Path;
+    }
+    if !is_connected(subgraph) {
+        return TopologyPattern::Other;
+    }
+    if has_cycle(subgraph) {
+        return TopologyPattern::Cycle;
+    }
+    let max_degree = (0..n).map(|v| subgraph.degree(v)).max().unwrap_or(0);
+    if max_degree <= 2 {
+        TopologyPattern::Path
+    } else {
+        TopologyPattern::Tree
+    }
+}
+
+/// True if the graph is connected (the empty graph counts as connected).
+pub fn is_connected(graph: &Graph) -> bool {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return true;
+    }
+    bfs_distances(graph, 0).iter().all(Option::is_some)
+}
+
+/// The root of a tree-like subgraph: the node with the highest degree
+/// (ties broken by smallest id). In the fraud scenarios of the paper this is
+/// the "leader" node whose removal breaks the tree pattern.
+pub fn tree_root(subgraph: &Graph) -> Option<usize> {
+    (0..subgraph.num_nodes()).max_by_key(|&v| (subgraph.degree(v), std::cmp::Reverse(v)))
+}
+
+/// An approximate longest path of the subgraph found by double-BFS
+/// (exact on trees, a good heuristic on general graphs). Returns the node
+/// sequence from one endpoint to the other.
+pub fn longest_path(subgraph: &Graph) -> Vec<usize> {
+    let n = subgraph.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let first = farthest_from(subgraph, 0).0;
+    let (second, _) = farthest_from(subgraph, first);
+    crate::algorithms::bfs::shortest_path(subgraph, first, second).unwrap_or_else(|| vec![first])
+}
+
+fn farthest_from(graph: &Graph, source: usize) -> (usize, usize) {
+    let dist = bfs_distances(graph, source);
+    let mut best = (source, 0usize);
+    for (v, d) in dist.iter().enumerate() {
+        if let Some(d) = d {
+            if *d > best.1 {
+                best = (v, *d);
+            }
+        }
+    }
+    best
+}
+
+/// The endpoints of a path-shaped subgraph (degree-1 nodes). For a single
+/// node returns that node twice.
+pub fn path_endpoints(subgraph: &Graph) -> Option<(usize, usize)> {
+    let n = subgraph.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    if n == 1 {
+        return Some((0, 0));
+    }
+    let ends: Vec<usize> = (0..n).filter(|&v| subgraph.degree(v) == 1).collect();
+    if ends.len() == 2 {
+        Some((ends[0], ends[1]))
+    } else {
+        None
+    }
+}
+
+/// The middle node of a path given as a node sequence.
+pub fn path_middle(path: &[usize]) -> Option<usize> {
+    if path.is_empty() {
+        None
+    } else {
+        Some(path[path.len() / 2])
+    }
+}
+
+/// Counts how many groups fall into each pattern class, in the order
+/// `(path, tree, cycle, other)` — the row format of Table II.
+pub fn pattern_counts(patterns: &[TopologyPattern]) -> (usize, usize, usize, usize) {
+    let mut counts = (0, 0, 0, 0);
+    for p in patterns {
+        match p {
+            TopologyPattern::Path => counts.0 += 1,
+            TopologyPattern::Tree => counts.1 += 1,
+            TopologyPattern::Cycle => counts.2 += 1,
+            TopologyPattern::Other => counts.3 += 1,
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::with_no_features(n);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    fn star(leaves: usize) -> Graph {
+        let mut g = Graph::with_no_features(leaves + 1);
+        for i in 1..=leaves {
+            g.add_edge(0, i);
+        }
+        g
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = path(n);
+        g.add_edge(0, n - 1);
+        g
+    }
+
+    #[test]
+    fn classify_basic_shapes() {
+        assert_eq!(classify(&path(5)), TopologyPattern::Path);
+        assert_eq!(classify(&star(4)), TopologyPattern::Tree);
+        assert_eq!(classify(&cycle(5)), TopologyPattern::Cycle);
+        assert_eq!(classify(&Graph::with_no_features(0)), TopologyPattern::Other);
+        assert_eq!(classify(&Graph::with_no_features(1)), TopologyPattern::Path);
+        // two disconnected edges
+        let mut g = Graph::with_no_features(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        assert_eq!(classify(&g), TopologyPattern::Other);
+    }
+
+    #[test]
+    fn classify_triangle_and_diamond_as_cycle() {
+        assert_eq!(classify(&cycle(3)), TopologyPattern::Cycle);
+        // diamond: 4-cycle with a chord
+        let mut d = cycle(4);
+        d.add_edge(0, 2);
+        assert_eq!(classify(&d), TopologyPattern::Cycle);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&path(4)));
+        assert!(is_connected(&Graph::with_no_features(0)));
+        assert!(!is_connected(&Graph::with_no_features(2)));
+    }
+
+    #[test]
+    fn tree_root_is_hub() {
+        assert_eq!(tree_root(&star(5)), Some(0));
+        assert_eq!(tree_root(&Graph::with_no_features(0)), None);
+    }
+
+    #[test]
+    fn longest_path_on_tree_is_diameter() {
+        // caterpillar: path 0-1-2-3 with leaf 4 on node 1
+        let mut g = path(4);
+        let leaf = g.add_node(&[]);
+        g.add_edge(1, leaf);
+        let lp = longest_path(&g);
+        assert_eq!(lp.len(), 4); // 0-1-2-3 is the diameter path
+        assert_eq!(longest_path(&Graph::with_no_features(0)).len(), 0);
+        assert_eq!(longest_path(&Graph::with_no_features(1)), vec![0]);
+    }
+
+    #[test]
+    fn endpoints_and_middle() {
+        let g = path(5);
+        let (a, b) = path_endpoints(&g).unwrap();
+        assert_eq!((a.min(b), a.max(b)), (0, 4));
+        assert_eq!(path_middle(&[0, 1, 2, 3, 4]), Some(2));
+        assert_eq!(path_middle(&[]), None);
+        assert!(path_endpoints(&star(3)).is_none());
+        assert_eq!(path_endpoints(&Graph::with_no_features(1)), Some((0, 0)));
+    }
+
+    #[test]
+    fn pattern_count_table_row() {
+        let patterns = vec![
+            TopologyPattern::Path,
+            TopologyPattern::Path,
+            TopologyPattern::Tree,
+            TopologyPattern::Cycle,
+            TopologyPattern::Other,
+        ];
+        assert_eq!(pattern_counts(&patterns), (2, 1, 1, 1));
+    }
+}

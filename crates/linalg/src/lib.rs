@@ -1,0 +1,63 @@
+//! Minimal dense/sparse linear algebra for the TP-GrGAD reproduction.
+//!
+//! The whole deep-learning stack in this workspace (autograd, GCN layers,
+//! MINE estimators, outlier detectors, t-SNE) is built on two types defined
+//! here:
+//!
+//! * [`Matrix`] — a row-major dense `f32` matrix with the usual arithmetic,
+//!   reductions and shape manipulations.
+//! * [`CsrMatrix`] — a compressed-sparse-row matrix used for graph
+//!   adjacency/normalized-adjacency operators, supporting sparse × dense
+//!   products (the workhorse of GCN message passing).
+//!
+//! The implementation intentionally avoids `unsafe` and external BLAS: graphs
+//! in the paper have at most a few tens of thousands of nodes and feature
+//! dimensions of a few thousand, which plain (cache-friendly, ikj-ordered)
+//! loops handle comfortably in release builds.
+
+pub mod dense;
+pub mod ops;
+pub mod sparse;
+pub mod stats;
+
+pub use dense::Matrix;
+pub use sparse::CsrMatrix;
+
+/// Numerical tolerance used across the workspace for float comparisons in
+/// tests and convergence checks.
+pub const EPS: f32 = 1e-6;
+
+/// Asserts that two matrices are element-wise close; used by unit and
+/// integration tests across the workspace.
+pub fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+    assert_eq!(a.rows(), b.rows(), "row mismatch");
+    assert_eq!(a.cols(), b.cols(), "col mismatch");
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            let (x, y) = (a[(i, j)], b[(i, j)]);
+            assert!(
+                (x - y).abs() <= tol,
+                "mismatch at ({i},{j}): {x} vs {y} (tol {tol})"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assert_close_passes_on_identical() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_close(&a, &a.clone(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn assert_close_panics_on_difference() {
+        let a = Matrix::from_rows(&[&[1.0]]);
+        let b = Matrix::from_rows(&[&[2.0]]);
+        assert_close(&a, &b, 1e-3);
+    }
+}

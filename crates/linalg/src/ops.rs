@@ -1,0 +1,231 @@
+//! Free-standing numeric helpers shared by the neural-network and
+//! outlier-detection crates: activations, losses, softmax and pairwise
+//! distances.
+
+use crate::Matrix;
+
+/// Element-wise ReLU.
+pub fn relu(m: &Matrix) -> Matrix {
+    m.map(|x| x.max(0.0))
+}
+
+/// Element-wise sigmoid, numerically stable for large |x|.
+pub fn sigmoid(m: &Matrix) -> Matrix {
+    m.map(sigmoid_scalar)
+}
+
+/// Scalar sigmoid, numerically stable for large |x|.
+#[inline]
+pub fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Scalar softplus `ln(1 + e^x)`, numerically stable.
+#[inline]
+pub fn softplus_scalar(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+/// Element-wise hyperbolic tangent.
+pub fn tanh(m: &Matrix) -> Matrix {
+    m.map(f32::tanh)
+}
+
+/// Row-wise softmax.
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+    out
+}
+
+/// Mean-squared error between two equally shaped matrices.
+pub fn mse(a: &Matrix, b: &Matrix) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "mse: shape mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f32>()
+        / a.len() as f32
+}
+
+/// Binary cross-entropy between predictions in (0,1) and 0/1 targets.
+pub fn binary_cross_entropy(pred: &Matrix, target: &Matrix) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "bce: shape mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-7;
+    pred.as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&p, &t)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+        })
+        .sum::<f32>()
+        / pred.len() as f32
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two equal-length slices.
+pub fn euclidean_distance(a: &[f32], b: &[f32]) -> f32 {
+    squared_distance(a, b).sqrt()
+}
+
+/// Cosine similarity between two slices; 0 when either norm vanishes.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Full pairwise squared-distance matrix of the rows of `m`.
+pub fn pairwise_squared_distances(m: &Matrix) -> Matrix {
+    let n = m.rows();
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = squared_distance(m.row(i), m.row(j));
+            out[(i, j)] = d;
+            out[(j, i)] = d;
+        }
+    }
+    out
+}
+
+/// L2-normalizes every row in place (rows with zero norm are untouched).
+pub fn l2_normalize_rows(m: &mut Matrix) {
+    for i in 0..m.rows() {
+        let norm = m.row_norm(i);
+        if norm > 0.0 {
+            for v in m.row_mut(i) {
+                *v /= norm;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let m = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        assert_eq!(relu(&m).as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_bounds() {
+        assert!((sigmoid_scalar(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid_scalar(100.0) <= 1.0);
+        assert!(sigmoid_scalar(-100.0) >= 0.0);
+        let s = sigmoid_scalar(2.0) + sigmoid_scalar(-2.0);
+        assert!((s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softplus_stable_extremes() {
+        assert!((softplus_scalar(50.0) - 50.0).abs() < 1e-3);
+        assert!(softplus_scalar(-50.0) < 1e-10);
+        assert!((softplus_scalar(0.0) - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        let s = softmax_rows(&m);
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // monotone: larger logits get larger probability
+        assert!(s[(0, 2)] > s[(0, 1)] && s[(0, 1)] > s[(0, 0)]);
+    }
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(mse(&m, &m), 0.0);
+        let n = Matrix::from_rows(&[&[2.0, 4.0]]);
+        assert!((mse(&m, &n) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_penalizes_wrong_confident_predictions() {
+        let target = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let good = Matrix::from_rows(&[&[0.99, 0.01]]);
+        let bad = Matrix::from_rows(&[&[0.01, 0.99]]);
+        assert!(binary_cross_entropy(&good, &target) < binary_cross_entropy(&bad, &target));
+    }
+
+    #[test]
+    fn distances_and_similarity() {
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn pairwise_distances_symmetric_zero_diagonal() {
+        let m = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[2.0, 0.0]]);
+        let d = pairwise_squared_distances(&m);
+        for i in 0..3 {
+            assert_eq!(d[(i, i)], 0.0);
+            for j in 0..3 {
+                assert_eq!(d[(i, j)], d[(j, i)]);
+            }
+        }
+        assert_eq!(d[(0, 1)], 2.0);
+        assert_eq!(d[(0, 2)], 4.0);
+    }
+
+    #[test]
+    fn l2_normalize_rows_unit_norm() {
+        let mut m = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        l2_normalize_rows(&mut m);
+        assert!((m.row_norm(0) - 1.0).abs() < 1e-6);
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,429 @@
+//! Compressed-sparse-row matrices for graph operators.
+
+use crate::Matrix;
+
+/// A compressed-sparse-row (CSR) matrix of `f32` values.
+///
+/// Used for adjacency matrices, symmetric-normalized GCN propagation
+/// operators, k-hop adjacency powers and the GraphSNN weighted adjacency.
+/// Rows are stored as `(indptr, indices, values)` with column indices sorted
+/// within each row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from COO triplets. Duplicate entries are summed.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f32)>,
+    ) -> Self {
+        let mut by_row: Vec<Vec<(usize, f32)>> = vec![Vec::new(); rows];
+        for (r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+            by_row[r].push((c, v));
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for row in &mut by_row {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            // merge duplicates
+            let mut merged: Vec<(usize, f32)> = Vec::with_capacity(row.len());
+            for &(c, v) in row.iter() {
+                match merged.last_mut() {
+                    Some(last) if last.0 == c => last.1 += v,
+                    _ => merged.push((c, v)),
+                }
+            }
+            for (c, v) in merged {
+                indices.push(c);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+        }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Builds a CSR matrix from a dense matrix, keeping entries with
+    /// `|value| > tol`.
+    pub fn from_dense(m: &Matrix, tol: f32) -> Self {
+        let triplets = (0..m.rows()).flat_map(|i| {
+            m.row(i)
+                .iter()
+                .enumerate()
+                .filter(move |(_, &v)| v.abs() > tol)
+                .map(move |(j, &v)| (i, j, v))
+        });
+        Self::from_triplets(m.rows(), m.cols(), triplets.collect::<Vec<_>>())
+    }
+
+    /// The `n × n` sparse identity.
+    pub fn identity(n: usize) -> Self {
+        Self::from_triplets(n, n, (0..n).map(|i| (i, i, 1.0)))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterator over `(col, value)` pairs of row `i`.
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let (s, e) = (self.indptr[i], self.indptr[i + 1]);
+        self.indices[s..e]
+            .iter()
+            .zip(self.values[s..e].iter())
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Iterator over all `(row, col, value)` triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.rows).flat_map(move |i| self.row_iter(i).map(move |(c, v)| (i, c, v)))
+    }
+
+    /// Value at `(i, j)` (0.0 if not stored).
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        let (s, e) = (self.indptr[i], self.indptr[i + 1]);
+        match self.indices[s..e].binary_search(&j) {
+            Ok(pos) => self.values[s + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse × dense product: `self (r×c) * dense (c×k) -> r×k`.
+    pub fn matmul_dense(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            dense.rows(),
+            "spmm: inner dimension mismatch ({}x{} * {}x{})",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let mut out = Matrix::zeros(self.rows, dense.cols());
+        for i in 0..self.rows {
+            let (s, e) = (self.indptr[i], self.indptr[i + 1]);
+            for idx in s..e {
+                let k = self.indices[idx];
+                let v = self.values[idx];
+                let d_row = dense.row(k);
+                let o_row = out.row_mut(i);
+                for (j, &d) in d_row.iter().enumerate() {
+                    o_row[j] += v * d;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed sparse × dense product: `selfᵀ (c×r) * dense (r×k) -> c×k`.
+    ///
+    /// Needed by the autograd backward pass of sparse message passing without
+    /// materializing the transpose.
+    pub fn transpose_matmul_dense(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows,
+            dense.rows(),
+            "spmm^T: dimension mismatch ({}x{})^T * {}x{}",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let mut out = Matrix::zeros(self.cols, dense.cols());
+        for i in 0..self.rows {
+            let d_row = dense.row(i);
+            let (s, e) = (self.indptr[i], self.indptr[i + 1]);
+            for idx in s..e {
+                let k = self.indices[idx];
+                let v = self.values[idx];
+                let o_row = out.row_mut(k);
+                for (j, &d) in d_row.iter().enumerate() {
+                    o_row[j] += v * d;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse × sparse product (used for adjacency powers `A^k`).
+    pub fn matmul_sparse(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.cols, other.rows, "spgemm: inner dimension mismatch");
+        let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
+        let mut acc: Vec<f32> = vec![0.0; other.cols];
+        let mut touched: Vec<usize> = Vec::new();
+        for i in 0..self.rows {
+            for (k, v) in self.row_iter(i) {
+                for (j, w) in other.row_iter(k) {
+                    if acc[j] == 0.0 {
+                        touched.push(j);
+                    }
+                    acc[j] += v * w;
+                }
+            }
+            for &j in &touched {
+                if acc[j] != 0.0 {
+                    triplets.push((i, j, acc[j]));
+                }
+                acc[j] = 0.0;
+            }
+            touched.clear();
+        }
+        CsrMatrix::from_triplets(self.rows, other.cols, triplets)
+    }
+
+    /// Transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            self.cols,
+            self.rows,
+            self.iter().map(|(i, j, v)| (j, i, v)).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Converts to a dense matrix (only for small matrices / tests).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (i, j, v) in self.iter() {
+            out[(i, j)] += v;
+        }
+        out
+    }
+
+    /// Applies a function to every stored value, returning a new matrix with
+    /// the same sparsity pattern.
+    pub fn map_values(&self, f: impl Fn(f32) -> f32) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v = f(*v);
+        }
+        out
+    }
+
+    /// Scales all stored values.
+    pub fn scale(&self, s: f32) -> CsrMatrix {
+        self.map_values(|v| v * s)
+    }
+
+    /// Row sums (the weighted out-degree vector).
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.rows).map(|i| self.row_iter(i).map(|(_, v)| v).sum()).collect()
+    }
+
+    /// Symmetric normalization `D^{-1/2} (M) D^{-1/2}` where `D` is the
+    /// diagonal of row sums. Rows/cols with zero sum are left untouched.
+    ///
+    /// This is the standard GCN propagation normalization (Kipf & Welling).
+    pub fn symmetric_normalize(&self) -> CsrMatrix {
+        assert_eq!(self.rows, self.cols, "symmetric_normalize: must be square");
+        let deg = self.row_sums();
+        let inv_sqrt: Vec<f32> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+            .collect();
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            let (s, e) = (out.indptr[i], out.indptr[i + 1]);
+            for idx in s..e {
+                let j = out.indices[idx];
+                out.values[idx] *= inv_sqrt[i] * inv_sqrt[j];
+            }
+        }
+        out
+    }
+
+    /// Row-stochastic normalization `D^{-1} M`.
+    pub fn row_normalize(&self) -> CsrMatrix {
+        let deg = self.row_sums();
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            let d = deg[i];
+            if d <= 0.0 {
+                continue;
+            }
+            let (s, e) = (out.indptr[i], out.indptr[i + 1]);
+            for idx in s..e {
+                out.values[idx] /= d;
+            }
+        }
+        out
+    }
+
+    /// Adds self-loops with the given weight (entries on the diagonal are
+    /// incremented).
+    pub fn add_self_loops(&self, weight: f32) -> CsrMatrix {
+        assert_eq!(self.rows, self.cols, "add_self_loops: must be square");
+        let mut triplets: Vec<(usize, usize, f32)> = self.iter().collect();
+        triplets.extend((0..self.rows).map(|i| (i, i, weight)));
+        CsrMatrix::from_triplets(self.rows, self.cols, triplets)
+    }
+
+    /// k-th matrix power (k ≥ 1) via repeated sparse products.
+    pub fn pow(&self, k: usize) -> CsrMatrix {
+        assert!(k >= 1, "pow: exponent must be >= 1");
+        assert_eq!(self.rows, self.cols, "pow: must be square");
+        let mut result = self.clone();
+        for _ in 1..k {
+            result = result.matmul_sparse(self);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    fn sample() -> CsrMatrix {
+        // [[0,1,0],[1,0,2],[0,2,0]]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            vec![(0, 1, 1.0), (1, 0, 1.0), (1, 2, 2.0), (2, 1, 2.0)],
+        )
+    }
+
+    #[test]
+    fn from_triplets_merges_duplicates() {
+        let m = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn get_and_row_iter() {
+        let m = sample();
+        assert_eq!(m.get(1, 2), 2.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        let row1: Vec<_> = m.row_iter(1).collect();
+        assert_eq!(row1, vec![(0, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = sample();
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let sparse_result = m.matmul_dense(&x);
+        let dense_result = m.to_dense().matmul(&x);
+        assert_close(&sparse_result, &dense_result, 1e-6);
+    }
+
+    #[test]
+    fn transpose_spmm_matches_dense() {
+        let m = CsrMatrix::from_triplets(2, 3, vec![(0, 1, 2.0), (1, 2, -1.0), (1, 0, 0.5)]);
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let got = m.transpose_matmul_dense(&x);
+        let expected = m.to_dense().transpose().matmul(&x);
+        assert_close(&got, &expected, 1e-6);
+    }
+
+    #[test]
+    fn spgemm_matches_dense_product() {
+        let a = sample();
+        let b = sample();
+        let got = a.matmul_sparse(&b).to_dense();
+        let expected = a.to_dense().matmul(&b.to_dense());
+        assert_close(&got, &expected, 1e-6);
+    }
+
+    #[test]
+    fn pow_matches_repeated_dense() {
+        let a = sample();
+        let got = a.pow(3).to_dense();
+        let d = a.to_dense();
+        let expected = d.matmul(&d).matmul(&d);
+        assert_close(&got, &expected, 1e-5);
+    }
+
+    #[test]
+    fn symmetric_normalize_rows_bounded() {
+        let a = sample().add_self_loops(1.0);
+        let n = a.symmetric_normalize();
+        // All values positive and <= 1 for a nonnegative matrix with self loops
+        for (_, _, v) in n.iter() {
+            assert!(v > 0.0 && v <= 1.0);
+        }
+        // Symmetry preserved
+        let d = n.to_dense();
+        assert_close(&d, &d.transpose(), 1e-6);
+    }
+
+    #[test]
+    fn row_normalize_sums_to_one() {
+        let a = sample();
+        let n = a.row_normalize();
+        for i in 0..3 {
+            let s: f32 = n.row_iter(i).map(|(_, v)| v).sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let i = CsrMatrix::identity(4);
+        assert_close(&i.to_dense(), &Matrix::eye(4), 0.0);
+        assert_eq!(i.nnz(), 4);
+    }
+
+    #[test]
+    fn from_dense_respects_tolerance() {
+        let d = Matrix::from_rows(&[&[0.0, 0.5], &[1e-9, 2.0]]);
+        let s = CsrMatrix::from_dense(&d, 1e-6);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.get(0, 1), 0.5);
+        assert_eq!(s.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = CsrMatrix::from_triplets(2, 4, vec![(0, 3, 1.5), (1, 0, -2.0)]);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (4, 2));
+        assert_eq!(t.get(3, 0), 1.5);
+        assert_close(&t.transpose().to_dense(), &m.to_dense(), 0.0);
+    }
+
+    #[test]
+    fn add_self_loops_increments_diagonal() {
+        let m = sample().add_self_loops(2.0);
+        for i in 0..3 {
+            assert_eq!(m.get(i, i), 2.0);
+        }
+        assert_eq!(m.get(0, 1), 1.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Small statistics helpers used by outlier detectors, metrics and dataset
+//! generation: means, standard deviations, ranks, standardization and
+//! empirical CDFs.
+
+use crate::Matrix;
+
+/// Mean of a slice (0 for an empty slice).
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Population standard deviation of a slice (0 for len < 2).
+pub fn std_dev(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32).sqrt()
+}
+
+/// Median of a slice (0 for an empty slice).
+pub fn median(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Sample skewness of a slice (0 when undefined).
+pub fn skewness(xs: &[f32]) -> f32 {
+    let n = xs.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if s == 0.0 {
+        return 0.0;
+    }
+    xs.iter().map(|&x| ((x - m) / s).powi(3)).sum::<f32>() / n as f32
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation of sorted values.
+pub fn quantile(xs: &[f32], q: f32) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (v.len() - 1) as f32;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f32;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Left-tail empirical CDF value of `x` within `sorted` (which must be sorted
+/// ascending): the fraction of samples ≤ x, with a +1 smoothing so the value
+/// is never 0 (required by ECOD's log transform).
+pub fn ecdf(sorted: &[f32], x: f32) -> f32 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.5;
+    }
+    // number of elements <= x
+    let count = sorted.partition_point(|&v| v <= x);
+    (count as f32 + 1.0) / (n as f32 + 2.0)
+}
+
+/// Standardizes every column of `m` to zero mean and unit variance.
+/// Columns with zero variance become all zeros. Returns the per-column
+/// `(mean, std)` pairs so the same transform can be applied to new data.
+pub fn standardize_columns(m: &mut Matrix) -> Vec<(f32, f32)> {
+    let cols = m.cols();
+    let rows = m.rows();
+    let mut params = Vec::with_capacity(cols);
+    for j in 0..cols {
+        let col: Vec<f32> = (0..rows).map(|i| m[(i, j)]).collect();
+        let mu = mean(&col);
+        let sd = std_dev(&col);
+        params.push((mu, sd));
+        for i in 0..rows {
+            m[(i, j)] = if sd > 0.0 { (m[(i, j)] - mu) / sd } else { 0.0 };
+        }
+    }
+    params
+}
+
+/// Min-max scales every column of `m` into [0, 1]. Constant columns map to 0.
+pub fn min_max_scale_columns(m: &mut Matrix) {
+    let cols = m.cols();
+    let rows = m.rows();
+    for j in 0..cols {
+        let col: Vec<f32> = (0..rows).map(|i| m[(i, j)]).collect();
+        let lo = col.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = col.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let range = hi - lo;
+        for i in 0..rows {
+            m[(i, j)] = if range > 0.0 { (m[(i, j)] - lo) / range } else { 0.0 };
+        }
+    }
+}
+
+/// Ranks of the values (average rank for ties), 1-based, as f32.
+pub fn ranks(xs: &[f32]) -> Vec<f32> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f32 / 2.0 + 1.0;
+        for k in i..=j {
+            out[idx[k]] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-6);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn skewness_sign() {
+        // right-skewed data has positive skewness
+        let right = [1.0, 1.0, 1.0, 1.0, 10.0];
+        assert!(skewness(&right) > 0.0);
+        let left = [10.0, 10.0, 10.0, 10.0, 1.0];
+        assert!(skewness(&left) < 0.0);
+        assert_eq!(skewness(&[1.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 0.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.0);
+        assert!((quantile(&xs, 0.25) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ecdf_monotone_and_bounded() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        let lo = ecdf(&sorted, 0.0);
+        let mid = ecdf(&sorted, 2.5);
+        let hi = ecdf(&sorted, 10.0);
+        assert!(lo < mid && mid < hi);
+        assert!(lo > 0.0 && hi < 1.0);
+    }
+
+    #[test]
+    fn standardize_columns_zero_mean_unit_std() {
+        let mut m = Matrix::from_rows(&[&[1.0, 5.0], &[3.0, 5.0], &[5.0, 5.0]]);
+        let params = standardize_columns(&mut m);
+        let col0: Vec<f32> = (0..3).map(|i| m[(i, 0)]).collect();
+        assert!(mean(&col0).abs() < 1e-6);
+        assert!((std_dev(&col0) - 1.0).abs() < 1e-5);
+        // constant column becomes zeros
+        for i in 0..3 {
+            assert_eq!(m[(i, 1)], 0.0);
+        }
+        assert_eq!(params.len(), 2);
+        assert_eq!(params[0].0, 3.0);
+    }
+
+    #[test]
+    fn min_max_scale_bounds() {
+        let mut m = Matrix::from_rows(&[&[0.0, 7.0], &[10.0, 7.0]]);
+        min_max_scale_columns(&mut m);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(1, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 5.0]);
+        assert_eq!(r, vec![2.0, 3.5, 3.5, 1.0]);
+    }
+}

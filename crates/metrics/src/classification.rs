@@ -1,0 +1,146 @@
+//! Binary classification metrics computed group-wise: precision/recall/F1 and
+//! ROC-AUC (rank statistic).
+
+/// Precision and recall of boolean predictions against boolean labels.
+/// Conventions: precision is 0 when nothing is predicted positive; recall is
+/// 0 when there are no positive labels.
+pub fn precision_recall(predictions: &[bool], labels: &[bool]) -> (f32, f32) {
+    assert_eq!(predictions.len(), labels.len(), "precision_recall: length mismatch");
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for (&p, &l) in predictions.iter().zip(labels) {
+        match (p, l) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    let precision = if tp + fp > 0 {
+        tp as f32 / (tp + fp) as f32
+    } else {
+        0.0
+    };
+    let recall = if tp + fn_ > 0 {
+        tp as f32 / (tp + fn_) as f32
+    } else {
+        0.0
+    };
+    (precision, recall)
+}
+
+/// The F1 score of boolean predictions against boolean labels.
+pub fn f1_score(predictions: &[bool], labels: &[bool]) -> f32 {
+    let (p, r) = precision_recall(predictions, labels);
+    if p + r > 0.0 {
+        2.0 * p * r / (p + r)
+    } else {
+        0.0
+    }
+}
+
+/// ROC-AUC computed as the Mann–Whitney U statistic on the scores: the
+/// probability that a randomly chosen positive outranks a randomly chosen
+/// negative (ties count ½). Returns 0.5 when either class is absent.
+pub fn auc_score(scores: &[f32], labels: &[bool]) -> f32 {
+    assert_eq!(scores.len(), labels.len(), "auc_score: length mismatch");
+    let positives: Vec<f32> = scores
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l)
+        .map(|(&s, _)| s)
+        .collect();
+    let negatives: Vec<f32> = scores
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| !l)
+        .map(|(&s, _)| s)
+        .collect();
+    if positives.is_empty() || negatives.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0_f64;
+    for &p in &positives {
+        for &n in &negatives {
+            if p > n {
+                wins += 1.0;
+            } else if (p - n).abs() < f32::EPSILON {
+                wins += 0.5;
+            }
+        }
+    }
+    (wins / (positives.len() as f64 * negatives.len() as f64)) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let labels = vec![true, false, true, false];
+        assert_eq!(f1_score(&labels, &labels), 1.0);
+        let (p, r) = precision_recall(&labels, &labels);
+        assert_eq!((p, r), (1.0, 1.0));
+    }
+
+    #[test]
+    fn all_wrong_predictions() {
+        let labels = vec![true, false];
+        let preds = vec![false, true];
+        assert_eq!(f1_score(&preds, &labels), 0.0);
+    }
+
+    #[test]
+    fn partial_predictions() {
+        // 2 TP, 1 FP, 1 FN -> precision 2/3, recall 2/3, f1 2/3
+        let labels = vec![true, true, true, false, false];
+        let preds = vec![true, true, false, true, false];
+        let (p, r) = precision_recall(&preds, &labels);
+        assert!((p - 2.0 / 3.0).abs() < 1e-6);
+        assert!((r - 2.0 / 3.0).abs() < 1e-6);
+        assert!((f1_score(&preds, &labels) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_prediction_conventions() {
+        let labels = vec![true, true];
+        let none = vec![false, false];
+        assert_eq!(f1_score(&none, &labels), 0.0);
+        let no_pos_labels = vec![false, false];
+        assert_eq!(f1_score(&vec![true, true], &no_pos_labels), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let labels = vec![true, true, false, false];
+        let good = vec![0.9, 0.8, 0.2, 0.1];
+        let bad = vec![0.1, 0.2, 0.8, 0.9];
+        assert_eq!(auc_score(&good, &labels), 1.0);
+        assert_eq!(auc_score(&bad, &labels), 0.0);
+    }
+
+    #[test]
+    fn auc_random_and_ties() {
+        let labels = vec![true, false, true, false];
+        let constant = vec![0.5; 4];
+        assert!((auc_score(&constant, &labels) - 0.5).abs() < 1e-6);
+        // single class
+        assert_eq!(auc_score(&[0.1, 0.2], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn auc_intermediate_value() {
+        let labels = vec![true, false, true, false];
+        let scores = vec![0.9, 0.8, 0.3, 0.1];
+        // pairs: (0.9 vs 0.8) win, (0.9 vs 0.1) win, (0.3 vs 0.8) lose, (0.3 vs 0.1) win
+        assert!((auc_score(&scores, &labels) - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = auc_score(&[0.5], &[true, false]);
+    }
+}

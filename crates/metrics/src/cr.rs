@@ -1,0 +1,97 @@
+//! The Completeness Ratio (CR), Eqns. (24)–(25) of the paper.
+
+use grgad_graph::Group;
+
+/// The completeness score of a single ground-truth group against a set of
+/// predicted groups (Eqn. 24):
+///
+/// ```text
+/// s_g = max_{ĉ_i} ½ · ( |V̂_i ∩ V_g| / |V_g|  +  |V̂_i ∩ V_g| / |V̂_i| )
+/// ```
+///
+/// The first term measures how completely the true group was recovered, the
+/// second penalizes redundant nodes in the prediction. Returns 0 when there
+/// are no predictions.
+pub fn completeness_score(ground_truth: &Group, predictions: &[Group]) -> f32 {
+    if ground_truth.is_empty() {
+        return 0.0;
+    }
+    predictions
+        .iter()
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            let inter = ground_truth.overlap(p) as f32;
+            0.5 * (inter / ground_truth.len() as f32 + inter / p.len() as f32)
+        })
+        .fold(0.0_f32, f32::max)
+}
+
+/// The Completeness Ratio (Eqn. 25): the mean completeness score over all
+/// ground-truth groups. Returns 0 when there are no ground-truth groups.
+pub fn completeness_ratio(ground_truth: &[Group], predictions: &[Group]) -> f32 {
+    if ground_truth.is_empty() {
+        return 0.0;
+    }
+    ground_truth
+        .iter()
+        .map(|g| completeness_score(g, predictions))
+        .sum::<f32>()
+        / ground_truth.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let gt = vec![Group::new(vec![1, 2, 3]), Group::new(vec![7, 8])];
+        let cr = completeness_ratio(&gt, &gt.clone());
+        assert!((cr - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missing_nodes_lower_the_score() {
+        let gt = Group::new(vec![1, 2, 3, 4]);
+        let partial = Group::new(vec![1, 2]);
+        // coverage 2/4 = 0.5, precision 2/2 = 1.0 -> s = 0.75
+        let s = completeness_score(&gt, &[partial]);
+        assert!((s - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_nodes_lower_the_score() {
+        let gt = Group::new(vec![1, 2]);
+        let bloated = Group::new(vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        // coverage 1.0, precision 2/8 = 0.25 -> s = 0.625
+        let s = completeness_score(&gt, &[bloated]);
+        assert!((s - 0.625).abs() < 1e-6);
+    }
+
+    #[test]
+    fn best_prediction_is_used() {
+        let gt = Group::new(vec![1, 2, 3, 4]);
+        let poor = Group::new(vec![1, 9, 10]);
+        let good = Group::new(vec![1, 2, 3]);
+        let s_single = completeness_score(&gt, &[poor.clone()]);
+        let s_both = completeness_score(&gt, &[poor, good]);
+        assert!(s_both > s_single);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let gt = vec![Group::new(vec![1, 2])];
+        assert_eq!(completeness_ratio(&gt, &[]), 0.0);
+        assert_eq!(completeness_ratio(&[], &gt), 0.0);
+        assert_eq!(completeness_score(&Group::new(Vec::<usize>::new()), &gt), 0.0);
+    }
+
+    #[test]
+    fn cr_averages_over_ground_truth_groups() {
+        let gt = vec![Group::new(vec![1, 2]), Group::new(vec![5, 6])];
+        // Only the first group is detected, perfectly.
+        let pred = vec![Group::new(vec![1, 2])];
+        let cr = completeness_ratio(&gt, &pred);
+        assert!((cr - 0.5).abs() < 1e-6);
+    }
+}

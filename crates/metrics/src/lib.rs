@@ -1,0 +1,23 @@
+//! Group-level evaluation metrics for Gr-GAD (Sec. VII-A-2 of the paper).
+//!
+//! The paper evaluates along two axes:
+//!
+//! * **Detection accuracy** — group-wise F1 and AUC: every candidate group is
+//!   labeled anomalous/normal by matching it against the ground-truth anomaly
+//!   groups, predictions come from the detector's scores, and standard binary
+//!   classification metrics are computed *over groups* (not nodes).
+//! * **Detection completeness** — the Completeness Ratio (CR, Eqns. 24–25):
+//!   for every ground-truth group, the best-matching predicted group is
+//!   scored by the harmonic-style average of coverage (how much of the true
+//!   group was found) and precision (how much of the predicted group is not
+//!   redundant); CR is the mean over ground-truth groups.
+
+pub mod classification;
+pub mod cr;
+pub mod matching;
+pub mod report;
+
+pub use classification::{auc_score, f1_score, precision_recall};
+pub use cr::completeness_ratio;
+pub use matching::label_candidates;
+pub use report::{evaluate_detection, evaluate_predicted_groups, DetectionReport};

@@ -1,0 +1,80 @@
+//! Matching candidate groups against ground-truth anomaly groups.
+
+use grgad_graph::Group;
+
+/// Labels every candidate group as anomalous (`true`) or normal (`false`).
+///
+/// A candidate is anomalous when its Jaccard similarity with *some*
+/// ground-truth anomaly group reaches `min_jaccard`. The default used across
+/// the experiments is 0.5 — the candidate must share the majority of its
+/// nodes with a true anomaly group.
+pub fn label_candidates(candidates: &[Group], ground_truth: &[Group], min_jaccard: f32) -> Vec<bool> {
+    candidates
+        .iter()
+        .map(|c| {
+            ground_truth
+                .iter()
+                .any(|g| c.jaccard(g) >= min_jaccard && !c.is_empty())
+        })
+        .collect()
+}
+
+/// For each ground-truth group, the index of the best-matching candidate (by
+/// Jaccard), or `None` if there are no candidates.
+pub fn best_match_indices(ground_truth: &[Group], candidates: &[Group]) -> Vec<Option<usize>> {
+    ground_truth
+        .iter()
+        .map(|g| {
+            candidates
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    g.jaccard(a)
+                        .partial_cmp(&g.jaccard(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_is_anomalous() {
+        let gt = vec![Group::new(vec![1, 2, 3])];
+        let candidates = vec![Group::new(vec![1, 2, 3]), Group::new(vec![7, 8])];
+        assert_eq!(label_candidates(&candidates, &gt, 0.5), vec![true, false]);
+    }
+
+    #[test]
+    fn partial_overlap_respects_threshold() {
+        let gt = vec![Group::new(vec![1, 2, 3, 4])];
+        let half = Group::new(vec![1, 2]); // jaccard 2/4 = 0.5
+        let weak = Group::new(vec![1, 9, 10, 11]); // jaccard 1/7
+        let candidates = vec![half, weak];
+        assert_eq!(label_candidates(&candidates, &gt, 0.5), vec![true, false]);
+        assert_eq!(label_candidates(&candidates, &gt, 0.6), vec![false, false]);
+    }
+
+    #[test]
+    fn empty_ground_truth_labels_everything_normal() {
+        let candidates = vec![Group::new(vec![1, 2])];
+        assert_eq!(label_candidates(&candidates, &[], 0.5), vec![false]);
+        assert!(label_candidates(&[], &[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn best_match_finds_highest_jaccard() {
+        let gt = vec![Group::new(vec![1, 2, 3])];
+        let candidates = vec![
+            Group::new(vec![9, 10]),
+            Group::new(vec![1, 2, 3, 4]),
+            Group::new(vec![1]),
+        ];
+        assert_eq!(best_match_indices(&gt, &candidates), vec![Some(1)]);
+        assert_eq!(best_match_indices(&gt, &[]), vec![None]);
+    }
+}

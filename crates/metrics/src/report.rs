@@ -1,0 +1,233 @@
+//! One-call evaluation of a Gr-GAD detector's output.
+
+use grgad_graph::Group;
+
+use crate::classification::{auc_score, f1_score, precision_recall};
+use crate::cr::completeness_ratio;
+use crate::matching::label_candidates;
+
+/// The full set of group-level metrics reported in Table III of the paper,
+/// plus the average predicted-group size used in Fig. 5.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DetectionReport {
+    /// Completeness Ratio (Eqn. 25).
+    pub cr: f32,
+    /// Group-wise F1 score.
+    pub f1: f32,
+    /// Group-wise ROC-AUC.
+    pub auc: f32,
+    /// Group-wise precision.
+    pub precision: f32,
+    /// Group-wise recall.
+    pub recall: f32,
+    /// Average size (number of nodes) of the groups predicted anomalous.
+    pub avg_predicted_size: f32,
+    /// Number of candidate groups that were predicted anomalous.
+    pub num_predicted: usize,
+}
+
+/// Evaluates a detector's scored candidate groups against ground truth.
+///
+/// * `candidates` — all candidate groups examined by the detector.
+/// * `scores` — anomaly score per candidate (higher = more anomalous).
+/// * `predicted_anomalous` — boolean flag per candidate (e.g. thresholded by
+///   contamination or a score cutoff `τ`).
+/// * `ground_truth` — the true anomaly groups.
+/// * `match_jaccard` — Jaccard threshold for labeling a candidate anomalous
+///   (0.5 in all experiments).
+pub fn evaluate_detection(
+    candidates: &[Group],
+    scores: &[f32],
+    predicted_anomalous: &[bool],
+    ground_truth: &[Group],
+    match_jaccard: f32,
+) -> DetectionReport {
+    assert_eq!(candidates.len(), scores.len(), "evaluate_detection: scores length mismatch");
+    assert_eq!(
+        candidates.len(),
+        predicted_anomalous.len(),
+        "evaluate_detection: predictions length mismatch"
+    );
+    let labels = label_candidates(candidates, ground_truth, match_jaccard);
+    let f1 = f1_score(predicted_anomalous, &labels);
+    let (precision, recall) = precision_recall(predicted_anomalous, &labels);
+    let auc = auc_score(scores, &labels);
+
+    let predicted_groups: Vec<Group> = candidates
+        .iter()
+        .zip(predicted_anomalous)
+        .filter(|(_, &flag)| flag)
+        .map(|(g, _)| g.clone())
+        .collect();
+    let cr = completeness_ratio(ground_truth, &predicted_groups);
+    let avg_predicted_size = if predicted_groups.is_empty() {
+        0.0
+    } else {
+        predicted_groups.iter().map(|g| g.len()).sum::<usize>() as f32
+            / predicted_groups.len() as f32
+    };
+
+    DetectionReport {
+        cr,
+        f1,
+        auc,
+        precision,
+        recall,
+        avg_predicted_size,
+        num_predicted: predicted_groups.len(),
+    }
+}
+
+/// Evaluates a detector that only outputs *predicted anomalous groups*
+/// (no explicit normal candidates) — the situation of the N-GAD / Sub-GAD
+/// baselines, which flag top nodes and emit connected components.
+///
+/// Precision is the fraction of predicted groups that match a ground-truth
+/// group (Jaccard ≥ `match_jaccard`), recall the fraction of ground-truth
+/// groups matched by some prediction, F1 their harmonic mean. AUC is computed
+/// from the group scores against the matched/unmatched labels of the
+/// predictions. CR follows Eqn. 25.
+pub fn evaluate_predicted_groups(
+    predicted: &[Group],
+    scores: &[f32],
+    ground_truth: &[Group],
+    match_jaccard: f32,
+) -> DetectionReport {
+    assert_eq!(
+        predicted.len(),
+        scores.len(),
+        "evaluate_predicted_groups: scores length mismatch"
+    );
+    let matched_predictions = label_candidates(predicted, ground_truth, match_jaccard);
+    let matched_truth: Vec<bool> = ground_truth
+        .iter()
+        .map(|g| predicted.iter().any(|p| p.jaccard(g) >= match_jaccard))
+        .collect();
+
+    let tp = matched_predictions.iter().filter(|&&m| m).count();
+    let precision = if predicted.is_empty() {
+        0.0
+    } else {
+        tp as f32 / predicted.len() as f32
+    };
+    let recall = if ground_truth.is_empty() {
+        0.0
+    } else {
+        matched_truth.iter().filter(|&&m| m).count() as f32 / ground_truth.len() as f32
+    };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    let auc = auc_score(scores, &matched_predictions);
+    let cr = completeness_ratio(ground_truth, predicted);
+    let avg_predicted_size = if predicted.is_empty() {
+        0.0
+    } else {
+        predicted.iter().map(|g| g.len()).sum::<usize>() as f32 / predicted.len() as f32
+    };
+    DetectionReport {
+        cr,
+        f1,
+        auc,
+        precision,
+        recall,
+        avg_predicted_size,
+        num_predicted: predicted.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Vec<Group>, Vec<Group>) {
+        let gt = vec![Group::new(vec![0, 1, 2]), Group::new(vec![10, 11, 12, 13])];
+        let candidates = vec![
+            Group::new(vec![0, 1, 2]),        // matches gt[0]
+            Group::new(vec![10, 11, 12, 13]), // matches gt[1]
+            Group::new(vec![20, 21]),         // normal
+            Group::new(vec![30, 31, 32]),     // normal
+        ];
+        (gt, candidates)
+    }
+
+    #[test]
+    fn perfect_detection_maxes_all_metrics() {
+        let (gt, candidates) = setup();
+        let scores = vec![0.9, 0.8, 0.1, 0.2];
+        let preds = vec![true, true, false, false];
+        let report = evaluate_detection(&candidates, &scores, &preds, &gt, 0.5);
+        assert!((report.cr - 1.0).abs() < 1e-6);
+        assert!((report.f1 - 1.0).abs() < 1e-6);
+        assert!((report.auc - 1.0).abs() < 1e-6);
+        assert_eq!(report.num_predicted, 2);
+        assert!((report.avg_predicted_size - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missing_one_group_halves_recall_like_metrics() {
+        let (gt, candidates) = setup();
+        let scores = vec![0.9, 0.1, 0.2, 0.3];
+        let preds = vec![true, false, false, false];
+        let report = evaluate_detection(&candidates, &scores, &preds, &gt, 0.5);
+        assert!(report.recall < 1.0);
+        assert!((report.precision - 1.0).abs() < 1e-6);
+        assert!(report.cr < 1.0 && report.cr > 0.4);
+    }
+
+    #[test]
+    fn scoring_normal_groups_high_hurts_auc() {
+        let (gt, candidates) = setup();
+        let good_scores = vec![0.9, 0.8, 0.1, 0.2];
+        let bad_scores = vec![0.1, 0.2, 0.9, 0.8];
+        let preds = vec![true, true, false, false];
+        let good = evaluate_detection(&candidates, &good_scores, &preds, &gt, 0.5);
+        let bad = evaluate_detection(&candidates, &bad_scores, &preds, &gt, 0.5);
+        assert!(good.auc > bad.auc);
+    }
+
+    #[test]
+    fn empty_predictions_produce_zero_scores() {
+        let (gt, candidates) = setup();
+        let scores = vec![0.5; 4];
+        let preds = vec![false; 4];
+        let report = evaluate_detection(&candidates, &scores, &preds, &gt, 0.5);
+        assert_eq!(report.f1, 0.0);
+        assert_eq!(report.cr, 0.0);
+        assert_eq!(report.num_predicted, 0);
+        assert_eq!(report.avg_predicted_size, 0.0);
+    }
+
+    #[test]
+    fn predicted_group_evaluation_for_baselines() {
+        let (gt, _) = setup();
+        // Baseline predicts one correct group and one spurious group.
+        let predicted = vec![Group::new(vec![0, 1, 2]), Group::new(vec![40, 41])];
+        let scores = vec![0.9, 0.4];
+        let report = evaluate_predicted_groups(&predicted, &scores, &gt, 0.5);
+        assert!((report.precision - 0.5).abs() < 1e-6);
+        assert!((report.recall - 0.5).abs() < 1e-6);
+        assert!((report.f1 - 0.5).abs() < 1e-6);
+        assert!(report.auc > 0.9);
+        assert!(report.cr > 0.4 && report.cr < 0.6);
+        assert_eq!(report.num_predicted, 2);
+    }
+
+    #[test]
+    fn predicted_group_evaluation_handles_empty_predictions() {
+        let (gt, _) = setup();
+        let report = evaluate_predicted_groups(&[], &[], &gt, 0.5);
+        assert_eq!(report.f1, 0.0);
+        assert_eq!(report.cr, 0.0);
+        assert_eq!(report.avg_predicted_size, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let (gt, candidates) = setup();
+        let _ = evaluate_detection(&candidates, &[0.5], &[true, false, false, false], &gt, 0.5);
+    }
+}

@@ -1,0 +1,128 @@
+//! ECOD: unsupervised outlier detection using empirical cumulative
+//! distribution functions (Li et al., TKDE 2022).
+//!
+//! For every dimension the left- and right-tail empirical CDFs are estimated;
+//! an observation's dimension-wise outlier score is the negative log tail
+//! probability, aggregated across dimensions on the left tail, the right
+//! tail, and a skewness-selected tail. The final score is the maximum of the
+//! three aggregations — exactly the parameter-free procedure of the paper's
+//! chosen detector.
+
+use grgad_linalg::stats::{ecdf, skewness};
+use grgad_linalg::Matrix;
+
+use crate::OutlierDetector;
+
+/// The ECOD detector. Stateless and parameter-free.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Ecod;
+
+impl Ecod {
+    /// Creates a new ECOD detector.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl OutlierDetector for Ecod {
+    fn fit_score(&self, data: &Matrix) -> Vec<f32> {
+        let (m, d) = data.shape();
+        if m == 0 {
+            return Vec::new();
+        }
+        if d == 0 {
+            return vec![0.0; m];
+        }
+        let mut o_left = vec![0.0_f32; m];
+        let mut o_right = vec![0.0_f32; m];
+        let mut o_auto = vec![0.0_f32; m];
+
+        for j in 0..d {
+            let col: Vec<f32> = (0..m).map(|i| data[(i, j)]).collect();
+            let mut sorted = col.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let skew = skewness(&col);
+            for (i, &x) in col.iter().enumerate() {
+                let left_tail = ecdf(&sorted, x); // P(X <= x)
+                let right_tail = ecdf_right(&sorted, x); // P(X >= x)
+                let ol = -left_tail.max(1e-12).ln();
+                let or = -right_tail.max(1e-12).ln();
+                o_left[i] += ol;
+                o_right[i] += or;
+                // Skewness-corrected choice: for left-skewed dimensions the
+                // interesting tail is the left one, otherwise the right one.
+                o_auto[i] += if skew < 0.0 { ol } else { or };
+            }
+        }
+
+        (0..m)
+            .map(|i| o_left[i].max(o_right[i]).max(o_auto[i]))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "ECOD"
+    }
+}
+
+/// Right-tail empirical CDF value: the (smoothed) fraction of samples ≥ x.
+fn ecdf_right(sorted: &[f32], x: f32) -> f32 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.5;
+    }
+    let below = sorted.partition_point(|&v| v < x);
+    let count_ge = n - below;
+    (count_ge as f32 + 1.0) / (n as f32 + 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::assert_detects_outliers;
+
+    #[test]
+    fn detects_planted_outliers() {
+        assert_detects_outliers(&Ecod::new());
+    }
+
+    #[test]
+    fn extreme_values_on_both_tails_score_high() {
+        // 1-D data with one extreme low and one extreme high value.
+        let mut values = vec![0.0_f32; 20];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = i as f32 * 0.1;
+        }
+        values.push(-50.0);
+        values.push(50.0);
+        let data = Matrix::from_vec(values.len(), 1, values.clone());
+        let scores = Ecod::new().fit_score(&data);
+        let max_normal = scores[..20].iter().copied().fold(f32::MIN, f32::max);
+        assert!(scores[20] > max_normal, "low-tail outlier not detected");
+        assert!(scores[21] > max_normal, "high-tail outlier not detected");
+    }
+
+    #[test]
+    fn handles_degenerate_inputs() {
+        assert!(Ecod::new().fit_score(&Matrix::zeros(0, 3)).is_empty());
+        assert_eq!(Ecod::new().fit_score(&Matrix::zeros(4, 0)), vec![0.0; 4]);
+        // Constant data: all scores equal, no NaNs.
+        let constant = Matrix::full(5, 3, 1.0);
+        let scores = Ecod::new().fit_score(&constant);
+        assert!(scores.iter().all(|s| s.is_finite()));
+        let first = scores[0];
+        assert!(scores.iter().all(|&s| (s - first).abs() < 1e-6));
+    }
+
+    #[test]
+    fn scores_are_nonnegative_and_finite() {
+        let (data, _) = crate::test_support::cluster_with_outliers();
+        let scores = Ecod::new().fit_score(&data);
+        assert!(scores.iter().all(|&s| s.is_finite() && s >= 0.0));
+    }
+
+    #[test]
+    fn name_is_ecod() {
+        assert_eq!(Ecod::new().name(), "ECOD");
+    }
+}

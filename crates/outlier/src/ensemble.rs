@@ -1,0 +1,116 @@
+//! A SUOD-style ensemble: several base detectors are run on the same data and
+//! their rank-normalized scores are averaged. SUOD's contribution is the
+//! systems-level acceleration of large heterogeneous detector ensembles; the
+//! statistical behaviour that the paper relies on (robust consensus scoring)
+//! is reproduced here by the rank-average combination rule.
+
+use grgad_linalg::stats::ranks;
+use grgad_linalg::Matrix;
+
+use crate::{Ecod, IsolationForest, Lof, OutlierDetector, ZScore};
+
+/// An ensemble of boxed outlier detectors combined by rank averaging.
+pub struct Ensemble {
+    members: Vec<Box<dyn OutlierDetector>>,
+}
+
+impl Ensemble {
+    /// Creates an ensemble from the given members.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<Box<dyn OutlierDetector>>) -> Self {
+        assert!(!members.is_empty(), "Ensemble::new: need at least one member");
+        Self { members }
+    }
+
+    /// The default ensemble used in this workspace: ECOD + z-score + LOF +
+    /// isolation forest (mirroring a typical SUOD configuration).
+    pub fn suod_like(seed: u64) -> Self {
+        Self::new(vec![
+            Box::new(Ecod::new()),
+            Box::new(ZScore::new()),
+            Box::new(Lof::new(10)),
+            Box::new(IsolationForest::new(100, 64, seed)),
+        ])
+    }
+
+    /// Number of ensemble members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the ensemble has no members (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl OutlierDetector for Ensemble {
+    fn fit_score(&self, data: &Matrix) -> Vec<f32> {
+        let m = data.rows();
+        if m == 0 {
+            return Vec::new();
+        }
+        let mut combined = vec![0.0_f32; m];
+        for member in &self.members {
+            let scores = member.fit_score(data);
+            // Rank-normalize into [0, 1] so members with different scales get
+            // equal votes.
+            let r = ranks(&scores);
+            for (i, &rank) in r.iter().enumerate() {
+                combined[i] += (rank - 1.0) / (m.max(2) - 1) as f32;
+            }
+        }
+        for v in &mut combined {
+            *v /= self.members.len() as f32;
+        }
+        combined
+    }
+
+    fn name(&self) -> &'static str {
+        "Ensemble"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::assert_detects_outliers;
+
+    #[test]
+    fn detects_planted_outliers() {
+        assert_detects_outliers(&Ensemble::suod_like(1));
+    }
+
+    #[test]
+    fn scores_are_in_unit_interval() {
+        let (data, _) = crate::test_support::cluster_with_outliers();
+        let scores = Ensemble::suod_like(1).fit_score(&data);
+        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_rejected() {
+        let _ = Ensemble::new(Vec::new());
+    }
+
+    #[test]
+    fn single_member_matches_rank_order_of_that_member() {
+        let (data, _) = crate::test_support::cluster_with_outliers();
+        let base = Ecod::new().fit_score(&data);
+        let ens = Ensemble::new(vec![Box::new(Ecod::new())]).fit_score(&data);
+        // Same ordering of the top element.
+        let argmax = |v: &[f32]| {
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        assert_eq!(argmax(&base), argmax(&ens));
+        assert_eq!(Ensemble::suod_like(0).len(), 4);
+        assert!(!Ensemble::suod_like(0).is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Isolation Forest (Liu et al., 2008).
+//!
+//! Anomalies are isolated by fewer random axis-aligned splits than inliers,
+//! so their average path length across an ensemble of random isolation trees
+//! is shorter. The standard anomaly score `2^(-E[h(x)] / c(n))` is returned.
+
+use grgad_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::OutlierDetector;
+
+/// Isolation-forest detector.
+#[derive(Clone, Debug)]
+pub struct IsolationForest {
+    n_trees: usize,
+    sample_size: usize,
+    seed: u64,
+}
+
+impl IsolationForest {
+    /// Creates a forest with `n_trees` trees, each grown on a subsample of
+    /// `sample_size` rows.
+    pub fn new(n_trees: usize, sample_size: usize, seed: u64) -> Self {
+        Self {
+            n_trees: n_trees.max(1),
+            sample_size: sample_size.max(2),
+            seed,
+        }
+    }
+}
+
+impl Default for IsolationForest {
+    fn default() -> Self {
+        Self::new(100, 64, 0)
+    }
+}
+
+enum Node {
+    Leaf {
+        size: usize,
+    },
+    Split {
+        dim: usize,
+        threshold: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+fn build_tree(data: &Matrix, rows: &[usize], depth: usize, max_depth: usize, rng: &mut StdRng) -> Node {
+    if rows.len() <= 1 || depth >= max_depth {
+        return Node::Leaf { size: rows.len() };
+    }
+    let d = data.cols();
+    if d == 0 {
+        return Node::Leaf { size: rows.len() };
+    }
+    // Pick a random dimension with spread; give up after a few attempts.
+    for _ in 0..8 {
+        let dim = rng.gen_range(0..d);
+        let lo = rows.iter().map(|&r| data[(r, dim)]).fold(f32::INFINITY, f32::min);
+        let hi = rows.iter().map(|&r| data[(r, dim)]).fold(f32::NEG_INFINITY, f32::max);
+        if hi <= lo {
+            continue;
+        }
+        let threshold = rng.gen_range(lo..hi);
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+            rows.iter().partition(|&&r| data[(r, dim)] < threshold);
+        if left_rows.is_empty() || right_rows.is_empty() {
+            continue;
+        }
+        return Node::Split {
+            dim,
+            threshold,
+            left: Box::new(build_tree(data, &left_rows, depth + 1, max_depth, rng)),
+            right: Box::new(build_tree(data, &right_rows, depth + 1, max_depth, rng)),
+        };
+    }
+    Node::Leaf { size: rows.len() }
+}
+
+fn path_length(node: &Node, point: &[f32], depth: f32) -> f32 {
+    match node {
+        Node::Leaf { size } => depth + average_path_length(*size),
+        Node::Split {
+            dim,
+            threshold,
+            left,
+            right,
+        } => {
+            if point[*dim] < *threshold {
+                path_length(left, point, depth + 1.0)
+            } else {
+                path_length(right, point, depth + 1.0)
+            }
+        }
+    }
+}
+
+/// Average path length of an unsuccessful BST search in a tree of `n` items —
+/// the normalization constant `c(n)` from the original paper.
+fn average_path_length(n: usize) -> f32 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f32;
+    2.0 * ((n - 1.0).ln() + std::f32::consts::E.ln() - 1.0 + 0.577_215_66) - 2.0 * (n - 1.0) / n
+}
+
+impl OutlierDetector for IsolationForest {
+    fn fit_score(&self, data: &Matrix) -> Vec<f32> {
+        let m = data.rows();
+        if m == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let sample_size = self.sample_size.min(m);
+        let max_depth = (sample_size as f32).log2().ceil().max(1.0) as usize;
+
+        let mut trees = Vec::with_capacity(self.n_trees);
+        for _ in 0..self.n_trees {
+            let rows: Vec<usize> = (0..sample_size).map(|_| rng.gen_range(0..m)).collect();
+            trees.push(build_tree(data, &rows, 0, max_depth, &mut rng));
+        }
+        let c = average_path_length(sample_size).max(1e-6);
+        (0..m)
+            .map(|i| {
+                let avg: f32 = trees
+                    .iter()
+                    .map(|t| path_length(t, data.row(i), 0.0))
+                    .sum::<f32>()
+                    / trees.len() as f32;
+                2.0_f32.powf(-avg / c)
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "IsolationForest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::assert_detects_outliers;
+
+    #[test]
+    fn detects_planted_outliers() {
+        assert_detects_outliers(&IsolationForest::new(100, 32, 7));
+    }
+
+    #[test]
+    fn scores_bounded_between_zero_and_one() {
+        let (data, _) = crate::test_support::cluster_with_outliers();
+        let scores = IsolationForest::default().fit_score(&data);
+        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (data, _) = crate::test_support::cluster_with_outliers();
+        let a = IsolationForest::new(50, 32, 3).fit_score(&data);
+        let b = IsolationForest::new(50, 32, 3).fit_score(&data);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn handles_degenerate_inputs() {
+        assert!(IsolationForest::default().fit_score(&Matrix::zeros(0, 2)).is_empty());
+        let constant = Matrix::full(10, 2, 3.0);
+        let scores = IsolationForest::default().fit_score(&constant);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn average_path_length_monotone() {
+        assert_eq!(average_path_length(1), 0.0);
+        assert!(average_path_length(100) > average_path_length(10));
+    }
+}

@@ -1,0 +1,156 @@
+//! Unsupervised outlier detectors used to score TPGCL group embeddings.
+//!
+//! The paper feeds the candidate-group embeddings into an off-the-shelf
+//! unsupervised outlier detector — ECOD (Li et al., TKDE 2022) in the main
+//! experiments, with SUOD mentioned as an alternative ensemble accelerator.
+//! This crate implements:
+//!
+//! * [`Ecod`] — empirical-cumulative-distribution-based outlier detection,
+//!   the paper's default scorer.
+//! * [`ZScore`] — a simple Gaussian tail scorer (baseline / sanity check).
+//! * [`Lof`] — the Local Outlier Factor.
+//! * [`IsolationForest`] — isolation forests over the embedding space.
+//! * [`Ensemble`] — a SUOD-style average of rank-normalized detector scores.
+//!
+//! All detectors implement [`OutlierDetector`]: `fit_score` maps an
+//! `m × d` matrix of observations to `m` anomaly scores where **higher means
+//! more anomalous**.
+
+pub mod ecod;
+pub mod ensemble;
+pub mod iforest;
+pub mod lof;
+pub mod zscore;
+
+pub use ecod::Ecod;
+pub use ensemble::Ensemble;
+pub use iforest::IsolationForest;
+pub use lof::Lof;
+pub use zscore::ZScore;
+
+use grgad_linalg::Matrix;
+
+/// Common interface of all unsupervised outlier detectors.
+pub trait OutlierDetector {
+    /// Fits the detector on the rows of `data` and returns one anomaly score
+    /// per row (higher = more anomalous).
+    fn fit_score(&self, data: &Matrix) -> Vec<f32>;
+
+    /// A short human-readable name.
+    fn name(&self) -> &'static str;
+}
+
+/// Normalizes scores into `[0, 1]` by min-max scaling (constant scores map
+/// to 0.5 so thresholding stays meaningful).
+pub fn normalize_scores(scores: &[f32]) -> Vec<f32> {
+    let lo = scores.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let range = hi - lo;
+    if !range.is_finite() || range <= 0.0 {
+        return vec![0.5; scores.len()];
+    }
+    scores.iter().map(|&s| (s - lo) / range).collect()
+}
+
+/// Converts scores into binary predictions by flagging the top
+/// `contamination` fraction of rows (at least one when the input is
+/// non-empty and contamination > 0).
+pub fn threshold_by_contamination(scores: &[f32], contamination: f32) -> Vec<bool> {
+    let m = scores.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let contamination = contamination.clamp(0.0, 1.0);
+    if contamination == 0.0 {
+        return vec![false; m];
+    }
+    let k = ((m as f32 * contamination).round() as usize).clamp(1, m);
+    let mut idx: Vec<usize> = (0..m).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut flags = vec![false; m];
+    for &i in idx.iter().take(k) {
+        flags[i] = true;
+    }
+    flags
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// Shared helper for detector tests: a dense cluster plus clear outliers.
+    pub(crate) fn cluster_with_outliers() -> (Matrix, Vec<usize>) {
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        // 40 inliers near the origin (deterministic lattice jitter).
+        for i in 0..40 {
+            let dx = (i % 7) as f32 * 0.01;
+            let dy = (i % 5) as f32 * 0.01;
+            rows.push(vec![dx, dy]);
+        }
+        // 4 far-away outliers.
+        let outlier_idx = vec![40, 41, 42, 43];
+        rows.push(vec![5.0, 5.0]);
+        rows.push(vec![-6.0, 4.0]);
+        rows.push(vec![7.0, -5.0]);
+        rows.push(vec![-4.0, -6.0]);
+        let data = Matrix::from_vec(
+            rows.len(),
+            2,
+            rows.into_iter().flatten().collect::<Vec<f32>>(),
+        );
+        (data, outlier_idx)
+    }
+
+    /// Asserts that a detector ranks all planted outliers above the median
+    /// inlier.
+    pub(crate) fn assert_detects_outliers(detector: &dyn OutlierDetector) {
+        let (data, outliers) = cluster_with_outliers();
+        let scores = detector.fit_score(&data);
+        assert_eq!(scores.len(), data.rows());
+        let mut inlier_scores: Vec<f32> = (0..40).map(|i| scores[i]).collect();
+        inlier_scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_inlier = inlier_scores[20];
+        for &o in &outliers {
+            assert!(
+                scores[o] > median_inlier,
+                "{}: outlier {o} scored {} <= median inlier {median_inlier}",
+                detector.name(),
+                scores[o]
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_scores_handles_constant_and_regular_input() {
+        assert_eq!(normalize_scores(&[2.0, 2.0, 2.0]), vec![0.5, 0.5, 0.5]);
+        let n = normalize_scores(&[0.0, 5.0, 10.0]);
+        assert_eq!(n, vec![0.0, 0.5, 1.0]);
+        assert!(normalize_scores(&[]).is_empty());
+    }
+
+    #[test]
+    fn threshold_flags_top_fraction() {
+        let scores = vec![0.1, 0.9, 0.5, 0.7];
+        let flags = threshold_by_contamination(&scores, 0.5);
+        assert_eq!(flags, vec![false, true, false, true]);
+        assert_eq!(threshold_by_contamination(&scores, 0.0), vec![false; 4]);
+        // at least one flagged for tiny but positive contamination
+        assert_eq!(
+            threshold_by_contamination(&scores, 0.01)
+                .iter()
+                .filter(|&&b| b)
+                .count(),
+            1
+        );
+        assert!(threshold_by_contamination(&[], 0.5).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Local Outlier Factor (Breunig et al., 2000).
+//!
+//! LOF compares each point's local reachability density with that of its
+//! k nearest neighbors: points in sparser regions than their neighbors get
+//! factors above 1. Included as an ensemble member and baseline scorer.
+
+use grgad_linalg::ops::euclidean_distance;
+use grgad_linalg::Matrix;
+
+use crate::OutlierDetector;
+
+/// The LOF detector with a configurable neighborhood size.
+#[derive(Clone, Copy, Debug)]
+pub struct Lof {
+    k: usize,
+}
+
+impl Lof {
+    /// Creates a LOF detector using `k` nearest neighbors (k ≥ 1).
+    pub fn new(k: usize) -> Self {
+        Self { k: k.max(1) }
+    }
+
+    /// The configured neighborhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Default for Lof {
+    fn default() -> Self {
+        Self::new(10)
+    }
+}
+
+impl OutlierDetector for Lof {
+    fn fit_score(&self, data: &Matrix) -> Vec<f32> {
+        let m = data.rows();
+        if m == 0 {
+            return Vec::new();
+        }
+        if m == 1 {
+            return vec![1.0];
+        }
+        let k = self.k.min(m - 1);
+
+        // Pairwise distances and k-nearest neighbors.
+        let mut neighbors: Vec<Vec<(usize, f32)>> = Vec::with_capacity(m);
+        for i in 0..m {
+            let mut dists: Vec<(usize, f32)> = (0..m)
+                .filter(|&j| j != i)
+                .map(|j| (j, euclidean_distance(data.row(i), data.row(j))))
+                .collect();
+            dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            dists.truncate(k);
+            neighbors.push(dists);
+        }
+        // k-distance of each point = distance to its k-th neighbor.
+        let k_distance: Vec<f32> = neighbors
+            .iter()
+            .map(|nbrs| nbrs.last().map_or(0.0, |&(_, d)| d))
+            .collect();
+        // Local reachability density.
+        let lrd: Vec<f32> = (0..m)
+            .map(|i| {
+                let sum_reach: f32 = neighbors[i]
+                    .iter()
+                    .map(|&(j, d)| d.max(k_distance[j]))
+                    .sum();
+                if sum_reach <= 0.0 {
+                    f32::INFINITY
+                } else {
+                    neighbors[i].len() as f32 / sum_reach
+                }
+            })
+            .collect();
+        // LOF score: average neighbor lrd over own lrd.
+        (0..m)
+            .map(|i| {
+                if lrd[i].is_infinite() {
+                    return 1.0;
+                }
+                let avg_nbr_lrd: f32 = neighbors[i]
+                    .iter()
+                    .map(|&(j, _)| if lrd[j].is_infinite() { lrd[i] } else { lrd[j] })
+                    .sum::<f32>()
+                    / neighbors[i].len() as f32;
+                avg_nbr_lrd / lrd[i]
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "LOF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::assert_detects_outliers;
+
+    #[test]
+    fn detects_planted_outliers() {
+        assert_detects_outliers(&Lof::new(5));
+    }
+
+    #[test]
+    fn uniform_cluster_scores_near_one() {
+        // A regular grid: every point's density matches its neighbors'.
+        let mut rows = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                rows.push(vec![i as f32, j as f32]);
+            }
+        }
+        let data = Matrix::from_vec(25, 2, rows.into_iter().flatten().collect());
+        let scores = Lof::new(4).fit_score(&data);
+        for &s in &scores {
+            assert!((0.5..2.0).contains(&s), "grid LOF should be near 1, got {s}");
+        }
+    }
+
+    #[test]
+    fn handles_tiny_inputs() {
+        assert!(Lof::new(3).fit_score(&Matrix::zeros(0, 2)).is_empty());
+        assert_eq!(Lof::new(3).fit_score(&Matrix::zeros(1, 2)), vec![1.0]);
+        // duplicated points: no NaNs/inf
+        let dup = Matrix::full(4, 2, 1.0);
+        let scores = Lof::new(2).fit_score(&dup);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn k_is_clamped() {
+        assert_eq!(Lof::new(0).k(), 1);
+        // k larger than sample size still works
+        let data = Matrix::from_rows(&[&[0.0], &[1.0], &[10.0]]);
+        let scores = Lof::new(50).fit_score(&data);
+        assert_eq!(scores.len(), 3);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+}

@@ -1,0 +1,71 @@
+//! A simple Gaussian-tail outlier scorer: the sum of squared per-dimension
+//! z-scores. Used as a cheap baseline and as a member of the SUOD-style
+//! ensemble.
+
+use grgad_linalg::stats::{mean, std_dev};
+use grgad_linalg::Matrix;
+
+use crate::OutlierDetector;
+
+/// Sum-of-squared-z-scores detector.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ZScore;
+
+impl ZScore {
+    /// Creates a new z-score detector.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl OutlierDetector for ZScore {
+    fn fit_score(&self, data: &Matrix) -> Vec<f32> {
+        let (m, d) = data.shape();
+        if m == 0 {
+            return Vec::new();
+        }
+        let mut scores = vec![0.0_f32; m];
+        for j in 0..d {
+            let col: Vec<f32> = (0..m).map(|i| data[(i, j)]).collect();
+            let mu = mean(&col);
+            let sd = std_dev(&col);
+            if sd <= 0.0 {
+                continue;
+            }
+            for (i, &x) in col.iter().enumerate() {
+                let z = (x - mu) / sd;
+                scores[i] += z * z;
+            }
+        }
+        scores
+    }
+
+    fn name(&self) -> &'static str {
+        "ZScore"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::assert_detects_outliers;
+
+    #[test]
+    fn detects_planted_outliers() {
+        assert_detects_outliers(&ZScore::new());
+    }
+
+    #[test]
+    fn constant_columns_contribute_nothing() {
+        let data = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 10.0]]);
+        let scores = ZScore::new().fit_score(&data);
+        assert!(scores[2] > scores[0]);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(ZScore::new().fit_score(&Matrix::zeros(0, 2)).is_empty());
+        assert_eq!(ZScore::new().name(), "ZScore");
+    }
+}

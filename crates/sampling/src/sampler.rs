@@ -1,0 +1,302 @@
+//! Implementation of the candidate-group sampler.
+
+use std::collections::HashSet;
+
+use grgad_graph::algorithms::{bounded_bfs_tree, cycles_through, shortest_path};
+use grgad_graph::{Graph, Group};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyperparameters of Alg. 1.
+#[derive(Clone, Debug)]
+pub struct SamplingConfig {
+    /// Depth bound `t` of the tree search.
+    pub tree_depth: usize,
+    /// Maximum number of nodes admitted into any candidate group.
+    pub max_group_size: usize,
+    /// Maximum length (in nodes) of cycles reported by the cycle search.
+    pub max_cycle_len: usize,
+    /// Maximum number of cycles enumerated per anchor node.
+    pub max_cycles_per_anchor: usize,
+    /// Maximum length (in nodes) of paths admitted as candidate groups.
+    pub max_path_len: usize,
+    /// Maximum number of anchor pairs examined (pairs are subsampled with a
+    /// seeded RNG when the quadratic blow-up would exceed this bound).
+    pub max_anchor_pairs: usize,
+    /// Global cap on the number of candidate groups returned.
+    pub max_groups: usize,
+    /// Minimum group size (singletons are rarely meaningful groups).
+    pub min_group_size: usize,
+    /// Number of additional background reference groups sampled as BFS trees
+    /// rooted at random non-anchor nodes. These give the downstream outlier
+    /// detector a population of ordinary groups to contrast the anchor-based
+    /// candidates against (implementation note in DESIGN.md §4).
+    pub background_groups: usize,
+    /// RNG seed for pair subsampling.
+    pub seed: u64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        Self {
+            tree_depth: 2,
+            max_group_size: 30,
+            max_cycle_len: 10,
+            max_cycles_per_anchor: 5,
+            max_path_len: 12,
+            max_anchor_pairs: 2000,
+            max_groups: 1500,
+            min_group_size: 2,
+            background_groups: 200,
+            seed: 0,
+        }
+    }
+}
+
+/// Book-keeping about what the sampler produced, useful for experiment logs.
+#[derive(Clone, Debug, Default)]
+pub struct SamplingStats {
+    /// Number of groups discovered by the path search.
+    pub from_paths: usize,
+    /// Number of groups discovered by the tree search.
+    pub from_trees: usize,
+    /// Number of groups discovered by the cycle search.
+    pub from_cycles: usize,
+    /// Number of background reference groups added.
+    pub from_background: usize,
+    /// Number of exact-duplicate node sets discarded.
+    pub duplicates_removed: usize,
+    /// Number of anchor pairs examined.
+    pub pairs_examined: usize,
+}
+
+/// Samples candidate anomaly groups from the anchors (Alg. 1).
+pub fn sample_candidate_groups(
+    graph: &Graph,
+    anchors: &[usize],
+    config: &SamplingConfig,
+) -> (Vec<Group>, SamplingStats) {
+    let mut stats = SamplingStats::default();
+    let mut seen: HashSet<Group> = HashSet::new();
+    let mut groups: Vec<Group> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let push = |nodes: Vec<usize>,
+                    seen: &mut HashSet<Group>,
+                    groups: &mut Vec<Group>,
+                    stats: &mut SamplingStats,
+                    source: Source| {
+        if nodes.len() < config.min_group_size || nodes.len() > config.max_group_size {
+            return;
+        }
+        let group = Group::new(nodes);
+        if seen.insert(group.clone()) {
+            match source {
+                Source::Path => stats.from_paths += 1,
+                Source::Tree => stats.from_trees += 1,
+                Source::Cycle => stats.from_cycles += 1,
+                Source::Background => stats.from_background += 1,
+            }
+            groups.push(group);
+        } else {
+            stats.duplicates_removed += 1;
+        }
+    };
+
+    // Ordered anchor pairs, subsampled when quadratic growth is too large.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for &v in anchors {
+        for &mu in anchors {
+            if v != mu {
+                pairs.push((v, mu));
+            }
+        }
+    }
+    if pairs.len() > config.max_anchor_pairs {
+        pairs.shuffle(&mut rng);
+        pairs.truncate(config.max_anchor_pairs);
+    }
+    stats.pairs_examined = pairs.len();
+
+    for &(v, mu) in &pairs {
+        if groups.len() >= config.max_groups {
+            break;
+        }
+        // Path search (Line 5 of Alg. 1).
+        if let Some(path) = shortest_path(graph, v, mu) {
+            if path.len() <= config.max_path_len {
+                push(path, &mut seen, &mut groups, &mut stats, Source::Path);
+            }
+        }
+        // Tree search (Line 7 of Alg. 1): depth-bounded BFS tree from v.
+        let tree = bounded_bfs_tree(graph, v, config.tree_depth, config.max_group_size);
+        push(tree, &mut seen, &mut groups, &mut stats, Source::Tree);
+    }
+
+    // Cycle search per anchor (Line 10 of Alg. 1).
+    for &v in anchors {
+        if groups.len() >= config.max_groups {
+            break;
+        }
+        for cycle in cycles_through(graph, v, config.max_cycle_len, config.max_cycles_per_anchor) {
+            push(cycle, &mut seen, &mut groups, &mut stats, Source::Cycle);
+        }
+    }
+
+    // Background reference groups: BFS trees rooted at random non-anchor
+    // nodes, giving the outlier detector a baseline population of ordinary
+    // neighbourhood groups.
+    if config.background_groups > 0 && !anchors.is_empty() && graph.num_nodes() > anchors.len() {
+        let anchor_set: HashSet<usize> = anchors.iter().copied().collect();
+        let mut non_anchors: Vec<usize> =
+            (0..graph.num_nodes()).filter(|v| !anchor_set.contains(v)).collect();
+        non_anchors.shuffle(&mut rng);
+        for &root in non_anchors.iter().take(config.background_groups) {
+            let tree = bounded_bfs_tree(graph, root, config.tree_depth, config.max_group_size);
+            push(
+                tree,
+                &mut seen,
+                &mut groups,
+                &mut stats,
+                Source::Background,
+            );
+        }
+    }
+
+    groups.truncate(config.max_groups);
+    (groups, stats)
+}
+
+enum Source {
+    Path,
+    Tree,
+    Cycle,
+    Background,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A graph with a path region, a star (tree) region and a cycle region.
+    fn structured_graph() -> Graph {
+        let mut g = Graph::with_no_features(20);
+        // path: 0-1-2-3-4
+        for i in 0..4 {
+            g.add_edge(i, i + 1);
+        }
+        // star: 5 is hub for 6..10
+        for v in 6..=10 {
+            g.add_edge(5, v);
+        }
+        // cycle: 11-12-13-14-11
+        g.add_edge(11, 12);
+        g.add_edge(12, 13);
+        g.add_edge(13, 14);
+        g.add_edge(14, 11);
+        // connect regions loosely
+        g.add_edge(4, 5);
+        g.add_edge(10, 11);
+        g
+    }
+
+    #[test]
+    fn finds_path_tree_and_cycle_groups() {
+        let g = structured_graph();
+        let anchors = vec![0, 4, 5, 11, 13];
+        let (groups, stats) = sample_candidate_groups(&g, &anchors, &SamplingConfig::default());
+        assert!(!groups.is_empty());
+        assert!(stats.from_paths > 0, "expected path groups: {stats:?}");
+        assert!(stats.from_trees > 0, "expected tree groups: {stats:?}");
+        // The 4-cycle must appear as a candidate (regardless of which search
+        // discovered it first).
+        let cycle_group = Group::new(vec![11, 12, 13, 14]);
+        assert!(groups.contains(&cycle_group));
+    }
+
+    #[test]
+    fn cycle_search_contributes_when_trees_cannot_cover_the_cycle() {
+        // A 6-cycle: with tree depth 1 the BFS trees only see stars of size 3,
+        // so only the cycle search can produce the full ring.
+        let mut g = Graph::with_no_features(6);
+        for i in 0..6 {
+            g.add_edge(i, (i + 1) % 6);
+        }
+        let config = SamplingConfig {
+            tree_depth: 1,
+            ..Default::default()
+        };
+        let (groups, stats) = sample_candidate_groups(&g, &[0], &config);
+        assert!(stats.from_cycles > 0, "expected cycle groups: {stats:?}");
+        assert!(groups.contains(&Group::new(0..6)));
+    }
+
+    #[test]
+    fn no_duplicate_groups() {
+        let g = structured_graph();
+        let anchors = vec![0, 1, 2, 3, 4];
+        let (groups, _) = sample_candidate_groups(&g, &anchors, &SamplingConfig::default());
+        let unique: HashSet<&Group> = groups.iter().collect();
+        assert_eq!(unique.len(), groups.len());
+    }
+
+    #[test]
+    fn respects_group_size_bounds() {
+        let g = structured_graph();
+        let anchors = vec![0, 4, 5, 11];
+        let config = SamplingConfig {
+            max_group_size: 4,
+            min_group_size: 3,
+            ..Default::default()
+        };
+        let (groups, _) = sample_candidate_groups(&g, &anchors, &config);
+        assert!(groups.iter().all(|g| g.len() >= 3 && g.len() <= 4));
+    }
+
+    #[test]
+    fn respects_global_group_cap() {
+        let g = structured_graph();
+        let anchors: Vec<usize> = (0..15).collect();
+        let config = SamplingConfig {
+            max_groups: 5,
+            ..Default::default()
+        };
+        let (groups, _) = sample_candidate_groups(&g, &anchors, &config);
+        assert!(groups.len() <= 5);
+    }
+
+    #[test]
+    fn pair_subsampling_bounds_work() {
+        let g = structured_graph();
+        let anchors: Vec<usize> = (0..15).collect();
+        let config = SamplingConfig {
+            max_anchor_pairs: 10,
+            ..Default::default()
+        };
+        let (_, stats) = sample_candidate_groups(&g, &anchors, &config);
+        assert_eq!(stats.pairs_examined, 10);
+    }
+
+    #[test]
+    fn empty_anchors_give_empty_output() {
+        let g = structured_graph();
+        let (groups, stats) = sample_candidate_groups(&g, &[], &SamplingConfig::default());
+        assert!(groups.is_empty());
+        assert_eq!(stats.pairs_examined, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = structured_graph();
+        let anchors: Vec<usize> = (0..12).collect();
+        let config = SamplingConfig {
+            max_anchor_pairs: 20,
+            seed: 99,
+            ..Default::default()
+        };
+        let (a, _) = sample_candidate_groups(&g, &anchors, &config);
+        let (b, _) = sample_candidate_groups(&g, &anchors, &config);
+        assert_eq!(a, b);
+    }
+}

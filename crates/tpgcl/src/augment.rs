@@ -1,0 +1,352 @@
+//! Graph augmentations for contrastive learning.
+//!
+//! The paper introduces two topology-pattern-aware augmentations (Alg. 2):
+//!
+//! * **PPA** (Pattern-Preserving Augmentation) — *expands* each discovered
+//!   pattern: adds a child to tree roots, prolongs paths at an endpoint and
+//!   widens cycles, always giving the new node the average attributes of the
+//!   pattern's existing nodes. The pattern class is preserved, so the view
+//!   keeps the label-relevant information (Lemma 2).
+//! * **PBA** (Pattern-Breaking Augmentation) — *destroys* each pattern:
+//!   removes tree roots, middle nodes of paths and two nodes of each cycle,
+//!   so the view loses the label-relevant topology information (Lemma 1).
+//!
+//! Three conventional augmentations (node dropping, edge removing, feature
+//! masking) are included for the Fig. 6 ablation: they perturb randomly and
+//! may or may not break the pattern.
+
+use grgad_graph::patterns::path_middle;
+use grgad_graph::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::patterns::find_patterns;
+
+/// An augmentation strategy applied to a candidate group's induced subgraph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Augmentation {
+    /// Pattern-Preserving Augmentation (positive views).
+    PatternPreserving,
+    /// Pattern-Breaking Augmentation (negative views).
+    PatternBreaking,
+    /// Random node dropping (conventional baseline, "ND").
+    NodeDropping,
+    /// Random edge removing (conventional baseline, "ER").
+    EdgeRemoving,
+    /// Random feature masking (conventional baseline, "FM").
+    FeatureMasking,
+}
+
+impl Augmentation {
+    /// Short label used in the Fig. 6 heatmaps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Augmentation::PatternPreserving => "PPA",
+            Augmentation::PatternBreaking => "PBA",
+            Augmentation::NodeDropping => "ND",
+            Augmentation::EdgeRemoving => "ER",
+            Augmentation::FeatureMasking => "FM",
+        }
+    }
+
+    /// All five augmentations, in the order used by the Fig. 6 heatmaps.
+    pub fn all() -> [Augmentation; 5] {
+        [
+            Augmentation::PatternBreaking,
+            Augmentation::PatternPreserving,
+            Augmentation::NodeDropping,
+            Augmentation::EdgeRemoving,
+            Augmentation::FeatureMasking,
+        ]
+    }
+
+    /// Applies the augmentation to a group's induced subgraph, returning the
+    /// augmented view. The input is never modified.
+    pub fn apply(&self, subgraph: &Graph, rng: &mut StdRng) -> Graph {
+        match self {
+            Augmentation::PatternPreserving => pattern_preserving(subgraph, rng),
+            Augmentation::PatternBreaking => pattern_breaking(subgraph, rng),
+            Augmentation::NodeDropping => node_dropping(subgraph, rng),
+            Augmentation::EdgeRemoving => edge_removing(subgraph, rng),
+            Augmentation::FeatureMasking => feature_masking(subgraph, rng),
+        }
+    }
+}
+
+/// Average feature vector over a set of nodes (zeros if the set is empty).
+fn average_features(g: &Graph, nodes: &[usize]) -> Vec<f32> {
+    let d = g.feature_dim();
+    let mut out = vec![0.0_f32; d];
+    if nodes.is_empty() || d == 0 {
+        return out;
+    }
+    for &v in nodes {
+        for (j, &x) in g.features().row(v).iter().enumerate() {
+            out[j] += x;
+        }
+    }
+    for x in &mut out {
+        *x /= nodes.len() as f32;
+    }
+    out
+}
+
+/// Removes the listed nodes, returning the induced subgraph of the rest.
+/// At least one node is always kept.
+fn drop_nodes(g: &Graph, to_drop: &[usize]) -> Graph {
+    let drop_set: std::collections::HashSet<usize> = to_drop.iter().copied().collect();
+    let mut keep: Vec<usize> = (0..g.num_nodes()).filter(|v| !drop_set.contains(v)).collect();
+    if keep.is_empty() {
+        keep.push(0);
+    }
+    g.induced_subgraph(&keep).0
+}
+
+/// PPA — Alg. 2, positive branch: expand every found pattern.
+fn pattern_preserving(g: &Graph, rng: &mut StdRng) -> Graph {
+    let found = find_patterns(g);
+    let mut view = g.clone();
+
+    for tree in &found.trees {
+        // Add a new child to the root; attributes = average of other children.
+        let children: Vec<usize> = g.neighbors(tree.root).to_vec();
+        let feat = average_features(g, &children);
+        let child = view.add_node(&feat);
+        view.add_edge(tree.root, child);
+    }
+    for path in &found.paths {
+        // Prolong the path at one endpoint; attributes = average of path nodes.
+        let endpoint = *path.last().expect("non-empty path");
+        let feat = average_features(g, path);
+        let n = view.add_node(&feat);
+        view.add_edge(endpoint, n);
+    }
+    for cycle in &found.cycles {
+        // Widen the cycle: a new node bridging two random cycle nodes.
+        if cycle.len() < 2 {
+            continue;
+        }
+        let mut picks = cycle.clone();
+        picks.shuffle(rng);
+        let (n1, n2) = (picks[0], picks[1]);
+        let feat = average_features(g, cycle);
+        let n = view.add_node(&feat);
+        view.add_edge(n1, n);
+        view.add_edge(n2, n);
+    }
+
+    if found.is_empty() {
+        // Fallback when the group is too small/irregular to contain a pattern:
+        // attach a new average-attribute node to a random existing node so the
+        // view is still a slight expansion.
+        if view.num_nodes() > 0 {
+            let all: Vec<usize> = (0..g.num_nodes()).collect();
+            let feat = average_features(g, &all);
+            let anchor = rng.gen_range(0..view.num_nodes());
+            let n = view.add_node(&feat);
+            view.add_edge(anchor, n);
+        }
+    }
+    view
+}
+
+/// PBA — Alg. 2, negative branch: break every found pattern.
+fn pattern_breaking(g: &Graph, rng: &mut StdRng) -> Graph {
+    let found = find_patterns(g);
+    let mut to_drop: Vec<usize> = Vec::new();
+
+    for tree in &found.trees {
+        to_drop.push(tree.root);
+    }
+    for path in &found.paths {
+        if let Some(mid) = path_middle(path) {
+            to_drop.push(mid);
+        }
+    }
+    for cycle in &found.cycles {
+        let mut picks = cycle.clone();
+        picks.shuffle(rng);
+        to_drop.extend(picks.into_iter().take(2));
+    }
+
+    if to_drop.is_empty() && g.num_nodes() > 1 {
+        // Fallback: drop one random node so the negative view still differs.
+        to_drop.push(rng.gen_range(0..g.num_nodes()));
+    }
+    drop_nodes(g, &to_drop)
+}
+
+/// ND — drop roughly 15% of nodes at random (at least one).
+fn node_dropping(g: &Graph, rng: &mut StdRng) -> Graph {
+    let n = g.num_nodes();
+    if n <= 1 {
+        return g.clone();
+    }
+    let k = ((n as f32 * 0.15).ceil() as usize).clamp(1, n - 1);
+    let mut nodes: Vec<usize> = (0..n).collect();
+    nodes.shuffle(rng);
+    drop_nodes(g, &nodes[..k])
+}
+
+/// ER — remove roughly 15% of edges at random (at least one).
+fn edge_removing(g: &Graph, rng: &mut StdRng) -> Graph {
+    let mut view = g.clone();
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    if edges.is_empty() {
+        return view;
+    }
+    let k = ((edges.len() as f32 * 0.15).ceil() as usize).clamp(1, edges.len());
+    let mut shuffled = edges;
+    shuffled.shuffle(rng);
+    for &(u, v) in &shuffled[..k] {
+        view.remove_edge(u, v);
+    }
+    view
+}
+
+/// FM — zero out roughly 20% of feature entries at random.
+fn feature_masking(g: &Graph, rng: &mut StdRng) -> Graph {
+    let mut view = g.clone();
+    let d = view.feature_dim();
+    if d == 0 {
+        return view;
+    }
+    let n = view.num_nodes();
+    let features = view.features_mut();
+    for i in 0..n {
+        for j in 0..d {
+            if rng.gen_bool(0.2) {
+                features[(i, j)] = 0.0;
+            }
+        }
+    }
+    view
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grgad_graph::patterns::{classify, TopologyPattern};
+    use grgad_linalg::Matrix;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    fn path_group(n: usize) -> Graph {
+        let mut features = Matrix::zeros(n, 2);
+        for i in 0..n {
+            features[(i, 0)] = i as f32;
+            features[(i, 1)] = 1.0;
+        }
+        let mut g = Graph::new(n, features);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    fn star_group(leaves: usize) -> Graph {
+        let mut g = Graph::new(leaves + 1, Matrix::full(leaves + 1, 2, 1.0));
+        for i in 1..=leaves {
+            g.add_edge(0, i);
+        }
+        g
+    }
+
+    fn cycle_group(n: usize) -> Graph {
+        let mut g = path_group(n);
+        g.add_edge(0, n - 1);
+        g
+    }
+
+    #[test]
+    fn ppa_preserves_path_pattern_and_extends_it() {
+        let g = path_group(5);
+        let view = Augmentation::PatternPreserving.apply(&g, &mut rng());
+        assert_eq!(view.num_nodes(), 6);
+        assert_eq!(classify(&view), TopologyPattern::Path);
+        // New node's attributes are the average of the path nodes.
+        let avg0: f32 = (0..5).map(|i| g.features()[(i, 0)]).sum::<f32>() / 5.0;
+        assert!((view.features()[(5, 0)] - avg0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pba_breaks_path_pattern() {
+        let g = path_group(5);
+        let view = Augmentation::PatternBreaking.apply(&g, &mut rng());
+        // Dropping the middle node disconnects the path.
+        assert_eq!(view.num_nodes(), 4);
+        assert_eq!(classify(&view), TopologyPattern::Other);
+    }
+
+    #[test]
+    fn ppa_preserves_tree_and_pba_removes_root() {
+        let g = star_group(4);
+        let pos = Augmentation::PatternPreserving.apply(&g, &mut rng());
+        assert_eq!(classify(&pos), TopologyPattern::Tree);
+        assert!(pos.num_nodes() > g.num_nodes());
+        let neg = Augmentation::PatternBreaking.apply(&g, &mut rng());
+        // Without the hub the leaves are isolated.
+        assert_eq!(classify(&neg), TopologyPattern::Other);
+        assert!(neg.num_nodes() < g.num_nodes());
+    }
+
+    #[test]
+    fn ppa_preserves_cycle_and_pba_breaks_it() {
+        let g = cycle_group(6);
+        let pos = Augmentation::PatternPreserving.apply(&g, &mut rng());
+        assert_eq!(classify(&pos), TopologyPattern::Cycle);
+        let neg = Augmentation::PatternBreaking.apply(&g, &mut rng());
+        assert_ne!(classify(&neg), TopologyPattern::Cycle);
+        // Both the cycle pattern and the internal path pattern are broken, so
+        // at least two nodes are removed.
+        assert!(neg.num_nodes() <= 4);
+        assert!(neg.num_nodes() >= 1);
+    }
+
+    #[test]
+    fn conventional_augmentations_perturb_without_crashing() {
+        let g = cycle_group(8);
+        let mut r = rng();
+        let nd = Augmentation::NodeDropping.apply(&g, &mut r);
+        assert!(nd.num_nodes() < g.num_nodes());
+        let er = Augmentation::EdgeRemoving.apply(&g, &mut r);
+        assert!(er.num_edges() < g.num_edges());
+        assert_eq!(er.num_nodes(), g.num_nodes());
+        let fm = Augmentation::FeatureMasking.apply(&g, &mut r);
+        assert_eq!(fm.num_nodes(), g.num_nodes());
+        let zeros_before = g.features().as_slice().iter().filter(|&&x| x == 0.0).count();
+        let zeros_after = fm.features().as_slice().iter().filter(|&&x| x == 0.0).count();
+        assert!(zeros_after >= zeros_before);
+    }
+
+    #[test]
+    fn augmentations_never_return_empty_graphs() {
+        let mut r = rng();
+        let tiny = path_group(2);
+        for aug in Augmentation::all() {
+            let view = aug.apply(&tiny, &mut r);
+            assert!(view.num_nodes() >= 1, "{} produced empty graph", aug.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let labels: Vec<&str> = Augmentation::all().iter().map(|a| a.label()).collect();
+        assert_eq!(labels, vec!["PBA", "PPA", "ND", "ER", "FM"]);
+    }
+
+    #[test]
+    fn input_graph_is_not_modified() {
+        let g = path_group(5);
+        let before_nodes = g.num_nodes();
+        let before_edges = g.num_edges();
+        let _ = Augmentation::PatternPreserving.apply(&g, &mut rng());
+        let _ = Augmentation::PatternBreaking.apply(&g, &mut rng());
+        assert_eq!(g.num_nodes(), before_nodes);
+        assert_eq!(g.num_edges(), before_edges);
+    }
+}

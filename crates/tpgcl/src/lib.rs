@@ -1,0 +1,31 @@
+//! Topology Pattern-based Graph Contrastive Learning (TPGCL, Sec. V-D).
+//!
+//! TPGCL turns each candidate group into an embedding that encodes its
+//! topology-pattern information, so that an unsupervised outlier detector can
+//! separate anomalous groups from normal ones. Its three ingredients:
+//!
+//! * [`patterns`] — topology-pattern search inside a candidate group
+//!   (Alg. 2, line 4): paths, trees and cycles found in the group's induced
+//!   subgraph.
+//! * [`augment`] — the Pattern-Preserving Augmentation (**PPA**) and
+//!   Pattern-Breaking Augmentation (**PBA**) of Alg. 2, plus the three
+//!   conventional augmentations used as ablation baselines (node dropping,
+//!   edge removing, feature masking).
+//! * [`mine`] + [`trainer`] — the label-free contrastive objective of
+//!   Eqn. (8): a GCN group encoder `f_θ` and a MINE statistic network `Φ` are
+//!   trained to *minimize* the estimated mutual information between the
+//!   embeddings of positive (PPA) and negative (PBA) views, which by
+//!   Theorems 1–2 of the paper maximizes a lower bound of the Graph
+//!   Information Bottleneck objective.
+
+pub mod augment;
+pub mod encoder;
+pub mod mine;
+pub mod patterns;
+pub mod trainer;
+
+pub use augment::Augmentation;
+pub use encoder::GroupEncoder;
+pub use mine::MineEstimator;
+pub use patterns::{find_patterns, FoundPatterns};
+pub use trainer::{Tpgcl, TpgclConfig};

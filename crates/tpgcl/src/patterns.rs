@@ -1,0 +1,194 @@
+//! Topology-pattern search inside a candidate group (Alg. 2, line 4).
+//!
+//! For a candidate group's induced subgraph this module finds the three
+//! fundamental patterns the paper exploits:
+//!
+//! * **cycles** — bounded simple-cycle enumeration,
+//! * **paths** — the (approximate) longest path of the acyclic part,
+//! * **trees** — BFS trees rooted at high-degree hub nodes.
+//!
+//! The returned node indices are *local* to the group's induced subgraph,
+//! which is also the representation the augmentations operate on.
+
+use std::collections::HashSet;
+
+use grgad_graph::algorithms::{bounded_bfs_tree, cycles_through};
+use grgad_graph::patterns::{longest_path, tree_root};
+use grgad_graph::Graph;
+
+/// A rooted tree pattern found inside a group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreePattern {
+    /// Local index of the root (hub) node.
+    pub root: usize,
+    /// Local indices of the tree's nodes (root included).
+    pub nodes: Vec<usize>,
+}
+
+/// All patterns discovered inside one candidate group.
+#[derive(Clone, Debug, Default)]
+pub struct FoundPatterns {
+    /// Path patterns (each a node sequence).
+    pub paths: Vec<Vec<usize>>,
+    /// Rooted tree patterns.
+    pub trees: Vec<TreePattern>,
+    /// Cycle patterns (each a node sequence; the closing edge is implicit).
+    pub cycles: Vec<Vec<usize>>,
+}
+
+impl FoundPatterns {
+    /// True if no pattern of any kind was found.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty() && self.trees.is_empty() && self.cycles.is_empty()
+    }
+
+    /// Total number of patterns found.
+    pub fn total(&self) -> usize {
+        self.paths.len() + self.trees.len() + self.cycles.len()
+    }
+}
+
+/// Maximum cycle length searched within a group (groups are small, so this is
+/// generous).
+const MAX_CYCLE_LEN: usize = 12;
+/// Maximum number of cycles kept per group.
+const MAX_CYCLES: usize = 4;
+/// Minimum number of nodes for a path pattern to be meaningful.
+const MIN_PATH_LEN: usize = 3;
+/// Minimum degree for a node to be considered a tree hub.
+const MIN_HUB_DEGREE: usize = 3;
+
+/// Searches a candidate group's induced subgraph for topology patterns.
+pub fn find_patterns(subgraph: &Graph) -> FoundPatterns {
+    let n = subgraph.num_nodes();
+    let mut found = FoundPatterns::default();
+    if n < 2 {
+        return found;
+    }
+
+    // Cycles: enumerate from every node, deduplicate by node set.
+    let mut seen_cycles: HashSet<Vec<usize>> = HashSet::new();
+    'outer: for start in 0..n {
+        for cycle in cycles_through(subgraph, start, MAX_CYCLE_LEN, MAX_CYCLES) {
+            let mut key = cycle.clone();
+            key.sort_unstable();
+            if seen_cycles.insert(key) {
+                found.cycles.push(cycle);
+                if found.cycles.len() >= MAX_CYCLES {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    // Path: the (approximate) longest path of the subgraph.
+    let lp = longest_path(subgraph);
+    if lp.len() >= MIN_PATH_LEN {
+        found.paths.push(lp);
+    }
+
+    // Trees: BFS trees rooted at hub nodes (degree ≥ 3). Only the strongest
+    // hub is used — groups are small, and one rooted tree per group is what
+    // the PPA/PBA augmentations need.
+    if let Some(root) = tree_root(subgraph) {
+        if subgraph.degree(root) >= MIN_HUB_DEGREE {
+            let nodes = bounded_bfs_tree(subgraph, root, 2, n);
+            if nodes.len() >= 3 {
+                found.trees.push(TreePattern { root, nodes });
+            }
+        }
+    }
+
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::with_no_features(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    fn star_graph(leaves: usize) -> Graph {
+        let mut g = Graph::with_no_features(leaves + 1);
+        for i in 1..=leaves {
+            g.add_edge(0, i);
+        }
+        g
+    }
+
+    fn cycle_graph(n: usize) -> Graph {
+        let mut g = path_graph(n);
+        g.add_edge(0, n - 1);
+        g
+    }
+
+    #[test]
+    fn path_group_yields_path_pattern() {
+        let found = find_patterns(&path_graph(5));
+        assert_eq!(found.paths.len(), 1);
+        assert_eq!(found.paths[0].len(), 5);
+        assert!(found.cycles.is_empty());
+        assert!(found.trees.is_empty());
+        assert!(!found.is_empty());
+        assert_eq!(found.total(), 1);
+    }
+
+    #[test]
+    fn star_group_yields_tree_pattern() {
+        let found = find_patterns(&star_graph(4));
+        assert_eq!(found.trees.len(), 1);
+        assert_eq!(found.trees[0].root, 0);
+        assert_eq!(found.trees[0].nodes.len(), 5);
+    }
+
+    #[test]
+    fn cycle_group_yields_cycle_pattern() {
+        let found = find_patterns(&cycle_graph(6));
+        assert_eq!(found.cycles.len(), 1);
+        assert_eq!(found.cycles[0].len(), 6);
+    }
+
+    #[test]
+    fn mixed_group_yields_multiple_patterns() {
+        // A triangle with a long tail and a hub.
+        let mut g = cycle_graph(3);
+        let mut prev = 2;
+        for _ in 0..3 {
+            let v = g.add_node(&[]);
+            g.add_edge(prev, v);
+            prev = v;
+        }
+        // make node 2 a hub
+        let extra1 = g.add_node(&[]);
+        let extra2 = g.add_node(&[]);
+        g.add_edge(2, extra1);
+        g.add_edge(2, extra2);
+        let found = find_patterns(&g);
+        assert!(!found.cycles.is_empty());
+        assert!(!found.paths.is_empty());
+        assert!(!found.trees.is_empty());
+        assert!(found.total() >= 3);
+    }
+
+    #[test]
+    fn tiny_groups_yield_nothing() {
+        assert!(find_patterns(&Graph::with_no_features(0)).is_empty());
+        assert!(find_patterns(&Graph::with_no_features(1)).is_empty());
+        // two nodes, one edge: too short for any pattern
+        let mut g = Graph::with_no_features(2);
+        g.add_edge(0, 1);
+        assert!(find_patterns(&g).is_empty());
+    }
+
+    #[test]
+    fn cycles_are_deduplicated() {
+        let found = find_patterns(&cycle_graph(4));
+        assert_eq!(found.cycles.len(), 1);
+    }
+}

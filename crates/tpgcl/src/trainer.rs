@@ -1,0 +1,279 @@
+//! End-to-end TPGCL training (Sec. V-D, Eqn. 8).
+//!
+//! Each epoch: every candidate group is augmented into a positive view (PPA)
+//! and a negative view (PBA), both views are embedded by the shared group
+//! encoder `f_θ`, and the MINE-estimated objective of Eqn. (8) is minimized
+//! jointly over `f_θ` and the statistic network `Φ`. After training, the
+//! embeddings of the *original* candidate groups are returned for downstream
+//! outlier detection.
+
+use grgad_autograd::{Adam, Optimizer};
+use grgad_graph::{Graph, Group};
+use grgad_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::augment::Augmentation;
+use crate::encoder::GroupEncoder;
+use crate::mine::MineEstimator;
+
+/// Hyperparameters of TPGCL.
+#[derive(Clone, Debug)]
+pub struct TpgclConfig {
+    /// Hidden dimensionality of the group GCN encoder.
+    pub hidden_dim: usize,
+    /// Output embedding dimensionality (the paper uses 64).
+    pub embed_dim: usize,
+    /// Hidden dimensionality of the MINE statistic network `Φ`.
+    pub mine_hidden_dim: usize,
+    /// Number of training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Augmentation used to build positive views (PPA in the paper).
+    pub positive_augmentation: Augmentation,
+    /// Augmentation used to build negative views (PBA in the paper).
+    pub negative_augmentation: Augmentation,
+    /// Maximum number of marginal pairs per row inside the MINE loss.
+    pub max_marginal_pairs: usize,
+    /// Maximum number of candidate groups used per training epoch (groups are
+    /// subsampled deterministically when more are supplied).
+    pub max_training_groups: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpgclConfig {
+    fn default() -> Self {
+        Self {
+            hidden_dim: 64,
+            embed_dim: 64,
+            mine_hidden_dim: 64,
+            epochs: 50,
+            lr: 0.005,
+            positive_augmentation: Augmentation::PatternPreserving,
+            negative_augmentation: Augmentation::PatternBreaking,
+            max_marginal_pairs: 8,
+            max_training_groups: 256,
+            seed: 0,
+        }
+    }
+}
+
+/// The trained TPGCL model: group encoder + MINE statistic network.
+pub struct Tpgcl {
+    encoder: GroupEncoder,
+    mine: MineEstimator,
+    config: TpgclConfig,
+    loss_history: Vec<f32>,
+}
+
+impl Tpgcl {
+    /// Creates an untrained TPGCL model for groups whose nodes carry
+    /// `feature_dim` attributes.
+    pub fn new(feature_dim: usize, config: TpgclConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let encoder = GroupEncoder::new(feature_dim, config.hidden_dim, config.embed_dim, &mut rng);
+        let mine = MineEstimator::new(config.embed_dim, config.mine_hidden_dim, &mut rng)
+            .with_max_marginal_per_row(config.max_marginal_pairs);
+        Self {
+            encoder,
+            mine,
+            config,
+            loss_history: Vec::new(),
+        }
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TpgclConfig {
+        &self.config
+    }
+
+    /// Per-epoch loss values from the last [`Tpgcl::fit`] call.
+    pub fn loss_history(&self) -> &[f32] {
+        &self.loss_history
+    }
+
+    /// Trains on the candidate groups of `graph` and returns the final loss.
+    ///
+    /// # Panics
+    /// Panics if `groups` is empty.
+    pub fn fit(&mut self, graph: &Graph, groups: &[Group]) -> f32 {
+        assert!(!groups.is_empty(), "fit: need at least one candidate group");
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
+
+        // Deterministic subsample of training groups (evenly spaced) when the
+        // sampler produced more than the training budget.
+        let train_groups: Vec<&Group> = if groups.len() > self.config.max_training_groups {
+            let stride = groups.len() as f32 / self.config.max_training_groups as f32;
+            (0..self.config.max_training_groups)
+                .map(|i| &groups[(i as f32 * stride) as usize])
+                .collect()
+        } else {
+            groups.iter().collect()
+        };
+
+        let subgraphs: Vec<Graph> = train_groups
+            .iter()
+            .map(|g| g.induced_subgraph(graph).0)
+            .collect();
+
+        let mut params = self.encoder.parameters();
+        params.extend(self.mine.parameters());
+        let mut opt = Adam::new(params, self.config.lr);
+
+        self.loss_history.clear();
+        let mut final_loss = 0.0;
+        for _epoch in 0..self.config.epochs {
+            opt.zero_grad();
+            // Fresh augmented views every epoch.
+            let positive_views: Vec<Graph> = subgraphs
+                .iter()
+                .map(|sg| self.config.positive_augmentation.apply(sg, &mut rng))
+                .collect();
+            let negative_views: Vec<Graph> = subgraphs
+                .iter()
+                .map(|sg| self.config.negative_augmentation.apply(sg, &mut rng))
+                .collect();
+            let zp = self.encoder.forward_batch(&positive_views);
+            let zn = self.encoder.forward_batch(&negative_views);
+            let loss = self.mine.loss(&zp, &zn, &mut rng);
+            final_loss = loss.scalar_value();
+            self.loss_history.push(final_loss);
+            loss.backward();
+            opt.step();
+        }
+        final_loss
+    }
+
+    /// Embeds candidate groups with the trained encoder (`m × embed_dim`).
+    pub fn embed_groups(&self, graph: &Graph, groups: &[Group]) -> Matrix {
+        let subgraphs: Vec<Graph> = groups.iter().map(|g| g.induced_subgraph(graph).0).collect();
+        self.encoder.embed_batch(&subgraphs)
+    }
+
+    /// Access to the underlying group encoder.
+    pub fn encoder(&self) -> &GroupEncoder {
+        &self.encoder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A host graph containing several path-shaped groups and several
+    /// clique-shaped groups with distinct attribute profiles.
+    fn host_graph_with_groups() -> (Graph, Vec<Group>, Vec<Group>) {
+        let mut g = Graph::new(0, Matrix::zeros(0, 3));
+        let mut path_groups = Vec::new();
+        let mut clique_groups = Vec::new();
+        // 6 path groups of 5 nodes with attribute profile [1, 0, x]
+        for k in 0..6 {
+            let mut ids = Vec::new();
+            for i in 0..5 {
+                ids.push(g.add_node(&[1.0, 0.0, (k + i) as f32 * 0.1]));
+            }
+            for w in ids.windows(2) {
+                g.add_edge(w[0], w[1]);
+            }
+            path_groups.push(Group::new(ids));
+        }
+        // 6 clique groups of 5 nodes with attribute profile [0, 1, x]
+        for k in 0..6 {
+            let mut ids = Vec::new();
+            for i in 0..5 {
+                ids.push(g.add_node(&[0.0, 1.0, (k + i) as f32 * 0.1]));
+            }
+            for a in 0..ids.len() {
+                for b in (a + 1)..ids.len() {
+                    g.add_edge(ids[a], ids[b]);
+                }
+            }
+            clique_groups.push(Group::new(ids));
+        }
+        (g, path_groups, clique_groups)
+    }
+
+    fn quick_config() -> TpgclConfig {
+        TpgclConfig {
+            hidden_dim: 16,
+            embed_dim: 8,
+            mine_hidden_dim: 16,
+            epochs: 20,
+            lr: 0.01,
+            max_marginal_pairs: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fit_runs_and_records_losses() {
+        let (g, paths, cliques) = host_graph_with_groups();
+        let groups: Vec<Group> = paths.into_iter().chain(cliques).collect();
+        let mut model = Tpgcl::new(g.feature_dim(), quick_config());
+        let loss = model.fit(&g, &groups);
+        assert!(loss.is_finite());
+        assert_eq!(model.loss_history().len(), 20);
+    }
+
+    #[test]
+    fn embeddings_have_expected_shape_and_are_finite() {
+        let (g, paths, cliques) = host_graph_with_groups();
+        let groups: Vec<Group> = paths.into_iter().chain(cliques).collect();
+        let mut model = Tpgcl::new(g.feature_dim(), quick_config());
+        model.fit(&g, &groups);
+        let z = model.embed_groups(&g, &groups);
+        assert_eq!(z.shape(), (groups.len(), 8));
+        assert!(z.all_finite());
+    }
+
+    #[test]
+    fn embeddings_separate_structurally_distinct_groups() {
+        let (g, paths, cliques) = host_graph_with_groups();
+        let all: Vec<Group> = paths.iter().chain(cliques.iter()).cloned().collect();
+        let mut model = Tpgcl::new(g.feature_dim(), quick_config());
+        model.fit(&g, &all);
+        let zp = model.embed_groups(&g, &paths);
+        let zc = model.embed_groups(&g, &cliques);
+        // Average within-class distance should be smaller than the
+        // between-class distance of the class centroids.
+        let centroid = |m: &Matrix| m.mean_rows();
+        let cp = centroid(&zp);
+        let cc = centroid(&zc);
+        let between = grgad_linalg::ops::euclidean_distance(cp.row(0), cc.row(0));
+        assert!(between > 1e-4, "class centroids should differ, got {between}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate group")]
+    fn fit_rejects_empty_group_list() {
+        let (g, _, _) = host_graph_with_groups();
+        let mut model = Tpgcl::new(g.feature_dim(), quick_config());
+        model.fit(&g, &[]);
+    }
+
+    #[test]
+    fn group_subsampling_respects_budget() {
+        let (g, paths, cliques) = host_graph_with_groups();
+        let groups: Vec<Group> = paths.into_iter().chain(cliques).collect();
+        let mut config = quick_config();
+        config.max_training_groups = 4;
+        config.epochs = 3;
+        let mut model = Tpgcl::new(g.feature_dim(), config);
+        let loss = model.fit(&g, &groups);
+        assert!(loss.is_finite());
+    }
+
+    #[test]
+    fn alternative_augmentations_can_be_configured() {
+        let (g, paths, cliques) = host_graph_with_groups();
+        let groups: Vec<Group> = paths.into_iter().chain(cliques).collect();
+        let mut config = quick_config();
+        config.epochs = 3;
+        config.positive_augmentation = Augmentation::FeatureMasking;
+        config.negative_augmentation = Augmentation::EdgeRemoving;
+        let mut model = Tpgcl::new(g.feature_dim(), config);
+        assert!(model.fit(&g, &groups).is_finite());
+    }
+}

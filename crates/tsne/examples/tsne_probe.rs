@@ -1,0 +1,50 @@
+//! Quick probe of t-SNE separation for parameter tuning (not part of the
+//! public examples; see the workspace-level examples instead).
+
+use grgad_linalg::Matrix;
+use grgad_tsne::{tsne, TsneConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let per_class = 15;
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut data = Matrix::zeros(2 * per_class, 10);
+    for i in 0..2 * per_class {
+        let is_second = i >= per_class;
+        for j in 0..10 {
+            let center = if is_second { 6.0 } else { 0.0 };
+            data[(i, j)] = center + Matrix::rand_normal(1, 1, 0.3, &mut rng)[(0, 0)];
+        }
+    }
+    for (lr, iters, perp) in [(100.0, 250, 10.0), (50.0, 400, 10.0), (10.0, 500, 5.0), (200.0, 500, 10.0)] {
+        let y = tsne(
+            &data,
+            &TsneConfig {
+                learning_rate: lr,
+                iterations: iters,
+                perplexity: perp,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let centroid = |lo: usize, hi: usize| -> (f32, f32) {
+            let n = (hi - lo) as f32;
+            (
+                (lo..hi).map(|i| y[(i, 0)]).sum::<f32>() / n,
+                (lo..hi).map(|i| y[(i, 1)]).sum::<f32>() / n,
+            )
+        };
+        let c0 = centroid(0, per_class);
+        let c1 = centroid(per_class, 2 * per_class);
+        let between = ((c0.0 - c1.0).powi(2) + (c0.1 - c1.1).powi(2)).sqrt();
+        let spread = |lo: usize, hi: usize, c: (f32, f32)| -> f32 {
+            (lo..hi)
+                .map(|i| ((y[(i, 0)] - c.0).powi(2) + (y[(i, 1)] - c.1).powi(2)).sqrt())
+                .sum::<f32>()
+                / (hi - lo) as f32
+        };
+        let within = (spread(0, per_class, c0) + spread(per_class, 2 * per_class, c1)) / 2.0;
+        println!("lr={lr} iters={iters} perp={perp}: between={between:.3} within={within:.3} ratio={:.2}", between / within);
+    }
+}

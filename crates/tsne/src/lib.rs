@@ -1,0 +1,290 @@
+//! Exact t-SNE (van der Maaten & Hinton, 2008) for visualizing TPGCL group
+//! embeddings (Fig. 7 of the paper).
+//!
+//! The implementation is the classical exact algorithm: per-point
+//! perplexity-calibrated Gaussian affinities in the high-dimensional space,
+//! Student-t affinities in the low-dimensional map, and gradient descent with
+//! momentum and early exaggeration. The candidate-group sets in the
+//! experiments contain at most a few hundred points, so the O(n²) cost is
+//! negligible.
+
+use grgad_linalg::ops::pairwise_squared_distances;
+use grgad_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// t-SNE hyperparameters.
+#[derive(Clone, Debug)]
+pub struct TsneConfig {
+    /// Output dimensionality (2 for the paper's scatter plots).
+    pub output_dims: usize,
+    /// Perplexity of the Gaussian kernels (effective neighborhood size).
+    pub perplexity: f32,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Early-exaggeration factor applied for the first quarter of iterations.
+    pub early_exaggeration: f32,
+    /// RNG seed for the initial map.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            output_dims: 2,
+            perplexity: 15.0,
+            iterations: 400,
+            learning_rate: 50.0,
+            momentum: 0.8,
+            early_exaggeration: 4.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Embeds the rows of `data` into a low-dimensional map.
+///
+/// Returns an `n × output_dims` matrix. Degenerate inputs (fewer than 3 rows)
+/// are returned as small random maps.
+pub fn tsne(data: &Matrix, config: &TsneConfig) -> Matrix {
+    let n = data.rows();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    if n < 3 {
+        return Matrix::rand_normal(n, config.output_dims, 1e-2, &mut rng);
+    }
+    let p = joint_affinities(data, config.perplexity);
+    let mut y = Matrix::rand_normal(n, config.output_dims, 1e-2, &mut rng);
+    let mut velocity = Matrix::zeros(n, config.output_dims);
+    let exaggeration_cutoff = config.iterations / 4;
+
+    for iter in 0..config.iterations {
+        let exaggeration = if iter < exaggeration_cutoff {
+            config.early_exaggeration
+        } else {
+            1.0
+        };
+        let grad = gradient(&p, &y, exaggeration);
+        velocity = velocity
+            .scale(config.momentum)
+            .sub(&grad.scale(config.learning_rate));
+        y = y.add(&velocity);
+    }
+    // Center the map.
+    let mean = y.mean_rows();
+    for i in 0..n {
+        for j in 0..config.output_dims {
+            y[(i, j)] -= mean[(0, j)];
+        }
+    }
+    y
+}
+
+/// Symmetrized, perplexity-calibrated joint probabilities `P`.
+fn joint_affinities(data: &Matrix, perplexity: f32) -> Matrix {
+    let n = data.rows();
+    let d2 = pairwise_squared_distances(data);
+    let target_entropy = perplexity.max(2.0).ln();
+    let mut p = Matrix::zeros(n, n);
+
+    for i in 0..n {
+        // Binary search the precision beta_i so the conditional distribution
+        // has the target entropy.
+        let mut beta = 1.0_f32;
+        let (mut beta_lo, mut beta_hi) = (0.0_f32, f32::INFINITY);
+        let mut row = vec![0.0_f32; n];
+        for _ in 0..50 {
+            let mut sum = 0.0;
+            for j in 0..n {
+                row[j] = if i == j { 0.0 } else { (-beta * d2[(i, j)]).exp() };
+                sum += row[j];
+            }
+            if sum <= 0.0 {
+                break;
+            }
+            let mut entropy = 0.0;
+            for &v in row.iter() {
+                if v > 0.0 {
+                    let q = v / sum;
+                    entropy -= q * q.ln();
+                }
+            }
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-4 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_lo = beta;
+                beta = if beta_hi.is_finite() { (beta + beta_hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                beta_hi = beta;
+                beta = (beta + beta_lo) / 2.0;
+            }
+        }
+        let sum: f32 = row.iter().sum();
+        if sum > 0.0 {
+            for j in 0..n {
+                p[(i, j)] = row[j] / sum;
+            }
+        }
+    }
+    // Symmetrize and normalize.
+    let mut joint = Matrix::zeros(n, n);
+    let scale = 1.0 / (2.0 * n as f32);
+    for i in 0..n {
+        for j in 0..n {
+            joint[(i, j)] = ((p[(i, j)] + p[(j, i)]) * scale).max(1e-12);
+        }
+    }
+    joint
+}
+
+/// The exact t-SNE gradient with Student-t low-dimensional affinities.
+fn gradient(p: &Matrix, y: &Matrix, exaggeration: f32) -> Matrix {
+    let n = y.rows();
+    let dims = y.cols();
+    // Student-t numerators and normalization.
+    let d2 = pairwise_squared_distances(y);
+    let mut num = Matrix::zeros(n, n);
+    let mut z = 0.0_f32;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let v = 1.0 / (1.0 + d2[(i, j)]);
+                num[(i, j)] = v;
+                z += v;
+            }
+        }
+    }
+    let z = z.max(1e-12);
+    let mut grad = Matrix::zeros(n, dims);
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let q = (num[(i, j)] / z).max(1e-12);
+            let mult = (exaggeration * p[(i, j)] - q) * num[(i, j)];
+            for k in 0..dims {
+                grad[(i, k)] += 4.0 * mult * (y[(i, k)] - y[(j, k)]);
+            }
+        }
+    }
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grgad_linalg::ops::euclidean_distance;
+
+    /// Two well-separated Gaussian blobs in 10-D.
+    fn two_blobs(per_class: usize) -> (Matrix, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut data = Matrix::zeros(2 * per_class, 10);
+        let mut labels = Vec::new();
+        for i in 0..2 * per_class {
+            let is_second = i >= per_class;
+            for j in 0..10 {
+                let center = if is_second { 6.0 } else { 0.0 };
+                data[(i, j)] = center + Matrix::rand_normal(1, 1, 0.3, &mut rng)[(0, 0)];
+            }
+            labels.push(is_second);
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn output_shape_and_finiteness() {
+        let (data, _) = two_blobs(15);
+        let config = TsneConfig {
+            iterations: 100,
+            ..Default::default()
+        };
+        let y = tsne(&data, &config);
+        assert_eq!(y.shape(), (30, 2));
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn separated_clusters_stay_separated() {
+        let (data, labels) = two_blobs(15);
+        let config = TsneConfig {
+            iterations: 400,
+            perplexity: 10.0,
+            seed: 1,
+            ..Default::default()
+        };
+        let y = tsne(&data, &config);
+        // Centroids of the two classes in the map.
+        let centroid = |flag: bool| -> Vec<f32> {
+            let rows: Vec<usize> = labels
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l == flag)
+                .map(|(i, _)| i)
+                .collect();
+            let mut c = vec![0.0_f32; 2];
+            for &r in &rows {
+                c[0] += y[(r, 0)];
+                c[1] += y[(r, 1)];
+            }
+            c.iter().map(|v| v / rows.len() as f32).collect()
+        };
+        let c0 = centroid(false);
+        let c1 = centroid(true);
+        let between = euclidean_distance(&c0, &c1);
+        // Mean within-class spread.
+        let spread = |flag: bool, c: &[f32]| -> f32 {
+            let rows: Vec<usize> = labels
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l == flag)
+                .map(|(i, _)| i)
+                .collect();
+            rows.iter()
+                .map(|&r| euclidean_distance(&[y[(r, 0)], y[(r, 1)]], c))
+                .sum::<f32>()
+                / rows.len() as f32
+        };
+        let within = (spread(false, &c0) + spread(true, &c1)) / 2.0;
+        assert!(
+            between > within,
+            "clusters should separate: between {between}, within {within}"
+        );
+    }
+
+    #[test]
+    fn map_is_centered() {
+        let (data, _) = two_blobs(10);
+        let y = tsne(&data, &TsneConfig { iterations: 50, ..Default::default() });
+        let mean = y.mean_rows();
+        assert!(mean[(0, 0)].abs() < 1e-3);
+        assert!(mean[(0, 1)].abs() < 1e-3);
+    }
+
+    #[test]
+    fn tiny_inputs_do_not_crash() {
+        let data = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let y = tsne(&data, &TsneConfig::default());
+        assert_eq!(y.shape(), (2, 2));
+        let empty = tsne(&Matrix::zeros(0, 2), &TsneConfig::default());
+        assert_eq!(empty.rows(), 0);
+    }
+
+    #[test]
+    fn affinities_are_symmetric_probabilities() {
+        let (data, _) = two_blobs(8);
+        let p = joint_affinities(&data, 5.0);
+        let total: f32 = p.as_slice().iter().sum();
+        assert!((total - 1.0).abs() < 0.05, "total probability {total}");
+        for i in 0..p.rows() {
+            for j in 0..p.cols() {
+                assert!((p[(i, j)] - p[(j, i)]).abs() < 1e-6);
+            }
+        }
+    }
+}

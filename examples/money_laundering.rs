@@ -1,0 +1,72 @@
+//! Money-laundering detection on the AMLSim-style simML dataset.
+//!
+//! ```text
+//! cargo run --release --example money_laundering
+//! ```
+//!
+//! This is the workload the paper's introduction motivates: laundering groups
+//! form chains, fan-out trees and cycles inside a transaction graph. The
+//! example runs TP-GrGAD and a node-level baseline (DOMINANT generalized via
+//! connected components) side by side and compares what they recover.
+
+use tp_grgad::prelude::*;
+
+use tp_grgad::baselines::{detect_groups, BaselineConfig, Dominant, GroupExtractionConfig};
+use tp_grgad::graph::patterns::classify;
+use tp_grgad::metrics::evaluate_predicted_groups;
+
+fn main() {
+    // The simML money-laundering benchmark (AMLSim-style generator).
+    let dataset = datasets::simml::generate(DatasetScale::Small, 3);
+    let stats = dataset.statistics();
+    println!(
+        "simML: {} accounts, {} transactions, {} laundering groups (avg size {:.1})",
+        stats.nodes, stats.edges, stats.anomaly_groups, stats.avg_group_size
+    );
+    let (paths, trees, cycles, _) = dataset.pattern_statistics();
+    println!("ground-truth typologies: {paths} chains, {trees} fan-outs, {cycles} cycles\n");
+
+    // --- TP-GrGAD -----------------------------------------------------------
+    let mut config = TpGrGadConfig::fast().with_seed(3);
+    config.tpgcl.epochs = 25;
+    let (result, report) = TpGrGad::new(config).evaluate(&dataset);
+    println!(
+        "TP-GrGAD : CR {:.2}  F1 {:.2}  AUC {:.2}  ({} groups reported)",
+        report.cr, report.f1, report.auc, report.num_predicted
+    );
+
+    // Topology patterns of the reported groups — the clue the method exploits.
+    let mut reported_patterns = std::collections::BTreeMap::new();
+    for (group, _) in result.anomalous_groups() {
+        let (sub, _) = group.induced_subgraph(&dataset.graph);
+        *reported_patterns.entry(classify(&sub).name()).or_insert(0usize) += 1;
+    }
+    println!("reported group patterns: {reported_patterns:?}");
+
+    // --- DOMINANT baseline ---------------------------------------------------
+    let baseline = Dominant::new(BaselineConfig {
+        epochs: 60,
+        ..BaselineConfig::fast_test()
+    });
+    let detection = detect_groups(&baseline, &dataset.graph, &GroupExtractionConfig::default());
+    let baseline_report = evaluate_predicted_groups(
+        &detection.groups,
+        &detection.group_scores,
+        &dataset.anomaly_groups,
+        0.5,
+    );
+    println!(
+        "DOMINANT : CR {:.2}  F1 {:.2}  AUC {:.2}  ({} groups, avg size {:.1})",
+        baseline_report.cr,
+        baseline_report.f1,
+        baseline_report.auc,
+        baseline_report.num_predicted,
+        baseline_report.avg_predicted_size
+    );
+
+    println!(
+        "\nTP-GrGAD recovers whole laundering groups (avg reported size {:.1} vs ground truth {:.1}),\n\
+         while the node-level baseline fragments them — the paper's Fig. 5 observation.",
+        report.avg_predicted_size, stats.avg_group_size
+    );
+}

@@ -1,0 +1,45 @@
+//! # TP-GrGAD — Topology Pattern Enhanced Unsupervised Group-level Graph Anomaly Detection
+//!
+//! Umbrella crate for the TP-GrGAD reproduction workspace. It re-exports the
+//! individual crates so examples and downstream users can depend on a single
+//! crate:
+//!
+//! ```rust
+//! use tp_grgad::prelude::*;
+//!
+//! let dataset = datasets::example::generate(60, 0);
+//! let detector = TpGrGad::new(TpGrGadConfig::fast().with_seed(0));
+//! let result = detector.detect(&dataset.graph);
+//! assert_eq!(result.scores.len(), result.candidate_groups.len());
+//! ```
+//!
+//! See the repository README for the architecture overview and DESIGN.md for
+//! the paper-to-module mapping.
+
+pub use grgad_autograd as autograd;
+pub use grgad_baselines as baselines;
+pub use grgad_core as core;
+pub use grgad_datasets as datasets;
+pub use grgad_gnn as gnn;
+pub use grgad_graph as graph;
+pub use grgad_linalg as linalg;
+pub use grgad_metrics as metrics;
+pub use grgad_outlier as outlier;
+pub use grgad_sampling as sampling;
+pub use grgad_tpgcl as tpgcl;
+pub use grgad_tsne as tsne;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use grgad_baselines as baselines;
+    pub use grgad_core::{DetectorKind, TpGrGad, TpGrGadConfig, TpGrGadResult};
+    pub use grgad_datasets as datasets;
+    pub use grgad_datasets::{DatasetScale, GrGadDataset};
+    pub use grgad_gnn::{GaeConfig, MhGae, ReconstructionTarget};
+    pub use grgad_graph::{Graph, Group, TopologyPattern};
+    pub use grgad_linalg::{CsrMatrix, Matrix};
+    pub use grgad_metrics::{evaluate_detection, DetectionReport};
+    pub use grgad_outlier::{Ecod, OutlierDetector};
+    pub use grgad_sampling::{sample_candidate_groups, SamplingConfig};
+    pub use grgad_tpgcl::{Augmentation, Tpgcl, TpgclConfig};
+}

@@ -1,0 +1,104 @@
+//! Integration tests covering the baseline detectors, the group-level metrics
+//! and the dataset generators working together (the Table III / Fig. 5
+//! machinery).
+
+use tp_grgad::baselines::{
+    detect_groups, AsGae, BaselineConfig, DeepAe, Dominant, GroupExtractionConfig,
+    NodeAnomalyScorer,
+};
+use tp_grgad::metrics::{completeness_ratio, evaluate_predicted_groups};
+use tp_grgad::prelude::*;
+
+#[test]
+fn baselines_run_on_generated_datasets() {
+    let dataset = datasets::simml::generate(DatasetScale::Small, 4);
+    let config = BaselineConfig::fast_test();
+    let scorers: Vec<Box<dyn NodeAnomalyScorer>> = vec![
+        Box::new(Dominant::new(config.clone())),
+        Box::new(DeepAe::new(config.clone())),
+        Box::new(AsGae::new(config)),
+    ];
+    for scorer in scorers {
+        let detection = detect_groups(
+            scorer.as_ref(),
+            &dataset.graph,
+            &GroupExtractionConfig::default(),
+        );
+        assert_eq!(detection.node_scores.len(), dataset.graph.num_nodes());
+        let report = evaluate_predicted_groups(
+            &detection.groups,
+            &detection.group_scores,
+            &dataset.anomaly_groups,
+            0.5,
+        );
+        assert!(report.cr >= 0.0 && report.cr <= 1.0, "{}", scorer.name());
+        assert!(report.f1 >= 0.0 && report.f1 <= 1.0, "{}", scorer.name());
+    }
+}
+
+#[test]
+fn attribute_baseline_fragments_groups_relative_to_tp_grgad() {
+    // Fig. 5's observation: baselines report much smaller groups than the
+    // ground truth, TP-GrGAD tracks the true sizes more closely.
+    let dataset = datasets::simml::generate(DatasetScale::Small, 8);
+    let truth_avg = dataset.statistics().avg_group_size;
+
+    let detection = detect_groups(
+        &DeepAe::new(BaselineConfig::fast_test()),
+        &dataset.graph,
+        &GroupExtractionConfig::default(),
+    );
+    let baseline_avg = if detection.groups.is_empty() {
+        0.0
+    } else {
+        detection.groups.iter().map(|g| g.len()).sum::<usize>() as f32
+            / detection.groups.len() as f32
+    };
+
+    let (_, report) = TpGrGad::new(TpGrGadConfig::fast().with_seed(8)).evaluate(&dataset);
+    let tp_deviation = (report.avg_predicted_size - truth_avg).abs();
+    let baseline_deviation = (baseline_avg - truth_avg).abs();
+    assert!(
+        tp_deviation <= baseline_deviation + 1.5,
+        "TP-GrGAD group sizes ({:.1}) should track ground truth ({truth_avg:.1}) at least as well as the baseline ({baseline_avg:.1})",
+        report.avg_predicted_size
+    );
+}
+
+#[test]
+fn completeness_ratio_matches_hand_computed_values_on_datasets() {
+    let dataset = datasets::ethereum::generate(DatasetScale::Small, 2);
+    // Predicting exactly the ground truth gives CR 1; predicting nothing gives 0.
+    assert!((completeness_ratio(&dataset.anomaly_groups, &dataset.anomaly_groups) - 1.0).abs() < 1e-6);
+    assert_eq!(completeness_ratio(&dataset.anomaly_groups, &[]), 0.0);
+    // Predicting half of each group gives a CR strictly between.
+    let halves: Vec<Group> = dataset
+        .anomaly_groups
+        .iter()
+        .map(|g| Group::new(g.nodes().iter().copied().take(g.len() / 2).collect::<Vec<_>>()))
+        .collect();
+    let cr = completeness_ratio(&dataset.anomaly_groups, &halves);
+    assert!(cr > 0.0 && cr < 1.0);
+}
+
+#[test]
+fn dataset_generators_produce_table_two_pattern_mixes() {
+    let aml = datasets::amlpublic::generate(DatasetScale::Small, 0);
+    let (paths, trees, cycles, _) = aml.pattern_statistics();
+    assert!(paths > trees && cycles == 0, "AMLPublic should be path-dominant");
+
+    let eth = datasets::ethereum::generate(DatasetScale::Small, 0);
+    let (paths, trees, cycles, _) = eth.pattern_statistics();
+    assert!(trees + cycles > paths, "Ethereum should be tree/cycle-dominant");
+}
+
+#[test]
+fn saved_and_reloaded_dataset_gives_same_detection_input() {
+    let dataset = datasets::example::generate(60, 3);
+    let path = std::env::temp_dir().join("tp_grgad_integration_roundtrip.json");
+    tp_grgad::datasets::io::save_json(&dataset, &path).unwrap();
+    let reloaded = tp_grgad::datasets::io::load_json(&path).unwrap();
+    assert_eq!(dataset.statistics(), reloaded.statistics());
+    assert_eq!(dataset.anomaly_groups, reloaded.anomaly_groups);
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,124 @@
+//! Integration tests of the learning substrate: autograd + GNN + TPGCL + the
+//! t-SNE visualizer cooperating on non-trivial tasks.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tp_grgad::autograd::{Adam, Optimizer, Tensor};
+use tp_grgad::gnn::GcnEncoder;
+use tp_grgad::prelude::*;
+use tp_grgad::tsne::{tsne, TsneConfig};
+
+/// A two-community graph where the communities have different attribute
+/// profiles; a GCN trained with a simple contrastive-style loss should embed
+/// the communities separably.
+#[test]
+fn gcn_embeddings_separate_communities() {
+    let n = 40;
+    let mut features = Matrix::zeros(n, 4);
+    for i in 0..n {
+        if i < 20 {
+            features[(i, 0)] = 1.0;
+        } else {
+            features[(i, 1)] = 1.0;
+        }
+    }
+    let mut graph = Graph::new(n, features);
+    for i in 0..20 {
+        graph.add_edge(i, (i + 1) % 20);
+        graph.add_edge(20 + i, 20 + (i + 1) % 20);
+    }
+    graph.add_edge(0, 20); // single bridge
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let encoder = GcnEncoder::new(&[4, 16, 2], &mut rng);
+    let adj = graph.normalized_adjacency();
+    let x = Tensor::constant(graph.features().clone());
+
+    // Train embeddings to reconstruct the attribute communities (autoencoder
+    // style): gradient must flow through spmm + matmul + activations.
+    let mut opt = Adam::new(encoder.parameters(), 0.02);
+    let target = {
+        let mut t = Matrix::zeros(n, 2);
+        for i in 0..n {
+            t[(i, if i < 20 { 0 } else { 1 })] = 1.0;
+        }
+        t
+    };
+    for _ in 0..150 {
+        opt.zero_grad();
+        let z = encoder.forward(&adj, &x);
+        let loss = z.sigmoid().mse_loss(&target);
+        loss.backward();
+        opt.step();
+    }
+    let z = encoder.forward(&adj, &x).value_clone();
+    // Mean embedding of each community should differ markedly on some axis.
+    let mean_row = |range: std::ops::Range<usize>| -> Vec<f32> {
+        let mut m = vec![0.0; 2];
+        for i in range.clone() {
+            for j in 0..2 {
+                m[j] += z[(i, j)];
+            }
+        }
+        m.iter().map(|v| v / range.len() as f32).collect()
+    };
+    let a = mean_row(0..20);
+    let b = mean_row(20..40);
+    let dist = ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+    assert!(dist > 0.5, "community embeddings should separate, distance {dist}");
+}
+
+#[test]
+fn tpgcl_embeddings_feed_tsne_and_outlier_detection() {
+    let dataset = datasets::ethereum::generate(DatasetScale::Small, 6);
+    let config = TpGrGadConfig::fast().with_seed(6);
+    let result = TpGrGad::new(config).detect(&dataset.graph);
+    assert!(result.embeddings.rows() >= 10);
+
+    // t-SNE on the group embeddings (Fig. 7 machinery).
+    let map = tsne(
+        &result.embeddings,
+        &TsneConfig {
+            iterations: 60,
+            perplexity: 8.0,
+            ..Default::default()
+        },
+    );
+    assert_eq!(map.shape(), (result.embeddings.rows(), 2));
+    assert!(map.all_finite());
+
+    // Alternative detectors on the same embeddings agree on score count.
+    let ecod = Ecod::new().fit_score(&result.embeddings);
+    assert_eq!(ecod.len(), result.embeddings.rows());
+}
+
+#[test]
+fn augmentations_preserve_and_break_patterns_inside_real_groups() {
+    use tp_grgad::graph::patterns::{classify, TopologyPattern};
+    let dataset = datasets::simml::generate(DatasetScale::Small, 1);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut checked = 0;
+    for group in &dataset.anomaly_groups {
+        let (sub, _) = group.induced_subgraph(&dataset.graph);
+        let before = classify(&sub);
+        if before == TopologyPattern::Other {
+            continue;
+        }
+        let positive = Augmentation::PatternPreserving.apply(&sub, &mut rng);
+        assert_eq!(
+            classify(&positive),
+            before,
+            "PPA must preserve the {} pattern",
+            before.name()
+        );
+        let negative = Augmentation::PatternBreaking.apply(&sub, &mut rng);
+        assert_ne!(
+            classify(&negative),
+            before,
+            "PBA must break the {} pattern",
+            before.name()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 5, "expected to exercise several real groups, got {checked}");
+}
