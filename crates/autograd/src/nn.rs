@@ -57,7 +57,8 @@ impl Linear {
 
     /// Forward pass.
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        self.activation.apply(&x.matmul(&self.weight).add_bias(&self.bias))
+        self.activation
+            .apply(&x.matmul(&self.weight).add_bias(&self.bias))
     }
 
     /// Trainable parameters of this layer.
@@ -94,10 +95,17 @@ impl Mlp {
         out_act: Activation,
         rng: &mut R,
     ) -> Self {
-        assert!(sizes.len() >= 2, "Mlp::new: need at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "Mlp::new: need at least input and output sizes"
+        );
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for i in 0..sizes.len() - 1 {
-            let act = if i + 2 == sizes.len() { out_act } else { hidden_act };
+            let act = if i + 2 == sizes.len() {
+                out_act
+            } else {
+                hidden_act
+            };
             layers.push(Linear::new(sizes[i], sizes[i + 1], act, rng));
         }
         Self { layers }
@@ -144,7 +152,12 @@ mod tests {
     #[test]
     fn mlp_layer_construction() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mlp = Mlp::new(&[8, 16, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let mlp = Mlp::new(
+            &[8, 16, 4, 1],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
         assert_eq!(mlp.num_layers(), 3);
         assert_eq!(mlp.parameters().len(), 6);
         let x = Tensor::constant(Matrix::zeros(2, 8));

@@ -369,7 +369,11 @@ impl Tensor {
     /// Binary cross-entropy with logits against a constant 0/1 target,
     /// averaged over all elements: `mean(softplus(x) - t*x)`.
     pub fn bce_with_logits_loss(&self, target: &Matrix) -> Tensor {
-        assert_eq!(self.shape(), target.shape(), "bce_with_logits: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            target.shape(),
+            "bce_with_logits: shape mismatch"
+        );
         let t = Tensor::constant(target.clone());
         self.softplus().sub(&t.mul(self)).mean()
     }
@@ -397,7 +401,10 @@ mod tests {
         let a = Tensor::constant(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
         let b = Tensor::constant(Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]));
         let c = a.matmul(&b);
-        assert_eq!(c.value_clone(), Matrix::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]]));
+        assert_eq!(
+            c.value_clone(),
+            Matrix::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]])
+        );
         assert!(!c.requires_grad());
     }
 
@@ -422,11 +429,21 @@ mod tests {
         let adj = CsrMatrix::from_triplets(
             3,
             3,
-            vec![(0, 1, 1.0), (1, 0, 1.0), (1, 2, 0.5), (2, 1, 0.5), (0, 0, 1.0)],
+            vec![
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 0.5),
+                (2, 1, 0.5),
+                (0, 0, 1.0),
+            ],
         );
         let mut r = rng();
         let p = Matrix::rand_uniform(3, 2, -1.0, 1.0, &mut r);
-        check_gradient(p, |t| Tensor::spmm(&adj, t).mul(&Tensor::spmm(&adj, t)).sum(), 2e-2);
+        check_gradient(
+            p,
+            |t| Tensor::spmm(&adj, t).mul(&Tensor::spmm(&adj, t)).sum(),
+            2e-2,
+        );
     }
 
     #[test]
@@ -434,9 +451,21 @@ mod tests {
         let mut r = rng();
         let other = Matrix::rand_uniform(2, 2, 0.5, 1.5, &mut r);
         let p = Matrix::rand_uniform(2, 2, 0.5, 1.5, &mut r);
-        check_gradient(p.clone(), |t| t.add(&Tensor::constant(other.clone())).sum(), 1e-2);
-        check_gradient(p.clone(), |t| t.sub(&Tensor::constant(other.clone())).sum(), 1e-2);
-        check_gradient(p.clone(), |t| t.mul(&Tensor::constant(other.clone())).sum(), 1e-2);
+        check_gradient(
+            p.clone(),
+            |t| t.add(&Tensor::constant(other.clone())).sum(),
+            1e-2,
+        );
+        check_gradient(
+            p.clone(),
+            |t| t.sub(&Tensor::constant(other.clone())).sum(),
+            1e-2,
+        );
+        check_gradient(
+            p.clone(),
+            |t| t.mul(&Tensor::constant(other.clone())).sum(),
+            1e-2,
+        );
         check_gradient(p.clone(), |t| t.scale(2.5).sum(), 1e-2);
         check_gradient(p, |t| t.add_scalar(3.0).mul(t).sum(), 1e-2);
     }
@@ -464,8 +493,24 @@ mod tests {
         check_gradient(p.clone(), |t| t.transpose().mul(&t.transpose()).sum(), 1e-2);
         check_gradient(p.clone(), |t| t.select_rows(&[0, 2, 2]).sum(), 1e-2);
         let other = Matrix::rand_uniform(3, 2, -1.0, 1.0, &mut r);
-        check_gradient(p.clone(), |t| t.hstack(&Tensor::constant(other.clone())).mul(&t.hstack(&Tensor::constant(other.clone()))).sum(), 1e-2);
-        check_gradient(p, |t| t.vstack(&Tensor::constant(other.clone())).mul(&t.vstack(&Tensor::constant(other.clone()))).sum(), 1e-2);
+        check_gradient(
+            p.clone(),
+            |t| {
+                t.hstack(&Tensor::constant(other.clone()))
+                    .mul(&t.hstack(&Tensor::constant(other.clone())))
+                    .sum()
+            },
+            1e-2,
+        );
+        check_gradient(
+            p,
+            |t| {
+                t.vstack(&Tensor::constant(other.clone()))
+                    .mul(&t.vstack(&Tensor::constant(other.clone())))
+                    .sum()
+            },
+            1e-2,
+        );
     }
 
     #[test]
@@ -473,7 +518,16 @@ mod tests {
         let mut r = rng();
         let x = Matrix::rand_uniform(4, 3, -1.0, 1.0, &mut r);
         let bias = Matrix::rand_uniform(1, 3, -1.0, 1.0, &mut r);
-        check_gradient(bias, |b| Tensor::constant(x.clone()).add_bias(b).mul(&Tensor::constant(x.clone()).add_bias(b)).sum(), 1e-2);
+        check_gradient(
+            bias,
+            |b| {
+                Tensor::constant(x.clone())
+                    .add_bias(b)
+                    .mul(&Tensor::constant(x.clone()).add_bias(b))
+                    .sum()
+            },
+            1e-2,
+        );
     }
 
     #[test]
@@ -481,7 +535,11 @@ mod tests {
         let mut r = rng();
         let p = Matrix::rand_uniform(4, 3, -1.0, 1.0, &mut r);
         let edges = vec![(0usize, 1usize), (1, 2), (2, 3), (0, 3)];
-        check_gradient(p, |t| t.edge_dot(&edges).mul(&t.edge_dot(&edges)).sum(), 2e-2);
+        check_gradient(
+            p,
+            |t| t.edge_dot(&edges).mul(&t.edge_dot(&edges)).sum(),
+            2e-2,
+        );
     }
 
     #[test]
@@ -501,7 +559,11 @@ mod tests {
         let x = Tensor::parameter(Matrix::from_rows(&[&[3.0, -2.0]]));
         let y = x.mul(&x).sum();
         y.backward();
-        assert_close(&x.grad().unwrap(), &Matrix::from_rows(&[&[6.0, -4.0]]), 1e-5);
+        assert_close(
+            &x.grad().unwrap(),
+            &Matrix::from_rows(&[&[6.0, -4.0]]),
+            1e-5,
+        );
     }
 
     #[test]

@@ -135,7 +135,9 @@ impl Optimizer for Adam {
             if self.weight_decay > 0.0 {
                 grad = grad.add(&value.scale(self.weight_decay));
             }
-            self.m[i] = self.m[i].scale(self.beta1).add(&grad.scale(1.0 - self.beta1));
+            self.m[i] = self.m[i]
+                .scale(self.beta1)
+                .add(&grad.scale(1.0 - self.beta1));
             self.v[i] = self.v[i]
                 .scale(self.beta2)
                 .add(&grad.hadamard(&grad).scale(1.0 - self.beta2));

@@ -150,7 +150,11 @@ impl Tensor {
     /// Runs reverse-mode differentiation seeding the output gradient with
     /// `seed` (must match this tensor's shape).
     pub fn backward_with(&self, seed: Matrix) {
-        assert_eq!(self.shape(), seed.shape(), "backward_with: seed shape mismatch");
+        assert_eq!(
+            self.shape(),
+            seed.shape(),
+            "backward_with: seed shape mismatch"
+        );
         // Topological order (children before parents) via iterative DFS.
         let order = self.topological_order();
         self.accumulate_grad(&seed);

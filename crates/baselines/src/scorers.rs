@@ -130,7 +130,13 @@ impl DeepAe {
             return vec![0.0; features.rows()];
         }
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let sizes = [d, self.config.hidden_dim, self.config.embed_dim, self.config.hidden_dim, d];
+        let sizes = [
+            d,
+            self.config.hidden_dim,
+            self.config.embed_dim,
+            self.config.hidden_dim,
+            d,
+        ];
         let ae = Mlp::new(&sizes, Activation::Relu, Activation::Identity, &mut rng);
         let mut opt = Adam::new(ae.parameters(), self.config.lr);
         let x = Tensor::constant(features.clone());
@@ -309,13 +315,23 @@ impl DeepFd {
         } else {
             nbrs.iter()
                 .map(|&u| {
-                    grgad_linalg::ops::cosine_similarity(graph.features().row(v), graph.features().row(u))
+                    grgad_linalg::ops::cosine_similarity(
+                        graph.features().row(v),
+                        graph.features().row(u),
+                    )
                 })
                 .sum::<f32>()
                 / nbrs.len() as f32
         };
         let attr_norm = graph.features().row_norm(v);
-        [deg, mean_nbr_deg, clustering, two_hop.len() as f32, mean_sim, attr_norm]
+        [
+            deg,
+            mean_nbr_deg,
+            clustering,
+            two_hop.len() as f32,
+            mean_sim,
+            attr_norm,
+        ]
     }
 }
 
@@ -419,8 +435,13 @@ mod tests {
         let (g, anomalous) = toy_graph();
         let scores = scorer.score_nodes(&g);
         assert_eq!(scores.len(), g.num_nodes());
-        assert!(scores.iter().all(|s| s.is_finite()), "{} produced NaN", scorer.name());
-        let anom_mean: f32 = anomalous.iter().map(|&v| scores[v]).sum::<f32>() / anomalous.len() as f32;
+        assert!(
+            scores.iter().all(|s| s.is_finite()),
+            "{} produced NaN",
+            scorer.name()
+        );
+        let anom_mean: f32 =
+            anomalous.iter().map(|&v| scores[v]).sum::<f32>() / anomalous.len() as f32;
         let normal_mean: f32 = (0..24).map(|v| scores[v]).sum::<f32>() / 24.0;
         assert!(
             anom_mean > normal_mean,
@@ -444,7 +465,9 @@ mod tests {
         let (g, _) = toy_graph();
         let scores = Dominant::new(BaselineConfig::fast_test()).score_nodes(&g);
         assert_eq!(scores.len(), g.num_nodes());
-        assert!(scores.iter().all(|s| s.is_finite() && (0.0..=1.0).contains(s)));
+        assert!(scores
+            .iter()
+            .all(|s| s.is_finite() && (0.0..=1.0).contains(s)));
     }
 
     #[test]
@@ -464,8 +487,8 @@ mod tests {
         assert!(scores.iter().all(|s| s.is_finite()));
         // interior anomalous nodes (away from the attachment point) should not
         // be zero-scored thanks to the smoothing
-        let interior_mean: f32 = anomalous[2..].iter().map(|&v| scores[v]).sum::<f32>()
-            / (anomalous.len() - 2) as f32;
+        let interior_mean: f32 =
+            anomalous[2..].iter().map(|&v| scores[v]).sum::<f32>() / (anomalous.len() - 2) as f32;
         assert!(interior_mean > 0.0);
     }
 
@@ -499,6 +522,9 @@ mod tests {
             DeepFd::new(BaselineConfig::fast_test()).name(),
             AsGae::new(BaselineConfig::fast_test()).name(),
         ];
-        assert_eq!(names, vec!["DOMINANT", "DeepAE", "ComGA", "DeepFD", "AS-GAE"]);
+        assert_eq!(
+            names,
+            vec!["DOMINANT", "DeepAE", "ComGA", "DeepFD", "AS-GAE"]
+        );
     }
 }

@@ -29,7 +29,10 @@ fn main() {
                 .or_default()
                 .push(gt_avg);
             for &method in &methods {
-                eprintln!("[fig5] seed={seed} dataset={} method={method}", dataset.name);
+                eprintln!(
+                    "[fig5] seed={seed} dataset={} method={method}",
+                    dataset.name
+                );
                 let report = if method == "TP-GrGAD" {
                     run_tp_grgad(dataset, options.scale, seed)
                 } else {

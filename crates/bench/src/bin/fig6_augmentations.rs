@@ -26,7 +26,10 @@ fn main() {
     let mut json: BTreeMap<String, BTreeMap<String, f32>> = BTreeMap::new();
 
     for dataset in all_datasets(options.scale, seed) {
-        eprintln!("[fig6] dataset={}: anchor localization + sampling", dataset.name);
+        eprintln!(
+            "[fig6] dataset={}: anchor localization + sampling",
+            dataset.name
+        );
         // Shared stages 1–2.
         let mut mhgae = MhGae::new(
             dataset.graph.feature_dim(),
@@ -37,7 +40,10 @@ fn main() {
         let anchors = mhgae.anchor_nodes(config.anchor_fraction);
         let (candidates, _) = sample_candidate_groups(&dataset.graph, &anchors, &config.sampling);
         if candidates.is_empty() {
-            eprintln!("[fig6] dataset={}: no candidate groups, skipping", dataset.name);
+            eprintln!(
+                "[fig6] dataset={}: no candidate groups, skipping",
+                dataset.name
+            );
             continue;
         }
 

@@ -73,7 +73,11 @@ fn main() {
         let mut total_cov = 0.0;
         for (gi, group) in dataset.anomaly_groups.iter().enumerate() {
             let pattern = classify(&group.induced_subgraph(&dataset.graph).0);
-            let covered = group.nodes().iter().filter(|v| flagged_set.contains(v)).count();
+            let covered = group
+                .nodes()
+                .iter()
+                .filter(|v| flagged_set.contains(v))
+                .count();
             let coverage = covered as f32 / group.len() as f32;
             total_cov += coverage;
             row.push(format!("{:.0}% ({})", coverage * 100.0, pattern.name()));

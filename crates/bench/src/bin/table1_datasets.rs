@@ -27,7 +27,14 @@ fn main() {
         .collect();
     print_table(
         &format!("Table I: dataset statistics ({:?} scale)", options.scale),
-        &["Dataset", "#Node", "#Edge", "#Attr", "#AnomalyGroup", "Avg.size"],
+        &[
+            "Dataset",
+            "#Node",
+            "#Edge",
+            "#Attr",
+            "#AnomalyGroup",
+            "Avg.size",
+        ],
         &rows,
     );
     write_json(&options.out_dir, "table1_datasets.json", &stats);

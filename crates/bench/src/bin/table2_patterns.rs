@@ -45,7 +45,10 @@ fn main() {
         });
     }
     print_table(
-        &format!("Table II: topology pattern statistics ({:?} scale)", options.scale),
+        &format!(
+            "Table II: topology pattern statistics ({:?} scale)",
+            options.scale
+        ),
         &["Dataset", "#Path", "#Tree", "#Cycle", "#Other", "#Total"],
         &rows,
     );

@@ -23,7 +23,10 @@ fn main() {
         let datasets = all_datasets(options.scale, seed);
         for dataset in &datasets {
             for &method in &methods {
-                eprintln!("[table3] seed={seed} dataset={} method={method}", dataset.name);
+                eprintln!(
+                    "[table3] seed={seed} dataset={} method={method}",
+                    dataset.name
+                );
                 let report: DetectionReport = if method == "TP-GrGAD" {
                     run_tp_grgad(dataset, options.scale, seed)
                 } else {

@@ -21,7 +21,10 @@ fn main() {
         let datasets = all_datasets(options.scale, seed);
         for dataset in &datasets {
             for &variant in &variants {
-                eprintln!("[table5] seed={seed} dataset={} variant={variant}", dataset.name);
+                eprintln!(
+                    "[table5] seed={seed} dataset={} variant={variant}",
+                    dataset.name
+                );
                 let mut config = tpgrgad_config(options.scale, seed);
                 config.use_tpgcl = variant == "TP-GrGAD";
                 let (_, report) = TpGrGad::new(config).evaluate(dataset);
@@ -48,7 +51,10 @@ fn main() {
         rows.push(row);
     }
     print_table(
-        &format!("Table V: TPGCL ablation, group-wise F1 ({:?} scale)", options.scale),
+        &format!(
+            "Table V: TPGCL ablation, group-wise F1 ({:?} scale)",
+            options.scale
+        ),
         &["Dataset", "TP-GrGAD w/o TPGCL", "TP-GrGAD"],
         &rows,
     );

@@ -156,7 +156,12 @@ pub fn run_tp_grgad(dataset: &GrGadDataset, scale: DatasetScale, seed: u64) -> D
 
 /// Runs a baseline on a dataset (node scoring → connected-component groups)
 /// and evaluates it.
-pub fn run_baseline(name: &str, dataset: &GrGadDataset, scale: DatasetScale, seed: u64) -> DetectionReport {
+pub fn run_baseline(
+    name: &str,
+    dataset: &GrGadDataset,
+    scale: DatasetScale,
+    seed: u64,
+) -> DetectionReport {
     let scorer = make_baseline(name, baseline_config(scale, seed));
     let extraction = GroupExtractionConfig::default();
     let detection = detect_groups(scorer.as_ref(), &dataset.graph, &extraction);
@@ -186,10 +191,13 @@ impl MeanStd {
         }
         let mean = values.iter().sum::<f32>() / values.len() as f32;
         if values.len() == 1 {
-            return Self { mean, std_error: 0.0 };
+            return Self {
+                mean,
+                std_error: 0.0,
+            };
         }
-        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-            / (values.len() - 1) as f32;
+        let var =
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / (values.len() - 1) as f32;
         Self {
             mean,
             std_error: (var / values.len() as f32).sqrt(),
@@ -218,7 +226,8 @@ pub struct AggregatedReport {
 impl AggregatedReport {
     /// Aggregates individual seed reports.
     pub fn from_reports(reports: &[DetectionReport]) -> Self {
-        let collect = |f: fn(&DetectionReport) -> f32| -> Vec<f32> { reports.iter().map(f).collect() };
+        let collect =
+            |f: fn(&DetectionReport) -> f32| -> Vec<f32> { reports.iter().map(f).collect() };
         Self {
             cr: MeanStd::from_values(&collect(|r| r.cr)),
             f1: MeanStd::from_values(&collect(|r| r.f1)),
@@ -243,12 +252,24 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{:<width$}",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", format_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        format_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", format_row(row));
     }
@@ -279,10 +300,12 @@ mod tests {
 
     #[test]
     fn options_parse_scale_seeds_and_out() {
-        let args: Vec<String> = ["prog", "--scale", "paper", "--seeds", "3", "--out", "/tmp/x"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "prog", "--scale", "paper", "--seeds", "3", "--out", "/tmp/x",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let options = HarnessOptions::from_slice(&args);
         assert_eq!(options.scale, DatasetScale::Paper);
         assert_eq!(options.seeds, vec![0, 1, 2]);

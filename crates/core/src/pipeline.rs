@@ -196,7 +196,10 @@ mod tests {
         assert!(!result.anchor_nodes.is_empty());
         assert_eq!(result.node_errors.len(), dataset.graph.num_nodes());
         assert_eq!(result.candidate_groups.len(), result.scores.len());
-        assert_eq!(result.candidate_groups.len(), result.predicted_anomalous.len());
+        assert_eq!(
+            result.candidate_groups.len(),
+            result.predicted_anomalous.len()
+        );
         assert_eq!(result.embeddings.rows(), result.candidate_groups.len());
         assert!(result.scores.iter().all(|s| s.is_finite()));
     }

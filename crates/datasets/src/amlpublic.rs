@@ -20,10 +20,11 @@ use crate::{gauss, DatasetScale};
 
 /// Generates the AMLPublic-style dataset at the requested scale.
 pub fn generate(scale: DatasetScale, seed: u64) -> GrGadDataset {
-    let (normal_nodes, feature_dim, num_groups, path_len): (usize, usize, usize, usize) = match scale {
-        DatasetScale::Paper => (16_350, 16, 19, 19),
-        DatasetScale::Small => (900, 16, 10, 10),
-    };
+    let (normal_nodes, feature_dim, num_groups, path_len): (usize, usize, usize, usize) =
+        match scale {
+            DatasetScale::Paper => (16_350, 16, 19, 19),
+            DatasetScale::Small => (900, 16, 10, 10),
+        };
     let mut rng = StdRng::seed_from_u64(seed);
     let mut graph = sparse_transaction_background(normal_nodes, feature_dim, &mut rng);
 
@@ -47,7 +48,9 @@ pub fn generate(scale: DatasetScale, seed: u64) -> GrGadDataset {
             let len = path_len + (gi % 5) - 2;
             InjectedPattern::Path(len.max(4))
         };
-        groups.push(inject_pattern_group(&mut graph, pattern, &profile, 0.4, 1, &mut rng));
+        groups.push(inject_pattern_group(
+            &mut graph, pattern, &profile, 0.4, 1, &mut rng,
+        ));
     }
 
     let dataset = GrGadDataset::new("AMLPublic", graph, groups);
@@ -148,7 +151,11 @@ mod tests {
         assert!((s.nodes as i64 - 16_720).abs() < 100, "nodes {}", s.nodes);
         assert!((s.edges as i64 - 17_238).abs() < 1000, "edges {}", s.edges);
         assert_eq!(s.anomaly_groups, 19);
-        assert!((s.avg_group_size - 19.05).abs() < 2.0, "avg {}", s.avg_group_size);
+        assert!(
+            (s.avg_group_size - 19.05).abs() < 2.0,
+            "avg {}",
+            s.avg_group_size
+        );
         let (paths, trees, _, _) = d.pattern_statistics();
         assert_eq!(paths, 18);
         assert_eq!(trees, 1);

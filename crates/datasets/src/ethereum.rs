@@ -38,11 +38,15 @@ pub fn generate(scale: DatasetScale, seed: u64) -> GrGadDataset {
             children: 4 + gi % 3,
             grandchildren: if gi % 2 == 0 { 1 } else { 0 },
         };
-        groups.push(inject_pattern_group(&mut graph, pattern, &profile, 0.3, 1, &mut rng));
+        groups.push(inject_pattern_group(
+            &mut graph, pattern, &profile, 0.3, 1, &mut rng,
+        ));
     }
     for gi in 0..cycles {
         let pattern = InjectedPattern::Cycle(5 + gi % 4);
-        groups.push(inject_pattern_group(&mut graph, pattern, &profile, 0.3, 1, &mut rng));
+        groups.push(inject_pattern_group(
+            &mut graph, pattern, &profile, 0.3, 1, &mut rng,
+        ));
     }
     for _ in 0..paths {
         groups.push(inject_pattern_group(
@@ -121,7 +125,10 @@ mod tests {
     #[test]
     fn hubs_create_heavy_tailed_degrees() {
         let d = generate(DatasetScale::Small, 4);
-        let max_degree = (0..d.graph.num_nodes()).map(|v| d.graph.degree(v)).max().unwrap();
+        let max_degree = (0..d.graph.num_nodes())
+            .map(|v| d.graph.degree(v))
+            .max()
+            .unwrap();
         assert!(max_degree as f32 > 5.0 * d.graph.average_degree());
     }
 

@@ -50,7 +50,14 @@ pub fn generate(background_nodes: usize, seed: u64) -> GrGadDataset {
     profile[1] = 2.5;
 
     let groups = vec![
-        inject_pattern_group(&mut graph, InjectedPattern::Path(7), &profile, 0.15, 1, &mut rng),
+        inject_pattern_group(
+            &mut graph,
+            InjectedPattern::Path(7),
+            &profile,
+            0.15,
+            1,
+            &mut rng,
+        ),
         inject_pattern_group(
             &mut graph,
             InjectedPattern::Tree {
@@ -62,11 +69,20 @@ pub fn generate(background_nodes: usize, seed: u64) -> GrGadDataset {
             1,
             &mut rng,
         ),
-        inject_pattern_group(&mut graph, InjectedPattern::Cycle(6), &profile, 0.15, 1, &mut rng),
+        inject_pattern_group(
+            &mut graph,
+            InjectedPattern::Cycle(6),
+            &profile,
+            0.15,
+            1,
+            &mut rng,
+        ),
     ];
 
     let dataset = GrGadDataset::new("example", graph, groups);
-    dataset.validate().expect("example generator produced an inconsistent dataset");
+    dataset
+        .validate()
+        .expect("example generator produced an inconsistent dataset");
     dataset
 }
 
@@ -115,7 +131,9 @@ mod tests {
             nodes.iter().map(|&v| feat[(v, 0)]).sum::<f32>() / nodes.len() as f32
         };
         let anom: Vec<usize> = anomalous.iter().copied().collect();
-        let normal: Vec<usize> = (0..d.graph.num_nodes()).filter(|v| !anomalous.contains(v)).collect();
+        let normal: Vec<usize> = (0..d.graph.num_nodes())
+            .filter(|v| !anomalous.contains(v))
+            .collect();
         assert!(mean_dim0(&anom) < 0.0);
         assert!(mean_dim0(&normal) > 0.5);
     }

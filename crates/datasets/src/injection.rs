@@ -135,7 +135,10 @@ pub fn inject_anchor_linked_group(
     rng: &mut StdRng,
 ) -> Group {
     let n = graph.num_nodes();
-    assert!(n >= anchors && anchors >= 1, "need at least {anchors} existing nodes");
+    assert!(
+        n >= anchors && anchors >= 1,
+        "need at least {anchors} existing nodes"
+    );
     let mut anchor_ids: Vec<usize> = (0..n).collect();
     anchor_ids.shuffle(rng);
     anchor_ids.truncate(anchors);
@@ -189,7 +192,14 @@ mod tests {
     fn injected_path_has_path_topology() {
         let mut g = host(20, 3);
         let mut rng = StdRng::seed_from_u64(0);
-        let group = inject_pattern_group(&mut g, InjectedPattern::Path(6), &[5.0, 0.0, 0.0], 0.1, 1, &mut rng);
+        let group = inject_pattern_group(
+            &mut g,
+            InjectedPattern::Path(6),
+            &[5.0, 0.0, 0.0],
+            0.1,
+            1,
+            &mut rng,
+        );
         assert_eq!(group.len(), 6);
         assert_eq!(g.num_nodes(), 26);
         let (sub, _) = group.induced_subgraph(&g);
@@ -214,7 +224,14 @@ mod tests {
         let (tsub, _) = tree.induced_subgraph(&g);
         assert_eq!(classify(&tsub), TopologyPattern::Tree);
 
-        let cycle = inject_pattern_group(&mut g, InjectedPattern::Cycle(5), &[2.0, 2.0], 0.05, 1, &mut rng);
+        let cycle = inject_pattern_group(
+            &mut g,
+            InjectedPattern::Cycle(5),
+            &[2.0, 2.0],
+            0.05,
+            1,
+            &mut rng,
+        );
         let (csub, _) = cycle.induced_subgraph(&g);
         assert_eq!(classify(&csub), TopologyPattern::Cycle);
     }
@@ -223,7 +240,14 @@ mod tests {
     fn injected_nodes_carry_profile_attributes() {
         let mut g = host(10, 2);
         let mut rng = StdRng::seed_from_u64(2);
-        let group = inject_pattern_group(&mut g, InjectedPattern::Path(4), &[9.0, -9.0], 0.01, 0, &mut rng);
+        let group = inject_pattern_group(
+            &mut g,
+            InjectedPattern::Path(4),
+            &[9.0, -9.0],
+            0.01,
+            0,
+            &mut rng,
+        );
         for &v in group.nodes() {
             let row = g.features().row(v);
             assert!((row[0] - 9.0).abs() < 0.1);

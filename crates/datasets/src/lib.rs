@@ -78,7 +78,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let samples: Vec<f32> = (0..5000).map(|_| gauss(&mut rng, 1.0)).collect();
         let mean = samples.iter().sum::<f32>() / samples.len() as f32;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / samples.len() as f32;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / samples.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }
@@ -88,10 +89,23 @@ mod tests {
         let datasets = all_datasets(DatasetScale::Small, 1);
         assert_eq!(datasets.len(), 5);
         let names: Vec<&str> = datasets.iter().map(|d| d.name.as_str()).collect();
-        assert_eq!(names, vec!["simML", "Cora-group", "CiteSeer-group", "AMLPublic", "Ethereum-TSGN"]);
+        assert_eq!(
+            names,
+            vec![
+                "simML",
+                "Cora-group",
+                "CiteSeer-group",
+                "AMLPublic",
+                "Ethereum-TSGN"
+            ]
+        );
         for d in &datasets {
             assert!(d.graph.num_nodes() > 0, "{} is empty", d.name);
-            assert!(!d.anomaly_groups.is_empty(), "{} has no anomaly groups", d.name);
+            assert!(
+                !d.anomaly_groups.is_empty(),
+                "{} has no anomaly groups",
+                d.name
+            );
         }
     }
 }

@@ -52,19 +52,15 @@ pub fn generate(scale: DatasetScale, seed: u64) -> GrGadDataset {
             },
             _ => InjectedPattern::Cycle(3 + gi % 2),
         };
-        let group = inject_pattern_group(
-            &mut graph,
-            pattern,
-            &laundering_profile,
-            0.3,
-            1,
-            &mut rng,
-        );
+        let group =
+            inject_pattern_group(&mut graph, pattern, &laundering_profile, 0.3, 1, &mut rng);
         groups.push(group);
     }
 
     let dataset = GrGadDataset::new("simML", graph, groups);
-    dataset.validate().expect("simML generator produced an inconsistent dataset");
+    dataset
+        .validate()
+        .expect("simML generator produced an inconsistent dataset");
     dataset
 }
 
@@ -130,7 +126,11 @@ mod tests {
     fn contains_all_three_pattern_classes() {
         let d = generate(DatasetScale::Small, 7);
         let (paths, trees, cycles, other) = d.pattern_statistics();
-        assert!(paths > 0 && trees > 0 && cycles > 0, "{:?}", (paths, trees, cycles));
+        assert!(
+            paths > 0 && trees > 0 && cycles > 0,
+            "{:?}",
+            (paths, trees, cycles)
+        );
         assert_eq!(other, 0);
         let patterns = d.group_patterns();
         assert!(patterns.contains(&TopologyPattern::Cycle));
@@ -149,7 +149,10 @@ mod tests {
         let a = generate(DatasetScale::Small, 1);
         let b = generate(DatasetScale::Small, 2);
         // group node ids depend on background wiring; edges should differ
-        assert_ne!(a.graph.edges().collect::<Vec<_>>(), b.graph.edges().collect::<Vec<_>>());
+        assert_ne!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -161,7 +164,9 @@ mod tests {
             nodes.iter().map(|&v| feat[(v, 0)].abs()).sum::<f32>() / nodes.len() as f32
         };
         let anom: Vec<usize> = anomalous.iter().copied().collect();
-        let normal: Vec<usize> = (0..d.graph.num_nodes()).filter(|v| !anomalous.contains(v)).collect();
+        let normal: Vec<usize> = (0..d.graph.num_nodes())
+            .filter(|v| !anomalous.contains(v))
+            .collect();
         assert!(mean_abs_first(&anom) > mean_abs_first(&normal));
     }
 

@@ -106,8 +106,16 @@ impl Gae {
     /// Creates an untrained GAE for a graph with `feature_dim` node features.
     pub fn new(feature_dim: usize, config: GaeConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let encoder = GcnEncoder::new(&[feature_dim, config.hidden_dim, config.embed_dim], &mut rng);
-        let attr_decoder = GcnLayer::new(config.embed_dim, feature_dim, Activation::Identity, &mut rng);
+        let encoder = GcnEncoder::new(
+            &[feature_dim, config.hidden_dim, config.embed_dim],
+            &mut rng,
+        );
+        let attr_decoder = GcnLayer::new(
+            config.embed_dim,
+            feature_dim,
+            Activation::Identity,
+            &mut rng,
+        );
         Self {
             encoder,
             attr_decoder,
@@ -244,7 +252,7 @@ impl Gae {
         // attributes bind them together while their multi-hop structure does
         // not), which is the long-range inconsistency signal.
         let mut structure = vec![0.0_f32; n];
-        for i in 0..n {
+        for (i, slot) in structure.iter_mut().enumerate() {
             let mut err = 0.0;
             let mut count = 0usize;
             for (j, t) in target.row_iter(i) {
@@ -252,7 +260,7 @@ impl Gae {
                 err += (t - sigmoid_scalar(dot)).abs();
                 count += 1;
             }
-            structure[i] = if count > 0 { err / count as f32 } else { 0.0 };
+            *slot = if count > 0 { err / count as f32 } else { 0.0 };
         }
         let attribute: Vec<f32> = (0..n)
             .map(|i| {

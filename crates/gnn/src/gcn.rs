@@ -64,7 +64,10 @@ impl GcnEncoder {
     /// # Panics
     /// Panics if fewer than two sizes are given.
     pub fn new<R: Rng + ?Sized>(sizes: &[usize], rng: &mut R) -> Self {
-        assert!(sizes.len() >= 2, "GcnEncoder::new: need at least in and out dims");
+        assert!(
+            sizes.len() >= 2,
+            "GcnEncoder::new: need at least in and out dims"
+        );
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for i in 0..sizes.len() - 1 {
             let act = if i + 2 == sizes.len() {
@@ -110,7 +113,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn small_graph() -> Graph {
-        let mut g = Graph::new(4, Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[0.5, 0.5]]));
+        let mut g = Graph::new(
+            4,
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[0.5, 0.5]]),
+        );
         g.add_edge(0, 1);
         g.add_edge(1, 2);
         g.add_edge(2, 3);
@@ -138,7 +144,10 @@ mod tests {
         assert_eq!(enc.num_layers(), 2);
         assert_eq!(enc.embed_dim(), 3);
         assert_eq!(enc.parameters().len(), 4);
-        let z = enc.forward(&g.normalized_adjacency(), &Tensor::constant(g.features().clone()));
+        let z = enc.forward(
+            &g.normalized_adjacency(),
+            &Tensor::constant(g.features().clone()),
+        );
         assert_eq!(z.shape(), (4, 3));
     }
 
@@ -151,7 +160,10 @@ mod tests {
         let mut g = Graph::new(3, Matrix::from_rows(&[&[1.0], &[0.0], &[0.0]]));
         g.add_edge(0, 1); // node 1 is adjacent to the "hot" node 0, node 2 is not
         let layer = GcnLayer::new(1, 1, Activation::Identity, &mut rng);
-        let z = layer.forward(&g.normalized_adjacency(), &Tensor::constant(g.features().clone()));
+        let z = layer.forward(
+            &g.normalized_adjacency(),
+            &Tensor::constant(g.features().clone()),
+        );
         let v = z.value_clone();
         assert!((v[(1, 0)] - v[(2, 0)]).abs() > 1e-6);
     }
@@ -161,7 +173,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let g = small_graph();
         let enc = GcnEncoder::new(&[2, 4, 2], &mut rng);
-        let z = enc.forward(&g.normalized_adjacency(), &Tensor::constant(g.features().clone()));
+        let z = enc.forward(
+            &g.normalized_adjacency(),
+            &Tensor::constant(g.features().clone()),
+        );
         let loss = z.squared_norm();
         loss.backward();
         for p in enc.parameters() {

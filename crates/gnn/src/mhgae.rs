@@ -178,7 +178,11 @@ mod tests {
     #[test]
     fn fit_produces_errors_and_anchors() {
         let (g, _) = long_range_graph();
-        let mut model = MhGae::new(g.feature_dim(), ReconstructionTarget::GraphSnn { lambda: 1.0 }, quick_config());
+        let mut model = MhGae::new(
+            g.feature_dim(),
+            ReconstructionTarget::GraphSnn { lambda: 1.0 },
+            quick_config(),
+        );
         model.fit(&g);
         let errors = model.node_errors();
         assert_eq!(errors.combined.len(), g.num_nodes());

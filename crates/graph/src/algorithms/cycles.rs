@@ -31,7 +31,16 @@ pub fn cycles_through(
     let mut on_path = vec![false; n];
     let mut path = vec![start];
     on_path[start] = true;
-    dfs(graph, start, start, max_len, max_cycles, &mut path, &mut on_path, &mut cycles);
+    dfs(
+        graph,
+        start,
+        start,
+        max_len,
+        max_cycles,
+        &mut path,
+        &mut on_path,
+        &mut cycles,
+    );
     cycles
 }
 
@@ -70,7 +79,9 @@ fn dfs(
         }
         on_path[next] = true;
         path.push(next);
-        dfs(graph, start, next, max_len, max_cycles, path, on_path, cycles);
+        dfs(
+            graph, start, next, max_len, max_cycles, path, on_path, cycles,
+        );
         path.pop();
         on_path[next] = false;
     }

@@ -48,7 +48,11 @@ fn overlap_weight(graph: &Graph, v: usize, mu: usize, lambda: f32) -> f32 {
     let nv = closed_neighborhood(graph, v);
     let nmu = closed_neighborhood(graph, mu);
     // Overlap node set V_vµ.
-    let overlap: Vec<usize> = nv.iter().copied().filter(|x| nmu.binary_search(x).is_ok()).collect();
+    let overlap: Vec<usize> = nv
+        .iter()
+        .copied()
+        .filter(|x| nmu.binary_search(x).is_ok())
+        .collect();
     let nodes = overlap.len();
     if nodes < 2 {
         // Degenerate overlap (should not happen for an existing edge since

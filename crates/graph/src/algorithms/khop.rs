@@ -28,10 +28,7 @@ pub fn khop_matrix(graph: &Graph, k: usize) -> CsrMatrix {
 /// Divides all stored entries by the maximum entry so values lie in `[0, 1]`.
 /// A zero matrix is returned unchanged.
 pub fn standardize(m: &CsrMatrix) -> CsrMatrix {
-    let max = m
-        .iter()
-        .map(|(_, _, v)| v.abs())
-        .fold(0.0_f32, f32::max);
+    let max = m.iter().map(|(_, _, v)| v.abs()).fold(0.0_f32, f32::max);
     if max <= 0.0 {
         m.clone()
     } else {
@@ -77,7 +74,10 @@ mod tests {
         for k in [1, 3, 5, 7] {
             let m = khop_matrix(&g, k);
             for (_, _, v) in m.iter() {
-                assert!(v >= 0.0 && v <= 1.0 + 1e-6, "k={k}: value {v} out of range");
+                assert!(
+                    (0.0..=1.0 + 1e-6).contains(&v),
+                    "k={k}: value {v} out of range"
+                );
             }
             assert!(m.iter().any(|(_, _, v)| (v - 1.0).abs() < 1e-6));
         }

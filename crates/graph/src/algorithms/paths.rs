@@ -24,10 +24,7 @@ pub fn bellman_ford(
     let mut parent: Vec<Option<usize>> = vec![None; n];
     dist[source] = 0.0;
     // Collect directed relaxation edges (both directions of each undirected edge).
-    let edges: Vec<(usize, usize)> = graph
-        .edges()
-        .flat_map(|(u, v)| [(u, v), (v, u)])
-        .collect();
+    let edges: Vec<(usize, usize)> = graph.edges().flat_map(|(u, v)| [(u, v), (v, u)]).collect();
     for _ in 0..n.saturating_sub(1) {
         let mut changed = false;
         for &(u, v) in &edges {

@@ -84,7 +84,11 @@ impl Graph {
     /// # Panics
     /// Panics if the new matrix does not have one row per node.
     pub fn set_features(&mut self, features: Matrix) {
-        assert_eq!(features.rows(), self.num_nodes(), "set_features: row mismatch");
+        assert_eq!(
+            features.rows(),
+            self.num_nodes(),
+            "set_features: row mismatch"
+        );
         self.features = features;
     }
 
@@ -108,7 +112,10 @@ impl Graph {
     /// Adds the undirected edge `(u, v)`. Self-loops and duplicate edges are
     /// ignored. Returns true if the edge was inserted.
     pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
-        assert!(u < self.num_nodes() && v < self.num_nodes(), "add_edge: node out of range");
+        assert!(
+            u < self.num_nodes() && v < self.num_nodes(),
+            "add_edge: node out of range"
+        );
         if u == v || self.has_edge(u, v) {
             return false;
         }
@@ -151,7 +158,8 @@ impl Graph {
         let new_features = if idx == 0 {
             Matrix::from_vec(1, feature.len(), feature.to_vec())
         } else {
-            self.features.vstack(&Matrix::from_vec(1, feature.len(), feature.to_vec()))
+            self.features
+                .vstack(&Matrix::from_vec(1, feature.len(), feature.to_vec()))
         };
         self.features = new_features;
         idx
@@ -191,7 +199,10 @@ impl Graph {
         let mut seen = BTreeSet::new();
         let mut order: Vec<usize> = Vec::with_capacity(nodes.len());
         for &v in nodes {
-            assert!(v < self.num_nodes(), "induced_subgraph: node {v} out of range");
+            assert!(
+                v < self.num_nodes(),
+                "induced_subgraph: node {v} out of range"
+            );
             if seen.insert(v) {
                 order.push(v);
             }
@@ -328,7 +339,10 @@ mod tests {
 
     #[test]
     fn induced_subgraph_preserves_edges_and_features() {
-        let mut g = Graph::new(5, Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0], &[4.0]]));
+        let mut g = Graph::new(
+            5,
+            Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0], &[4.0]]),
+        );
         g.add_edge(0, 1);
         g.add_edge(1, 2);
         g.add_edge(3, 4);

@@ -181,7 +181,10 @@ mod tests {
         assert_eq!(classify(&path(5)), TopologyPattern::Path);
         assert_eq!(classify(&star(4)), TopologyPattern::Tree);
         assert_eq!(classify(&cycle(5)), TopologyPattern::Cycle);
-        assert_eq!(classify(&Graph::with_no_features(0)), TopologyPattern::Other);
+        assert_eq!(
+            classify(&Graph::with_no_features(0)),
+            TopologyPattern::Other
+        );
         assert_eq!(classify(&Graph::with_no_features(1)), TopologyPattern::Path);
         // two disconnected edges
         let mut g = Graph::with_no_features(4);

@@ -241,7 +241,9 @@ impl CsrMatrix {
 
     /// Row sums (the weighted out-degree vector).
     pub fn row_sums(&self) -> Vec<f32> {
-        (0..self.rows).map(|i| self.row_iter(i).map(|(_, v)| v).sum()).collect()
+        (0..self.rows)
+            .map(|i| self.row_iter(i).map(|(_, v)| v).sum())
+            .collect()
     }
 
     /// Symmetric normalization `D^{-1/2} (M) D^{-1/2}` where `D` is the
@@ -270,8 +272,7 @@ impl CsrMatrix {
     pub fn row_normalize(&self) -> CsrMatrix {
         let deg = self.row_sums();
         let mut out = self.clone();
-        for i in 0..self.rows {
-            let d = deg[i];
+        for (i, &d) in deg.iter().enumerate() {
             if d <= 0.0 {
                 continue;
             }

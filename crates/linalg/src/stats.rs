@@ -112,7 +112,11 @@ pub fn min_max_scale_columns(m: &mut Matrix) {
         let hi = col.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let range = hi - lo;
         for i in 0..rows {
-            m[(i, j)] = if range > 0.0 { (m[(i, j)] - lo) / range } else { 0.0 };
+            m[(i, j)] = if range > 0.0 {
+                (m[(i, j)] - lo) / range
+            } else {
+                0.0
+            };
         }
     }
 }
@@ -121,7 +125,11 @@ pub fn min_max_scale_columns(m: &mut Matrix) {
 pub fn ranks(xs: &[f32]) -> Vec<f32> {
     let n = xs.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {

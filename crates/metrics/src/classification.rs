@@ -5,7 +5,11 @@
 /// Conventions: precision is 0 when nothing is predicted positive; recall is
 /// 0 when there are no positive labels.
 pub fn precision_recall(predictions: &[bool], labels: &[bool]) -> (f32, f32) {
-    assert_eq!(predictions.len(), labels.len(), "precision_recall: length mismatch");
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "precision_recall: length mismatch"
+    );
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut fn_ = 0usize;
@@ -109,7 +113,7 @@ mod tests {
         let none = vec![false, false];
         assert_eq!(f1_score(&none, &labels), 0.0);
         let no_pos_labels = vec![false, false];
-        assert_eq!(f1_score(&vec![true, true], &no_pos_labels), 0.0);
+        assert_eq!(f1_score(&[true, true], &no_pos_labels), 0.0);
     }
 
     #[test]

@@ -73,7 +73,7 @@ mod tests {
         let gt = Group::new(vec![1, 2, 3, 4]);
         let poor = Group::new(vec![1, 9, 10]);
         let good = Group::new(vec![1, 2, 3]);
-        let s_single = completeness_score(&gt, &[poor.clone()]);
+        let s_single = completeness_score(&gt, std::slice::from_ref(&poor));
         let s_both = completeness_score(&gt, &[poor, good]);
         assert!(s_both > s_single);
     }
@@ -83,7 +83,10 @@ mod tests {
         let gt = vec![Group::new(vec![1, 2])];
         assert_eq!(completeness_ratio(&gt, &[]), 0.0);
         assert_eq!(completeness_ratio(&[], &gt), 0.0);
-        assert_eq!(completeness_score(&Group::new(Vec::<usize>::new()), &gt), 0.0);
+        assert_eq!(
+            completeness_score(&Group::new(Vec::<usize>::new()), &gt),
+            0.0
+        );
     }
 
     #[test]

@@ -8,7 +8,11 @@ use grgad_graph::Group;
 /// ground-truth anomaly group reaches `min_jaccard`. The default used across
 /// the experiments is 0.5 — the candidate must share the majority of its
 /// nodes with a true anomaly group.
-pub fn label_candidates(candidates: &[Group], ground_truth: &[Group], min_jaccard: f32) -> Vec<bool> {
+pub fn label_candidates(
+    candidates: &[Group],
+    ground_truth: &[Group],
+    min_jaccard: f32,
+) -> Vec<bool> {
     candidates
         .iter()
         .map(|c| {

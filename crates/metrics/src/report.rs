@@ -42,7 +42,11 @@ pub fn evaluate_detection(
     ground_truth: &[Group],
     match_jaccard: f32,
 ) -> DetectionReport {
-    assert_eq!(candidates.len(), scores.len(), "evaluate_detection: scores length mismatch");
+    assert_eq!(
+        candidates.len(),
+        scores.len(),
+        "evaluate_detection: scores length mismatch"
+    );
     assert_eq!(
         candidates.len(),
         predicted_anomalous.len(),

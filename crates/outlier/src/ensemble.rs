@@ -20,7 +20,10 @@ impl Ensemble {
     /// # Panics
     /// Panics if `members` is empty.
     pub fn new(members: Vec<Box<dyn OutlierDetector>>) -> Self {
-        assert!(!members.is_empty(), "Ensemble::new: need at least one member");
+        assert!(
+            !members.is_empty(),
+            "Ensemble::new: need at least one member"
+        );
         Self { members }
     }
 

@@ -48,7 +48,13 @@ enum Node {
     },
 }
 
-fn build_tree(data: &Matrix, rows: &[usize], depth: usize, max_depth: usize, rng: &mut StdRng) -> Node {
+fn build_tree(
+    data: &Matrix,
+    rows: &[usize],
+    depth: usize,
+    max_depth: usize,
+    rng: &mut StdRng,
+) -> Node {
     if rows.len() <= 1 || depth >= max_depth {
         return Node::Leaf { size: rows.len() };
     }
@@ -59,8 +65,14 @@ fn build_tree(data: &Matrix, rows: &[usize], depth: usize, max_depth: usize, rng
     // Pick a random dimension with spread; give up after a few attempts.
     for _ in 0..8 {
         let dim = rng.gen_range(0..d);
-        let lo = rows.iter().map(|&r| data[(r, dim)]).fold(f32::INFINITY, f32::min);
-        let hi = rows.iter().map(|&r| data[(r, dim)]).fold(f32::NEG_INFINITY, f32::max);
+        let lo = rows
+            .iter()
+            .map(|&r| data[(r, dim)])
+            .fold(f32::INFINITY, f32::min);
+        let hi = rows
+            .iter()
+            .map(|&r| data[(r, dim)])
+            .fold(f32::NEG_INFINITY, f32::max);
         if hi <= lo {
             continue;
         }
@@ -105,7 +117,7 @@ fn average_path_length(n: usize) -> f32 {
         return 0.0;
     }
     let n = n as f32;
-    2.0 * ((n - 1.0).ln() + std::f32::consts::E.ln() - 1.0 + 0.577_215_66) - 2.0 * (n - 1.0) / n
+    2.0 * ((n - 1.0).ln() + std::f32::consts::E.ln() - 1.0 + 0.577_215_7) - 2.0 * (n - 1.0) / n
 }
 
 impl OutlierDetector for IsolationForest {
@@ -168,7 +180,9 @@ mod tests {
 
     #[test]
     fn handles_degenerate_inputs() {
-        assert!(IsolationForest::default().fit_score(&Matrix::zeros(0, 2)).is_empty());
+        assert!(IsolationForest::default()
+            .fit_score(&Matrix::zeros(0, 2))
+            .is_empty());
         let constant = Matrix::full(10, 2, 3.0);
         let scores = IsolationForest::default().fit_score(&constant);
         assert!(scores.iter().all(|s| s.is_finite()));

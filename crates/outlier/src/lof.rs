@@ -117,7 +117,10 @@ mod tests {
         let data = Matrix::from_vec(25, 2, rows.into_iter().flatten().collect());
         let scores = Lof::new(4).fit_score(&data);
         for &s in &scores {
-            assert!((0.5..2.0).contains(&s), "grid LOF should be near 1, got {s}");
+            assert!(
+                (0.5..2.0).contains(&s),
+                "grid LOF should be near 1, got {s}"
+            );
         }
     }
 

@@ -83,10 +83,10 @@ pub fn sample_candidate_groups(
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     let push = |nodes: Vec<usize>,
-                    seen: &mut HashSet<Group>,
-                    groups: &mut Vec<Group>,
-                    stats: &mut SamplingStats,
-                    source: Source| {
+                seen: &mut HashSet<Group>,
+                groups: &mut Vec<Group>,
+                stats: &mut SamplingStats,
+                source: Source| {
         if nodes.len() < config.min_group_size || nodes.len() > config.max_group_size {
             return;
         }
@@ -149,18 +149,13 @@ pub fn sample_candidate_groups(
     // neighbourhood groups.
     if config.background_groups > 0 && !anchors.is_empty() && graph.num_nodes() > anchors.len() {
         let anchor_set: HashSet<usize> = anchors.iter().copied().collect();
-        let mut non_anchors: Vec<usize> =
-            (0..graph.num_nodes()).filter(|v| !anchor_set.contains(v)).collect();
+        let mut non_anchors: Vec<usize> = (0..graph.num_nodes())
+            .filter(|v| !anchor_set.contains(v))
+            .collect();
         non_anchors.shuffle(&mut rng);
         for &root in non_anchors.iter().take(config.background_groups) {
             let tree = bounded_bfs_tree(graph, root, config.tree_depth, config.max_group_size);
-            push(
-                tree,
-                &mut seen,
-                &mut groups,
-                &mut stats,
-                Source::Background,
-            );
+            push(tree, &mut seen, &mut groups, &mut stats, Source::Background);
         }
     }
 

@@ -96,7 +96,9 @@ fn average_features(g: &Graph, nodes: &[usize]) -> Vec<f32> {
 /// At least one node is always kept.
 fn drop_nodes(g: &Graph, to_drop: &[usize]) -> Graph {
     let drop_set: std::collections::HashSet<usize> = to_drop.iter().copied().collect();
-    let mut keep: Vec<usize> = (0..g.num_nodes()).filter(|v| !drop_set.contains(v)).collect();
+    let mut keep: Vec<usize> = (0..g.num_nodes())
+        .filter(|v| !drop_set.contains(v))
+        .collect();
     if keep.is_empty() {
         keep.push(0);
     }
@@ -318,8 +320,18 @@ mod tests {
         assert_eq!(er.num_nodes(), g.num_nodes());
         let fm = Augmentation::FeatureMasking.apply(&g, &mut r);
         assert_eq!(fm.num_nodes(), g.num_nodes());
-        let zeros_before = g.features().as_slice().iter().filter(|&&x| x == 0.0).count();
-        let zeros_after = fm.features().as_slice().iter().filter(|&&x| x == 0.0).count();
+        let zeros_before = g
+            .features()
+            .as_slice()
+            .iter()
+            .filter(|&&x| x == 0.0)
+            .count();
+        let zeros_after = fm
+            .features()
+            .as_slice()
+            .iter()
+            .filter(|&&x| x == 0.0)
+            .count();
         assert!(zeros_after >= zeros_before);
     }
 
@@ -329,7 +341,11 @@ mod tests {
         let tiny = path_group(2);
         for aug in Augmentation::all() {
             let view = aug.apply(&tiny, &mut r);
-            assert!(view.num_nodes() >= 1, "{} produced empty graph", aug.label());
+            assert!(
+                view.num_nodes() >= 1,
+                "{} produced empty graph",
+                aug.label()
+            );
         }
     }
 

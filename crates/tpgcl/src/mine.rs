@@ -214,11 +214,7 @@ mod tests {
             &Tensor::constant(zn_dep),
             &mut r,
         );
-        let mi_ind = mine.mi_estimate(
-            &Tensor::constant(zp_ind),
-            &Tensor::constant(zn_ind),
-            &mut r,
-        );
+        let mi_ind = mine.mi_estimate(&Tensor::constant(zp_ind), &Tensor::constant(zn_ind), &mut r);
         assert!(
             mi_dep > mi_ind,
             "dependent views should have higher estimated MI: {mi_dep} vs {mi_ind}"

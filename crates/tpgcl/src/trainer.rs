@@ -242,7 +242,10 @@ mod tests {
         let cp = centroid(&zp);
         let cc = centroid(&zc);
         let between = grgad_linalg::ops::euclidean_distance(cp.row(0), cc.row(0));
-        assert!(between > 1e-4, "class centroids should differ, got {between}");
+        assert!(
+            between > 1e-4,
+            "class centroids should differ, got {between}"
+        );
     }
 
     #[test]

@@ -17,7 +17,12 @@ fn main() {
             data[(i, j)] = center + Matrix::rand_normal(1, 1, 0.3, &mut rng)[(0, 0)];
         }
     }
-    for (lr, iters, perp) in [(100.0, 250, 10.0), (50.0, 400, 10.0), (10.0, 500, 5.0), (200.0, 500, 10.0)] {
+    for (lr, iters, perp) in [
+        (100.0, 250, 10.0),
+        (50.0, 400, 10.0),
+        (10.0, 500, 5.0),
+        (200.0, 500, 10.0),
+    ] {
         let y = tsne(
             &data,
             &TsneConfig {

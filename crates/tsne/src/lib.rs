@@ -99,7 +99,11 @@ fn joint_affinities(data: &Matrix, perplexity: f32) -> Matrix {
         for _ in 0..50 {
             let mut sum = 0.0;
             for j in 0..n {
-                row[j] = if i == j { 0.0 } else { (-beta * d2[(i, j)]).exp() };
+                row[j] = if i == j {
+                    0.0
+                } else {
+                    (-beta * d2[(i, j)]).exp()
+                };
                 sum += row[j];
             }
             if sum <= 0.0 {
@@ -118,7 +122,11 @@ fn joint_affinities(data: &Matrix, perplexity: f32) -> Matrix {
             }
             if diff > 0.0 {
                 beta_lo = beta;
-                beta = if beta_hi.is_finite() { (beta + beta_hi) / 2.0 } else { beta * 2.0 };
+                beta = if beta_hi.is_finite() {
+                    (beta + beta_hi) / 2.0
+                } else {
+                    beta * 2.0
+                };
             } else {
                 beta_hi = beta;
                 beta = (beta + beta_lo) / 2.0;
@@ -227,7 +235,7 @@ mod tests {
                 .filter(|(_, &l)| l == flag)
                 .map(|(i, _)| i)
                 .collect();
-            let mut c = vec![0.0_f32; 2];
+            let mut c = [0.0_f32; 2];
             for &r in &rows {
                 c[0] += y[(r, 0)];
                 c[1] += y[(r, 1)];
@@ -260,7 +268,13 @@ mod tests {
     #[test]
     fn map_is_centered() {
         let (data, _) = two_blobs(10);
-        let y = tsne(&data, &TsneConfig { iterations: 50, ..Default::default() });
+        let y = tsne(
+            &data,
+            &TsneConfig {
+                iterations: 50,
+                ..Default::default()
+            },
+        );
         let mean = y.mean_rows();
         assert!(mean[(0, 0)].abs() < 1e-3);
         assert!(mean[(0, 1)].abs() < 1e-3);

@@ -21,16 +21,20 @@ fn main() {
     let mut features = Matrix::zeros(n, 4);
     for i in 0..n {
         let segment = (i % 4) as f32;
-        features[(i, 0)] = segment * 0.5 + rng.gen_range(-0.1..0.1);
-        features[(i, 1)] = 1.0 - segment * 0.2 + rng.gen_range(-0.1..0.1);
+        features[(i, 0)] = segment * 0.5 + rng.gen_range(-0.1..0.1f32);
+        features[(i, 1)] = 1.0 - segment * 0.2 + rng.gen_range(-0.1..0.1f32);
         features[(i, 2)] = rng.gen_range(0.0..1.0);
-        features[(i, 3)] = 0.3 + rng.gen_range(-0.05..0.05);
+        features[(i, 3)] = 0.3 + rng.gen_range(-0.05..0.05f32);
     }
     let mut graph = Graph::new(n, features);
     // Sparse interactions, biased within segment.
     while graph.num_edges() < 360 {
         let u = rng.gen_range(0..n);
-        let v = if rng.gen_bool(0.7) { (u + 4 * rng.gen_range(1..20)) % n } else { rng.gen_range(0..n) };
+        let v = if rng.gen_bool(0.7) {
+            (u + 4 * rng.gen_range(1..20usize)) % n
+        } else {
+            rng.gen_range(0..n)
+        };
         if u != v {
             graph.add_edge(u, v);
         }
@@ -68,20 +72,13 @@ fn main() {
         .zip(result.scores.iter().copied())
     {
         let jaccard = group.jaccard(&ring_group);
-        if jaccard >= 0.5 {
-            if best.map_or(true, |(s, _)| score > s) {
-                best = Some((score, group));
-            }
+        if jaccard >= 0.5 && best.is_none_or(|(s, _)| score > s) {
+            best = Some((score, group));
         }
     }
     match best {
         Some((score, group)) => {
-            let rank = result
-                .scores
-                .iter()
-                .filter(|&&s| s > score)
-                .count()
-                + 1;
+            let rank = result.scores.iter().filter(|&&s| s > score).count() + 1;
             println!(
                 "ring recovered as candidate group {:?} with score {score:.2} (rank {rank} of {})",
                 group.nodes(),

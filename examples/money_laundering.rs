@@ -39,7 +39,9 @@ fn main() {
     let mut reported_patterns = std::collections::BTreeMap::new();
     for (group, _) in result.anomalous_groups() {
         let (sub, _) = group.induced_subgraph(&dataset.graph);
-        *reported_patterns.entry(classify(&sub).name()).or_insert(0usize) += 1;
+        *reported_patterns
+            .entry(classify(&sub).name())
+            .or_insert(0usize) += 1;
     }
     println!("reported group patterns: {reported_patterns:?}");
 

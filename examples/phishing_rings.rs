@@ -79,7 +79,10 @@ fn main() {
     println!("stage 4: top 5 groups by ECOD score:");
     for (idx, score) in ranked.into_iter().take(5) {
         let group = &candidates[idx];
-        let matches_truth = dataset.anomaly_groups.iter().any(|g| g.jaccard(group) >= 0.5);
+        let matches_truth = dataset
+            .anomaly_groups
+            .iter()
+            .any(|g| g.jaccard(group) >= 0.5);
         println!(
             "  score {score:7.2}  size {:2}  matches ground truth: {}",
             group.len(),

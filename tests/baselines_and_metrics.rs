@@ -69,13 +69,23 @@ fn attribute_baseline_fragments_groups_relative_to_tp_grgad() {
 fn completeness_ratio_matches_hand_computed_values_on_datasets() {
     let dataset = datasets::ethereum::generate(DatasetScale::Small, 2);
     // Predicting exactly the ground truth gives CR 1; predicting nothing gives 0.
-    assert!((completeness_ratio(&dataset.anomaly_groups, &dataset.anomaly_groups) - 1.0).abs() < 1e-6);
+    assert!(
+        (completeness_ratio(&dataset.anomaly_groups, &dataset.anomaly_groups) - 1.0).abs() < 1e-6
+    );
     assert_eq!(completeness_ratio(&dataset.anomaly_groups, &[]), 0.0);
     // Predicting half of each group gives a CR strictly between.
     let halves: Vec<Group> = dataset
         .anomaly_groups
         .iter()
-        .map(|g| Group::new(g.nodes().iter().copied().take(g.len() / 2).collect::<Vec<_>>()))
+        .map(|g| {
+            Group::new(
+                g.nodes()
+                    .iter()
+                    .copied()
+                    .take(g.len() / 2)
+                    .collect::<Vec<_>>(),
+            )
+        })
         .collect();
     let cr = completeness_ratio(&dataset.anomaly_groups, &halves);
     assert!(cr > 0.0 && cr < 1.0);
@@ -85,11 +95,17 @@ fn completeness_ratio_matches_hand_computed_values_on_datasets() {
 fn dataset_generators_produce_table_two_pattern_mixes() {
     let aml = datasets::amlpublic::generate(DatasetScale::Small, 0);
     let (paths, trees, cycles, _) = aml.pattern_statistics();
-    assert!(paths > trees && cycles == 0, "AMLPublic should be path-dominant");
+    assert!(
+        paths > trees && cycles == 0,
+        "AMLPublic should be path-dominant"
+    );
 
     let eth = datasets::ethereum::generate(DatasetScale::Small, 0);
     let (paths, trees, cycles, _) = eth.pattern_statistics();
-    assert!(trees + cycles > paths, "Ethereum should be tree/cycle-dominant");
+    assert!(
+        trees + cycles > paths,
+        "Ethereum should be tree/cycle-dominant"
+    );
 }
 
 #[test]

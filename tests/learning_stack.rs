@@ -54,7 +54,7 @@ fn gcn_embeddings_separate_communities() {
     let z = encoder.forward(&adj, &x).value_clone();
     // Mean embedding of each community should differ markedly on some axis.
     let mean_row = |range: std::ops::Range<usize>| -> Vec<f32> {
-        let mut m = vec![0.0; 2];
+        let mut m = [0.0; 2];
         for i in range.clone() {
             for j in 0..2 {
                 m[j] += z[(i, j)];
@@ -65,7 +65,10 @@ fn gcn_embeddings_separate_communities() {
     let a = mean_row(0..20);
     let b = mean_row(20..40);
     let dist = ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
-    assert!(dist > 0.5, "community embeddings should separate, distance {dist}");
+    assert!(
+        dist > 0.5,
+        "community embeddings should separate, distance {dist}"
+    );
 }
 
 #[test]
@@ -120,5 +123,8 @@ fn augmentations_preserve_and_break_patterns_inside_real_groups() {
         );
         checked += 1;
     }
-    assert!(checked >= 5, "expected to exercise several real groups, got {checked}");
+    assert!(
+        checked >= 5,
+        "expected to exercise several real groups, got {checked}"
+    );
 }

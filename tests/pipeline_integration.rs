@@ -33,14 +33,21 @@ fn full_pipeline_on_simml_recovers_laundering_groups() {
 #[test]
 fn detector_kinds_are_interchangeable() {
     let dataset = datasets::example::generate(80, 5);
-    for kind in [DetectorKind::Ecod, DetectorKind::ZScore, DetectorKind::Ensemble] {
+    for kind in [
+        DetectorKind::Ecod,
+        DetectorKind::ZScore,
+        DetectorKind::Ensemble,
+    ] {
         let mut config = fast_config(5);
         config.detector = kind;
         config.tpgcl.epochs = 5;
         config.gae.epochs = 20;
         let result = TpGrGad::new(config).detect(&dataset.graph);
         assert_eq!(result.scores.len(), result.candidate_groups.len());
-        assert!(result.scores.iter().all(|s| s.is_finite()), "{kind:?} produced NaN");
+        assert!(
+            result.scores.iter().all(|s| s.is_finite()),
+            "{kind:?} produced NaN"
+        );
     }
 }
 

@@ -1,0 +1,212 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface `crates/bench/benches/microbench.rs` uses —
+//! `Criterion::{default, sample_size, bench_function, benchmark_group}`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros — as a simple wall-clock
+//! harness: each benchmark is warmed up once, then timed for `sample_size`
+//! samples, and the median per-iteration time is printed.
+//!
+//! No statistics beyond min/median/max, no HTML reports; `cargo bench` still
+//! produces useful relative numbers for the paper's hot paths.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work too.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// How batched inputs are grouped between timings (ignored by this harness
+/// beyond choosing a batch count).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup cost.
+    SmallInput,
+    /// Large per-iteration setup cost.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to registered benchmark functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(name, &mut bencher.samples);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, one sample per call, after a warm-up call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std_black_box(routine()); // warm-up
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std_black_box(routine(setup())); // warm-up
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{name:<40} median {:>12?}   min {:>12?}   max {:>12?}   ({} samples)",
+        median,
+        min,
+        max,
+        samples.len()
+    );
+}
+
+/// Registers a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_calls_setup_per_sample() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut setups = 0usize;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |_| 1 + 1,
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 3);
+    }
+}

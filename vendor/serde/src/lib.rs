@@ -1,0 +1,296 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde cannot be fetched in this build environment, so this crate
+//! provides a simplified serialization model that is API-compatible with the
+//! subset the workspace uses: `#[derive(Serialize, Deserialize)]` on structs
+//! with named fields, consumed by the sibling `serde_json` stand-in.
+//!
+//! Instead of serde's visitor architecture, everything funnels through a
+//! small JSON-shaped [`Value`] tree: [`Serialize`] renders into a `Value`,
+//! [`Deserialize`] rebuilds from one. `serde_json` is then just text
+//! rendering/parsing of `Value`.
+
+// Let the derive-generated `serde::` paths resolve inside this crate's own
+// tests as well.
+extern crate self as serde;
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped dynamic value: the intermediate representation all
+/// (de)serialization goes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number. `f64` covers every numeric field in this workspace
+    /// (counts are far below 2^53).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the map entries when this is an object.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object value; `Err` otherwise or when missing.
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        self.as_map()
+            .ok_or_else(|| Error::custom(format!("expected object while reading field `{key}`")))?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
+    }
+}
+
+/// (De)serialization error for the stand-in data model.
+#[derive(Clone, Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a dynamic value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, reporting shape mismatches as [`Error`]s.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! serialize_numbers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Num(n) => Ok(*n as $t),
+                    _ => Err(Error::custom(concat!("expected number for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+serialize_numbers!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // A plain `as f64` widening would render 0.1f32 as
+        // 0.10000000149011612; round-tripping through the shortest `f32`
+        // Display form keeps the JSON as clean as real serde_json's.
+        Value::Num(format!("{self}").parse::<f64>().unwrap_or(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Num(n) => Ok(*n as f32),
+            _ => Err(Error::custom("expected number for f32")),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! serialize_tuples {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match value {
+                    Value::Seq(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(Error::custom("expected fixed-length array for tuple")),
+                }
+            }
+        }
+    )*};
+}
+
+serialize_tuples! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Demo {
+        name: String,
+        count: usize,
+        weights: Vec<f32>,
+        pair: (usize, usize),
+    }
+
+    #[test]
+    fn derive_roundtrips_through_value() {
+        let demo = Demo {
+            name: "x".into(),
+            count: 3,
+            weights: vec![0.5, -1.0],
+            pair: (1, 2),
+        };
+        let value = demo.to_value();
+        assert_eq!(value.field("name").unwrap(), &Value::Str("x".into()));
+        let back = Demo::from_value(&value).unwrap();
+        assert_eq!(back, demo);
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let value = Value::Map(vec![("name".into(), Value::Str("x".into()))]);
+        assert!(Demo::from_value(&value).is_err());
+    }
+}

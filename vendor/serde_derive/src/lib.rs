@@ -1,0 +1,183 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! structs with named fields — the only shape this workspace derives on.
+//! The input is parsed directly from the token stream (no `syn`/`quote`,
+//! which are equally unavailable offline), and the generated impls target
+//! the simplified `serde::Serialize`/`serde::Deserialize` value-model
+//! traits.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let (name, fields) = match parse_named_struct(input) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            return format!("compile_error!({message:?});").parse().unwrap();
+        }
+    };
+
+    let code = match which {
+        Trait::Serialize => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(std::string::String::from({f:?}), \
+                         serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Trait::Deserialize => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: serde::Deserialize::from_value(value.field({f:?})?)?,"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &serde::Value) \
+                         -> std::result::Result<Self, serde::Error> {{\n\
+                         std::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Extracts `(struct_name, field_names)` from a derive input, or an error
+/// message for unsupported shapes (enums, tuple structs, generics).
+fn parse_named_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility to reach the `struct` keyword.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + bracket group
+            TokenTree::Ident(ident) if ident.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1; // pub(crate) / pub(super)
+                }
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "struct" => break,
+            TokenTree::Ident(ident) if ident.to_string() == "enum" => {
+                return Err("serde stand-in derive supports only structs, not enums".into());
+            }
+            _ => i += 1,
+        }
+    }
+    if i >= tokens.len() {
+        return Err("serde stand-in derive: no `struct` keyword found".into());
+    }
+    i += 1; // past `struct`
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        _ => return Err("serde stand-in derive: expected struct name".into()),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("serde stand-in derive does not support generic structs".into());
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => return Err("serde stand-in derive supports only structs with named fields".into()),
+    };
+
+    Ok((name, parse_field_names(body)?))
+}
+
+/// Walks a brace-group body collecting field identifiers. Tracks angle
+/// brackets so commas inside generic types (`HashMap<String, f32>`) do not
+/// split fields.
+fn parse_field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes (doc comments) and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+                continue;
+            }
+            _ => {}
+        }
+
+        let name = match &tokens[i] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => {
+                return Err(format!(
+                    "serde stand-in derive: unexpected token `{other}` where a field name \
+                     was expected"
+                ))
+            }
+        };
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "serde stand-in derive: expected `:` after field `{name}`"
+                ))
+            }
+        }
+        fields.push(name);
+
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
