@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use grgad_autograd::Tensor;
+use grgad_core::{TpGrGad, TpGrGadConfig};
 use grgad_datasets::{example, DatasetScale};
 use grgad_gnn::GcnEncoder;
 use grgad_graph::algorithms::{cycles_through, graphsnn_adjacency, khop_matrix};
@@ -87,6 +88,16 @@ fn bench_cycle_enumeration(c: &mut Criterion) {
     });
 }
 
+/// The serving hot path: scoring a graph with a pre-fitted model (zero
+/// training epochs — anchor inference + sampling + embedding + detector).
+fn bench_score_pretrained(c: &mut Criterion) {
+    let dataset = example::generate(60, 0);
+    let trained = TpGrGad::new(TpGrGadConfig::fast().with_seed(0)).fit(&dataset.graph);
+    c.bench_function("score_pretrained", |b| {
+        b.iter(|| trained.score(std::hint::black_box(&dataset.graph)))
+    });
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
@@ -96,6 +107,7 @@ criterion_group!(
         bench_group_sampling,
         bench_augmentations,
         bench_ecod,
-        bench_cycle_enumeration
+        bench_cycle_enumeration,
+        bench_score_pretrained
 );
 criterion_main!(benches);

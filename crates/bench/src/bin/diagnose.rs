@@ -1,10 +1,11 @@
-//! Pipeline diagnostics: stage-by-stage quality report for TP-GrGAD on each
-//! dataset (anchor hit-rate, candidate coverage of ground-truth groups, score
-//! separation). Useful when tuning hyperparameters; not part of the paper's
-//! tables.
+//! Pipeline diagnostics: stage-by-stage quality *and* performance report for
+//! TP-GrGAD on each dataset (anchor hit-rate, candidate coverage of
+//! ground-truth groups, score separation, per-stage wall-clock via the
+//! [`grgad_core::PipelineObserver`] seam). Useful when tuning
+//! hyperparameters; not part of the paper's tables.
 
-use grgad_bench::{tpgrgad_config, HarnessOptions};
-use grgad_core::TpGrGad;
+use grgad_bench::HarnessOptions;
+use grgad_core::{TimingObserver, TpGrGad};
 use grgad_datasets::all_datasets;
 use grgad_metrics::label_candidates;
 
@@ -12,9 +13,15 @@ fn main() {
     let options = HarnessOptions::from_args();
     let seed = options.seeds[0];
     for dataset in all_datasets(options.scale, seed) {
-        let config = tpgrgad_config(options.scale, seed);
+        let config = options.pipeline_config(seed);
         let detector = TpGrGad::new(config.clone());
-        let result = detector.detect(&dataset.graph);
+
+        // Train once, then serve from the artifact — the timings below make
+        // the fit/score cost split visible per stage.
+        let mut fit_timings = TimingObserver::new();
+        let trained = detector.fit_observed(&dataset.graph, &mut fit_timings);
+        let mut score_timings = TimingObserver::new();
+        let result = trained.score_observed(&dataset.graph, &mut score_timings);
 
         let anomalous = dataset.anomalous_nodes();
         let anchor_hits = result
@@ -60,7 +67,7 @@ fn main() {
         };
 
         println!(
-            "{:15} nodes={:5} anomalous_nodes={:4} anchors={:4} anchor_hits={:4} ({:.0}%) candidates={:4} matching_candidates={:3} mean_best_jaccard={:.2} score(match)={:.2} score(normal)={:.2}",
+            "{:15} nodes={:5} anomalous_nodes={:4} anchors={:4} anchor_hits={:4} ({:.0}%) candidates={:4} matching_candidates={:3} mean_best_jaccard={:.2} score(match)={:.2} score(normal)={:.2} fit={:.2?} score={:.2?}",
             dataset.name,
             dataset.graph.num_nodes(),
             anomalous.len(),
@@ -72,6 +79,18 @@ fn main() {
             mean_best_jaccard,
             mean(true),
             mean(false),
+            fit_timings.total_wall(),
+            score_timings.total_wall(),
         );
+        for report in fit_timings.stages.iter().chain(&score_timings.stages) {
+            println!(
+                "    {:>5}/{:<20} {:>10.2?} items={:<6} epochs={}",
+                report.phase.to_string(),
+                report.stage.to_string(),
+                report.wall,
+                report.items,
+                report.train_epochs
+            );
+        }
     }
 }

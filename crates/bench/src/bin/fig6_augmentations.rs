@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use grgad_bench::{print_table, tpgrgad_config, write_json, HarnessOptions};
+use grgad_bench::{print_table, write_json, HarnessOptions};
 use grgad_datasets::all_datasets;
 use grgad_gnn::MhGae;
 use grgad_metrics::evaluate_detection;
@@ -20,7 +20,7 @@ fn main() {
     let options = HarnessOptions::from_args();
     let seed = options.seeds[0];
     let augmentations = Augmentation::all();
-    let config = tpgrgad_config(options.scale, seed);
+    let config = options.pipeline_config(seed);
 
     // dataset -> "NEG/POS" -> f1
     let mut json: BTreeMap<String, BTreeMap<String, f32>> = BTreeMap::new();

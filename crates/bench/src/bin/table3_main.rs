@@ -28,7 +28,7 @@ fn main() {
                     dataset.name
                 );
                 let report: DetectionReport = if method == "TP-GrGAD" {
-                    run_tp_grgad(dataset, options.scale, seed)
+                    run_tp_grgad(dataset, &options, seed)
                 } else {
                     run_baseline(method, dataset, options.scale, seed)
                 };

@@ -6,7 +6,7 @@
 
 use std::collections::BTreeMap;
 
-use grgad_bench::{print_table, tpgrgad_config, write_json, HarnessOptions, MeanStd};
+use grgad_bench::{print_table, write_json, HarnessOptions, MeanStd};
 use grgad_core::TpGrGad;
 use grgad_datasets::all_datasets;
 use grgad_gnn::ReconstructionTarget;
@@ -33,7 +33,7 @@ fn main() {
                     dataset.name,
                     target.label()
                 );
-                let mut config = tpgrgad_config(options.scale, seed);
+                let mut config = options.pipeline_config(seed);
                 config.reconstruction_target = target;
                 let (_, report) = TpGrGad::new(config).evaluate(dataset);
                 raw.entry(dataset.name.clone())

@@ -8,6 +8,8 @@
 //! --scale small|paper    dataset scale (default: small)
 //! --seeds N              number of random seeds to average over (default: 1)
 //! --out DIR              output directory (default: target/experiments)
+//! --detector KIND        outlier detector override for TP-GrGAD
+//!                        (ecod|zscore|lof|iforest|ensemble)
 //! ```
 //!
 //! Results are printed as plain-text tables mirroring the paper's layout and
@@ -20,7 +22,7 @@ use grgad_baselines::{
     detect_groups, AsGae, BaselineConfig, ComGa, DeepAe, DeepFd, Dominant, GroupExtractionConfig,
     NodeAnomalyScorer,
 };
-use grgad_core::{TpGrGad, TpGrGadConfig};
+use grgad_core::{DetectorKind, TpGrGad, TpGrGadConfig};
 use grgad_datasets::{DatasetScale, GrGadDataset};
 use grgad_metrics::{evaluate_predicted_groups, DetectionReport};
 use serde::Serialize;
@@ -34,6 +36,9 @@ pub struct HarnessOptions {
     pub seeds: Vec<u64>,
     /// Output directory for JSON results.
     pub out_dir: PathBuf,
+    /// Optional outlier-detector override (`--detector`, parsed through
+    /// [`DetectorKind`]'s `FromStr` impl).
+    pub detector: Option<DetectorKind>,
 }
 
 impl Default for HarnessOptions {
@@ -42,6 +47,7 @@ impl Default for HarnessOptions {
             scale: DatasetScale::Small,
             seeds: vec![0],
             out_dir: PathBuf::from("target/experiments"),
+            detector: None,
         }
     }
 }
@@ -81,11 +87,30 @@ impl HarnessOptions {
                         i += 1;
                     }
                 }
+                "--detector" => {
+                    if let Some(v) = args.get(i + 1) {
+                        match v.parse::<DetectorKind>() {
+                            Ok(kind) => options.detector = Some(kind),
+                            Err(message) => eprintln!("--detector: {message}"),
+                        }
+                        i += 1;
+                    }
+                }
                 _ => {}
             }
             i += 1;
         }
         options
+    }
+
+    /// The TP-GrGAD configuration for this run: the scale-appropriate base
+    /// from [`tpgrgad_config`] with the `--detector` override applied.
+    pub fn pipeline_config(&self, seed: u64) -> TpGrGadConfig {
+        let mut config = tpgrgad_config(self.scale, seed);
+        if let Some(kind) = self.detector {
+            config.detector = kind;
+        }
+        config
     }
 }
 
@@ -147,9 +172,14 @@ pub fn make_baseline(name: &str, config: BaselineConfig) -> Box<dyn NodeAnomalyS
     }
 }
 
-/// Runs TP-GrGAD on a dataset and evaluates it.
-pub fn run_tp_grgad(dataset: &GrGadDataset, scale: DatasetScale, seed: u64) -> DetectionReport {
-    let config = tpgrgad_config(scale, seed);
+/// Runs TP-GrGAD on a dataset and evaluates it, honouring the harness
+/// options' `--detector` override.
+pub fn run_tp_grgad(
+    dataset: &GrGadDataset,
+    options: &HarnessOptions,
+    seed: u64,
+) -> DetectionReport {
+    let config = options.pipeline_config(seed);
     let (_, report) = TpGrGad::new(config).evaluate(dataset);
     report
 }
@@ -317,6 +347,24 @@ mod tests {
         let options = HarnessOptions::from_slice(&["prog".to_string()]);
         assert_eq!(options.scale, DatasetScale::Small);
         assert_eq!(options.seeds, vec![0]);
+        assert_eq!(options.detector, None);
+    }
+
+    #[test]
+    fn options_parse_detector_override() {
+        let args: Vec<String> = ["prog", "--detector", "iforest"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let options = HarnessOptions::from_slice(&args);
+        assert_eq!(options.detector, Some(DetectorKind::IsolationForest));
+        let config = options.pipeline_config(0);
+        assert_eq!(config.detector, DetectorKind::IsolationForest);
+
+        // Invalid names are reported but do not abort the run.
+        let bad = HarnessOptions::from_slice(&["prog".into(), "--detector".into(), "bad".into()]);
+        assert_eq!(bad.detector, None);
+        assert_eq!(bad.pipeline_config(0).detector, DetectorKind::Ecod);
     }
 
     #[test]

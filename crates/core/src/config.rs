@@ -1,5 +1,8 @@
 //! Configuration of the TP-GrGAD pipeline.
 
+use std::fmt;
+use std::str::FromStr;
+
 use grgad_gnn::{GaeConfig, ReconstructionTarget};
 use grgad_outlier::{Ecod, Ensemble, IsolationForest, Lof, OutlierDetector, ZScore};
 use grgad_sampling::SamplingConfig;
@@ -21,7 +24,16 @@ pub enum DetectorKind {
 }
 
 impl DetectorKind {
-    /// Instantiates the detector.
+    /// All detector kinds, in the order used by the Table III matrix.
+    pub const ALL: [DetectorKind; 5] = [
+        DetectorKind::Ecod,
+        DetectorKind::ZScore,
+        DetectorKind::Lof,
+        DetectorKind::IsolationForest,
+        DetectorKind::Ensemble,
+    ];
+
+    /// Instantiates an unfitted detector.
     pub fn build(&self, seed: u64) -> Box<dyn OutlierDetector> {
         match self {
             DetectorKind::Ecod => Box::new(Ecod::new()),
@@ -44,8 +56,48 @@ impl DetectorKind {
     }
 }
 
+impl fmt::Display for DetectorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for DetectorKind {
+    type Err = String;
+
+    /// Parses a detector name case-insensitively; `iforest` and
+    /// `isolation-forest` are accepted aliases, as used by the bench CLIs'
+    /// `--detector` flag.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+            "ecod" => Ok(DetectorKind::Ecod),
+            "zscore" => Ok(DetectorKind::ZScore),
+            "lof" => Ok(DetectorKind::Lof),
+            "iforest" | "isolationforest" => Ok(DetectorKind::IsolationForest),
+            "ensemble" | "suod" => Ok(DetectorKind::Ensemble),
+            other => Err(format!(
+                "unknown detector `{other}` (expected one of: ecod, zscore, lof, iforest, ensemble)"
+            )),
+        }
+    }
+}
+
+// String-based serde impls (the vendored derive does not cover enums).
+impl serde::Serialize for DetectorKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+impl serde::Deserialize for DetectorKind {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let name = String::from_value(value)?;
+        name.parse().map_err(serde::Error::custom)
+    }
+}
+
 /// Full configuration of the TP-GrGAD pipeline.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct TpGrGadConfig {
     /// MH-GAE training hyperparameters.
     pub gae: GaeConfig,
@@ -100,6 +152,11 @@ impl Default for TpGrGadConfig {
 }
 
 impl TpGrGadConfig {
+    /// The paper's full-size configuration (identical to `Default`).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
     /// A reduced configuration that runs in seconds on small graphs — used by
     /// unit/integration tests and the quick experiment mode.
     pub fn fast() -> Self {
@@ -117,6 +174,24 @@ impl TpGrGadConfig {
         config
     }
 
+    /// A serving-oriented preset: the paper's model dimensions with reduced
+    /// training epochs and capped sampling budgets, tuned for fitting once
+    /// and scoring many snapshots with bounded per-request latency.
+    pub fn serving() -> Self {
+        let mut config = Self::default();
+        config.gae.epochs = 60;
+        config.tpgcl.epochs = 30;
+        config.tpgcl.max_training_groups = 128;
+        config.sampling.max_anchor_pairs = 800;
+        config.sampling.max_groups = 600;
+        config
+    }
+
+    /// Starts a fluent builder from the paper configuration.
+    pub fn builder() -> TpGrGadConfigBuilder {
+        TpGrGadConfigBuilder::new(Self::default())
+    }
+
     /// Propagates the master seed into every stage's seed field.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -127,23 +202,163 @@ impl TpGrGadConfig {
     }
 }
 
+/// Fluent builder for [`TpGrGadConfig`] with preset starting points:
+///
+/// ```
+/// use grgad_core::{DetectorKind, TpGrGadConfig};
+///
+/// let config = TpGrGadConfig::builder()
+///     .fast()
+///     .detector(DetectorKind::Ensemble)
+///     .anchor_fraction(0.2)
+///     .seed(7)
+///     .build();
+/// assert_eq!(config.detector, DetectorKind::Ensemble);
+/// assert_eq!(config.gae.seed, 7); // seed propagated to every stage
+/// ```
+#[derive(Clone, Debug)]
+pub struct TpGrGadConfigBuilder {
+    config: TpGrGadConfig,
+    seed: Option<u64>,
+}
+
+impl TpGrGadConfigBuilder {
+    /// Starts from an explicit base configuration.
+    pub fn new(config: TpGrGadConfig) -> Self {
+        Self { config, seed: None }
+    }
+
+    /// Switches the base to the [`TpGrGadConfig::fast`] preset.
+    pub fn fast(mut self) -> Self {
+        self.config = TpGrGadConfig::fast();
+        self
+    }
+
+    /// Switches the base to the [`TpGrGadConfig::paper`] preset.
+    pub fn paper(mut self) -> Self {
+        self.config = TpGrGadConfig::paper();
+        self
+    }
+
+    /// Switches the base to the [`TpGrGadConfig::serving`] preset.
+    pub fn serving(mut self) -> Self {
+        self.config = TpGrGadConfig::serving();
+        self
+    }
+
+    /// Sets the outlier detector scoring the group embeddings.
+    pub fn detector(mut self, detector: DetectorKind) -> Self {
+        self.config.detector = detector;
+        self
+    }
+
+    /// Sets the MH-GAE structure-reconstruction target.
+    pub fn reconstruction_target(mut self, target: ReconstructionTarget) -> Self {
+        self.config.reconstruction_target = target;
+        self
+    }
+
+    /// Sets the fraction of nodes selected as anchors.
+    pub fn anchor_fraction(mut self, fraction: f32) -> Self {
+        self.config.anchor_fraction = fraction;
+        self
+    }
+
+    /// Enables/disables the TPGCL stage (Table V ablation when disabled).
+    pub fn use_tpgcl(mut self, enabled: bool) -> Self {
+        self.config.use_tpgcl = enabled;
+        self
+    }
+
+    /// Sets the contamination fraction for the fixed-fraction threshold.
+    pub fn contamination(mut self, contamination: f32) -> Self {
+        self.config.contamination = contamination;
+        self
+    }
+
+    /// Enables/disables the adaptive `mean + k·std` threshold.
+    pub fn adaptive_threshold(mut self, enabled: bool) -> Self {
+        self.config.adaptive_threshold = enabled;
+        self
+    }
+
+    /// Sets `k` for the adaptive threshold.
+    pub fn adaptive_k(mut self, k: f32) -> Self {
+        self.config.adaptive_k = k;
+        self
+    }
+
+    /// Sets the evaluation Jaccard matching threshold.
+    pub fn match_jaccard(mut self, jaccard: f32) -> Self {
+        self.config.match_jaccard = jaccard;
+        self
+    }
+
+    /// Sets the MH-GAE training epochs.
+    pub fn gae_epochs(mut self, epochs: usize) -> Self {
+        self.config.gae.epochs = epochs;
+        self
+    }
+
+    /// Sets the TPGCL training epochs.
+    pub fn tpgcl_epochs(mut self, epochs: usize) -> Self {
+        self.config.tpgcl.epochs = epochs;
+        self
+    }
+
+    /// Caps the number of candidate groups the sampler may return.
+    pub fn max_groups(mut self, max_groups: usize) -> Self {
+        self.config.sampling.max_groups = max_groups;
+        self
+    }
+
+    /// Sets the master seed; propagated to every stage at `build`.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Finalizes the configuration, propagating the seed if one was set.
+    pub fn build(self) -> TpGrGadConfig {
+        match self.seed {
+            Some(seed) => self.config.with_seed(seed),
+            None => self.config,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn detector_kinds_build_named_detectors() {
-        for kind in [
-            DetectorKind::Ecod,
-            DetectorKind::ZScore,
-            DetectorKind::Lof,
-            DetectorKind::IsolationForest,
-            DetectorKind::Ensemble,
-        ] {
+        for kind in DetectorKind::ALL {
             let detector = kind.build(0);
             assert!(!detector.name().is_empty());
             assert!(!kind.name().is_empty());
         }
+    }
+
+    #[test]
+    fn detector_kind_display_from_str_round_trip() {
+        for kind in DetectorKind::ALL {
+            let parsed: DetectorKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert_eq!(
+            "iforest".parse::<DetectorKind>().unwrap(),
+            DetectorKind::IsolationForest
+        );
+        assert_eq!(
+            "isolation-forest".parse::<DetectorKind>().unwrap(),
+            DetectorKind::IsolationForest
+        );
+        assert_eq!(
+            "SUOD".parse::<DetectorKind>().unwrap(),
+            DetectorKind::Ensemble
+        );
+        assert!("nope".parse::<DetectorKind>().is_err());
     }
 
     #[test]
@@ -174,5 +389,71 @@ mod tests {
         let full = TpGrGadConfig::default();
         assert!(fast.gae.epochs < full.gae.epochs);
         assert!(fast.tpgcl.embed_dim < full.tpgcl.embed_dim);
+    }
+
+    #[test]
+    fn serving_preset_trains_less_but_keeps_model_size() {
+        let serving = TpGrGadConfig::serving();
+        let paper = TpGrGadConfig::paper();
+        assert!(serving.gae.epochs < paper.gae.epochs);
+        assert!(serving.tpgcl.epochs < paper.tpgcl.epochs);
+        assert_eq!(serving.tpgcl.embed_dim, paper.tpgcl.embed_dim);
+        assert_eq!(serving.gae.embed_dim, paper.gae.embed_dim);
+    }
+
+    #[test]
+    fn builder_without_seed_keeps_base_seeds() {
+        let config = TpGrGadConfig::builder().fast().build();
+        let fast = TpGrGadConfig::fast();
+        assert_eq!(config.gae.seed, fast.gae.seed);
+        assert_eq!(config.sampling.seed, fast.sampling.seed);
+    }
+
+    #[test]
+    fn builder_applies_every_setter() {
+        let config = TpGrGadConfig::builder()
+            .serving()
+            .detector(DetectorKind::Lof)
+            .reconstruction_target(ReconstructionTarget::KHop(3))
+            .anchor_fraction(0.25)
+            .use_tpgcl(false)
+            .contamination(0.1)
+            .adaptive_threshold(false)
+            .adaptive_k(2.0)
+            .match_jaccard(0.6)
+            .gae_epochs(5)
+            .tpgcl_epochs(4)
+            .max_groups(50)
+            .seed(9)
+            .build();
+        assert_eq!(config.detector, DetectorKind::Lof);
+        assert_eq!(config.reconstruction_target, ReconstructionTarget::KHop(3));
+        assert_eq!(config.anchor_fraction, 0.25);
+        assert!(!config.use_tpgcl);
+        assert_eq!(config.contamination, 0.1);
+        assert!(!config.adaptive_threshold);
+        assert_eq!(config.adaptive_k, 2.0);
+        assert_eq!(config.match_jaccard, 0.6);
+        assert_eq!(config.gae.epochs, 5);
+        assert_eq!(config.tpgcl.epochs, 4);
+        assert_eq!(config.sampling.max_groups, 50);
+        assert_eq!(config.seed, 9);
+        assert_eq!(config.gae.seed, 9);
+        assert_eq!(config.sampling.seed, 10);
+        assert_eq!(config.tpgcl.seed, 11);
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        let config = TpGrGadConfig::fast().with_seed(3);
+        let json = serde_json::to_string_pretty(&config).unwrap();
+        let back: TpGrGadConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.detector, config.detector);
+        assert_eq!(back.seed, config.seed);
+        assert_eq!(back.gae.epochs, config.gae.epochs);
+        assert_eq!(back.tpgcl.embed_dim, config.tpgcl.embed_dim);
+        assert_eq!(back.sampling.max_groups, config.sampling.max_groups);
+        assert_eq!(back.reconstruction_target, config.reconstruction_target);
+        assert_eq!(back.adaptive_k, config.adaptive_k);
     }
 }

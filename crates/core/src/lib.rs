@@ -1,7 +1,7 @@
 //! TP-GrGAD: the end-to-end Group-level Graph Anomaly Detection pipeline
 //! proposed by the paper (Fig. 2).
 //!
-//! The pipeline has four stages:
+//! The pipeline has four stages ([`PipelineStage`]):
 //!
 //! 1. **Anchor localization** — a Multi-Hop Graph AutoEncoder
 //!    ([`grgad_gnn::MhGae`]) is trained to reconstruct node attributes and a
@@ -16,12 +16,23 @@
 //!    [`grgad_outlier`]) scores the group embeddings; the top-scoring groups
 //!    are reported as anomalies.
 //!
-//! [`TpGrGad::detect`] runs all four stages; [`TpGrGad::evaluate`] further
-//! compares the result against a dataset's ground truth with the paper's
-//! metrics (CR / F1 / AUC).
+//! The public API follows the sklearn/PyOD fit-once/score-many split:
+//! [`TpGrGad::fit`] trains every learned stage once and returns a
+//! [`TrainedTpGrGad`] artifact that scores arbitrarily many graphs/snapshots
+//! ([`TrainedTpGrGad::score`], [`TrainedTpGrGad::score_groups`]) with zero
+//! training epochs and persists itself as JSON
+//! ([`TrainedTpGrGad::save`]/[`TrainedTpGrGad::load`]). The legacy
+//! [`TpGrGad::detect`] remains as a thin `fit(g).score(g)` wrapper, and
+//! [`TpGrGad::evaluate`] compares a run against a dataset's ground truth
+//! with the paper's metrics (CR / F1 / AUC). Every stage reports wall-clock
+//! and workload diagnostics through the [`PipelineObserver`] seam.
 
 pub mod config;
 pub mod pipeline;
+pub mod stage;
 
-pub use config::{DetectorKind, TpGrGadConfig};
-pub use pipeline::{TpGrGad, TpGrGadResult};
+pub use config::{DetectorKind, TpGrGadConfig, TpGrGadConfigBuilder};
+pub use pipeline::{TpGrGad, TpGrGadResult, TrainedTpGrGad};
+pub use stage::{
+    NullObserver, PipelineObserver, PipelinePhase, PipelineStage, StageTimings, TimingObserver,
+};

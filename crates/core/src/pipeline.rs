@@ -1,17 +1,28 @@
-//! The four-stage TP-GrGAD detection pipeline.
+//! The four-stage TP-GrGAD detection pipeline, split into a *trainer*
+//! ([`TpGrGad`]) and a *trained-model artifact* ([`TrainedTpGrGad`]).
+//!
+//! [`TpGrGad::fit`] trains MH-GAE, TPGCL and the outlier detector once on a
+//! graph and returns a [`TrainedTpGrGad`] that can score arbitrarily many
+//! graphs/snapshots with **zero training epochs**, score pre-sampled
+//! candidate groups directly, and persist itself as JSON. The legacy
+//! [`TpGrGad::detect`] is a thin `fit(g).score(g)` wrapper and produces
+//! bit-for-bit identical output.
+
+use std::path::Path;
 
 use grgad_datasets::GrGadDataset;
-use grgad_gnn::MhGae;
+use grgad_gnn::{select_anchor_nodes, MhGae};
 use grgad_graph::{Graph, Group};
 use grgad_linalg::Matrix;
 use grgad_metrics::{evaluate_detection, DetectionReport};
-use grgad_outlier::threshold_by_contamination;
+use grgad_outlier::{threshold_by_contamination, OutlierDetector};
 use grgad_sampling::{sample_candidate_groups, SamplingStats};
 use grgad_tpgcl::Tpgcl;
 
 use crate::config::TpGrGadConfig;
+use crate::stage::{observe_stage, NullObserver, PipelineObserver, PipelinePhase, PipelineStage};
 
-/// Everything produced by one run of the pipeline.
+/// Everything produced by one scoring run of the pipeline.
 #[derive(Clone, Debug)]
 pub struct TpGrGadResult {
     /// Anchor nodes selected by MH-GAE.
@@ -32,22 +43,24 @@ pub struct TpGrGadResult {
 
 impl TpGrGadResult {
     /// The groups reported as anomalous, paired with their scores, sorted by
-    /// descending score — the `{C, S}` output of Definition 1.
-    pub fn anomalous_groups(&self) -> Vec<(Group, f32)> {
-        let mut out: Vec<(Group, f32)> = self
+    /// descending score — the `{C, S}` output of Definition 1. Groups are
+    /// borrowed from the result rather than cloned.
+    pub fn anomalous_groups(&self) -> Vec<(&Group, f32)> {
+        let mut out: Vec<(&Group, f32)> = self
             .candidate_groups
             .iter()
             .zip(&self.scores)
             .zip(&self.predicted_anomalous)
             .filter(|(_, &flag)| flag)
-            .map(|((g, &s), _)| (g.clone(), s))
+            .map(|((g, &s), _)| (g, s))
             .collect();
         out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         out
     }
 }
 
-/// The TP-GrGAD detector.
+/// The TP-GrGAD trainer: holds a configuration and fits trained-model
+/// artifacts from graphs.
 pub struct TpGrGad {
     config: TpGrGadConfig,
 }
@@ -63,62 +76,104 @@ impl TpGrGad {
         &self.config
     }
 
-    /// Runs the full pipeline on a graph.
-    pub fn detect(&self, graph: &Graph) -> TpGrGadResult {
-        // Stage 1: anchor localization with MH-GAE.
-        let mut mhgae = MhGae::new(
-            graph.feature_dim(),
-            self.config.reconstruction_target,
-            self.config.gae.clone(),
+    /// Trains all learned stages on `graph` once and returns a reusable
+    /// trained-model artifact. Equivalent to `fit_observed` with a no-op
+    /// observer.
+    pub fn fit(&self, graph: &Graph) -> TrainedTpGrGad {
+        self.fit_observed(graph, &mut NullObserver)
+    }
+
+    /// [`TpGrGad::fit`] with a [`PipelineObserver`] receiving per-stage
+    /// timing/workload reports.
+    pub fn fit_observed(
+        &self,
+        graph: &Graph,
+        observer: &mut dyn PipelineObserver,
+    ) -> TrainedTpGrGad {
+        let config = &self.config;
+
+        // Stage 1: anchor localization — train MH-GAE.
+        let mhgae = observe_stage(
+            observer,
+            PipelineStage::AnchorLocalization,
+            PipelinePhase::Fit,
+            || {
+                let mut mhgae = MhGae::new(
+                    graph.feature_dim(),
+                    config.reconstruction_target,
+                    config.gae.clone(),
+                );
+                mhgae.fit(graph);
+                let epochs = mhgae.gae().loss_history().len();
+                (mhgae, graph.num_nodes(), epochs)
+            },
         );
-        mhgae.fit(graph);
-        let node_errors = mhgae.node_errors().combined.clone();
-        let anchor_nodes = mhgae.anchor_nodes(self.config.anchor_fraction);
+        let anchor_nodes = mhgae.anchor_nodes(config.anchor_fraction);
 
-        // Stage 2: candidate-group sampling (Alg. 1).
-        let (candidate_groups, sampling_stats) =
-            sample_candidate_groups(graph, &anchor_nodes, &self.config.sampling);
+        // Stage 2: candidate-group sampling (Alg. 1) — the TPGCL training set.
+        let candidate_groups = observe_stage(
+            observer,
+            PipelineStage::CandidateSampling,
+            PipelinePhase::Fit,
+            || {
+                let (groups, _) = sample_candidate_groups(graph, &anchor_nodes, &config.sampling);
+                let n = groups.len();
+                (groups, n, 0)
+            },
+        );
 
-        if candidate_groups.is_empty() {
-            return TpGrGadResult {
-                anchor_nodes,
-                node_errors,
-                candidate_groups,
-                sampling_stats,
-                embeddings: Matrix::zeros(0, 0),
-                scores: Vec::new(),
-                predicted_anomalous: Vec::new(),
-            };
+        // Stage 3: train the TPGCL group encoder and embed the training
+        // candidates (or take attribute means for the Table V ablation).
+        let (tpgcl, embeddings) = observe_stage(
+            observer,
+            PipelineStage::GroupEmbedding,
+            PipelinePhase::Fit,
+            || {
+                let tpgcl = if config.use_tpgcl {
+                    let mut tpgcl = Tpgcl::new(graph.feature_dim(), config.tpgcl.clone());
+                    if !candidate_groups.is_empty() {
+                        tpgcl.fit(graph, &candidate_groups);
+                    }
+                    Some(tpgcl)
+                } else {
+                    None
+                };
+                let embeddings =
+                    embed_groups(tpgcl.as_ref(), graph, &candidate_groups, config.use_tpgcl);
+                let epochs = tpgcl.as_ref().map_or(0, |t| t.loss_history().len());
+                ((tpgcl, embeddings), candidate_groups.len(), epochs)
+            },
+        );
+
+        // Stage 4: fit the unsupervised outlier detector on the training
+        // embeddings (an empty fit yields a detector that scores zeros).
+        let detector = observe_stage(
+            observer,
+            PipelineStage::OutlierScoring,
+            PipelinePhase::Fit,
+            || {
+                let mut detector = config.detector.build(config.seed);
+                detector.fit(&embeddings);
+                (detector, embeddings.rows(), 0)
+            },
+        );
+
+        TrainedTpGrGad {
+            config: config.clone(),
+            mhgae,
+            tpgcl,
+            detector,
         }
+    }
 
-        // Stage 3: group embeddings — TPGCL, or the raw-attribute-mean
-        // ablation of Table V.
-        let embeddings = if self.config.use_tpgcl {
-            let mut tpgcl = Tpgcl::new(graph.feature_dim(), self.config.tpgcl.clone());
-            tpgcl.fit(graph, &candidate_groups);
-            tpgcl.embed_groups(graph, &candidate_groups)
-        } else {
-            mean_attribute_embeddings(graph, &candidate_groups)
-        };
-
-        // Stage 4: unsupervised outlier scoring of the group embeddings.
-        let detector = self.config.detector.build(self.config.seed);
-        let scores = detector.fit_score(&embeddings);
-        let predicted_anomalous = if self.config.adaptive_threshold {
-            adaptive_threshold(&scores, self.config.adaptive_k)
-        } else {
-            threshold_by_contamination(&scores, self.config.contamination)
-        };
-
-        TpGrGadResult {
-            anchor_nodes,
-            node_errors,
-            candidate_groups,
-            sampling_stats,
-            embeddings,
-            scores,
-            predicted_anomalous,
-        }
+    /// Legacy one-shot API: trains on `graph` and scores the same graph.
+    ///
+    /// Exactly equivalent to `self.fit(graph).score(graph)` — callers that
+    /// score more than one graph (or the same graph repeatedly) should hold
+    /// on to the [`TrainedTpGrGad`] from [`TpGrGad::fit`] instead of paying
+    /// for retraining on every call.
+    pub fn detect(&self, graph: &Graph) -> TpGrGadResult {
+        self.fit(graph).score(graph)
     }
 
     /// Runs the pipeline on a benchmark dataset and evaluates against its
@@ -136,21 +191,332 @@ impl TpGrGad {
     }
 }
 
+/// A trained TP-GrGAD model: MH-GAE weights, the TPGCL group encoder and a
+/// fitted outlier detector. Produced by [`TpGrGad::fit`]; scores any number
+/// of graphs/snapshots without retraining and persists itself as JSON.
+pub struct TrainedTpGrGad {
+    config: TpGrGadConfig,
+    mhgae: MhGae,
+    tpgcl: Option<Tpgcl>,
+    detector: Box<dyn OutlierDetector>,
+}
+
+impl TrainedTpGrGad {
+    /// The configuration the model was trained with.
+    pub fn config(&self) -> &TpGrGadConfig {
+        &self.config
+    }
+
+    /// The trained anchor localizer.
+    pub fn mhgae(&self) -> &MhGae {
+        &self.mhgae
+    }
+
+    /// The trained TPGCL model (`None` for the Table V ablation).
+    pub fn tpgcl(&self) -> Option<&Tpgcl> {
+        self.tpgcl.as_ref()
+    }
+
+    /// Name of the fitted outlier detector.
+    pub fn detector_name(&self) -> &'static str {
+        self.detector.name()
+    }
+
+    /// Scores a graph with the trained model — zero training epochs.
+    /// Equivalent to `score_observed` with a no-op observer.
+    pub fn score(&self, graph: &Graph) -> TpGrGadResult {
+        self.score_observed(graph, &mut NullObserver)
+    }
+
+    /// [`TrainedTpGrGad::score`] with a [`PipelineObserver`] receiving
+    /// per-stage timing/workload reports (every report has
+    /// `train_epochs == 0`).
+    ///
+    /// # Panics
+    /// Panics if `graph`'s feature dimensionality differs from the graph the
+    /// model was trained on.
+    pub fn score_observed(
+        &self,
+        graph: &Graph,
+        observer: &mut dyn PipelineObserver,
+    ) -> TpGrGadResult {
+        assert_eq!(
+            graph.feature_dim(),
+            self.mhgae.feature_dim(),
+            "score: graph has {} features, model was trained on {}",
+            graph.feature_dim(),
+            self.mhgae.feature_dim()
+        );
+        let config = &self.config;
+
+        // Stage 1: anchor localization — forward pass only.
+        let (anchor_nodes, node_errors) = observe_stage(
+            observer,
+            PipelineStage::AnchorLocalization,
+            PipelinePhase::Score,
+            || {
+                let node_errors = self.mhgae.infer_errors(graph).combined;
+                let anchors = select_anchor_nodes(&node_errors, config.anchor_fraction);
+                ((anchors, node_errors), graph.num_nodes(), 0)
+            },
+        );
+
+        // Stage 2: candidate-group sampling (Alg. 1).
+        let (candidate_groups, sampling_stats) = observe_stage(
+            observer,
+            PipelineStage::CandidateSampling,
+            PipelinePhase::Score,
+            || {
+                let (groups, stats) =
+                    sample_candidate_groups(graph, &anchor_nodes, &config.sampling);
+                let n = groups.len();
+                ((groups, stats), n, 0)
+            },
+        );
+
+        if candidate_groups.is_empty() {
+            return TpGrGadResult {
+                anchor_nodes,
+                node_errors,
+                candidate_groups,
+                sampling_stats,
+                embeddings: Matrix::zeros(0, 0),
+                scores: Vec::new(),
+                predicted_anomalous: Vec::new(),
+            };
+        }
+
+        // Stage 3: embed the candidate groups with the trained encoder.
+        let embeddings = observe_stage(
+            observer,
+            PipelineStage::GroupEmbedding,
+            PipelinePhase::Score,
+            || {
+                let z = embed_groups(
+                    self.tpgcl.as_ref(),
+                    graph,
+                    &candidate_groups,
+                    config.use_tpgcl,
+                );
+                (z, candidate_groups.len(), 0)
+            },
+        );
+
+        // Stage 4: score with the fitted detector and threshold.
+        let (scores, predicted_anomalous) = observe_stage(
+            observer,
+            PipelineStage::OutlierScoring,
+            PipelinePhase::Score,
+            || {
+                let scores = self.detector.score(&embeddings);
+                let flags = self.apply_threshold(&scores);
+                let n = scores.len();
+                ((scores, flags), n, 0)
+            },
+        );
+
+        TpGrGadResult {
+            anchor_nodes,
+            node_errors,
+            candidate_groups,
+            sampling_stats,
+            embeddings,
+            scores,
+            predicted_anomalous,
+        }
+    }
+
+    /// Scores pre-sampled candidate groups directly, skipping anchor
+    /// localization and sampling — the serving path for callers that manage
+    /// their own candidates. Returns one anomaly score per group (higher =
+    /// more anomalous); pair with [`TrainedTpGrGad::apply_threshold`] for
+    /// binary predictions.
+    ///
+    /// With [`crate::DetectorKind::Ensemble`] the scores are rank-normalized
+    /// *within the scored batch* (the SUOD combination rule), so they are
+    /// comparable inside one call but not across calls — score related
+    /// candidates together rather than one at a time.
+    ///
+    /// # Panics
+    /// Panics if `graph`'s feature dimensionality differs from the graph the
+    /// model was trained on.
+    pub fn score_groups(&self, graph: &Graph, groups: &[Group]) -> Vec<f32> {
+        assert_eq!(
+            graph.feature_dim(),
+            self.mhgae.feature_dim(),
+            "score_groups: graph has {} features, model was trained on {}",
+            graph.feature_dim(),
+            self.mhgae.feature_dim()
+        );
+        if groups.is_empty() {
+            return Vec::new();
+        }
+        let embeddings = embed_groups(self.tpgcl.as_ref(), graph, groups, self.config.use_tpgcl);
+        self.detector.score(&embeddings)
+    }
+
+    /// Converts scores into binary predictions with the configured threshold
+    /// (adaptive `mean + k·std`, or top-contamination fraction).
+    pub fn apply_threshold(&self, scores: &[f32]) -> Vec<bool> {
+        if self.config.adaptive_threshold {
+            adaptive_threshold(scores, self.config.adaptive_k)
+        } else {
+            threshold_by_contamination(scores, self.config.contamination)
+        }
+    }
+
+    /// Serializes the trained model (config + all weights + detector state)
+    /// as a JSON string. [`TrainedTpGrGad::from_json`] restores a model that
+    /// reproduces the original scores exactly.
+    pub fn to_json(&self) -> Result<String, serde::Error> {
+        serde_json::to_string_pretty(&self.to_value())
+    }
+
+    fn to_value(&self) -> serde::Value {
+        use serde::Serialize;
+        serde::Value::Map(vec![
+            (
+                "format".to_string(),
+                serde::Value::Str(MODEL_FORMAT.to_string()),
+            ),
+            ("config".to_string(), self.config.to_value()),
+            (
+                "feature_dim".to_string(),
+                self.mhgae.feature_dim().to_value(),
+            ),
+            (
+                "mhgae_weights".to_string(),
+                self.mhgae.export_weights().to_value(),
+            ),
+            (
+                "tpgcl_weights".to_string(),
+                self.tpgcl
+                    .as_ref()
+                    .map(|t| t.encoder().export_weights())
+                    .to_value(),
+            ),
+            (
+                "detector".to_string(),
+                serde::Value::Map(vec![
+                    (
+                        "name".to_string(),
+                        serde::Value::Str(self.detector.name().to_string()),
+                    ),
+                    ("state".to_string(), self.detector.save_state()),
+                ]),
+            ),
+        ])
+    }
+
+    /// Restores a trained model from a [`TrainedTpGrGad::to_json`] string.
+    pub fn from_json(json: &str) -> Result<Self, serde::Error> {
+        use serde::Deserialize;
+        let value: serde::Value = serde_json::from_str(json)?;
+        let format = String::from_value(value.field("format")?)?;
+        if format != MODEL_FORMAT {
+            return Err(serde::Error::custom(format!(
+                "unsupported model format `{format}` (expected `{MODEL_FORMAT}`)"
+            )));
+        }
+        let config = TpGrGadConfig::from_value(value.field("config")?)?;
+        let feature_dim = usize::from_value(value.field("feature_dim")?)?;
+
+        let mhgae = MhGae::new(
+            feature_dim,
+            config.reconstruction_target,
+            config.gae.clone(),
+        );
+        let mhgae_weights = Vec::<Matrix>::from_value(value.field("mhgae_weights")?)?;
+        mhgae.import_weights(&mhgae_weights);
+
+        let tpgcl = if config.use_tpgcl {
+            let weights = Vec::<Matrix>::from_value(value.field("tpgcl_weights")?)?;
+            let tpgcl = Tpgcl::new(feature_dim, config.tpgcl.clone());
+            tpgcl.encoder().import_weights(&weights);
+            Some(tpgcl)
+        } else {
+            None
+        };
+
+        let detector_value = value.field("detector")?;
+        let name = String::from_value(detector_value.field("name")?)?;
+        let mut detector = config.detector.build(config.seed);
+        if name != detector.name() {
+            return Err(serde::Error::custom(format!(
+                "detector state `{name}` does not match configured `{}`",
+                detector.name()
+            )));
+        }
+        detector.load_state(detector_value.field("state")?)?;
+
+        Ok(Self {
+            config,
+            mhgae,
+            tpgcl,
+            detector,
+        })
+    }
+
+    /// Writes the model as JSON to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let json = self
+            .to_json()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Reads a model saved by [`TrainedTpGrGad::save`].
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Identifier stored in saved models; bump on breaking layout changes.
+const MODEL_FORMAT: &str = "tp-grgad-model/v1";
+
+/// Embeds groups with the trained TPGCL encoder, or with the Table V
+/// "w/o TPGCL" attribute-mean ablation.
+fn embed_groups(tpgcl: Option<&Tpgcl>, graph: &Graph, groups: &[Group], use_tpgcl: bool) -> Matrix {
+    if groups.is_empty() {
+        return Matrix::zeros(0, 0);
+    }
+    match (use_tpgcl, tpgcl) {
+        (true, Some(model)) => model.embed_groups(graph, groups),
+        (true, None) => unreachable!("use_tpgcl set but no TPGCL model present"),
+        (false, _) => mean_attribute_embeddings(graph, groups),
+    }
+}
+
 /// Flags scores exceeding `mean + k · std`; falls back to flagging the single
 /// top score if the rule flags nothing (so the detector always reports at
 /// least one group, matching Definition 1's non-empty output).
+///
+/// Non-finite scores are excluded from the mean/std estimate and are never
+/// flagged; a degenerate distribution (`std == 0`, e.g. all scores equal)
+/// skips straight to the top-score fallback instead of comparing against a
+/// meaningless threshold.
 fn adaptive_threshold(scores: &[f32], k: f32) -> Vec<bool> {
     if scores.is_empty() {
         return Vec::new();
     }
-    let mean = grgad_linalg::stats::mean(scores);
-    let std = grgad_linalg::stats::std_dev(scores);
-    let tau = mean + k * std;
-    let mut flags: Vec<bool> = scores.iter().map(|&s| s > tau).collect();
+    let finite: Vec<f32> = scores.iter().copied().filter(|s| s.is_finite()).collect();
+    if finite.is_empty() {
+        return vec![false; scores.len()];
+    }
+    let mean = grgad_linalg::stats::mean(&finite);
+    let std = grgad_linalg::stats::std_dev(&finite);
+    let mut flags: Vec<bool> = if std > 0.0 {
+        let tau = mean + k * std;
+        scores.iter().map(|&s| s.is_finite() && s > tau).collect()
+    } else {
+        vec![false; scores.len()]
+    };
     if !flags.iter().any(|&f| f) {
         if let Some(best) = scores
             .iter()
             .enumerate()
+            .filter(|(_, s)| s.is_finite())
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
         {
             flags[best.0] = true;
@@ -183,6 +549,7 @@ fn mean_attribute_embeddings(graph: &Graph, groups: &[Group]) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stage::TimingObserver;
     use grgad_datasets::example;
 
     fn quick_detector(seed: u64) -> TpGrGad {
@@ -229,7 +596,9 @@ mod tests {
         let dataset = example::generate(30, 8);
         let mut config = TpGrGadConfig::fast().with_seed(4);
         config.use_tpgcl = false;
-        let result = TpGrGad::new(config).detect(&dataset.graph);
+        let trained = TpGrGad::new(config).fit(&dataset.graph);
+        assert!(trained.tpgcl().is_none());
+        let result = trained.score(&dataset.graph);
         assert_eq!(result.embeddings.cols(), dataset.graph.feature_dim());
     }
 
@@ -245,5 +614,74 @@ mod tests {
             report.cr > 0.3 || report.auc > 0.55,
             "pipeline failed to beat chance: {report:?}"
         );
+    }
+
+    #[test]
+    fn score_groups_matches_full_scoring_run() {
+        let dataset = example::generate(36, 10);
+        let trained = quick_detector(5).fit(&dataset.graph);
+        let result = trained.score(&dataset.graph);
+        let direct = trained.score_groups(&dataset.graph, &result.candidate_groups);
+        assert_eq!(result.scores, direct);
+        assert_eq!(trained.apply_threshold(&direct), result.predicted_anomalous);
+        assert!(trained.score_groups(&dataset.graph, &[]).is_empty());
+    }
+
+    #[test]
+    fn fit_reports_training_epochs_and_score_reports_none() {
+        let dataset = example::generate(36, 3);
+        let detector = quick_detector(6);
+        let mut fit_observer = TimingObserver::new();
+        let trained = detector.fit_observed(&dataset.graph, &mut fit_observer);
+        assert_eq!(fit_observer.stages.len(), 4);
+        assert!(fit_observer.total_train_epochs() > 0);
+
+        let mut score_observer = TimingObserver::new();
+        let _ = trained.score_observed(&dataset.graph, &mut score_observer);
+        assert_eq!(score_observer.stages.len(), 4);
+        assert_eq!(score_observer.total_train_epochs(), 0);
+        for report in &score_observer.stages {
+            assert_eq!(report.phase, PipelinePhase::Score);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "features")]
+    fn scoring_mismatched_feature_dim_panics() {
+        let dataset = example::generate(30, 2);
+        let trained = quick_detector(1).fit(&dataset.graph);
+        let other = Graph::new(4, Matrix::zeros(4, dataset.graph.feature_dim() + 1));
+        let _ = trained.score(&other);
+    }
+
+    #[test]
+    fn adaptive_threshold_flags_clear_outlier() {
+        let scores = vec![0.1, 0.11, 0.09, 0.1, 5.0];
+        let flags = adaptive_threshold(&scores, 1.0);
+        assert_eq!(flags, vec![false, false, false, false, true]);
+    }
+
+    #[test]
+    fn adaptive_threshold_degenerate_distribution_flags_one() {
+        // All-equal scores: std == 0, no score exceeds mean — the fallback
+        // must still report exactly one group.
+        let flags = adaptive_threshold(&[2.5; 6], 1.0);
+        assert_eq!(flags.iter().filter(|&&f| f).count(), 1);
+        assert!(adaptive_threshold(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn adaptive_threshold_ignores_non_finite_scores() {
+        // A NaN must neither poison the mean/std nor be flagged; the clear
+        // finite outlier must still be found.
+        let scores = vec![0.1, f32::NAN, 0.12, 0.11, 4.0, f32::INFINITY];
+        let flags = adaptive_threshold(&scores, 1.0);
+        assert!(!flags[1], "NaN must never be flagged");
+        assert!(!flags[5], "inf must never be flagged");
+        assert!(flags[4], "finite outlier must be flagged");
+
+        // All-NaN scores: nothing to report.
+        let none = adaptive_threshold(&[f32::NAN, f32::NAN], 1.0);
+        assert_eq!(none, vec![false, false]);
     }
 }

@@ -1,0 +1,211 @@
+//! The pipeline-stage seam: stage identity, per-stage timing reports, and the
+//! observer hook that surfaces them.
+//!
+//! Every run of the pipeline — training ([`crate::TpGrGad::fit`]) or serving
+//! ([`crate::TrainedTpGrGad::score`]) — executes the paper's four stages in
+//! order. Each stage reports a [`StageTimings`] record to a
+//! [`PipelineObserver`]: wall-clock time, how many items it processed and how
+//! many training epochs it ran (always `0` on the serving path). The
+//! `diagnose` experiment binary and the perf benchmarks consume these
+//! reports; future batching/caching work hangs off the same seam.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// One of the four TP-GrGAD pipeline stages (Fig. 2 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PipelineStage {
+    /// MH-GAE anchor localization.
+    AnchorLocalization,
+    /// Candidate-group sampling (Alg. 1).
+    CandidateSampling,
+    /// Group embedding (TPGCL, or the attribute-mean ablation).
+    GroupEmbedding,
+    /// Unsupervised outlier scoring of the group embeddings.
+    OutlierScoring,
+}
+
+impl PipelineStage {
+    /// All four stages in execution order.
+    pub const ALL: [PipelineStage; 4] = [
+        PipelineStage::AnchorLocalization,
+        PipelineStage::CandidateSampling,
+        PipelineStage::GroupEmbedding,
+        PipelineStage::OutlierScoring,
+    ];
+
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PipelineStage::AnchorLocalization => "anchor_localization",
+            PipelineStage::CandidateSampling => "candidate_sampling",
+            PipelineStage::GroupEmbedding => "group_embedding",
+            PipelineStage::OutlierScoring => "outlier_scoring",
+        }
+    }
+}
+
+impl fmt::Display for PipelineStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether a stage ran on the training path or the serving path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PipelinePhase {
+    /// Inside [`crate::TpGrGad::fit`] (may train).
+    Fit,
+    /// Inside [`crate::TrainedTpGrGad::score`] (never trains).
+    Score,
+}
+
+impl fmt::Display for PipelinePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PipelinePhase::Fit => "fit",
+            PipelinePhase::Score => "score",
+        })
+    }
+}
+
+/// Wall-clock and workload report for one stage execution.
+#[derive(Clone, Debug)]
+pub struct StageTimings {
+    /// Which stage ran.
+    pub stage: PipelineStage,
+    /// Training or serving path.
+    pub phase: PipelinePhase,
+    /// Wall-clock duration of the stage.
+    pub wall: Duration,
+    /// Items processed (nodes for anchor localization, groups otherwise).
+    pub items: usize,
+    /// Gradient-descent epochs executed inside the stage (`0` when serving).
+    pub train_epochs: usize,
+}
+
+/// Hook invoked after every pipeline stage completes.
+///
+/// Implementations must be cheap; they run inline on the pipeline's hot path.
+pub trait PipelineObserver {
+    /// Called once per completed stage, in execution order.
+    fn on_stage(&mut self, timings: &StageTimings);
+}
+
+/// An observer that ignores every report (the default).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl PipelineObserver for NullObserver {
+    fn on_stage(&mut self, _timings: &StageTimings) {}
+}
+
+/// An observer that records every report for later inspection.
+#[derive(Clone, Debug, Default)]
+pub struct TimingObserver {
+    /// All reports received so far, in execution order.
+    pub stages: Vec<StageTimings>,
+}
+
+impl TimingObserver {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total wall-clock time across all recorded stages.
+    pub fn total_wall(&self) -> Duration {
+        self.stages.iter().map(|s| s.wall).sum()
+    }
+
+    /// Total training epochs across all recorded stages (`0` proves a run
+    /// never trained).
+    pub fn total_train_epochs(&self) -> usize {
+        self.stages.iter().map(|s| s.train_epochs).sum()
+    }
+
+    /// One-line-per-stage human-readable summary.
+    pub fn summary(&self) -> String {
+        self.stages
+            .iter()
+            .map(|s| {
+                format!(
+                    "{:>5}/{:<20} {:>8.1?} items={:<6} epochs={}",
+                    s.phase.to_string(),
+                    s.stage.to_string(),
+                    s.wall,
+                    s.items,
+                    s.train_epochs
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl PipelineObserver for TimingObserver {
+    fn on_stage(&mut self, timings: &StageTimings) {
+        self.stages.push(timings.clone());
+    }
+}
+
+/// Runs `body`, reports its timing to `observer`, and returns its value.
+/// `body` returns `(value, items, train_epochs)`.
+pub(crate) fn observe_stage<T>(
+    observer: &mut dyn PipelineObserver,
+    stage: PipelineStage,
+    phase: PipelinePhase,
+    body: impl FnOnce() -> (T, usize, usize),
+) -> T {
+    let start = Instant::now();
+    let (value, items, train_epochs) = body();
+    observer.on_stage(&StageTimings {
+        stage,
+        phase,
+        wall: start.elapsed(),
+        items,
+        train_epochs,
+    });
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_stage_reports_to_observer() {
+        let mut observer = TimingObserver::new();
+        let out = observe_stage(
+            &mut observer,
+            PipelineStage::CandidateSampling,
+            PipelinePhase::Score,
+            || (42, 7, 0),
+        );
+        assert_eq!(out, 42);
+        assert_eq!(observer.stages.len(), 1);
+        let report = &observer.stages[0];
+        assert_eq!(report.stage, PipelineStage::CandidateSampling);
+        assert_eq!(report.phase, PipelinePhase::Score);
+        assert_eq!(report.items, 7);
+        assert_eq!(report.train_epochs, 0);
+        assert_eq!(observer.total_train_epochs(), 0);
+        assert!(!observer.summary().is_empty());
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        let names: Vec<&str> = PipelineStage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "anchor_localization",
+                "candidate_sampling",
+                "group_embedding",
+                "outlier_scoring"
+            ]
+        );
+        assert_eq!(PipelinePhase::Fit.to_string(), "fit");
+        assert_eq!(PipelinePhase::Score.to_string(), "score");
+    }
+}

@@ -22,7 +22,7 @@ use rand::{Rng, SeedableRng};
 use crate::gcn::{GcnEncoder, GcnLayer};
 
 /// Hyperparameters of the GAE / MH-GAE training loop.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct GaeConfig {
     /// Hidden dimensionality of the GCN encoder.
     pub hidden_dim: usize,
@@ -230,8 +230,30 @@ impl Gae {
         (pairs, m)
     }
 
+    /// Runs the trained encoder/decoder forward on `graph` without touching
+    /// the weights, returning `(embeddings, reconstructed_attributes)`.
+    ///
+    /// Unlike [`Gae::fit`] this works for *any* graph with the same feature
+    /// dimensionality — it is the inference path of a trained model, used to
+    /// score new snapshots without retraining.
+    pub fn infer(&self, graph: &Graph) -> (Matrix, Matrix) {
+        let adj_norm = graph.normalized_adjacency();
+        let x = Tensor::constant(graph.features().clone());
+        let z = self.encoder.forward(&adj_norm, &x);
+        let x_hat = self.attr_decoder.forward(&adj_norm, &z);
+        (z.value_clone(), x_hat.value_clone())
+    }
+
+    /// Computes per-node reconstruction errors for an arbitrary graph using
+    /// the current (trained) weights — the zero-training scoring path.
+    pub fn node_errors_on(&self, graph: &Graph, target: &CsrMatrix) -> NodeErrors {
+        let (z, x_hat) = self.infer(graph);
+        self.errors_from(&z, &x_hat, graph, target)
+    }
+
     /// Computes per-node reconstruction errors against the given structure
-    /// target (Eqn. 1 / Eqn. 3 of the paper).
+    /// target (Eqn. 1 / Eqn. 3 of the paper), using the forward pass cached
+    /// by the last [`Gae::fit`].
     ///
     /// # Panics
     /// Panics if the model has not been fitted yet.
@@ -244,6 +266,16 @@ impl Gae {
             .reconstructed_attrs
             .as_ref()
             .expect("node_errors: call fit() before node_errors()");
+        self.errors_from(z, x_hat, graph, target)
+    }
+
+    fn errors_from(
+        &self,
+        z: &Matrix,
+        x_hat: &Matrix,
+        graph: &Graph,
+        target: &CsrMatrix,
+    ) -> NodeErrors {
         let n = graph.num_nodes();
         // Structure error (Eqn. 1 / Eqn. 3): per stored entry of the target
         // matrix, the deviation between the target weight and the decoded
@@ -275,6 +307,37 @@ impl Gae {
             })
             .collect();
         NodeErrors::combine(structure, attribute, self.config.lambda)
+    }
+
+    /// Input feature dimensionality this GAE was built for.
+    pub fn feature_dim(&self) -> usize {
+        self.encoder.layer_sizes()[0]
+    }
+
+    /// Snapshots all trainable weights: encoder layers first, then the
+    /// attribute decoder, each as `[weight, bias]`.
+    pub fn export_weights(&self) -> Vec<Matrix> {
+        let mut weights = self.encoder.export_weights();
+        let (w, b) = self.attr_decoder.export_weights();
+        weights.push(w);
+        weights.push(b);
+        weights
+    }
+
+    /// Restores weights from an [`Gae::export_weights`] snapshot.
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not match this GAE's architecture.
+    pub fn import_weights(&self, weights: &[Matrix]) {
+        assert!(
+            weights.len() >= 2,
+            "import_weights: snapshot too short ({} matrices)",
+            weights.len()
+        );
+        let split = weights.len() - 2;
+        self.encoder.import_weights(&weights[..split]);
+        self.attr_decoder
+            .import_weights(weights[split].clone(), weights[split + 1].clone());
     }
 }
 

@@ -40,6 +40,20 @@ impl GcnLayer {
         vec![self.weight.clone(), self.bias.clone()]
     }
 
+    /// Snapshots the layer weights as `(weight, bias)` matrices.
+    pub fn export_weights(&self) -> (Matrix, Matrix) {
+        (self.weight.value_clone(), self.bias.value_clone())
+    }
+
+    /// Overwrites the layer weights (used when loading a saved model).
+    ///
+    /// # Panics
+    /// Panics if the shapes do not match the layer's architecture.
+    pub fn import_weights(&self, weight: Matrix, bias: Matrix) {
+        self.weight.set_value(weight);
+        self.bias.set_value(bias);
+    }
+
     /// Input feature dimensionality.
     pub fn in_dim(&self) -> usize {
         self.weight.shape().0
@@ -102,6 +116,42 @@ impl GcnEncoder {
     /// Number of layers.
     pub fn num_layers(&self) -> usize {
         self.layers.len()
+    }
+
+    /// The layer sizes `[in, hidden…, out]` this encoder was built from.
+    pub fn layer_sizes(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self.layers.iter().map(|l| l.in_dim()).collect();
+        sizes.push(self.embed_dim());
+        sizes
+    }
+
+    /// Snapshots all layer weights as `[w0, b0, w1, b1, …]`.
+    pub fn export_weights(&self) -> Vec<Matrix> {
+        self.layers
+            .iter()
+            .flat_map(|l| {
+                let (w, b) = l.export_weights();
+                [w, b]
+            })
+            .collect()
+    }
+
+    /// Overwrites all layer weights from a `[w0, b0, w1, b1, …]` snapshot.
+    ///
+    /// # Panics
+    /// Panics if the number of matrices or any shape does not match the
+    /// encoder architecture.
+    pub fn import_weights(&self, weights: &[Matrix]) {
+        assert_eq!(
+            weights.len(),
+            2 * self.layers.len(),
+            "import_weights: expected {} matrices, got {}",
+            2 * self.layers.len(),
+            weights.len()
+        );
+        for (layer, pair) in self.layers.iter().zip(weights.chunks_exact(2)) {
+            layer.import_weights(pair[0].clone(), pair[1].clone());
+        }
     }
 }
 

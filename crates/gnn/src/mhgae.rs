@@ -50,6 +50,45 @@ impl ReconstructionTarget {
     }
 }
 
+// The vendored serde derive supports only named-field structs, so the enum
+// (de)serializes through a tagged map by hand.
+impl serde::Serialize for ReconstructionTarget {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = Vec::new();
+        let kind = match *self {
+            ReconstructionTarget::Adjacency => "adjacency",
+            ReconstructionTarget::KHop(k) => {
+                entries.push(("k".to_string(), serde::Serialize::to_value(&k)));
+                "khop"
+            }
+            ReconstructionTarget::GraphSnn { lambda } => {
+                entries.push(("lambda".to_string(), serde::Serialize::to_value(&lambda)));
+                "graphsnn"
+            }
+        };
+        entries.insert(0, ("kind".to_string(), serde::Value::Str(kind.to_string())));
+        serde::Value::Map(entries)
+    }
+}
+
+impl serde::Deserialize for ReconstructionTarget {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let kind = String::from_value(value.field("kind")?)?;
+        match kind.as_str() {
+            "adjacency" => Ok(ReconstructionTarget::Adjacency),
+            "khop" => Ok(ReconstructionTarget::KHop(usize::from_value(
+                value.field("k")?,
+            )?)),
+            "graphsnn" => Ok(ReconstructionTarget::GraphSnn {
+                lambda: f32::from_value(value.field("lambda")?)?,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "unknown reconstruction target kind `{other}`"
+            ))),
+        }
+    }
+}
+
 /// The Multi-Hop Graph AutoEncoder: a [`Gae`] plus a multi-hop reconstruction
 /// target, exposing anchor-node selection.
 pub struct MhGae {
@@ -103,6 +142,30 @@ impl MhGae {
     /// top-10%) of nodes by combined reconstruction error.
     pub fn anchor_nodes(&self, fraction: f32) -> Vec<usize> {
         select_anchor_nodes(&self.node_errors().combined, fraction)
+    }
+
+    /// Computes per-node errors for an arbitrary graph with the trained
+    /// weights — zero training epochs. The structure target is built fresh
+    /// for the given graph; for the training graph this reproduces the
+    /// cached [`MhGae::node_errors`] exactly.
+    pub fn infer_errors(&self, graph: &Graph) -> NodeErrors {
+        let target = self.target_kind.build(graph);
+        self.gae.node_errors_on(graph, &target)
+    }
+
+    /// Input feature dimensionality this model was built for.
+    pub fn feature_dim(&self) -> usize {
+        self.gae.feature_dim()
+    }
+
+    /// Snapshots the trainable weights (see [`Gae::export_weights`]).
+    pub fn export_weights(&self) -> Vec<grgad_linalg::Matrix> {
+        self.gae.export_weights()
+    }
+
+    /// Restores weights from an [`MhGae::export_weights`] snapshot.
+    pub fn import_weights(&self, weights: &[grgad_linalg::Matrix]) {
+        self.gae.import_weights(weights);
     }
 
     /// Access to the inner GAE (loss history, reconstructed attributes).
@@ -213,5 +276,52 @@ mod tests {
     fn errors_before_fit_panic() {
         let model = MhGae::new(3, ReconstructionTarget::Adjacency, quick_config());
         let _ = model.node_errors();
+    }
+
+    #[test]
+    fn infer_errors_match_cached_errors_on_training_graph() {
+        let (g, _) = long_range_graph();
+        let mut model = MhGae::new(
+            g.feature_dim(),
+            ReconstructionTarget::GraphSnn { lambda: 1.0 },
+            quick_config(),
+        );
+        model.fit(&g);
+        let cached = model.node_errors().combined.clone();
+        let inferred = model.infer_errors(&g).combined;
+        assert_eq!(cached, inferred, "inference path must reproduce fit path");
+    }
+
+    #[test]
+    fn exported_weights_round_trip_through_a_fresh_model() {
+        let (g, _) = long_range_graph();
+        let target = ReconstructionTarget::GraphSnn { lambda: 1.0 };
+        let mut model = MhGae::new(g.feature_dim(), target, quick_config());
+        model.fit(&g);
+        let weights = model.export_weights();
+
+        let mut other_config = quick_config();
+        other_config.seed = 999; // different init — must be fully overwritten
+        let fresh = MhGae::new(g.feature_dim(), target, other_config);
+        fresh.import_weights(&weights);
+        assert_eq!(
+            model.infer_errors(&g).combined,
+            fresh.infer_errors(&g).combined
+        );
+        assert_eq!(model.feature_dim(), 3);
+    }
+
+    #[test]
+    fn reconstruction_target_serde_round_trip() {
+        for target in [
+            ReconstructionTarget::Adjacency,
+            ReconstructionTarget::KHop(5),
+            ReconstructionTarget::GraphSnn { lambda: 0.75 },
+        ] {
+            let json = serde_json::to_string(&target).unwrap();
+            let back: ReconstructionTarget = serde_json::from_str(&json).unwrap();
+            assert_eq!(target, back);
+        }
+        assert!(serde_json::from_str::<ReconstructionTarget>("{\"kind\":\"nope\"}").is_err());
     }
 }

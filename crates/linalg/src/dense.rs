@@ -4,6 +4,7 @@ use std::fmt;
 use std::ops::{Index, IndexMut};
 
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// A row-major dense matrix of `f32` values.
 ///
@@ -411,6 +412,32 @@ impl IndexMut<(usize, usize)> for Matrix {
     }
 }
 
+impl Serialize for Matrix {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("rows".to_string(), self.rows.to_value()),
+            ("cols".to_string(), self.cols.to_value()),
+            ("data".to_string(), self.data.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Matrix {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let rows = usize::from_value(value.field("rows")?)?;
+        let cols = usize::from_value(value.field("cols")?)?;
+        let data = Vec::<f32>::from_value(value.field("data")?)?;
+        if data.len() != rows * cols {
+            return Err(serde::Error::custom(format!(
+                "Matrix: expected {} elements for {rows}x{cols}, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+}
+
 impl fmt::Debug for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
@@ -562,5 +589,31 @@ mod tests {
         assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
         assert!((a.row_norm(0) - 5.0).abs() < 1e-6);
         assert_eq!(a.row_norm(1), 0.0);
+    }
+
+    /// Trained weights are persisted as JSON; the serialization must be
+    /// bit-exact so a saved model reproduces the original scores exactly.
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut m = Matrix::rand_normal(7, 5, 1.0, &mut rng);
+        // Mix in values that stress the shortest-repr formatting.
+        m[(0, 0)] = 1.0 / 3.0;
+        m[(0, 1)] = -0.1;
+        m[(0, 2)] = f32::MIN_POSITIVE;
+        m[(0, 3)] = 1.0e-40; // subnormal
+        m[(0, 4)] = -12345.678;
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m.shape(), back.shape());
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} round-tripped to {b}");
+        }
+    }
+
+    #[test]
+    fn json_round_trip_rejects_bad_shape() {
+        let bad = "{\"rows\":2,\"cols\":2,\"data\":[1,2,3]}";
+        assert!(serde_json::from_str::<Matrix>(bad).is_err());
     }
 }

@@ -1,63 +1,121 @@
 //! ECOD: unsupervised outlier detection using empirical cumulative
 //! distribution functions (Li et al., TKDE 2022).
 //!
-//! For every dimension the left- and right-tail empirical CDFs are estimated;
-//! an observation's dimension-wise outlier score is the negative log tail
-//! probability, aggregated across dimensions on the left tail, the right
-//! tail, and a skewness-selected tail. The final score is the maximum of the
-//! three aggregations — exactly the parameter-free procedure of the paper's
-//! chosen detector.
+//! For every dimension the left- and right-tail empirical CDFs are estimated
+//! from the training data; an observation's dimension-wise outlier score is
+//! the negative log tail probability, aggregated across dimensions on the
+//! left tail, the right tail, and a skewness-selected tail. The final score
+//! is the maximum of the three aggregations — exactly the parameter-free
+//! procedure of the paper's chosen detector.
+//!
+//! `fit` sorts each training column and records its skewness; `score` then
+//! evaluates any observation against the stored ECDFs, so new rows can be
+//! scored without refitting.
 
 use grgad_linalg::stats::{ecdf, skewness};
 use grgad_linalg::Matrix;
+use serde::{Deserialize, Serialize};
 
 use crate::OutlierDetector;
 
-/// The ECOD detector. Stateless and parameter-free.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Ecod;
+/// Per-dimension fitted state: the sorted training column and its skewness.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct EcodColumn {
+    sorted: Vec<f32>,
+    skew: f32,
+}
+
+/// Fitted ECOD state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct EcodModel {
+    columns: Vec<EcodColumn>,
+    train_rows: usize,
+}
+
+/// The ECOD detector.
+#[derive(Clone, Debug, Default)]
+pub struct Ecod {
+    model: Option<EcodModel>,
+}
 
 impl Ecod {
-    /// Creates a new ECOD detector.
+    /// Creates an unfitted ECOD detector.
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    fn model(&self) -> &EcodModel {
+        self.model
+            .as_ref()
+            .expect("ECOD: call fit() before score()")
     }
 }
 
 impl OutlierDetector for Ecod {
-    fn fit_score(&self, data: &Matrix) -> Vec<f32> {
+    fn fit(&mut self, data: &Matrix) {
         let (m, d) = data.shape();
+        let columns = (0..d)
+            .map(|j| {
+                let col: Vec<f32> = (0..m).map(|i| data[(i, j)]).collect();
+                let skew = skewness(&col);
+                let mut sorted = col;
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                EcodColumn { sorted, skew }
+            })
+            .collect();
+        self.model = Some(EcodModel {
+            columns,
+            train_rows: m,
+        });
+    }
+
+    fn score(&self, data: &Matrix) -> Vec<f32> {
+        let model = self.model();
+        let m = data.rows();
         if m == 0 {
             return Vec::new();
         }
-        if d == 0 {
+        if model.train_rows == 0 || model.columns.is_empty() {
             return vec![0.0; m];
         }
+        assert_eq!(
+            data.cols(),
+            model.columns.len(),
+            "ECOD: score data has {} columns, model was fitted on {}",
+            data.cols(),
+            model.columns.len()
+        );
         let mut o_left = vec![0.0_f32; m];
         let mut o_right = vec![0.0_f32; m];
         let mut o_auto = vec![0.0_f32; m];
 
-        for j in 0..d {
-            let col: Vec<f32> = (0..m).map(|i| data[(i, j)]).collect();
-            let mut sorted = col.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            let skew = skewness(&col);
-            for (i, &x) in col.iter().enumerate() {
-                let left_tail = ecdf(&sorted, x); // P(X <= x)
-                let right_tail = ecdf_right(&sorted, x); // P(X >= x)
+        for (j, column) in model.columns.iter().enumerate() {
+            for i in 0..m {
+                let x = data[(i, j)];
+                let left_tail = ecdf(&column.sorted, x); // P(X <= x)
+                let right_tail = ecdf_right(&column.sorted, x); // P(X >= x)
                 let ol = -left_tail.max(1e-12).ln();
                 let or = -right_tail.max(1e-12).ln();
                 o_left[i] += ol;
                 o_right[i] += or;
                 // Skewness-corrected choice: for left-skewed dimensions the
                 // interesting tail is the left one, otherwise the right one.
-                o_auto[i] += if skew < 0.0 { ol } else { or };
+                o_auto[i] += if column.skew < 0.0 { ol } else { or };
             }
         }
 
         (0..m)
             .map(|i| o_left[i].max(o_right[i]).max(o_auto[i]))
             .collect()
+    }
+
+    fn save_state(&self) -> serde::Value {
+        self.model().to_value()
+    }
+
+    fn load_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.model = Some(EcodModel::from_value(state)?);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -79,11 +137,19 @@ fn ecdf_right(sorted: &[f32], x: f32) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::assert_detects_outliers;
+    use crate::test_support::{
+        assert_detects_outliers, assert_empty_fit_scores_zero, assert_fit_score_contract,
+    };
 
     #[test]
     fn detects_planted_outliers() {
-        assert_detects_outliers(&Ecod::new());
+        assert_detects_outliers(&mut Ecod::new());
+    }
+
+    #[test]
+    fn fit_score_contract_holds() {
+        assert_fit_score_contract(&mut Ecod::new());
+        assert_empty_fit_scores_zero(&mut Ecod::new());
     }
 
     #[test]
@@ -103,6 +169,19 @@ mod tests {
     }
 
     #[test]
+    fn unseen_extremes_score_above_fitted_inliers() {
+        let inliers = Matrix::from_vec(20, 1, (0..20).map(|i| i as f32 * 0.1).collect());
+        let mut detector = Ecod::new();
+        detector.fit(&inliers);
+        let train_max = detector
+            .score(&inliers)
+            .into_iter()
+            .fold(f32::MIN, f32::max);
+        let unseen = detector.score(&Matrix::from_rows(&[&[100.0], &[-100.0]]));
+        assert!(unseen.iter().all(|&s| s >= train_max));
+    }
+
+    #[test]
     fn handles_degenerate_inputs() {
         assert!(Ecod::new().fit_score(&Matrix::zeros(0, 3)).is_empty());
         assert_eq!(Ecod::new().fit_score(&Matrix::zeros(4, 0)), vec![0.0; 4]);
@@ -119,6 +198,12 @@ mod tests {
         let (data, _) = crate::test_support::cluster_with_outliers();
         let scores = Ecod::new().fit_score(&data);
         assert!(scores.iter().all(|&s| s.is_finite() && s >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "call fit()")]
+    fn score_before_fit_panics() {
+        let _ = Ecod::new().score(&Matrix::zeros(1, 1));
     }
 
     #[test]

@@ -1,17 +1,26 @@
-//! A SUOD-style ensemble: several base detectors are run on the same data and
-//! their rank-normalized scores are averaged. SUOD's contribution is the
+//! A SUOD-style ensemble: several base detectors are fitted on the same data
+//! and their rank-normalized scores are averaged. SUOD's contribution is the
 //! systems-level acceleration of large heterogeneous detector ensembles; the
 //! statistical behaviour that the paper relies on (robust consensus scoring)
 //! is reproduced here by the rank-average combination rule.
+//!
+//! `fit` fits every member; `score` rank-averages the members' scores within
+//! the scored batch. Persistence delegates to each member's state, keyed by
+//! its name so a reloaded ensemble must have the same member line-up.
 
 use grgad_linalg::stats::ranks;
 use grgad_linalg::Matrix;
+use serde::Deserialize as _;
 
 use crate::{Ecod, IsolationForest, Lof, OutlierDetector, ZScore};
 
 /// An ensemble of boxed outlier detectors combined by rank averaging.
 pub struct Ensemble {
     members: Vec<Box<dyn OutlierDetector>>,
+    /// Rows the ensemble was fitted on; `None` until [`Ensemble::fit`].
+    /// Needed so a degenerate empty fit scores zeros rather than letting the
+    /// rank normalization turn constant member scores into 0.5.
+    train_rows: Option<usize>,
 }
 
 impl Ensemble {
@@ -24,7 +33,10 @@ impl Ensemble {
             !members.is_empty(),
             "Ensemble::new: need at least one member"
         );
-        Self { members }
+        Self {
+            members,
+            train_rows: None,
+        }
     }
 
     /// The default ensemble used in this workspace: ECOD + z-score + LOF +
@@ -50,14 +62,29 @@ impl Ensemble {
 }
 
 impl OutlierDetector for Ensemble {
-    fn fit_score(&self, data: &Matrix) -> Vec<f32> {
+    fn fit(&mut self, data: &Matrix) {
+        for member in &mut self.members {
+            member.fit(data);
+        }
+        self.train_rows = Some(data.rows());
+    }
+
+    // NOTE: the rank-average combination rule makes ensemble scores
+    // *batch-relative* — each row is ranked against the other rows of the
+    // same `score` call, matching SUOD/legacy `fit_score` semantics. Scores
+    // from different calls (or single-row batches) are not comparable; score
+    // related observations together.
+    fn score(&self, data: &Matrix) -> Vec<f32> {
         let m = data.rows();
         if m == 0 {
             return Vec::new();
         }
+        if self.train_rows == Some(0) {
+            return vec![0.0; m];
+        }
         let mut combined = vec![0.0_f32; m];
         for member in &self.members {
-            let scores = member.fit_score(data);
+            let scores = member.score(data);
             // Rank-normalize into [0, 1] so members with different scales get
             // equal votes.
             let r = ranks(&scores);
@@ -71,6 +98,57 @@ impl OutlierDetector for Ensemble {
         combined
     }
 
+    fn save_state(&self) -> serde::Value {
+        let members = serde::Value::Seq(
+            self.members
+                .iter()
+                .map(|member| {
+                    serde::Value::Map(vec![
+                        (
+                            "name".to_string(),
+                            serde::Value::Str(member.name().to_string()),
+                        ),
+                        ("state".to_string(), member.save_state()),
+                    ])
+                })
+                .collect(),
+        );
+        serde::Value::Map(vec![
+            (
+                "train_rows".to_string(),
+                serde::Serialize::to_value(&self.train_rows.expect("Ensemble: call fit() first")),
+            ),
+            ("members".to_string(), members),
+        ])
+    }
+
+    fn load_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let train_rows = usize::from_value(state.field("train_rows")?)?;
+        let entries = match state.field("members")? {
+            serde::Value::Seq(entries) => entries,
+            _ => return Err(serde::Error::custom("Ensemble: expected member list")),
+        };
+        if entries.len() != self.members.len() {
+            return Err(serde::Error::custom(format!(
+                "Ensemble: snapshot has {} members, this ensemble has {}",
+                entries.len(),
+                self.members.len()
+            )));
+        }
+        for (member, entry) in self.members.iter_mut().zip(entries) {
+            let name = String::from_value(entry.field("name")?)?;
+            if name != member.name() {
+                return Err(serde::Error::custom(format!(
+                    "Ensemble: snapshot member `{name}` does not match `{}`",
+                    member.name()
+                )));
+            }
+            member.load_state(entry.field("state")?)?;
+        }
+        self.train_rows = Some(train_rows);
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         "Ensemble"
     }
@@ -79,11 +157,19 @@ impl OutlierDetector for Ensemble {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::assert_detects_outliers;
+    use crate::test_support::{
+        assert_detects_outliers, assert_empty_fit_scores_zero, assert_fit_score_contract,
+    };
 
     #[test]
     fn detects_planted_outliers() {
-        assert_detects_outliers(&Ensemble::suod_like(1));
+        assert_detects_outliers(&mut Ensemble::suod_like(1));
+    }
+
+    #[test]
+    fn fit_score_contract_holds() {
+        assert_fit_score_contract(&mut Ensemble::suod_like(1));
+        assert_empty_fit_scores_zero(&mut Ensemble::suod_like(1));
     }
 
     #[test]
@@ -97,6 +183,16 @@ mod tests {
     #[should_panic(expected = "at least one member")]
     fn empty_ensemble_rejected() {
         let _ = Ensemble::new(Vec::new());
+    }
+
+    #[test]
+    fn mismatched_snapshot_is_rejected() {
+        let (data, _) = crate::test_support::cluster_with_outliers();
+        let mut full = Ensemble::suod_like(0);
+        full.fit(&data);
+        let snapshot = full.save_state();
+        let mut single = Ensemble::new(vec![Box::new(Ecod::new())]);
+        assert!(single.load_state(&snapshot).is_err());
     }
 
     #[test]

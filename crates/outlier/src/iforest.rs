@@ -3,10 +3,15 @@
 //! Anomalies are isolated by fewer random axis-aligned splits than inliers,
 //! so their average path length across an ensemble of random isolation trees
 //! is shorter. The standard anomaly score `2^(-E[h(x)] / c(n))` is returned.
+//!
+//! `fit` grows the forest on the training rows; `score` traverses the stored
+//! trees for any observation, so unseen rows are scored without regrowing
+//! the forest. The trees serialize to JSON for model persistence.
 
 use grgad_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize as _, Serialize as _};
 
 use crate::OutlierDetector;
 
@@ -16,6 +21,14 @@ pub struct IsolationForest {
     n_trees: usize,
     sample_size: usize,
     seed: u64,
+    model: Option<ForestModel>,
+}
+
+#[derive(Clone, Debug)]
+struct ForestModel {
+    trees: Vec<Node>,
+    /// Normalization constant `c(sample_size)` of the fitted forest.
+    c: f32,
 }
 
 impl IsolationForest {
@@ -26,7 +39,14 @@ impl IsolationForest {
             n_trees: n_trees.max(1),
             sample_size: sample_size.max(2),
             seed,
+            model: None,
         }
+    }
+
+    fn model(&self) -> &ForestModel {
+        self.model
+            .as_ref()
+            .expect("IsolationForest: call fit() before score()")
     }
 }
 
@@ -36,6 +56,7 @@ impl Default for IsolationForest {
     }
 }
 
+#[derive(Clone, Debug)]
 enum Node {
     Leaf {
         size: usize,
@@ -46,6 +67,44 @@ enum Node {
         left: Box<Node>,
         right: Box<Node>,
     },
+}
+
+impl Node {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Node::Leaf { size } => {
+                serde::Value::Map(vec![("leaf".to_string(), serde::Serialize::to_value(size))])
+            }
+            Node::Split {
+                dim,
+                threshold,
+                left,
+                right,
+            } => serde::Value::Map(vec![
+                ("dim".to_string(), serde::Serialize::to_value(dim)),
+                (
+                    "threshold".to_string(),
+                    serde::Serialize::to_value(threshold),
+                ),
+                ("left".to_string(), left.to_value()),
+                ("right".to_string(), right.to_value()),
+            ]),
+        }
+    }
+
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        if let Ok(size) = value.field("leaf") {
+            return Ok(Node::Leaf {
+                size: usize::from_value(size)?,
+            });
+        }
+        Ok(Node::Split {
+            dim: usize::from_value(value.field("dim")?)?,
+            threshold: f32::from_value(value.field("threshold")?)?,
+            left: Box::new(Node::from_value(value.field("left")?)?),
+            right: Box::new(Node::from_value(value.field("right")?)?),
+        })
+    }
 }
 
 fn build_tree(
@@ -121,10 +180,14 @@ fn average_path_length(n: usize) -> f32 {
 }
 
 impl OutlierDetector for IsolationForest {
-    fn fit_score(&self, data: &Matrix) -> Vec<f32> {
+    fn fit(&mut self, data: &Matrix) {
         let m = data.rows();
         if m == 0 {
-            return Vec::new();
+            self.model = Some(ForestModel {
+                trees: Vec::new(),
+                c: 1.0,
+            });
+            return;
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let sample_size = self.sample_size.min(m);
@@ -136,16 +199,53 @@ impl OutlierDetector for IsolationForest {
             trees.push(build_tree(data, &rows, 0, max_depth, &mut rng));
         }
         let c = average_path_length(sample_size).max(1e-6);
+        self.model = Some(ForestModel { trees, c });
+    }
+
+    fn score(&self, data: &Matrix) -> Vec<f32> {
+        let model = self.model();
+        let m = data.rows();
+        if m == 0 {
+            return Vec::new();
+        }
+        if model.trees.is_empty() {
+            return vec![0.0; m];
+        }
         (0..m)
             .map(|i| {
-                let avg: f32 = trees
+                let avg: f32 = model
+                    .trees
                     .iter()
                     .map(|t| path_length(t, data.row(i), 0.0))
                     .sum::<f32>()
-                    / trees.len() as f32;
-                2.0_f32.powf(-avg / c)
+                    / model.trees.len() as f32;
+                2.0_f32.powf(-avg / model.c)
             })
             .collect()
+    }
+
+    fn save_state(&self) -> serde::Value {
+        let model = self.model();
+        serde::Value::Map(vec![
+            (
+                "trees".to_string(),
+                serde::Value::Seq(model.trees.iter().map(Node::to_value).collect()),
+            ),
+            ("c".to_string(), model.c.to_value()),
+        ])
+    }
+
+    fn load_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let trees = match state.field("trees")? {
+            serde::Value::Seq(items) => items
+                .iter()
+                .map(Node::from_value)
+                .collect::<Result<Vec<Node>, serde::Error>>()?,
+            _ => return Err(serde::Error::custom("IsolationForest: expected tree list")),
+        };
+        let c = f32::from_value(state.field("c")?)?;
+        self.model = Some(ForestModel { trees, c });
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -156,11 +256,19 @@ impl OutlierDetector for IsolationForest {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::assert_detects_outliers;
+    use crate::test_support::{
+        assert_detects_outliers, assert_empty_fit_scores_zero, assert_fit_score_contract,
+    };
 
     #[test]
     fn detects_planted_outliers() {
-        assert_detects_outliers(&IsolationForest::new(100, 32, 7));
+        assert_detects_outliers(&mut IsolationForest::new(100, 32, 7));
+    }
+
+    #[test]
+    fn fit_score_contract_holds() {
+        assert_fit_score_contract(&mut IsolationForest::new(50, 32, 3));
+        assert_empty_fit_scores_zero(&mut IsolationForest::default());
     }
 
     #[test]
@@ -176,6 +284,16 @@ mod tests {
         let a = IsolationForest::new(50, 32, 3).fit_score(&data);
         let b = IsolationForest::new(50, 32, 3).fit_score(&data);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unseen_rows_score_without_refitting() {
+        let (data, _) = crate::test_support::cluster_with_outliers();
+        let mut forest = IsolationForest::new(50, 32, 3);
+        forest.fit(&data);
+        let central = forest.score(&Matrix::from_rows(&[&[0.02, 0.02]]))[0];
+        let distant = forest.score(&Matrix::from_rows(&[&[30.0, -30.0]]))[0];
+        assert!(distant > central, "{distant} should exceed {central}");
     }
 
     #[test]

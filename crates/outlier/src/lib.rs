@@ -12,9 +12,18 @@
 //! * [`IsolationForest`] — isolation forests over the embedding space.
 //! * [`Ensemble`] — a SUOD-style average of rank-normalized detector scores.
 //!
-//! All detectors implement [`OutlierDetector`]: `fit_score` maps an
-//! `m × d` matrix of observations to `m` anomaly scores where **higher means
-//! more anomalous**.
+//! All detectors implement [`OutlierDetector`] with a PyOD-style split:
+//! [`OutlierDetector::fit`] estimates the detector's state from an `m × d`
+//! matrix of training observations, [`OutlierDetector::score`] maps any
+//! matrix with the same number of columns to one anomaly score per row
+//! (**higher means more anomalous**), and the legacy one-shot
+//! [`OutlierDetector::fit_score`] is kept as a default-method shim.
+//!
+//! Scoring the training matrix itself reproduces the legacy transductive
+//! scores bit-for-bit; scoring unseen rows evaluates them against the fitted
+//! state without refitting. Fitted state round-trips through
+//! [`OutlierDetector::save_state`] / [`OutlierDetector::load_state`] so a
+//! trained pipeline can be persisted as JSON.
 
 pub mod ecod;
 pub mod ensemble;
@@ -32,9 +41,36 @@ use grgad_linalg::Matrix;
 
 /// Common interface of all unsupervised outlier detectors.
 pub trait OutlierDetector {
-    /// Fits the detector on the rows of `data` and returns one anomaly score
-    /// per row (higher = more anomalous).
-    fn fit_score(&self, data: &Matrix) -> Vec<f32>;
+    /// Estimates the detector's state from the rows of `data`.
+    ///
+    /// Fitting on an empty matrix is allowed and yields a degenerate state
+    /// whose [`OutlierDetector::score`] returns `0.0` for every row.
+    fn fit(&mut self, data: &Matrix);
+
+    /// Scores each row of `data` against the fitted state (higher = more
+    /// anomalous). Scoring the training matrix reproduces the transductive
+    /// scores of [`OutlierDetector::fit_score`] exactly.
+    ///
+    /// # Panics
+    /// Panics if the detector has not been fitted.
+    fn score(&self, data: &Matrix) -> Vec<f32>;
+
+    /// Legacy one-shot API: fits on `data` and scores the same rows.
+    fn fit_score(&mut self, data: &Matrix) -> Vec<f32> {
+        self.fit(data);
+        self.score(data)
+    }
+
+    /// Serializes the fitted state (weights, ECDFs, trees, …) as a
+    /// JSON-shaped value for model persistence.
+    ///
+    /// # Panics
+    /// Panics if the detector has not been fitted.
+    fn save_state(&self) -> serde::Value;
+
+    /// Restores the fitted state from a [`OutlierDetector::save_state`]
+    /// snapshot.
+    fn load_state(&mut self, state: &serde::Value) -> Result<(), serde::Error>;
 
     /// A short human-readable name.
     fn name(&self) -> &'static str;
@@ -107,7 +143,7 @@ pub(crate) mod test_support {
 
     /// Asserts that a detector ranks all planted outliers above the median
     /// inlier.
-    pub(crate) fn assert_detects_outliers(detector: &dyn OutlierDetector) {
+    pub(crate) fn assert_detects_outliers(detector: &mut dyn OutlierDetector) {
         let (data, outliers) = cluster_with_outliers();
         let scores = detector.fit_score(&data);
         assert_eq!(scores.len(), data.rows());
@@ -122,6 +158,54 @@ pub(crate) mod test_support {
                 scores[o]
             );
         }
+    }
+
+    /// Asserts the fit/score contract shared by every detector: scoring the
+    /// training data reproduces `fit_score` exactly, scoring is idempotent,
+    /// unseen rows get finite scores, and the fitted state survives a
+    /// save/load round trip bit-for-bit.
+    pub(crate) fn assert_fit_score_contract(detector: &mut dyn OutlierDetector) {
+        let (data, _) = cluster_with_outliers();
+        let legacy = detector.fit_score(&data);
+        let train_scores = detector.score(&data);
+        assert_eq!(
+            legacy,
+            train_scores,
+            "{}: score(train) must equal fit_score(train)",
+            detector.name()
+        );
+        assert_eq!(train_scores, detector.score(&data), "score not idempotent");
+
+        // Unseen rows: one deep inside the cluster, one far away.
+        let unseen = Matrix::from_rows(&[&[0.02, 0.02], &[9.0, -9.0]]);
+        let unseen_scores = detector.score(&unseen);
+        assert_eq!(unseen_scores.len(), 2);
+        assert!(
+            unseen_scores.iter().all(|s| s.is_finite()),
+            "{}: unseen scores must be finite, got {unseen_scores:?}",
+            detector.name()
+        );
+
+        // Persistence round trip.
+        let json = serde_json::to_string(&detector.save_state()).unwrap();
+        let value: serde::Value = serde_json::from_str(&json).unwrap();
+        detector.load_state(&value).unwrap();
+        assert_eq!(
+            legacy,
+            detector.score(&data),
+            "{}: reloaded state must reproduce training scores",
+            detector.name()
+        );
+        assert_eq!(unseen_scores, detector.score(&unseen));
+    }
+
+    /// Asserts that fitting on an empty matrix yields zero scores instead of
+    /// panicking (the pipeline hits this when a graph produces no candidate
+    /// groups).
+    pub(crate) fn assert_empty_fit_scores_zero(detector: &mut dyn OutlierDetector) {
+        detector.fit(&Matrix::zeros(0, 0));
+        assert_eq!(detector.score(&Matrix::zeros(3, 2)), vec![0.0; 3]);
+        assert!(detector.score(&Matrix::zeros(0, 2)).is_empty());
     }
 }
 

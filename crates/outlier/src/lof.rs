@@ -3,27 +3,52 @@
 //! LOF compares each point's local reachability density with that of its
 //! k nearest neighbors: points in sparser regions than their neighbors get
 //! factors above 1. Included as an ensemble member and baseline scorer.
+//!
+//! `fit` runs the classic transductive LOF over the training rows (each row's
+//! neighborhood excludes itself) and caches the per-row k-distance, local
+//! reachability density and LOF score. `score` then returns the cached
+//! transductive scores when handed the training matrix itself, and otherwise
+//! evaluates queries in novelty mode against the fitted neighborhood
+//! statistics (the sklearn/PyOD convention).
 
 use grgad_linalg::ops::euclidean_distance;
 use grgad_linalg::Matrix;
+use serde::{Deserialize, Serialize};
 
 use crate::OutlierDetector;
 
+/// Fitted LOF state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct LofModel {
+    train: Matrix,
+    k_distance: Vec<f32>,
+    lrd: Vec<f32>,
+    train_scores: Vec<f32>,
+}
+
 /// The LOF detector with a configurable neighborhood size.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Lof {
     k: usize,
+    model: Option<LofModel>,
 }
 
 impl Lof {
     /// Creates a LOF detector using `k` nearest neighbors (k ≥ 1).
     pub fn new(k: usize) -> Self {
-        Self { k: k.max(1) }
+        Self {
+            k: k.max(1),
+            model: None,
+        }
     }
 
     /// The configured neighborhood size.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    fn model(&self) -> &LofModel {
+        self.model.as_ref().expect("LOF: call fit() before score()")
     }
 }
 
@@ -34,17 +59,29 @@ impl Default for Lof {
 }
 
 impl OutlierDetector for Lof {
-    fn fit_score(&self, data: &Matrix) -> Vec<f32> {
+    fn fit(&mut self, data: &Matrix) {
         let m = data.rows();
         if m == 0 {
-            return Vec::new();
+            self.model = Some(LofModel {
+                train: data.clone(),
+                k_distance: Vec::new(),
+                lrd: Vec::new(),
+                train_scores: Vec::new(),
+            });
+            return;
         }
         if m == 1 {
-            return vec![1.0];
+            self.model = Some(LofModel {
+                train: data.clone(),
+                k_distance: vec![0.0],
+                lrd: vec![f32::INFINITY],
+                train_scores: vec![1.0],
+            });
+            return;
         }
         let k = self.k.min(m - 1);
 
-        // Pairwise distances and k-nearest neighbors.
+        // Pairwise distances and k-nearest neighbors (self excluded).
         let mut neighbors: Vec<Vec<(usize, f32)>> = Vec::with_capacity(m);
         for i in 0..m {
             let mut dists: Vec<(usize, f32)> = (0..m)
@@ -75,7 +112,7 @@ impl OutlierDetector for Lof {
             })
             .collect();
         // LOF score: average neighbor lrd over own lrd.
-        (0..m)
+        let train_scores: Vec<f32> = (0..m)
             .map(|i| {
                 if lrd[i].is_infinite() {
                     return 1.0;
@@ -87,7 +124,78 @@ impl OutlierDetector for Lof {
                     / neighbors[i].len() as f32;
                 avg_nbr_lrd / lrd[i]
             })
+            .collect();
+        self.model = Some(LofModel {
+            train: data.clone(),
+            k_distance,
+            lrd,
+            train_scores,
+        });
+    }
+
+    fn score(&self, data: &Matrix) -> Vec<f32> {
+        let model = self.model();
+        // Scoring the training matrix reproduces the transductive scores.
+        if *data == model.train {
+            return model.train_scores.clone();
+        }
+        let m = data.rows();
+        if m == 0 {
+            return Vec::new();
+        }
+        let train_m = model.train.rows();
+        if train_m == 0 {
+            return vec![0.0; m];
+        }
+        let k = self.k.min(train_m);
+        // Novelty mode: each query's neighborhood is drawn from the training
+        // rows (the query itself is not part of the reference set).
+        (0..m)
+            .map(|q| {
+                let mut dists: Vec<(usize, f32)> = (0..train_m)
+                    .map(|j| (j, euclidean_distance(data.row(q), model.train.row(j))))
+                    .collect();
+                dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+                dists.truncate(k);
+                let sum_reach: f32 = dists.iter().map(|&(j, d)| d.max(model.k_distance[j])).sum();
+                let lrd_q = if sum_reach <= 0.0 {
+                    f32::INFINITY
+                } else {
+                    dists.len() as f32 / sum_reach
+                };
+                if lrd_q.is_infinite() {
+                    return 1.0;
+                }
+                let avg_nbr_lrd: f32 = dists
+                    .iter()
+                    .map(|&(j, _)| {
+                        if model.lrd[j].is_infinite() {
+                            lrd_q
+                        } else {
+                            model.lrd[j]
+                        }
+                    })
+                    .sum::<f32>()
+                    / dists.len() as f32;
+                avg_nbr_lrd / lrd_q
+            })
             .collect()
+    }
+
+    fn save_state(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("k".to_string(), self.k.to_value()),
+            ("model".to_string(), self.model().to_value()),
+        ])
+    }
+
+    fn load_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        // `k` shapes the novelty-mode neighborhoods, so it is part of the
+        // fitted state: restoring a snapshot into a detector constructed with
+        // a different `k` must reproduce the original scores, not mix models.
+        self.k = usize::from_value(state.field("k")?)?.max(1);
+        self.model = Some(LofModel::from_value(state.field("model")?)?);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -98,11 +206,19 @@ impl OutlierDetector for Lof {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::assert_detects_outliers;
+    use crate::test_support::{
+        assert_detects_outliers, assert_empty_fit_scores_zero, assert_fit_score_contract,
+    };
 
     #[test]
     fn detects_planted_outliers() {
-        assert_detects_outliers(&Lof::new(5));
+        assert_detects_outliers(&mut Lof::new(5));
+    }
+
+    #[test]
+    fn fit_score_contract_holds() {
+        assert_fit_score_contract(&mut Lof::new(5));
+        assert_empty_fit_scores_zero(&mut Lof::new(5));
     }
 
     #[test]
@@ -125,6 +241,22 @@ mod tests {
     }
 
     #[test]
+    fn novelty_query_in_sparse_region_scores_high() {
+        let mut rows = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                rows.push(vec![i as f32, j as f32]);
+            }
+        }
+        let data = Matrix::from_vec(25, 2, rows.into_iter().flatten().collect());
+        let mut detector = Lof::new(4);
+        detector.fit(&data);
+        let scores = detector.score(&Matrix::from_rows(&[&[2.0, 2.0], &[40.0, 40.0]]));
+        assert!(scores[1] > scores[0], "far query should out-score central");
+        assert!(scores[1] > 2.0);
+    }
+
+    #[test]
     fn handles_tiny_inputs() {
         assert!(Lof::new(3).fit_score(&Matrix::zeros(0, 2)).is_empty());
         assert_eq!(Lof::new(3).fit_score(&Matrix::zeros(1, 2)), vec![1.0]);
@@ -132,6 +264,20 @@ mod tests {
         let dup = Matrix::full(4, 2, 1.0);
         let scores = Lof::new(2).fit_score(&dup);
         assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn snapshot_restores_k_into_differently_configured_detector() {
+        let (data, _) = crate::test_support::cluster_with_outliers();
+        let mut original = Lof::new(7);
+        original.fit(&data);
+        let unseen = Matrix::from_rows(&[&[0.5, 0.5], &[8.0, 8.0]]);
+        let expected = original.score(&unseen);
+
+        let mut other = Lof::new(2); // different k — must be overwritten
+        other.load_state(&original.save_state()).unwrap();
+        assert_eq!(other.k(), 7);
+        assert_eq!(other.score(&unseen), expected);
     }
 
     #[test]

@@ -1,43 +1,93 @@
 //! A simple Gaussian-tail outlier scorer: the sum of squared per-dimension
 //! z-scores. Used as a cheap baseline and as a member of the SUOD-style
 //! ensemble.
+//!
+//! `fit` records the per-column mean and standard deviation of the training
+//! data; `score` evaluates any observation against those moments.
 
 use grgad_linalg::stats::{mean, std_dev};
 use grgad_linalg::Matrix;
+use serde::{Deserialize, Serialize};
 
 use crate::OutlierDetector;
 
+/// Fitted per-column moments.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ZScoreModel {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
 /// Sum-of-squared-z-scores detector.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ZScore;
+#[derive(Clone, Debug, Default)]
+pub struct ZScore {
+    model: Option<ZScoreModel>,
+}
 
 impl ZScore {
-    /// Creates a new z-score detector.
+    /// Creates an unfitted z-score detector.
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    fn model(&self) -> &ZScoreModel {
+        self.model
+            .as_ref()
+            .expect("ZScore: call fit() before score()")
     }
 }
 
 impl OutlierDetector for ZScore {
-    fn fit_score(&self, data: &Matrix) -> Vec<f32> {
+    fn fit(&mut self, data: &Matrix) {
         let (m, d) = data.shape();
+        let mut means = Vec::with_capacity(d);
+        let mut stds = Vec::with_capacity(d);
+        for j in 0..d {
+            let col: Vec<f32> = (0..m).map(|i| data[(i, j)]).collect();
+            means.push(mean(&col));
+            stds.push(std_dev(&col));
+        }
+        self.model = Some(ZScoreModel { means, stds });
+    }
+
+    fn score(&self, data: &Matrix) -> Vec<f32> {
+        let model = self.model();
+        let m = data.rows();
         if m == 0 {
             return Vec::new();
         }
+        if model.means.is_empty() {
+            return vec![0.0; m];
+        }
+        assert_eq!(
+            data.cols(),
+            model.means.len(),
+            "ZScore: score data has {} columns, model was fitted on {}",
+            data.cols(),
+            model.means.len()
+        );
         let mut scores = vec![0.0_f32; m];
-        for j in 0..d {
-            let col: Vec<f32> = (0..m).map(|i| data[(i, j)]).collect();
-            let mu = mean(&col);
-            let sd = std_dev(&col);
-            if sd <= 0.0 {
+        for (j, (&mu, &sd)) in model.means.iter().zip(&model.stds).enumerate() {
+            // Constant (or empty/NaN) training column: no signal.
+            let usable = sd > 0.0;
+            if !usable {
                 continue;
             }
-            for (i, &x) in col.iter().enumerate() {
-                let z = (x - mu) / sd;
-                scores[i] += z * z;
+            for (i, slot) in scores.iter_mut().enumerate() {
+                let z = (data[(i, j)] - mu) / sd;
+                *slot += z * z;
             }
         }
         scores
+    }
+
+    fn save_state(&self) -> serde::Value {
+        self.model().to_value()
+    }
+
+    fn load_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.model = Some(ZScoreModel::from_value(state)?);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -48,11 +98,19 @@ impl OutlierDetector for ZScore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::assert_detects_outliers;
+    use crate::test_support::{
+        assert_detects_outliers, assert_empty_fit_scores_zero, assert_fit_score_contract,
+    };
 
     #[test]
     fn detects_planted_outliers() {
-        assert_detects_outliers(&ZScore::new());
+        assert_detects_outliers(&mut ZScore::new());
+    }
+
+    #[test]
+    fn fit_score_contract_holds() {
+        assert_fit_score_contract(&mut ZScore::new());
+        assert_empty_fit_scores_zero(&mut ZScore::new());
     }
 
     #[test]
@@ -61,6 +119,16 @@ mod tests {
         let scores = ZScore::new().fit_score(&data);
         assert!(scores[2] > scores[0]);
         assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn unseen_far_point_scores_highest() {
+        let data = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let mut detector = ZScore::new();
+        detector.fit(&data);
+        let train_max = detector.score(&data).into_iter().fold(f32::MIN, f32::max);
+        let unseen = detector.score(&Matrix::from_rows(&[&[50.0]]));
+        assert!(unseen[0] > train_max);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// Hyperparameters of Alg. 1.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct SamplingConfig {
     /// Depth bound `t` of the tree search.
     pub tree_depth: usize,

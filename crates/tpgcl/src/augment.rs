@@ -74,6 +74,24 @@ impl Augmentation {
     }
 }
 
+// Serialized by label so saved pipeline configs stay human-readable (the
+// vendored serde derive does not cover enums).
+impl serde::Serialize for Augmentation {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label().to_string())
+    }
+}
+
+impl serde::Deserialize for Augmentation {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let label = String::from_value(value)?;
+        Augmentation::all()
+            .into_iter()
+            .find(|a| a.label() == label)
+            .ok_or_else(|| serde::Error::custom(format!("unknown augmentation `{label}`")))
+    }
+}
+
 /// Average feature vector over a set of nodes (zeros if the set is empty).
 fn average_features(g: &Graph, nodes: &[usize]) -> Vec<f32> {
     let d = g.feature_dim();

@@ -69,6 +69,25 @@ impl GroupEncoder {
         self.embed_dim
     }
 
+    /// Input feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.gcn.layer_sizes()[0]
+    }
+
+    /// Snapshots the encoder weights as `[w0, b0, w1, b1, …]`.
+    pub fn export_weights(&self) -> Vec<Matrix> {
+        self.gcn.export_weights()
+    }
+
+    /// Restores encoder weights from an [`GroupEncoder::export_weights`]
+    /// snapshot.
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not match the encoder architecture.
+    pub fn import_weights(&self, weights: &[Matrix]) {
+        self.gcn.import_weights(weights);
+    }
+
     /// Trainable parameters.
     pub fn parameters(&self) -> Vec<Tensor> {
         self.gcn.parameters()

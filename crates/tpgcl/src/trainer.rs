@@ -18,7 +18,7 @@ use crate::encoder::GroupEncoder;
 use crate::mine::MineEstimator;
 
 /// Hyperparameters of TPGCL.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct TpgclConfig {
     /// Hidden dimensionality of the group GCN encoder.
     pub hidden_dim: usize,

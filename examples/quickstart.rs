@@ -1,12 +1,14 @@
-//! Quickstart: detect anomaly groups in a small synthetic graph.
+//! Quickstart: fit a TP-GrGAD model once, then score graphs with it.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
 //! Generates the illustration graph from the paper (a normal community with a
-//! planted path, tree and cycle group), runs the full TP-GrGAD pipeline and
-//! prints the reported anomaly groups together with the evaluation metrics.
+//! planted path, tree and cycle group), trains the pipeline once with
+//! [`TpGrGad::fit`], scores the graph (and a second snapshot) from the
+//! trained artifact, and round-trips the model through JSON — the
+//! fit-once/score-many serving workflow.
 
 use tp_grgad::prelude::*;
 
@@ -20,14 +22,28 @@ fn main() {
         dataset.anomaly_groups.len()
     );
 
-    // 2. Configure and run TP-GrGAD. `fast()` is a reduced configuration that
-    //    finishes in a few seconds; `TpGrGadConfig::default()` matches the
-    //    paper's hyperparameters.
+    // 2. Configure and train. `fast()` is a reduced configuration that
+    //    finishes in a few seconds; `TpGrGadConfig::paper()` matches the
+    //    paper's hyperparameters, and `TpGrGadConfig::builder()` offers a
+    //    fluent way to tweak individual knobs.
     let config = TpGrGadConfig::fast().with_seed(7);
     let detector = TpGrGad::new(config);
-    let (result, report) = detector.evaluate(&dataset);
+    let mut fit_timings = TimingObserver::new();
+    let trained = detector.fit_observed(&dataset.graph, &mut fit_timings);
+    println!(
+        "trained in {:.2?} ({} gradient epochs across stages)",
+        fit_timings.total_wall(),
+        fit_timings.total_train_epochs()
+    );
 
-    // 3. Inspect the pipeline stages.
+    // 3. Score with the trained artifact — zero training epochs.
+    let mut score_timings = TimingObserver::new();
+    let result = trained.score_observed(&dataset.graph, &mut score_timings);
+    println!(
+        "scored in {:.2?} ({} training epochs — the serving path never trains)",
+        score_timings.total_wall(),
+        score_timings.total_train_epochs()
+    );
     println!(
         "anchors: {} nodes, candidate groups: {} (paths {}, trees {}, cycles {}, background {})",
         result.anchor_nodes.len(),
@@ -45,8 +61,33 @@ fn main() {
     }
 
     // 5. Group-level metrics against the ground truth.
+    let report = evaluate_detection(
+        &result.candidate_groups,
+        &result.scores,
+        &result.predicted_anomalous,
+        &dataset.anomaly_groups,
+        detector.config().match_jaccard,
+    );
     println!(
         "\nmetrics: CR {:.2}  F1 {:.2}  AUC {:.2}  (predicted {} groups, avg size {:.1})",
         report.cr, report.f1, report.auc, report.num_predicted, report.avg_predicted_size
+    );
+
+    // 6. Persist the trained model and score a fresh snapshot with the
+    //    reloaded copy — no retraining.
+    let json = trained.to_json().expect("serialize model");
+    let reloaded = TrainedTpGrGad::from_json(&json).expect("reload model");
+    let snapshot = datasets::example::generate(90, 8);
+    let snapshot_result = reloaded.score(&snapshot.graph);
+    println!(
+        "\nreloaded model ({} KiB JSON) scored a {}-node snapshot: {} candidates, {} flagged",
+        json.len() / 1024,
+        snapshot.graph.num_nodes(),
+        snapshot_result.candidate_groups.len(),
+        snapshot_result
+            .predicted_anomalous
+            .iter()
+            .filter(|&&f| f)
+            .count()
     );
 }

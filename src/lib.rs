@@ -8,9 +8,14 @@
 //! use tp_grgad::prelude::*;
 //!
 //! let dataset = datasets::example::generate(60, 0);
-//! let detector = TpGrGad::new(TpGrGadConfig::fast().with_seed(0));
-//! let result = detector.detect(&dataset.graph);
+//! let pipeline = TpGrGad::new(TpGrGadConfig::fast().with_seed(0));
+//! // Fit once, then score any number of graphs/snapshots without retraining.
+//! let trained = pipeline.fit(&dataset.graph);
+//! let result = trained.score(&dataset.graph);
 //! assert_eq!(result.scores.len(), result.candidate_groups.len());
+//! // The trained model round-trips through JSON with exact score parity.
+//! let reloaded = TrainedTpGrGad::from_json(&trained.to_json().unwrap()).unwrap();
+//! assert_eq!(reloaded.score(&dataset.graph).scores, result.scores);
 //! ```
 //!
 //! See the repository README for the architecture overview and DESIGN.md for
@@ -32,7 +37,11 @@ pub use grgad_tsne as tsne;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use grgad_baselines as baselines;
-    pub use grgad_core::{DetectorKind, TpGrGad, TpGrGadConfig, TpGrGadResult};
+    pub use grgad_core::{
+        DetectorKind, NullObserver, PipelineObserver, PipelinePhase, PipelineStage, StageTimings,
+        TimingObserver, TpGrGad, TpGrGadConfig, TpGrGadConfigBuilder, TpGrGadResult,
+        TrainedTpGrGad,
+    };
     pub use grgad_datasets as datasets;
     pub use grgad_datasets::{DatasetScale, GrGadDataset};
     pub use grgad_gnn::{GaeConfig, MhGae, ReconstructionTarget};

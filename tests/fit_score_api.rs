@@ -1,0 +1,173 @@
+//! Integration tests for the fit/score split: the trained-model artifact,
+//! serving-path guarantees (zero training epochs), JSON persistence, and
+//! bit-for-bit agreement with the legacy `detect()` API.
+
+use tp_grgad::prelude::*;
+
+fn fast_config(seed: u64) -> TpGrGadConfig {
+    TpGrGadConfig::fast().with_seed(seed)
+}
+
+/// `fit` then `score` on the same graph must reproduce the legacy one-shot
+/// `detect` output bit-for-bit, for several seeds and detectors.
+#[test]
+fn fit_score_matches_detect_bit_for_bit() {
+    for (seed, kind) in [
+        (1, DetectorKind::Ecod),
+        (2, DetectorKind::ZScore),
+        (3, DetectorKind::Ensemble),
+    ] {
+        let dataset = datasets::example::generate(36, seed);
+        let mut config = fast_config(seed);
+        config.detector = kind;
+        let pipeline = TpGrGad::new(config);
+
+        let legacy = pipeline.detect(&dataset.graph);
+        let trained = pipeline.fit(&dataset.graph);
+        let served = trained.score(&dataset.graph);
+
+        assert_eq!(legacy.anchor_nodes, served.anchor_nodes, "{kind} anchors");
+        assert_eq!(legacy.node_errors, served.node_errors, "{kind} errors");
+        assert_eq!(
+            legacy
+                .candidate_groups
+                .iter()
+                .map(|g| g.nodes().to_vec())
+                .collect::<Vec<_>>(),
+            served
+                .candidate_groups
+                .iter()
+                .map(|g| g.nodes().to_vec())
+                .collect::<Vec<_>>(),
+            "{kind} candidate groups"
+        );
+        assert_eq!(legacy.scores, served.scores, "{kind} scores");
+        assert_eq!(
+            legacy.predicted_anomalous, served.predicted_anomalous,
+            "{kind} predictions"
+        );
+
+        // Scoring must be stateless: a second pass is identical.
+        let again = trained.score(&dataset.graph);
+        assert_eq!(served.scores, again.scores, "{kind} rescore");
+    }
+}
+
+/// The acceptance criterion: scoring with a pre-fitted model runs with zero
+/// training epochs, observer-verified.
+#[test]
+fn score_runs_zero_training_epochs() {
+    let dataset = datasets::example::generate(36, 4);
+    let pipeline = TpGrGad::new(fast_config(4));
+
+    let mut fit_observer = TimingObserver::new();
+    let trained = pipeline.fit_observed(&dataset.graph, &mut fit_observer);
+    assert_eq!(fit_observer.stages.len(), 4, "four stages per fit");
+    assert!(
+        fit_observer.total_train_epochs() > 0,
+        "fit must actually train"
+    );
+
+    let mut score_observer = TimingObserver::new();
+    let result = trained.score_observed(&dataset.graph, &mut score_observer);
+    assert!(!result.scores.is_empty());
+    assert_eq!(score_observer.stages.len(), 4, "four stages per score");
+    assert_eq!(
+        score_observer.total_train_epochs(),
+        0,
+        "serving path must not train: {}",
+        score_observer.summary()
+    );
+    for report in &score_observer.stages {
+        assert_eq!(report.train_epochs, 0, "stage {} trained", report.stage);
+    }
+}
+
+/// save → load → score must reproduce the original scores exactly.
+#[test]
+fn save_load_round_trip_reproduces_scores_exactly() {
+    for kind in [
+        DetectorKind::Ecod,
+        DetectorKind::Lof,
+        DetectorKind::IsolationForest,
+    ] {
+        let dataset = datasets::example::generate(36, 9);
+        let mut config = fast_config(9);
+        config.detector = kind;
+        let trained = TpGrGad::new(config).fit(&dataset.graph);
+        let original = trained.score(&dataset.graph);
+
+        let json = trained.to_json().unwrap();
+        let reloaded = TrainedTpGrGad::from_json(&json).unwrap();
+        assert_eq!(reloaded.detector_name(), trained.detector_name());
+        let replayed = reloaded.score(&dataset.graph);
+
+        assert_eq!(original.scores, replayed.scores, "{kind} scores");
+        assert_eq!(original.node_errors, replayed.node_errors, "{kind} errors");
+        assert_eq!(
+            original.predicted_anomalous, replayed.predicted_anomalous,
+            "{kind} predictions"
+        );
+    }
+}
+
+/// File-based persistence round trip through `save`/`load`.
+#[test]
+fn save_load_file_round_trip() {
+    let dataset = datasets::example::generate(30, 12);
+    let trained = TpGrGad::new(fast_config(12)).fit(&dataset.graph);
+    let path = std::env::temp_dir().join("tp_grgad_model_test.json");
+    trained.save(&path).unwrap();
+    let reloaded = TrainedTpGrGad::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        trained.score(&dataset.graph).scores,
+        reloaded.score(&dataset.graph).scores
+    );
+    assert!(TrainedTpGrGad::from_json("{\"format\":\"nope\"}").is_err());
+}
+
+/// A model fitted on one graph scores an *unseen* snapshot with sane shapes
+/// and finite scores.
+#[test]
+fn scoring_a_second_snapshot_returns_sane_shapes() {
+    let train = datasets::example::generate(36, 20);
+    let trained = TpGrGad::new(fast_config(20)).fit(&train.graph);
+
+    // A different synthetic snapshot with the same feature dimensionality.
+    let snapshot = datasets::example::generate(48, 21);
+    assert_eq!(train.graph.feature_dim(), snapshot.graph.feature_dim());
+
+    let result = trained.score(&snapshot.graph);
+    assert_eq!(result.node_errors.len(), snapshot.graph.num_nodes());
+    assert!(!result.anchor_nodes.is_empty());
+    assert_eq!(result.candidate_groups.len(), result.scores.len());
+    assert_eq!(
+        result.candidate_groups.len(),
+        result.predicted_anomalous.len()
+    );
+    assert_eq!(result.embeddings.rows(), result.candidate_groups.len());
+    assert!(result.scores.iter().all(|s| s.is_finite()));
+
+    // Pre-sampled candidates score through the dedicated serving entry point.
+    let direct = trained.score_groups(&snapshot.graph, &result.candidate_groups);
+    assert_eq!(direct, result.scores);
+}
+
+/// The fluent builder and presets cooperate with the fit/score API.
+#[test]
+fn builder_and_presets_drive_the_pipeline() {
+    let dataset = datasets::example::generate(30, 30);
+    let config = TpGrGadConfig::builder()
+        .fast()
+        .detector("ecod".parse().unwrap())
+        .adaptive_threshold(true)
+        .seed(30)
+        .build();
+    let result = TpGrGad::new(config).detect(&dataset.graph);
+    assert!(!result.anomalous_groups().is_empty());
+
+    // Presets expose distinct training budgets.
+    assert!(TpGrGadConfig::serving().gae.epochs < TpGrGadConfig::paper().gae.epochs);
+    assert_eq!(DetectorKind::Ecod.to_string(), "ECOD");
+}

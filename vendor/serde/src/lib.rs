@@ -93,6 +93,20 @@ pub trait Deserialize: Sized {
     fn from_value(value: &Value) -> Result<Self, Error>;
 }
 
+// Identity impls: a `Value` can appear as a field of a (de)serialized struct
+// (e.g. an opaque sub-model state embedded in a larger document).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 macro_rules! serialize_numbers {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
