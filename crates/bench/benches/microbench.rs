@@ -73,6 +73,25 @@ fn bench_augmentations(c: &mut Criterion) {
     bench_group.finish();
 }
 
+/// Row-parallel dense matmul (the GCN workhorse) at 1 thread vs all cores —
+/// the outputs are bit-for-bit identical, only the wall clock differs.
+fn bench_matmul_threads(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = Matrix::rand_normal(384, 256, 1.0, &mut rng);
+    let b = Matrix::rand_normal(256, 256, 1.0, &mut rng);
+    let mut group = c.benchmark_group("matmul_384x256x256");
+    group.bench_function("threads_1", |bench| {
+        grgad_parallel::set_max_threads(1);
+        bench.iter(|| std::hint::black_box(&a).matmul(std::hint::black_box(&b)));
+    });
+    group.bench_function("threads_auto", |bench| {
+        grgad_parallel::set_max_threads(0);
+        bench.iter(|| std::hint::black_box(&a).matmul(std::hint::black_box(&b)));
+    });
+    group.finish();
+    grgad_parallel::set_max_threads(0);
+}
+
 fn bench_ecod(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
     let data = Matrix::rand_normal(500, 32, 1.0, &mut rng);
@@ -106,6 +125,7 @@ criterion_group!(
         bench_gcn_forward,
         bench_group_sampling,
         bench_augmentations,
+        bench_matmul_threads,
         bench_ecod,
         bench_cycle_enumeration,
         bench_score_pretrained

@@ -12,6 +12,13 @@ use grgad_metrics::label_candidates;
 fn main() {
     let options = HarnessOptions::from_args();
     let seed = options.seeds[0];
+    println!(
+        "parallel backend: requested_threads={} resolved_threads={} (scores are bit-for-bit identical at any thread count)",
+        options
+            .num_threads
+            .map_or_else(|| "default".to_string(), |n| n.to_string()),
+        grgad_parallel::max_threads(),
+    );
     for dataset in all_datasets(options.scale, seed) {
         let config = options.pipeline_config(seed);
         let detector = TpGrGad::new(config.clone());
@@ -84,12 +91,13 @@ fn main() {
         );
         for report in fit_timings.stages.iter().chain(&score_timings.stages) {
             println!(
-                "    {:>5}/{:<20} {:>10.2?} items={:<6} epochs={}",
+                "    {:>5}/{:<20} {:>10.2?} items={:<6} epochs={} threads={}",
                 report.phase.to_string(),
                 report.stage.to_string(),
                 report.wall,
                 report.items,
-                report.train_epochs
+                report.train_epochs,
+                report.threads
             );
         }
     }

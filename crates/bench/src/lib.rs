@@ -10,6 +10,9 @@
 //! --out DIR              output directory (default: target/experiments)
 //! --detector KIND        outlier detector override for TP-GrGAD
 //!                        (ecod|zscore|lof|iforest|ensemble)
+//! --threads N            worker threads for the deterministic parallel
+//!                        backend (0 = auto; default: GRGAD_THREADS or auto).
+//!                        Results are bit-for-bit identical at any N.
 //! ```
 //!
 //! Results are printed as plain-text tables mirroring the paper's layout and
@@ -39,6 +42,9 @@ pub struct HarnessOptions {
     /// Optional outlier-detector override (`--detector`, parsed through
     /// [`DetectorKind`]'s `FromStr` impl).
     pub detector: Option<DetectorKind>,
+    /// Optional worker-thread override (`--threads`; `0` = auto-detect).
+    /// `None` keeps the config default (`GRGAD_THREADS` or auto).
+    pub num_threads: Option<usize>,
 }
 
 impl Default for HarnessOptions {
@@ -48,6 +54,7 @@ impl Default for HarnessOptions {
             seeds: vec![0],
             out_dir: PathBuf::from("target/experiments"),
             detector: None,
+            num_threads: None,
         }
     }
 }
@@ -96,6 +103,21 @@ impl HarnessOptions {
                         i += 1;
                     }
                 }
+                "--threads" => {
+                    if let Some(v) = args.get(i + 1) {
+                        match v.parse::<usize>() {
+                            Ok(n) => {
+                                options.num_threads = Some(n);
+                                // Apply immediately so code outside the
+                                // TpGrGadConfig path (baselines, dataset
+                                // generation) also honours the flag.
+                                grgad_parallel::set_max_threads(n);
+                            }
+                            Err(e) => eprintln!("--threads: {e}"),
+                        }
+                        i += 1;
+                    }
+                }
                 _ => {}
             }
             i += 1;
@@ -109,6 +131,9 @@ impl HarnessOptions {
         let mut config = tpgrgad_config(self.scale, seed);
         if let Some(kind) = self.detector {
             config.detector = kind;
+        }
+        if let Some(threads) = self.num_threads {
+            config.num_threads = threads;
         }
         config
     }
@@ -348,6 +373,23 @@ mod tests {
         assert_eq!(options.scale, DatasetScale::Small);
         assert_eq!(options.seeds, vec![0]);
         assert_eq!(options.detector, None);
+        assert_eq!(options.num_threads, None);
+    }
+
+    #[test]
+    fn options_parse_threads_override() {
+        let args: Vec<String> = ["prog", "--threads", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let options = HarnessOptions::from_slice(&args);
+        assert_eq!(options.num_threads, Some(2));
+        assert_eq!(options.pipeline_config(0).num_threads, 2);
+        // Restore auto so other tests in this binary are unaffected.
+        grgad_parallel::set_max_threads(0);
+
+        let bad = HarnessOptions::from_slice(&["prog".into(), "--threads".into(), "x".into()]);
+        assert_eq!(bad.num_threads, None);
     }
 
     #[test]

@@ -97,7 +97,14 @@ impl serde::Deserialize for DetectorKind {
 }
 
 /// Full configuration of the TP-GrGAD pipeline.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+///
+/// Serde is hand-written (below) instead of derived for one reason:
+/// `num_threads` is a machine-local performance knob and is deliberately
+/// **not persisted** — a saved model must not pin the thread count of the
+/// machine that loads it, and models saved before the field existed must
+/// keep loading. Deserialization always resolves it fresh from the loading
+/// process' environment.
+#[derive(Clone, Debug)]
 pub struct TpGrGadConfig {
     /// MH-GAE training hyperparameters.
     pub gae: GaeConfig,
@@ -130,6 +137,75 @@ pub struct TpGrGadConfig {
     pub match_jaccard: f32,
     /// Master RNG seed.
     pub seed: u64,
+    /// Worker threads for the deterministic parallel backend
+    /// (`grgad_parallel`). `0` means "default": defer to the `GRGAD_THREADS`
+    /// environment variable, then [`std::thread::available_parallelism`] —
+    /// so CI can force single- or multi-threaded runs without code changes.
+    /// Applied process-wide on every `fit`/`score`/`score_groups` entry;
+    /// results are bit-for-bit identical at any thread count, so this is
+    /// purely a performance knob. **Not persisted** with saved models — a
+    /// reloaded model resolves it from the loading machine's environment.
+    pub num_threads: usize,
+}
+
+// Hand-written serde: every field except the machine-local `num_threads`
+// round-trips; see the struct-level doc for why.
+impl serde::Serialize for TpGrGadConfig {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("gae".to_string(), self.gae.to_value()),
+            (
+                "reconstruction_target".to_string(),
+                self.reconstruction_target.to_value(),
+            ),
+            (
+                "anchor_fraction".to_string(),
+                self.anchor_fraction.to_value(),
+            ),
+            ("sampling".to_string(), self.sampling.to_value()),
+            ("tpgcl".to_string(), self.tpgcl.to_value()),
+            ("use_tpgcl".to_string(), self.use_tpgcl.to_value()),
+            ("detector".to_string(), self.detector.to_value()),
+            ("contamination".to_string(), self.contamination.to_value()),
+            (
+                "adaptive_threshold".to_string(),
+                self.adaptive_threshold.to_value(),
+            ),
+            ("adaptive_k".to_string(), self.adaptive_k.to_value()),
+            ("match_jaccard".to_string(), self.match_jaccard.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for TpGrGadConfig {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::Deserialize;
+        Ok(Self {
+            gae: Deserialize::from_value(value.field("gae")?)?,
+            reconstruction_target: Deserialize::from_value(value.field("reconstruction_target")?)?,
+            anchor_fraction: Deserialize::from_value(value.field("anchor_fraction")?)?,
+            sampling: Deserialize::from_value(value.field("sampling")?)?,
+            tpgcl: Deserialize::from_value(value.field("tpgcl")?)?,
+            use_tpgcl: Deserialize::from_value(value.field("use_tpgcl")?)?,
+            detector: Deserialize::from_value(value.field("detector")?)?,
+            contamination: Deserialize::from_value(value.field("contamination")?)?,
+            adaptive_threshold: Deserialize::from_value(value.field("adaptive_threshold")?)?,
+            adaptive_k: Deserialize::from_value(value.field("adaptive_k")?)?,
+            match_jaccard: Deserialize::from_value(value.field("match_jaccard")?)?,
+            seed: Deserialize::from_value(value.field("seed")?)?,
+            // Machine-local: resolved from the loading environment, never
+            // from the snapshot.
+            num_threads: default_num_threads(),
+        })
+    }
+}
+
+/// The default worker-thread request: `GRGAD_THREADS` when set and parsable,
+/// otherwise `0` (defer to the backend's env-then-auto resolution). Shares
+/// the backend's parser so the two layers cannot drift apart.
+fn default_num_threads() -> usize {
+    grgad_parallel::default_thread_request()
 }
 
 impl Default for TpGrGadConfig {
@@ -147,6 +223,7 @@ impl Default for TpGrGadConfig {
             adaptive_k: 1.0,
             match_jaccard: 0.5,
             seed: 0,
+            num_threads: default_num_threads(),
         }
     }
 }
@@ -312,6 +389,14 @@ impl TpGrGadConfigBuilder {
         self
     }
 
+    /// Sets the worker-thread count for the deterministic parallel backend
+    /// (`0` = auto-detect hardware parallelism). Purely a performance knob:
+    /// scores are bit-for-bit identical at any thread count.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.config.num_threads = num_threads;
+        self
+    }
+
     /// Sets the master seed; propagated to every stage at `build`.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
@@ -410,6 +495,21 @@ mod tests {
     }
 
     #[test]
+    fn num_threads_defaults_and_builder_override() {
+        // Default resolves from GRGAD_THREADS or falls back to auto (0).
+        let default = TpGrGadConfig::default().num_threads;
+        match std::env::var("GRGAD_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) => assert_eq!(default, n),
+            None => assert_eq!(default, 0),
+        }
+        let config = TpGrGadConfig::builder().fast().num_threads(3).build();
+        assert_eq!(config.num_threads, 3);
+    }
+
+    #[test]
     fn builder_applies_every_setter() {
         let config = TpGrGadConfig::builder()
             .serving()
@@ -441,6 +541,22 @@ mod tests {
         assert_eq!(config.gae.seed, 9);
         assert_eq!(config.sampling.seed, 10);
         assert_eq!(config.tpgcl.seed, 11);
+    }
+
+    /// `num_threads` is machine-local: it must not appear in serialized
+    /// configs (a saved model must not pin the loading machine's thread
+    /// count) and configs saved before the field existed must keep loading.
+    #[test]
+    fn num_threads_is_not_persisted() {
+        let config = TpGrGadConfig::builder().fast().num_threads(7).build();
+        let json = serde_json::to_string(&config).unwrap();
+        assert!(
+            !json.contains("num_threads"),
+            "machine-local knob leaked into the snapshot: {json}"
+        );
+        let back: TpGrGadConfig = serde_json::from_str(&json).unwrap();
+        // Resolved from the loading environment, not the snapshot.
+        assert_eq!(back.num_threads, TpGrGadConfig::default().num_threads);
     }
 
     #[test]

@@ -91,6 +91,9 @@ impl TpGrGad {
         observer: &mut dyn PipelineObserver,
     ) -> TrainedTpGrGad {
         let config = &self.config;
+        // Forward the configured thread budget to the deterministic parallel
+        // backend; scores are identical at any thread count.
+        grgad_parallel::set_max_threads(config.num_threads);
 
         // Stage 1: anchor localization — train MH-GAE.
         let mhgae = observe_stage(
@@ -248,6 +251,7 @@ impl TrainedTpGrGad {
             self.mhgae.feature_dim()
         );
         let config = &self.config;
+        grgad_parallel::set_max_threads(config.num_threads);
 
         // Stage 1: anchor localization — forward pass only.
         let (anchor_nodes, node_errors) = observe_stage(
@@ -351,6 +355,7 @@ impl TrainedTpGrGad {
         if groups.is_empty() {
             return Vec::new();
         }
+        grgad_parallel::set_max_threads(self.config.num_threads);
         let embeddings = embed_groups(self.tpgcl.as_ref(), graph, groups, self.config.use_tpgcl);
         self.detector.score(&embeddings)
     }
@@ -526,23 +531,28 @@ fn adaptive_threshold(scores: &[f32], k: f32) -> Vec<bool> {
 }
 
 /// The Table V "w/o TPGCL" group representation: the mean of the group's raw
-/// node-attribute vectors.
+/// node-attribute vectors. Group-parallel with per-group output slots, so
+/// the batch is identical at any thread count.
 fn mean_attribute_embeddings(graph: &Graph, groups: &[Group]) -> Matrix {
     let d = graph.feature_dim();
     let mut out = Matrix::zeros(groups.len(), d);
-    for (i, group) in groups.iter().enumerate() {
-        if group.is_empty() || d == 0 {
-            continue;
+    if groups.is_empty() || d == 0 {
+        return out;
+    }
+    grgad_parallel::par_chunks_mut(out.as_mut_slice(), d, |i, row| {
+        let group = &groups[i];
+        if group.is_empty() {
+            return;
         }
         for &v in group.nodes() {
             for (j, &x) in graph.features().row(v).iter().enumerate() {
-                out[(i, j)] += x;
+                row[j] += x;
             }
         }
-        for j in 0..d {
-            out[(i, j)] /= group.len() as f32;
+        for x in row.iter_mut() {
+            *x /= group.len() as f32;
         }
-    }
+    });
     out
 }
 

@@ -82,6 +82,10 @@ pub struct StageTimings {
     pub items: usize,
     /// Gradient-descent epochs executed inside the stage (`0` when serving).
     pub train_epochs: usize,
+    /// Resolved worker-thread cap of the deterministic parallel backend
+    /// while the stage ran (`grgad_parallel::max_threads()`); `1` means the
+    /// stage executed serially.
+    pub threads: usize,
 }
 
 /// Hook invoked after every pipeline stage completes.
@@ -130,12 +134,13 @@ impl TimingObserver {
             .iter()
             .map(|s| {
                 format!(
-                    "{:>5}/{:<20} {:>8.1?} items={:<6} epochs={}",
+                    "{:>5}/{:<20} {:>8.1?} items={:<6} epochs={} threads={}",
                     s.phase.to_string(),
                     s.stage.to_string(),
                     s.wall,
                     s.items,
-                    s.train_epochs
+                    s.train_epochs,
+                    s.threads
                 )
             })
             .collect::<Vec<_>>()
@@ -165,6 +170,7 @@ pub(crate) fn observe_stage<T>(
         wall: start.elapsed(),
         items,
         train_epochs,
+        threads: grgad_parallel::max_threads(),
     });
     value
 }
@@ -189,6 +195,8 @@ mod tests {
         assert_eq!(report.phase, PipelinePhase::Score);
         assert_eq!(report.items, 7);
         assert_eq!(report.train_epochs, 0);
+        assert!(report.threads >= 1, "thread count must be reported");
+        assert!(observer.summary().contains("threads="));
         assert_eq!(observer.total_train_epochs(), 0);
         assert!(!observer.summary().is_empty());
     }

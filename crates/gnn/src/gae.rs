@@ -283,8 +283,11 @@ impl Gae {
         // planted groups carry weights their embeddings cannot match (their
         // attributes bind them together while their multi-hop structure does
         // not), which is the long-range inconsistency signal.
-        let mut structure = vec![0.0_f32; n];
-        for (i, slot) in structure.iter_mut().enumerate() {
+        //
+        // Both decode heads are embarrassingly parallel per node: each node's
+        // error reads only its own target row / embedding rows and lands in
+        // its own slot, so the output is identical at any thread count.
+        let structure: Vec<f32> = grgad_parallel::par_map_range_min(n, 64, |i| {
             let mut err = 0.0;
             let mut count = 0usize;
             for (j, t) in target.row_iter(i) {
@@ -292,20 +295,22 @@ impl Gae {
                 err += (t - sigmoid_scalar(dot)).abs();
                 count += 1;
             }
-            *slot = if count > 0 { err / count as f32 } else { 0.0 };
-        }
-        let attribute: Vec<f32> = (0..n)
-            .map(|i| {
-                graph
-                    .features()
-                    .row(i)
-                    .iter()
-                    .zip(x_hat.row(i))
-                    .map(|(&a, &b)| (a - b) * (a - b))
-                    .sum::<f32>()
-                    .sqrt()
-            })
-            .collect();
+            if count > 0 {
+                err / count as f32
+            } else {
+                0.0
+            }
+        });
+        let attribute: Vec<f32> = grgad_parallel::par_map_range_min(n, 256, |i| {
+            graph
+                .features()
+                .row(i)
+                .iter()
+                .zip(x_hat.row(i))
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum::<f32>()
+                .sqrt()
+        });
         NodeErrors::combine(structure, attribute, self.config.lambda)
     }
 

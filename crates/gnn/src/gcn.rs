@@ -153,6 +153,52 @@ impl GcnEncoder {
             layer.import_weights(pair[0].clone(), pair[1].clone());
         }
     }
+
+    /// Snapshots the encoder into a thread-shareable, autodiff-free
+    /// [`GcnInference`] whose forward pass reproduces
+    /// [`GcnEncoder::forward`]'s values bit-for-bit.
+    ///
+    /// [`Tensor`] is an `Rc`-based handle and cannot cross threads, so
+    /// parallel batch inference (e.g. embedding many group subgraphs at once)
+    /// snapshots the plain weight matrices first and runs on those.
+    pub fn inference(&self) -> GcnInference {
+        GcnInference {
+            layers: self
+                .layers
+                .iter()
+                .map(|l| {
+                    let (w, b) = l.export_weights();
+                    (w, b, l.activation)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// An autodiff-free, `Send + Sync` snapshot of a [`GcnEncoder`]: plain weight
+/// matrices plus activations. Its [`GcnInference::forward`] applies exactly
+/// the same linalg kernels as the `Tensor` forward pass
+/// (`spmm → matmul → add_bias → activation` per layer), so the produced
+/// values are bit-for-bit identical to [`GcnEncoder::forward`].
+pub struct GcnInference {
+    layers: Vec<(Matrix, Matrix, Activation)>,
+}
+
+impl GcnInference {
+    /// Inference forward pass with the given propagation operator.
+    pub fn forward(&self, adj: &CsrMatrix, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for (weight, bias, activation) in &self.layers {
+            h = adj.matmul_dense(&h).matmul(weight).add_row_broadcast(bias);
+            h = match activation {
+                Activation::Identity => h,
+                Activation::Relu => h.map(|v| v.max(0.0)),
+                Activation::Sigmoid => h.map(grgad_linalg::ops::sigmoid_scalar),
+                Activation::Tanh => h.map(f32::tanh),
+            };
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -239,5 +285,24 @@ mod tests {
     fn encoder_rejects_single_dim() {
         let mut rng = StdRng::seed_from_u64(4);
         let _ = GcnEncoder::new(&[3], &mut rng);
+    }
+
+    /// The autodiff-free inference snapshot must reproduce the `Tensor`
+    /// forward pass bit-for-bit — the parallel batch-embedding path depends
+    /// on this exactness.
+    #[test]
+    fn inference_snapshot_matches_tensor_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = small_graph();
+        let adj = g.normalized_adjacency();
+        let enc = GcnEncoder::new(&[2, 8, 3], &mut rng);
+        let via_tensor = enc
+            .forward(&adj, &Tensor::constant(g.features().clone()))
+            .value_clone();
+        let via_snapshot = enc.inference().forward(&adj, g.features());
+        assert_eq!(via_tensor.shape(), via_snapshot.shape());
+        for (a, b) in via_tensor.as_slice().iter().zip(via_snapshot.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} != {b}");
+        }
     }
 }

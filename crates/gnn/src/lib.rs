@@ -19,5 +19,5 @@ pub mod mhgae;
 
 pub use anchors::select_anchor_nodes;
 pub use gae::{Gae, GaeConfig, NodeErrors};
-pub use gcn::{GcnEncoder, GcnLayer};
+pub use gcn::{GcnEncoder, GcnInference, GcnLayer};
 pub use mhgae::{MhGae, ReconstructionTarget};

@@ -203,6 +203,11 @@ impl Matrix {
 
     /// Dense matrix product `self × other` using an ikj loop order.
     ///
+    /// Large products are computed row-parallel on the `grgad_parallel`
+    /// backend: every output row is owned by exactly one worker and is
+    /// accumulated in the same ikj order as the serial loop, so the result is
+    /// bit-for-bit identical at any thread count.
+    ///
     /// # Panics
     /// Panics if inner dimensions do not match.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
@@ -212,17 +217,26 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
+        if self.rows == 0 || other.cols == 0 {
+            return out;
+        }
+        let compute_row = |i: usize, o_row: &mut [f32]| {
             let a_row = self.row(i);
             for (k, &a_ik) in a_row.iter().enumerate() {
                 if a_ik == 0.0 {
                     continue;
                 }
                 let b_row = other.row(k);
-                let o_row = out.row_mut(i);
                 for (j, &b_kj) in b_row.iter().enumerate() {
                     o_row[j] += a_ik * b_kj;
                 }
+            }
+        };
+        if crate::parallel_worthwhile(self.rows, self.rows * self.cols * other.cols) {
+            grgad_parallel::par_chunks_mut(&mut out.data, other.cols, compute_row);
+        } else {
+            for i in 0..self.rows {
+                compute_row(i, out.row_mut(i));
             }
         }
         out

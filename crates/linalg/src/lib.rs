@@ -23,6 +23,18 @@ pub mod stats;
 pub use dense::Matrix;
 pub use sparse::CsrMatrix;
 
+/// Minimum number of multiply-adds before a matrix product is worth handing
+/// to the thread pool: below this the scoped-thread spawn overhead dominates.
+/// Purely a performance gate — the parallel and serial paths are bit-for-bit
+/// identical (see `grgad_parallel`'s determinism contract).
+pub(crate) const MIN_PARALLEL_FLOPS: usize = 1 << 17;
+
+/// True when a row-parallel product over `rows` rows totalling `flops`
+/// multiply-adds should use the thread pool.
+pub(crate) fn parallel_worthwhile(rows: usize, flops: usize) -> bool {
+    rows >= 2 && flops >= MIN_PARALLEL_FLOPS && grgad_parallel::max_threads() > 1
+}
+
 /// Numerical tolerance used across the workspace for float comparisons in
 /// tests and convergence checks.
 pub const EPS: f32 = 1e-6;

@@ -124,6 +124,10 @@ impl CsrMatrix {
     }
 
     /// Sparse × dense product: `self (r×c) * dense (c×k) -> r×k`.
+    ///
+    /// Large products run row-parallel (one worker owns each output row, the
+    /// per-row accumulation order matches the serial loop), so the result is
+    /// bit-for-bit identical at any thread count.
     pub fn matmul_dense(&self, dense: &Matrix) -> Matrix {
         assert_eq!(
             self.cols,
@@ -135,16 +139,24 @@ impl CsrMatrix {
             dense.cols()
         );
         let mut out = Matrix::zeros(self.rows, dense.cols());
-        for i in 0..self.rows {
+        if self.rows == 0 || dense.cols() == 0 {
+            return out;
+        }
+        let compute_row = |i: usize, o_row: &mut [f32]| {
             let (s, e) = (self.indptr[i], self.indptr[i + 1]);
             for idx in s..e {
                 let k = self.indices[idx];
                 let v = self.values[idx];
-                let d_row = dense.row(k);
-                let o_row = out.row_mut(i);
-                for (j, &d) in d_row.iter().enumerate() {
+                for (j, &d) in dense.row(k).iter().enumerate() {
                     o_row[j] += v * d;
                 }
+            }
+        };
+        if crate::parallel_worthwhile(self.rows, self.nnz() * dense.cols()) {
+            grgad_parallel::par_chunks_mut(out.as_mut_slice(), dense.cols(), compute_row);
+        } else {
+            for i in 0..self.rows {
+                compute_row(i, out.row_mut(i));
             }
         }
         out

@@ -10,8 +10,9 @@ use grgad_graph::Group;
 /// ```
 ///
 /// The first term measures how completely the true group was recovered, the
-/// second penalizes redundant nodes in the prediction. Returns 0 when there
-/// are no predictions.
+/// second penalizes redundant nodes in the prediction. Returns 0 when the
+/// ground-truth group is empty (that is what the guard below checks); an
+/// empty prediction list also yields 0 because the max-fold starts at 0.
 pub fn completeness_score(ground_truth: &Group, predictions: &[Group]) -> f32 {
     if ground_truth.is_empty() {
         return 0.0;

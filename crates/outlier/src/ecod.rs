@@ -54,15 +54,21 @@ impl Ecod {
 impl OutlierDetector for Ecod {
     fn fit(&mut self, data: &Matrix) {
         let (m, d) = data.shape();
-        let columns = (0..d)
-            .map(|j| {
-                let col: Vec<f32> = (0..m).map(|i| data[(i, j)]).collect();
-                let skew = skewness(&col);
-                let mut sorted = col;
-                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-                EcodColumn { sorted, skew }
-            })
-            .collect();
+        // Column-parallel: every dimension's ECDF (sort + skewness) is
+        // independent and lands in its own slot.
+        let columns = grgad_parallel::par_map_range(d, |j| {
+            let col: Vec<f32> = (0..m).map(|i| data[(i, j)]).collect();
+            let skew = skewness(&col);
+            // NaNs are dropped before sorting: they carry no distribution
+            // information, and the `partition_point` binary searches in
+            // `ecdf`/`ecdf_right` require a cleanly ordered array — a
+            // negative NaN would sort to the front under `total_cmp` and
+            // silently corrupt every tail probability of the column. An
+            // all-NaN column degenerates to the empty-ECDF neutral value.
+            let mut sorted: Vec<f32> = col.into_iter().filter(|v| !v.is_nan()).collect();
+            sorted.sort_by(f32::total_cmp);
+            EcodColumn { sorted, skew }
+        });
         self.model = Some(EcodModel {
             columns,
             train_rows: m,
@@ -85,28 +91,28 @@ impl OutlierDetector for Ecod {
             data.cols(),
             model.columns.len()
         );
-        let mut o_left = vec![0.0_f32; m];
-        let mut o_right = vec![0.0_f32; m];
-        let mut o_auto = vec![0.0_f32; m];
-
-        for (j, column) in model.columns.iter().enumerate() {
-            for i in 0..m {
+        // Row-parallel scoring. Each row accumulates its per-dimension tail
+        // scores over columns in index order — exactly the order the former
+        // column-outer loop added them into that row's slot — so the result
+        // is bit-for-bit identical to the serial version at any thread count.
+        grgad_parallel::par_map_range_min(m, 64, |i| {
+            let mut o_left = 0.0_f32;
+            let mut o_right = 0.0_f32;
+            let mut o_auto = 0.0_f32;
+            for (j, column) in model.columns.iter().enumerate() {
                 let x = data[(i, j)];
                 let left_tail = ecdf(&column.sorted, x); // P(X <= x)
                 let right_tail = ecdf_right(&column.sorted, x); // P(X >= x)
                 let ol = -left_tail.max(1e-12).ln();
                 let or = -right_tail.max(1e-12).ln();
-                o_left[i] += ol;
-                o_right[i] += or;
+                o_left += ol;
+                o_right += or;
                 // Skewness-corrected choice: for left-skewed dimensions the
                 // interesting tail is the left one, otherwise the right one.
-                o_auto[i] += if column.skew < 0.0 { ol } else { or };
+                o_auto += if column.skew < 0.0 { ol } else { or };
             }
-        }
-
-        (0..m)
-            .map(|i| o_left[i].max(o_right[i]).max(o_auto[i]))
-            .collect()
+            o_left.max(o_right).max(o_auto)
+        })
     }
 
     fn save_state(&self) -> serde::Value {

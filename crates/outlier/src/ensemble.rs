@@ -82,6 +82,12 @@ impl OutlierDetector for Ensemble {
         if self.train_rows == Some(0) {
             return vec![0.0; m];
         }
+        // Members are scored sequentially on purpose: each member's own
+        // `score` is already row-parallel on the shared backend, and nesting
+        // a member-level par_map on top would oversubscribe the cores
+        // (members × max_threads scoped threads) for no wall-clock gain.
+        // Accumulating in member order keeps the output identical at any
+        // thread count.
         let mut combined = vec![0.0_f32; m];
         for member in &self.members {
             let scores = member.score(data);
@@ -183,6 +189,34 @@ mod tests {
     #[should_panic(expected = "at least one member")]
     fn empty_ensemble_rejected() {
         let _ = Ensemble::new(Vec::new());
+    }
+
+    /// Regression companion to ZScore's zero-variance guard: a constant
+    /// training column must not leak `inf`/`NaN` into the rank-average
+    /// combination (before the guard, `(x - mu) / 0` poisoned the ensemble
+    /// votes ahead of any downstream filtering).
+    #[test]
+    fn constant_training_column_does_not_poison_ensemble() {
+        let (mut data, outliers) = crate::test_support::cluster_with_outliers();
+        // Append a constant column by rebuilding with an extra dimension.
+        let m = data.rows();
+        let mut widened = Matrix::zeros(m, 3);
+        for i in 0..m {
+            widened.row_mut(i)[..2].copy_from_slice(data.row(i));
+            widened.row_mut(i)[2] = 7.5; // zero variance
+        }
+        data = widened;
+        let scores = Ensemble::suod_like(3).fit_score(&data);
+        assert!(
+            scores.iter().all(|s| s.is_finite()),
+            "constant column leaked non-finite ensemble scores: {scores:?}"
+        );
+        // The planted outliers must still outrank the median inlier.
+        let mut inlier: Vec<f32> = (0..40).map(|i| scores[i]).collect();
+        inlier.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &o in &outliers {
+            assert!(scores[o] > inlier[20], "outlier {o} lost to median inlier");
+        }
     }
 
     #[test]

@@ -170,13 +170,17 @@ fn path_length(node: &Node, point: &[f32], depth: f32) -> f32 {
 }
 
 /// Average path length of an unsuccessful BST search in a tree of `n` items —
-/// the normalization constant `c(n)` from the original paper.
+/// the normalization constant `c(n) = 2·H(n−1) − 2(n−1)/n` from the original
+/// paper, with the harmonic number approximated as `H(i) ≈ ln(i) + γ`
+/// (Euler–Mascheroni constant).
 fn average_path_length(n: usize) -> f32 {
+    /// Euler–Mascheroni constant γ.
+    const EULER_GAMMA: f32 = 0.577_215_7;
     if n <= 1 {
         return 0.0;
     }
     let n = n as f32;
-    2.0 * ((n - 1.0).ln() + std::f32::consts::E.ln() - 1.0 + 0.577_215_7) - 2.0 * (n - 1.0) / n
+    2.0 * ((n - 1.0).ln() + EULER_GAMMA) - 2.0 * (n - 1.0) / n
 }
 
 impl OutlierDetector for IsolationForest {
@@ -193,11 +197,18 @@ impl OutlierDetector for IsolationForest {
         let sample_size = self.sample_size.min(m);
         let max_depth = (sample_size as f32).log2().ceil().max(1.0) as usize;
 
-        let mut trees = Vec::with_capacity(self.n_trees);
-        for _ in 0..self.n_trees {
-            let rows: Vec<usize> = (0..sample_size).map(|_| rng.gen_range(0..m)).collect();
-            trees.push(build_tree(data, &rows, 0, max_depth, &mut rng));
-        }
+        // Each tree owns an independent RNG whose seed is drawn sequentially
+        // from the master stream, so tree t's randomness depends only on
+        // (master seed, t) — never on which worker thread grows it. Trees are
+        // then grown in parallel and written to index-addressed slots,
+        // keeping the forest identical at any thread count.
+        use rand::RngCore;
+        let tree_seeds: Vec<u64> = (0..self.n_trees).map(|_| rng.next_u64()).collect();
+        let trees: Vec<Node> = grgad_parallel::par_map_indexed(&tree_seeds, |_, &tree_seed| {
+            let mut tree_rng = StdRng::seed_from_u64(tree_seed);
+            let rows: Vec<usize> = (0..sample_size).map(|_| tree_rng.gen_range(0..m)).collect();
+            build_tree(data, &rows, 0, max_depth, &mut tree_rng)
+        });
         let c = average_path_length(sample_size).max(1e-6);
         self.model = Some(ForestModel { trees, c });
     }
@@ -211,17 +222,18 @@ impl OutlierDetector for IsolationForest {
         if model.trees.is_empty() {
             return vec![0.0; m];
         }
-        (0..m)
-            .map(|i| {
-                let avg: f32 = model
-                    .trees
-                    .iter()
-                    .map(|t| path_length(t, data.row(i), 0.0))
-                    .sum::<f32>()
-                    / model.trees.len() as f32;
-                2.0_f32.powf(-avg / model.c)
-            })
-            .collect()
+        // Row-parallel scoring: each observation traverses the stored trees
+        // in forest order and reduces its own path lengths sequentially, so
+        // no floating-point reduction crosses a thread boundary.
+        grgad_parallel::par_map_range_min(m, 32, |i| {
+            let avg: f32 = model
+                .trees
+                .iter()
+                .map(|t| path_length(t, data.row(i), 0.0))
+                .sum::<f32>()
+                / model.trees.len() as f32;
+            2.0_f32.powf(-avg / model.c)
+        })
     }
 
     fn save_state(&self) -> serde::Value {
@@ -310,5 +322,22 @@ mod tests {
     fn average_path_length_monotone() {
         assert_eq!(average_path_length(1), 0.0);
         assert!(average_path_length(100) > average_path_length(10));
+    }
+
+    /// Golden values of `c(n) = 2·(ln(n−1) + γ) − 2(n−1)/n`: pins the
+    /// normalization constant so refactors (like removing the obfuscated
+    /// `E.ln() − 1` no-op term) cannot silently change the score scale.
+    #[test]
+    fn average_path_length_golden_values() {
+        assert!(
+            (average_path_length(2) - 0.1544).abs() < 1e-3,
+            "c(2) = {}, expected ≈ 0.1544",
+            average_path_length(2)
+        );
+        assert!(
+            (average_path_length(256) - 10.244).abs() < 1e-2,
+            "c(256) = {}, expected ≈ 10.244",
+            average_path_length(256)
+        );
     }
 }

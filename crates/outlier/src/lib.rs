@@ -40,7 +40,11 @@ pub use zscore::ZScore;
 use grgad_linalg::Matrix;
 
 /// Common interface of all unsupervised outlier detectors.
-pub trait OutlierDetector {
+///
+/// `Send + Sync` is part of the contract so fitted detectors can be shared
+/// with the `grgad_parallel` worker threads (e.g. the ensemble scores its
+/// members concurrently); every detector here is plain data after `fit`.
+pub trait OutlierDetector: Send + Sync {
     /// Estimates the detector's state from the rows of `data`.
     ///
     /// Fitting on an empty matrix is allowed and yields a degenerate state

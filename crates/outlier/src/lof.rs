@@ -52,6 +52,17 @@ impl Lof {
     }
 }
 
+/// Bit-exact matrix identity: same shape and every element has the same IEEE
+/// bit pattern. Unlike `PartialEq`, treats NaN as equal to an identical NaN,
+/// so a NaN-carrying training matrix still matches itself.
+fn same_matrix_bits(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
 impl Default for Lof {
     fn default() -> Self {
         Self::new(10)
@@ -79,52 +90,57 @@ impl OutlierDetector for Lof {
             });
             return;
         }
+        // Neighborhood cap invariant: a point's neighborhood is drawn from
+        // *all available reference points*. In transductive fit the point
+        // itself is excluded, leaving `m - 1` references; in novelty scoring
+        // (see `score`) the query is not part of the training set, so all
+        // `train_m` rows are available. Both caps express the same rule.
         let k = self.k.min(m - 1);
 
         // Pairwise distances and k-nearest neighbors (self excluded).
-        let mut neighbors: Vec<Vec<(usize, f32)>> = Vec::with_capacity(m);
-        for i in 0..m {
+        // Row-parallel: each point's neighbor list is computed independently
+        // and written to its own index, so the result is thread-count
+        // invariant.
+        let neighbors: Vec<Vec<(usize, f32)>> = grgad_parallel::par_map_range(m, |i| {
             let mut dists: Vec<(usize, f32)> = (0..m)
                 .filter(|&j| j != i)
                 .map(|j| (j, euclidean_distance(data.row(i), data.row(j))))
                 .collect();
-            dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            // `total_cmp` is NaN-robust (required: the std sort panics on
+            // comparators that are not total orders) and identical to the
+            // old `partial_cmp` ordering for the non-negative, NaN-free
+            // distances of well-formed embeddings.
+            dists.sort_by(|a, b| a.1.total_cmp(&b.1));
             dists.truncate(k);
-            neighbors.push(dists);
-        }
+            dists
+        });
         // k-distance of each point = distance to its k-th neighbor.
         let k_distance: Vec<f32> = neighbors
             .iter()
             .map(|nbrs| nbrs.last().map_or(0.0, |&(_, d)| d))
             .collect();
-        // Local reachability density.
-        let lrd: Vec<f32> = (0..m)
-            .map(|i| {
-                let sum_reach: f32 = neighbors[i]
-                    .iter()
-                    .map(|&(j, d)| d.max(k_distance[j]))
-                    .sum();
-                if sum_reach <= 0.0 {
-                    f32::INFINITY
-                } else {
-                    neighbors[i].len() as f32 / sum_reach
-                }
-            })
-            .collect();
+        // Local reachability density (per-point, reads only k_distance).
+        let lrd: Vec<f32> = grgad_parallel::par_map_indexed_min(&neighbors, 512, |_, nbrs| {
+            let sum_reach: f32 = nbrs.iter().map(|&(j, d)| d.max(k_distance[j])).sum();
+            if sum_reach <= 0.0 {
+                f32::INFINITY
+            } else {
+                nbrs.len() as f32 / sum_reach
+            }
+        });
         // LOF score: average neighbor lrd over own lrd.
-        let train_scores: Vec<f32> = (0..m)
-            .map(|i| {
+        let train_scores: Vec<f32> =
+            grgad_parallel::par_map_indexed_min(&neighbors, 512, |i, nbrs| {
                 if lrd[i].is_infinite() {
                     return 1.0;
                 }
-                let avg_nbr_lrd: f32 = neighbors[i]
+                let avg_nbr_lrd: f32 = nbrs
                     .iter()
                     .map(|&(j, _)| if lrd[j].is_infinite() { lrd[i] } else { lrd[j] })
                     .sum::<f32>()
-                    / neighbors[i].len() as f32;
+                    / nbrs.len() as f32;
                 avg_nbr_lrd / lrd[i]
-            })
-            .collect();
+            });
         self.model = Some(LofModel {
             train: data.clone(),
             k_distance,
@@ -136,7 +152,13 @@ impl OutlierDetector for Lof {
     fn score(&self, data: &Matrix) -> Vec<f32> {
         let model = self.model();
         // Scoring the training matrix reproduces the transductive scores.
-        if *data == model.train {
+        // The comparison is a bit-exact fingerprint (`f32::to_bits`) rather
+        // than `PartialEq` on f32: with IEEE `==`, a single NaN anywhere in
+        // the training embedding makes `data == train` false even for the
+        // training matrix itself, silently rerouting training rows into
+        // novelty mode where each row finds *itself* at distance 0 — which
+        // corrupts the transductive scores.
+        if same_matrix_bits(data, &model.train) {
             return model.train_scores.clone();
         }
         let m = data.rows();
@@ -147,39 +169,42 @@ impl OutlierDetector for Lof {
         if train_m == 0 {
             return vec![0.0; m];
         }
+        // Neighborhood cap invariant (mirrors `fit`): all available reference
+        // points. The query is not a training row, so all `train_m` rows are
+        // available — the fit-side cap `k.min(m - 1)` and this `k.min(train_m)`
+        // are the same "everything except the point itself" rule.
         let k = self.k.min(train_m);
         // Novelty mode: each query's neighborhood is drawn from the training
-        // rows (the query itself is not part of the reference set).
-        (0..m)
-            .map(|q| {
-                let mut dists: Vec<(usize, f32)> = (0..train_m)
-                    .map(|j| (j, euclidean_distance(data.row(q), model.train.row(j))))
-                    .collect();
-                dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-                dists.truncate(k);
-                let sum_reach: f32 = dists.iter().map(|&(j, d)| d.max(model.k_distance[j])).sum();
-                let lrd_q = if sum_reach <= 0.0 {
-                    f32::INFINITY
-                } else {
-                    dists.len() as f32 / sum_reach
-                };
-                if lrd_q.is_infinite() {
-                    return 1.0;
-                }
-                let avg_nbr_lrd: f32 = dists
-                    .iter()
-                    .map(|&(j, _)| {
-                        if model.lrd[j].is_infinite() {
-                            lrd_q
-                        } else {
-                            model.lrd[j]
-                        }
-                    })
-                    .sum::<f32>()
-                    / dists.len() as f32;
-                avg_nbr_lrd / lrd_q
-            })
-            .collect()
+        // rows (the query itself is not part of the reference set). Queries
+        // are independent, so they are scored row-parallel.
+        grgad_parallel::par_map_range(m, |q| {
+            let mut dists: Vec<(usize, f32)> = (0..train_m)
+                .map(|j| (j, euclidean_distance(data.row(q), model.train.row(j))))
+                .collect();
+            dists.sort_by(|a, b| a.1.total_cmp(&b.1));
+            dists.truncate(k);
+            let sum_reach: f32 = dists.iter().map(|&(j, d)| d.max(model.k_distance[j])).sum();
+            let lrd_q = if sum_reach <= 0.0 {
+                f32::INFINITY
+            } else {
+                dists.len() as f32 / sum_reach
+            };
+            if lrd_q.is_infinite() {
+                return 1.0;
+            }
+            let avg_nbr_lrd: f32 = dists
+                .iter()
+                .map(|&(j, _)| {
+                    if model.lrd[j].is_infinite() {
+                        lrd_q
+                    } else {
+                        model.lrd[j]
+                    }
+                })
+                .sum::<f32>()
+                / dists.len() as f32;
+            avg_nbr_lrd / lrd_q
+        })
     }
 
     fn save_state(&self) -> serde::Value {
@@ -278,6 +303,46 @@ mod tests {
         other.load_state(&original.save_state()).unwrap();
         assert_eq!(other.k(), 7);
         assert_eq!(other.score(&unseen), expected);
+    }
+
+    /// Regression: a NaN anywhere in the training embedding must not disable
+    /// the train-matrix gate. With the old `*data == model.train` f32
+    /// comparison the gate failed on NaN, training rows were rescored in
+    /// novelty mode (each finding itself at distance 0) and the transductive
+    /// scores silently diverged from `fit_score`.
+    #[test]
+    fn nan_training_row_still_hits_transductive_gate() {
+        let (mut data, _) = crate::test_support::cluster_with_outliers();
+        data[(3, 1)] = f32::NAN;
+        let mut detector = Lof::new(5);
+        let legacy = detector.fit_score(&data);
+        let rescored = detector.score(&data);
+        assert_eq!(
+            legacy.len(),
+            rescored.len(),
+            "scores must cover every training row"
+        );
+        for (i, (a, b)) in legacy.iter().zip(&rescored).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "row {i}: score(train) must reproduce fit_score bit-for-bit, got {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn novelty_cap_matches_fit_cap_semantics() {
+        // With 3 training rows and k = 50, fit caps at m - 1 = 2 references;
+        // a novelty query may use all 3 training rows. Both are "everything
+        // available", and neither path may panic or produce non-finite spam.
+        let data = Matrix::from_rows(&[&[0.0], &[1.0], &[10.0]]);
+        let mut detector = Lof::new(50);
+        detector.fit(&data);
+        let novelty = detector.score(&Matrix::from_rows(&[&[0.5], &[100.0]]));
+        assert_eq!(novelty.len(), 2);
+        assert!(novelty.iter().all(|s| s.is_finite()));
+        assert!(novelty[1] > novelty[0]);
     }
 
     #[test]

@@ -68,7 +68,11 @@ impl OutlierDetector for ZScore {
         );
         let mut scores = vec![0.0_f32; m];
         for (j, (&mu, &sd)) in model.means.iter().zip(&model.stds).enumerate() {
-            // Constant (or empty/NaN) training column: no signal.
+            // Zero-variance (constant) or degenerate (empty/NaN-std) training
+            // column: skip it entirely (contribution 0). Dividing by
+            // `sd == 0` would turn every deviating observation into an
+            // `inf`/`NaN` score that poisons downstream ensemble averaging
+            // before `adaptive_threshold` gets a chance to filter it.
             let usable = sd > 0.0;
             if !usable {
                 continue;
@@ -119,6 +123,24 @@ mod tests {
         let scores = ZScore::new().fit_score(&data);
         assert!(scores[2] > scores[0]);
         assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    /// Regression: a zero-variance training column must stay silent even for
+    /// *unseen* observations that deviate from the constant — the old
+    /// `(x - mu) / 0` produced `inf` scores in novelty mode.
+    #[test]
+    fn constant_column_stays_finite_on_deviating_novelty_rows() {
+        let train = Matrix::from_rows(&[&[2.0, 0.0], &[2.0, 1.0], &[2.0, 2.0], &[2.0, 3.0]]);
+        let mut detector = ZScore::new();
+        detector.fit(&train);
+        // First column deviates from the constant 2.0 — would divide by 0.
+        let scores = detector.score(&Matrix::from_rows(&[&[99.0, 1.5], &[2.0, 50.0]]));
+        assert!(
+            scores.iter().all(|s| s.is_finite()),
+            "zero-variance column produced non-finite scores: {scores:?}"
+        );
+        // The informative second column still separates the rows.
+        assert!(scores[1] > scores[0]);
     }
 
     #[test]

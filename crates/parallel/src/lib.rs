@@ -1,0 +1,427 @@
+//! Deterministic multi-threaded execution backend for the TP-GrGAD workspace.
+//!
+//! This crate is a dependency-free *scoped* thread pool built on
+//! [`std::thread::scope`]. It exposes a small family of data-parallel
+//! primitives — [`par_map_indexed`]/[`par_map_indexed_min`],
+//! [`par_map_range`]/[`par_map_range_min`] and [`par_chunks_mut`] — that all
+//! obey a strict **determinism contract**:
+//!
+//! > Every work item writes its result into a pre-allocated, index-addressed
+//! > output slot, and no floating-point reduction ever crosses an item
+//! > boundary. Therefore the output of an N-thread run is **bit-for-bit
+//! > identical** to the output of a 1-thread run (and to the legacy serial
+//! > loops the call sites replaced).
+//!
+//! There is no reduction-order drift because there are no cross-thread
+//! reductions: threads own disjoint contiguous ranges of the input and the
+//! output, and each item's arithmetic happens in exactly the order the serial
+//! loop would have used.
+//!
+//! # Thread-count resolution
+//!
+//! The number of worker threads is a process-wide setting:
+//!
+//! 1. an explicit [`set_max_threads`] call wins (the pipeline forwards
+//!    `TpGrGadConfig::num_threads` here on every `fit`/`score`);
+//! 2. otherwise the `GRGAD_THREADS` environment variable is honoured;
+//! 3. otherwise (or when either source says `0`, meaning "auto") the value of
+//!    [`std::thread::available_parallelism`] is used.
+//!
+//! Because of the determinism contract the thread count is purely a
+//! performance knob — results never depend on it.
+//!
+//! # Panics
+//!
+//! A panic inside a worker is propagated to the caller with its original
+//! payload once all workers of the scope have been joined, matching the
+//! behaviour of the serial loop as closely as possible.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Sentinel meaning "no explicit [`set_max_threads`] call yet".
+const UNSET: usize = usize::MAX;
+
+/// Explicitly requested thread cap (`UNSET` until [`set_max_threads`]).
+static REQUESTED: AtomicUsize = AtomicUsize::new(UNSET);
+
+/// Cached parse of the `GRGAD_THREADS` environment variable.
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+/// Reads `GRGAD_THREADS` once; `Some(0)` means "auto", `None` means unset or
+/// unparsable.
+fn env_threads() -> Option<usize> {
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("GRGAD_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+    })
+}
+
+/// The hardware parallelism fallback (at least 1).
+fn auto_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Sets the process-wide maximum worker-thread count.
+///
+/// `0` means "default": defer to the `GRGAD_THREADS` environment variable
+/// and, failing that, [`std::thread::available_parallelism`]. This is a
+/// plain atomic store — cheap enough to call on every pipeline entry point.
+pub fn set_max_threads(n: usize) {
+    REQUESTED.store(n, Ordering::Relaxed);
+}
+
+/// The default thread request when nothing explicit was configured:
+/// `GRGAD_THREADS` when set and parsable, otherwise `0` (auto). Exposed so
+/// configuration layers (e.g. `TpGrGadConfig::num_threads`'s default) share
+/// this crate's parsing instead of re-implementing it.
+pub fn default_thread_request() -> usize {
+    env_threads().unwrap_or(0)
+}
+
+/// The resolved maximum worker-thread count (always ≥ 1).
+///
+/// Resolution order: explicit [`set_max_threads`] → `GRGAD_THREADS`
+/// environment variable → hardware parallelism. A `0` (or no call at all) at
+/// any level defers to the next.
+pub fn max_threads() -> usize {
+    let requested = REQUESTED.load(Ordering::Relaxed);
+    let n = if requested != UNSET && requested != 0 {
+        requested
+    } else {
+        match env_threads() {
+            Some(n) if n != 0 => n,
+            _ => auto_threads(),
+        }
+    };
+    n.max(1)
+}
+
+/// Number of worker threads that would actually be used for `work_items`
+/// independent items: `min(max_threads(), work_items)`, at least 1.
+pub fn effective_threads(work_items: usize) -> usize {
+    max_threads().min(work_items).max(1)
+}
+
+/// Worker count for `n` items when each thread should own at least
+/// `min_items_per_thread` of them — the spawn-overhead gate for cheap
+/// per-item work. Purely a performance decision; results never depend on it.
+fn threads_for(n: usize, min_items_per_thread: usize) -> usize {
+    effective_threads(n / min_items_per_thread.max(1))
+}
+
+/// Maps `f(index, &item)` over `items`, returning results in input order.
+///
+/// Items are split into contiguous per-thread ranges; each worker fills the
+/// output slots of its own range, so the result is bit-for-bit identical to
+/// the serial `items.iter().enumerate().map(..).collect()` regardless of the
+/// thread count. Worker panics are re-raised with their original payload.
+///
+/// For loops whose per-item work is cheap relative to an OS-thread spawn,
+/// use [`par_map_indexed_min`] to keep small batches serial.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_indexed_min(items, 1, f)
+}
+
+/// [`par_map_indexed`] with a spawn-overhead gate: threads are only used
+/// when each would own at least `min_items_per_thread` items, so cheap
+/// per-item loops stay serial on small inputs. Output is identical either
+/// way.
+pub fn par_map_indexed_min<T, R, F>(items: &[T], min_items_per_thread: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads_for(n, min_items_per_thread);
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                let base = ci * chunk;
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(off, item)| f(base + off, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(results) => out.extend(results),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+/// Maps `f(index)` over `0..n`, returning results in index order — the
+/// allocation-free sibling of [`par_map_indexed`] for loops that are driven
+/// by an index rather than a slice. Same determinism contract.
+pub fn par_map_range<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_range_min(n, 1, f)
+}
+
+/// [`par_map_range`] with the same spawn-overhead gate as
+/// [`par_map_indexed_min`].
+pub fn par_map_range_min<R, F>(n: usize, min_items_per_thread: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads_for(n, min_items_per_thread);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|base| {
+                let end = (base + chunk).min(n);
+                scope.spawn(move || (base..end).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(results) => out.extend(results),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+/// Applies `f(chunk_index, &mut chunk)` to every `chunk_len`-sized slice of
+/// `data` (the final chunk may be shorter), distributing contiguous runs of
+/// chunks over the worker threads.
+///
+/// Each logical chunk is owned by exactly one worker and chunk indices follow
+/// input order, so the result is bit-for-bit identical to the serial
+/// `data.chunks_mut(chunk_len).enumerate().for_each(..)` loop. Typical use:
+/// one chunk per output row of a row-major matrix.
+///
+/// # Panics
+/// Panics if `chunk_len == 0`; worker panics are propagated.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "par_chunks_mut: chunk_len must be > 0");
+    if data.is_empty() {
+        return;
+    }
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = effective_threads(n_chunks);
+    if threads <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let chunks_per_thread = n_chunks.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut next_chunk = 0usize;
+        let mut handles = Vec::with_capacity(threads);
+        while !rest.is_empty() {
+            let take = (chunks_per_thread * chunk_len).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = next_chunk;
+            next_chunk += head.len().div_ceil(chunk_len);
+            handles.push(scope.spawn(move || {
+                for (off, chunk) in head.chunks_mut(chunk_len).enumerate() {
+                    f(base + off, chunk);
+                }
+            }));
+        }
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate the process-global thread cap.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, body: impl FnOnce() -> R) -> R {
+        let _lock = GUARD
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        set_max_threads(n);
+        let out = body();
+        set_max_threads(0);
+        out
+    }
+
+    #[test]
+    fn max_threads_is_at_least_one() {
+        let _lock = GUARD
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        set_max_threads(0);
+        assert!(max_threads() >= 1);
+        set_max_threads(3);
+        assert_eq!(max_threads(), 3);
+        set_max_threads(0);
+        assert!(effective_threads(0) == 1);
+        assert!(effective_threads(1) == 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order_across_thread_counts() {
+        let items: Vec<usize> = (0..103).collect();
+        let serial = with_threads(1, || par_map_indexed(&items, |i, &x| i * 1000 + x * 3));
+        for threads in [2, 4, 7] {
+            let parallel = with_threads(threads, || {
+                par_map_indexed(&items, |i, &x| i * 1000 + x * 3)
+            });
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_range_matches_indexed_map() {
+        let items: Vec<usize> = (0..57).collect();
+        let via_slice = with_threads(4, || par_map_indexed(&items, |i, &x| i * 7 + x));
+        let via_range = with_threads(4, || par_map_range(57, |i| i * 7 + i));
+        assert_eq!(via_slice, via_range);
+        assert!(with_threads(4, || par_map_range(0, |i| i)).is_empty());
+        // Min-gated variants stay serial under the threshold but produce the
+        // same output either way.
+        let gated = with_threads(4, || par_map_range_min(57, 1000, |i| i * 7 + i));
+        assert_eq!(gated, via_range);
+        let gated_slice = with_threads(4, || par_map_indexed_min(&items, 1000, |i, &x| i * 7 + x));
+        assert_eq!(gated_slice, via_slice);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(with_threads(4, || par_map_indexed(&empty, |_, &x| x)).is_empty());
+        assert_eq!(
+            with_threads(4, || par_map_indexed(&[5u32], |i, &x| x + i as u32)),
+            vec![5]
+        );
+    }
+
+    #[test]
+    fn par_map_indexes_match_positions() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let out = with_threads(2, || par_map_indexed(&items, |i, s| format!("{i}:{s}")));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_serial_fill() {
+        let rows = 37;
+        let cols = 5;
+        let fill = |i: usize, chunk: &mut [f32]| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (i * cols + j) as f32 * 0.5;
+            }
+        };
+        let mut serial = vec![0.0f32; rows * cols];
+        with_threads(1, || par_chunks_mut(&mut serial, cols, fill));
+        for threads in [2, 4, 16] {
+            let mut parallel = vec![0.0f32; rows * cols];
+            with_threads(threads, || par_chunks_mut(&mut parallel, cols, fill));
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_handles_ragged_tail_and_empty() {
+        let mut data = vec![0usize; 10];
+        // chunk_len 4 -> chunks of 4, 4, 2
+        with_threads(4, || {
+            par_chunks_mut(&mut data, 4, |i, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = i + 1;
+                }
+            })
+        });
+        assert_eq!(data, vec![1, 1, 1, 1, 2, 2, 2, 2, 3, 3]);
+        let mut empty: Vec<usize> = Vec::new();
+        with_threads(4, || {
+            par_chunks_mut(&mut empty, 4, |_, _| panic!("must not run"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be > 0")]
+    fn par_chunks_mut_rejects_zero_chunk() {
+        let mut data = vec![0u8; 4];
+        par_chunks_mut(&mut data, 0, |_, _| {});
+    }
+
+    #[test]
+    fn worker_panic_propagates_original_payload() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map_indexed(&items, |_, &x| {
+                    if x == 41 {
+                        panic!("boom at 41");
+                    }
+                    x
+                })
+            })
+        });
+        let payload = result.expect_err("worker panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(message.contains("boom at 41"), "payload was `{message}`");
+    }
+
+    #[test]
+    fn par_chunks_mut_panic_propagates() {
+        let mut data = vec![0u32; 32];
+        let result = std::panic::catch_unwind(move || {
+            with_threads(4, || {
+                par_chunks_mut(&mut data, 2, |i, _| {
+                    if i == 7 {
+                        panic!("chunk 7 failed");
+                    }
+                })
+            })
+        });
+        assert!(result.is_err(), "worker panic must propagate");
+    }
+}

@@ -55,12 +55,28 @@ impl GroupEncoder {
     }
 
     /// Embeds a batch without building the autodiff graph (inference).
+    ///
+    /// Groups are embedded in parallel: the encoder weights are snapshotted
+    /// into a thread-shareable [`grgad_gnn::GcnInference`] (the `Rc`-based
+    /// `Tensor` graph cannot cross threads) whose forward pass reproduces
+    /// [`GroupEncoder::forward`] bit-for-bit, and every subgraph writes its
+    /// embedding row into its own slot — so the batch matrix is identical at
+    /// any thread count.
     pub fn embed_batch(&self, subgraphs: &[Graph]) -> Matrix {
         let mut out = Matrix::zeros(subgraphs.len(), self.embed_dim);
-        for (i, sg) in subgraphs.iter().enumerate() {
-            let z = self.forward(sg).value_clone();
-            out.row_mut(i).copy_from_slice(z.row(0));
+        if subgraphs.is_empty() || self.embed_dim == 0 {
+            return out;
         }
+        let snapshot = self.gcn.inference();
+        grgad_parallel::par_chunks_mut(out.as_mut_slice(), self.embed_dim, |i, row| {
+            let sg = &subgraphs[i];
+            if sg.num_nodes() == 0 {
+                return; // row stays zero, matching `forward`'s empty output
+            }
+            let adj = sg.normalized_adjacency();
+            let z = snapshot.forward(&adj, sg.features()).mean_rows();
+            row.copy_from_slice(z.row(0));
+        });
         out
     }
 
@@ -127,6 +143,22 @@ mod tests {
         assert_eq!(z.shape(), (3, 4));
         let inference = enc.embed_batch(&groups);
         grgad_linalg::assert_close(&z.value_clone(), &inference, 1e-5);
+    }
+
+    /// The parallel inference path must reproduce the `Tensor` forward pass
+    /// bit-for-bit — downstream detector state depends on exact embeddings.
+    #[test]
+    fn batch_embedding_is_bit_exact_with_tensor_forward() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let enc = GroupEncoder::new(3, 8, 4, &mut rng);
+        let groups = vec![group(3, 1.0), group(6, -1.0), group(2, 0.5), group(5, 2.0)];
+        let batch = enc.embed_batch(&groups);
+        for (i, sg) in groups.iter().enumerate() {
+            let single = enc.forward(sg).value_clone();
+            for (a, b) in single.row(0).iter().zip(batch.row(i)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "group {i}: {a} != {b}");
+            }
+        }
     }
 
     #[test]

@@ -113,28 +113,37 @@ impl Tpgcl {
             groups.iter().collect()
         };
 
-        let subgraphs: Vec<Graph> = train_groups
-            .iter()
-            .map(|g| g.induced_subgraph(graph).0)
-            .collect();
+        let subgraphs: Vec<Graph> =
+            grgad_parallel::par_map_indexed(&train_groups, |_, g| g.induced_subgraph(graph).0);
 
         let mut params = self.encoder.parameters();
         params.extend(self.mine.parameters());
         let mut opt = Adam::new(params, self.config.lr);
 
+        let positive_augmentation = self.config.positive_augmentation;
+        let negative_augmentation = self.config.negative_augmentation;
+
         self.loss_history.clear();
         let mut final_loss = 0.0;
         for _epoch in 0..self.config.epochs {
             opt.zero_grad();
-            // Fresh augmented views every epoch.
-            let positive_views: Vec<Graph> = subgraphs
-                .iter()
-                .map(|sg| self.config.positive_augmentation.apply(sg, &mut rng))
-                .collect();
-            let negative_views: Vec<Graph> = subgraphs
-                .iter()
-                .map(|sg| self.config.negative_augmentation.apply(sg, &mut rng))
-                .collect();
+            // Fresh augmented views every epoch, generated group-parallel.
+            // Each view's randomness comes from a per-(epoch, group) seed
+            // drawn sequentially from the master stream, so a view depends
+            // only on (master seed, epoch, group index) — never on which
+            // worker thread produced it — keeping training deterministic at
+            // any thread count.
+            use rand::RngCore;
+            let positive_seeds: Vec<u64> = subgraphs.iter().map(|_| rng.next_u64()).collect();
+            let negative_seeds: Vec<u64> = subgraphs.iter().map(|_| rng.next_u64()).collect();
+            let positive_views: Vec<Graph> =
+                grgad_parallel::par_map_indexed(&subgraphs, |i, sg| {
+                    positive_augmentation.apply(sg, &mut StdRng::seed_from_u64(positive_seeds[i]))
+                });
+            let negative_views: Vec<Graph> =
+                grgad_parallel::par_map_indexed(&subgraphs, |i, sg| {
+                    negative_augmentation.apply(sg, &mut StdRng::seed_from_u64(negative_seeds[i]))
+                });
             let zp = self.encoder.forward_batch(&positive_views);
             let zn = self.encoder.forward_batch(&negative_views);
             let loss = self.mine.loss(&zp, &zn, &mut rng);
@@ -147,8 +156,11 @@ impl Tpgcl {
     }
 
     /// Embeds candidate groups with the trained encoder (`m × embed_dim`).
+    /// Subgraph extraction and embedding both run group-parallel with
+    /// thread-count-invariant output.
     pub fn embed_groups(&self, graph: &Graph, groups: &[Group]) -> Matrix {
-        let subgraphs: Vec<Graph> = groups.iter().map(|g| g.induced_subgraph(graph).0).collect();
+        let subgraphs: Vec<Graph> =
+            grgad_parallel::par_map_indexed(groups, |_, g| g.induced_subgraph(graph).0);
         self.encoder.embed_batch(&subgraphs)
     }
 

@@ -30,6 +30,7 @@ pub use grgad_graph as graph;
 pub use grgad_linalg as linalg;
 pub use grgad_metrics as metrics;
 pub use grgad_outlier as outlier;
+pub use grgad_parallel as parallel;
 pub use grgad_sampling as sampling;
 pub use grgad_tpgcl as tpgcl;
 pub use grgad_tsne as tsne;

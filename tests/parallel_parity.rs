@@ -1,0 +1,204 @@
+//! Thread-count parity suite: proves the determinism contract of the
+//! `grgad_parallel` backend end to end.
+//!
+//! Every test computes the same quantity at 1 worker thread and at N worker
+//! threads and asserts **bit-for-bit** equality (`f32::to_bits`, not an
+//! epsilon). This is the contract every parallelized hot path promises:
+//! N-thread output is indistinguishable from single-threaded output, so the
+//! thread count is purely a performance knob.
+//!
+//! CI runs this suite twice — once with `GRGAD_THREADS=1` and once with
+//! `GRGAD_THREADS=4` — so a divergence between single- and multi-threaded
+//! execution fails the build (see `.github/workflows/ci.yml`).
+
+use std::sync::Mutex;
+
+use tp_grgad::prelude::*;
+
+/// Serializes tests that flip the process-global thread cap so two parity
+/// comparisons never interleave their `set_max_threads` calls.
+static THREAD_GUARD: Mutex<()> = Mutex::new(());
+
+/// Runs `body` once with the backend pinned to 1 thread and once pinned to
+/// `threads`, restoring the auto default afterwards, and returns both values.
+fn at_threads<R>(threads: usize, body: impl Fn() -> R) -> (R, R) {
+    let _lock = THREAD_GUARD
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    tp_grgad::parallel::set_max_threads(1);
+    let single = body();
+    tp_grgad::parallel::set_max_threads(threads);
+    let multi = body();
+    tp_grgad::parallel::set_max_threads(0);
+    (single, multi)
+}
+
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} diverged across thread counts: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn dense_matmul_parity() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(11);
+    // Large enough to cross the parallelism flop gate (384·128·96 ≈ 4.7M).
+    let a = Matrix::rand_normal(384, 128, 1.0, &mut rng);
+    let b = Matrix::rand_normal(128, 96, 1.0, &mut rng);
+    let (single, multi) = at_threads(4, || a.matmul(&b));
+    assert_bits_eq(single.as_slice(), multi.as_slice(), "dense matmul");
+}
+
+#[test]
+fn csr_matmul_dense_parity() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(12);
+    let dense_a = Matrix::rand_normal(300, 300, 1.0, &mut rng);
+    // Sparsify to ~50% so nnz · cols crosses the flop gate.
+    let sparse = CsrMatrix::from_dense(&dense_a.map(|v| if v > 0.0 { v } else { 0.0 }), 0.0);
+    let x = Matrix::rand_normal(300, 64, 1.0, &mut rng);
+    let (single, multi) = at_threads(4, || sparse.matmul_dense(&x));
+    assert_bits_eq(single.as_slice(), multi.as_slice(), "CSR spmm");
+}
+
+/// A reusable embedding-space fixture: a jittered lattice plus far outliers.
+fn embedding_fixture() -> (Matrix, Matrix) {
+    let mut rows: Vec<f32> = Vec::new();
+    for i in 0..120 {
+        rows.push((i % 11) as f32 * 0.05);
+        rows.push((i % 7) as f32 * 0.07);
+        rows.push((i % 5) as f32 * 0.03);
+    }
+    for k in 0..6 {
+        rows.extend_from_slice(&[10.0 + k as f32, -8.0 - k as f32, 9.0]);
+    }
+    let train = Matrix::from_vec(126, 3, rows);
+    let queries = Matrix::from_rows(&[
+        &[0.1, 0.1, 0.05],
+        &[20.0, 20.0, -20.0],
+        &[0.3, 0.2, 0.1],
+        &[-15.0, 3.0, 8.0],
+    ]);
+    (train, queries)
+}
+
+#[test]
+fn lof_fit_and_novelty_parity() {
+    use tp_grgad::outlier::Lof;
+    let (train, queries) = embedding_fixture();
+    let (single, multi) = at_threads(4, || {
+        let mut lof = Lof::new(8);
+        lof.fit(&train);
+        let transductive = lof.score(&train);
+        let novelty = lof.score(&queries);
+        (transductive, novelty)
+    });
+    assert_bits_eq(&single.0, &multi.0, "LOF transductive scores");
+    assert_bits_eq(&single.1, &multi.1, "LOF novelty scores");
+}
+
+#[test]
+fn isolation_forest_parity() {
+    use tp_grgad::outlier::IsolationForest;
+    let (train, queries) = embedding_fixture();
+    let (single, multi) = at_threads(4, || {
+        let mut forest = IsolationForest::new(60, 48, 5);
+        forest.fit(&train);
+        (forest.score(&train), forest.score(&queries))
+    });
+    assert_bits_eq(&single.0, &multi.0, "iForest train scores");
+    assert_bits_eq(&single.1, &multi.1, "iForest query scores");
+}
+
+#[test]
+fn ecod_parity() {
+    let (train, queries) = embedding_fixture();
+    let (single, multi) = at_threads(4, || {
+        let mut ecod = Ecod::new();
+        ecod.fit(&train);
+        (ecod.score(&train), ecod.score(&queries))
+    });
+    assert_bits_eq(&single.0, &multi.0, "ECOD train scores");
+    assert_bits_eq(&single.1, &multi.1, "ECOD query scores");
+}
+
+#[test]
+fn ensemble_parity() {
+    use tp_grgad::outlier::Ensemble;
+    let (train, queries) = embedding_fixture();
+    let (single, multi) = at_threads(4, || {
+        let mut ensemble = Ensemble::suod_like(2);
+        ensemble.fit(&train);
+        (ensemble.score(&train), ensemble.score(&queries))
+    });
+    assert_bits_eq(&single.0, &multi.0, "ensemble train scores");
+    assert_bits_eq(&single.1, &multi.1, "ensemble query scores");
+}
+
+/// End-to-end parity on a seeded graph: `fit` (all training epochs) followed
+/// by `score` and `score_groups` must be bit-for-bit identical at 1 and N
+/// threads. Uses `num_threads` on the config — the supported entry point —
+/// so this also exercises the config → backend forwarding.
+#[test]
+fn full_pipeline_fit_score_parity() {
+    let dataset = tp_grgad::datasets::example::generate(48, 21);
+    let run = |threads: usize| {
+        let config = TpGrGadConfig::builder()
+            .fast()
+            .num_threads(threads)
+            .seed(13)
+            .build();
+        let trained = TpGrGad::new(config).fit(&dataset.graph);
+        let result = trained.score(&dataset.graph);
+        let direct = trained.score_groups(&dataset.graph, &result.candidate_groups);
+        (
+            result.node_errors,
+            result.scores,
+            result.predicted_anomalous,
+            direct,
+        )
+    };
+    let _lock = THREAD_GUARD
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let single = run(1);
+    let multi = run(4);
+    tp_grgad::parallel::set_max_threads(0);
+    assert_bits_eq(&single.0, &multi.0, "pipeline node errors");
+    assert_bits_eq(&single.1, &multi.1, "pipeline group scores");
+    assert_eq!(single.2, multi.2, "pipeline predictions diverged");
+    assert_bits_eq(&single.3, &multi.3, "score_groups batch scores");
+}
+
+/// The `GRGAD_THREADS`-driven CI contract: a config built with the
+/// environment default must produce exactly the same scores as one pinned to
+/// a single thread. CI runs this test with `GRGAD_THREADS=1` and
+/// `GRGAD_THREADS=4`; if multi-threaded execution ever diverged from
+/// single-threaded, the 4-thread run would fail here.
+#[test]
+fn env_default_config_matches_single_thread_reference() {
+    let dataset = tp_grgad::datasets::example::generate(40, 33);
+    let run = |num_threads: Option<usize>| {
+        let mut config = TpGrGadConfig::fast().with_seed(29);
+        if let Some(n) = num_threads {
+            config.num_threads = n;
+        }
+        let trained = TpGrGad::new(config).fit(&dataset.graph);
+        trained.score(&dataset.graph).scores
+    };
+    let _lock = THREAD_GUARD
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let env_default = run(None); // whatever GRGAD_THREADS / auto resolves to
+    let reference = run(Some(1));
+    tp_grgad::parallel::set_max_threads(0);
+    assert_bits_eq(&reference, &env_default, "env-default vs 1-thread scores");
+}
