@@ -1,0 +1,194 @@
+//! `bench_suite` — the scale-sweep benchmark runner and golden-metric gate.
+//!
+//! Runs a parameterized sweep of power-law workloads through the full
+//! `fit`/`score` pipeline and writes a versioned, machine-readable
+//! `BENCH_<suite>.json` (per-stage wall-clock, peak RSS, thread count,
+//! graph dimensions, CR/F1/AUC). Then, unless `--no-golden`, checks the
+//! run's CR/AUC against the suite's golden snapshot and exits non-zero on
+//! drift beyond tolerance — the CI quality gate for performance PRs.
+//!
+//! ```text
+//! bench_suite --preset ci|scale    which sweep to run (default: ci)
+//!             --seed N             master seed (default: 0, the pinned seed)
+//!             --out DIR            where BENCH_<suite>.json goes (default: .)
+//!             --threads N          worker threads (0 = auto)
+//!             --golden PATH        golden snapshot to gate against
+//!                                  (default: crates/bench/goldens/…)
+//!             --write-golden       re-pin the golden snapshot from this run
+//!             --tolerance T        tolerance written with --write-golden
+//!                                  (default: 0.02)
+//!             --no-golden          skip the gate (exploratory runs)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use grgad_bench::suite::{
+    compare_golden, load_golden, render_report, run_suite, GoldenMetrics, SuitePreset,
+};
+use grgad_bench::{progress, write_json};
+
+struct Options {
+    preset: SuitePreset,
+    seed: u64,
+    out_dir: PathBuf,
+    num_threads: Option<usize>,
+    golden: Option<PathBuf>,
+    write_golden: bool,
+    tolerance: f32,
+    gate: bool,
+}
+
+impl Options {
+    fn from_args() -> Result<Self, String> {
+        let args: Vec<String> = std::env::args().collect();
+        let mut options = Self {
+            preset: SuitePreset::Ci,
+            seed: 0,
+            out_dir: PathBuf::from("."),
+            num_threads: None,
+            golden: None,
+            write_golden: false,
+            tolerance: 0.02,
+            gate: true,
+        };
+        let mut i = 1;
+        while i < args.len() {
+            let value = |i: usize| -> Result<&String, String> {
+                args.get(i + 1)
+                    .ok_or_else(|| format!("{} expects a value", args[i]))
+            };
+            match args[i].as_str() {
+                "--preset" => {
+                    options.preset = SuitePreset::parse(value(i)?)?;
+                    i += 1;
+                }
+                "--seed" => {
+                    options.seed = value(i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+                    i += 1;
+                }
+                "--out" => {
+                    options.out_dir = PathBuf::from(value(i)?);
+                    i += 1;
+                }
+                "--threads" => {
+                    // Forwarded into each workload's pipeline config — the
+                    // pipeline re-applies `config.num_threads` on every
+                    // fit/score entry, so a process-global set_max_threads
+                    // alone would be overwritten before the first stage.
+                    let n: usize = value(i)?.parse().map_err(|e| format!("--threads: {e}"))?;
+                    options.num_threads = Some(n);
+                    i += 1;
+                }
+                "--golden" => {
+                    options.golden = Some(PathBuf::from(value(i)?));
+                    i += 1;
+                }
+                "--write-golden" => options.write_golden = true,
+                "--tolerance" => {
+                    options.tolerance =
+                        value(i)?.parse().map_err(|e| format!("--tolerance: {e}"))?;
+                    i += 1;
+                }
+                "--no-golden" => options.gate = false,
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+            i += 1;
+        }
+        Ok(options)
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match Options::from_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("bench_suite: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = run_suite(options.preset, options.seed, options.num_threads, true);
+    print!("{}", render_report(&report));
+    write_json(&options.out_dir, &report.filename(), &report);
+
+    let golden_path = options
+        .golden
+        .clone()
+        .unwrap_or_else(|| GoldenMetrics::conventional_path(options.preset.name()));
+
+    if options.write_golden {
+        let golden = GoldenMetrics::from_report(&report, options.tolerance);
+        if let Some(parent) = golden_path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match serde_json::to_string_pretty(&golden) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&golden_path, json + "\n") {
+                    eprintln!(
+                        "bench_suite: could not write {}: {e}",
+                        golden_path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                progress(
+                    "bench_suite",
+                    format!("re-pinned {}", golden_path.display()),
+                );
+            }
+            Err(e) => {
+                eprintln!("bench_suite: could not serialize golden: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if !options.gate {
+        return ExitCode::SUCCESS;
+    }
+    let golden = match load_golden(&golden_path) {
+        Ok(golden) => golden,
+        Err(message) => {
+            eprintln!(
+                "bench_suite: cannot load golden snapshot ({message}); run with --write-golden \
+                 to pin one or --no-golden to skip the gate"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    // The snapshot only pins one seed; a sweep under any other seed is an
+    // exploratory run of different workload instances, not drift — skip the
+    // gate instead of failing every workload on the seed mismatch.
+    if !golden.workloads.iter().any(|pin| pin.seed == options.seed) {
+        progress(
+            "bench_suite",
+            format!(
+                "golden gate skipped: snapshot pins seed {}, this run used --seed {}",
+                golden.workloads.first().map_or(0, |pin| pin.seed),
+                options.seed
+            ),
+        );
+        return ExitCode::SUCCESS;
+    }
+    match compare_golden(&report, &golden) {
+        Ok(()) => {
+            progress(
+                "bench_suite",
+                format!(
+                    "golden gate passed ({} workloads within ±{})",
+                    golden.workloads.len(),
+                    golden.tolerance
+                ),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(failures) => {
+            eprintln!("bench_suite: golden gate FAILED:");
+            for failure in &failures {
+                eprintln!("  - {failure}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,11 +1,16 @@
 //! Pipeline diagnostics: stage-by-stage quality *and* performance report for
 //! TP-GrGAD on each dataset (anchor hit-rate, candidate coverage of
-//! ground-truth groups, score separation, per-stage wall-clock via the
-//! [`grgad_core::PipelineObserver`] seam). Useful when tuning
+//! ground-truth groups, score separation). Useful when tuning
 //! hyperparameters; not part of the paper's tables.
+//!
+//! The performance view is the shared `BENCH_*.json` subsystem: each dataset
+//! runs through [`grgad_bench::suite::run_workload_detailed`], the combined
+//! [`BenchReport`] is printed with the same renderer `bench_suite` uses and
+//! written as `BENCH_diagnose.json` — so the human-readable printout and the
+//! machine-readable record come from one measurement and cannot disagree.
 
-use grgad_bench::HarnessOptions;
-use grgad_core::{TimingObserver, TpGrGad};
+use grgad_bench::suite::{render_report, run_workload_detailed, BenchReport, BENCH_FORMAT};
+use grgad_bench::{progress, write_json, HarnessOptions};
 use grgad_datasets::all_datasets;
 use grgad_metrics::label_candidates;
 
@@ -19,16 +24,12 @@ fn main() {
             .map_or_else(|| "default".to_string(), |n| n.to_string()),
         grgad_parallel::max_threads(),
     );
-    for dataset in all_datasets(options.scale, seed) {
-        let config = options.pipeline_config(seed);
-        let detector = TpGrGad::new(config.clone());
 
-        // Train once, then serve from the artifact — the timings below make
-        // the fit/score cost split visible per stage.
-        let mut fit_timings = TimingObserver::new();
-        let trained = detector.fit_observed(&dataset.graph, &mut fit_timings);
-        let mut score_timings = TimingObserver::new();
-        let result = trained.score_observed(&dataset.graph, &mut score_timings);
+    let mut workloads = Vec::new();
+    for dataset in all_datasets(options.scale, seed) {
+        progress("diagnose", format!("dataset={}", dataset.name));
+        let config = options.pipeline_config(seed);
+        let (record, result) = run_workload_detailed(&dataset, &config);
 
         let anomalous = dataset.anomalous_nodes();
         let anchor_hits = result
@@ -74,31 +75,26 @@ fn main() {
         };
 
         println!(
-            "{:15} nodes={:5} anomalous_nodes={:4} anchors={:4} anchor_hits={:4} ({:.0}%) candidates={:4} matching_candidates={:3} mean_best_jaccard={:.2} score(match)={:.2} score(normal)={:.2} fit={:.2?} score={:.2?}",
+            "{:15} anomalous_nodes={:4} anchors={:4} anchor_hits={:4} ({:.0}%) matching_candidates={:3} mean_best_jaccard={:.2} score(match)={:.2} score(normal)={:.2}",
             dataset.name,
-            dataset.graph.num_nodes(),
             anomalous.len(),
             result.anchor_nodes.len(),
             anchor_hits,
             100.0 * anchor_hits as f32 / result.anchor_nodes.len().max(1) as f32,
-            result.candidate_groups.len(),
             num_matching,
             mean_best_jaccard,
             mean(true),
             mean(false),
-            fit_timings.total_wall(),
-            score_timings.total_wall(),
         );
-        for report in fit_timings.stages.iter().chain(&score_timings.stages) {
-            println!(
-                "    {:>5}/{:<20} {:>10.2?} items={:<6} epochs={} threads={}",
-                report.phase.to_string(),
-                report.stage.to_string(),
-                report.wall,
-                report.items,
-                report.train_epochs,
-                report.threads
-            );
-        }
+        workloads.push(record);
     }
+
+    let report = BenchReport {
+        format: BENCH_FORMAT.to_string(),
+        suite: "diagnose".to_string(),
+        seed,
+        workloads,
+    };
+    print!("{}", render_report(&report));
+    write_json(&options.out_dir, &report.filename(), &report);
 }

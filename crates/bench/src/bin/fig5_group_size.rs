@@ -5,72 +5,43 @@
 //! group size. The paper's point: N-GAD/Sub-GAD baselines find fragments
 //! (sizes ≲3) while TP-GrGAD's predicted groups track the true sizes.
 
-use std::collections::BTreeMap;
-
-use grgad_bench::{
-    baseline_names, print_table, run_baseline, run_tp_grgad, write_json, HarnessOptions, MeanStd,
-};
+use grgad_bench::{all_methods, progress, run_method, HarnessOptions, MetricMatrix};
 use grgad_datasets::all_datasets;
 
 fn main() {
     let options = HarnessOptions::from_args();
-    let methods: Vec<&str> = baseline_names().into_iter().chain(["TP-GrGAD"]).collect();
+    let methods = all_methods();
 
-    // dataset -> series name -> sizes over seeds
-    let mut raw: BTreeMap<String, BTreeMap<String, Vec<f32>>> = BTreeMap::new();
-
+    let mut matrix = MetricMatrix::new();
     for &seed in &options.seeds {
         let datasets = all_datasets(options.scale, seed);
         for dataset in &datasets {
-            let gt_avg = dataset.statistics().avg_group_size;
-            raw.entry(dataset.name.clone())
-                .or_default()
-                .entry("Ground Truth".to_string())
-                .or_default()
-                .push(gt_avg);
+            matrix.push(
+                &dataset.name,
+                "Ground Truth",
+                dataset.statistics().avg_group_size,
+            );
             for &method in &methods {
-                eprintln!(
-                    "[fig5] seed={seed} dataset={} method={method}",
-                    dataset.name
+                progress(
+                    "fig5",
+                    format!("seed={seed} dataset={} method={method}", dataset.name),
                 );
-                let report = if method == "TP-GrGAD" {
-                    run_tp_grgad(dataset, &options, seed)
-                } else {
-                    run_baseline(method, dataset, options.scale, seed)
-                };
-                raw.entry(dataset.name.clone())
-                    .or_default()
-                    .entry(method.to_string())
-                    .or_default()
-                    .push(report.avg_predicted_size);
+                let report = run_method(method, dataset, &options, seed);
+                matrix.push(&dataset.name, method, report.avg_predicted_size);
             }
         }
     }
 
-    let mut series: Vec<&str> = methods.clone();
+    let mut series = methods.clone();
     series.push("Ground Truth");
-    let mut rows = Vec::new();
-    let mut json: BTreeMap<String, BTreeMap<String, MeanStd>> = BTreeMap::new();
-    for (dataset, by_series) in &raw {
-        let mut row = vec![dataset.clone()];
-        let entry = json.entry(dataset.clone()).or_default();
-        for &name in &series {
-            let values = by_series.get(name).cloned().unwrap_or_default();
-            let agg = MeanStd::from_values(&values);
-            row.push(format!("{:.2}", agg.mean));
-            entry.insert(name.to_string(), agg);
-        }
-        rows.push(row);
-    }
-    let mut headers = vec!["Dataset"];
-    headers.extend(series.iter());
-    print_table(
+    matrix.emit(
         &format!(
             "Fig. 5: average identified anomalous-group size ({:?} scale)",
             options.scale
         ),
-        &headers,
-        &rows,
+        &series,
+        |agg| format!("{:.2}", agg.mean),
+        &options.out_dir,
+        "fig5_group_size.json",
     );
-    write_json(&options.out_dir, "fig5_group_size.json", &json);
 }

@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use grgad_bench::{print_table, write_json, HarnessOptions};
+use grgad_bench::{print_table, progress, write_json, HarnessOptions};
 use grgad_datasets::all_datasets;
 use grgad_gnn::MhGae;
 use grgad_metrics::evaluate_detection;
@@ -26,9 +26,9 @@ fn main() {
     let mut json: BTreeMap<String, BTreeMap<String, f32>> = BTreeMap::new();
 
     for dataset in all_datasets(options.scale, seed) {
-        eprintln!(
-            "[fig6] dataset={}: anchor localization + sampling",
-            dataset.name
+        progress(
+            "fig6",
+            format!("dataset={}: anchor localization + sampling", dataset.name),
         );
         // Shared stages 1–2.
         let mut mhgae = MhGae::new(
@@ -40,9 +40,9 @@ fn main() {
         let anchors = mhgae.anchor_nodes(config.anchor_fraction);
         let (candidates, _) = sample_candidate_groups(&dataset.graph, &anchors, &config.sampling);
         if candidates.is_empty() {
-            eprintln!(
-                "[fig6] dataset={}: no candidate groups, skipping",
-                dataset.name
+            progress(
+                "fig6",
+                format!("dataset={}: no candidate groups, skipping", dataset.name),
             );
             continue;
         }
@@ -52,11 +52,14 @@ fn main() {
         for negative in augmentations {
             let mut row = vec![negative.label().to_string()];
             for positive in augmentations {
-                eprintln!(
-                    "[fig6] dataset={} negative={} positive={}",
-                    dataset.name,
-                    negative.label(),
-                    positive.label()
+                progress(
+                    "fig6",
+                    format!(
+                        "dataset={} negative={} positive={}",
+                        dataset.name,
+                        negative.label(),
+                        positive.label()
+                    ),
                 );
                 let mut tpgcl_config = config.tpgcl.clone();
                 tpgcl_config.negative_augmentation = negative;

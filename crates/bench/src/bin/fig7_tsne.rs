@@ -7,7 +7,7 @@
 //! centroid distance) are printed so the clustering behaviour the paper shows
 //! visually can be checked from the terminal.
 
-use grgad_bench::{write_json, HarnessOptions};
+use grgad_bench::{progress, write_json, HarnessOptions};
 use grgad_core::TpGrGad;
 use grgad_datasets::all_datasets;
 use grgad_metrics::label_candidates;
@@ -27,7 +27,7 @@ fn main() {
 
     let mut all_points = std::collections::BTreeMap::new();
     for dataset in all_datasets(options.scale, seed) {
-        eprintln!("[fig7] dataset={}", dataset.name);
+        progress("fig7", format!("dataset={}", dataset.name));
         let config = options.pipeline_config(seed);
         let detector = TpGrGad::new(config.clone());
         let result = detector.detect(&dataset.graph);

@@ -5,15 +5,14 @@
 use std::collections::BTreeMap;
 
 use grgad_bench::{
-    baseline_names, print_table, run_baseline, run_tp_grgad, write_json, AggregatedReport,
-    HarnessOptions,
+    all_methods, print_table, progress, run_method, write_json, AggregatedReport, HarnessOptions,
 };
 use grgad_datasets::all_datasets;
 use grgad_metrics::DetectionReport;
 
 fn main() {
     let options = HarnessOptions::from_args();
-    let methods: Vec<&str> = baseline_names().into_iter().chain(["TP-GrGAD"]).collect();
+    let methods = all_methods();
 
     // Raw per-seed reports keyed by dataset then method (BTreeMap keeps the
     // printed row order stable).
@@ -23,15 +22,11 @@ fn main() {
         let datasets = all_datasets(options.scale, seed);
         for dataset in &datasets {
             for &method in &methods {
-                eprintln!(
-                    "[table3] seed={seed} dataset={} method={method}",
-                    dataset.name
+                progress(
+                    "table3",
+                    format!("seed={seed} dataset={} method={method}", dataset.name),
                 );
-                let report: DetectionReport = if method == "TP-GrGAD" {
-                    run_tp_grgad(dataset, &options, seed)
-                } else {
-                    run_baseline(method, dataset, options.scale, seed)
-                };
+                let report = run_method(method, dataset, &options, seed);
                 raw.entry(dataset.name.clone())
                     .or_default()
                     .entry(method.to_string())

@@ -4,9 +4,7 @@
 //! `A⁵`, `A⁷` and the GraphSNN `Ã`, reporting the Completeness Ratio for each
 //! dataset (the paper's Table IV).
 
-use std::collections::BTreeMap;
-
-use grgad_bench::{print_table, write_json, HarnessOptions, MeanStd};
+use grgad_bench::{progress, HarnessOptions, MetricMatrix};
 use grgad_core::TpGrGad;
 use grgad_datasets::all_datasets;
 use grgad_gnn::ReconstructionTarget;
@@ -21,53 +19,37 @@ fn main() {
         ReconstructionTarget::GraphSnn { lambda: 1.0 },
     ];
 
-    // dataset -> target label -> CR values over seeds
-    let mut raw: BTreeMap<String, BTreeMap<String, Vec<f32>>> = BTreeMap::new();
-
+    let mut matrix = MetricMatrix::new();
     for &seed in &options.seeds {
         let datasets = all_datasets(options.scale, seed);
         for dataset in &datasets {
             for target in targets {
-                eprintln!(
-                    "[table4] seed={seed} dataset={} target={}",
-                    dataset.name,
-                    target.label()
+                progress(
+                    "table4",
+                    format!(
+                        "seed={seed} dataset={} target={}",
+                        dataset.name,
+                        target.label()
+                    ),
                 );
                 let mut config = options.pipeline_config(seed);
                 config.reconstruction_target = target;
                 let (_, report) = TpGrGad::new(config).evaluate(dataset);
-                raw.entry(dataset.name.clone())
-                    .or_default()
-                    .entry(target.label())
-                    .or_default()
-                    .push(report.cr);
+                matrix.push(&dataset.name, &target.label(), report.cr);
             }
         }
     }
 
     let labels: Vec<String> = targets.iter().map(|t| t.label()).collect();
-    let mut rows = Vec::new();
-    let mut json: BTreeMap<String, BTreeMap<String, MeanStd>> = BTreeMap::new();
-    for (dataset, by_target) in &raw {
-        let mut row = vec![dataset.clone()];
-        let entry = json.entry(dataset.clone()).or_default();
-        for label in &labels {
-            let values = by_target.get(label).cloned().unwrap_or_default();
-            let agg = MeanStd::from_values(&values);
-            row.push(format!("{:.3}", agg.mean));
-            entry.insert(label.clone(), agg);
-        }
-        rows.push(row);
-    }
-    let mut headers = vec!["Dataset"];
-    headers.extend(labels.iter().map(|s| s.as_str()));
-    print_table(
+    let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+    matrix.emit(
         &format!(
             "Table IV: CR by MH-GAE reconstruction matrix ({:?} scale)",
             options.scale
         ),
-        &headers,
-        &rows,
+        &label_refs,
+        |agg| format!("{:.3}", agg.mean),
+        &options.out_dir,
+        "table4_matrix.json",
     );
-    write_json(&options.out_dir, "table4_matrix.json", &json);
 }

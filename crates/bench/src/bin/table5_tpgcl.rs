@@ -4,59 +4,39 @@
 //! candidate group is represented by the mean of its raw node attributes
 //! instead of a learned contrastive embedding, reporting group-wise F1.
 
-use std::collections::BTreeMap;
-
-use grgad_bench::{print_table, write_json, HarnessOptions, MeanStd};
+use grgad_bench::{progress, HarnessOptions, MetricMatrix};
 use grgad_core::TpGrGad;
 use grgad_datasets::all_datasets;
 
 fn main() {
     let options = HarnessOptions::from_args();
-
-    // dataset -> variant -> F1 values
-    let mut raw: BTreeMap<String, BTreeMap<String, Vec<f32>>> = BTreeMap::new();
     let variants = ["TP-GrGAD w/o TPGCL", "TP-GrGAD"];
 
+    let mut matrix = MetricMatrix::new();
     for &seed in &options.seeds {
         let datasets = all_datasets(options.scale, seed);
         for dataset in &datasets {
             for &variant in &variants {
-                eprintln!(
-                    "[table5] seed={seed} dataset={} variant={variant}",
-                    dataset.name
+                progress(
+                    "table5",
+                    format!("seed={seed} dataset={} variant={variant}", dataset.name),
                 );
                 let mut config = options.pipeline_config(seed);
                 config.use_tpgcl = variant == "TP-GrGAD";
                 let (_, report) = TpGrGad::new(config).evaluate(dataset);
-                raw.entry(dataset.name.clone())
-                    .or_default()
-                    .entry(variant.to_string())
-                    .or_default()
-                    .push(report.f1);
+                matrix.push(&dataset.name, variant, report.f1);
             }
         }
     }
 
-    let mut rows = Vec::new();
-    let mut json: BTreeMap<String, BTreeMap<String, MeanStd>> = BTreeMap::new();
-    for (dataset, by_variant) in &raw {
-        let mut row = vec![dataset.clone()];
-        let entry = json.entry(dataset.clone()).or_default();
-        for &variant in &variants {
-            let values = by_variant.get(variant).cloned().unwrap_or_default();
-            let agg = MeanStd::from_values(&values);
-            row.push(agg.format());
-            entry.insert(variant.to_string(), agg);
-        }
-        rows.push(row);
-    }
-    print_table(
+    matrix.emit(
         &format!(
             "Table V: TPGCL ablation, group-wise F1 ({:?} scale)",
             options.scale
         ),
-        &["Dataset", "TP-GrGAD w/o TPGCL", "TP-GrGAD"],
-        &rows,
+        &variants,
+        |agg| agg.format(),
+        &options.out_dir,
+        "table5_tpgcl.json",
     );
-    write_json(&options.out_dir, "table5_tpgcl.json", &json);
 }

@@ -18,6 +18,7 @@
 //! Results are printed as plain-text tables mirroring the paper's layout and
 //! also written as JSON under the output directory.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -29,6 +30,8 @@ use grgad_core::{DetectorKind, TpGrGad, TpGrGadConfig};
 use grgad_datasets::{DatasetScale, GrGadDataset};
 use grgad_metrics::{evaluate_predicted_groups, DetectionReport};
 use serde::Serialize;
+
+pub mod suite;
 
 /// Command-line options common to all experiment binaries.
 #[derive(Clone, Debug)]
@@ -228,6 +231,119 @@ pub fn run_baseline(
     )
 }
 
+/// The method column of [`all_methods`] reserved for TP-GrGAD itself.
+pub const TP_GRGAD: &str = "TP-GrGAD";
+
+/// The full Table III method list: every baseline plus TP-GrGAD, in column
+/// order.
+pub fn all_methods() -> Vec<&'static str> {
+    baseline_names().into_iter().chain([TP_GRGAD]).collect()
+}
+
+/// Runs any Table III method — a baseline by name, or TP-GrGAD — on a
+/// dataset and evaluates it. The shared dispatch for every experiment
+/// binary that sweeps the method axis.
+pub fn run_method(
+    method: &str,
+    dataset: &GrGadDataset,
+    options: &HarnessOptions,
+    seed: u64,
+) -> DetectionReport {
+    if method == TP_GRGAD {
+        run_tp_grgad(dataset, options, seed)
+    } else {
+        run_baseline(method, dataset, options.scale, seed)
+    }
+}
+
+/// One-line experiment progress log on stderr, tagged with the binary name
+/// (the `[table3] seed=0 dataset=simML ...` lines every binary prints).
+pub fn progress(tag: &str, message: impl std::fmt::Display) {
+    eprintln!("[{tag}] {message}");
+}
+
+/// The dataset × series value matrix every sweep binary accumulates:
+/// `dataset → series → values over seeds`, with the shared aggregate /
+/// print / JSON plumbing. `BTreeMap` keeps row order stable.
+#[derive(Clone, Debug, Default)]
+pub struct MetricMatrix {
+    raw: BTreeMap<String, BTreeMap<String, Vec<f32>>>,
+}
+
+impl MetricMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one observed value for a `(dataset, series)` cell.
+    pub fn push(&mut self, dataset: &str, series: &str, value: f32) {
+        self.raw
+            .entry(dataset.to_string())
+            .or_default()
+            .entry(series.to_string())
+            .or_default()
+            .push(value);
+    }
+
+    /// Aggregates every cell into mean ± standard error.
+    pub fn aggregate(&self) -> BTreeMap<String, BTreeMap<String, MeanStd>> {
+        self.raw
+            .iter()
+            .map(|(dataset, by_series)| {
+                (
+                    dataset.clone(),
+                    by_series
+                        .iter()
+                        .map(|(series, values)| (series.clone(), MeanStd::from_values(values)))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Formats the matrix as printable rows — one per dataset, one column
+    /// per entry of `series_order` (missing cells render as `-`), each cell
+    /// formatted by `fmt`.
+    pub fn rows(
+        &self,
+        series_order: &[&str],
+        fmt: impl Fn(&MeanStd) -> String,
+    ) -> Vec<Vec<String>> {
+        self.raw
+            .iter()
+            .map(|(dataset, by_series)| {
+                let mut row = vec![dataset.clone()];
+                for &series in series_order {
+                    row.push(
+                        by_series
+                            .get(series)
+                            .map(|values| fmt(&MeanStd::from_values(values)))
+                            .unwrap_or_else(|| "-".to_string()),
+                    );
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// Prints the aggregated table and writes the aggregate JSON — the
+    /// shared tail of every sweep binary.
+    pub fn emit(
+        &self,
+        title: &str,
+        series_order: &[&str],
+        fmt: impl Fn(&MeanStd) -> String,
+        out_dir: &Path,
+        json_filename: &str,
+    ) {
+        let mut headers = vec!["Dataset"];
+        headers.extend(series_order.iter());
+        print_table(title, &headers, &self.rows(series_order, fmt));
+        write_json(out_dir, json_filename, &self.aggregate());
+    }
+}
+
 /// Mean and standard error of a sequence of values (the ± column of
 /// Table III).
 #[derive(Clone, Copy, Debug, Default, Serialize)]
@@ -417,6 +533,31 @@ mod tests {
         assert_eq!(MeanStd::from_values(&[5.0]).std_error, 0.0);
         assert_eq!(MeanStd::from_values(&[]).mean, 0.0);
         assert!(MeanStd::from_values(&[0.5]).format().contains("0.50"));
+    }
+
+    #[test]
+    fn metric_matrix_aggregates_and_formats() {
+        let mut matrix = MetricMatrix::new();
+        matrix.push("ds", "A", 1.0);
+        matrix.push("ds", "A", 3.0);
+        matrix.push("ds", "B", 0.5);
+        let agg = matrix.aggregate();
+        assert!((agg["ds"]["A"].mean - 2.0).abs() < 1e-6);
+        let rows = matrix.rows(&["A", "B", "C"], |m| format!("{:.1}", m.mean));
+        assert_eq!(
+            rows,
+            vec![vec!["ds", "2.0", "0.5", "-"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()]
+        );
+    }
+
+    #[test]
+    fn all_methods_ends_with_tp_grgad() {
+        let methods = all_methods();
+        assert_eq!(methods.last(), Some(&TP_GRGAD));
+        assert_eq!(methods.len(), baseline_names().len() + 1);
     }
 
     #[test]

@@ -1,0 +1,606 @@
+//! The scale-sweep benchmark subsystem: machine-readable `BENCH_*.json`
+//! performance records with golden-metric regression gates.
+//!
+//! A *suite* ([`SuitePreset`]) is a parameterized sweep of power-law
+//! workloads ([`grgad_datasets::powerlaw`]). For every sweep point the
+//! runner executes the full `fit` → `score` pipeline under a
+//! [`TimingObserver`], evaluates CR/F1/AUC against the planted ground truth,
+//! and captures graph dimensions, per-stage wall-clock, thread count and
+//! peak RSS into a [`WorkloadRecord`]. The whole sweep serializes as a
+//! versioned [`BenchReport`] (`BENCH_<suite>.json`) — the before/after
+//! artifact every performance PR must produce.
+//!
+//! Quality is gated by golden-metric snapshots ([`GoldenMetrics`], stored
+//! under `crates/bench/goldens/`): CR/AUC are pinned per seeded workload and
+//! [`compare_golden`] fails on drift beyond the snapshot's tolerance. The
+//! workloads are deterministic for a fixed seed (and bit-identical at any
+//! thread count) on a given platform/toolchain, so drift there means the
+//! *pipeline semantics* changed — a perf PR that moves these numbers must
+//! either fix a bug or consciously re-pin the goldens (policy in
+//! DESIGN.md §7).
+
+use std::path::Path;
+use std::time::Duration;
+
+use grgad_core::{TimingObserver, TpGrGad, TpGrGadConfig, TpGrGadResult};
+use grgad_datasets::{powerlaw, GrGadDataset};
+use grgad_gnn::ReconstructionTarget;
+use grgad_metrics::evaluate_detection;
+use serde::{Deserialize, Serialize};
+
+/// Version tag of the `BENCH_*.json` schema; bump on breaking layout
+/// changes so stale artifacts and goldens fail loudly instead of silently
+/// misparsing.
+pub const BENCH_FORMAT: &str = "grgad-bench/v1";
+
+/// One pipeline stage execution inside a workload run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StageRecord {
+    /// Stage name (`anchor_localization`, `candidate_sampling`, ...).
+    pub stage: String,
+    /// `fit` or `score`.
+    pub phase: String,
+    /// Wall-clock milliseconds.
+    pub millis: f64,
+    /// Items processed (nodes for anchor localization, groups otherwise).
+    pub items: usize,
+    /// Training epochs executed inside the stage (`0` on the score path).
+    pub train_epochs: usize,
+    /// Resolved worker threads of the deterministic parallel backend.
+    pub threads: usize,
+}
+
+/// Quality metrics of a workload run (the paper's headline metrics).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QualityRecord {
+    /// Completeness Ratio.
+    pub cr: f32,
+    /// Group-wise F1.
+    pub f1: f32,
+    /// Group-wise ROC-AUC.
+    pub auc: f32,
+}
+
+/// Everything measured for one sweep point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadRecord {
+    /// Workload name (e.g. `powerlaw-10000`).
+    pub workload: String,
+    /// Master seed of the generator and pipeline.
+    pub seed: u64,
+    /// Nodes in the generated graph (background + planted).
+    pub nodes: usize,
+    /// Undirected edges in the generated graph.
+    pub edges: usize,
+    /// Node-attribute dimensionality.
+    pub feature_dim: usize,
+    /// Planted ground-truth anomaly groups.
+    pub anomaly_groups: usize,
+    /// Candidate groups produced by the sampler on the score path.
+    pub candidate_groups: usize,
+    /// Resolved worker-thread cap during the run.
+    pub threads: usize,
+    /// Total `fit` wall-clock milliseconds.
+    pub fit_millis: f64,
+    /// Total `score` wall-clock milliseconds.
+    pub score_millis: f64,
+    /// Process peak RSS (bytes) after the run; `None` where the platform
+    /// does not expose it.
+    pub peak_rss_bytes: Option<u64>,
+    /// Per-stage timing records, fit stages first, in execution order.
+    pub stages: Vec<StageRecord>,
+    /// CR/F1/AUC against the planted ground truth.
+    pub metrics: QualityRecord,
+}
+
+/// A full suite run: the content of one `BENCH_<suite>.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_FORMAT`]).
+    pub format: String,
+    /// Suite name (`ci`, `scale`, `diagnose`, ...).
+    pub suite: String,
+    /// Master seed the suite ran with.
+    pub seed: u64,
+    /// One record per sweep point, in sweep order.
+    pub workloads: Vec<WorkloadRecord>,
+}
+
+impl BenchReport {
+    /// The canonical artifact filename for this suite (`BENCH_<suite>.json`).
+    pub fn filename(&self) -> String {
+        format!("BENCH_{}.json", self.suite)
+    }
+}
+
+/// The parameterized sweeps `bench_suite` knows how to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SuitePreset {
+    /// Small sweep for the CI quality gate: fast enough for every PR.
+    Ci,
+    /// The scale sweep: 1k → 100k nodes, exercising the CSR hot paths at
+    /// sizes the paper datasets cannot reach.
+    Scale,
+}
+
+impl SuitePreset {
+    /// Suite name as used in filenames and golden snapshots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SuitePreset::Ci => "ci",
+            SuitePreset::Scale => "scale",
+        }
+    }
+
+    /// Background-node counts of the sweep points.
+    pub fn sizes(&self) -> &'static [usize] {
+        match self {
+            SuitePreset::Ci => &[600, 1_200, 2_400],
+            SuitePreset::Scale => &[1_000, 10_000, 100_000],
+        }
+    }
+
+    /// Parses a preset name (`ci` | `scale`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "ci" => Ok(SuitePreset::Ci),
+            "scale" => Ok(SuitePreset::Scale),
+            other => Err(format!("unknown preset `{other}` (expected ci|scale)")),
+        }
+    }
+}
+
+/// The pipeline configuration the benchmark uses at a given graph size.
+///
+/// Model dimensions are fixed across the sweep so stage timings compare
+/// node-for-node; the knobs that scale down with size are the training
+/// epochs and anchor fraction (bounded wall-clock, not peak quality, is the
+/// point at 100k nodes) and the search budgets, which would otherwise grow
+/// super-linearly around power-law hubs — in particular the cycle DFS gets
+/// an explicit step budget. The GraphSNN `Ã` reconstruction target is kept
+/// at every scale: its closed-neighborhood overlap stays cheap on these
+/// graphs (~320ms at 100k nodes), and with a plain `A` target the planted
+/// groups' long-range inconsistency is invisible — anchors then miss every
+/// planted node and CR/AUC collapse to chance, which would make the golden
+/// quality gate meaningless.
+pub fn bench_config(nodes: usize, seed: u64) -> TpGrGadConfig {
+    let mut config = TpGrGadConfig::fast();
+    config.gae.hidden_dim = 16;
+    config.gae.embed_dim = 8;
+    config.tpgcl.hidden_dim = 16;
+    config.tpgcl.embed_dim = 16;
+    config.tpgcl.mine_hidden_dim = 16;
+    config.tpgcl.max_training_groups = 64;
+    config.sampling.max_anchor_pairs = 400;
+    config.sampling.max_groups = 400;
+    config.sampling.background_groups = 120;
+    config.sampling.max_cycle_dfs_steps = 20_000;
+    config.reconstruction_target = ReconstructionTarget::GraphSnn { lambda: 1.0 };
+    if nodes <= 2_500 {
+        config.gae.epochs = 30;
+        config.tpgcl.epochs = 10;
+        config.anchor_fraction = 0.1;
+    } else if nodes <= 20_000 {
+        config.gae.epochs = 25;
+        config.tpgcl.epochs = 5;
+        config.anchor_fraction = 0.05;
+    } else {
+        config.gae.epochs = 12;
+        config.tpgcl.epochs = 3;
+        config.anchor_fraction = 0.02;
+    }
+    config.with_seed(seed)
+}
+
+fn millis(d: Duration) -> f64 {
+    d.as_secs_f64() * 1_000.0
+}
+
+fn stage_records(observer: &TimingObserver) -> Vec<StageRecord> {
+    observer
+        .stages
+        .iter()
+        .map(|s| StageRecord {
+            stage: s.stage.name().to_string(),
+            phase: s.phase.to_string(),
+            millis: millis(s.wall),
+            items: s.items,
+            train_epochs: s.train_epochs,
+            threads: s.threads,
+        })
+        .collect()
+}
+
+/// Runs one workload (fit once, score once, evaluate) and returns its record
+/// together with the raw scoring result — `diagnose` uses the latter for its
+/// quality drill-down so human and machine views come from one run.
+pub fn run_workload_detailed(
+    dataset: &GrGadDataset,
+    config: &TpGrGadConfig,
+) -> (WorkloadRecord, TpGrGadResult) {
+    let detector = TpGrGad::new(config.clone());
+    let mut fit_timings = TimingObserver::new();
+    let trained = detector.fit_observed(&dataset.graph, &mut fit_timings);
+    let mut score_timings = TimingObserver::new();
+    let result = trained.score_observed(&dataset.graph, &mut score_timings);
+    let report = evaluate_detection(
+        &result.candidate_groups,
+        &result.scores,
+        &result.predicted_anomalous,
+        &dataset.anomaly_groups,
+        config.match_jaccard,
+    );
+
+    let mut stages = stage_records(&fit_timings);
+    stages.extend(stage_records(&score_timings));
+    let threads = stages.iter().map(|s| s.threads).max().unwrap_or(1);
+    let record = WorkloadRecord {
+        workload: dataset.name.clone(),
+        seed: config.seed,
+        nodes: dataset.graph.num_nodes(),
+        edges: dataset.graph.num_edges(),
+        feature_dim: dataset.graph.feature_dim(),
+        anomaly_groups: dataset.anomaly_groups.len(),
+        candidate_groups: result.candidate_groups.len(),
+        threads,
+        fit_millis: millis(fit_timings.total_wall()),
+        score_millis: millis(score_timings.total_wall()),
+        peak_rss_bytes: fit_timings
+            .max_peak_rss_bytes()
+            .max(score_timings.max_peak_rss_bytes()),
+        stages,
+        metrics: QualityRecord {
+            cr: report.cr,
+            f1: report.f1,
+            auc: report.auc,
+        },
+    };
+    (record, result)
+}
+
+/// [`run_workload_detailed`] without the raw result.
+pub fn run_workload(dataset: &GrGadDataset, config: &TpGrGadConfig) -> WorkloadRecord {
+    run_workload_detailed(dataset, config).0
+}
+
+/// Runs a full suite sweep: generates each power-law workload at the
+/// preset's sizes and benchmarks it. `num_threads` overrides the worker
+/// threads of every workload's pipeline config (`None` keeps the
+/// env-then-auto default; the pipeline re-applies `config.num_threads` on
+/// every `fit`/`score` entry, so a process-global `set_max_threads` alone
+/// would be overwritten). `log` (when true) prints one progress line per
+/// sweep point to stderr.
+pub fn run_suite(
+    preset: SuitePreset,
+    seed: u64,
+    num_threads: Option<usize>,
+    log: bool,
+) -> BenchReport {
+    let mut workloads = Vec::new();
+    for &nodes in preset.sizes() {
+        if log {
+            crate::progress(
+                "bench_suite",
+                format!("preset={} nodes={nodes}: generating", preset.name()),
+            );
+        }
+        let dataset = powerlaw::generate_sized(nodes, seed);
+        let mut config = bench_config(nodes, seed);
+        if let Some(threads) = num_threads {
+            config.num_threads = threads;
+        }
+        if log {
+            crate::progress(
+                "bench_suite",
+                format!("preset={} nodes={nodes}: running fit/score", preset.name()),
+            );
+        }
+        workloads.push(run_workload(&dataset, &config));
+    }
+    BenchReport {
+        format: BENCH_FORMAT.to_string(),
+        suite: preset.name().to_string(),
+        seed,
+        workloads,
+    }
+}
+
+/// Renders a report as the human-readable view of the same data the JSON
+/// carries — `bench_suite` and `diagnose` both print this, so the two views
+/// cannot disagree.
+pub fn render_report(report: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "suite={} seed={} format={}\n",
+        report.suite, report.seed, report.format
+    ));
+    for w in &report.workloads {
+        out.push_str(&format!(
+            "{:16} nodes={:<7} edges={:<8} attrs={:<4} gt_groups={:<3} candidates={:<4} threads={} \
+             fit={:>9.1}ms score={:>8.1}ms rss={} CR={:.3} F1={:.3} AUC={:.3}\n",
+            w.workload,
+            w.nodes,
+            w.edges,
+            w.feature_dim,
+            w.anomaly_groups,
+            w.candidate_groups,
+            w.threads,
+            w.fit_millis,
+            w.score_millis,
+            w.peak_rss_bytes
+                .map_or_else(|| "n/a".to_string(), |b| format!("{:.0}MB", b as f64 / 1e6)),
+            w.metrics.cr,
+            w.metrics.f1,
+            w.metrics.auc,
+        ));
+        for s in &w.stages {
+            out.push_str(&format!(
+                "    {:>5}/{:<20} {:>10.2}ms items={:<7} epochs={:<3} threads={}\n",
+                s.phase, s.stage, s.millis, s.items, s.train_epochs, s.threads
+            ));
+        }
+    }
+    out
+}
+
+/// A pinned CR/AUC pair for one seeded workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GoldenWorkload {
+    /// Workload name, matched against [`WorkloadRecord::workload`].
+    pub workload: String,
+    /// Seed the metrics were pinned under.
+    pub seed: u64,
+    /// Pinned Completeness Ratio.
+    pub cr: f32,
+    /// Pinned group-wise AUC.
+    pub auc: f32,
+}
+
+/// A golden-metric snapshot: the quality gate for one suite.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GoldenMetrics {
+    /// Schema version ([`BENCH_FORMAT`]).
+    pub format: String,
+    /// Suite the snapshot pins.
+    pub suite: String,
+    /// Maximum absolute CR/AUC drift tolerated before the gate fails.
+    pub tolerance: f32,
+    /// One pin per sweep point.
+    pub workloads: Vec<GoldenWorkload>,
+}
+
+impl GoldenMetrics {
+    /// Pins the metrics of a fresh report (used by `--write-golden`).
+    pub fn from_report(report: &BenchReport, tolerance: f32) -> Self {
+        Self {
+            format: BENCH_FORMAT.to_string(),
+            suite: report.suite.clone(),
+            tolerance,
+            workloads: report
+                .workloads
+                .iter()
+                .map(|w| GoldenWorkload {
+                    workload: w.workload.clone(),
+                    seed: w.seed,
+                    cr: w.metrics.cr,
+                    auc: w.metrics.auc,
+                })
+                .collect(),
+        }
+    }
+
+    /// The conventional on-disk location of a suite's golden snapshot.
+    ///
+    /// Anchored to this crate's source directory (compile-time
+    /// `CARGO_MANIFEST_DIR`) rather than the invocation directory, so the
+    /// gate loads the committed pins — and `--write-golden` updates them —
+    /// no matter where `bench_suite` is run from inside the repository.
+    pub fn conventional_path(suite: &str) -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("goldens")
+            .join(format!("BENCH_GOLDEN_{suite}.json"))
+    }
+}
+
+/// Checks a report against a golden snapshot.
+///
+/// Fails on: schema/suite mismatch, a pinned workload missing from the
+/// report (or run under a different seed), a report workload that is not
+/// pinned at all, and CR or AUC drifting beyond the snapshot's tolerance.
+/// Every violation is reported, not just the first.
+pub fn compare_golden(report: &BenchReport, golden: &GoldenMetrics) -> Result<(), Vec<String>> {
+    let mut failures = Vec::new();
+    if report.format != golden.format {
+        failures.push(format!(
+            "schema mismatch: report is `{}`, golden is `{}`",
+            report.format, golden.format
+        ));
+    }
+    if report.suite != golden.suite {
+        failures.push(format!(
+            "suite mismatch: report is `{}`, golden pins `{}`",
+            report.suite, golden.suite
+        ));
+    }
+    for pin in &golden.workloads {
+        let Some(run) = report.workloads.iter().find(|w| w.workload == pin.workload) else {
+            failures.push(format!(
+                "pinned workload `{}` missing from report",
+                pin.workload
+            ));
+            continue;
+        };
+        if run.seed != pin.seed {
+            failures.push(format!(
+                "{}: seed {} does not match pinned seed {}",
+                pin.workload, run.seed, pin.seed
+            ));
+            continue;
+        }
+        for (metric, got, want) in [
+            ("CR", run.metrics.cr, pin.cr),
+            ("AUC", run.metrics.auc, pin.auc),
+        ] {
+            let drift = (got - want).abs();
+            if !drift.is_finite() || drift > golden.tolerance {
+                failures.push(format!(
+                    "{}: {metric} drifted to {got:.4} (pinned {want:.4}, tolerance {})",
+                    pin.workload, golden.tolerance
+                ));
+            }
+        }
+    }
+    for run in &report.workloads {
+        if !golden.workloads.iter().any(|p| p.workload == run.workload) {
+            failures.push(format!(
+                "workload `{}` is not pinned in the golden snapshot (re-pin with --write-golden)",
+                run.workload
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+/// Reads a golden snapshot from disk.
+pub fn load_golden(path: &Path) -> Result<GoldenMetrics, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    serde_json::from_str(&json).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Reads a `BENCH_*.json` report from disk.
+pub fn load_report(path: &Path) -> Result<BenchReport, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let report: BenchReport =
+        serde_json::from_str(&json).map_err(|e| format!("{}: {e}", path.display()))?;
+    if report.format != BENCH_FORMAT {
+        return Err(format!(
+            "{}: unsupported bench format `{}` (expected `{BENCH_FORMAT}`)",
+            path.display(),
+            report.format
+        ));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grgad_datasets::example;
+
+    fn tiny_report() -> BenchReport {
+        let dataset = example::generate(120, 5);
+        let mut config = bench_config(120, 5);
+        config.gae.epochs = 10;
+        config.tpgcl.epochs = 3;
+        let record = run_workload(&dataset, &config);
+        BenchReport {
+            format: BENCH_FORMAT.to_string(),
+            suite: "test".to_string(),
+            seed: 5,
+            workloads: vec![record],
+        }
+    }
+
+    #[test]
+    fn workload_record_captures_run_shape() {
+        let report = tiny_report();
+        let w = &report.workloads[0];
+        assert_eq!(w.workload, "example");
+        assert_eq!(w.stages.len(), 8, "4 fit + 4 score stages");
+        assert!(w.stages[..4].iter().all(|s| s.phase == "fit"));
+        assert!(w.stages[4..].iter().all(|s| s.phase == "score"));
+        assert!(w.fit_millis > 0.0);
+        assert!(w.score_millis > 0.0);
+        assert!(w.candidate_groups > 0);
+        assert!(w.threads >= 1);
+        if cfg!(target_os = "linux") {
+            assert!(w.peak_rss_bytes.unwrap_or(0) > 0);
+        }
+        assert!(w.metrics.auc >= 0.0 && w.metrics.auc <= 1.0);
+    }
+
+    #[test]
+    fn bench_json_schema_round_trips() {
+        let report = tiny_report();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(report.filename(), "BENCH_test.json");
+    }
+
+    #[test]
+    fn golden_gate_passes_clean_and_fails_on_drift() {
+        let report = tiny_report();
+        let golden = GoldenMetrics::from_report(&report, 0.02);
+        assert!(compare_golden(&report, &golden).is_ok());
+
+        // Perturb one metric beyond tolerance: the gate must fail and name
+        // the workload.
+        let mut drifted = report.clone();
+        drifted.workloads[0].metrics.cr += 0.2;
+        let failures = compare_golden(&drifted, &golden).unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("CR drifted")),
+            "{failures:?}"
+        );
+
+        // A missing pin and an unpinned workload are both violations.
+        let mut renamed = report.clone();
+        renamed.workloads[0].workload = "other".to_string();
+        let failures = compare_golden(&renamed, &golden).unwrap_err();
+        assert_eq!(failures.len(), 2, "{failures:?}");
+
+        // Seed drift invalidates the pin.
+        let mut reseeded = report.clone();
+        reseeded.workloads[0].seed += 1;
+        assert!(compare_golden(&reseeded, &golden).is_err());
+    }
+
+    #[test]
+    fn preset_parsing_and_sizes() {
+        assert_eq!(SuitePreset::parse("ci").unwrap(), SuitePreset::Ci);
+        assert_eq!(SuitePreset::parse("SCALE").unwrap(), SuitePreset::Scale);
+        assert!(SuitePreset::parse("huge").is_err());
+        assert_eq!(SuitePreset::Ci.sizes().len(), 3);
+        assert!(SuitePreset::Scale.sizes().contains(&100_000));
+        assert!(
+            SuitePreset::Scale.sizes().iter().any(|&n| n >= 100_000),
+            "scale suite must reach 100k nodes"
+        );
+    }
+
+    #[test]
+    fn bench_config_scales_budgets_down_with_size() {
+        let small = bench_config(600, 0);
+        let large = bench_config(100_000, 0);
+        assert!(small.gae.epochs > large.gae.epochs);
+        assert!(small.anchor_fraction > large.anchor_fraction);
+        assert!(
+            matches!(
+                large.reconstruction_target,
+                ReconstructionTarget::GraphSnn { .. }
+            ),
+            "the quality gate needs the long-range-sensitive target at every scale"
+        );
+        assert!(
+            large.sampling.max_cycle_dfs_steps < usize::MAX,
+            "cycle DFS must be budgeted around power-law hubs"
+        );
+        assert_eq!(small.seed, 0);
+        assert_eq!(bench_config(600, 9).seed, 9);
+    }
+
+    #[test]
+    fn render_report_shows_every_workload_and_stage() {
+        let report = tiny_report();
+        let text = render_report(&report);
+        assert!(text.contains("example"));
+        assert!(text.contains("fit/anchor_localization"));
+        assert!(text.contains("score/outlier_scoring"));
+        assert!(text.contains("CR="));
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end tests of the scale-sweep benchmark subsystem: the smallest CI
+//! sweep point runs the real pipeline on the power-law workload, the
+//! resulting record round-trips through the on-disk `BENCH_*.json` schema,
+//! and the golden gate catches perturbed metrics.
+
+use grgad_bench::suite::{
+    bench_config, compare_golden, load_golden, load_report, run_workload, BenchReport,
+    GoldenMetrics, SuitePreset, BENCH_FORMAT,
+};
+use grgad_datasets::powerlaw;
+
+/// Runs the smallest CI sweep point once; shared by the tests below to keep
+/// wall-clock down.
+fn ci_smallest_report() -> BenchReport {
+    let nodes = SuitePreset::Ci.sizes()[0];
+    let dataset = powerlaw::generate_sized(nodes, 0);
+    let config = bench_config(nodes, 0);
+    BenchReport {
+        format: BENCH_FORMAT.to_string(),
+        suite: "ci".to_string(),
+        seed: 0,
+        workloads: vec![run_workload(&dataset, &config)],
+    }
+}
+
+#[test]
+fn powerlaw_workload_beats_chance_and_round_trips_through_disk() {
+    let report = ci_smallest_report();
+    let w = &report.workloads[0];
+
+    // Planted-group recoverability: the pipeline must beat a random scorer
+    // by a comfortable margin on the seeded workload (this exact seed/size
+    // pair is also pinned by the checked-in golden snapshot).
+    assert!(
+        w.metrics.auc > 0.6 || w.metrics.cr > 0.4,
+        "pipeline failed to recover planted groups above chance: {:?}",
+        w.metrics
+    );
+    assert!(w.candidate_groups > 0);
+    assert_eq!(w.stages.len(), 8, "4 fit + 4 score stage records");
+    assert!(w.fit_millis > 0.0 && w.score_millis > 0.0);
+
+    // Disk round-trip through the versioned schema.
+    let dir = std::env::temp_dir().join("grgad_bench_suite_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(report.filename());
+    std::fs::write(&path, serde_json::to_string_pretty(&report).unwrap()).unwrap();
+    let back = load_report(&path).unwrap();
+    assert_eq!(back, report);
+
+    // Golden snapshot round-trip + gate: clean pass, perturbed fail.
+    let golden = GoldenMetrics::from_report(&report, 0.02);
+    let golden_path = dir.join("golden.json");
+    std::fs::write(&golden_path, serde_json::to_string_pretty(&golden).unwrap()).unwrap();
+    let loaded = load_golden(&golden_path).unwrap();
+    assert_eq!(loaded, golden);
+    assert!(compare_golden(&report, &loaded).is_ok());
+
+    let mut drifted = report.clone();
+    drifted.workloads[0].metrics.auc -= 0.3;
+    let failures = compare_golden(&drifted, &loaded).unwrap_err();
+    assert!(
+        failures.iter().any(|f| f.contains("AUC drifted")),
+        "{failures:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checked_in_goldens_match_schema_and_suites() {
+    // Every committed golden snapshot must parse under the current schema
+    // and pin exactly its preset's sweep points at the default seed — this
+    // catches a re-pin that forgot a sweep point or drifted the format,
+    // including for the scale suite that CI never executes.
+    for preset in [SuitePreset::Ci, SuitePreset::Scale] {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("goldens")
+            .join(format!("BENCH_GOLDEN_{}.json", preset.name()));
+        let golden = load_golden(&path)
+            .unwrap_or_else(|e| panic!("committed {} golden must parse: {e}", preset.name()));
+        assert_eq!(golden.format, BENCH_FORMAT, "{}", preset.name());
+        assert_eq!(golden.suite, preset.name());
+        assert!(golden.tolerance > 0.0 && golden.tolerance < 0.5);
+        let expected: Vec<String> = preset
+            .sizes()
+            .iter()
+            .map(|n| format!("powerlaw-{n}"))
+            .collect();
+        let pinned: Vec<&str> = golden
+            .workloads
+            .iter()
+            .map(|w| w.workload.as_str())
+            .collect();
+        assert_eq!(pinned, expected, "{}", preset.name());
+        assert!(golden.workloads.iter().all(|w| w.seed == 0));
+    }
+}

@@ -34,5 +34,6 @@ pub mod stage;
 pub use config::{DetectorKind, TpGrGadConfig, TpGrGadConfigBuilder};
 pub use pipeline::{TpGrGad, TpGrGadResult, TrainedTpGrGad};
 pub use stage::{
-    NullObserver, PipelineObserver, PipelinePhase, PipelineStage, StageTimings, TimingObserver,
+    peak_rss_bytes, NullObserver, PipelineObserver, PipelinePhase, PipelineStage, StageTimings,
+    TimingObserver,
 };

@@ -86,6 +86,36 @@ pub struct StageTimings {
     /// while the stage ran (`grgad_parallel::max_threads()`); `1` means the
     /// stage executed serially.
     pub threads: usize,
+    /// Peak resident-set size of the process when the stage finished
+    /// ([`peak_rss_bytes`]). A process-wide high-water mark, so it is
+    /// monotone across stages; `None` where the platform does not expose it.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// The process' peak resident-set size (high-water mark) in bytes.
+///
+/// Reads `VmHWM` from `/proc/self/status` on Linux; returns `None` on other
+/// platforms or when the file cannot be parsed. The value is process-wide
+/// and monotone: it never decreases, so per-stage reports show the largest
+/// footprint reached *up to* that stage.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        let kib: u64 = line
+            .trim_start_matches("VmHWM:")
+            .trim()
+            .trim_end_matches("kB")
+            .trim()
+            .parse()
+            .ok()?;
+        Some(kib * 1024)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
 }
 
 /// Hook invoked after every pipeline stage completes.
@@ -126,6 +156,12 @@ impl TimingObserver {
     /// never trained).
     pub fn total_train_epochs(&self) -> usize {
         self.stages.iter().map(|s| s.train_epochs).sum()
+    }
+
+    /// Largest peak-RSS report seen across the recorded stages, when the
+    /// platform exposes one.
+    pub fn max_peak_rss_bytes(&self) -> Option<u64> {
+        self.stages.iter().filter_map(|s| s.peak_rss_bytes).max()
     }
 
     /// One-line-per-stage human-readable summary.
@@ -171,6 +207,7 @@ pub(crate) fn observe_stage<T>(
         items,
         train_epochs,
         threads: grgad_parallel::max_threads(),
+        peak_rss_bytes: peak_rss_bytes(),
     });
     value
 }
@@ -197,6 +234,13 @@ mod tests {
         assert_eq!(report.train_epochs, 0);
         assert!(report.threads >= 1, "thread count must be reported");
         assert!(observer.summary().contains("threads="));
+        if cfg!(target_os = "linux") {
+            assert!(
+                report.peak_rss_bytes.unwrap_or(0) > 0,
+                "Linux must report a peak RSS"
+            );
+            assert!(observer.max_peak_rss_bytes().unwrap_or(0) > 0);
+        }
         assert_eq!(observer.total_train_epochs(), 0);
         assert!(!observer.summary().is_empty());
     }

@@ -16,6 +16,8 @@
 //! * [`citation`] — community-structured citation graphs (Cora / CiteSeer
 //!   style) with anomaly groups injected per the paper's protocol.
 //! * [`example`] — the small illustration graph of Fig. 3 / Fig. 8.
+//! * [`powerlaw`] — a scalable seeded Chung–Lu-style generator (1k–100k+
+//!   nodes) with planted anomaly groups, used by the scale-sweep benchmark.
 //! * [`injection`] — reusable anomaly-group injection primitives.
 //! * [`io`] — JSON (de)serialization of datasets.
 
@@ -26,6 +28,7 @@ pub mod ethereum;
 pub mod example;
 pub mod injection;
 pub mod io;
+pub mod powerlaw;
 pub mod simml;
 
 pub use dataset::{DatasetStatistics, GrGadDataset};

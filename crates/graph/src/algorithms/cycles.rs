@@ -23,6 +23,24 @@ pub fn cycles_through(
     max_len: usize,
     max_cycles: usize,
 ) -> Vec<Vec<usize>> {
+    cycles_through_budgeted(graph, start, max_len, max_cycles, usize::MAX)
+}
+
+/// [`cycles_through`] with an explicit work budget.
+///
+/// The DFS explores at most `max_steps` edge extensions before giving up,
+/// whatever it has found so far. The unbudgeted search is output-sensitive
+/// only in the number of *cycles*; around high-degree hubs (e.g. in
+/// power-law graphs) the number of simple *paths* of length ≤ `max_len` can
+/// explode combinatorially even when few cycles exist, and the budget bounds
+/// that blow-up. `usize::MAX` reproduces [`cycles_through`] exactly.
+pub fn cycles_through_budgeted(
+    graph: &Graph,
+    start: usize,
+    max_len: usize,
+    max_cycles: usize,
+    max_steps: usize,
+) -> Vec<Vec<usize>> {
     let mut cycles = Vec::new();
     if max_len < 3 || max_cycles == 0 {
         return cycles;
@@ -31,6 +49,7 @@ pub fn cycles_through(
     let mut on_path = vec![false; n];
     let mut path = vec![start];
     on_path[start] = true;
+    let mut steps = max_steps;
     dfs(
         graph,
         start,
@@ -40,6 +59,7 @@ pub fn cycles_through(
         &mut path,
         &mut on_path,
         &mut cycles,
+        &mut steps,
     );
     cycles
 }
@@ -54,14 +74,16 @@ fn dfs(
     path: &mut Vec<usize>,
     on_path: &mut [bool],
     cycles: &mut Vec<Vec<usize>>,
+    steps: &mut usize,
 ) {
     if cycles.len() >= max_cycles {
         return;
     }
     for &next in graph.neighbors(current) {
-        if cycles.len() >= max_cycles {
+        if cycles.len() >= max_cycles || *steps == 0 {
             return;
         }
+        *steps -= 1;
         if next == start {
             // Found a cycle; require length ≥ 3 and canonical orientation to
             // avoid reporting each cycle twice (once per direction).
@@ -80,7 +102,7 @@ fn dfs(
         on_path[next] = true;
         path.push(next);
         dfs(
-            graph, start, next, max_len, max_cycles, path, on_path, cycles,
+            graph, start, next, max_len, max_cycles, path, on_path, cycles, steps,
         );
         path.pop();
         on_path[next] = false;
@@ -137,6 +159,18 @@ mod tests {
         assert_eq!(cycles.len(), 1);
         assert_eq!(cycles[0].len(), 3);
         assert_eq!(cycles[0][0], 0);
+    }
+
+    #[test]
+    fn step_budget_bounds_the_search() {
+        let g = triangle_plus_tail();
+        // A zero budget finds nothing; a generous budget matches the
+        // unbudgeted search exactly.
+        assert!(cycles_through_budgeted(&g, 0, 5, 10, 0).is_empty());
+        assert_eq!(
+            cycles_through_budgeted(&g, 0, 5, 10, 1_000_000),
+            cycles_through(&g, 0, 5, 10)
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod paths;
 
 pub use bfs::{bfs_distances, bounded_bfs_tree, shortest_path};
 pub use components::{connected_components, connected_components_of_subset};
-pub use cycles::cycles_through;
+pub use cycles::{cycles_through, cycles_through_budgeted};
 pub use graphsnn::graphsnn_adjacency;
 pub use khop::khop_matrix;
 pub use paths::{bellman_ford, shortest_path_bellman_ford};

@@ -2,14 +2,21 @@
 
 use std::collections::HashSet;
 
-use grgad_graph::algorithms::{bounded_bfs_tree, cycles_through, shortest_path};
+use grgad_graph::algorithms::{bounded_bfs_tree, cycles_through_budgeted, shortest_path};
 use grgad_graph::{Graph, Group};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Hyperparameters of Alg. 1.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+///
+/// Serde is hand-written (below) instead of derived for one reason: this
+/// config is persisted inside saved `TrainedTpGrGad` models, and
+/// `max_cycle_dfs_steps` was added after models already existed in the
+/// wild — deserialization defaults it when the snapshot predates the field,
+/// so old artifacts keep loading (same policy as the core config's
+/// `num_threads`).
+#[derive(Clone, Debug)]
 pub struct SamplingConfig {
     /// Depth bound `t` of the tree search.
     pub tree_depth: usize,
@@ -33,6 +40,12 @@ pub struct SamplingConfig {
     /// detector a population of ordinary groups to contrast the anchor-based
     /// candidates against (implementation note in DESIGN.md §4).
     pub background_groups: usize,
+    /// Work budget (edge extensions) for the per-anchor cycle DFS. The
+    /// search is output-sensitive in the number of cycles, but around
+    /// high-degree hubs (power-law graphs) the number of simple paths it
+    /// must walk can explode even when few cycles exist; the budget bounds
+    /// that. `usize::MAX` (the default) reproduces the unbudgeted search.
+    pub max_cycle_dfs_steps: usize,
     /// RNG seed for pair subsampling.
     pub seed: u64,
 }
@@ -49,8 +62,65 @@ impl Default for SamplingConfig {
             max_groups: 1500,
             min_group_size: 2,
             background_groups: 200,
+            max_cycle_dfs_steps: usize::MAX,
             seed: 0,
         }
+    }
+}
+
+// Hand-written serde: every field round-trips, but `max_cycle_dfs_steps`
+// tolerates snapshots written before it existed (see the struct-level doc).
+impl serde::Serialize for SamplingConfig {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("tree_depth".to_string(), self.tree_depth.to_value()),
+            ("max_group_size".to_string(), self.max_group_size.to_value()),
+            ("max_cycle_len".to_string(), self.max_cycle_len.to_value()),
+            (
+                "max_cycles_per_anchor".to_string(),
+                self.max_cycles_per_anchor.to_value(),
+            ),
+            ("max_path_len".to_string(), self.max_path_len.to_value()),
+            (
+                "max_anchor_pairs".to_string(),
+                self.max_anchor_pairs.to_value(),
+            ),
+            ("max_groups".to_string(), self.max_groups.to_value()),
+            ("min_group_size".to_string(), self.min_group_size.to_value()),
+            (
+                "background_groups".to_string(),
+                self.background_groups.to_value(),
+            ),
+            (
+                "max_cycle_dfs_steps".to_string(),
+                self.max_cycle_dfs_steps.to_value(),
+            ),
+            ("seed".to_string(), self.seed.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for SamplingConfig {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::Deserialize;
+        Ok(Self {
+            tree_depth: Deserialize::from_value(value.field("tree_depth")?)?,
+            max_group_size: Deserialize::from_value(value.field("max_group_size")?)?,
+            max_cycle_len: Deserialize::from_value(value.field("max_cycle_len")?)?,
+            max_cycles_per_anchor: Deserialize::from_value(value.field("max_cycles_per_anchor")?)?,
+            max_path_len: Deserialize::from_value(value.field("max_path_len")?)?,
+            max_anchor_pairs: Deserialize::from_value(value.field("max_anchor_pairs")?)?,
+            max_groups: Deserialize::from_value(value.field("max_groups")?)?,
+            min_group_size: Deserialize::from_value(value.field("min_group_size")?)?,
+            background_groups: Deserialize::from_value(value.field("background_groups")?)?,
+            // Added after saved models existed: default (the exact legacy
+            // behaviour) when the snapshot predates the field.
+            max_cycle_dfs_steps: match value.field("max_cycle_dfs_steps") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => usize::MAX,
+            },
+            seed: Deserialize::from_value(value.field("seed")?)?,
+        })
     }
 }
 
@@ -105,17 +175,39 @@ pub fn sample_candidate_groups(
     };
 
     // Ordered anchor pairs, subsampled when quadratic growth is too large.
+    //
+    // Two regimes share one seed: below `PAIR_MATERIALIZE_CUTOFF` the full
+    // pair list is materialized and shuffled (the historical behaviour,
+    // kept bit-for-bit for every existing workload); above it — e.g. 10k
+    // anchors on a 100k-node graph would mean 10⁸ pairs and gigabytes of
+    // memory — distinct pairs are drawn directly from the seeded RNG in
+    // O(max_anchor_pairs) space.
+    const PAIR_MATERIALIZE_CUTOFF: usize = 1_000_000;
+    let total_pairs = anchors
+        .len()
+        .saturating_mul(anchors.len().saturating_sub(1));
     let mut pairs: Vec<(usize, usize)> = Vec::new();
-    for &v in anchors {
-        for &mu in anchors {
-            if v != mu {
-                pairs.push((v, mu));
+    if total_pairs > PAIR_MATERIALIZE_CUTOFF && total_pairs > config.max_anchor_pairs {
+        let mut drawn: HashSet<(usize, usize)> = HashSet::new();
+        while pairs.len() < config.max_anchor_pairs {
+            let i = rng.gen_range(0..anchors.len());
+            let j = rng.gen_range(0..anchors.len());
+            if i != j && drawn.insert((i, j)) {
+                pairs.push((anchors[i], anchors[j]));
             }
         }
-    }
-    if pairs.len() > config.max_anchor_pairs {
-        pairs.shuffle(&mut rng);
-        pairs.truncate(config.max_anchor_pairs);
+    } else {
+        for &v in anchors {
+            for &mu in anchors {
+                if v != mu {
+                    pairs.push((v, mu));
+                }
+            }
+        }
+        if pairs.len() > config.max_anchor_pairs {
+            pairs.shuffle(&mut rng);
+            pairs.truncate(config.max_anchor_pairs);
+        }
     }
     stats.pairs_examined = pairs.len();
 
@@ -139,7 +231,13 @@ pub fn sample_candidate_groups(
         if groups.len() >= config.max_groups {
             break;
         }
-        for cycle in cycles_through(graph, v, config.max_cycle_len, config.max_cycles_per_anchor) {
+        for cycle in cycles_through_budgeted(
+            graph,
+            v,
+            config.max_cycle_len,
+            config.max_cycles_per_anchor,
+            config.max_cycle_dfs_steps,
+        ) {
             push(cycle, &mut seen, &mut groups, &mut stats, Source::Cycle);
         }
     }
@@ -291,6 +389,57 @@ mod tests {
             ..Default::default()
         };
         let (a, _) = sample_candidate_groups(&g, &anchors, &config);
+        let (b, _) = sample_candidate_groups(&g, &anchors, &config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_serde_round_trips_and_loads_legacy_snapshots() {
+        use serde::{Deserialize, Serialize};
+
+        let config = SamplingConfig {
+            max_cycle_dfs_steps: 12_345,
+            seed: 9,
+            ..Default::default()
+        };
+        let back = SamplingConfig::from_value(&config.to_value()).unwrap();
+        assert_eq!(back.max_cycle_dfs_steps, 12_345);
+        assert_eq!(back.seed, 9);
+        assert_eq!(back.max_groups, config.max_groups);
+
+        // A snapshot written before `max_cycle_dfs_steps` existed (e.g. a
+        // saved TrainedTpGrGad model from an older build) must keep loading,
+        // with the field defaulting to the exact legacy behaviour.
+        let mut legacy = config.to_value();
+        if let serde::Value::Map(entries) = &mut legacy {
+            entries.retain(|(k, _)| k != "max_cycle_dfs_steps");
+        }
+        let loaded = SamplingConfig::from_value(&legacy).unwrap();
+        assert_eq!(loaded.max_cycle_dfs_steps, usize::MAX);
+        assert_eq!(loaded.seed, 9);
+    }
+
+    #[test]
+    fn huge_anchor_sets_sample_pairs_without_materializing_the_square() {
+        // 1100 anchors → ~1.2M ordered pairs, past the materialization
+        // cutoff: pairs must be drawn directly, stay within the budget, and
+        // remain deterministic for a fixed seed.
+        let n = 1_100;
+        let mut g = Graph::with_no_features(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        let anchors: Vec<usize> = (0..n).collect();
+        let config = SamplingConfig {
+            max_anchor_pairs: 50,
+            max_groups: 200,
+            background_groups: 0,
+            seed: 7,
+            ..Default::default()
+        };
+        let (a, stats) = sample_candidate_groups(&g, &anchors, &config);
+        assert_eq!(stats.pairs_examined, 50);
+        assert!(!a.is_empty());
         let (b, _) = sample_candidate_groups(&g, &anchors, &config);
         assert_eq!(a, b);
     }
