@@ -111,9 +111,15 @@ fn bench_cycle_enumeration(c: &mut Criterion) {
 /// training epochs — anchor inference + sampling + embedding + detector).
 fn bench_score_pretrained(c: &mut Criterion) {
     let dataset = example::generate(60, 0);
-    let trained = TpGrGad::new(TpGrGadConfig::fast().with_seed(0)).fit(&dataset.graph);
+    let trained = TpGrGad::new(TpGrGadConfig::fast().with_seed(0))
+        .fit(&dataset.graph)
+        .expect("fit");
     c.bench_function("score_pretrained", |b| {
-        b.iter(|| trained.score(std::hint::black_box(&dataset.graph)))
+        b.iter(|| {
+            trained
+                .score(std::hint::black_box(&dataset.graph))
+                .expect("score")
+        })
     });
 }
 

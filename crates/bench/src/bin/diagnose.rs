@@ -94,6 +94,9 @@ fn main() {
         suite: "diagnose".to_string(),
         seed,
         workloads,
+        // The quality drill-down has no serving engine in the loop; the
+        // delta-stream comparison lives in `bench_suite` runs.
+        delta_streams: Vec::new(),
     };
     print!("{}", render_report(&report));
     write_json(&options.out_dir, &report.filename(), &report);

@@ -30,7 +30,9 @@ fn main() {
         progress("fig7", format!("dataset={}", dataset.name));
         let config = options.pipeline_config(seed);
         let detector = TpGrGad::new(config.clone());
-        let result = detector.detect(&dataset.graph);
+        let result = detector
+            .detect(&dataset.graph)
+            .expect("benchmark datasets are valid pipeline input");
         if result.candidate_groups.is_empty() {
             continue;
         }

@@ -34,7 +34,9 @@ fn main() {
                 );
                 let mut config = options.pipeline_config(seed);
                 config.reconstruction_target = target;
-                let (_, report) = TpGrGad::new(config).evaluate(dataset);
+                let (_, report) = TpGrGad::new(config)
+                    .evaluate(dataset)
+                    .expect("benchmark datasets are valid pipeline input");
                 matrix.push(&dataset.name, &target.label(), report.cr);
             }
         }

@@ -23,7 +23,9 @@ fn main() {
                 );
                 let mut config = options.pipeline_config(seed);
                 config.use_tpgcl = variant == "TP-GrGAD";
-                let (_, report) = TpGrGad::new(config).evaluate(dataset);
+                let (_, report) = TpGrGad::new(config)
+                    .evaluate(dataset)
+                    .expect("benchmark datasets are valid pipeline input");
                 matrix.push(&dataset.name, variant, report.f1);
             }
         }

@@ -208,7 +208,9 @@ pub fn run_tp_grgad(
     seed: u64,
 ) -> DetectionReport {
     let config = options.pipeline_config(seed);
-    let (_, report) = TpGrGad::new(config).evaluate(dataset);
+    let (_, report) = TpGrGad::new(config)
+        .evaluate(dataset)
+        .expect("benchmark datasets are valid pipeline input");
     report
 }
 

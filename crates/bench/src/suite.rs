@@ -26,12 +26,16 @@ use grgad_core::{TimingObserver, TpGrGad, TpGrGadConfig, TpGrGadResult};
 use grgad_datasets::{powerlaw, GrGadDataset};
 use grgad_gnn::ReconstructionTarget;
 use grgad_metrics::evaluate_detection;
+use grgad_serve::{GraphDelta, ScoringEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Version tag of the `BENCH_*.json` schema; bump on breaking layout
 /// changes so stale artifacts and goldens fail loudly instead of silently
-/// misparsing.
-pub const BENCH_FORMAT: &str = "grgad-bench/v1";
+/// misparsing. v2 added the delta-stream workload records
+/// ([`DeltaStreamRecord`]).
+pub const BENCH_FORMAT: &str = "grgad-bench/v2";
 
 /// One pipeline stage execution inside a workload run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -93,6 +97,39 @@ pub struct WorkloadRecord {
     pub metrics: QualityRecord,
 }
 
+/// The incremental-vs-full re-score comparison for one delta-stream
+/// workload: a trained model bound to a `ScoringEngine`, mutated by seeded
+/// delta rounds, scored incrementally after each round and compared —
+/// wall-clock and bit-for-bit — against a from-scratch `score()` on the
+/// same graph state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeltaStreamRecord {
+    /// Workload name (e.g. `powerlaw-600-deltas`).
+    pub workload: String,
+    /// Master seed of the generator, pipeline and delta stream.
+    pub seed: u64,
+    /// Nodes in the starting graph.
+    pub nodes: usize,
+    /// Mutation rounds applied (each followed by one incremental and one
+    /// full re-score).
+    pub rounds: usize,
+    /// Deltas applied per round.
+    pub deltas_per_round: usize,
+    /// Total wall-clock of the incremental re-scores (milliseconds).
+    pub incremental_millis: f64,
+    /// Total wall-clock of the from-scratch re-scores (milliseconds).
+    pub full_millis: f64,
+    /// `full_millis / incremental_millis` (> 1 means incremental wins).
+    pub speedup: f64,
+    /// Group-embedding cache hits across the run.
+    pub cache_hits: u64,
+    /// Group-embedding cache misses across the run.
+    pub cache_misses: u64,
+    /// True when every incremental score was bit-identical to the full
+    /// re-score on the same graph state (checked every round).
+    pub parity_ok: bool,
+}
+
 /// A full suite run: the content of one `BENCH_<suite>.json`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -104,6 +141,9 @@ pub struct BenchReport {
     pub seed: u64,
     /// One record per sweep point, in sweep order.
     pub workloads: Vec<WorkloadRecord>,
+    /// Incremental-vs-full delta-stream comparisons (empty for suites that
+    /// skip them, e.g. `diagnose`).
+    pub delta_streams: Vec<DeltaStreamRecord>,
 }
 
 impl BenchReport {
@@ -220,9 +260,13 @@ pub fn run_workload_detailed(
 ) -> (WorkloadRecord, TpGrGadResult) {
     let detector = TpGrGad::new(config.clone());
     let mut fit_timings = TimingObserver::new();
-    let trained = detector.fit_observed(&dataset.graph, &mut fit_timings);
+    let trained = detector
+        .fit_observed(&dataset.graph, &mut fit_timings)
+        .expect("benchmark datasets are valid pipeline input");
     let mut score_timings = TimingObserver::new();
-    let result = trained.score_observed(&dataset.graph, &mut score_timings);
+    let result = trained
+        .score_observed(&dataset.graph, &mut score_timings)
+        .expect("benchmark datasets are valid pipeline input");
     let report = evaluate_detection(
         &result.candidate_groups,
         &result.scores,
@@ -263,6 +307,110 @@ pub fn run_workload(dataset: &GrGadDataset, config: &TpGrGadConfig) -> WorkloadR
     run_workload_detailed(dataset, config).0
 }
 
+/// Generates one seeded mutation round: a mix of feature updates, edge
+/// insertions between random pairs and removals of existing edges. All
+/// randomness comes from the caller's RNG, so the stream is a pure function
+/// of the seed.
+fn seeded_deltas<R: Rng>(rng: &mut R, graph: &grgad_graph::Graph, count: usize) -> Vec<GraphDelta> {
+    let n = graph.num_nodes();
+    let dim = graph.feature_dim();
+    let mut deltas = Vec::with_capacity(count);
+    for k in 0..count {
+        match k % 3 {
+            0 => {
+                let node = rng.gen_range(0..n);
+                let features: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+                deltas.push(GraphDelta::SetFeatures { node, features });
+            }
+            1 => {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                deltas.push(GraphDelta::AddEdge { u, v });
+            }
+            _ => {
+                // Remove an existing edge where possible (random endpoint
+                // with neighbors); degenerates to a no-op delta otherwise.
+                let u = rng.gen_range(0..n);
+                let v = if graph.degree(u) > 0 {
+                    graph.neighbors(u)[rng.gen_range(0..graph.degree(u))]
+                } else {
+                    u // self-loop removal: validated no-op
+                };
+                deltas.push(GraphDelta::RemoveEdge { u, v });
+            }
+        }
+    }
+    deltas
+}
+
+/// Runs the delta-stream workload: fit once, bind a [`ScoringEngine`],
+/// then for `rounds` rounds apply `deltas_per_round` seeded mutations and
+/// re-score both incrementally (engine, cached embeddings) and from scratch
+/// (`TrainedTpGrGad::score` on a clone of the same graph state), recording
+/// wall-clock for each and verifying bit-for-bit parity every round.
+pub fn run_delta_stream(
+    dataset: &GrGadDataset,
+    config: &TpGrGadConfig,
+    rounds: usize,
+    deltas_per_round: usize,
+) -> DeltaStreamRecord {
+    let trained = TpGrGad::new(config.clone())
+        .fit(&dataset.graph)
+        .expect("benchmark datasets are valid pipeline input");
+    let mut engine = ScoringEngine::new(trained, dataset.graph.clone())
+        .expect("fit graph is engine-compatible by construction");
+    // Warm the embedding cache (not timed: both sides start from a scored
+    // engine state, as a serving process would).
+    let _ = engine.score().expect("warm-up score");
+
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x9e37));
+    let mut incremental = Duration::ZERO;
+    let mut full = Duration::ZERO;
+    let mut parity_ok = true;
+    for _ in 0..rounds {
+        // RemoveEdge picks from the *current* adjacency, so generate against
+        // the live graph before applying.
+        let deltas = seeded_deltas(&mut rng, engine.graph(), deltas_per_round);
+        for delta in &deltas {
+            engine.apply_delta(delta).expect("seeded deltas are valid");
+        }
+
+        let t = std::time::Instant::now();
+        let (inc_result, _) = engine.score().expect("incremental score");
+        incremental += t.elapsed();
+
+        let snapshot = engine.graph().clone();
+        let t = std::time::Instant::now();
+        let full_result = engine.model().score(&snapshot).expect("full score");
+        full += t.elapsed();
+
+        parity_ok &= inc_result.scores == full_result.scores
+            && inc_result.candidate_groups == full_result.candidate_groups
+            && inc_result.predicted_anomalous == full_result.predicted_anomalous;
+    }
+
+    let stats = engine.stats();
+    let incremental_millis = millis(incremental);
+    let full_millis = millis(full);
+    DeltaStreamRecord {
+        workload: format!("{}-deltas", dataset.name),
+        seed: config.seed,
+        nodes: dataset.graph.num_nodes(),
+        rounds,
+        deltas_per_round,
+        incremental_millis,
+        full_millis,
+        speedup: if incremental_millis > 0.0 {
+            full_millis / incremental_millis
+        } else {
+            f64::INFINITY
+        },
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        parity_ok,
+    }
+}
+
 /// Runs a full suite sweep: generates each power-law workload at the
 /// preset's sizes and benchmarks it. `num_threads` overrides the worker
 /// threads of every workload's pipeline config (`None` keeps the
@@ -277,6 +425,7 @@ pub fn run_suite(
     log: bool,
 ) -> BenchReport {
     let mut workloads = Vec::new();
+    let mut delta_streams = Vec::new();
     for &nodes in preset.sizes() {
         if log {
             crate::progress(
@@ -296,14 +445,53 @@ pub fn run_suite(
             );
         }
         workloads.push(run_workload(&dataset, &config));
+
+        // Delta-stream workload: incremental vs full re-score. Skipped at
+        // the largest scale points to bound suite wall-clock (the fit and
+        // per-round full re-scores dominate there).
+        if nodes <= MAX_DELTA_STREAM_NODES {
+            if log {
+                crate::progress(
+                    "bench_suite",
+                    format!("preset={} nodes={nodes}: delta stream", preset.name()),
+                );
+            }
+            delta_streams.push(run_delta_stream(
+                &dataset,
+                &config,
+                DELTA_STREAM_ROUNDS,
+                DELTA_STREAM_DELTAS_PER_ROUND,
+            ));
+        } else if log {
+            crate::progress(
+                "bench_suite",
+                format!(
+                    "preset={} nodes={nodes}: delta stream skipped (> {MAX_DELTA_STREAM_NODES} nodes)",
+                    preset.name()
+                ),
+            );
+        }
     }
     BenchReport {
         format: BENCH_FORMAT.to_string(),
         suite: preset.name().to_string(),
         seed,
         workloads,
+        delta_streams,
     }
 }
+
+/// Largest sweep point that also runs the delta-stream workload; above
+/// this the extra fit + per-round full re-scores would dominate suite
+/// wall-clock, and the incremental-vs-full comparison is already covered
+/// at the smaller points. Logged as skipped, never silently dropped.
+pub const MAX_DELTA_STREAM_NODES: usize = 10_000;
+
+/// Mutation rounds per delta-stream workload.
+pub const DELTA_STREAM_ROUNDS: usize = 4;
+
+/// Deltas applied per mutation round.
+pub const DELTA_STREAM_DELTAS_PER_ROUND: usize = 24;
 
 /// Renders a report as the human-readable view of the same data the JSON
 /// carries — `bench_suite` and `diagnose` both print this, so the two views
@@ -339,6 +527,22 @@ pub fn render_report(report: &BenchReport) -> String {
                 s.phase, s.stage, s.millis, s.items, s.train_epochs, s.threads
             ));
         }
+    }
+    for d in &report.delta_streams {
+        out.push_str(&format!(
+            "{:16} nodes={:<7} {} rounds x {} deltas: incremental={:>8.1}ms full={:>8.1}ms \
+             speedup={:.2}x cache={}h/{}m parity={}\n",
+            d.workload,
+            d.nodes,
+            d.rounds,
+            d.deltas_per_round,
+            d.incremental_millis,
+            d.full_millis,
+            d.speedup,
+            d.cache_hits,
+            d.cache_misses,
+            if d.parity_ok { "ok" } else { "FAIL" },
+        ));
     }
     out
 }
@@ -502,6 +706,7 @@ mod tests {
             suite: "test".to_string(),
             seed: 5,
             workloads: vec![record],
+            delta_streams: Vec::new(),
         }
     }
 
@@ -558,6 +763,23 @@ mod tests {
         let mut reseeded = report.clone();
         reseeded.workloads[0].seed += 1;
         assert!(compare_golden(&reseeded, &golden).is_err());
+    }
+
+    #[test]
+    fn delta_stream_keeps_parity_and_counts_cache_activity() {
+        let dataset = example::generate(120, 5);
+        let mut config = bench_config(120, 5);
+        config.gae.epochs = 10;
+        config.tpgcl.epochs = 3;
+        let record = run_delta_stream(&dataset, &config, 2, 9);
+        assert!(record.parity_ok, "incremental must equal full re-score");
+        assert_eq!((record.rounds, record.deltas_per_round), (2, 9));
+        assert!(record.workload.ends_with("-deltas"));
+        assert!(record.incremental_millis > 0.0 && record.full_millis > 0.0);
+        assert!(
+            record.cache_hits > 0,
+            "small delta rounds must reuse cached embeddings: {record:?}"
+        );
     }
 
     #[test]

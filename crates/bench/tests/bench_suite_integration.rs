@@ -4,8 +4,8 @@
 //! and the golden gate catches perturbed metrics.
 
 use grgad_bench::suite::{
-    bench_config, compare_golden, load_golden, load_report, run_workload, BenchReport,
-    GoldenMetrics, SuitePreset, BENCH_FORMAT,
+    bench_config, compare_golden, load_golden, load_report, run_delta_stream, run_workload,
+    BenchReport, GoldenMetrics, SuitePreset, BENCH_FORMAT,
 };
 use grgad_datasets::powerlaw;
 
@@ -20,6 +20,9 @@ fn ci_smallest_report() -> BenchReport {
         suite: "ci".to_string(),
         seed: 0,
         workloads: vec![run_workload(&dataset, &config)],
+        // Small delta rounds keep most candidate groups cache-valid, so the
+        // incremental-beats-full assertion below has a comfortable margin.
+        delta_streams: vec![run_delta_stream(&dataset, &config, 3, 6)],
     }
 }
 
@@ -64,6 +67,21 @@ fn powerlaw_workload_beats_chance_and_round_trips_through_disk() {
         "{failures:?}"
     );
     let _ = std::fs::remove_dir_all(&dir);
+
+    // The delta-stream workload rides in the same artifact: incremental
+    // scoring must be bit-identical to full re-scoring and must actually
+    // reuse the cache. The wall-clock *win* itself is recorded in the
+    // committed BENCH_ci.json (DeltaStreamRecord.speedup, consistently
+    // >1 there); here we only guard against gross regressions — a strict
+    // `incremental < full` over a milliseconds-long 2-round micro-run
+    // would flake on loaded shared CI hosts with no code defect present.
+    let d = &report.delta_streams[0];
+    assert!(d.parity_ok, "incremental != full re-score: {d:?}");
+    assert!(d.cache_hits > 0, "{d:?}");
+    assert!(
+        d.incremental_millis < d.full_millis * 1.5,
+        "incremental re-score grossly slower than full re-score: {d:?}"
+    );
 }
 
 #[test]

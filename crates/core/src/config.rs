@@ -3,6 +3,7 @@
 use std::fmt;
 use std::str::FromStr;
 
+use grgad_error::GrgadError;
 use grgad_gnn::{GaeConfig, ReconstructionTarget};
 use grgad_outlier::{Ecod, Ensemble, IsolationForest, Lof, OutlierDetector, ZScore};
 use grgad_sampling::SamplingConfig;
@@ -229,6 +230,39 @@ impl Default for TpGrGadConfig {
 }
 
 impl TpGrGadConfig {
+    /// Checks every field against its valid domain — the
+    /// [`GrgadError::ConfigInvalid`] boundary `fit` runs before training
+    /// starts, so a bad knob fails fast instead of producing NaNs or
+    /// panicking mid-pipeline.
+    pub fn validate(&self) -> Result<(), GrgadError> {
+        let checks: [(bool, &str); 6] = [
+            (
+                self.anchor_fraction > 0.0 && self.anchor_fraction <= 1.0,
+                "anchor_fraction must be in (0, 1]",
+            ),
+            (
+                self.contamination > 0.0 && self.contamination <= 1.0,
+                "contamination must be in (0, 1]",
+            ),
+            (self.adaptive_k.is_finite(), "adaptive_k must be finite"),
+            (
+                self.match_jaccard > 0.0 && self.match_jaccard <= 1.0,
+                "match_jaccard must be in (0, 1]",
+            ),
+            (self.gae.epochs > 0, "gae.epochs must be at least 1"),
+            (
+                !self.use_tpgcl || self.tpgcl.epochs > 0,
+                "tpgcl.epochs must be at least 1 when use_tpgcl is set",
+            ),
+        ];
+        for (ok, message) in checks {
+            if !ok {
+                return Err(GrgadError::config(message));
+            }
+        }
+        Ok(())
+    }
+
     /// The paper's full-size configuration (identical to `Default`).
     pub fn paper() -> Self {
         Self::default()
@@ -444,6 +478,32 @@ mod tests {
             DetectorKind::Ensemble
         );
         assert!("nope".parse::<DetectorKind>().is_err());
+    }
+
+    #[test]
+    fn validate_accepts_presets_and_rejects_bad_domains() {
+        for config in [
+            TpGrGadConfig::default(),
+            TpGrGadConfig::fast(),
+            TpGrGadConfig::serving(),
+        ] {
+            assert!(config.validate().is_ok());
+        }
+        type Mutator = fn(&mut TpGrGadConfig);
+        let cases: [(Mutator, &str); 5] = [
+            (|c| c.anchor_fraction = 0.0, "anchor_fraction"),
+            (|c| c.contamination = 1.5, "contamination"),
+            (|c| c.adaptive_k = f32::NAN, "adaptive_k"),
+            (|c| c.match_jaccard = 0.0, "match_jaccard"),
+            (|c| c.gae.epochs = 0, "gae.epochs"),
+        ];
+        for (mutate, needle) in cases {
+            let mut config = TpGrGadConfig::fast();
+            mutate(&mut config);
+            let err = config.validate().unwrap_err();
+            assert!(matches!(err, GrgadError::ConfigInvalid { .. }));
+            assert!(err.to_string().contains(needle), "{err}");
+        }
     }
 
     #[test]

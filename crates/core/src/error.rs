@@ -1,0 +1,9 @@
+//! The workspace error type, re-exported at its canonical public path.
+//!
+//! [`GrgadError`] is defined in the dependency-free `grgad-error` crate so
+//! the lower layers (`grgad-linalg`, `grgad-graph`, `grgad-datasets`) can
+//! return it too without a dependency cycle; `grgad_core::error::GrgadError`
+//! is the path downstream code should name. See the error-taxonomy section
+//! of DESIGN.md for which variant each boundary produces.
+
+pub use grgad_error::GrgadError;

@@ -22,17 +22,34 @@
 //! ([`TrainedTpGrGad::score`], [`TrainedTpGrGad::score_groups`]) with zero
 //! training epochs and persists itself as JSON
 //! ([`TrainedTpGrGad::save`]/[`TrainedTpGrGad::load`]). The legacy
-//! [`TpGrGad::detect`] remains as a thin `fit(g).score(g)` wrapper, and
+//! [`TpGrGad::detect`] remains as a thin `fit(g)?.score(g)` wrapper, and
 //! [`TpGrGad::evaluate`] compares a run against a dataset's ground truth
 //! with the paper's metrics (CR / F1 / AUC). Every stage reports wall-clock
 //! and workload diagnostics through the [`PipelineObserver`] seam.
+//!
+//! Every fallible entry point returns `Result<_, `[`GrgadError`]`>`, with
+//! input validated at the boundary ([`grgad_graph::Graph::validate`],
+//! [`TrainedTpGrGad::check_compat`], [`TpGrGadConfig::validate`]) so the
+//! panic sites inside the numeric stages are unreachable for input that
+//! passed — the serving layer (`grgad-serve`) maps the error taxonomy
+//! straight onto its wire protocol. [`GroupEmbeddingCache`] is the seam
+//! that layer uses to re-score evolving graphs incrementally with
+//! bit-identical output (see DESIGN.md §8–9).
+
+// The serving contract: no `unwrap()` on the core public path — every
+// fallible surface returns `Result<_, GrgadError>` instead. Enforced here
+// (and re-checked by the CI clippy job) rather than via command-line flags,
+// which would also hit the vendored workspace members.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod config;
+pub mod error;
 pub mod pipeline;
 pub mod stage;
 
 pub use config::{DetectorKind, TpGrGadConfig, TpGrGadConfigBuilder};
-pub use pipeline::{TpGrGad, TpGrGadResult, TrainedTpGrGad};
+pub use error::GrgadError;
+pub use pipeline::{GroupEmbeddingCache, TpGrGad, TpGrGadResult, TrainedTpGrGad};
 pub use stage::{
     peak_rss_bytes, NullObserver, PipelineObserver, PipelinePhase, PipelineStage, StageTimings,
     TimingObserver,

@@ -8,9 +8,11 @@
 //! [`TpGrGad::detect`] is a thin `fit(g).score(g)` wrapper and produces
 //! bit-for-bit identical output.
 
+use std::collections::HashMap;
 use std::path::Path;
 
 use grgad_datasets::GrGadDataset;
+use grgad_error::GrgadError;
 use grgad_gnn::{select_anchor_nodes, MhGae};
 use grgad_graph::{Graph, Group};
 use grgad_linalg::Matrix;
@@ -79,7 +81,14 @@ impl TpGrGad {
     /// Trains all learned stages on `graph` once and returns a reusable
     /// trained-model artifact. Equivalent to `fit_observed` with a no-op
     /// observer.
-    pub fn fit(&self, graph: &Graph) -> TrainedTpGrGad {
+    ///
+    /// # Errors
+    /// [`GrgadError::ConfigInvalid`] when a configuration knob is outside
+    /// its domain, [`GrgadError::EmptyGraph`] for a zero-node graph and
+    /// [`GrgadError::NonFiniteInput`] for NaN/infinite node features —
+    /// validated here at the boundary so the training stages never see
+    /// malformed input.
+    pub fn fit(&self, graph: &Graph) -> Result<TrainedTpGrGad, GrgadError> {
         self.fit_observed(graph, &mut NullObserver)
     }
 
@@ -89,7 +98,9 @@ impl TpGrGad {
         &self,
         graph: &Graph,
         observer: &mut dyn PipelineObserver,
-    ) -> TrainedTpGrGad {
+    ) -> Result<TrainedTpGrGad, GrgadError> {
+        self.config.validate()?;
+        graph.validate("fit")?;
         let config = &self.config;
         // Forward the configured thread budget to the deterministic parallel
         // backend; scores are identical at any thread count.
@@ -161,28 +172,31 @@ impl TpGrGad {
             },
         );
 
-        TrainedTpGrGad {
+        Ok(TrainedTpGrGad {
             config: config.clone(),
             mhgae,
             tpgcl,
             detector,
-        }
+        })
     }
 
     /// Legacy one-shot API: trains on `graph` and scores the same graph.
     ///
-    /// Exactly equivalent to `self.fit(graph).score(graph)` — callers that
+    /// Exactly equivalent to `self.fit(graph)?.score(graph)` — callers that
     /// score more than one graph (or the same graph repeatedly) should hold
     /// on to the [`TrainedTpGrGad`] from [`TpGrGad::fit`] instead of paying
     /// for retraining on every call.
-    pub fn detect(&self, graph: &Graph) -> TpGrGadResult {
-        self.fit(graph).score(graph)
+    pub fn detect(&self, graph: &Graph) -> Result<TpGrGadResult, GrgadError> {
+        self.fit(graph)?.score(graph)
     }
 
     /// Runs the pipeline on a benchmark dataset and evaluates against its
     /// ground truth with the paper's metrics.
-    pub fn evaluate(&self, dataset: &GrGadDataset) -> (TpGrGadResult, DetectionReport) {
-        let result = self.detect(&dataset.graph);
+    pub fn evaluate(
+        &self,
+        dataset: &GrGadDataset,
+    ) -> Result<(TpGrGadResult, DetectionReport), GrgadError> {
+        let result = self.detect(&dataset.graph)?;
         let report = evaluate_detection(
             &result.candidate_groups,
             &result.scores,
@@ -190,7 +204,106 @@ impl TpGrGad {
             &dataset.anomaly_groups,
             self.config.match_jaccard,
         );
-        (result, report)
+        Ok((result, report))
+    }
+}
+
+/// A reusable cache of group embeddings keyed by the group's canonical node
+/// set — the seam the incremental serving engine uses to skip stage 3 (the
+/// per-group GCN forward, the dominant score-path cost) for groups whose
+/// members were untouched by graph deltas.
+///
+/// Correctness contract: a cached row is only valid while the group's
+/// members keep their feature rows and induced edges; the owner must call
+/// [`GroupEmbeddingCache::invalidate_nodes`] with every re-featured node
+/// and [`GroupEmbeddingCache::invalidate_edge`] for every edge change. A
+/// group's induced subgraph is only affected by an edge `(u, v)` when it
+/// contains **both** endpoints, so edge invalidation is pairwise; feature
+/// invalidation is per-member. Because the encoder embeds each group from
+/// its induced subgraph alone, with per-group output slots independent of
+/// batch composition, a valid cached row is bit-identical to a freshly
+/// computed one — which is what makes [`TrainedTpGrGad::score_cached`]
+/// exactly equal to [`TrainedTpGrGad::score`].
+///
+/// Rows cached under a different embedding dimension (a cache reused
+/// across models) are treated as misses and overwritten, never copied, so
+/// a shared cache cannot panic the scoring path. Size is bounded: after
+/// each run, entries not belonging to the current candidate set are swept
+/// once the cache exceeds a small multiple of the batch size, so a
+/// long-running engine's memory tracks its working set instead of its
+/// history.
+#[derive(Default)]
+pub struct GroupEmbeddingCache {
+    entries: HashMap<Group, Vec<f32>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl GroupEmbeddingCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached group embeddings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cache hits accumulated across scoring runs.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (fresh embeddings computed) across scoring runs.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every cached embedding (the full-re-score fallback).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Drops every cached group containing any of `nodes` — for mutations
+    /// that change a node itself (feature updates, appended nodes).
+    pub fn invalidate_nodes(&mut self, nodes: &[usize]) {
+        if nodes.is_empty() || self.entries.is_empty() {
+            return;
+        }
+        self.entries
+            .retain(|group, _| !nodes.iter().any(|&v| group.contains(v)));
+    }
+
+    /// Drops every cached group containing **both** endpoints of a changed
+    /// edge. A group's induced subgraph — the only graph state its
+    /// embedding reads — is untouched by an edge whose other endpoint lies
+    /// outside the group, so pairwise invalidation preserves bit-parity
+    /// while evicting far less than per-endpoint invalidation would
+    /// (hub endpoints in power-law graphs would otherwise flush most of
+    /// the cache on every edge delta).
+    pub fn invalidate_edge(&mut self, u: usize, v: usize) {
+        self.invalidate_edges(&[(u, v)]);
+    }
+
+    /// Batch form of [`GroupEmbeddingCache::invalidate_edge`]: one pass
+    /// over the cache for the whole dirty-edge set, instead of one full
+    /// `retain` scan per edge (which would make invalidation
+    /// `O(edges × entries)` on the serving hot path).
+    pub fn invalidate_edges(&mut self, edges: &[(usize, usize)]) {
+        if edges.is_empty() || self.entries.is_empty() {
+            return;
+        }
+        self.entries.retain(|group, _| {
+            !edges
+                .iter()
+                .any(|&(u, v)| group.contains(u) && group.contains(v))
+        });
     }
 }
 
@@ -202,6 +315,16 @@ pub struct TrainedTpGrGad {
     mhgae: MhGae,
     tpgcl: Option<Tpgcl>,
     detector: Box<dyn OutlierDetector>,
+}
+
+impl std::fmt::Debug for TrainedTpGrGad {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainedTpGrGad")
+            .field("feature_dim", &self.mhgae.feature_dim())
+            .field("detector", &self.detector.name())
+            .field("use_tpgcl", &self.config.use_tpgcl)
+            .finish_non_exhaustive()
+    }
 }
 
 impl TrainedTpGrGad {
@@ -225,31 +348,67 @@ impl TrainedTpGrGad {
         self.detector.name()
     }
 
+    /// Checks that a graph is compatible with this trained model: same
+    /// feature dimensionality as the training graph
+    /// ([`GrgadError::ShapeMismatch`]) and valid pipeline input
+    /// ([`Graph::validate`]: non-empty, finite features). Every scoring
+    /// entry point runs this at the boundary, which is what makes the
+    /// panic/assert sites inside the numeric stages unreachable for any
+    /// graph that passed.
+    pub fn check_compat(&self, graph: &Graph) -> Result<(), GrgadError> {
+        graph.validate("score")?;
+        if graph.feature_dim() != self.mhgae.feature_dim() {
+            return Err(GrgadError::shape(
+                "score: graph feature dim vs trained model",
+                self.mhgae.feature_dim(),
+                graph.feature_dim(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Scores a graph with the trained model — zero training epochs.
     /// Equivalent to `score_observed` with a no-op observer.
-    pub fn score(&self, graph: &Graph) -> TpGrGadResult {
+    ///
+    /// # Errors
+    /// Whatever [`TrainedTpGrGad::check_compat`] rejects.
+    pub fn score(&self, graph: &Graph) -> Result<TpGrGadResult, GrgadError> {
         self.score_observed(graph, &mut NullObserver)
+    }
+
+    /// [`TrainedTpGrGad::score`] reusing cached group embeddings for
+    /// candidate groups whose members are untouched since they were cached —
+    /// the incremental serving path. Produces output bit-identical to
+    /// [`TrainedTpGrGad::score`] provided the cache-owner honoured the
+    /// invalidation contract ([`GroupEmbeddingCache::invalidate_nodes`] on
+    /// every mutated node); the cache is refreshed with this run's
+    /// embeddings on return.
+    pub fn score_cached(
+        &self,
+        graph: &Graph,
+        cache: &mut GroupEmbeddingCache,
+    ) -> Result<TpGrGadResult, GrgadError> {
+        self.score_impl(graph, &mut NullObserver, Some(cache))
     }
 
     /// [`TrainedTpGrGad::score`] with a [`PipelineObserver`] receiving
     /// per-stage timing/workload reports (every report has
     /// `train_epochs == 0`).
-    ///
-    /// # Panics
-    /// Panics if `graph`'s feature dimensionality differs from the graph the
-    /// model was trained on.
     pub fn score_observed(
         &self,
         graph: &Graph,
         observer: &mut dyn PipelineObserver,
-    ) -> TpGrGadResult {
-        assert_eq!(
-            graph.feature_dim(),
-            self.mhgae.feature_dim(),
-            "score: graph has {} features, model was trained on {}",
-            graph.feature_dim(),
-            self.mhgae.feature_dim()
-        );
+    ) -> Result<TpGrGadResult, GrgadError> {
+        self.score_impl(graph, observer, None)
+    }
+
+    fn score_impl(
+        &self,
+        graph: &Graph,
+        observer: &mut dyn PipelineObserver,
+        cache: Option<&mut GroupEmbeddingCache>,
+    ) -> Result<TpGrGadResult, GrgadError> {
+        self.check_compat(graph)?;
         let config = &self.config;
         grgad_parallel::set_max_threads(config.num_threads);
 
@@ -279,7 +438,7 @@ impl TrainedTpGrGad {
         );
 
         if candidate_groups.is_empty() {
-            return TpGrGadResult {
+            return Ok(TpGrGadResult {
                 anchor_nodes,
                 node_errors,
                 candidate_groups,
@@ -287,21 +446,31 @@ impl TrainedTpGrGad {
                 embeddings: Matrix::zeros(0, 0),
                 scores: Vec::new(),
                 predicted_anomalous: Vec::new(),
-            };
+            });
         }
 
-        // Stage 3: embed the candidate groups with the trained encoder.
+        // Stage 3: embed the candidate groups with the trained encoder,
+        // reusing cached rows for groups untouched since they were cached.
         let embeddings = observe_stage(
             observer,
             PipelineStage::GroupEmbedding,
             PipelinePhase::Score,
             || {
-                let z = embed_groups(
-                    self.tpgcl.as_ref(),
-                    graph,
-                    &candidate_groups,
-                    config.use_tpgcl,
-                );
+                let z = match cache {
+                    Some(cache) => embed_groups_cached(
+                        self.tpgcl.as_ref(),
+                        graph,
+                        &candidate_groups,
+                        config.use_tpgcl,
+                        cache,
+                    ),
+                    None => embed_groups(
+                        self.tpgcl.as_ref(),
+                        graph,
+                        &candidate_groups,
+                        config.use_tpgcl,
+                    ),
+                };
                 (z, candidate_groups.len(), 0)
             },
         );
@@ -319,7 +488,7 @@ impl TrainedTpGrGad {
             },
         );
 
-        TpGrGadResult {
+        Ok(TpGrGadResult {
             anchor_nodes,
             node_errors,
             candidate_groups,
@@ -327,7 +496,7 @@ impl TrainedTpGrGad {
             embeddings,
             scores,
             predicted_anomalous,
-        }
+        })
     }
 
     /// Scores pre-sampled candidate groups directly, skipping anchor
@@ -341,23 +510,26 @@ impl TrainedTpGrGad {
     /// comparable inside one call but not across calls — score related
     /// candidates together rather than one at a time.
     ///
-    /// # Panics
-    /// Panics if `graph`'s feature dimensionality differs from the graph the
-    /// model was trained on.
-    pub fn score_groups(&self, graph: &Graph, groups: &[Group]) -> Vec<f32> {
-        assert_eq!(
-            graph.feature_dim(),
-            self.mhgae.feature_dim(),
-            "score_groups: graph has {} features, model was trained on {}",
-            graph.feature_dim(),
-            self.mhgae.feature_dim()
-        );
+    /// # Errors
+    /// Whatever [`TrainedTpGrGad::check_compat`] rejects, plus
+    /// [`GrgadError::EmptyGroup`] for a group with no nodes and
+    /// [`GrgadError::InvalidNodeId`] for a member id at or beyond the
+    /// graph's node count. `Group`s canonicalize (sort + dedup) their node
+    /// ids on construction, so duplicate ids supplied by a caller are
+    /// deduplicated before they reach this boundary rather than silently
+    /// double-counted — callers holding raw id lists should build groups
+    /// with `Group::try_new(ids, graph.num_nodes())`.
+    pub fn score_groups(&self, graph: &Graph, groups: &[Group]) -> Result<Vec<f32>, GrgadError> {
+        self.check_compat(graph)?;
+        for group in groups {
+            group.validate(graph.num_nodes(), "score_groups")?;
+        }
         if groups.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         grgad_parallel::set_max_threads(self.config.num_threads);
         let embeddings = embed_groups(self.tpgcl.as_ref(), graph, groups, self.config.use_tpgcl);
-        self.detector.score(&embeddings)
+        Ok(self.detector.score(&embeddings))
     }
 
     /// Converts scores into binary predictions with the configured threshold
@@ -373,8 +545,13 @@ impl TrainedTpGrGad {
     /// Serializes the trained model (config + all weights + detector state)
     /// as a JSON string. [`TrainedTpGrGad::from_json`] restores a model that
     /// reproduces the original scores exactly.
-    pub fn to_json(&self) -> Result<String, serde::Error> {
+    ///
+    /// # Errors
+    /// [`GrgadError::ModelIo`] (with path `"<memory>"`) when the model
+    /// state cannot be rendered.
+    pub fn to_json(&self) -> Result<String, GrgadError> {
         serde_json::to_string_pretty(&self.to_value())
+            .map_err(|e| GrgadError::model_io(IN_MEMORY, e))
     }
 
     fn to_value(&self) -> serde::Value {
@@ -414,7 +591,51 @@ impl TrainedTpGrGad {
     }
 
     /// Restores a trained model from a [`TrainedTpGrGad::to_json`] string.
-    pub fn from_json(json: &str) -> Result<Self, serde::Error> {
+    ///
+    /// # Errors
+    /// [`GrgadError::ModelIo`] (with path `"<memory>"`) for malformed,
+    /// truncated or wrong-format JSON and detector-state mismatches.
+    pub fn from_json(json: &str) -> Result<Self, GrgadError> {
+        Self::from_json_at(json, IN_MEMORY)
+    }
+
+    /// [`TrainedTpGrGad::from_json`] reporting errors against a named
+    /// source path (what [`TrainedTpGrGad::load`] uses, so a bad file is
+    /// identified by name).
+    fn from_json_at(json: &str, source: &str) -> Result<Self, GrgadError> {
+        Self::from_value_tree(json).map_err(|e| GrgadError::model_io(source, e))
+    }
+
+    /// Checks a loaded weight snapshot against the freshly constructed
+    /// architecture's own export (matrix count and every shape) before any
+    /// `import_weights` call — the import paths assert on mismatch, and a
+    /// malformed-but-well-formed-JSON artifact must surface as a typed
+    /// `ModelIo` error rather than crash a serving process.
+    fn check_snapshot_shapes(
+        context: &str,
+        expected: &[Matrix],
+        got: &[Matrix],
+    ) -> Result<(), serde::Error> {
+        if expected.len() != got.len() {
+            return Err(serde::Error::custom(format!(
+                "{context}: expected {} weight matrices, got {}",
+                expected.len(),
+                got.len()
+            )));
+        }
+        for (i, (e, g)) in expected.iter().zip(got).enumerate() {
+            if e.shape() != g.shape() {
+                return Err(serde::Error::custom(format!(
+                    "{context}: weight matrix {i} has shape {:?}, expected {:?}",
+                    g.shape(),
+                    e.shape()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn from_value_tree(json: &str) -> Result<Self, serde::Error> {
         use serde::Deserialize;
         let value: serde::Value = serde_json::from_str(json)?;
         let format = String::from_value(value.field("format")?)?;
@@ -424,6 +645,12 @@ impl TrainedTpGrGad {
             )));
         }
         let config = TpGrGadConfig::from_value(value.field("config")?)?;
+        // A loaded artifact is untrusted input: its config must satisfy the
+        // same domain checks `fit` enforces, or scoring runs with
+        // nonsensical knobs.
+        config
+            .validate()
+            .map_err(|e| serde::Error::custom(e.to_string()))?;
         let feature_dim = usize::from_value(value.field("feature_dim")?)?;
 
         let mhgae = MhGae::new(
@@ -432,11 +659,17 @@ impl TrainedTpGrGad {
             config.gae.clone(),
         );
         let mhgae_weights = Vec::<Matrix>::from_value(value.field("mhgae_weights")?)?;
+        Self::check_snapshot_shapes("mhgae_weights", &mhgae.export_weights(), &mhgae_weights)?;
         mhgae.import_weights(&mhgae_weights);
 
         let tpgcl = if config.use_tpgcl {
             let weights = Vec::<Matrix>::from_value(value.field("tpgcl_weights")?)?;
             let tpgcl = Tpgcl::new(feature_dim, config.tpgcl.clone());
+            Self::check_snapshot_shapes(
+                "tpgcl_weights",
+                &tpgcl.encoder().export_weights(),
+                &weights,
+            )?;
             tpgcl.encoder().import_weights(&weights);
             Some(tpgcl)
         } else {
@@ -463,22 +696,97 @@ impl TrainedTpGrGad {
     }
 
     /// Writes the model as JSON to `path`.
-    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        let json = self
-            .to_json()
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        std::fs::write(path, json)
+    ///
+    /// # Errors
+    /// [`GrgadError::ModelIo`] carrying the path and the underlying cause.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), GrgadError> {
+        let path = path.as_ref();
+        let json = self.to_json()?;
+        std::fs::write(path, json).map_err(|e| GrgadError::model_io(path.display().to_string(), e))
     }
 
     /// Reads a model saved by [`TrainedTpGrGad::save`].
-    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        let json = std::fs::read_to_string(path)?;
-        Self::from_json(&json).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    ///
+    /// # Errors
+    /// [`GrgadError::ModelIo`] carrying the path and the underlying cause
+    /// (missing file, truncated/malformed JSON, wrong format tag or a
+    /// detector-state mismatch).
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, GrgadError> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| GrgadError::model_io(path.display().to_string(), e))?;
+        Self::from_json_at(&json, &path.display().to_string())
     }
 }
 
 /// Identifier stored in saved models; bump on breaking layout changes.
 const MODEL_FORMAT: &str = "tp-grgad-model/v1";
+
+/// Path label for in-memory (de)serialization failures.
+const IN_MEMORY: &str = "<memory>";
+
+/// [`embed_groups`] splitting the batch into cache hits and misses: only
+/// missing groups pay the per-group GCN forward; the assembled matrix is
+/// bit-identical to embedding everything fresh because each row of
+/// `embed_groups`' output depends only on its own group's induced subgraph
+/// (per-group output slots, batch-composition-independent). The cache is
+/// updated with this run's fresh rows.
+fn embed_groups_cached(
+    tpgcl: Option<&Tpgcl>,
+    graph: &Graph,
+    groups: &[Group],
+    use_tpgcl: bool,
+    cache: &mut GroupEmbeddingCache,
+) -> Matrix {
+    if groups.is_empty() {
+        return Matrix::zeros(0, 0);
+    }
+    // This model's embedding width, known up front so rows cached by a
+    // *different* model (wrong width) count as misses and get overwritten
+    // instead of reaching `copy_from_slice` and panicking.
+    let dim = match (use_tpgcl, tpgcl) {
+        (true, Some(model)) => model.encoder().embed_dim(),
+        (true, None) => unreachable!("use_tpgcl set but no TPGCL model present"),
+        (false, _) => graph.feature_dim(),
+    };
+    let miss_indices: Vec<usize> = (0..groups.len())
+        .filter(|&i| {
+            cache
+                .entries
+                .get(&groups[i])
+                .is_none_or(|row| row.len() != dim)
+        })
+        .collect();
+    cache.hits += (groups.len() - miss_indices.len()) as u64;
+    cache.misses += miss_indices.len() as u64;
+
+    let miss_groups: Vec<Group> = miss_indices.iter().map(|&i| groups[i].clone()).collect();
+    let fresh = embed_groups(tpgcl, graph, &miss_groups, use_tpgcl);
+    for (slot, &i) in miss_indices.iter().enumerate() {
+        cache
+            .entries
+            .insert(groups[i].clone(), fresh.row(slot).to_vec());
+    }
+
+    let mut out = Matrix::zeros(groups.len(), dim);
+    for (i, group) in groups.iter().enumerate() {
+        if let Some(row) = cache.entries.get(group) {
+            out.row_mut(i).copy_from_slice(row);
+        }
+    }
+
+    // Bound the cache to the working set: entries for groups outside the
+    // current candidate batch are only worth keeping while the candidate
+    // set oscillates, so once the cache outgrows the batch by a comfortable
+    // factor, sweep the strangers. Without this a long-running engine
+    // accumulates embeddings for groups that will never be candidates
+    // again (unbounded RSS).
+    if cache.entries.len() > 4 * groups.len() + 64 {
+        let current: std::collections::HashSet<&Group> = groups.iter().collect();
+        cache.entries.retain(|group, _| current.contains(group));
+    }
+    out
+}
 
 /// Embeds groups with the trained TPGCL encoder, or with the Table V
 /// "w/o TPGCL" attribute-mean ablation.
@@ -569,7 +877,7 @@ mod tests {
     #[test]
     fn pipeline_produces_consistent_output_shapes() {
         let dataset = example::generate(36, 5);
-        let result = quick_detector(1).detect(&dataset.graph);
+        let result = quick_detector(1).detect(&dataset.graph).unwrap();
         assert!(!result.anchor_nodes.is_empty());
         assert_eq!(result.node_errors.len(), dataset.graph.num_nodes());
         assert_eq!(result.candidate_groups.len(), result.scores.len());
@@ -584,7 +892,7 @@ mod tests {
     #[test]
     fn anomalous_groups_are_sorted_by_score() {
         let dataset = example::generate(36, 6);
-        let result = quick_detector(2).detect(&dataset.graph);
+        let result = quick_detector(2).detect(&dataset.graph).unwrap();
         let reported = result.anomalous_groups();
         assert!(!reported.is_empty());
         for pair in reported.windows(2) {
@@ -595,7 +903,7 @@ mod tests {
     #[test]
     fn evaluate_reports_paper_metrics() {
         let dataset = example::generate(36, 7);
-        let (_, report) = quick_detector(3).evaluate(&dataset);
+        let (_, report) = quick_detector(3).evaluate(&dataset).unwrap();
         assert!(report.cr >= 0.0 && report.cr <= 1.0);
         assert!(report.f1 >= 0.0 && report.f1 <= 1.0);
         assert!(report.auc >= 0.0 && report.auc <= 1.0);
@@ -606,9 +914,9 @@ mod tests {
         let dataset = example::generate(30, 8);
         let mut config = TpGrGadConfig::fast().with_seed(4);
         config.use_tpgcl = false;
-        let trained = TpGrGad::new(config).fit(&dataset.graph);
+        let trained = TpGrGad::new(config).fit(&dataset.graph).unwrap();
         assert!(trained.tpgcl().is_none());
-        let result = trained.score(&dataset.graph);
+        let result = trained.score(&dataset.graph).unwrap();
         assert_eq!(result.embeddings.cols(), dataset.graph.feature_dim());
     }
 
@@ -617,7 +925,7 @@ mod tests {
         // A larger background keeps the anomaly contamination realistic
         // (~13%), which the unsupervised outlier-scoring stage relies on.
         let dataset = example::generate(120, 11);
-        let (_, report) = quick_detector(9).evaluate(&dataset);
+        let (_, report) = quick_detector(9).evaluate(&dataset).unwrap();
         // With clearly separated planted groups the detector should beat a
         // random scorer by a comfortable margin on at least one axis.
         assert!(
@@ -629,12 +937,17 @@ mod tests {
     #[test]
     fn score_groups_matches_full_scoring_run() {
         let dataset = example::generate(36, 10);
-        let trained = quick_detector(5).fit(&dataset.graph);
-        let result = trained.score(&dataset.graph);
-        let direct = trained.score_groups(&dataset.graph, &result.candidate_groups);
+        let trained = quick_detector(5).fit(&dataset.graph).unwrap();
+        let result = trained.score(&dataset.graph).unwrap();
+        let direct = trained
+            .score_groups(&dataset.graph, &result.candidate_groups)
+            .unwrap();
         assert_eq!(result.scores, direct);
         assert_eq!(trained.apply_threshold(&direct), result.predicted_anomalous);
-        assert!(trained.score_groups(&dataset.graph, &[]).is_empty());
+        assert!(trained
+            .score_groups(&dataset.graph, &[])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -642,12 +955,16 @@ mod tests {
         let dataset = example::generate(36, 3);
         let detector = quick_detector(6);
         let mut fit_observer = TimingObserver::new();
-        let trained = detector.fit_observed(&dataset.graph, &mut fit_observer);
+        let trained = detector
+            .fit_observed(&dataset.graph, &mut fit_observer)
+            .unwrap();
         assert_eq!(fit_observer.stages.len(), 4);
         assert!(fit_observer.total_train_epochs() > 0);
 
         let mut score_observer = TimingObserver::new();
-        let _ = trained.score_observed(&dataset.graph, &mut score_observer);
+        let _ = trained
+            .score_observed(&dataset.graph, &mut score_observer)
+            .unwrap();
         assert_eq!(score_observer.stages.len(), 4);
         assert_eq!(score_observer.total_train_epochs(), 0);
         for report in &score_observer.stages {
@@ -656,12 +973,154 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "features")]
-    fn scoring_mismatched_feature_dim_panics() {
+    fn scoring_mismatched_feature_dim_is_shape_mismatch() {
         let dataset = example::generate(30, 2);
-        let trained = quick_detector(1).fit(&dataset.graph);
+        let trained = quick_detector(1).fit(&dataset.graph).unwrap();
         let other = Graph::new(4, Matrix::zeros(4, dataset.graph.feature_dim() + 1));
-        let _ = trained.score(&other);
+        let err = trained.score(&other).unwrap_err();
+        assert!(matches!(err, GrgadError::ShapeMismatch { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn score_cached_is_bit_identical_and_survives_invalidation() {
+        let dataset = example::generate(40, 13);
+        let trained = quick_detector(7).fit(&dataset.graph).unwrap();
+        let full = trained.score(&dataset.graph).unwrap();
+
+        let mut cache = GroupEmbeddingCache::new();
+        let cold = trained.score_cached(&dataset.graph, &mut cache).unwrap();
+        assert_eq!(cold.scores, full.scores);
+        assert_eq!(cold.candidate_groups, full.candidate_groups);
+        assert!(cache.misses() > 0 && cache.hits() == 0);
+        assert_eq!(cache.len(), {
+            let unique: std::collections::HashSet<_> = cold.candidate_groups.iter().collect();
+            unique.len()
+        });
+
+        // Warm run on the unchanged graph: all hits, identical output.
+        let warm = trained.score_cached(&dataset.graph, &mut cache).unwrap();
+        assert_eq!(warm.scores, full.scores);
+        assert!(cache.hits() > 0);
+
+        // Invalidate a node: affected entries drop, output still identical.
+        let victim = cold.candidate_groups[0].nodes()[0];
+        let before = cache.len();
+        cache.invalidate_nodes(&[victim]);
+        assert!(cache.len() < before);
+        let after = trained.score_cached(&dataset.graph, &mut cache).unwrap();
+        assert_eq!(after.scores, full.scores);
+    }
+
+    #[test]
+    fn fit_rejects_invalid_inputs_at_the_boundary() {
+        let detector = quick_detector(1);
+        let empty = Graph::with_no_features(0);
+        assert!(matches!(
+            detector.fit(&empty).unwrap_err(),
+            GrgadError::EmptyGraph { .. }
+        ));
+
+        let mut nan_features = Matrix::zeros(6, 3);
+        nan_features[(2, 1)] = f32::NAN;
+        let nan_graph = Graph::new(6, nan_features);
+        assert!(matches!(
+            detector.fit(&nan_graph).unwrap_err(),
+            GrgadError::NonFiniteInput { .. }
+        ));
+
+        let mut bad = TpGrGadConfig::fast();
+        bad.anchor_fraction = -1.0;
+        let dataset = example::generate(20, 1);
+        assert!(matches!(
+            TpGrGad::new(bad).fit(&dataset.graph).unwrap_err(),
+            GrgadError::ConfigInvalid { .. }
+        ));
+    }
+
+    #[test]
+    fn score_groups_validates_membership_and_dedups() {
+        let dataset = example::generate(30, 4);
+        let trained = quick_detector(3).fit(&dataset.graph).unwrap();
+        let n = dataset.graph.num_nodes();
+
+        // Out-of-range member id.
+        let bad = Group::new(vec![0, n + 5]);
+        let err = trained.score_groups(&dataset.graph, &[bad]).unwrap_err();
+        assert!(matches!(err, GrgadError::InvalidNodeId { .. }), "{err:?}");
+
+        // Empty group.
+        let err = trained
+            .score_groups(&dataset.graph, &[Group::new(vec![])])
+            .unwrap_err();
+        assert!(matches!(err, GrgadError::EmptyGroup { .. }), "{err:?}");
+
+        // Duplicate ids in a raw list are deduplicated by the canonical
+        // Group constructor, so the score equals the deduped group's score
+        // instead of silently double-counting the repeated member.
+        let deduped = Group::try_new(vec![0, 1, 2], n).unwrap();
+        let with_dups = Group::try_new(vec![0, 1, 1, 2, 2, 2], n).unwrap();
+        assert_eq!(deduped, with_dups);
+        let scores = trained
+            .score_groups(&dataset.graph, &[deduped, with_dups])
+            .unwrap();
+        assert_eq!(scores[0], scores[1]);
+    }
+
+    /// Replaces one top-level field of a serialized model artifact.
+    fn with_field(json: &str, key: &str, new_value: serde::Value) -> String {
+        let value: serde::Value = serde_json::from_str(json).expect("parse model json");
+        let serde::Value::Map(mut entries) = value else {
+            panic!("model json must be an object");
+        };
+        for entry in &mut entries {
+            if entry.0 == key {
+                entry.1 = new_value;
+                return serde_json::to_string(&serde::Value::Map(entries)).expect("render");
+            }
+        }
+        panic!("field {key} not found");
+    }
+
+    /// Well-formed JSON with structurally wrong content must come back as
+    /// a typed ModelIo error — never a panic inside `import_weights` or a
+    /// silently accepted out-of-domain config (both previously crashed or
+    /// slipped through the serving `load` path).
+    #[test]
+    fn corrupted_model_artifacts_are_typed_errors_not_panics() {
+        let dataset = example::generate(30, 17);
+        let trained = quick_detector(17).fit(&dataset.graph).unwrap();
+        let json = trained.to_json().unwrap();
+
+        // Empty weight snapshot (valid JSON, wrong matrix count).
+        let empty_weights = with_field(&json, "mhgae_weights", serde::Value::Seq(Vec::new()));
+        let err = TrainedTpGrGad::from_json(&empty_weights).unwrap_err();
+        assert!(matches!(err, GrgadError::ModelIo { .. }), "{err:?}");
+        assert!(err.to_string().contains("weight matrices"), "{err}");
+
+        // Right count, wrong shape.
+        let weights = trained.mhgae().export_weights();
+        let mut wrong_shape: Vec<serde::Value> =
+            weights.iter().map(serde::Serialize::to_value).collect();
+        wrong_shape[0] = serde::Serialize::to_value(&Matrix::zeros(1, 1));
+        let bad_shape = with_field(&json, "mhgae_weights", serde::Value::Seq(wrong_shape));
+        let err = TrainedTpGrGad::from_json(&bad_shape).unwrap_err();
+        assert!(err.to_string().contains("shape"), "{err}");
+
+        // Out-of-domain config knob inside the artifact.
+        let value: serde::Value = serde_json::from_str(&json).unwrap();
+        let config_value = value.field("config").unwrap().clone();
+        let serde::Value::Map(mut config_entries) = config_value else {
+            panic!("config must be an object");
+        };
+        for entry in &mut config_entries {
+            if entry.0 == "contamination" {
+                entry.1 = serde::Value::Num(9.0);
+            }
+        }
+        let bad_config = with_field(&json, "config", serde::Value::Map(config_entries));
+        let err = TrainedTpGrGad::from_json(&bad_config).unwrap_err();
+        assert!(matches!(err, GrgadError::ModelIo { .. }), "{err:?}");
+        assert!(err.to_string().contains("contamination"), "{err}");
     }
 
     #[test]

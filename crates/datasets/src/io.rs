@@ -3,11 +3,16 @@
 //! Datasets are stored in a compact edge-list representation so experiment
 //! runs can snapshot the exact graphs they were evaluated on (useful for
 //! debugging and for re-running a single method on a frozen dataset).
+//!
+//! Loading validates everything a file could get wrong — flattened feature
+//! length vs `num_nodes × feature_dim`, out-of-range edge endpoints and
+//! group members, non-finite feature values — and reports it as a typed
+//! [`GrgadError`] instead of panicking deep inside a constructor.
 
 use std::fs;
-use std::io;
 use std::path::Path;
 
+use grgad_error::GrgadError;
 use grgad_graph::{Graph, Group};
 use grgad_linalg::Matrix;
 use serde::{Deserialize, Serialize};
@@ -49,30 +54,43 @@ impl From<&GrGadDataset> for DatasetFile {
 }
 
 impl DatasetFile {
-    /// Rebuilds the in-memory dataset.
-    pub fn into_dataset(self) -> GrGadDataset {
-        let features = Matrix::from_vec(self.num_nodes, self.feature_dim, self.features);
-        let graph = Graph::from_edges(self.num_nodes, features, &self.edges);
-        let groups = self.anomaly_groups.into_iter().map(Group::new).collect();
-        GrGadDataset::new(self.name, graph, groups)
+    /// Rebuilds the in-memory dataset, validating shapes, node-id ranges
+    /// and feature finiteness at the boundary.
+    pub fn into_dataset(self) -> Result<GrGadDataset, GrgadError> {
+        let features = Matrix::try_from_vec(self.num_nodes, self.feature_dim, self.features)?;
+        let graph = Graph::try_from_edges(self.num_nodes, features, &self.edges)?;
+        let groups = self
+            .anomaly_groups
+            .into_iter()
+            .map(|nodes| Group::try_new(nodes, self.num_nodes))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(GrGadDataset::new(self.name, graph, groups))
     }
 }
 
 /// Writes a dataset as JSON to `path` (parent directories are created).
-pub fn save_json(dataset: &GrGadDataset, path: &Path) -> io::Result<()> {
+pub fn save_json(dataset: &GrGadDataset, path: &Path) -> Result<(), GrgadError> {
+    let io_err = |e: std::io::Error| GrgadError::model_io(path.display().to_string(), e);
     if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
+        fs::create_dir_all(parent).map_err(io_err)?;
     }
     let file = DatasetFile::from(dataset);
-    let json = serde_json::to_string(&file).map_err(io::Error::other)?;
-    fs::write(path, json)
+    let json = serde_json::to_string(&file)
+        .map_err(|e| GrgadError::model_io(path.display().to_string(), e))?;
+    fs::write(path, json).map_err(io_err)
 }
 
 /// Reads a dataset from a JSON file produced by [`save_json`].
-pub fn load_json(path: &Path) -> io::Result<GrGadDataset> {
-    let json = fs::read_to_string(path)?;
-    let file: DatasetFile = serde_json::from_str(&json).map_err(io::Error::other)?;
-    Ok(file.into_dataset())
+///
+/// Missing/unreadable files and malformed JSON are [`GrgadError::ModelIo`]
+/// carrying the path and the underlying cause; structurally invalid content
+/// (shape or node-id violations) keeps its specific variant.
+pub fn load_json(path: &Path) -> Result<GrGadDataset, GrgadError> {
+    let json = fs::read_to_string(path)
+        .map_err(|e| GrgadError::model_io(path.display().to_string(), e))?;
+    let file: DatasetFile = serde_json::from_str(&json)
+        .map_err(|e| GrgadError::model_io(path.display().to_string(), e))?;
+    file.into_dataset()
 }
 
 #[cfg(test)]
@@ -96,8 +114,55 @@ mod tests {
     }
 
     #[test]
-    fn load_missing_file_errors() {
-        assert!(load_json(Path::new("/nonexistent/grgad/nothing.json")).is_err());
+    fn load_missing_file_is_model_io_with_path() {
+        let err = load_json(Path::new("/nonexistent/grgad/nothing.json")).unwrap_err();
+        match err {
+            GrgadError::ModelIo { path, .. } => assert!(path.contains("nothing.json")),
+            other => panic!("expected ModelIo, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_truncated_json_is_model_io_with_cause() {
+        let dir = std::env::temp_dir().join("grgad_io_test_trunc");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.json");
+        fs::write(&path, "{\"name\": \"x\", \"num_no").unwrap();
+        let err = load_json(&path).unwrap_err();
+        assert!(matches!(err, GrgadError::ModelIo { .. }), "{err:?}");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_content_reports_specific_variants() {
+        let original = example::generate(10, 1);
+        let mut file = DatasetFile::from(&original);
+        file.features.pop(); // wrong flattened length
+        assert!(matches!(
+            file.into_dataset().unwrap_err(),
+            GrgadError::ShapeMismatch { .. }
+        ));
+
+        let mut file = DatasetFile::from(&original);
+        file.edges.push((0, 10_000));
+        assert!(matches!(
+            file.into_dataset().unwrap_err(),
+            GrgadError::InvalidNodeId { node: 10_000, .. }
+        ));
+
+        let mut file = DatasetFile::from(&original);
+        file.anomaly_groups.push(vec![99_999]);
+        assert!(matches!(
+            file.into_dataset().unwrap_err(),
+            GrgadError::InvalidNodeId { .. }
+        ));
+
+        let mut file = DatasetFile::from(&original);
+        file.features[0] = f32::NAN;
+        assert!(matches!(
+            file.into_dataset().unwrap_err(),
+            GrgadError::NonFiniteInput { .. }
+        ));
     }
 
     #[test]
@@ -105,7 +170,7 @@ mod tests {
         let original = example::generate(20, 9);
         let file = DatasetFile::from(&original);
         assert_eq!(file.edges.len(), original.graph.num_edges());
-        let rebuilt = file.into_dataset();
+        let rebuilt = file.into_dataset().unwrap();
         assert_eq!(rebuilt.graph.num_edges(), original.graph.num_edges());
     }
 }

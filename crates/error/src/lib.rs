@@ -1,0 +1,263 @@
+//! The workspace-wide typed error enum: [`GrgadError`].
+//!
+//! The serving-grade contract of the workspace is that **every public
+//! fallible entry point returns `Result<_, GrgadError>`**: pipeline
+//! `fit`/`score`/`score_groups`, model `save`/`load`, dataset loaders, the
+//! validated `Graph`/`Matrix`/`Group` constructors and the serving layer's
+//! request handling. Input is validated at the API boundary (e.g.
+//! `Graph::validate`, `TrainedTpGrGad::check_compat`), so the panic/assert
+//! sites deep inside the numeric pipeline become unreachable-by-construction
+//! for any input that passed the boundary.
+//!
+//! This crate sits below every other workspace crate (it has no
+//! dependencies) so `grgad-linalg`, `grgad-graph`, `grgad-datasets`,
+//! `grgad-core` and `grgad-serve` can all share the one enum; `grgad-core`
+//! re-exports it as `grgad_core::error::GrgadError`, the canonical public
+//! path.
+
+use std::fmt;
+
+/// Every way a public TP-GrGAD API can fail.
+///
+/// Variants carry enough structure for a server to map them onto a wire
+/// protocol (see [`GrgadError::kind`]) while `Display` renders an
+/// operator-readable message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GrgadError {
+    /// Two shapes that must agree do not (feature-dim mismatch, flattened
+    /// matrix length vs `rows × cols`, ragged rows, ...).
+    ShapeMismatch {
+        /// What was being checked (e.g. `"score: graph feature dim"`).
+        context: String,
+        /// The size the API required.
+        expected: usize,
+        /// The size the caller supplied.
+        got: usize,
+    },
+    /// A node id at or beyond the graph's node count.
+    InvalidNodeId {
+        /// What was being checked (e.g. `"apply_delta: add_edge endpoint"`).
+        context: String,
+        /// The offending node id.
+        node: usize,
+        /// The number of nodes in the graph (valid ids are `0..num_nodes`).
+        num_nodes: usize,
+    },
+    /// A NaN or infinite value where a finite one is required (node
+    /// features, delta feature payloads, ...).
+    NonFiniteInput {
+        /// Where the non-finite value was found.
+        context: String,
+    },
+    /// An operation that needs a non-empty graph got one with zero nodes.
+    EmptyGraph {
+        /// The operation that rejected the graph.
+        context: String,
+    },
+    /// An operation that needs non-empty groups got an empty one.
+    EmptyGroup {
+        /// The operation that rejected the group.
+        context: String,
+    },
+    /// Reading/writing a model or dataset artifact failed (missing file,
+    /// truncated or malformed JSON, unsupported format tag, ...).
+    ModelIo {
+        /// The file involved; `"<memory>"` for in-memory (de)serialization.
+        path: String,
+        /// The underlying cause, rendered as text.
+        cause: String,
+    },
+    /// A configuration value outside its valid domain.
+    ConfigInvalid {
+        /// What is wrong with the configuration.
+        message: String,
+    },
+    /// A malformed serving-layer request (unparsable NDJSON line, unknown
+    /// op, missing field, request before `load`, ...).
+    Protocol {
+        /// What is wrong with the request.
+        message: String,
+    },
+}
+
+impl GrgadError {
+    /// Stable machine-readable tag for each variant — the `error.kind`
+    /// field of the serving layer's NDJSON error responses.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GrgadError::ShapeMismatch { .. } => "shape_mismatch",
+            GrgadError::InvalidNodeId { .. } => "invalid_node_id",
+            GrgadError::NonFiniteInput { .. } => "non_finite_input",
+            GrgadError::EmptyGraph { .. } => "empty_graph",
+            GrgadError::EmptyGroup { .. } => "empty_group",
+            GrgadError::ModelIo { .. } => "model_io",
+            GrgadError::ConfigInvalid { .. } => "config_invalid",
+            GrgadError::Protocol { .. } => "protocol",
+        }
+    }
+
+    /// Convenience constructor for [`GrgadError::ShapeMismatch`].
+    pub fn shape(context: impl Into<String>, expected: usize, got: usize) -> Self {
+        GrgadError::ShapeMismatch {
+            context: context.into(),
+            expected,
+            got,
+        }
+    }
+
+    /// Convenience constructor for [`GrgadError::InvalidNodeId`].
+    pub fn node(context: impl Into<String>, node: usize, num_nodes: usize) -> Self {
+        GrgadError::InvalidNodeId {
+            context: context.into(),
+            node,
+            num_nodes,
+        }
+    }
+
+    /// Convenience constructor for [`GrgadError::NonFiniteInput`].
+    pub fn non_finite(context: impl Into<String>) -> Self {
+        GrgadError::NonFiniteInput {
+            context: context.into(),
+        }
+    }
+
+    /// Convenience constructor for [`GrgadError::EmptyGraph`].
+    pub fn empty_graph(context: impl Into<String>) -> Self {
+        GrgadError::EmptyGraph {
+            context: context.into(),
+        }
+    }
+
+    /// Convenience constructor for [`GrgadError::EmptyGroup`].
+    pub fn empty_group(context: impl Into<String>) -> Self {
+        GrgadError::EmptyGroup {
+            context: context.into(),
+        }
+    }
+
+    /// Convenience constructor for [`GrgadError::ModelIo`]; `cause` is any
+    /// displayable underlying error.
+    pub fn model_io(path: impl Into<String>, cause: impl fmt::Display) -> Self {
+        GrgadError::ModelIo {
+            path: path.into(),
+            cause: cause.to_string(),
+        }
+    }
+
+    /// Convenience constructor for [`GrgadError::ConfigInvalid`].
+    pub fn config(message: impl Into<String>) -> Self {
+        GrgadError::ConfigInvalid {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`GrgadError::Protocol`].
+    pub fn protocol(message: impl Into<String>) -> Self {
+        GrgadError::Protocol {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for GrgadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrgadError::ShapeMismatch {
+                context,
+                expected,
+                got,
+            } => write!(f, "{context}: expected {expected}, got {got}"),
+            GrgadError::InvalidNodeId {
+                context,
+                node,
+                num_nodes,
+            } => write!(
+                f,
+                "{context}: node id {node} out of range (graph has {num_nodes} nodes)"
+            ),
+            GrgadError::NonFiniteInput { context } => {
+                write!(f, "{context}: non-finite value (NaN or infinity)")
+            }
+            GrgadError::EmptyGraph { context } => {
+                write!(f, "{context}: graph has no nodes")
+            }
+            GrgadError::EmptyGroup { context } => {
+                write!(f, "{context}: group has no nodes")
+            }
+            GrgadError::ModelIo { path, cause } => write!(f, "{path}: {cause}"),
+            GrgadError::ConfigInvalid { message } => {
+                write!(f, "invalid configuration: {message}")
+            }
+            GrgadError::Protocol { message } => write!(f, "protocol error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GrgadError {}
+
+impl From<GrgadError> for std::io::Error {
+    /// Lets callers that still speak `io::Error` (e.g. `main` functions
+    /// returning `io::Result`) absorb typed errors without boilerplate.
+    fn from(e: GrgadError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_has_a_stable_kind_and_message() {
+        let cases: Vec<(GrgadError, &str, &str)> = vec![
+            (
+                GrgadError::shape("score: feature dim", 8, 9),
+                "shape_mismatch",
+                "expected 8, got 9",
+            ),
+            (
+                GrgadError::node("add_edge endpoint", 12, 10),
+                "invalid_node_id",
+                "node id 12 out of range",
+            ),
+            (
+                GrgadError::non_finite("fit: node features"),
+                "non_finite_input",
+                "non-finite",
+            ),
+            (GrgadError::empty_graph("fit"), "empty_graph", "no nodes"),
+            (
+                GrgadError::empty_group("score_groups"),
+                "empty_group",
+                "no nodes",
+            ),
+            (
+                GrgadError::model_io("/tmp/m.json", "unexpected EOF"),
+                "model_io",
+                "unexpected EOF",
+            ),
+            (
+                GrgadError::config("anchor_fraction must be in (0, 1]"),
+                "config_invalid",
+                "anchor_fraction",
+            ),
+            (
+                GrgadError::protocol("unknown op `frobnicate`"),
+                "protocol",
+                "unknown op",
+            ),
+        ];
+        for (err, kind, needle) in cases {
+            assert_eq!(err.kind(), kind);
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text} should contain {needle}");
+        }
+    }
+
+    #[test]
+    fn converts_into_io_error() {
+        let io: std::io::Error = GrgadError::empty_graph("fit").into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidData);
+        assert!(io.to_string().contains("no nodes"));
+    }
+}

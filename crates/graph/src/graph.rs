@@ -2,6 +2,7 @@
 
 use std::collections::BTreeSet;
 
+use grgad_error::GrgadError;
 use grgad_linalg::{CsrMatrix, Matrix};
 
 /// An undirected, simple, attributed graph.
@@ -10,6 +11,28 @@ use grgad_linalg::{CsrMatrix, Matrix};
 /// as sorted adjacency lists (for traversal) and are exportable as a CSR
 /// adjacency matrix (for GNN message passing). Each node carries a feature
 /// row in the `features` matrix.
+///
+/// # Mutation invariants
+///
+/// The mutators ([`Graph::add_edge`], [`Graph::remove_edge`],
+/// [`Graph::add_node`], [`Graph::set_features`]) maintain two invariants
+/// that delta replay (the serving layer's `GraphDelta` stream) relies on:
+///
+/// 1. **Neighbor ordering** — every adjacency list stays sorted ascending
+///    after any mutation sequence, so [`Graph::neighbors`] is
+///    binary-searchable and iteration order is a pure function of the edge
+///    *set*, never of the insertion *order*.
+/// 2. **Derived CSR, no stale cache** — [`Graph::adjacency`] and
+///    [`Graph::normalized_adjacency`] are derived from the adjacency lists
+///    on every call (there is no cached CSR to invalidate), so a graph
+///    mutated edge-by-edge is indistinguishable — bit-for-bit, including
+///    CSR column order — from one rebuilt with [`Graph::from_edges`] from
+///    the same final edge set.
+///
+/// Together these make replaying a delta stream equivalent to rebuilding
+/// the final graph from scratch, which is what the incremental scoring
+/// engine's parity guarantee rests on (regression-tested in
+/// `mutation_then_adjacency_matches_from_edges_rebuild`).
 #[derive(Clone, Debug)]
 pub struct Graph {
     adj: Vec<Vec<usize>>,
@@ -18,7 +41,71 @@ pub struct Graph {
 }
 
 impl Graph {
+    /// Creates a graph with `n` isolated nodes and the given feature matrix,
+    /// validating the row count and that every feature value is finite.
+    ///
+    /// The boundary-facing counterpart of [`Graph::new`] for untrusted
+    /// input (servers, loaders). Internal generators whose shapes are
+    /// correct by construction keep the infallible constructors.
+    pub fn try_new(n: usize, features: Matrix) -> Result<Self, GrgadError> {
+        if features.rows() != n {
+            return Err(GrgadError::shape(
+                "Graph::try_new: feature rows per node",
+                n,
+                features.rows(),
+            ));
+        }
+        features.validate_finite("Graph::try_new: node features")?;
+        Ok(Self {
+            adj: vec![Vec::new(); n],
+            features,
+            num_edges: 0,
+        })
+    }
+
+    /// Creates a graph from an edge list, validating feature shape,
+    /// finiteness and that every endpoint is a valid node id. Self-loops
+    /// and duplicate edges are ignored, exactly as in
+    /// [`Graph::from_edges`].
+    pub fn try_from_edges(
+        n: usize,
+        features: Matrix,
+        edges: &[(usize, usize)],
+    ) -> Result<Self, GrgadError> {
+        let mut g = Self::try_new(n, features)?;
+        for &(u, v) in edges {
+            for node in [u, v] {
+                if node >= n {
+                    return Err(GrgadError::node("Graph::try_from_edges: endpoint", node, n));
+                }
+            }
+            g.add_edge(u, v);
+        }
+        Ok(g)
+    }
+
+    /// Checks the boundary invariants a graph must satisfy before entering
+    /// the pipeline: at least one node ([`GrgadError::EmptyGraph`]) and
+    /// finite features ([`GrgadError::NonFiniteInput`]). The structural
+    /// invariants (sorted symmetric adjacency, no self-loops) hold by
+    /// construction for any `Graph` built through this crate's API, so they
+    /// are debug-asserted rather than re-scanned on every call.
+    pub fn validate(&self, context: &str) -> Result<(), GrgadError> {
+        if self.num_nodes() == 0 {
+            return Err(GrgadError::empty_graph(context));
+        }
+        self.features
+            .validate_finite(&format!("{context}: node features"))?;
+        debug_assert!(self.adj.iter().enumerate().all(|(u, nbrs)| {
+            nbrs.windows(2).all(|w| w[0] < w[1]) && nbrs.iter().all(|&v| v != u)
+        }));
+        Ok(())
+    }
+
     /// Creates a graph with `n` isolated nodes and the given feature matrix.
+    ///
+    /// Trusted-input constructor; see [`Graph::try_new`] for the validated
+    /// boundary version.
     ///
     /// # Panics
     /// Panics if `features.rows() != n`.
@@ -109,8 +196,90 @@ impl Graph {
         self.adj[u].binary_search(&v).is_ok()
     }
 
+    /// [`Graph::add_edge`] with boundary validation instead of a panic:
+    /// `Err(InvalidNodeId)` for an out-of-range endpoint. Self-loops and
+    /// duplicates are ignored (`Ok(false)`), matching the infallible
+    /// mutator so delta replay and direct construction stay equivalent.
+    pub fn try_add_edge(&mut self, u: usize, v: usize) -> Result<bool, GrgadError> {
+        for node in [u, v] {
+            if node >= self.num_nodes() {
+                return Err(GrgadError::node(
+                    "add_edge: endpoint",
+                    node,
+                    self.num_nodes(),
+                ));
+            }
+        }
+        Ok(self.add_edge(u, v))
+    }
+
+    /// [`Graph::remove_edge`] with boundary validation instead of a panic:
+    /// `Err(InvalidNodeId)` for an out-of-range endpoint; removing an
+    /// absent edge is `Ok(false)`.
+    pub fn try_remove_edge(&mut self, u: usize, v: usize) -> Result<bool, GrgadError> {
+        for node in [u, v] {
+            if node >= self.num_nodes() {
+                return Err(GrgadError::node(
+                    "remove_edge: endpoint",
+                    node,
+                    self.num_nodes(),
+                ));
+            }
+        }
+        Ok(self.remove_edge(u, v))
+    }
+
+    /// [`Graph::add_node`] with boundary validation instead of a panic:
+    /// `Err(ShapeMismatch)` on a feature-dimension mismatch,
+    /// `Err(NonFiniteInput)` on NaN/infinite features.
+    pub fn try_add_node(&mut self, feature: &[f32]) -> Result<usize, GrgadError> {
+        if self.num_nodes() > 0 && feature.len() != self.feature_dim() {
+            return Err(GrgadError::shape(
+                "add_node: feature dimension",
+                self.feature_dim(),
+                feature.len(),
+            ));
+        }
+        if !feature.iter().all(|v| v.is_finite()) {
+            return Err(GrgadError::non_finite("add_node: features"));
+        }
+        Ok(self.add_node(feature))
+    }
+
+    /// Replaces one node's feature row, validating the node id, the
+    /// dimension and finiteness — the `SetFeatures` delta operation.
+    pub fn try_set_node_features(
+        &mut self,
+        node: usize,
+        feature: &[f32],
+    ) -> Result<(), GrgadError> {
+        if node >= self.num_nodes() {
+            return Err(GrgadError::node(
+                "set_node_features: node",
+                node,
+                self.num_nodes(),
+            ));
+        }
+        if feature.len() != self.feature_dim() {
+            return Err(GrgadError::shape(
+                "set_node_features: feature dimension",
+                self.feature_dim(),
+                feature.len(),
+            ));
+        }
+        if !feature.iter().all(|v| v.is_finite()) {
+            return Err(GrgadError::non_finite("set_node_features: features"));
+        }
+        self.features.row_mut(node).copy_from_slice(feature);
+        Ok(())
+    }
+
     /// Adds the undirected edge `(u, v)`. Self-loops and duplicate edges are
     /// ignored. Returns true if the edge was inserted.
+    ///
+    /// Maintains the sorted-neighbor invariant (see the type-level
+    /// *Mutation invariants* section) via sorted insertion on both
+    /// endpoints.
     pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
         assert!(
             u < self.num_nodes() && v < self.num_nodes(),
@@ -141,6 +310,9 @@ impl Graph {
     }
 
     /// Adds a new node with the given feature row, returning its index.
+    /// Amortized `O(feature_dim)`: the feature matrix grows in place
+    /// (`Matrix::push_row`) rather than being rebuilt, so a delta stream
+    /// appending many nodes stays linear instead of quadratic.
     ///
     /// # Panics
     /// Panics if the feature length does not match the graph's feature dim
@@ -155,13 +327,7 @@ impl Graph {
         }
         let idx = self.num_nodes();
         self.adj.push(Vec::new());
-        let new_features = if idx == 0 {
-            Matrix::from_vec(1, feature.len(), feature.to_vec())
-        } else {
-            self.features
-                .vstack(&Matrix::from_vec(1, feature.len(), feature.to_vec()))
-        };
-        self.features = new_features;
+        self.features.push_row(feature);
         idx
     }
 
@@ -259,6 +425,105 @@ mod tests {
             g.add_edge(i, i + 1);
         }
         g
+    }
+
+    /// The delta-replay invariant: an arbitrary interleaving of
+    /// `add_node`/`add_edge`/`remove_edge` must leave the graph — sorted
+    /// neighbor lists AND the derived CSR adjacency — bit-identical to a
+    /// `from_edges` rebuild of the final edge set. `adjacency()` derives the
+    /// CSR fresh on every call, so there is no cache to go stale.
+    #[test]
+    fn mutation_then_adjacency_matches_from_edges_rebuild() {
+        let mut g = Graph::new(4, Matrix::zeros(4, 2));
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        g.add_edge(1, 2);
+        g.remove_edge(0, 1);
+        let id = g.add_node(&[1.0, 2.0]);
+        g.add_edge(id, 0);
+        g.add_edge(1, 3);
+        g.remove_edge(2, 3);
+        g.add_edge(0, 1); // re-insert a previously removed edge
+
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        let rebuilt = Graph::from_edges(g.num_nodes(), g.features().clone(), &edges);
+        assert_eq!(g.num_edges(), rebuilt.num_edges());
+        for u in 0..g.num_nodes() {
+            assert_eq!(g.neighbors(u), rebuilt.neighbors(u), "node {u}");
+            assert!(g.neighbors(u).windows(2).all(|w| w[0] < w[1]));
+        }
+        let (a, b) = (g.adjacency(), rebuilt.adjacency());
+        assert_eq!(a.nnz(), b.nnz());
+        grgad_linalg::assert_close(&a.to_dense(), &b.to_dense(), 0.0);
+        grgad_linalg::assert_close(
+            &g.normalized_adjacency().to_dense(),
+            &rebuilt.normalized_adjacency().to_dense(),
+            0.0,
+        );
+    }
+
+    #[test]
+    fn try_constructors_validate_input() {
+        assert!(Graph::try_new(3, Matrix::zeros(3, 2)).is_ok());
+        assert!(matches!(
+            Graph::try_new(3, Matrix::zeros(2, 2)).unwrap_err(),
+            GrgadError::ShapeMismatch { .. }
+        ));
+        let mut nan = Matrix::zeros(2, 1);
+        nan[(0, 0)] = f32::NAN;
+        assert!(matches!(
+            Graph::try_new(2, nan).unwrap_err(),
+            GrgadError::NonFiniteInput { .. }
+        ));
+        assert!(matches!(
+            Graph::try_from_edges(2, Matrix::zeros(2, 0), &[(0, 5)]).unwrap_err(),
+            GrgadError::InvalidNodeId { node: 5, .. }
+        ));
+        let g = Graph::try_from_edges(3, Matrix::zeros(3, 0), &[(0, 1), (1, 0), (2, 2)]).unwrap();
+        assert_eq!(g.num_edges(), 1, "duplicates and self-loops ignored");
+    }
+
+    #[test]
+    fn validate_rejects_empty_and_non_finite() {
+        assert!(matches!(
+            Graph::with_no_features(0).validate("fit").unwrap_err(),
+            GrgadError::EmptyGraph { .. }
+        ));
+        let mut g = Graph::new(2, Matrix::zeros(2, 1));
+        assert!(g.validate("fit").is_ok());
+        g.features_mut()[(1, 0)] = f32::INFINITY;
+        assert!(matches!(
+            g.validate("fit").unwrap_err(),
+            GrgadError::NonFiniteInput { .. }
+        ));
+    }
+
+    #[test]
+    fn try_mutators_validate_and_mirror_infallible_semantics() {
+        let mut g = Graph::new(3, Matrix::zeros(3, 2));
+        assert!(g.try_add_edge(0, 1).unwrap());
+        assert!(!g.try_add_edge(1, 0).unwrap(), "duplicate is Ok(false)");
+        assert!(!g.try_add_edge(2, 2).unwrap(), "self-loop is Ok(false)");
+        assert!(matches!(
+            g.try_add_edge(0, 9).unwrap_err(),
+            GrgadError::InvalidNodeId { node: 9, .. }
+        ));
+        assert!(g.try_remove_edge(0, 1).unwrap());
+        assert!(!g.try_remove_edge(0, 1).unwrap());
+        assert!(g.try_remove_edge(7, 0).is_err());
+
+        assert!(matches!(
+            g.try_add_node(&[1.0]).unwrap_err(),
+            GrgadError::ShapeMismatch { .. }
+        ));
+        assert!(g.try_add_node(&[f32::NAN, 0.0]).is_err());
+        assert_eq!(g.try_add_node(&[1.0, 2.0]).unwrap(), 3);
+
+        assert!(g.try_set_node_features(1, &[5.0, 6.0]).is_ok());
+        assert_eq!(g.features().row(1), &[5.0, 6.0]);
+        assert!(g.try_set_node_features(9, &[0.0, 0.0]).is_err());
+        assert!(g.try_set_node_features(1, &[0.0]).is_err());
+        assert!(g.try_set_node_features(1, &[f32::NAN, 0.0]).is_err());
     }
 
     #[test]

@@ -3,6 +3,8 @@
 
 use std::collections::BTreeSet;
 
+use grgad_error::GrgadError;
+
 use crate::Graph;
 
 /// A group of nodes within a graph.
@@ -23,6 +25,35 @@ impl Group {
         Self {
             nodes: set.into_iter().collect(),
         }
+    }
+
+    /// Creates a group from untrusted node ids, validating against a host
+    /// graph's node count: duplicates are deduplicated (canonical form, as
+    /// in [`Group::new`]), an empty id list is [`GrgadError::EmptyGroup`]
+    /// and an id `>= num_nodes` is [`GrgadError::InvalidNodeId`]. This is
+    /// the boundary constructor the serving layer and `score_groups` use.
+    pub fn try_new(
+        nodes: impl IntoIterator<Item = usize>,
+        num_nodes: usize,
+    ) -> Result<Self, GrgadError> {
+        let group = Group::new(nodes);
+        group.validate(num_nodes, "Group::try_new")?;
+        Ok(group)
+    }
+
+    /// Checks that every node id is valid for a graph with `num_nodes`
+    /// nodes and that the group is non-empty — the boundary validation
+    /// behind `score_groups`.
+    pub fn validate(&self, num_nodes: usize, context: &str) -> Result<(), GrgadError> {
+        if self.is_empty() {
+            return Err(GrgadError::empty_group(context));
+        }
+        if let Some(&max) = self.nodes.last() {
+            if max >= num_nodes {
+                return Err(GrgadError::node(context, max, num_nodes));
+            }
+        }
+        Ok(())
     }
 
     /// The sorted node ids.
@@ -105,6 +136,29 @@ impl FromIterator<usize> for Group {
 mod tests {
     use super::*;
     use grgad_linalg::Matrix;
+
+    #[test]
+    fn try_new_dedups_and_validates_range() {
+        let g = Group::try_new(vec![3, 1, 3, 2], 5).unwrap();
+        assert_eq!(g.nodes(), &[1, 2, 3], "duplicates deduped at the boundary");
+        assert!(matches!(
+            Group::try_new(vec![], 5).unwrap_err(),
+            GrgadError::EmptyGroup { .. }
+        ));
+        assert!(matches!(
+            Group::try_new(vec![1, 7], 5).unwrap_err(),
+            GrgadError::InvalidNodeId {
+                node: 7,
+                num_nodes: 5,
+                ..
+            }
+        ));
+
+        let valid = Group::new(vec![0, 4]);
+        assert!(valid.validate(5, "test").is_ok());
+        assert!(valid.validate(4, "test").is_err());
+        assert!(Group::new(vec![]).validate(5, "test").is_err());
+    }
 
     #[test]
     fn new_sorts_and_dedups() {

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+use grgad_error::GrgadError;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -46,7 +47,65 @@ impl Matrix {
         m
     }
 
+    /// Creates a matrix from a flat row-major vector, validating the shape.
+    ///
+    /// This is the boundary-facing counterpart of [`Matrix::from_vec`]:
+    /// server/loader code that receives untrusted dimensions uses this and
+    /// reports [`GrgadError::ShapeMismatch`]; internal code whose shapes are
+    /// correct by construction keeps the infallible constructor.
+    pub fn try_from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, GrgadError> {
+        let expected = rows.checked_mul(cols).ok_or_else(|| {
+            GrgadError::shape("Matrix::try_from_vec: rows*cols overflow", 0, rows)
+        })?;
+        if data.len() != expected {
+            return Err(GrgadError::shape(
+                format!("Matrix::try_from_vec: flat data for {rows}x{cols}"),
+                expected,
+                data.len(),
+            ));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from row slices, validating that rows are not ragged.
+    /// The fallible counterpart of [`Matrix::from_rows`].
+    pub fn try_from_rows(rows: &[&[f32]]) -> Result<Self, GrgadError> {
+        let c = rows.first().map_or(0, |row| row.len());
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != c {
+                return Err(GrgadError::shape(
+                    format!("Matrix::try_from_rows: row {i}"),
+                    c,
+                    row.len(),
+                ));
+            }
+        }
+        let mut data = Vec::with_capacity(rows.len() * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols: c,
+            data,
+        })
+    }
+
+    /// `Err(NonFiniteInput)` when any entry is NaN or infinite — the
+    /// boundary check behind `Graph::validate`.
+    pub fn validate_finite(&self, context: &str) -> Result<(), GrgadError> {
+        if self.data.iter().all(|v| v.is_finite()) {
+            Ok(())
+        } else {
+            Err(GrgadError::non_finite(context))
+        }
+    }
+
     /// Creates a matrix from a flat row-major vector.
+    ///
+    /// Trusted-input constructor: shapes produced by internal code are
+    /// correct by construction. Boundary code validating untrusted input
+    /// should use [`Matrix::try_from_vec`].
     ///
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
@@ -75,6 +134,23 @@ impl Matrix {
             cols: c,
             data,
         }
+    }
+
+    /// Appends one row in place (amortized `O(cols)` via the backing
+    /// `Vec`'s capacity doubling) — the growth path for `Graph::add_node`,
+    /// where rebuilding the whole matrix per appended row would make a
+    /// stream of node additions quadratic.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.cols()` on a non-empty matrix. An empty
+    /// matrix (0 rows) adopts the row's length as its column count.
+    pub fn push_row(&mut self, row: &[f32]) {
+        if self.rows == 0 {
+            self.cols = row.len();
+        }
+        assert_eq!(row.len(), self.cols, "push_row: column mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
     }
 
     /// A single-row matrix from a slice.
@@ -482,6 +558,39 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn try_constructors_validate_shapes() {
+        let ok = Matrix::try_from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(ok[(1, 1)], 4.0);
+        let err = Matrix::try_from_vec(2, 2, vec![1.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            GrgadError::ShapeMismatch {
+                expected: 4,
+                got: 1,
+                ..
+            }
+        ));
+
+        let ok = Matrix::try_from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(ok.shape(), (2, 2));
+        let err = Matrix::try_from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert!(matches!(err, GrgadError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn validate_finite_flags_nan_and_inf() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(m.validate_finite("test").is_ok());
+        m[(0, 1)] = f32::NAN;
+        assert!(matches!(
+            m.validate_finite("test").unwrap_err(),
+            GrgadError::NonFiniteInput { .. }
+        ));
+        m[(0, 1)] = f32::INFINITY;
+        assert!(m.validate_finite("test").is_err());
+    }
 
     #[test]
     fn zeros_and_shape() {

@@ -1,0 +1,81 @@
+//! `grgad_serve` — the TP-GrGAD serving binary.
+//!
+//! Speaks the NDJSON protocol over stdin/stdout (no network dependencies):
+//! one JSON request per line in, one JSON response per line out, until EOF.
+//! See `grgad_serve::protocol` for the ops and the README "Serving" section
+//! for a transcript.
+//!
+//! ```text
+//! grgad_serve                          # serve stdin → stdout
+//! grgad_serve --demo-artifacts DIR     # write a demo model.json + graph.json
+//! grgad_serve --demo-artifacts DIR --seed 7 --nodes 60
+//! ```
+//!
+//! `--demo-artifacts` fits a small deterministic model on the example
+//! dataset and writes `model.json`/`graph.json` into `DIR`, so a scripted
+//! session (e.g. the CI serve-smoke job) can `load` them without shipping
+//! binary artifacts in the repository.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::io::{BufRead, Write};
+
+use grgad_core::{TpGrGad, TpGrGadConfig};
+use grgad_serve::Session;
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--demo-artifacts") {
+        let Some(dir) = args.get(i + 1) else {
+            eprintln!("--demo-artifacts requires a directory argument");
+            std::process::exit(2);
+        };
+        let seed = flag_value(&args, "--seed").unwrap_or(11);
+        let nodes = flag_value(&args, "--nodes").unwrap_or(40) as usize;
+        return write_demo_artifacts(std::path::Path::new(dir), seed, nodes);
+    }
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut session = Session::new();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = session.handle_line(&line);
+        out.write_all(response.to_json_line().as_bytes())?;
+        out.write_all(b"\n")?;
+        out.flush()?;
+    }
+    Ok(())
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Fits a small deterministic model on the example dataset and writes the
+/// `model.json` + `graph.json` pair a scripted session loads.
+fn write_demo_artifacts(dir: &std::path::Path, seed: u64, nodes: usize) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let dataset = grgad_datasets::example::generate(nodes, seed);
+    let model = TpGrGad::new(TpGrGadConfig::fast().with_seed(seed))
+        .fit(&dataset.graph)
+        .map_err(std::io::Error::from)?;
+    let model_path = dir.join("model.json");
+    let graph_path = dir.join("graph.json");
+    model.save(&model_path).map_err(std::io::Error::from)?;
+    grgad_datasets::io::save_json(&dataset, &graph_path).map_err(std::io::Error::from)?;
+    eprintln!(
+        "wrote {} and {} (seed={seed}, nodes={})",
+        model_path.display(),
+        graph_path.display(),
+        dataset.graph.num_nodes()
+    );
+    Ok(())
+}

@@ -1,0 +1,511 @@
+//! The incremental [`ScoringEngine`]: a trained model plus a mutable
+//! working graph, re-scored lazily over a [`GraphDelta`] stream.
+//!
+//! # Dirty-region re-scoring invariant
+//!
+//! The engine tracks the set of *dirty nodes* — every node touched by a
+//! delta since the last score (both endpoints of an edge change, re-featured
+//! nodes, appended nodes). At score time it drops exactly the cached group
+//! embeddings containing a dirty node and reuses the rest
+//! ([`grgad_core::GroupEmbeddingCache`]). Because a group's embedding
+//! depends only on its members' feature rows and induced edges — both
+//! untouched for a cache-valid group — and the per-group GCN forward writes
+//! index-addressed output slots independent of batch composition, the
+//! incremental result is **bit-for-bit identical** to a from-scratch
+//! [`TrainedTpGrGad::score`] on the same final graph
+//! (`tests/incremental_parity.rs` proves this for seeded 200-delta streams
+//! at 1 and 4 threads). The other stages (anchor inference, sampling,
+//! detector scoring) re-run fully: their outputs depend on global graph
+//! state, and they are cheap relative to the per-group embedding forwards.
+//!
+//! Past a configurable dirty fraction ([`EngineConfig::max_dirty_fraction`])
+//! the engine stops pretending the cache helps, clears it and reports the
+//! run as a full re-score; the output is identical either way.
+
+use std::collections::BTreeSet;
+
+use grgad_core::{GroupEmbeddingCache, TpGrGadResult, TrainedTpGrGad};
+use grgad_error::GrgadError;
+use grgad_graph::{Graph, Group};
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::GraphDelta;
+
+/// Tuning knobs of the [`ScoringEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Dirty-node fraction (dirty / total nodes) above which a score
+    /// request skips cache reuse entirely: the cache is cleared and the run
+    /// is reported as [`ScoreMode::Full`]. With most of the graph dirty,
+    /// per-entry invalidation would evict nearly everything anyway.
+    pub max_dirty_fraction: f32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            max_dirty_fraction: 0.25,
+        }
+    }
+}
+
+/// How a score request was served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScoreMode {
+    /// Cached group embeddings were reused for clean groups.
+    Incremental,
+    /// Everything was recomputed (first score, or dirty fraction exceeded
+    /// [`EngineConfig::max_dirty_fraction`]).
+    Full,
+}
+
+impl ScoreMode {
+    /// Wire name (`incremental` | `full`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScoreMode::Incremental => "incremental",
+            ScoreMode::Full => "full",
+        }
+    }
+}
+
+/// Engine counters, the `stats` op payload. All values are deterministic
+/// functions of the request history (no wall-clock), so scripted sessions
+/// golden-diff cleanly.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Nodes in the working graph.
+    pub nodes: usize,
+    /// Edges in the working graph.
+    pub edges: usize,
+    /// Feature dimensionality.
+    pub feature_dim: usize,
+    /// Nodes dirtied since the last score.
+    pub dirty_nodes: usize,
+    /// Deltas applied over the engine's lifetime.
+    pub deltas_applied: u64,
+    /// Score runs served incrementally.
+    pub scores_incremental: u64,
+    /// Score runs served as full re-scores.
+    pub scores_full: u64,
+    /// Group embeddings currently cached.
+    pub cache_entries: usize,
+    /// Lifetime cache hits (embedding forwards skipped).
+    pub cache_hits: u64,
+    /// Lifetime cache misses (embedding forwards computed).
+    pub cache_misses: u64,
+}
+
+/// The outcome of a delta batch: how far it got, what node ids were
+/// assigned, and the error that stopped it (if any). Partial state is
+/// reported even on failure — earlier deltas stay applied, and a client
+/// that never learned about them would target wrong nodes from then on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaBatchOutcome {
+    /// Deltas successfully applied (== the batch length on success).
+    pub applied: usize,
+    /// Node ids assigned to successful `AddNode` deltas, in order.
+    pub new_nodes: Vec<usize>,
+    /// The error that stopped the batch, `None` when it ran to completion.
+    pub error: Option<GrgadError>,
+}
+
+/// A trained TP-GrGAD model bound to a mutable working graph, scoring
+/// incrementally over graph deltas. See the module docs for the
+/// dirty-region invariant.
+pub struct ScoringEngine {
+    model: TrainedTpGrGad,
+    graph: Graph,
+    cache: GroupEmbeddingCache,
+    /// Nodes whose own state changed (features set, node appended) — a
+    /// cached group containing any of these is invalid.
+    dirty_nodes: BTreeSet<usize>,
+    /// Changed edges — a cached group is only invalid when it contains
+    /// **both** endpoints (its induced subgraph is untouched otherwise),
+    /// so these invalidate pairwise instead of per-endpoint.
+    dirty_edges: BTreeSet<(usize, usize)>,
+    config: EngineConfig,
+    deltas_applied: u64,
+    scores_incremental: u64,
+    scores_full: u64,
+}
+
+impl ScoringEngine {
+    /// Binds a trained model to an initial working graph.
+    ///
+    /// # Errors
+    /// Whatever [`TrainedTpGrGad::check_compat`] rejects (feature-dim
+    /// mismatch, empty graph, non-finite features).
+    pub fn new(model: TrainedTpGrGad, graph: Graph) -> Result<Self, GrgadError> {
+        Self::with_config(model, graph, EngineConfig::default())
+    }
+
+    /// [`ScoringEngine::new`] with explicit tuning knobs.
+    pub fn with_config(
+        model: TrainedTpGrGad,
+        graph: Graph,
+        config: EngineConfig,
+    ) -> Result<Self, GrgadError> {
+        if !(0.0..=1.0).contains(&config.max_dirty_fraction) {
+            return Err(GrgadError::config("max_dirty_fraction must be in [0, 1]"));
+        }
+        model.check_compat(&graph)?;
+        Ok(Self {
+            model,
+            graph,
+            cache: GroupEmbeddingCache::new(),
+            dirty_nodes: BTreeSet::new(),
+            dirty_edges: BTreeSet::new(),
+            config,
+            deltas_applied: 0,
+            scores_incremental: 0,
+            scores_full: 0,
+        })
+    }
+
+    /// The trained model the engine scores with.
+    pub fn model(&self) -> &TrainedTpGrGad {
+        &self.model
+    }
+
+    /// The current working graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Nodes touched by deltas since the last score (re-featured or
+    /// appended nodes plus endpoints of changed edges) — the numerator of
+    /// the dirty fraction.
+    pub fn dirty_nodes(&self) -> usize {
+        self.touched_nodes().len()
+    }
+
+    fn touched_nodes(&self) -> BTreeSet<usize> {
+        let mut touched = self.dirty_nodes.clone();
+        for &(u, v) in &self.dirty_edges {
+            touched.insert(u);
+            touched.insert(v);
+        }
+        touched
+    }
+
+    /// Applies one delta to the working graph, validating it first; an
+    /// invalid delta leaves the graph untouched. Returns the assigned node
+    /// id for [`GraphDelta::AddNode`], `None` otherwise.
+    ///
+    /// # Errors
+    /// [`GrgadError::InvalidNodeId`] for out-of-range endpoints/nodes,
+    /// [`GrgadError::ShapeMismatch`] for a feature row of the wrong width,
+    /// [`GrgadError::NonFiniteInput`] for NaN/infinite features.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> Result<Option<usize>, GrgadError> {
+        let new_node = match delta {
+            GraphDelta::AddNode { features } => {
+                let id = self.graph.try_add_node(features)?;
+                self.dirty_nodes.insert(id);
+                Some(id)
+            }
+            GraphDelta::AddEdge { u, v } => {
+                if self.graph.try_add_edge(*u, *v)? {
+                    self.dirty_edges.insert((*u.min(v), *u.max(v)));
+                }
+                None
+            }
+            GraphDelta::RemoveEdge { u, v } => {
+                if self.graph.try_remove_edge(*u, *v)? {
+                    self.dirty_edges.insert((*u.min(v), *u.max(v)));
+                }
+                None
+            }
+            GraphDelta::SetFeatures { node, features } => {
+                self.graph.try_set_node_features(*node, features)?;
+                self.dirty_nodes.insert(*node);
+                None
+            }
+        };
+        self.deltas_applied += 1;
+        Ok(new_node)
+    }
+
+    /// Applies a batch of deltas in order, stopping at the first invalid
+    /// one (earlier deltas stay applied). The outcome always reports how
+    /// many deltas were applied and the node ids assigned to successful
+    /// `AddNode` deltas — **including on failure** — so a client can stay
+    /// in sync with the server's graph state instead of silently
+    /// desynchronizing after a partially applied batch.
+    pub fn apply_deltas(&mut self, deltas: &[GraphDelta]) -> DeltaBatchOutcome {
+        let mut outcome = DeltaBatchOutcome {
+            applied: 0,
+            new_nodes: Vec::new(),
+            error: None,
+        };
+        for delta in deltas {
+            match self.apply_delta(delta) {
+                Ok(Some(id)) => outcome.new_nodes.push(id),
+                Ok(None) => {}
+                Err(e) => {
+                    outcome.error = Some(e);
+                    return outcome;
+                }
+            }
+            outcome.applied += 1;
+        }
+        outcome
+    }
+
+    /// Scores the current working graph, reusing cached group embeddings
+    /// for groups untouched by deltas since they were cached. Bit-identical
+    /// to `self.model().score(self.graph())` by the dirty-region invariant
+    /// (module docs); the dirty set resets on success.
+    ///
+    /// # Errors
+    /// Whatever [`TrainedTpGrGad::score`] rejects.
+    pub fn score(&mut self) -> Result<(TpGrGadResult, ScoreMode), GrgadError> {
+        let n = self.graph.num_nodes();
+        let touched = self.touched_nodes();
+        let dirty_fraction = if n == 0 {
+            1.0
+        } else {
+            touched.len() as f32 / n as f32
+        };
+        let mode = if self.cache.is_empty() || dirty_fraction > self.config.max_dirty_fraction {
+            self.cache.clear();
+            ScoreMode::Full
+        } else {
+            let nodes: Vec<usize> = self.dirty_nodes.iter().copied().collect();
+            self.cache.invalidate_nodes(&nodes);
+            let edges: Vec<(usize, usize)> = self.dirty_edges.iter().copied().collect();
+            self.cache.invalidate_edges(&edges);
+            ScoreMode::Incremental
+        };
+        let result = self.model.score_cached(&self.graph, &mut self.cache)?;
+        self.dirty_nodes.clear();
+        self.dirty_edges.clear();
+        match mode {
+            ScoreMode::Incremental => self.scores_incremental += 1,
+            ScoreMode::Full => self.scores_full += 1,
+        }
+        Ok((result, mode))
+    }
+
+    /// Scores caller-supplied raw node-id lists on the working graph.
+    /// Each list is validated and canonicalized (sorted, **deduplicated**,
+    /// in-range, non-empty) through `Group::try_new` before scoring, so a
+    /// request repeating a node id scores the group once per occurrence of
+    /// the *group*, never double-counting the repeated member.
+    pub fn score_groups(&self, raw_groups: &[Vec<usize>]) -> Result<Vec<f32>, GrgadError> {
+        let groups = raw_groups
+            .iter()
+            .map(|ids| Group::try_new(ids.iter().copied(), self.graph.num_nodes()))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.model.score_groups(&self.graph, &groups)
+    }
+
+    /// Deterministic engine counters (the `stats` op).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            nodes: self.graph.num_nodes(),
+            edges: self.graph.num_edges(),
+            feature_dim: self.graph.feature_dim(),
+            dirty_nodes: self.dirty_nodes(),
+            deltas_applied: self.deltas_applied,
+            scores_incremental: self.scores_incremental,
+            scores_full: self.scores_full,
+            cache_entries: self.cache.len(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grgad_core::{TpGrGad, TpGrGadConfig};
+    use grgad_datasets::example;
+
+    fn trained_pair(seed: u64) -> (TrainedTpGrGad, Graph) {
+        let dataset = example::generate(40, seed);
+        let model = TpGrGad::new(TpGrGadConfig::fast().with_seed(seed))
+            .fit(&dataset.graph)
+            .expect("fit");
+        (model, dataset.graph)
+    }
+
+    #[test]
+    fn engine_scores_match_full_rescoring_after_deltas() {
+        let (model, graph) = trained_pair(3);
+        let mut engine = ScoringEngine::new(model, graph).expect("engine");
+        let (first, mode) = engine.score().expect("first score");
+        assert_eq!(mode, ScoreMode::Full);
+        assert!(!first.scores.is_empty());
+
+        // Mutate a corner of the graph, then check incremental == full.
+        let deltas = [
+            GraphDelta::AddEdge { u: 0, v: 5 },
+            GraphDelta::SetFeatures {
+                node: 2,
+                features: vec![0.5; engine.graph().feature_dim()],
+            },
+            GraphDelta::RemoveEdge { u: 0, v: 5 },
+        ];
+        for delta in &deltas {
+            engine.apply_delta(delta).expect("delta");
+        }
+        assert!(engine.dirty_nodes() > 0);
+        let (incremental, mode) = engine.score().expect("incremental score");
+        assert_eq!(mode, ScoreMode::Incremental);
+        let full = engine
+            .model()
+            .score(&engine.graph().clone())
+            .expect("full score");
+        assert_eq!(incremental.scores, full.scores);
+        assert_eq!(incremental.candidate_groups, full.candidate_groups);
+        assert_eq!(incremental.predicted_anomalous, full.predicted_anomalous);
+        assert_eq!(engine.dirty_nodes(), 0, "dirty set resets after scoring");
+    }
+
+    #[test]
+    fn dirty_fraction_fallback_goes_full() {
+        let (model, graph) = trained_pair(4);
+        let dim = graph.feature_dim();
+        let mut engine = ScoringEngine::with_config(
+            model,
+            graph,
+            EngineConfig {
+                max_dirty_fraction: 0.05,
+            },
+        )
+        .expect("engine");
+        let _ = engine.score().expect("warm-up");
+        // Dirty well past 5% of nodes.
+        let n = engine.graph().num_nodes();
+        for node in 0..n / 2 {
+            engine
+                .apply_delta(&GraphDelta::SetFeatures {
+                    node,
+                    features: vec![0.25; dim],
+                })
+                .expect("delta");
+        }
+        let (result, mode) = engine.score().expect("score");
+        assert_eq!(mode, ScoreMode::Full);
+        let full = engine.model().score(engine.graph()).expect("full");
+        assert_eq!(result.scores, full.scores);
+    }
+
+    #[test]
+    fn invalid_deltas_are_rejected_and_leave_graph_untouched() {
+        let (model, graph) = trained_pair(5);
+        let dim = graph.feature_dim();
+        let edges_before = graph.num_edges();
+        let mut engine = ScoringEngine::new(model, graph).expect("engine");
+        let n = engine.graph().num_nodes();
+
+        assert!(matches!(
+            engine
+                .apply_delta(&GraphDelta::AddEdge { u: 0, v: n + 7 })
+                .unwrap_err(),
+            GrgadError::InvalidNodeId { .. }
+        ));
+        assert!(matches!(
+            engine
+                .apply_delta(&GraphDelta::SetFeatures {
+                    node: 0,
+                    features: vec![0.0; dim + 1],
+                })
+                .unwrap_err(),
+            GrgadError::ShapeMismatch { .. }
+        ));
+        assert!(matches!(
+            engine
+                .apply_delta(&GraphDelta::AddNode {
+                    features: vec![f32::NAN; dim],
+                })
+                .unwrap_err(),
+            GrgadError::NonFiniteInput { .. }
+        ));
+        assert_eq!(engine.graph().num_edges(), edges_before);
+        assert_eq!(engine.graph().num_nodes(), n);
+        assert_eq!(engine.dirty_nodes(), 0);
+    }
+
+    #[test]
+    fn add_node_reports_assigned_ids_and_batches_stop_at_first_error() {
+        let (model, graph) = trained_pair(6);
+        let dim = graph.feature_dim();
+        let n = graph.num_nodes();
+        let mut engine = ScoringEngine::new(model, graph).expect("engine");
+
+        let outcome = engine.apply_deltas(&[
+            GraphDelta::AddNode {
+                features: vec![0.1; dim],
+            },
+            GraphDelta::AddEdge { u: 0, v: n },
+        ]);
+        assert_eq!(outcome.error, None);
+        assert_eq!((outcome.applied, outcome.new_nodes), (2, vec![n]));
+        assert!(engine.graph().has_edge(0, n));
+
+        // A batch failing part-way still reports how far it got and the
+        // node ids it assigned — the client's only way to stay in sync
+        // with the partially mutated working graph.
+        let outcome = engine.apply_deltas(&[
+            GraphDelta::AddNode {
+                features: vec![0.2; dim],
+            },
+            GraphDelta::AddEdge { u: 1, v: 2 },
+            GraphDelta::AddEdge { u: 0, v: 99_999 },
+        ]);
+        assert!(matches!(
+            outcome.error,
+            Some(GrgadError::InvalidNodeId { .. })
+        ));
+        assert_eq!(outcome.applied, 2, "two deltas landed before the error");
+        assert_eq!(outcome.new_nodes, vec![n + 1], "assigned id reported");
+        assert!(engine.graph().has_edge(1, 2));
+        assert_eq!(engine.graph().num_nodes(), n + 2);
+    }
+
+    #[test]
+    fn score_groups_dedups_raw_ids_at_the_boundary() {
+        let (model, graph) = trained_pair(7);
+        let engine = ScoringEngine::new(model, graph).expect("engine");
+        let scores = engine
+            .score_groups(&[vec![0, 1, 2], vec![2, 1, 0, 1, 2, 2]])
+            .expect("scores");
+        assert_eq!(scores[0], scores[1], "duplicate ids must be deduped");
+        assert!(matches!(
+            engine.score_groups(&[vec![999_999]]).unwrap_err(),
+            GrgadError::InvalidNodeId { .. }
+        ));
+        assert!(matches!(
+            engine.score_groups(&[vec![]]).unwrap_err(),
+            GrgadError::EmptyGroup { .. }
+        ));
+    }
+
+    #[test]
+    fn stats_track_counters_deterministically() {
+        let (model, graph) = trained_pair(8);
+        let mut engine = ScoringEngine::new(model, graph).expect("engine");
+        let before = engine.stats();
+        assert_eq!(before.deltas_applied, 0);
+        assert_eq!(before.scores_full + before.scores_incremental, 0);
+
+        let _ = engine.score().expect("score");
+        engine
+            .apply_delta(&GraphDelta::AddEdge { u: 0, v: 1 })
+            .expect("delta");
+        let _ = engine.score().expect("score");
+        let stats = engine.stats();
+        assert_eq!(stats.deltas_applied, 1);
+        assert_eq!(stats.scores_full, 1);
+        assert_eq!(stats.scores_incremental, 1);
+        assert!(stats.cache_entries > 0);
+        assert!(stats.cache_hits > 0, "{stats:?}");
+
+        let json = serde_json::to_string(&stats).expect("stats serialize");
+        let back: EngineStats = serde_json::from_str(&json).expect("stats parse");
+        assert_eq!(back, stats);
+    }
+}

@@ -1,0 +1,29 @@
+//! Serving layer for TP-GrGAD: the incremental [`ScoringEngine`] plus the
+//! NDJSON wire protocol spoken by the `grgad_serve` binary.
+//!
+//! A server session holds one [`ScoringEngine`] — a trained model bound to
+//! a mutable working graph — and feeds it [`GraphDelta`] mutations between
+//! score requests. Scoring is incremental: only candidate groups touching
+//! dirty (recently mutated) regions pay the per-group GCN embedding
+//! forward, with a configurable full-re-score fallback once too much of the
+//! graph is dirty; either way the output is bit-identical to scoring the
+//! final graph from scratch (see [`engine`] for the invariant and
+//! `tests/incremental_parity.rs` for the proof).
+//!
+//! The `grgad_serve` binary speaks the [`protocol`] over stdin/stdout —
+//! NDJSON request/response lines, no network dependencies — with
+//! `load`/`apply_delta`/`score`/`score_groups`/`stats` ops. See the README
+//! "Serving" section for a session transcript.
+
+// Serving code must never panic on malformed input: every failure mode is
+// a typed error on the wire. Same gate as grgad-core.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod engine;
+pub mod protocol;
+pub mod session;
+
+pub use engine::{DeltaBatchOutcome, EngineConfig, EngineStats, ScoreMode, ScoringEngine};
+pub use grgad_error::GrgadError;
+pub use protocol::{GraphDelta, RequestOp, ResponseBody, ScoreRequest, ScoreResponse, TopGroup};
+pub use session::Session;

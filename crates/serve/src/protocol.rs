@@ -1,0 +1,490 @@
+//! The NDJSON wire protocol of `grgad_serve`.
+//!
+//! One request per line on stdin, one response per line on stdout. Four
+//! operations (plus a direct group-scoring op for callers that manage their
+//! own candidates):
+//!
+//! ```text
+//! {"op":"load","model":"model.json","graph":"graph.json"}
+//! {"op":"apply_delta","deltas":[{"kind":"add_edge","u":1,"v":2}]}
+//! {"op":"score","top":3}
+//! {"op":"score_groups","groups":[[0,1,2],[4,5]]}
+//! {"op":"stats"}
+//! ```
+//!
+//! Responses always carry `"ok"` and echo `"op"`; failures add an
+//! `"error"` object with the [`GrgadError::kind`] tag and display message:
+//!
+//! ```text
+//! {"ok":true,"op":"score","mode":"incremental","candidates":400,...}
+//! {"ok":false,"op":"apply_delta","error":{"kind":"invalid_node_id","message":"..."}}
+//! ```
+//!
+//! Everything is hand-mapped onto the `serde` value tree because the
+//! vendored serde derive covers named-field structs only — enums
+//! ([`GraphDelta`], [`RequestOp`]) are tagged maps by hand, exactly like
+//! `DetectorKind` in `grgad-core`.
+
+use grgad_error::GrgadError;
+use serde::{Deserialize, Serialize, Value};
+
+use crate::engine::{EngineStats, ScoreMode};
+
+/// One mutation of the serving engine's working graph. Replaying a delta
+/// stream is equivalent to rebuilding the final graph from scratch (the
+/// `Graph` mutation invariants), which is what the incremental-vs-full
+/// parity guarantee rests on.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphDelta {
+    /// Appends a node with the given feature row; the engine reports the
+    /// assigned id (always the current node count).
+    AddNode {
+        /// Feature row; must match the graph's feature dimension.
+        features: Vec<f32>,
+    },
+    /// Inserts the undirected edge `(u, v)`; duplicates and self-loops are
+    /// no-ops, as in `Graph::add_edge`.
+    AddEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// Removes the undirected edge `(u, v)`; removing an absent edge is a
+    /// no-op.
+    RemoveEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// Replaces one node's feature row.
+    SetFeatures {
+        /// The node to re-feature.
+        node: usize,
+        /// New feature row; must match the graph's feature dimension.
+        features: Vec<f32>,
+    },
+}
+
+impl Serialize for GraphDelta {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        let kind = match self {
+            GraphDelta::AddNode { features } => {
+                entries.push(("features".into(), features.to_value()));
+                "add_node"
+            }
+            GraphDelta::AddEdge { u, v } => {
+                entries.push(("u".into(), u.to_value()));
+                entries.push(("v".into(), v.to_value()));
+                "add_edge"
+            }
+            GraphDelta::RemoveEdge { u, v } => {
+                entries.push(("u".into(), u.to_value()));
+                entries.push(("v".into(), v.to_value()));
+                "remove_edge"
+            }
+            GraphDelta::SetFeatures { node, features } => {
+                entries.push(("node".into(), node.to_value()));
+                entries.push(("features".into(), features.to_value()));
+                "set_features"
+            }
+        };
+        entries.insert(0, ("kind".into(), Value::Str(kind.into())));
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for GraphDelta {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let kind = String::from_value(value.field("kind")?)?;
+        match kind.as_str() {
+            "add_node" => Ok(GraphDelta::AddNode {
+                features: Vec::<f32>::from_value(value.field("features")?)?,
+            }),
+            "add_edge" => Ok(GraphDelta::AddEdge {
+                u: usize::from_value(value.field("u")?)?,
+                v: usize::from_value(value.field("v")?)?,
+            }),
+            "remove_edge" => Ok(GraphDelta::RemoveEdge {
+                u: usize::from_value(value.field("u")?)?,
+                v: usize::from_value(value.field("v")?)?,
+            }),
+            "set_features" => Ok(GraphDelta::SetFeatures {
+                node: usize::from_value(value.field("node")?)?,
+                features: Vec::<f32>::from_value(value.field("features")?)?,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "unknown delta kind `{other}` (expected add_node|add_edge|remove_edge|set_features)"
+            ))),
+        }
+    }
+}
+
+/// A parsed request line: the typed envelope the engine consumes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoreRequest {
+    /// The operation to perform.
+    pub op: RequestOp,
+}
+
+/// The operations of the protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestOp {
+    /// Load a trained model + initial graph (dataset JSON) from disk.
+    Load {
+        /// Path to a `TrainedTpGrGad::save` artifact.
+        model: String,
+        /// Path to a `grgad_datasets::io::save_json` dataset file.
+        graph: String,
+    },
+    /// Apply a batch of graph deltas to the working graph.
+    ApplyDelta {
+        /// The mutations, applied in order; the batch stops at the first
+        /// invalid delta (earlier ones stay applied, and the response
+        /// reports the error).
+        deltas: Vec<GraphDelta>,
+    },
+    /// Re-score the working graph (incrementally where possible).
+    Score {
+        /// How many top-scoring groups to include in the response.
+        top: usize,
+    },
+    /// Score caller-supplied groups (raw node-id lists; duplicates are
+    /// deduplicated at the boundary) on the working graph.
+    ScoreGroups {
+        /// One node-id list per group.
+        groups: Vec<Vec<usize>>,
+    },
+    /// Report engine counters.
+    Stats,
+}
+
+impl RequestOp {
+    /// The wire name of the operation (echoed in responses).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RequestOp::Load { .. } => "load",
+            RequestOp::ApplyDelta { .. } => "apply_delta",
+            RequestOp::Score { .. } => "score",
+            RequestOp::ScoreGroups { .. } => "score_groups",
+            RequestOp::Stats => "stats",
+        }
+    }
+}
+
+fn opt_field<'v>(value: &'v Value, key: &str) -> Option<&'v Value> {
+    value
+        .as_map()
+        .and_then(|entries| entries.iter().find(|(k, _)| k == key))
+        .map(|(_, v)| v)
+}
+
+/// Parses one NDJSON request line into a typed [`ScoreRequest`].
+///
+/// # Errors
+/// [`GrgadError::Protocol`] for malformed JSON, a missing/unknown `op` or
+/// missing operation fields.
+pub fn parse_request(line: &str) -> Result<ScoreRequest, GrgadError> {
+    let value: Value =
+        serde_json::from_str(line).map_err(|e| GrgadError::protocol(format!("bad JSON: {e}")))?;
+    let op_name = opt_field(&value, "op")
+        .ok_or_else(|| GrgadError::protocol("missing `op` field"))
+        .and_then(|v| {
+            String::from_value(v).map_err(|_| GrgadError::protocol("`op` must be a string"))
+        })?;
+    let proto = |e: serde::Error| GrgadError::protocol(format!("op `{op_name}`: {e}"));
+    let op = match op_name.as_str() {
+        "load" => RequestOp::Load {
+            model: String::from_value(value.field("model").map_err(proto)?).map_err(proto)?,
+            graph: String::from_value(value.field("graph").map_err(proto)?).map_err(proto)?,
+        },
+        "apply_delta" => RequestOp::ApplyDelta {
+            deltas: Vec::<GraphDelta>::from_value(value.field("deltas").map_err(proto)?)
+                .map_err(proto)?,
+        },
+        "score" => RequestOp::Score {
+            top: match opt_field(&value, "top") {
+                Some(v) => usize::from_value(v).map_err(proto)?,
+                None => DEFAULT_TOP,
+            },
+        },
+        "score_groups" => RequestOp::ScoreGroups {
+            groups: Vec::<Vec<usize>>::from_value(value.field("groups").map_err(proto)?)
+                .map_err(proto)?,
+        },
+        "stats" => RequestOp::Stats,
+        other => {
+            return Err(GrgadError::protocol(format!(
+                "unknown op `{other}` (expected load|apply_delta|score|score_groups|stats)"
+            )))
+        }
+    };
+    Ok(ScoreRequest { op })
+}
+
+/// Default `top` count for `score` responses.
+pub const DEFAULT_TOP: usize = 5;
+
+/// A top-scoring group in a `score` response.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TopGroup {
+    /// The group's node ids.
+    pub nodes: Vec<usize>,
+    /// Its anomaly score.
+    pub score: f32,
+}
+
+/// The success payload of a response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResponseBody {
+    /// `load` succeeded.
+    Loaded {
+        /// Nodes in the loaded working graph.
+        nodes: usize,
+        /// Edges in the loaded working graph.
+        edges: usize,
+        /// Feature dimensionality.
+        feature_dim: usize,
+    },
+    /// `apply_delta` succeeded.
+    Applied {
+        /// Deltas applied from this batch.
+        applied: usize,
+        /// Node ids assigned to `add_node` deltas in this batch, in order.
+        new_nodes: Vec<usize>,
+        /// Current dirty-node count (since the last score).
+        dirty_nodes: usize,
+    },
+    /// `score` succeeded.
+    Scored {
+        /// Whether the run reused cached embeddings.
+        mode: ScoreMode,
+        /// Candidate groups scored.
+        candidates: usize,
+        /// Groups flagged anomalous.
+        anomalous: usize,
+        /// The top-scoring groups, descending.
+        top: Vec<TopGroup>,
+    },
+    /// `score_groups` succeeded.
+    GroupScores {
+        /// One score per input group, in input order.
+        scores: Vec<f32>,
+    },
+    /// `stats` succeeded.
+    Stats(EngineStats),
+}
+
+/// One NDJSON response line, typed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoreResponse {
+    /// The request op this responds to (`"?"` when the line did not parse
+    /// far enough to tell).
+    pub op: String,
+    /// The outcome.
+    pub result: Result<ResponseBody, GrgadError>,
+    /// Partial progress of a *failed* `apply_delta` batch: `(applied,
+    /// new_node_ids)`. Earlier deltas stay applied when a batch stops at
+    /// an invalid one, so the error response must still tell the client
+    /// how far the server got — otherwise the client's view of the node
+    /// count silently desynchronizes from the working graph.
+    pub partial: Option<(usize, Vec<usize>)>,
+}
+
+impl ScoreResponse {
+    /// A success response.
+    pub fn ok(op: &str, body: ResponseBody) -> Self {
+        Self {
+            op: op.to_string(),
+            result: Ok(body),
+            partial: None,
+        }
+    }
+
+    /// A failure response.
+    pub fn err(op: &str, error: GrgadError) -> Self {
+        Self {
+            op: op.to_string(),
+            result: Err(error),
+            partial: None,
+        }
+    }
+
+    /// A failure response for a partially applied `apply_delta` batch.
+    pub fn err_partial(op: &str, error: GrgadError, applied: usize, new_nodes: Vec<usize>) -> Self {
+        Self {
+            op: op.to_string(),
+            result: Err(error),
+            partial: Some((applied, new_nodes)),
+        }
+    }
+
+    /// Renders the response as one compact JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut entries: Vec<(String, Value)> = vec![
+            ("ok".into(), Value::Bool(self.result.is_ok())),
+            ("op".into(), Value::Str(self.op.clone())),
+        ];
+        match &self.result {
+            Ok(body) => match body {
+                ResponseBody::Loaded {
+                    nodes,
+                    edges,
+                    feature_dim,
+                } => {
+                    entries.push(("nodes".into(), nodes.to_value()));
+                    entries.push(("edges".into(), edges.to_value()));
+                    entries.push(("feature_dim".into(), feature_dim.to_value()));
+                }
+                ResponseBody::Applied {
+                    applied,
+                    new_nodes,
+                    dirty_nodes,
+                } => {
+                    entries.push(("applied".into(), applied.to_value()));
+                    entries.push(("new_nodes".into(), new_nodes.to_value()));
+                    entries.push(("dirty_nodes".into(), dirty_nodes.to_value()));
+                }
+                ResponseBody::Scored {
+                    mode,
+                    candidates,
+                    anomalous,
+                    top,
+                } => {
+                    entries.push(("mode".into(), Value::Str(mode.name().into())));
+                    entries.push(("candidates".into(), candidates.to_value()));
+                    entries.push(("anomalous".into(), anomalous.to_value()));
+                    entries.push(("top".into(), top.to_value()));
+                }
+                ResponseBody::GroupScores { scores } => {
+                    entries.push(("scores".into(), scores.to_value()));
+                }
+                ResponseBody::Stats(stats) => {
+                    entries.push(("stats".into(), stats.to_value()));
+                }
+            },
+            Err(error) => {
+                if let Some((applied, new_nodes)) = &self.partial {
+                    entries.push(("applied".into(), applied.to_value()));
+                    entries.push(("new_nodes".into(), new_nodes.to_value()));
+                }
+                entries.push((
+                    "error".into(),
+                    Value::Map(vec![
+                        ("kind".into(), Value::Str(error.kind().into())),
+                        ("message".into(), Value::Str(error.to_string())),
+                    ]),
+                ));
+            }
+        }
+        serde_json::to_string(&Value::Map(entries)).unwrap_or_else(|_| {
+            // The value tree above contains no non-finite floats (scores are
+            // checked finite upstream), so rendering cannot fail; keep a
+            // structured fallback rather than panicking in the server loop.
+            "{\"ok\":false,\"op\":\"?\",\"error\":{\"kind\":\"protocol\",\"message\":\"render failure\"}}".to_string()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_delta_round_trips_through_json() {
+        let deltas = vec![
+            GraphDelta::AddNode {
+                features: vec![1.0, -2.5],
+            },
+            GraphDelta::AddEdge { u: 3, v: 9 },
+            GraphDelta::RemoveEdge { u: 9, v: 3 },
+            GraphDelta::SetFeatures {
+                node: 4,
+                features: vec![0.5],
+            },
+        ];
+        let json = serde_json::to_string(&deltas).unwrap();
+        let back: Vec<GraphDelta> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, deltas);
+    }
+
+    #[test]
+    fn parses_every_op() {
+        let req = parse_request(r#"{"op":"load","model":"m.json","graph":"g.json"}"#).unwrap();
+        assert_eq!(req.op.name(), "load");
+
+        let req =
+            parse_request(r#"{"op":"apply_delta","deltas":[{"kind":"add_edge","u":0,"v":1}]}"#)
+                .unwrap();
+        assert_eq!(
+            req.op,
+            RequestOp::ApplyDelta {
+                deltas: vec![GraphDelta::AddEdge { u: 0, v: 1 }]
+            }
+        );
+
+        assert_eq!(
+            parse_request(r#"{"op":"score"}"#).unwrap().op,
+            RequestOp::Score { top: DEFAULT_TOP }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"score","top":2}"#).unwrap().op,
+            RequestOp::Score { top: 2 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"score_groups","groups":[[1,2],[3]]}"#)
+                .unwrap()
+                .op,
+            RequestOp::ScoreGroups {
+                groups: vec![vec![1, 2], vec![3]]
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"stats"}"#).unwrap().op,
+            RequestOp::Stats
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        for line in [
+            "not json at all",
+            r#"{"no_op":true}"#,
+            r#"{"op":"frobnicate"}"#,
+            r#"{"op":"load","model":"m.json"}"#,
+            r#"{"op":"apply_delta","deltas":[{"kind":"warp","u":0}]}"#,
+            r#"{"op":42}"#,
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(
+                matches!(err, GrgadError::Protocol { .. }),
+                "{line} -> {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_render_ok_and_error_shapes() {
+        let ok = ScoreResponse::ok(
+            "load",
+            ResponseBody::Loaded {
+                nodes: 10,
+                edges: 20,
+                feature_dim: 4,
+            },
+        )
+        .to_json_line();
+        assert!(
+            ok.contains("\"ok\":true") && ok.contains("\"nodes\":10"),
+            "{ok}"
+        );
+
+        let err = ScoreResponse::err("score", GrgadError::empty_graph("score")).to_json_line();
+        assert!(
+            err.contains("\"ok\":false") && err.contains("\"kind\":\"empty_graph\""),
+            "{err}"
+        );
+    }
+}

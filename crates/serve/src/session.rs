@@ -1,0 +1,224 @@
+//! Protocol session: dispatches parsed requests onto a [`ScoringEngine`].
+//!
+//! [`Session`] is the transport-free core of the `grgad_serve` binary — one
+//! NDJSON line in, one response out — so scripted sessions are testable
+//! in-process and the binary stays a thin stdin/stdout loop.
+
+use grgad_core::TrainedTpGrGad;
+use grgad_error::GrgadError;
+
+use crate::engine::ScoringEngine;
+use crate::protocol::{
+    parse_request, GraphDelta, RequestOp, ResponseBody, ScoreResponse, TopGroup,
+};
+
+/// One serving session: at most one loaded engine, fed request lines.
+#[derive(Default)]
+pub struct Session {
+    engine: Option<ScoringEngine>,
+}
+
+impl Session {
+    /// A session with nothing loaded yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The loaded engine, when a `load` has succeeded.
+    pub fn engine(&self) -> Option<&ScoringEngine> {
+        self.engine.as_ref()
+    }
+
+    /// Handles one NDJSON request line; never panics — every failure mode
+    /// becomes an `ok:false` response.
+    pub fn handle_line(&mut self, line: &str) -> ScoreResponse {
+        match parse_request(line) {
+            Ok(request) => {
+                let op = request.op.name();
+                // apply_delta needs special casing: a batch that fails
+                // part-way has still mutated the graph, and the error
+                // response must report that partial progress.
+                if let RequestOp::ApplyDelta { deltas } = request.op {
+                    return self.apply_delta_response(op, &deltas);
+                }
+                match self.dispatch(request.op) {
+                    Ok(body) => ScoreResponse::ok(op, body),
+                    Err(error) => ScoreResponse::err(op, error),
+                }
+            }
+            Err(error) => ScoreResponse::err("?", error),
+        }
+    }
+
+    fn apply_delta_response(&mut self, op: &str, deltas: &[GraphDelta]) -> ScoreResponse {
+        let engine = match self.engine_mut() {
+            Ok(engine) => engine,
+            Err(error) => return ScoreResponse::err(op, error),
+        };
+        let outcome = engine.apply_deltas(deltas);
+        let dirty_nodes = engine.dirty_nodes();
+        match outcome.error {
+            None => ScoreResponse::ok(
+                op,
+                ResponseBody::Applied {
+                    applied: outcome.applied,
+                    new_nodes: outcome.new_nodes,
+                    dirty_nodes,
+                },
+            ),
+            Some(error) => {
+                ScoreResponse::err_partial(op, error, outcome.applied, outcome.new_nodes)
+            }
+        }
+    }
+
+    fn engine_mut(&mut self) -> Result<&mut ScoringEngine, GrgadError> {
+        self.engine
+            .as_mut()
+            .ok_or_else(|| GrgadError::protocol("no model loaded (send a `load` op first)"))
+    }
+
+    fn dispatch(&mut self, op: RequestOp) -> Result<ResponseBody, GrgadError> {
+        match op {
+            RequestOp::Load { model, graph } => {
+                let model = TrainedTpGrGad::load(&model)?;
+                let dataset = grgad_datasets::io::load_json(std::path::Path::new(&graph))?;
+                let engine = ScoringEngine::new(model, dataset.graph)?;
+                let body = ResponseBody::Loaded {
+                    nodes: engine.graph().num_nodes(),
+                    edges: engine.graph().num_edges(),
+                    feature_dim: engine.graph().feature_dim(),
+                };
+                self.engine = Some(engine);
+                Ok(body)
+            }
+            // Handled by `apply_delta_response` (partial-progress
+            // reporting); unreachable through `handle_line`.
+            RequestOp::ApplyDelta { .. } => Err(GrgadError::protocol(
+                "apply_delta must go through Session::handle_line",
+            )),
+            RequestOp::Score { top } => {
+                let engine = self.engine_mut()?;
+                let (result, mode) = engine.score()?;
+                Ok(ResponseBody::Scored {
+                    mode,
+                    candidates: result.candidate_groups.len(),
+                    anomalous: result
+                        .predicted_anomalous
+                        .iter()
+                        .filter(|&&flag| flag)
+                        .count(),
+                    top: top_groups(&result.candidate_groups, &result.scores, top),
+                })
+            }
+            RequestOp::ScoreGroups { groups } => {
+                let engine = self.engine_mut()?;
+                let scores = engine.score_groups(&groups)?;
+                Ok(ResponseBody::GroupScores { scores })
+            }
+            RequestOp::Stats => Ok(ResponseBody::Stats(self.engine_mut()?.stats())),
+        }
+    }
+}
+
+/// The `top`-scoring groups, descending by score with index as the
+/// deterministic tie-break.
+fn top_groups(groups: &[grgad_graph::Group], scores: &[f32], top: usize) -> Vec<TopGroup> {
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    order
+        .into_iter()
+        .take(top)
+        .map(|i| TopGroup {
+            nodes: groups[i].nodes().to_vec(),
+            score: scores[i],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grgad_core::{TpGrGad, TpGrGadConfig};
+    use grgad_datasets::example;
+
+    fn artifacts(dir: &std::path::Path, seed: u64) -> (String, String) {
+        std::fs::create_dir_all(dir).expect("mkdir");
+        let dataset = example::generate(40, seed);
+        let model = TpGrGad::new(TpGrGadConfig::fast().with_seed(seed))
+            .fit(&dataset.graph)
+            .expect("fit");
+        let model_path = dir.join("model.json");
+        let graph_path = dir.join("graph.json");
+        model.save(&model_path).expect("save model");
+        grgad_datasets::io::save_json(&dataset, &graph_path).expect("save graph");
+        (
+            model_path.display().to_string(),
+            graph_path.display().to_string(),
+        )
+    }
+
+    #[test]
+    fn session_runs_a_full_scripted_conversation() {
+        let dir = std::env::temp_dir().join("grgad_session_test");
+        let (model, graph) = artifacts(&dir, 11);
+        let mut session = Session::new();
+
+        // Ops before load are protocol errors, not panics.
+        let early = session.handle_line(r#"{"op":"score"}"#);
+        assert!(early.result.is_err());
+        assert!(early.to_json_line().contains("no model loaded"));
+
+        let load = session.handle_line(&format!(
+            r#"{{"op":"load","model":"{model}","graph":"{graph}"}}"#
+        ));
+        assert!(load.result.is_ok(), "{:?}", load.result);
+
+        let score = session.handle_line(r#"{"op":"score","top":3}"#);
+        let line = score.to_json_line();
+        assert!(line.contains("\"mode\":\"full\""), "{line}");
+
+        let applied = session
+            .handle_line(r#"{"op":"apply_delta","deltas":[{"kind":"add_edge","u":0,"v":7}]}"#);
+        assert!(applied.result.is_ok(), "{:?}", applied.result);
+
+        let rescore = session.handle_line(r#"{"op":"score","top":3}"#);
+        assert!(
+            rescore.to_json_line().contains("\"mode\":\"incremental\""),
+            "{}",
+            rescore.to_json_line()
+        );
+
+        let stats = session.handle_line(r#"{"op":"stats"}"#);
+        assert!(stats.to_json_line().contains("\"deltas_applied\":1"));
+
+        // Bad delta surfaces the typed error kind on the wire.
+        let bad = session
+            .handle_line(r#"{"op":"apply_delta","deltas":[{"kind":"add_edge","u":0,"v":99999}]}"#);
+        assert!(bad.to_json_line().contains("\"kind\":\"invalid_node_id\""));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_artifacts_is_model_io() {
+        let mut session = Session::new();
+        let resp =
+            session.handle_line(r#"{"op":"load","model":"/no/model.json","graph":"/no/g.json"}"#);
+        assert!(resp.to_json_line().contains("\"kind\":\"model_io\""));
+    }
+
+    #[test]
+    fn top_groups_order_is_deterministic_under_ties() {
+        let groups = vec![
+            grgad_graph::Group::new(vec![0]),
+            grgad_graph::Group::new(vec![1]),
+            grgad_graph::Group::new(vec![2]),
+        ];
+        let picked = top_groups(&groups, &[0.5, 0.9, 0.5], 3);
+        assert_eq!(picked[0].nodes, vec![1]);
+        assert_eq!(picked[1].nodes, vec![0], "tie broken by index");
+        assert_eq!(picked[2].nodes, vec![2]);
+        assert_eq!(top_groups(&groups, &[0.1, 0.2, 0.3], 2).len(), 2);
+    }
+}

@@ -1,0 +1,62 @@
+//! Smoke test of the `grgad_serve` binary: the committed scripted NDJSON
+//! session (`ci/session.ndjson`) piped through the real binary must
+//! reproduce the committed golden responses byte-for-byte — the same check
+//! the CI serve-smoke job runs with a shell pipe and `diff`.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn repo_root() -> std::path::PathBuf {
+    // crates/serve -> workspace root
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+#[test]
+fn scripted_session_matches_committed_golden() {
+    let root = repo_root();
+    let bin = env!("CARGO_BIN_EXE_grgad_serve");
+
+    // 1. Materialize the demo artifacts the session's `load` op references.
+    let status = Command::new(bin)
+        .current_dir(&root)
+        .args(["--demo-artifacts", "target/serve-demo"])
+        .status()
+        .expect("spawn grgad_serve --demo-artifacts");
+    assert!(status.success(), "demo artifact generation failed");
+
+    // 2. Pipe the committed session through the binary.
+    let script = std::fs::read_to_string(root.join("crates/serve/ci/session.ndjson"))
+        .expect("read committed session script");
+    let mut child = Command::new(bin)
+        .current_dir(&root)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn grgad_serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(script.as_bytes())
+        .expect("write session");
+    let output = child.wait_with_output().expect("wait");
+    assert!(output.status.success());
+
+    // 3. Byte-for-byte agreement with the committed golden.
+    let got = String::from_utf8(output.stdout).expect("utf8 responses");
+    let want = std::fs::read_to_string(root.join("crates/serve/ci/session.golden.ndjson"))
+        .expect("read committed golden");
+    assert_eq!(
+        got, want,
+        "binary responses drifted from ci/session.golden.ndjson — if the \
+         change is intentional, regenerate the golden (see README Serving)"
+    );
+
+    // Sanity: the session exercises success and failure paths.
+    assert!(want.contains("\"mode\":\"incremental\""));
+    assert!(want.contains("\"kind\":\"invalid_node_id\""));
+    assert!(want.contains("\"kind\":\"protocol\""));
+}

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tp_grgad::prelude::*;
 
-fn main() {
+fn main() -> Result<(), GrgadError> {
     let mut rng = StdRng::seed_from_u64(123);
 
     // 1. Build the background graph: 200 users in 4 behavioural segments.
@@ -62,7 +62,7 @@ fn main() {
     // 3. Run the detector.
     let config = TpGrGadConfig::fast().with_seed(123);
     let detector = TpGrGad::new(config);
-    let result = detector.detect(&graph);
+    let result = detector.detect(&graph)?;
 
     // 4. Check whether the planted ring was recovered.
     let mut best: Option<(f32, &Group)> = None;
@@ -91,12 +91,13 @@ fn main() {
     // 5. Persist the dataset for later experiments.
     let dataset = GrGadDataset::new("custom-collusion", graph, vec![ring_group]);
     let path = std::env::temp_dir().join("tp_grgad_custom_dataset.json");
-    tp_grgad::datasets::io::save_json(&dataset, &path).expect("failed to save dataset");
-    let reloaded = tp_grgad::datasets::io::load_json(&path).expect("failed to reload dataset");
+    tp_grgad::datasets::io::save_json(&dataset, &path)?;
+    let reloaded = tp_grgad::datasets::io::load_json(&path)?;
     println!(
         "dataset saved to {} and reloaded ({} nodes, {} anomaly groups)",
         path.display(),
         reloaded.graph.num_nodes(),
         reloaded.anomaly_groups.len()
     );
+    Ok(())
 }

@@ -15,7 +15,7 @@ use tp_grgad::baselines::{detect_groups, BaselineConfig, Dominant, GroupExtracti
 use tp_grgad::graph::patterns::classify;
 use tp_grgad::metrics::evaluate_predicted_groups;
 
-fn main() {
+fn main() -> Result<(), GrgadError> {
     // The simML money-laundering benchmark (AMLSim-style generator).
     let dataset = datasets::simml::generate(DatasetScale::Small, 3);
     let stats = dataset.statistics();
@@ -29,7 +29,7 @@ fn main() {
     // --- TP-GrGAD -----------------------------------------------------------
     let mut config = TpGrGadConfig::fast().with_seed(3);
     config.tpgcl.epochs = 25;
-    let (result, report) = TpGrGad::new(config).evaluate(&dataset);
+    let (result, report) = TpGrGad::new(config).evaluate(&dataset)?;
     println!(
         "TP-GrGAD : CR {:.2}  F1 {:.2}  AUC {:.2}  ({} groups reported)",
         report.cr, report.f1, report.auc, report.num_predicted
@@ -71,4 +71,5 @@ fn main() {
          while the node-level baseline fragments them — the paper's Fig. 5 observation.",
         report.avg_predicted_size, stats.avg_group_size
     );
+    Ok(())
 }

@@ -12,7 +12,7 @@
 
 use tp_grgad::prelude::*;
 
-fn main() {
+fn main() -> Result<(), GrgadError> {
     // 1. A small benchmark graph with three planted anomaly groups.
     let dataset = datasets::example::generate(120, 7);
     println!(
@@ -29,7 +29,7 @@ fn main() {
     let config = TpGrGadConfig::fast().with_seed(7);
     let detector = TpGrGad::new(config);
     let mut fit_timings = TimingObserver::new();
-    let trained = detector.fit_observed(&dataset.graph, &mut fit_timings);
+    let trained = detector.fit_observed(&dataset.graph, &mut fit_timings)?;
     println!(
         "trained in {:.2?} ({} gradient epochs across stages)",
         fit_timings.total_wall(),
@@ -38,7 +38,7 @@ fn main() {
 
     // 3. Score with the trained artifact — zero training epochs.
     let mut score_timings = TimingObserver::new();
-    let result = trained.score_observed(&dataset.graph, &mut score_timings);
+    let result = trained.score_observed(&dataset.graph, &mut score_timings)?;
     println!(
         "scored in {:.2?} ({} training epochs — the serving path never trains)",
         score_timings.total_wall(),
@@ -75,10 +75,10 @@ fn main() {
 
     // 6. Persist the trained model and score a fresh snapshot with the
     //    reloaded copy — no retraining.
-    let json = trained.to_json().expect("serialize model");
-    let reloaded = TrainedTpGrGad::from_json(&json).expect("reload model");
+    let json = trained.to_json()?;
+    let reloaded = TrainedTpGrGad::from_json(&json)?;
     let snapshot = datasets::example::generate(90, 8);
-    let snapshot_result = reloaded.score(&snapshot.graph);
+    let snapshot_result = reloaded.score(&snapshot.graph)?;
     println!(
         "\nreloaded model ({} KiB JSON) scored a {}-node snapshot: {} candidates, {} flagged",
         json.len() / 1024,
@@ -90,4 +90,5 @@ fn main() {
             .filter(|&&f| f)
             .count()
     );
+    Ok(())
 }

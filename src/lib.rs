@@ -7,15 +7,21 @@
 //! ```rust
 //! use tp_grgad::prelude::*;
 //!
+//! # fn main() -> Result<(), GrgadError> {
 //! let dataset = datasets::example::generate(60, 0);
 //! let pipeline = TpGrGad::new(TpGrGadConfig::fast().with_seed(0));
 //! // Fit once, then score any number of graphs/snapshots without retraining.
-//! let trained = pipeline.fit(&dataset.graph);
-//! let result = trained.score(&dataset.graph);
+//! // Every public fallible entry point returns `Result<_, GrgadError>`;
+//! // malformed input (empty graph, NaN features, shape mismatch) is a typed
+//! // error at the boundary, never a panic deep inside the pipeline.
+//! let trained = pipeline.fit(&dataset.graph)?;
+//! let result = trained.score(&dataset.graph)?;
 //! assert_eq!(result.scores.len(), result.candidate_groups.len());
 //! // The trained model round-trips through JSON with exact score parity.
-//! let reloaded = TrainedTpGrGad::from_json(&trained.to_json().unwrap()).unwrap();
-//! assert_eq!(reloaded.score(&dataset.graph).scores, result.scores);
+//! let reloaded = TrainedTpGrGad::from_json(&trained.to_json()?)?;
+//! assert_eq!(reloaded.score(&dataset.graph)?.scores, result.scores);
+//! # Ok(())
+//! # }
 //! ```
 //!
 //! See the repository README for the architecture overview and DESIGN.md for
@@ -32,6 +38,7 @@ pub use grgad_metrics as metrics;
 pub use grgad_outlier as outlier;
 pub use grgad_parallel as parallel;
 pub use grgad_sampling as sampling;
+pub use grgad_serve as serve;
 pub use grgad_tpgcl as tpgcl;
 pub use grgad_tsne as tsne;
 
@@ -39,9 +46,9 @@ pub use grgad_tsne as tsne;
 pub mod prelude {
     pub use grgad_baselines as baselines;
     pub use grgad_core::{
-        DetectorKind, NullObserver, PipelineObserver, PipelinePhase, PipelineStage, StageTimings,
-        TimingObserver, TpGrGad, TpGrGadConfig, TpGrGadConfigBuilder, TpGrGadResult,
-        TrainedTpGrGad,
+        DetectorKind, GrgadError, GroupEmbeddingCache, NullObserver, PipelineObserver,
+        PipelinePhase, PipelineStage, StageTimings, TimingObserver, TpGrGad, TpGrGadConfig,
+        TpGrGadConfigBuilder, TpGrGadResult, TrainedTpGrGad,
     };
     pub use grgad_datasets as datasets;
     pub use grgad_datasets::{DatasetScale, GrGadDataset};
@@ -51,5 +58,6 @@ pub mod prelude {
     pub use grgad_metrics::{evaluate_detection, DetectionReport};
     pub use grgad_outlier::{Ecod, OutlierDetector};
     pub use grgad_sampling::{sample_candidate_groups, SamplingConfig};
+    pub use grgad_serve::{EngineConfig, GraphDelta, ScoreMode, ScoringEngine};
     pub use grgad_tpgcl::{Augmentation, Tpgcl, TpgclConfig};
 }

@@ -55,7 +55,9 @@ fn attribute_baseline_fragments_groups_relative_to_tp_grgad() {
             / detection.groups.len() as f32
     };
 
-    let (_, report) = TpGrGad::new(TpGrGadConfig::fast().with_seed(8)).evaluate(&dataset);
+    let (_, report) = TpGrGad::new(TpGrGadConfig::fast().with_seed(8))
+        .evaluate(&dataset)
+        .expect("evaluate");
     let tp_deviation = (report.avg_predicted_size - truth_avg).abs();
     let baseline_deviation = (baseline_avg - truth_avg).abs();
     assert!(

@@ -22,9 +22,9 @@ fn fit_score_matches_detect_bit_for_bit() {
         config.detector = kind;
         let pipeline = TpGrGad::new(config);
 
-        let legacy = pipeline.detect(&dataset.graph);
-        let trained = pipeline.fit(&dataset.graph);
-        let served = trained.score(&dataset.graph);
+        let legacy = pipeline.detect(&dataset.graph).expect("detect");
+        let trained = pipeline.fit(&dataset.graph).expect("fit");
+        let served = trained.score(&dataset.graph).expect("score");
 
         assert_eq!(legacy.anchor_nodes, served.anchor_nodes, "{kind} anchors");
         assert_eq!(legacy.node_errors, served.node_errors, "{kind} errors");
@@ -48,7 +48,7 @@ fn fit_score_matches_detect_bit_for_bit() {
         );
 
         // Scoring must be stateless: a second pass is identical.
-        let again = trained.score(&dataset.graph);
+        let again = trained.score(&dataset.graph).expect("rescore");
         assert_eq!(served.scores, again.scores, "{kind} rescore");
     }
 }
@@ -61,7 +61,9 @@ fn score_runs_zero_training_epochs() {
     let pipeline = TpGrGad::new(fast_config(4));
 
     let mut fit_observer = TimingObserver::new();
-    let trained = pipeline.fit_observed(&dataset.graph, &mut fit_observer);
+    let trained = pipeline
+        .fit_observed(&dataset.graph, &mut fit_observer)
+        .expect("fit");
     assert_eq!(fit_observer.stages.len(), 4, "four stages per fit");
     assert!(
         fit_observer.total_train_epochs() > 0,
@@ -69,7 +71,9 @@ fn score_runs_zero_training_epochs() {
     );
 
     let mut score_observer = TimingObserver::new();
-    let result = trained.score_observed(&dataset.graph, &mut score_observer);
+    let result = trained
+        .score_observed(&dataset.graph, &mut score_observer)
+        .expect("score");
     assert!(!result.scores.is_empty());
     assert_eq!(score_observer.stages.len(), 4, "four stages per score");
     assert_eq!(
@@ -94,13 +98,13 @@ fn save_load_round_trip_reproduces_scores_exactly() {
         let dataset = datasets::example::generate(36, 9);
         let mut config = fast_config(9);
         config.detector = kind;
-        let trained = TpGrGad::new(config).fit(&dataset.graph);
-        let original = trained.score(&dataset.graph);
+        let trained = TpGrGad::new(config).fit(&dataset.graph).expect("fit");
+        let original = trained.score(&dataset.graph).expect("score");
 
         let json = trained.to_json().unwrap();
         let reloaded = TrainedTpGrGad::from_json(&json).unwrap();
         assert_eq!(reloaded.detector_name(), trained.detector_name());
-        let replayed = reloaded.score(&dataset.graph);
+        let replayed = reloaded.score(&dataset.graph).expect("score");
 
         assert_eq!(original.scores, replayed.scores, "{kind} scores");
         assert_eq!(original.node_errors, replayed.node_errors, "{kind} errors");
@@ -115,14 +119,16 @@ fn save_load_round_trip_reproduces_scores_exactly() {
 #[test]
 fn save_load_file_round_trip() {
     let dataset = datasets::example::generate(30, 12);
-    let trained = TpGrGad::new(fast_config(12)).fit(&dataset.graph);
+    let trained = TpGrGad::new(fast_config(12))
+        .fit(&dataset.graph)
+        .expect("fit");
     let path = std::env::temp_dir().join("tp_grgad_model_test.json");
     trained.save(&path).unwrap();
     let reloaded = TrainedTpGrGad::load(&path).unwrap();
     std::fs::remove_file(&path).ok();
     assert_eq!(
-        trained.score(&dataset.graph).scores,
-        reloaded.score(&dataset.graph).scores
+        trained.score(&dataset.graph).expect("score").scores,
+        reloaded.score(&dataset.graph).expect("score").scores
     );
     assert!(TrainedTpGrGad::from_json("{\"format\":\"nope\"}").is_err());
 }
@@ -132,13 +138,15 @@ fn save_load_file_round_trip() {
 #[test]
 fn scoring_a_second_snapshot_returns_sane_shapes() {
     let train = datasets::example::generate(36, 20);
-    let trained = TpGrGad::new(fast_config(20)).fit(&train.graph);
+    let trained = TpGrGad::new(fast_config(20))
+        .fit(&train.graph)
+        .expect("fit");
 
     // A different synthetic snapshot with the same feature dimensionality.
     let snapshot = datasets::example::generate(48, 21);
     assert_eq!(train.graph.feature_dim(), snapshot.graph.feature_dim());
 
-    let result = trained.score(&snapshot.graph);
+    let result = trained.score(&snapshot.graph).expect("score");
     assert_eq!(result.node_errors.len(), snapshot.graph.num_nodes());
     assert!(!result.anchor_nodes.is_empty());
     assert_eq!(result.candidate_groups.len(), result.scores.len());
@@ -150,7 +158,9 @@ fn scoring_a_second_snapshot_returns_sane_shapes() {
     assert!(result.scores.iter().all(|s| s.is_finite()));
 
     // Pre-sampled candidates score through the dedicated serving entry point.
-    let direct = trained.score_groups(&snapshot.graph, &result.candidate_groups);
+    let direct = trained
+        .score_groups(&snapshot.graph, &result.candidate_groups)
+        .expect("score_groups");
     assert_eq!(direct, result.scores);
 }
 
@@ -164,7 +174,7 @@ fn builder_and_presets_drive_the_pipeline() {
         .adaptive_threshold(true)
         .seed(30)
         .build();
-    let result = TpGrGad::new(config).detect(&dataset.graph);
+    let result = TpGrGad::new(config).detect(&dataset.graph).expect("detect");
     assert!(!result.anomalous_groups().is_empty());
 
     // Presets expose distinct training budgets.

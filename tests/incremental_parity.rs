@@ -1,0 +1,139 @@
+//! The serving layer's core guarantee: for seeded delta streams, the
+//! incremental [`ScoringEngine`] output is **bit-for-bit identical** to a
+//! from-scratch `TrainedTpGrGad::score()` on the equivalent rebuilt graph —
+//! at any thread count.
+//!
+//! Per the acceptance criteria: ≥3 seeds, ≥200 deltas each, checked at 1
+//! and 4 worker threads. The "equivalent rebuilt graph" is maintained as an
+//! independent mirror mutated through the plain `Graph` API, so the test
+//! also pins the delta-replay ≡ rebuild equivalence the engine relies on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tp_grgad::prelude::*;
+
+/// One seeded delta, applied to both the engine and the mirror graph.
+fn random_delta<R: Rng>(rng: &mut R, graph: &Graph) -> GraphDelta {
+    let n = graph.num_nodes();
+    let dim = graph.feature_dim();
+    match rng.gen_range(0..10u32) {
+        // Mostly edge churn, some feature updates, occasional node growth.
+        0..=3 => GraphDelta::AddEdge {
+            u: rng.gen_range(0..n),
+            v: rng.gen_range(0..n),
+        },
+        4..=6 => {
+            let u = rng.gen_range(0..n);
+            let v = if graph.degree(u) > 0 {
+                graph.neighbors(u)[rng.gen_range(0..graph.degree(u))]
+            } else {
+                u // validated no-op (self-loop removal)
+            };
+            GraphDelta::RemoveEdge { u, v }
+        }
+        7..=8 => GraphDelta::SetFeatures {
+            node: rng.gen_range(0..n),
+            features: (0..dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect(),
+        },
+        _ => GraphDelta::AddNode {
+            features: (0..dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect(),
+        },
+    }
+}
+
+/// Applies a delta to the mirror graph through the plain mutation API.
+fn apply_to_mirror(graph: &mut Graph, delta: &GraphDelta) {
+    match delta {
+        GraphDelta::AddNode { features } => {
+            graph.try_add_node(features).expect("mirror add_node");
+        }
+        GraphDelta::AddEdge { u, v } => {
+            graph.try_add_edge(*u, *v).expect("mirror add_edge");
+        }
+        GraphDelta::RemoveEdge { u, v } => {
+            graph.try_remove_edge(*u, *v).expect("mirror remove_edge");
+        }
+        GraphDelta::SetFeatures { node, features } => {
+            graph
+                .try_set_node_features(*node, features)
+                .expect("mirror set_features");
+        }
+    }
+}
+
+/// Runs one seeded stream at a fixed thread count and returns every
+/// incremental score vector, asserting parity after each chunk.
+fn run_stream(seed: u64, num_threads: usize) -> Vec<Vec<f32>> {
+    const CHUNKS: usize = 10;
+    const DELTAS_PER_CHUNK: usize = 21; // 210 deltas total — above the 200 floor
+
+    let dataset = datasets::example::generate(60, seed);
+    let mut config = TpGrGadConfig::fast().with_seed(seed);
+    config.num_threads = num_threads;
+    let trained = TpGrGad::new(config).fit(&dataset.graph).expect("fit");
+
+    let mut engine = ScoringEngine::new(trained, dataset.graph.clone()).expect("engine");
+    let mut mirror = dataset.graph.clone();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+    let mut score_history = Vec::new();
+
+    for chunk in 0..CHUNKS {
+        for _ in 0..DELTAS_PER_CHUNK {
+            let delta = random_delta(&mut rng, engine.graph());
+            engine.apply_delta(&delta).expect("engine delta");
+            apply_to_mirror(&mut mirror, &delta);
+        }
+
+        let (incremental, _mode) = engine.score().expect("incremental score");
+        let full = engine.model().score(&mirror).expect("full score");
+
+        assert_eq!(
+            incremental.scores, full.scores,
+            "seed {seed} threads {num_threads} chunk {chunk}: scores diverged"
+        );
+        assert_eq!(
+            incremental.candidate_groups, full.candidate_groups,
+            "seed {seed} threads {num_threads} chunk {chunk}: groups diverged"
+        );
+        assert_eq!(
+            incremental.predicted_anomalous, full.predicted_anomalous,
+            "seed {seed} threads {num_threads} chunk {chunk}: predictions diverged"
+        );
+        assert_eq!(
+            incremental.anchor_nodes, full.anchor_nodes,
+            "seed {seed} threads {num_threads} chunk {chunk}: anchors diverged"
+        );
+        score_history.push(incremental.scores);
+    }
+
+    // Replay equivalence: the engine's mutated graph is indistinguishable
+    // from the independently mutated mirror.
+    assert_eq!(engine.graph().num_nodes(), mirror.num_nodes());
+    assert_eq!(engine.graph().num_edges(), mirror.num_edges());
+    for u in 0..mirror.num_nodes() {
+        assert_eq!(engine.graph().neighbors(u), mirror.neighbors(u));
+    }
+
+    score_history
+}
+
+#[test]
+fn incremental_scores_match_full_rescoring_bit_for_bit_seed_1() {
+    let single = run_stream(1, 1);
+    let multi = run_stream(1, 4);
+    assert_eq!(single, multi, "thread count must not change scores");
+}
+
+#[test]
+fn incremental_scores_match_full_rescoring_bit_for_bit_seed_2() {
+    let single = run_stream(2, 1);
+    let multi = run_stream(2, 4);
+    assert_eq!(single, multi, "thread count must not change scores");
+}
+
+#[test]
+fn incremental_scores_match_full_rescoring_bit_for_bit_seed_3() {
+    let single = run_stream(3, 1);
+    let multi = run_stream(3, 4);
+    assert_eq!(single, multi, "thread count must not change scores");
+}

@@ -75,7 +75,7 @@ fn gcn_embeddings_separate_communities() {
 fn tpgcl_embeddings_feed_tsne_and_outlier_detection() {
     let dataset = datasets::ethereum::generate(DatasetScale::Small, 6);
     let config = TpGrGadConfig::fast().with_seed(6);
-    let result = TpGrGad::new(config).detect(&dataset.graph);
+    let result = TpGrGad::new(config).detect(&dataset.graph).expect("detect");
     assert!(result.embeddings.rows() >= 10);
 
     // t-SNE on the group embeddings (Fig. 7 machinery).

@@ -156,9 +156,11 @@ fn full_pipeline_fit_score_parity() {
             .num_threads(threads)
             .seed(13)
             .build();
-        let trained = TpGrGad::new(config).fit(&dataset.graph);
-        let result = trained.score(&dataset.graph);
-        let direct = trained.score_groups(&dataset.graph, &result.candidate_groups);
+        let trained = TpGrGad::new(config).fit(&dataset.graph).expect("fit");
+        let result = trained.score(&dataset.graph).expect("score");
+        let direct = trained
+            .score_groups(&dataset.graph, &result.candidate_groups)
+            .expect("score_groups");
         (
             result.node_errors,
             result.scores,
@@ -191,8 +193,8 @@ fn env_default_config_matches_single_thread_reference() {
         if let Some(n) = num_threads {
             config.num_threads = n;
         }
-        let trained = TpGrGad::new(config).fit(&dataset.graph);
-        trained.score(&dataset.graph).scores
+        let trained = TpGrGad::new(config).fit(&dataset.graph).expect("fit");
+        trained.score(&dataset.graph).expect("score").scores
     };
     let _lock = THREAD_GUARD
         .lock()

@@ -10,7 +10,9 @@ fn fast_config(seed: u64) -> TpGrGadConfig {
 #[test]
 fn full_pipeline_on_example_graph_beats_chance() {
     let dataset = datasets::example::generate(120, 21);
-    let (result, report) = TpGrGad::new(fast_config(21)).evaluate(&dataset);
+    let (result, report) = TpGrGad::new(fast_config(21))
+        .evaluate(&dataset)
+        .expect("evaluate");
     assert!(!result.candidate_groups.is_empty());
     assert!(result.scores.iter().all(|s| s.is_finite()));
     assert!(
@@ -22,7 +24,9 @@ fn full_pipeline_on_example_graph_beats_chance() {
 #[test]
 fn full_pipeline_on_simml_recovers_laundering_groups() {
     let dataset = datasets::simml::generate(DatasetScale::Small, 2);
-    let (result, report) = TpGrGad::new(fast_config(2)).evaluate(&dataset);
+    let (result, report) = TpGrGad::new(fast_config(2))
+        .evaluate(&dataset)
+        .expect("evaluate");
     // The laundering groups carry a strong signal; the pipeline must do
     // clearly better than random on both completeness and ranking.
     assert!(report.cr > 0.4, "CR too low: {report:?}");
@@ -42,7 +46,7 @@ fn detector_kinds_are_interchangeable() {
         config.detector = kind;
         config.tpgcl.epochs = 5;
         config.gae.epochs = 20;
-        let result = TpGrGad::new(config).detect(&dataset.graph);
+        let result = TpGrGad::new(config).detect(&dataset.graph).expect("detect");
         assert_eq!(result.scores.len(), result.candidate_groups.len());
         assert!(
             result.scores.iter().all(|s| s.is_finite()),
@@ -63,7 +67,7 @@ fn reconstruction_target_ablation_runs_end_to_end() {
         config.reconstruction_target = target;
         config.gae.epochs = 20;
         config.tpgcl.epochs = 5;
-        let (_, report) = TpGrGad::new(config).evaluate(&dataset);
+        let (_, report) = TpGrGad::new(config).evaluate(&dataset).expect("evaluate");
         assert!(report.cr >= 0.0 && report.cr <= 1.0);
     }
 }
@@ -75,7 +79,7 @@ fn pipeline_is_deterministic_for_fixed_seed() {
         let mut config = fast_config(9);
         config.gae.epochs = 25;
         config.tpgcl.epochs = 8;
-        TpGrGad::new(config).detect(&dataset.graph)
+        TpGrGad::new(config).detect(&dataset.graph).expect("detect")
     };
     let a = run();
     let b = run();
@@ -87,7 +91,9 @@ fn pipeline_is_deterministic_for_fixed_seed() {
 #[test]
 fn results_expose_definition_one_output() {
     let dataset = datasets::example::generate(80, 12);
-    let result = TpGrGad::new(fast_config(12)).detect(&dataset.graph);
+    let result = TpGrGad::new(fast_config(12))
+        .detect(&dataset.graph)
+        .expect("detect");
     let reported = result.anomalous_groups();
     // Definition 1: a set of groups with scores above the threshold, here
     // realized by the adaptive tau; at least one group is always reported.

@@ -31,7 +31,7 @@ fn prelude_reexports_resolve_and_run() {
 
     // `TpGrGad` via the prelude, run end-to-end.
     let detector = TpGrGad::new(TpGrGadConfig::fast().with_seed(7));
-    let result = detector.detect(&dataset.graph);
+    let result = detector.detect(&dataset.graph).expect("detect");
     assert_eq!(result.scores.len(), result.candidate_groups.len());
     assert!(result.scores.iter().all(|s| s.is_finite()));
 }
@@ -78,6 +78,7 @@ fn detection_is_deterministic_for_fixed_seed() {
     let run = |seed: u64| {
         TpGrGad::new(TpGrGadConfig::fast().with_seed(seed))
             .detect(&dataset.graph)
+            .expect("detect")
             .scores
     };
     assert_eq!(run(3), run(3));
