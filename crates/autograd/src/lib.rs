@@ -19,6 +19,11 @@
 //! general framework, but every op has an analytically derived gradient that
 //! is verified against finite differences in the test suite.
 
+// The serving contract extends workspace-wide: no `unwrap()` outside
+// test code — fallible paths return `Result<_, GrgadError>` or justify
+// themselves with `expect` + a `grgad-lint` suppression where truly
+// infallible. Enforced per-crate so the vendored shims stay untouched.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod nn;
 pub mod ops;
 pub mod optim;

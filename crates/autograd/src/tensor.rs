@@ -1,7 +1,7 @@
 //! The [`Tensor`] type: a node in a dynamically built computation graph.
 
 use std::cell::{Ref, RefCell};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -170,7 +170,7 @@ impl Tensor {
     /// Returns nodes reachable from `self` in reverse topological order
     /// (self first, leaves last).
     fn topological_order(&self) -> Vec<Tensor> {
-        let mut visited: HashSet<usize> = HashSet::new();
+        let mut visited: BTreeSet<usize> = BTreeSet::new();
         let mut order: Vec<Tensor> = Vec::new();
         // Iterative post-order DFS.
         enum Frame {

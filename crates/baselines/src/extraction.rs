@@ -47,11 +47,7 @@ pub fn groups_from_node_scores(
     }
     let k = ((n as f32 * config.contamination.clamp(0.0, 1.0)).round() as usize).clamp(1, n);
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| {
-        node_scores[b]
-            .partial_cmp(&node_scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    idx.sort_by(|&a, &b| node_scores[b].total_cmp(&node_scores[a]));
     let flagged: Vec<usize> = idx[..k].to_vec();
 
     let components = connected_components_of_subset(graph, &flagged);

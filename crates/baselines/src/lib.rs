@@ -16,6 +16,11 @@
 //! similarity; AS-GAE couples a GAE with substructure-level score
 //! aggregation.
 
+// The serving contract extends workspace-wide: no `unwrap()` outside
+// test code — fallible paths return `Result<_, GrgadError>` or justify
+// themselves with `expect` + a `grgad-lint` suppression where truly
+// infallible. Enforced per-crate so the vendored shims stay untouched.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod extraction;
 pub mod scorers;
 

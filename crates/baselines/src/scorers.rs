@@ -1,6 +1,6 @@
 //! Node-level anomaly scorers implementing the five baselines.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use grgad_autograd::nn::Activation;
 use grgad_autograd::{Adam, Mlp, Optimizer, Tensor};
@@ -202,7 +202,7 @@ impl ComGa {
         for _ in 0..iterations {
             let mut changed = false;
             for v in 0..n {
-                let mut counts: HashMap<usize, usize> = HashMap::new();
+                let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
                 for &u in graph.neighbors(v) {
                     *counts.entry(labels[u]).or_insert(0) += 1;
                 }
@@ -221,7 +221,7 @@ impl ComGa {
             }
         }
         // Compact labels.
-        let mut remap: HashMap<usize, usize> = HashMap::new();
+        let mut remap: BTreeMap<usize, usize> = BTreeMap::new();
         labels
             .iter()
             .map(|&l| {
@@ -301,7 +301,7 @@ impl DeepFd {
             0.0
         };
         // Two-hop reach.
-        let mut two_hop: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut two_hop: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
         for &u in nbrs {
             for &w in graph.neighbors(u) {
                 if w != v {

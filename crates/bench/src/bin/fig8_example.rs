@@ -67,7 +67,7 @@ fn main() {
         // Flag the top `contamination` fraction, as each method would in the
         // group-extraction protocol.
         let flagged = select_anchor_nodes(scores, contamination);
-        let flagged_set: std::collections::HashSet<usize> = flagged.into_iter().collect();
+        let flagged_set: std::collections::BTreeSet<usize> = flagged.into_iter().collect();
         let mut row = vec![name.to_string()];
         let entry = json.entry(name.to_string()).or_default();
         let mut total_cov = 0.0;

@@ -18,6 +18,11 @@
 //! Results are printed as plain-text tables mirroring the paper's layout and
 //! also written as JSON under the output directory.
 
+// The serving contract extends workspace-wide: no `unwrap()` outside
+// test code — fallible paths return `Result<_, GrgadError>` or justify
+// themselves with `expect` + a `grgad-lint` suppression where truly
+// infallible. Enforced per-crate so the vendored shims stay untouched.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};

@@ -8,7 +8,7 @@
 //! [`TpGrGad::detect`] is a thin `fit(g).score(g)` wrapper and produces
 //! bit-for-bit identical output.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 use grgad_datasets::GrGadDataset;
@@ -56,7 +56,7 @@ impl TpGrGadResult {
             .filter(|(_, &flag)| flag)
             .map(|((g, &s), _)| (g, s))
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
         out
     }
 }
@@ -234,7 +234,7 @@ impl TpGrGad {
 /// history.
 #[derive(Default)]
 pub struct GroupEmbeddingCache {
-    entries: HashMap<Group, Vec<f32>>,
+    entries: BTreeMap<Group, Vec<f32>>,
     hits: u64,
     misses: u64,
 }
@@ -782,7 +782,7 @@ fn embed_groups_cached(
     // accumulates embeddings for groups that will never be candidates
     // again (unbounded RSS).
     if cache.entries.len() > 4 * groups.len() + 64 {
-        let current: std::collections::HashSet<&Group> = groups.iter().collect();
+        let current: std::collections::BTreeSet<&Group> = groups.iter().collect();
         cache.entries.retain(|group, _| current.contains(group));
     }
     out
@@ -830,7 +830,7 @@ fn adaptive_threshold(scores: &[f32], k: f32) -> Vec<bool> {
             .iter()
             .enumerate()
             .filter(|(_, s)| s.is_finite())
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| a.1.total_cmp(b.1))
         {
             flags[best.0] = true;
         }
@@ -993,7 +993,7 @@ mod tests {
         assert_eq!(cold.candidate_groups, full.candidate_groups);
         assert!(cache.misses() > 0 && cache.hits() == 0);
         assert_eq!(cache.len(), {
-            let unique: std::collections::HashSet<_> = cold.candidate_groups.iter().collect();
+            let unique: std::collections::BTreeSet<_> = cold.candidate_groups.iter().collect();
             unique.len()
         });
 

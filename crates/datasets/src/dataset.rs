@@ -1,7 +1,7 @@
 //! The [`GrGadDataset`] container: a graph plus its ground-truth anomaly
 //! groups, with the statistics reported in Tables I and II.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use grgad_graph::patterns::{classify, pattern_counts, TopologyPattern};
 use grgad_graph::{Graph, Group};
@@ -79,7 +79,7 @@ impl GrGadDataset {
     }
 
     /// The set of all nodes belonging to some anomaly group.
-    pub fn anomalous_nodes(&self) -> HashSet<usize> {
+    pub fn anomalous_nodes(&self) -> BTreeSet<usize> {
         self.anomaly_groups
             .iter()
             .flat_map(|g| g.nodes().iter().copied())

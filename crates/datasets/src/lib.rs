@@ -21,6 +21,11 @@
 //! * [`injection`] — reusable anomaly-group injection primitives.
 //! * [`io`] — JSON (de)serialization of datasets.
 
+// The serving contract extends workspace-wide: no `unwrap()` outside
+// test code — fallible paths return `Result<_, GrgadError>` or justify
+// themselves with `expect` + a `grgad-lint` suppression where truly
+// infallible. Enforced per-crate so the vendored shims stay untouched.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod amlpublic;
 pub mod citation;
 pub mod dataset;

@@ -15,6 +15,11 @@
 //! re-exports it as `grgad_core::error::GrgadError`, the canonical public
 //! path.
 
+// The serving contract extends workspace-wide: no `unwrap()` outside
+// test code — fallible paths return `Result<_, GrgadError>` or justify
+// themselves with `expect` + a `grgad-lint` suppression where truly
+// infallible. Enforced per-crate so the vendored shims stay untouched.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 use std::fmt;
 
 /// Every way a public TP-GrGAD API can fail.

@@ -20,12 +20,7 @@ pub fn select_anchor_nodes(scores: &[f32], fraction: f32) -> Vec<usize> {
 /// (ties broken by smaller index first).
 pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
     idx.truncate(k);
     idx
 }

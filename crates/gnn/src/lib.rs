@@ -12,6 +12,11 @@
 //! Nodes whose reconstruction error `r_i = λ·r_stru + (1−λ)·r_attr` is among
 //! the top `p%` are selected as **anchor nodes** for candidate-group sampling.
 
+// The serving contract extends workspace-wide: no `unwrap()` outside
+// test code — fallible paths return `Result<_, GrgadError>` or justify
+// themselves with `expect` + a `grgad-lint` suppression where truly
+// infallible. Enforced per-crate so the vendored shims stay untouched.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod anchors;
 pub mod gae;
 pub mod gcn;

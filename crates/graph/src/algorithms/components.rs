@@ -1,6 +1,6 @@
 //! Connected components of a graph or an induced node subset.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use crate::Graph;
 
@@ -39,8 +39,8 @@ pub fn connected_components(graph: &Graph) -> Vec<Vec<usize>> {
 /// AS-GAE) to the Gr-GAD task: detected anomalous nodes are grouped into
 /// connected components.
 pub fn connected_components_of_subset(graph: &Graph, nodes: &[usize]) -> Vec<Vec<usize>> {
-    let allowed: HashSet<usize> = nodes.iter().copied().collect();
-    let mut visited: HashSet<usize> = HashSet::with_capacity(allowed.len());
+    let allowed: BTreeSet<usize> = nodes.iter().copied().collect();
+    let mut visited: BTreeSet<usize> = BTreeSet::new();
     let mut components = Vec::new();
     let mut sorted_nodes: Vec<usize> = allowed.iter().copied().collect();
     sorted_nodes.sort_unstable();

@@ -64,6 +64,9 @@ pub fn cycles_through_budgeted(
     cycles
 }
 
+// The recursion threads every accumulator explicitly instead of bundling
+// them in a context struct: the DFS is the cycle-search hot path and the
+// call is self-recursive, so the flat argument list stays.
 #[allow(clippy::too_many_arguments)]
 fn dfs(
     graph: &Graph,

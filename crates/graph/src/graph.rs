@@ -99,7 +99,38 @@ impl Graph {
         debug_assert!(self.adj.iter().enumerate().all(|(u, nbrs)| {
             nbrs.windows(2).all(|w| w[0] < w[1]) && nbrs.iter().all(|&v| v != u)
         }));
+        debug_assert_eq!(
+            self.adj.iter().map(Vec::len).sum::<usize>(),
+            2 * self.num_edges,
+            "derived edge counter out of sync with adjacency lists"
+        );
         Ok(())
+    }
+
+    /// Debug-build check of the mutation invariants around one touched edge:
+    /// both endpoint lists stay strictly sorted (deduplicated, loop-free) and
+    /// mirror each other. Called after every edge mutation so a future
+    /// mutator that breaks the sorted-insert discipline fails loudly in
+    /// `cargo test` instead of silently degrading `has_edge` binary search.
+    #[inline]
+    fn debug_assert_edge_invariants(&self, u: usize, v: usize) {
+        debug_assert!(
+            self.adj[u].windows(2).all(|w| w[0] < w[1]),
+            "neighbors of {u} no longer strictly sorted"
+        );
+        debug_assert!(
+            self.adj[v].windows(2).all(|w| w[0] < w[1]),
+            "neighbors of {v} no longer strictly sorted"
+        );
+        debug_assert_eq!(
+            self.adj[u].binary_search(&v).is_ok(),
+            self.adj[v].binary_search(&u).is_ok(),
+            "adjacency no longer symmetric between {u} and {v}"
+        );
+        debug_assert!(
+            self.adj[u].binary_search(&u).is_err() && self.adj[v].binary_search(&v).is_err(),
+            "self-loop introduced at {u} or {v}"
+        );
     }
 
     /// Creates a graph with `n` isolated nodes and the given feature matrix.
@@ -288,11 +319,16 @@ impl Graph {
         if u == v || self.has_edge(u, v) {
             return false;
         }
-        let pos_u = self.adj[u].binary_search(&v).unwrap_err();
+        let pos_u = self.adj[u]
+            .binary_search(&v)
+            .expect_err("has_edge ruled out presence");
         self.adj[u].insert(pos_u, v);
-        let pos_v = self.adj[v].binary_search(&u).unwrap_err();
+        let pos_v = self.adj[v]
+            .binary_search(&u)
+            .expect_err("has_edge ruled out presence");
         self.adj[v].insert(pos_v, u);
         self.num_edges += 1;
+        self.debug_assert_edge_invariants(u, v);
         true
     }
 
@@ -303,6 +339,7 @@ impl Graph {
             let pos_v = self.adj[v].binary_search(&u).expect("asymmetric adjacency");
             self.adj[v].remove(pos_v);
             self.num_edges -= 1;
+            self.debug_assert_edge_invariants(u, v);
             true
         } else {
             false
@@ -328,6 +365,11 @@ impl Graph {
         let idx = self.num_nodes();
         self.adj.push(Vec::new());
         self.features.push_row(feature);
+        debug_assert_eq!(
+            self.features.rows(),
+            self.adj.len(),
+            "feature matrix out of sync with adjacency after add_node"
+        );
         idx
     }
 
@@ -378,7 +420,7 @@ impl Graph {
         let index_of = |v: usize| order.iter().position(|&x| x == v);
         // For small groups a linear scan is fine; for large node sets build a map.
         if order.len() > 64 {
-            let mut map = std::collections::HashMap::with_capacity(order.len());
+            let mut map = std::collections::BTreeMap::new();
             for (i, &v) in order.iter().enumerate() {
                 map.insert(v, i);
             }
@@ -639,5 +681,28 @@ mod tests {
         let (sub, _) = g.induced_subgraph(&nodes);
         assert_eq!(sub.num_nodes(), 100);
         assert_eq!(sub.num_edges(), 99);
+    }
+
+    #[test]
+    fn mutation_storm_preserves_invariants() {
+        // Interleave every mutator; the per-mutation debug_asserts fire on
+        // any broken invariant, and `validate` cross-checks the derived
+        // edge counter at the end.
+        let mut g = Graph::new(4, Matrix::zeros(4, 2));
+        for (u, v) in [(0, 1), (2, 3), (1, 2), (0, 3), (0, 2)] {
+            assert!(g.try_add_edge(u, v).expect("in range"));
+        }
+        assert!(!g.try_add_edge(1, 0).expect("duplicate is Ok(false)"));
+        assert!(!g.try_add_edge(2, 2).expect("self-loop is Ok(false)"));
+        assert!(g.try_remove_edge(0, 3).expect("in range"));
+        assert!(!g.try_remove_edge(0, 3).expect("absent is Ok(false)"));
+        let n = g.try_add_node(&[1.0, -1.0]).expect("finite features");
+        assert!(g.try_add_edge(n, 0).expect("in range"));
+        g.try_set_node_features(n, &[0.5, 0.5]).expect("in range");
+        assert!(g.validate("mutation storm").is_ok());
+        assert_eq!(g.num_edges(), 5);
+        for u in 0..g.num_nodes() {
+            assert!(g.neighbors(u).windows(2).all(|w| w[0] < w[1]));
+        }
     }
 }

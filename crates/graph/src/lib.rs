@@ -15,6 +15,11 @@
 //!   (path / tree / cycle / other), used for Table II and by the PPA/PBA
 //!   augmentations.
 
+// The serving contract extends workspace-wide: no `unwrap()` outside
+// test code — fallible paths return `Result<_, GrgadError>` or justify
+// themselves with `expect` + a `grgad-lint` suppression where truly
+// infallible. Enforced per-crate so the vendored shims stay untouched.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod algorithms;
 pub mod graph;
 pub mod group;

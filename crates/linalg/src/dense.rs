@@ -699,6 +699,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 10k RNG draws — minutes under Miri, no UB surface
     fn rand_normal_is_roughly_centered() {
         let mut rng = StdRng::seed_from_u64(4);
         let m = Matrix::rand_normal(100, 100, 1.0, &mut rng);

@@ -15,6 +15,11 @@
 //! dimensions of a few thousand, which plain (cache-friendly, ikj-ordered)
 //! loops handle comfortably in release builds.
 
+// The serving contract extends workspace-wide: no `unwrap()` outside
+// test code — fallible paths return `Result<_, GrgadError>` or justify
+// themselves with `expect` + a `grgad-lint` suppression where truly
+// infallible. Enforced per-crate so the vendored shims stay untouched.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod dense;
 pub mod ops;
 pub mod sparse;

@@ -28,7 +28,7 @@ pub fn median(xs: &[f32]) -> f32 {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v.sort_by(f32::total_cmp);
     let mid = v.len() / 2;
     if v.len() % 2 == 1 {
         v[mid]
@@ -57,7 +57,7 @@ pub fn quantile(xs: &[f32], q: f32) -> f32 {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v.sort_by(f32::total_cmp);
     let q = q.clamp(0.0, 1.0);
     let pos = q * (v.len() - 1) as f32;
     let lo = pos.floor() as usize;
@@ -125,11 +125,7 @@ pub fn min_max_scale_columns(m: &mut Matrix) {
 pub fn ranks(xs: &[f32]) -> Vec<f32> {
     let n = xs.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| {
-        xs[a]
-            .partial_cmp(&xs[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {

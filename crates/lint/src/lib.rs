@@ -1,0 +1,120 @@
+//! `grgad-lint`: the TP-GrGAD workspace invariant checker.
+//!
+//! Every guarantee this workspace sells — golden CR/AUC pins, N-thread ≡
+//! 1-thread bit parity, incremental ≡ full-rescore parity — rests on
+//! source-level invariants: seeded RNG only, ordered iteration, no
+//! panicking paths behind `Result` APIs, all concurrency through
+//! `grgad-parallel`. This crate enforces them *statically*, before any
+//! test runs, with a dependency-free lexer-level scanner (no rustc
+//! plugin, so it works offline and on stable).
+//!
+//! The rule catalog lives in [`rules::Rule`]; DESIGN.md §10 documents the
+//! rationale for each rule. Violations can be suppressed inline — the
+//! reason is mandatory:
+//!
+//! ```text
+//! let set: HashSet<usize> = ids.collect(); // grgad-lint: allow(D1) reason="membership-only, never iterated"
+//! ```
+//!
+//! Run it over the workspace with `cargo run -p grgad-lint -- --workspace`
+//! (exit 0 = clean, 1 = violations, 2 = usage/IO error), or on explicit
+//! files. `--format json` emits the `grgad-lint/v1` report consumed by the
+//! CI artifact upload.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod report;
+pub mod rules;
+pub mod scanner;
+
+pub use report::Report;
+pub use rules::{Diagnostic, FileContext, FileKind, Rule};
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: build output, vendored shims
+/// (third-party API surface, not ours) and the lint fixtures (which are
+/// violations *on purpose*).
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", "fixtures", ".git"];
+
+/// Lints every workspace-owned Rust source under `root`.
+///
+/// Scans `src/`, `tests/`, `examples/` and `crates/*/{src,tests}/`,
+/// skipping build output, vendored shims and lint fixtures (`SKIP_DIRS`).
+/// Files are visited in sorted path order so reports are deterministic
+/// across filesystems.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for top in ["src", "tests", "examples", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    lint_files(root, &files)
+}
+
+/// Lints an explicit file list. Paths are reported relative to `root`
+/// when possible, verbatim otherwise.
+pub fn lint_files(root: &Path, files: &[PathBuf]) -> Result<Report, String> {
+    let mut report = Report::default();
+    for path in files {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let ctx = FileContext::classify(&rel);
+        report.diagnostics.extend(rules::lint_source(&src, &ctx));
+        report.files_scanned += 1;
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir entry in {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_dirs_cover_fixtures_and_vendor() {
+        assert!(SKIP_DIRS.contains(&"fixtures"));
+        assert!(SKIP_DIRS.contains(&"vendor"));
+        assert!(SKIP_DIRS.contains(&"target"));
+    }
+
+    #[test]
+    fn lint_files_reports_relative_paths() {
+        let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let file = manifest.join("src/lib.rs");
+        let report = lint_files(manifest, &[file]).expect("lints");
+        assert_eq!(report.files_scanned, 1);
+        for d in &report.diagnostics {
+            assert!(d.path.starts_with("src/"), "unexpected path {}", d.path);
+        }
+    }
+}

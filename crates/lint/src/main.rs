@@ -1,0 +1,104 @@
+//! CLI for `grgad-lint`, the workspace invariant checker.
+//!
+//! ```text
+//! grgad-lint --workspace [--root DIR] [--format text|json]
+//! grgad-lint <file.rs>… [--root DIR] [--format text|json]
+//! grgad-lint --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use grgad_lint::{lint_files, lint_workspace, Rule};
+
+struct Args {
+    workspace: bool,
+    root: PathBuf,
+    format: Format,
+    list_rules: bool,
+    files: Vec<PathBuf>,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+const USAGE: &str = "usage: grgad-lint (--workspace | <file.rs>…) \
+                     [--root DIR] [--format text|json] [--list-rules]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        root: PathBuf::from("."),
+        format: Format::Text,
+        list_rules: false,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--format" => {
+                args.format = match it.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => return Err(format!("--format text|json, got {other:?}")),
+                };
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{USAGE}"));
+            }
+            file => args.files.push(PathBuf::from(file)),
+        }
+    }
+    if !args.workspace && args.files.is_empty() && !args.list_rules {
+        return Err(USAGE.to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for rule in Rule::ALL {
+            println!("{:3}  {}", rule.id(), rule.title());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let result = if args.workspace {
+        lint_workspace(&args.root)
+    } else {
+        lint_files(&args.root, &args.files)
+    };
+    let report = match result {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("grgad-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match args.format {
+        Format::Text => print!("{}", report.render_text()),
+        Format::Json => print!("{}", report.render_json()),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

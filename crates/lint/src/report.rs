@@ -1,0 +1,154 @@
+//! Lint run results and their text / JSON renderings.
+//!
+//! The JSON writer is hand-rolled (the checker is dependency-free by
+//! design — it must stay buildable before anything else in the workspace
+//! compiles) and emits keys in a fixed order so reports diff cleanly.
+
+use crate::rules::{Diagnostic, Rule};
+
+/// The result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// All findings, in (path, line, col) order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// True when the run found nothing — the exit-0 condition.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Per-rule finding counts, in catalog order (zero counts included).
+    pub fn counts(&self) -> Vec<(Rule, usize)> {
+        Rule::ALL
+            .iter()
+            .map(|&r| (r, self.diagnostics.iter().filter(|d| d.rule == r).count()))
+            .collect()
+    }
+
+    /// Human-readable rendering: one `path:line:col: [ID] message` per
+    /// finding plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        if self.is_clean() {
+            out.push_str(&format!(
+                "grgad-lint: {} files scanned, no violations\n",
+                self.files_scanned
+            ));
+        } else {
+            let by_rule: Vec<String> = self
+                .counts()
+                .into_iter()
+                .filter(|&(_, n)| n > 0)
+                .map(|(r, n)| format!("{} x{n}", r.id()))
+                .collect();
+            out.push_str(&format!(
+                "grgad-lint: {} violation(s) in {} files scanned ({})\n",
+                self.diagnostics.len(),
+                self.files_scanned,
+                by_rule.join(", ")
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable rendering (`--format json`), schema `grgad-lint/v1`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"grgad-lint/v1\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str("  \"counts\": {");
+        let counts = self.counts();
+        for (i, (rule, n)) in counts.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {n}", rule.id()));
+        }
+        out.push_str("},\n");
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"rule\": \"{}\", ", d.rule.id()));
+            out.push_str(&format!("\"path\": {}, ", json_string(&d.path)));
+            out.push_str(&format!("\"line\": {}, ", d.line));
+            out.push_str(&format!("\"col\": {}, ", d.col));
+            out.push_str(&format!("\"message\": {}", json_string(&d.message)));
+            out.push('}');
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn clean_report_renders() {
+        let r = Report {
+            files_scanned: 3,
+            diagnostics: vec![],
+        };
+        assert!(r.is_clean());
+        assert!(r.render_text().contains("no violations"));
+        assert!(r.render_json().contains("\"clean\": true"));
+        assert!(r.render_json().contains("\"D1\": 0"));
+    }
+
+    #[test]
+    fn dirty_report_counts() {
+        let r = Report {
+            files_scanned: 1,
+            diagnostics: vec![Diagnostic {
+                rule: Rule::D1,
+                path: "x.rs".into(),
+                line: 3,
+                col: 7,
+                message: "m".into(),
+            }],
+        };
+        assert!(!r.is_clean());
+        assert!(r.render_text().contains("x.rs:3:7: [D1] m"));
+        assert!(r.render_json().contains("\"D1\": 1"));
+    }
+}

@@ -1,0 +1,790 @@
+//! The invariant rule catalog and the per-file rule engine.
+//!
+//! Every rule has a stable ID (used in diagnostics, JSON output and
+//! suppression comments), a scope (which crates / file kinds it applies
+//! to) and a lexer-level detection pattern. See DESIGN.md §10 for the
+//! rationale behind each rule and the suppression policy.
+
+use crate::scanner::{find_word_from, scan};
+
+/// Stable rule identifiers. The numbering groups rules by family:
+/// `D*` determinism, `T*` thread discipline, `P*` panic-freedom /
+/// precision, `H*` hygiene, `U*` unsafe, `L*` the lint tool's own
+/// directive syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// `HashMap`/`HashSet`: iteration order is nondeterministic.
+    D1,
+    /// Unseeded randomness or wall-clock reads in model-affecting code.
+    D2,
+    /// Float ordering through `partial_cmp` instead of `total_cmp`.
+    D3,
+    /// Raw threading (`std::thread::spawn`/`rayon`/…) outside `grgad-parallel`.
+    T1,
+    /// Nested parallel primitives (oversubscription at a call site).
+    T2,
+    /// Panicking calls inside `pub fn … -> Result` bodies of boundary crates.
+    P1,
+    /// Truncating `as` integer casts where node ids flow.
+    P2,
+    /// `dbg!`/`println!`-family macros in library code.
+    H1,
+    /// `#[allow(clippy::…)]` without a reason.
+    H2,
+    /// `todo!` / `unimplemented!` anywhere.
+    H3,
+    /// `unsafe` outside the kernel crates, or without a `SAFETY:` comment.
+    U1,
+    /// Malformed suppression directive (bad rule id or missing reason).
+    L1,
+}
+
+impl Rule {
+    /// Every rule, in catalog order.
+    pub const ALL: [Rule; 12] = [
+        Rule::D1,
+        Rule::D2,
+        Rule::D3,
+        Rule::T1,
+        Rule::T2,
+        Rule::P1,
+        Rule::P2,
+        Rule::H1,
+        Rule::H2,
+        Rule::H3,
+        Rule::U1,
+        Rule::L1,
+    ];
+
+    /// The stable ID string (`"D1"`, …).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::T1 => "T1",
+            Rule::T2 => "T2",
+            Rule::P1 => "P1",
+            Rule::P2 => "P2",
+            Rule::H1 => "H1",
+            Rule::H2 => "H2",
+            Rule::H3 => "H3",
+            Rule::U1 => "U1",
+            Rule::L1 => "L1",
+        }
+    }
+
+    /// One-line summary shown by `--list-rules`.
+    pub fn title(self) -> &'static str {
+        match self {
+            Rule::D1 => "no HashMap/HashSet (nondeterministic iteration order) — use BTreeMap/BTreeSet",
+            Rule::D2 => "no unseeded RNG (thread_rng/from_entropy) or wall-clock (SystemTime, Instant outside timing seams)",
+            Rule::D3 => "float ordering must use total_cmp, not partial_cmp",
+            Rule::T1 => "no std::thread::spawn/scope or rayon/crossbeam outside crates/parallel",
+            Rule::T2 => "no parallel primitive inside an argument to another parallel primitive (oversubscription)",
+            Rule::P1 => "no unwrap/expect/panic!/unreachable! inside pub fn -> Result bodies of core/serve/datasets/error",
+            Rule::P2 => "no truncating `as` integer casts in id-bearing crates — use try_into",
+            Rule::H1 => "no dbg!/println!/eprintln! in library code",
+            Rule::H2 => "no #[allow(clippy::…)] without a reason comment",
+            Rule::H3 => "no todo!/unimplemented!",
+            Rule::U1 => "no unsafe outside linalg/parallel; unsafe there requires a SAFETY: comment",
+            Rule::L1 => "malformed grgad-lint suppression directive",
+        }
+    }
+
+    /// Parses a rule ID (as written in suppression comments).
+    pub fn parse(s: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.id() == s)
+    }
+}
+
+/// What kind of compilation target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// A library source (`src/**` outside `src/bin`).
+    Lib,
+    /// A binary source (`src/bin/**` or `src/main.rs`).
+    Bin,
+    /// An example (`examples/**`).
+    Example,
+    /// An integration-test file (`tests/**`).
+    TestFile,
+}
+
+/// Workspace-relative classification of one source file.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Workspace-relative path with `/` separators (also the diagnostic path).
+    pub rel_path: String,
+    /// Short crate name: `"core"`, `"serve"`, … or `"root"` for the umbrella.
+    pub crate_name: String,
+    /// Target kind.
+    pub kind: FileKind,
+}
+
+impl FileContext {
+    /// Classifies a workspace-relative path.
+    pub fn classify(rel_path: &str) -> FileContext {
+        let rel = rel_path.replace('\\', "/");
+        let parts: Vec<&str> = rel.split('/').collect();
+        let (crate_name, rest) = if parts.first() == Some(&"crates") && parts.len() >= 2 {
+            (parts[1].to_string(), &parts[2..])
+        } else {
+            ("root".to_string(), &parts[..])
+        };
+        let kind = if rest.first() == Some(&"tests") {
+            FileKind::TestFile
+        } else if rest.first() == Some(&"examples") {
+            FileKind::Example
+        } else if rest.get(1) == Some(&"bin") || rest.last() == Some(&"main.rs") {
+            FileKind::Bin
+        } else {
+            FileKind::Lib
+        };
+        FileContext {
+            rel_path: rel,
+            crate_name,
+            kind,
+        }
+    }
+}
+
+/// One finding, pointing at a workspace-relative `path:line:col`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `path:line:col: [ID] message` — the text rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.col,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// The parallel-primitive call names exported by `grgad-parallel`. T2
+/// flags any of these appearing inside the argument list of another.
+const PAR_PRIMITIVES: [&str; 5] = [
+    "par_map_indexed",
+    "par_map_indexed_min",
+    "par_map_range",
+    "par_map_range_min",
+    "par_chunks_mut",
+];
+
+/// Panicking calls flagged by P1 inside `pub fn … -> Result` bodies.
+/// `todo!`/`unimplemented!` are owned by H3 (which applies everywhere) and
+/// deliberately not duplicated here.
+const P1_MACROS: [&str; 2] = ["panic", "unreachable"];
+const P1_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+/// Truncating cast targets flagged by P2 (node ids are `usize`).
+const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Crates whose `pub fn … -> Result` bodies must be panic-free (P1).
+const P1_CRATES: [&str; 4] = ["core", "serve", "datasets", "error"];
+
+/// Crates where node ids flow through integer casts (P2).
+const P2_CRATES: [&str; 5] = ["graph", "serve", "datasets", "core", "sampling"];
+
+/// Crates allowed to use `unsafe` *with* a `SAFETY:` comment (U1).
+const UNSAFE_CRATES: [&str; 2] = ["linalg", "parallel"];
+
+#[derive(Debug, Default)]
+struct FileState {
+    brace_depth: i32,
+    paren_depth: i32,
+    /// Brace depth at which a `#[cfg(test)]` region opened.
+    test_region: Option<i32>,
+    /// A `#[cfg(test)]` attribute was seen; the next `{` opens a test
+    /// region, a `;` first cancels (single-item attribute).
+    pending_cfg_test: bool,
+    /// Signature text being accumulated between `pub fn` and `{`/`;`.
+    sig: Option<String>,
+    /// Brace depths (before the opening `{`) of active `pub fn -> Result`
+    /// bodies.
+    result_fn_stack: Vec<i32>,
+    /// Paren depths (before the opening `(`) of active parallel-primitive
+    /// argument lists.
+    par_stack: Vec<i32>,
+    /// Rules allowed by suppression comments on preceding comment-only
+    /// lines, pending application to the next code line.
+    pending_allows: Vec<Rule>,
+    /// Comment text of the previous lines, newest last (for SAFETY: and
+    /// H2 reason lookback).
+    recent_comments: Vec<String>,
+}
+
+/// Lints one file's source. `ctx.rel_path` is used verbatim in diagnostics.
+pub fn lint_source(src: &str, ctx: &FileContext) -> Vec<Diagnostic> {
+    let lines = scan(src);
+    let mut st = FileState::default();
+    let mut out = Vec::new();
+
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = &line.code;
+        let code_empty = code.trim().is_empty();
+
+        // --- suppression directives -------------------------------------
+        let mut allows: Vec<Rule> = Vec::new();
+        if !code_empty {
+            allows.append(&mut st.pending_allows);
+        }
+        if line.comment.contains("grgad-lint:") {
+            match parse_suppression(&line.comment) {
+                Ok(ids) => {
+                    if code_empty {
+                        st.pending_allows.extend(ids);
+                    } else {
+                        allows.extend(ids);
+                    }
+                }
+                Err(why) => out.push(Diagnostic {
+                    rule: Rule::L1,
+                    path: ctx.rel_path.clone(),
+                    line: lineno,
+                    col: 1,
+                    message: format!("malformed suppression: {why}"),
+                }),
+            }
+        }
+
+        let in_test = st.test_region.is_some() || ctx.kind == FileKind::TestFile;
+        let emit = |rule: Rule, col: usize, message: String, out: &mut Vec<Diagnostic>| {
+            if !allows.contains(&rule) {
+                out.push(Diagnostic {
+                    rule,
+                    path: ctx.rel_path.clone(),
+                    line: lineno,
+                    col: col + 1,
+                    message,
+                });
+            }
+        };
+
+        // --- simple per-line patterns ------------------------------------
+        for word in ["HashMap", "HashSet"] {
+            if let Some(col) = find_word_from(code, word, 0) {
+                emit(
+                    Rule::D1,
+                    col,
+                    format!(
+                        "`{word}` has nondeterministic iteration order; use \
+                         `BTreeMap`/`BTreeSet`, or suppress with a reason for \
+                         membership-only use"
+                    ),
+                    &mut out,
+                );
+            }
+        }
+        for word in ["thread_rng", "from_entropy", "SystemTime"] {
+            if let Some(col) = find_word_from(code, word, 0) {
+                emit(
+                    Rule::D2,
+                    col,
+                    format!(
+                        "`{word}` is nondeterministic; draw from a seeded \
+                         `StdRng` (or route time through the timing seam)"
+                    ),
+                    &mut out,
+                );
+            }
+        }
+        if instant_in_scope(ctx, in_test) {
+            if let Some(col) = find_word_from(code, "Instant", 0) {
+                emit(
+                    Rule::D2,
+                    col,
+                    "`Instant` outside the timing seams (core::stage, bench) \
+                     makes model-affecting code time-dependent"
+                        .to_string(),
+                    &mut out,
+                );
+            }
+        }
+        if let Some(col) = find_word_from(code, "partial_cmp", 0) {
+            emit(
+                Rule::D3,
+                col,
+                "float ordering via `partial_cmp` is not NaN-robust; use \
+                 `f32::total_cmp`"
+                    .to_string(),
+                &mut out,
+            );
+        }
+        if ctx.crate_name != "parallel" {
+            for pat in ["thread::spawn", "thread::scope", "thread::Builder"] {
+                if let Some(col) = code.find(pat) {
+                    emit(
+                        Rule::T1,
+                        col,
+                        format!(
+                            "`{pat}` outside `crates/parallel`; all concurrency \
+                             goes through the deterministic `grgad-parallel` pool"
+                        ),
+                        &mut out,
+                    );
+                }
+            }
+            for word in ["rayon", "crossbeam"] {
+                if let Some(col) = find_word_from(code, word, 0) {
+                    emit(
+                        Rule::T1,
+                        col,
+                        format!("`{word}` outside `crates/parallel`"),
+                        &mut out,
+                    );
+                }
+            }
+        }
+        if h1_in_scope(ctx, in_test) {
+            for word in ["println", "print", "eprintln", "eprint", "dbg"] {
+                if let Some(col) = macro_invocation(code, word) {
+                    emit(
+                        Rule::H1,
+                        col,
+                        format!("`{word}!` in library code; return data or use the observer seam"),
+                        &mut out,
+                    );
+                }
+            }
+        }
+        for word in ["todo", "unimplemented"] {
+            if let Some(col) = macro_invocation(code, word) {
+                emit(Rule::H3, col, format!("`{word}!` left in tree"), &mut out);
+            }
+        }
+        if let Some(col) = code.find("allow(clippy::") {
+            if !in_test && !h2_has_reason(code, &st.recent_comments, &line.comment) {
+                emit(
+                    Rule::H2,
+                    col,
+                    "clippy `allow` without a reason; add `reason = \"…\"` or a \
+                     comment on the preceding line"
+                        .to_string(),
+                    &mut out,
+                );
+            }
+        }
+        if let Some(col) = find_word_from(code, "unsafe", 0) {
+            if !UNSAFE_CRATES.contains(&ctx.crate_name.as_str()) {
+                emit(
+                    Rule::U1,
+                    col,
+                    "`unsafe` outside the kernel crates (linalg, parallel)".to_string(),
+                    &mut out,
+                );
+            } else if !has_safety_comment(&st.recent_comments, &line.comment) {
+                emit(
+                    Rule::U1,
+                    col,
+                    "`unsafe` without a `SAFETY:` comment".to_string(),
+                    &mut out,
+                );
+            }
+        }
+        if !in_test
+            && ctx.kind != FileKind::TestFile
+            && P2_CRATES.contains(&ctx.crate_name.as_str())
+        {
+            let mut from = 0;
+            while let Some(col) = find_word_from(code, "as", from) {
+                let rest = &code[col + 2..];
+                let target = rest.trim_start();
+                if let Some(t) = NARROW_INTS
+                    .iter()
+                    .find(|t| target.starts_with(**t))
+                    .filter(|t| {
+                        !target[t.len()..]
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                    })
+                {
+                    emit(
+                        Rule::P2,
+                        col,
+                        format!("`as {t}` can truncate node ids; use `try_into`"),
+                        &mut out,
+                    );
+                }
+                from = col + 2;
+            }
+        }
+
+        // --- stateful walk: braces, parens, cfg(test), P1 frames, T2 -----
+        walk_line(code, ctx, in_test, &mut st, &mut |rule, col, msg| {
+            emit(rule, col, msg, &mut out)
+        });
+
+        // --- comment history for SAFETY:/H2 lookback ---------------------
+        if code_empty {
+            st.recent_comments.push(line.comment.clone());
+        } else {
+            st.recent_comments.clear();
+            st.recent_comments.push(line.comment.clone());
+        }
+        if st.recent_comments.len() > 8 {
+            st.recent_comments.remove(0);
+        }
+    }
+    out
+}
+
+/// Character-level walk of one code line: tracks brace/paren depth, opens
+/// and closes `#[cfg(test)]` regions, `pub fn -> Result` frames (P1) and
+/// parallel-call argument spans (T2).
+fn walk_line(
+    code: &str,
+    ctx: &FileContext,
+    in_test_at_line_start: bool,
+    st: &mut FileState,
+    emit: &mut dyn FnMut(Rule, usize, String),
+) {
+    if code.contains("cfg(test)") {
+        st.pending_cfg_test = true;
+    }
+
+    // Word tokens with positions, for fn/pub/par detection.
+    let tokens = tokenize(code);
+    let mut ti = 0;
+    let mut prev_word: Option<&str> = None;
+
+    let p1_scope = !in_test_at_line_start
+        && P1_CRATES.contains(&ctx.crate_name.as_str())
+        && matches!(ctx.kind, FileKind::Lib | FileKind::Bin);
+
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Token events at this position.
+        while ti < tokens.len() && tokens[ti].0 == i {
+            let (start, end, word) = tokens[ti];
+            ti += 1;
+            // pub fn … -> Result signature capture. `pub` followed by a
+            // qualifier like `pub(crate)` is not a public surface.
+            if word == "fn" && prev_word == Some("pub") && st.sig.is_none() {
+                st.sig = Some(String::new());
+            }
+            if PAR_PRIMITIVES.contains(&word) && next_nonspace(code, end) == Some('(') {
+                // Definition sites (`fn par_map…`) are not calls.
+                if prev_word != Some("fn") && ctx.crate_name != "parallel" {
+                    if !st.par_stack.is_empty() {
+                        emit(
+                            Rule::T2,
+                            start,
+                            format!(
+                                "`{word}` inside an argument to another parallel \
+                                 primitive: nested parallelism oversubscribes the pool"
+                            ),
+                        );
+                    }
+                    st.par_stack.push(st.paren_depth);
+                }
+            }
+            if p1_scope && !st.result_fn_stack.is_empty() {
+                if P1_METHODS.contains(&word) && next_nonspace(code, end) == Some('(') {
+                    emit(
+                        Rule::P1,
+                        start,
+                        format!(
+                            "`{word}` inside a `pub fn … -> Result` body; propagate \
+                             a `GrgadError` instead"
+                        ),
+                    );
+                }
+                if P1_MACROS.contains(&word) && next_nonspace(code, end) == Some('!') {
+                    emit(
+                        Rule::P1,
+                        start,
+                        format!("`{word}!` inside a `pub fn … -> Result` body"),
+                    );
+                }
+            }
+            prev_word = Some(word);
+        }
+
+        let c = bytes[i] as char;
+        if st.sig.is_some() && (c == '{' || c == ';') {
+            let done = std::mem::take(&mut st.sig).unwrap_or_default();
+            if c == '{' && sig_returns_result(&done) {
+                st.result_fn_stack.push(st.brace_depth);
+            }
+        } else if let Some(sig) = st.sig.as_mut() {
+            sig.push(c);
+        }
+        match c {
+            '{' => {
+                if st.pending_cfg_test {
+                    st.test_region = Some(st.brace_depth);
+                    st.pending_cfg_test = false;
+                }
+                st.brace_depth += 1;
+            }
+            '}' => {
+                st.brace_depth -= 1;
+                if let Some(open) = st.test_region {
+                    if st.brace_depth <= open {
+                        st.test_region = None;
+                    }
+                }
+                while st
+                    .result_fn_stack
+                    .last()
+                    .is_some_and(|&open| st.brace_depth <= open)
+                {
+                    st.result_fn_stack.pop();
+                }
+            }
+            '(' => st.paren_depth += 1,
+            ')' => {
+                st.paren_depth -= 1;
+                while st
+                    .par_stack
+                    .last()
+                    .is_some_and(|&open| st.paren_depth <= open)
+                {
+                    st.par_stack.pop();
+                }
+            }
+            // `#[cfg(test)]` gating a single braceless item.
+            ';' if st.pending_cfg_test => st.pending_cfg_test = false,
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Splits a code line into `(start, end, word)` identifier tokens.
+fn tokenize(code: &str) -> Vec<(usize, usize, &str)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push((start, i, &code[start..i]));
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn next_nonspace(code: &str, from: usize) -> Option<char> {
+    code[from..].chars().find(|c| !c.is_whitespace())
+}
+
+/// Does a captured `pub fn` signature (text between `fn` and the body)
+/// declare a `Result` return type?
+fn sig_returns_result(sig: &str) -> bool {
+    sig.find("->")
+        .is_some_and(|at| sig[at..].contains("Result"))
+}
+
+fn instant_in_scope(ctx: &FileContext, in_test: bool) -> bool {
+    !in_test
+        && ctx.kind == FileKind::Lib
+        && ctx.crate_name != "bench"
+        && ctx.rel_path != "crates/core/src/stage.rs"
+}
+
+fn h1_in_scope(ctx: &FileContext, in_test: bool) -> bool {
+    !in_test && ctx.kind == FileKind::Lib && ctx.crate_name != "bench"
+}
+
+/// A macro invocation `word!` (whole word followed by `!`, not `!=`).
+fn macro_invocation(code: &str, word: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(col) = find_word_from(code, word, from) {
+        let rest = &code[col + word.len()..];
+        if rest.starts_with('!') && !rest.starts_with("!=") {
+            return Some(col);
+        }
+        from = col + word.len();
+    }
+    None
+}
+
+/// H2: an `allow(clippy::…)` is justified by an inline `reason = "…"`, a
+/// trailing comment on the same line, or a comment directly above.
+fn h2_has_reason(code: &str, recent_comments: &[String], line_comment: &str) -> bool {
+    if code.contains("reason") {
+        return true;
+    }
+    if !line_comment.trim().is_empty() {
+        return true;
+    }
+    recent_comments
+        .iter()
+        .rev()
+        .take(3)
+        .any(|c| !c.trim().is_empty())
+}
+
+fn has_safety_comment(recent_comments: &[String], line_comment: &str) -> bool {
+    line_comment.contains("SAFETY")
+        || recent_comments
+            .iter()
+            .rev()
+            .take(4)
+            .any(|c| c.contains("SAFETY"))
+}
+
+/// Parses a suppression directive — the marker, then `allow(ID[, ID…])`,
+/// then the mandatory `reason="…"` — from a line's comment text.
+/// Returns the allowed rules, or a description of what is malformed.
+fn parse_suppression(comment: &str) -> Result<Vec<Rule>, String> {
+    let at = comment
+        .find("grgad-lint:")
+        .ok_or_else(|| "missing `grgad-lint:` marker".to_string())?;
+    let rest = comment[at + "grgad-lint:".len()..].trim_start();
+    let rest = rest
+        .strip_prefix("allow(")
+        .ok_or_else(|| "expected `allow(<rule-id>[, …])` after `grgad-lint:`".to_string())?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "unclosed `allow(` list".to_string())?;
+    let ids = &rest[..close];
+    let mut rules = Vec::new();
+    for raw in ids.split(',') {
+        let id = raw.trim();
+        if id.is_empty() {
+            return Err("empty rule id in `allow(…)`".to_string());
+        }
+        let rule =
+            Rule::parse(id).ok_or_else(|| format!("unknown rule id `{id}` in `allow(…)`"))?;
+        rules.push(rule);
+    }
+    if rules.is_empty() {
+        return Err("empty `allow(…)` list".to_string());
+    }
+    let tail = rest[close + 1..].trim_start();
+    let reason = tail
+        .strip_prefix("reason=\"")
+        .or_else(|| tail.strip_prefix("reason = \""))
+        .ok_or_else(|| "missing required `reason=\"…\"`".to_string())?;
+    let end = reason
+        .find('"')
+        .ok_or_else(|| "unclosed `reason=\"…\"` string".to_string())?;
+    if reason[..end].trim().is_empty() {
+        return Err("empty `reason=\"…\"` string".to_string());
+    }
+    Ok(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_ctx(path: &str) -> FileContext {
+        FileContext::classify(path)
+    }
+
+    #[test]
+    fn classify_paths() {
+        let c = FileContext::classify("crates/core/src/pipeline.rs");
+        assert_eq!(c.crate_name, "core");
+        assert_eq!(c.kind, FileKind::Lib);
+        let c = FileContext::classify("crates/serve/src/bin/grgad_serve.rs");
+        assert_eq!(c.kind, FileKind::Bin);
+        let c = FileContext::classify("crates/bench/tests/bench_suite_integration.rs");
+        assert_eq!(c.kind, FileKind::TestFile);
+        let c = FileContext::classify("tests/parallel_parity.rs");
+        assert_eq!(c.crate_name, "root");
+        assert_eq!(c.kind, FileKind::TestFile);
+        let c = FileContext::classify("examples/quickstart.rs");
+        assert_eq!(c.kind, FileKind::Example);
+    }
+
+    #[test]
+    fn suppression_grammar() {
+        assert!(parse_suppression("grgad-lint: allow(D1) reason=\"membership only\"").is_ok());
+        assert_eq!(
+            parse_suppression("grgad-lint: allow(D1, D3) reason=\"x\"")
+                .expect("parses")
+                .len(),
+            2
+        );
+        assert!(parse_suppression("grgad-lint: allow(D1)").is_err());
+        assert!(parse_suppression("grgad-lint: allow(ZZ) reason=\"x\"").is_err());
+        assert!(parse_suppression("grgad-lint: allow() reason=\"x\"").is_err());
+        assert!(parse_suppression("grgad-lint: allow(D1) reason=\"\"").is_err());
+    }
+
+    #[test]
+    fn cfg_test_region_exempts_p1() {
+        let src = r#"
+pub fn f() -> Result<(), ()> {
+    let x: Option<u8> = None;
+    x.unwrap();
+    Ok(())
+}
+#[cfg(test)]
+mod tests {
+    pub fn g() -> Result<(), ()> {
+        let x: Option<u8> = None;
+        x.unwrap();
+        Ok(())
+    }
+}
+"#;
+        let diags = lint_source(src, &lib_ctx("crates/core/src/x.rs"));
+        let p1: Vec<_> = diags.iter().filter(|d| d.rule == Rule::P1).collect();
+        assert_eq!(p1.len(), 1, "{diags:?}");
+        assert_eq!(p1[0].line, 4);
+    }
+
+    #[test]
+    fn non_result_fn_is_not_p1() {
+        let src = "pub fn f() -> usize {\n    Some(1).unwrap()\n}\n";
+        let diags = lint_source(src, &lib_ctx("crates/core/src/x.rs"));
+        assert!(diags.iter().all(|d| d.rule != Rule::P1), "{diags:?}");
+    }
+
+    #[test]
+    fn nested_par_is_t2() {
+        let src = "fn f() {\n    par_map_indexed(&xs, |_, x| par_map_range(3, |i| i + x));\n}\n";
+        let diags = lint_source(src, &lib_ctx("crates/gnn/src/x.rs"));
+        assert_eq!(diags.iter().filter(|d| d.rule == Rule::T2).count(), 1);
+        // Sequential calls are fine.
+        let src = "fn f() {\n    par_map_range(3, |i| i);\n    par_map_range(3, |i| i);\n}\n";
+        let diags = lint_source(src, &lib_ctx("crates/gnn/src/x.rs"));
+        assert!(diags.iter().all(|d| d.rule != Rule::T2));
+    }
+
+    #[test]
+    fn suppression_silences_same_and_next_line() {
+        let src = "use std::collections::HashMap; // grgad-lint: allow(D1) reason=\"k\"\n";
+        assert!(lint_source(src, &lib_ctx("crates/core/src/x.rs")).is_empty());
+        let src = "// grgad-lint: allow(D1) reason=\"k\"\nuse std::collections::HashMap;\n";
+        assert!(lint_source(src, &lib_ctx("crates/core/src/x.rs")).is_empty());
+        // …but not two lines down.
+        let src =
+            "// grgad-lint: allow(D1) reason=\"k\"\nlet a = 1;\nuse std::collections::HashMap;\n";
+        assert_eq!(lint_source(src, &lib_ctx("crates/core/src/x.rs")).len(), 1);
+    }
+
+    #[test]
+    fn patterns_in_strings_do_not_fire() {
+        let src = "let s = \"HashMap thread_rng partial_cmp todo!\";\n";
+        assert!(lint_source(src, &lib_ctx("crates/core/src/x.rs")).is_empty());
+    }
+}

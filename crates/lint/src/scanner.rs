@@ -1,0 +1,334 @@
+//! The lexer-level source scanner: splits Rust source into per-line *code*
+//! and *comment* channels so rule patterns never match inside string
+//! literals or comments, and suppression directives are read from comments
+//! only.
+//!
+//! This is deliberately not a full Rust lexer — it recognizes exactly the
+//! constructs that would cause false positives for a substring-based rule
+//! engine: line comments, (nested) block comments, string literals, raw
+//! string literals (`r"…"`, `r#"…"#`, any hash depth, plus `b`/`br`
+//! prefixes), char literals and lifetimes. Everything else passes through
+//! verbatim.
+//!
+//! Column fidelity: the `code` channel of every line has exactly the same
+//! character count as the source line, with masked regions replaced by
+//! spaces, so byte offsets found by the rule engine are real column
+//! numbers.
+
+/// One source line, split into its code and comment channels.
+#[derive(Debug, Clone, Default)]
+pub struct ScannedLine {
+    /// The line with comments and literal *contents* blanked to spaces.
+    /// Quote characters are kept so the engine can see literal boundaries.
+    pub code: String,
+    /// The concatenated comment text of the line (without `//` / `/*`).
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth of `/* … */`.
+    BlockComment(u32),
+    /// Inside `"…"`; tracks a pending backslash escape.
+    Str {
+        escaped: bool,
+    },
+    /// Inside `r##"…"##` with the given hash count.
+    RawStr {
+        hashes: u32,
+    },
+    /// Inside `'…'`; tracks a pending backslash escape.
+    CharLit {
+        escaped: bool,
+    },
+}
+
+/// Scans `src` into per-line code/comment channels.
+pub fn scan(src: &str) -> Vec<ScannedLine> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = ScannedLine::default();
+    let mut state = State::Code;
+    let mut i = 0;
+
+    // Returns the number of `#` characters following a raw-string prefix at
+    // `at`, or `None` if this is not a raw string start.
+    let raw_str_hashes = |chars: &[char], at: usize| -> Option<u32> {
+        let mut j = at;
+        let mut hashes = 0u32;
+        while j < chars.len() && chars[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        (j < chars.len() && chars[j] == '"').then_some(hashes)
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    cur.code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    cur.code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str { escaped: false };
+                    cur.code.push('"');
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_is_ident(&cur.code) {
+                    // r"…", r#"…"#, b"…", br"…", br#"…"# — find the quote.
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    if c == 'b' && chars.get(j) == Some(&'"') {
+                        // plain byte string b"…"
+                        for _ in i..=j {
+                            cur.code.push(' ');
+                        }
+                        cur.code.pop();
+                        cur.code.push('"');
+                        state = State::Str { escaped: false };
+                        i = j + 1;
+                    } else if let Some(h) = raw_str_hashes(&chars, j) {
+                        // consume prefix + hashes + opening quote
+                        let end = j + h as usize; // index of the quote
+                        for _ in i..=end {
+                            cur.code.push(' ');
+                        }
+                        cur.code.pop();
+                        cur.code.push('"');
+                        state = State::RawStr { hashes: h };
+                        i = end + 1;
+                    } else {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal or lifetime. `'x'` / `'\n'` are literals;
+                    // `'a` followed by anything but a closing quote is a
+                    // lifetime (kept as code).
+                    let is_char_lit = matches!(
+                        (chars.get(i + 1), chars.get(i + 2)),
+                        (Some('\\'), _) | (Some(_), Some('\''))
+                    );
+                    if is_char_lit {
+                        state = State::CharLit { escaped: false };
+                        cur.code.push('\'');
+                    } else {
+                        cur.code.push('\'');
+                    }
+                    i += 1;
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.code.push(' ');
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    cur.code.push_str("  ");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    cur.code.push_str("  ");
+                    i += 2;
+                } else {
+                    cur.code.push(' ');
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { escaped } => {
+                if escaped {
+                    state = State::Str { escaped: false };
+                    cur.code.push(' ');
+                } else if c == '\\' {
+                    state = State::Str { escaped: true };
+                    cur.code.push(' ');
+                } else if c == '"' {
+                    state = State::Code;
+                    cur.code.push('"');
+                } else {
+                    cur.code.push(' ');
+                }
+                i += 1;
+            }
+            State::RawStr { hashes } => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        for _ in i..j {
+                            cur.code.push(' ');
+                        }
+                        cur.code.pop();
+                        cur.code.push('"');
+                        state = State::Code;
+                        i = j;
+                        continue;
+                    }
+                }
+                cur.code.push(' ');
+                i += 1;
+            }
+            State::CharLit { escaped } => {
+                if escaped {
+                    state = State::CharLit { escaped: false };
+                    cur.code.push(' ');
+                } else if c == '\\' {
+                    state = State::CharLit { escaped: true };
+                    cur.code.push(' ');
+                } else if c == '\'' {
+                    state = State::Code;
+                    cur.code.push('\'');
+                } else {
+                    cur.code.push(' ');
+                }
+                i += 1;
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// True when the last character of `code_so_far` is part of an identifier —
+/// used to tell `r"…"` (raw string) apart from e.g. `var"` or `attr` in
+/// identifiers ending with `r`/`b`.
+fn prev_is_ident(code_so_far: &str) -> bool {
+    code_so_far
+        .chars()
+        .last()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Finds the byte offset of `word` in `code` as a whole identifier (both
+/// neighbors are non-identifier characters), starting at `from`.
+pub fn find_word_from(code: &str, word: &str, from: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut start = from;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + word.len().max(1);
+    }
+    None
+}
+
+/// [`find_word_from`] from the start of the line.
+pub fn find_word(code: &str, word: &str) -> Option<usize> {
+    find_word_from(code, word, 0)
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_masked() {
+        let lines = scan("let x = 1; // HashMap here\n/* HashSet */ let y = 2;\n");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].comment.contains("HashMap"));
+        assert!(!lines[1].code.contains("HashSet"));
+        assert!(lines[1].code.contains("let y"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = scan("a /* outer /* inner */ still */ b\n");
+        assert!(lines[0].code.contains('a'));
+        assert!(lines[0].code.contains('b'));
+        assert!(!lines[0].code.contains("inner"));
+        assert!(!lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn string_contents_are_masked() {
+        let lines = scan("let s = \"partial_cmp\"; let t = s;\n");
+        assert!(!lines[0].code.contains("partial_cmp"));
+        assert!(lines[0].code.contains("let t"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let lines = scan("let s = r#\"thread_rng \"quoted\" inside\"#; done();\n");
+        assert!(!lines[0].code.contains("thread_rng"));
+        assert!(lines[0].code.contains("done()"));
+        let lines = scan("let s = r\"SystemTime\"; ok();\n");
+        assert!(!lines[0].code.contains("SystemTime"));
+        assert!(lines[0].code.contains("ok()"));
+    }
+
+    #[test]
+    fn multiline_strings_stay_masked() {
+        let lines = scan("let s = \"line one\nHashMap on line two\";\nafter();\n");
+        assert!(!lines[1].code.contains("HashMap"));
+        assert!(lines[2].code.contains("after()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lines = scan("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }\n");
+        assert!(lines[0].code.contains("'a str"));
+        assert!(!lines[0].code.contains('x') || lines[0].code.contains("x: &"));
+        let lines = scan("let c = '\"'; let s = partial_cmp;\n");
+        assert!(lines[0].code.contains("partial_cmp"), "{:?}", lines[0].code);
+    }
+
+    #[test]
+    fn columns_are_preserved() {
+        let src = "let m = \"xx\"; HashMap::new();\n";
+        let lines = scan(src);
+        let col = find_word(&lines[0].code, "HashMap").expect("found");
+        assert_eq!(&src[col..col + 7], "HashMap");
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(find_word("unwrap_or()", "unwrap").is_none());
+        assert!(find_word("x.unwrap()", "unwrap").is_some());
+        assert!(find_word("my_unwrap()", "unwrap").is_none());
+        assert!(find_word("as u32", "u32").is_some());
+    }
+}

@@ -1,0 +1,140 @@
+//! Fixture-driven rule tests: every rule ID has at least one violating
+//! (`*_bad.rs`) and one clean (`*_ok.rs`) snippet under `tests/fixtures/`.
+//!
+//! Fixtures are plain text, never compiled and never scanned by
+//! `lint_workspace` (the `fixtures` directory is skip-listed). Each file
+//! declares its pretend workspace path on the first line
+//! (`//@ path: crates/<crate>/src/fixture.rs`) so crate- and kind-scoped
+//! rules see the right context, and marks expected violations inline:
+//! `//~ ID` for this line, `//~^ ID` for the previous line (used where a
+//! same-line comment would itself satisfy the rule's reason lookback, as
+//! with H2).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use grgad_lint::rules::lint_source;
+use grgad_lint::{FileContext, Rule};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+/// Parses a fixture: returns its pretend `FileContext`, the source, and
+/// the expected `(line, rule-id)` pairs, sorted.
+fn parse_fixture(path: &Path) -> (FileContext, String, Vec<(usize, String)>) {
+    let src = std::fs::read_to_string(path).expect("fixture readable");
+    let first = src.lines().next().expect("non-empty fixture");
+    let rel = first
+        .strip_prefix("//@ path: ")
+        .unwrap_or_else(|| panic!("{} missing `//@ path:` header", path.display()))
+        .trim();
+    let ctx = FileContext::classify(rel);
+
+    let mut expected = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        if let Some(at) = line.find("//~^") {
+            for id in line[at + 4..].split_whitespace() {
+                expected.push((lineno - 1, id.to_string()));
+            }
+        } else if let Some(at) = line.find("//~") {
+            for id in line[at + 3..].split_whitespace() {
+                expected.push((lineno, id.to_string()));
+            }
+        }
+    }
+    expected.sort();
+    (ctx, src, expected)
+}
+
+fn diagnostics_of(path: &Path) -> Vec<(usize, String)> {
+    let (ctx, src, _) = parse_fixture(path);
+    let mut got: Vec<(usize, String)> = lint_source(&src, &ctx)
+        .into_iter()
+        .map(|d| (d.line, d.rule.id().to_string()))
+        .collect();
+    got.sort();
+    got
+}
+
+#[test]
+fn bad_fixtures_fire_exactly_the_marked_rules() {
+    let dir = fixtures_dir();
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("fixtures dir") {
+        let path = entry.expect("dir entry").path();
+        if !path
+            .file_name()
+            .is_some_and(|n| n.to_string_lossy().ends_with("_bad.rs"))
+        {
+            continue;
+        }
+        let (_, _, expected) = parse_fixture(&path);
+        assert!(
+            !expected.is_empty(),
+            "{}: a bad fixture must mark at least one expected violation",
+            path.display()
+        );
+        let got = diagnostics_of(&path);
+        assert_eq!(
+            got,
+            expected,
+            "{}: diagnostics (line, rule) mismatch",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 13, "expected >=13 bad fixtures, found {checked}");
+}
+
+#[test]
+fn ok_fixtures_are_clean() {
+    let dir = fixtures_dir();
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("fixtures dir") {
+        let path = entry.expect("dir entry").path();
+        if !path
+            .file_name()
+            .is_some_and(|n| n.to_string_lossy().ends_with("_ok.rs"))
+        {
+            continue;
+        }
+        let got = diagnostics_of(&path);
+        assert!(
+            got.is_empty(),
+            "{}: clean fixture produced {:?}",
+            path.display(),
+            got
+        );
+        checked += 1;
+    }
+    assert!(checked >= 12, "expected >=12 ok fixtures, found {checked}");
+}
+
+#[test]
+fn every_rule_id_has_positive_and_negative_coverage() {
+    let dir = fixtures_dir();
+    let mut fired: BTreeMap<String, usize> = BTreeMap::new();
+    for entry in std::fs::read_dir(&dir).expect("fixtures dir") {
+        let path = entry.expect("dir entry").path();
+        if !path
+            .file_name()
+            .is_some_and(|n| n.to_string_lossy().ends_with("_bad.rs"))
+        {
+            continue;
+        }
+        for (_, id) in diagnostics_of(&path) {
+            *fired.entry(id).or_insert(0) += 1;
+        }
+    }
+    for rule in Rule::ALL {
+        assert!(
+            fired.contains_key(rule.id()),
+            "rule {} has no firing bad fixture",
+            rule.id()
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//@ path: crates/tpgcl/src/fixture.rs
+use std::collections::HashMap; //~ D1
+use std::collections::HashSet; //~ D1
+
+pub fn count(xs: &[u8]) -> usize {
+    let set: HashSet<u8> = xs.iter().copied().collect(); //~ D1
+    let map: HashMap<u8, u8> = HashMap::new(); //~ D1
+    set.len() + map.len()
+}

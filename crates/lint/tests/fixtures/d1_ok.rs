@@ -1,0 +1,8 @@
+//@ path: crates/tpgcl/src/fixture.rs
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn count(xs: &[u8]) -> usize {
+    let set: BTreeSet<u8> = xs.iter().copied().collect();
+    let map: BTreeMap<u8, u8> = BTreeMap::new();
+    set.len() + map.len()
+}

@@ -1,0 +1,8 @@
+//@ path: crates/gnn/src/fixture.rs
+pub fn noise() -> u64 {
+    let mut rng = rand::thread_rng(); //~ D2
+    let other = rand::rngs::StdRng::from_entropy(); //~ D2
+    let now = std::time::SystemTime::now(); //~ D2
+    let t0 = std::time::Instant::now(); //~ D2
+    0
+}

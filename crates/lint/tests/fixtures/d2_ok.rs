@@ -1,0 +1,9 @@
+//@ path: crates/core/src/stage.rs
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn seeded(seed: u64) -> StdRng {
+    // Instant is allowed here: core::stage is the timing seam.
+    let _t0 = std::time::Instant::now();
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,4 @@
+//@ path: crates/tsne/src/fixture.rs
+pub fn rank(xs: &mut [f32]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN")); //~ D3
+}

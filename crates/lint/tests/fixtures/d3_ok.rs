@@ -1,0 +1,4 @@
+//@ path: crates/tsne/src/fixture.rs
+pub fn rank(xs: &mut [f32]) {
+    xs.sort_by(f32::total_cmp);
+}

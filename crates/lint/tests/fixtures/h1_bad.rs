@@ -1,0 +1,6 @@
+//@ path: crates/gnn/src/fixture.rs
+pub fn train(loss: f32) {
+    println!("loss = {loss}"); //~ H1
+    dbg!(loss); //~ H1
+    eprintln!("warn"); //~ H1
+}

@@ -1,0 +1,4 @@
+//@ path: crates/bench/src/fixture.rs
+pub fn train(loss: f32) {
+    println!("loss = {loss}");
+}

@@ -1,0 +1,9 @@
+//@ path: crates/gnn/src/fixture.rs
+fn setup() {}
+
+#[allow(clippy::needless_range_loop)]
+pub fn walk(xs: &[u8]) { //~^ H2
+    for i in 0..xs.len() {
+        let _ = xs[i];
+    }
+}

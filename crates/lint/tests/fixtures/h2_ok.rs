@@ -1,0 +1,8 @@
+//@ path: crates/gnn/src/fixture.rs
+// Indexing is load-bearing: the loop writes through two slices in lockstep.
+#[allow(clippy::needless_range_loop)]
+pub fn walk(xs: &[u8]) {
+    for i in 0..xs.len() {
+        let _ = xs[i];
+    }
+}

@@ -1,0 +1,8 @@
+//@ path: crates/tsne/src/fixture.rs
+pub fn later() {
+    todo!("finish this") //~ H3
+}
+
+pub fn never() {
+    unimplemented!() //~ H3
+}

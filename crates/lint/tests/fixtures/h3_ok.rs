@@ -1,0 +1,4 @@
+//@ path: crates/tsne/src/fixture.rs
+pub fn later() -> u8 {
+    42
+}

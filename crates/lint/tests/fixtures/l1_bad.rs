@@ -1,0 +1,6 @@
+//@ path: crates/tsne/src/fixture.rs
+pub fn f() -> u8 {
+    // grgad-lint: allow(D1) //~ L1
+    let x = 1; // grgad-lint: allow(Q9) reason="bad id" //~ L1
+    x
+}

@@ -1,0 +1,7 @@
+//@ path: crates/tsne/src/fixture.rs
+use std::collections::HashMap; // grgad-lint: allow(D1) reason="fixture: suppression on the same line"
+
+// grgad-lint: allow(D1) reason="fixture: comment-only directive applies to the next code line"
+pub fn f() -> HashMap<u8, u8> {
+    HashMap::new() // grgad-lint: allow(D1) reason="fixture"
+}

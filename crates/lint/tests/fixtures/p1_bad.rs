@@ -1,0 +1,9 @@
+//@ path: crates/core/src/fixture.rs
+pub fn load(xs: &[u8]) -> Result<u8, String> {
+    let first = xs.first().unwrap(); //~ P1
+    let second = xs.get(1).expect("second"); //~ P1
+    if *first > *second {
+        panic!("unordered"); //~ P1
+    }
+    Ok(*first)
+}

@@ -1,0 +1,16 @@
+//@ path: crates/core/src/fixture.rs
+pub fn load(xs: &[u8]) -> Result<u8, String> {
+    let first = xs.first().ok_or_else(|| "empty".to_string())?;
+    Ok(*first)
+}
+
+fn private_helper(xs: &[u8]) -> u8 {
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn in_tests(xs: &[u8]) -> Result<u8, String> {
+        Ok(*xs.first().unwrap())
+    }
+}

@@ -1,0 +1,4 @@
+//@ path: crates/graph/src/fixture.rs
+pub fn pack(node: usize) -> (u32, i16) {
+    (node as u32, node as i16) //~ P2 P2
+}

@@ -1,0 +1,13 @@
+//@ path: crates/graph/src/fixture.rs
+pub fn pack(node: usize) -> u64 {
+    let wide = node as u64;
+    let checked = u32::try_from(node).unwrap_or(u32::MAX);
+    wide + u64::from(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn narrowing_in_tests(node: usize) -> u32 {
+        node as u32
+    }
+}

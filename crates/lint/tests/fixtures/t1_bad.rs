@@ -1,0 +1,8 @@
+//@ path: crates/gnn/src/fixture.rs
+use rayon::prelude::*; //~ T1
+
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 1 + 1); //~ T1
+    let _ = h.join();
+    crossbeam::scope(|_| {}); //~ T1
+}

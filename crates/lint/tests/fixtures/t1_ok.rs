@@ -1,0 +1,5 @@
+//@ path: crates/parallel/src/fixture.rs
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+}

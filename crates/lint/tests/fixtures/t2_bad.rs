@@ -1,0 +1,4 @@
+//@ path: crates/gnn/src/fixture.rs
+pub fn nested(n: usize) -> Vec<Vec<f32>> {
+    par_map_indexed(0, n, |i| par_map_range(0, i, |j| j as f32)) //~ T2
+}

@@ -1,0 +1,6 @@
+//@ path: crates/gnn/src/fixture.rs
+pub fn sequential(n: usize) -> (Vec<f32>, Vec<f32>) {
+    let a = par_map_indexed(0, n, |i| i as f32);
+    let b = par_map_range(0, n, |j| j as f32);
+    (a, b)
+}

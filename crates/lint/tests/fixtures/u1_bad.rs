@@ -1,0 +1,4 @@
+//@ path: crates/gnn/src/fixture.rs
+pub fn raw(xs: &[f32]) -> f32 {
+    unsafe { *xs.get_unchecked(0) } //~ U1
+}

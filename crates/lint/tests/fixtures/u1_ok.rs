@@ -1,0 +1,5 @@
+//@ path: crates/linalg/src/fixture.rs
+pub fn raw(xs: &[f32]) -> f32 {
+    // SAFETY: callers guarantee xs is non-empty (checked at the boundary).
+    unsafe { *xs.get_unchecked(0) }
+}

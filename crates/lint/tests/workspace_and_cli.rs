@@ -1,0 +1,114 @@
+//! Meta-test (the committed tree is violation-free) and end-to-end CLI
+//! tests for the `grgad-lint` binary: exit codes, text and JSON output.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf()
+}
+
+/// The committed workspace must stay violation-free: this is the same
+/// check CI's `lint-invariants` job runs, kept inside `cargo test` so a
+/// regression fails locally before any push.
+#[test]
+fn committed_workspace_is_violation_free() {
+    let report = grgad_lint::lint_workspace(&workspace_root()).expect("workspace scan");
+    assert!(report.files_scanned > 80, "scan looks truncated");
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        report.render_text()
+    );
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("grgad-lint-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("src")).expect("scratch dir");
+    dir
+}
+
+fn run_lint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_grgad-lint"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn cli_flags_violations_with_exit_1_and_location() {
+    let dir = scratch_dir("bad");
+    let bad = dir.join("src").join("lib.rs");
+    std::fs::write(
+        &bad,
+        "use std::collections::HashMap;\nfn f(xs: &mut [f32]) { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n",
+    )
+    .expect("write fixture");
+
+    let out = run_lint(&["--workspace", "--root", dir.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(1), "violations must exit 1");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("src/lib.rs:1:23: [D1]"), "got:\n{text}");
+    assert!(
+        text.contains("src/lib.rs:2:") && text.contains("[D3]"),
+        "got:\n{text}"
+    );
+    assert!(
+        text.contains("2 violation(s) in 1 files scanned"),
+        "got:\n{text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_exits_0_on_clean_tree_and_emits_json() {
+    let dir = scratch_dir("clean");
+    std::fs::write(
+        dir.join("src").join("lib.rs"),
+        "use std::collections::BTreeMap;\npub fn f() -> BTreeMap<u8, u8> { BTreeMap::new() }\n",
+    )
+    .expect("write fixture");
+
+    let root = dir.to_str().expect("utf8 path");
+    let out = run_lint(&["--workspace", "--root", root]);
+    assert_eq!(out.status.code(), Some(0), "clean tree must exit 0");
+
+    let out = run_lint(&["--workspace", "--root", root, "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        json.contains("\"schema\": \"grgad-lint/v1\""),
+        "got:\n{json}"
+    );
+    assert!(json.contains("\"clean\": true"), "got:\n{json}");
+    assert!(json.contains("\"diagnostics\": []"), "got:\n{json}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_list_rules_covers_the_catalog() {
+    let out = run_lint(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for rule in grgad_lint::Rule::ALL {
+        assert!(
+            text.contains(rule.id()),
+            "missing {} in:\n{text}",
+            rule.id()
+        );
+    }
+}
+
+#[test]
+fn cli_usage_error_exits_2() {
+    let out = run_lint(&["--format", "yaml"]);
+    assert_eq!(out.status.code(), Some(2), "bad flag value must exit 2");
+}

@@ -12,6 +12,11 @@
 //!   group was found) and precision (how much of the predicted group is not
 //!   redundant); CR is the mean over ground-truth groups.
 
+// The serving contract extends workspace-wide: no `unwrap()` outside
+// test code — fallible paths return `Result<_, GrgadError>` or justify
+// themselves with `expect` + a `grgad-lint` suppression where truly
+// infallible. Enforced per-crate so the vendored shims stay untouched.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod classification;
 pub mod cr;
 pub mod matching;

@@ -32,11 +32,7 @@ pub fn best_match_indices(ground_truth: &[Group], candidates: &[Group]) -> Vec<O
             candidates
                 .iter()
                 .enumerate()
-                .max_by(|(_, a), (_, b)| {
-                    g.jaccard(a)
-                        .partial_cmp(&g.jaccard(b))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
+                .max_by(|(_, a), (_, b)| g.jaccard(a).total_cmp(&g.jaccard(b)))
                 .map(|(i, _)| i)
         })
         .collect()

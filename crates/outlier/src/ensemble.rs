@@ -213,7 +213,7 @@ mod tests {
         );
         // The planted outliers must still outrank the median inlier.
         let mut inlier: Vec<f32> = (0..40).map(|i| scores[i]).collect();
-        inlier.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        inlier.sort_by(f32::total_cmp);
         for &o in &outliers {
             assert!(scores[o] > inlier[20], "outlier {o} lost to median inlier");
         }
@@ -238,7 +238,7 @@ mod tests {
         let argmax = |v: &[f32]| {
             v.iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .unwrap()
                 .0
         };

@@ -25,6 +25,11 @@
 //! [`OutlierDetector::save_state`] / [`OutlierDetector::load_state`] so a
 //! trained pipeline can be persisted as JSON.
 
+// The serving contract extends workspace-wide: no `unwrap()` outside
+// test code — fallible paths return `Result<_, GrgadError>` or justify
+// themselves with `expect` + a `grgad-lint` suppression where truly
+// infallible. Enforced per-crate so the vendored shims stay untouched.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod ecod;
 pub mod ensemble;
 pub mod iforest;
@@ -106,11 +111,7 @@ pub fn threshold_by_contamination(scores: &[f32], contamination: f32) -> Vec<boo
     }
     let k = ((m as f32 * contamination).round() as usize).clamp(1, m);
     let mut idx: Vec<usize> = (0..m).collect();
-    idx.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let mut flags = vec![false; m];
     for &i in idx.iter().take(k) {
         flags[i] = true;
@@ -152,7 +153,7 @@ pub(crate) mod test_support {
         let scores = detector.fit_score(&data);
         assert_eq!(scores.len(), data.rows());
         let mut inlier_scores: Vec<f32> = (0..40).map(|i| scores[i]).collect();
-        inlier_scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        inlier_scores.sort_by(f32::total_cmp);
         let median_inlier = inlier_scores[20];
         for &o in &outliers {
             assert!(

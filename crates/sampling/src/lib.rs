@@ -16,6 +16,11 @@
 //! different searches (the paper notes they enrich the contrastive training
 //! set); only exact duplicates of the same node set are removed.
 
+// The serving contract extends workspace-wide: no `unwrap()` outside
+// test code — fallible paths return `Result<_, GrgadError>` or justify
+// themselves with `expect` + a `grgad-lint` suppression where truly
+// infallible. Enforced per-crate so the vendored shims stay untouched.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 mod sampler;
 
 pub use sampler::{sample_candidate_groups, SamplingConfig, SamplingStats};

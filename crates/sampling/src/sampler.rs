@@ -1,6 +1,6 @@
 //! Implementation of the candidate-group sampler.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use grgad_graph::algorithms::{bounded_bfs_tree, cycles_through_budgeted, shortest_path};
 use grgad_graph::{Graph, Group};
@@ -148,12 +148,12 @@ pub fn sample_candidate_groups(
     config: &SamplingConfig,
 ) -> (Vec<Group>, SamplingStats) {
     let mut stats = SamplingStats::default();
-    let mut seen: HashSet<Group> = HashSet::new();
+    let mut seen: BTreeSet<Group> = BTreeSet::new();
     let mut groups: Vec<Group> = Vec::new();
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     let push = |nodes: Vec<usize>,
-                seen: &mut HashSet<Group>,
+                seen: &mut BTreeSet<Group>,
                 groups: &mut Vec<Group>,
                 stats: &mut SamplingStats,
                 source: Source| {
@@ -188,7 +188,7 @@ pub fn sample_candidate_groups(
         .saturating_mul(anchors.len().saturating_sub(1));
     let mut pairs: Vec<(usize, usize)> = Vec::new();
     if total_pairs > PAIR_MATERIALIZE_CUTOFF && total_pairs > config.max_anchor_pairs {
-        let mut drawn: HashSet<(usize, usize)> = HashSet::new();
+        let mut drawn: BTreeSet<(usize, usize)> = BTreeSet::new();
         while pairs.len() < config.max_anchor_pairs {
             let i = rng.gen_range(0..anchors.len());
             let j = rng.gen_range(0..anchors.len());
@@ -246,7 +246,7 @@ pub fn sample_candidate_groups(
     // nodes, giving the outlier detector a baseline population of ordinary
     // neighbourhood groups.
     if config.background_groups > 0 && !anchors.is_empty() && graph.num_nodes() > anchors.len() {
-        let anchor_set: HashSet<usize> = anchors.iter().copied().collect();
+        let anchor_set: BTreeSet<usize> = anchors.iter().copied().collect();
         let mut non_anchors: Vec<usize> = (0..graph.num_nodes())
             .filter(|v| !anchor_set.contains(v))
             .collect();
@@ -330,7 +330,7 @@ mod tests {
         let g = structured_graph();
         let anchors = vec![0, 1, 2, 3, 4];
         let (groups, _) = sample_candidate_groups(&g, &anchors, &SamplingConfig::default());
-        let unique: HashSet<&Group> = groups.iter().collect();
+        let unique: BTreeSet<&Group> = groups.iter().collect();
         assert_eq!(unique.len(), groups.len());
     }
 

@@ -113,7 +113,7 @@ fn average_features(g: &Graph, nodes: &[usize]) -> Vec<f32> {
 /// Removes the listed nodes, returning the induced subgraph of the rest.
 /// At least one node is always kept.
 fn drop_nodes(g: &Graph, to_drop: &[usize]) -> Graph {
-    let drop_set: std::collections::HashSet<usize> = to_drop.iter().copied().collect();
+    let drop_set: std::collections::BTreeSet<usize> = to_drop.iter().copied().collect();
     let mut keep: Vec<usize> = (0..g.num_nodes())
         .filter(|v| !drop_set.contains(v))
         .collect();

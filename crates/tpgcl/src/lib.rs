@@ -18,6 +18,11 @@
 //!   Theorems 1–2 of the paper maximizes a lower bound of the Graph
 //!   Information Bottleneck objective.
 
+// The serving contract extends workspace-wide: no `unwrap()` outside
+// test code — fallible paths return `Result<_, GrgadError>` or justify
+// themselves with `expect` + a `grgad-lint` suppression where truly
+// infallible. Enforced per-crate so the vendored shims stay untouched.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod augment;
 pub mod encoder;
 pub mod mine;

@@ -10,7 +10,7 @@
 //! The returned node indices are *local* to the group's induced subgraph,
 //! which is also the representation the augmentations operate on.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use grgad_graph::algorithms::{bounded_bfs_tree, cycles_through};
 use grgad_graph::patterns::{longest_path, tree_root};
@@ -67,7 +67,7 @@ pub fn find_patterns(subgraph: &Graph) -> FoundPatterns {
     }
 
     // Cycles: enumerate from every node, deduplicate by node set.
-    let mut seen_cycles: HashSet<Vec<usize>> = HashSet::new();
+    let mut seen_cycles: BTreeSet<Vec<usize>> = BTreeSet::new();
     'outer: for start in 0..n {
         for cycle in cycles_through(subgraph, start, MAX_CYCLE_LEN, MAX_CYCLES) {
             let mut key = cycle.clone();

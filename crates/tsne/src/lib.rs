@@ -8,6 +8,11 @@
 //! experiments contain at most a few hundred points, so the O(n²) cost is
 //! negligible.
 
+// The serving contract extends workspace-wide: no `unwrap()` outside
+// test code — fallible paths return `Result<_, GrgadError>` or justify
+// themselves with `expect` + a `grgad-lint` suppression where truly
+// infallible. Enforced per-crate so the vendored shims stay untouched.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 use grgad_linalg::ops::pairwise_squared_distances;
 use grgad_linalg::Matrix;
 use rand::rngs::StdRng;

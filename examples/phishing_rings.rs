@@ -75,7 +75,7 @@ fn main() {
     // Stage 4 — ECOD outlier scoring of the group embeddings.
     let scores = Ecod::new().fit_score(&embeddings);
     let mut ranked: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("stage 4: top 5 groups by ECOD score:");
     for (idx, score) in ranked.into_iter().take(5) {
         let group = &candidates[idx];

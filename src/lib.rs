@@ -27,6 +27,12 @@
 //! See the repository README for the architecture overview and DESIGN.md for
 //! the paper-to-module mapping.
 
+// The serving contract extends workspace-wide: no `unwrap()` outside
+// test code — fallible paths return `Result<_, GrgadError>` or justify
+// themselves with `expect` + a `grgad-lint` suppression where truly
+// infallible. Enforced per-crate so the vendored shims stay untouched.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub use grgad_autograd as autograd;
 pub use grgad_baselines as baselines;
 pub use grgad_core as core;

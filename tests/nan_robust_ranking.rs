@@ -1,0 +1,105 @@
+//! NaN-robustness regression tests for every ranking / thresholding path
+//! that sorts floats.
+//!
+//! All float orderings in the workspace go through `f32::total_cmp` (lint
+//! rule D3), so a NaN score must never panic, never poison a sort into
+//! nondeterminism, and must land at a *defined* position: `total_cmp`
+//! places positive NaN above `+inf`, so in the descending rankings used
+//! throughout the pipeline a NaN score ranks first. These tests pin that
+//! contract for the thresholding, group-extraction and rank-statistics
+//! entry points — the paths a detector emitting a degenerate score would
+//! actually flow through.
+
+use tp_grgad::baselines::{groups_from_node_scores, GroupExtractionConfig};
+use tp_grgad::graph::Graph;
+use tp_grgad::linalg::stats;
+use tp_grgad::outlier::{normalize_scores, threshold_by_contamination};
+
+#[test]
+fn threshold_by_contamination_survives_nan_scores() {
+    let scores = vec![0.2, f32::NAN, 0.9, 0.1, f32::NAN, 0.5];
+
+    // 50% contamination of 6 rows flags exactly 3 — NaN must not change the
+    // flag count, and positive NaN outranks every finite score under
+    // total_cmp, so both NaN rows are among the flagged.
+    let flags = threshold_by_contamination(&scores, 0.5);
+    assert_eq!(flags.iter().filter(|&&b| b).count(), 3);
+    assert!(
+        flags[1] && flags[4],
+        "NaN scores must rank first: {flags:?}"
+    );
+    assert!(flags[2], "0.9 is the top finite score");
+
+    // Deterministic: same input, same flags, every time.
+    assert_eq!(flags, threshold_by_contamination(&scores, 0.5));
+
+    // All-NaN input still flags exactly k rows instead of panicking.
+    let all_nan = vec![f32::NAN; 4];
+    assert_eq!(
+        threshold_by_contamination(&all_nan, 0.25)
+            .iter()
+            .filter(|&&b| b)
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn normalize_scores_keeps_finite_entries_usable() {
+    let normalized = normalize_scores(&[0.0, f32::NAN, 10.0]);
+    assert_eq!(normalized.len(), 3);
+    // The finite envelope [0, 10] still scales; only the NaN entry is NaN.
+    assert_eq!(normalized[0], 0.0);
+    assert_eq!(normalized[2], 1.0);
+    assert!(normalized[1].is_nan());
+}
+
+#[test]
+fn group_extraction_survives_nan_node_scores() {
+    // Path graph 0-1-2-3-4-5; node 1 gets a NaN score.
+    let mut graph = Graph::with_no_features(6);
+    for u in 0..5 {
+        graph.add_edge(u, u + 1);
+    }
+    let node_scores = vec![0.1, f32::NAN, 0.8, 0.7, 0.2, 0.1];
+    let config = GroupExtractionConfig {
+        contamination: 0.5,
+        min_group_size: 1,
+    };
+    let (groups, scores) = groups_from_node_scores(&graph, &node_scores, &config);
+    assert!(!groups.is_empty(), "NaN must not wipe out extraction");
+    assert_eq!(groups.len(), scores.len());
+    // NaN outranks all finite scores, so node 1 is in the flagged top-k and
+    // appears in some extracted group.
+    assert!(groups.iter().any(|g| g.contains(1)));
+
+    // Bit-identical across repeated runs.
+    let (groups2, scores2) = groups_from_node_scores(&graph, &node_scores, &config);
+    assert_eq!(groups, groups2);
+    let same = scores
+        .iter()
+        .zip(&scores2)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(same, "group scores must be bit-identical across runs");
+}
+
+#[test]
+fn rank_statistics_survive_nan() {
+    let xs = [3.0, f32::NAN, 1.0, 2.0];
+
+    // ranks: NaN sorts above every finite value under total_cmp, so it gets
+    // the top rank; the finite values keep their relative order.
+    let r = stats::ranks(&xs);
+    assert_eq!(r.len(), 4);
+    assert_eq!(r[1], 4.0, "NaN takes the highest rank");
+    assert!(r[2] < r[3] && r[3] < r[0]);
+    assert_eq!(r, stats::ranks(&xs));
+
+    // median / quantile: defined, deterministic, no panic. With one NaN at
+    // the top of the sorted order the lower quantiles stay finite.
+    assert_eq!(stats::quantile(&xs, 0.0), 1.0);
+    assert!(stats::median(&xs).is_finite() || stats::median(&xs).is_nan());
+    let m1 = stats::median(&xs);
+    let m2 = stats::median(&xs);
+    assert_eq!(m1.to_bits(), m2.to_bits());
+}
