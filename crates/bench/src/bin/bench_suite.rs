@@ -7,8 +7,14 @@
 //! run's CR/AUC against the suite's golden snapshot and exits non-zero on
 //! drift beyond tolerance — the CI quality gate for performance PRs.
 //!
+//! The `serve` preset swaps the pipeline sweep for the serving-host
+//! throughput benchmark ([`grgad_bench::serve_bench`]): it spawns the
+//! `grgad_server` binary (which must already be built alongside
+//! `bench_suite`), drives concurrent socket clients and gates on the
+//! concurrency-parity flags instead of CR/AUC.
+//!
 //! ```text
-//! bench_suite --preset ci|scale    which sweep to run (default: ci)
+//! bench_suite --preset ci|scale|serve which sweep to run (default: ci)
 //!             --seed N             master seed (default: 0, the pinned seed)
 //!             --out DIR            where BENCH_<suite>.json goes (default: .)
 //!             --threads N          worker threads (0 = auto)
@@ -23,6 +29,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use grgad_bench::serve_bench::run_serve_suite;
 use grgad_bench::suite::{
     compare_golden, load_golden, render_report, run_suite, GoldenMetrics, SuitePreset,
 };
@@ -108,7 +115,17 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = run_suite(options.preset, options.seed, options.num_threads, true);
+    let report = if options.preset == SuitePreset::Serve {
+        match run_serve_suite(options.seed, true) {
+            Ok(report) => report,
+            Err(message) => {
+                eprintln!("bench_suite: serve suite failed: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        run_suite(options.preset, options.seed, options.num_threads, true)
+    };
     print!("{}", render_report(&report));
     write_json(&options.out_dir, &report.filename(), &report);
 
@@ -160,12 +177,19 @@ fn main() -> ExitCode {
     // The snapshot only pins one seed; a sweep under any other seed is an
     // exploratory run of different workload instances, not drift — skip the
     // gate instead of failing every workload on the seed mismatch.
-    if !golden.workloads.iter().any(|pin| pin.seed == options.seed) {
+    let pinned_seed = golden.workloads.iter().any(|pin| pin.seed == options.seed)
+        || golden.serve.iter().any(|pin| pin.seed == options.seed);
+    if !pinned_seed {
         progress(
             "bench_suite",
             format!(
                 "golden gate skipped: snapshot pins seed {}, this run used --seed {}",
-                golden.workloads.first().map_or(0, |pin| pin.seed),
+                golden
+                    .workloads
+                    .first()
+                    .map(|pin| pin.seed)
+                    .or_else(|| golden.serve.first().map(|pin| pin.seed))
+                    .unwrap_or(0),
                 options.seed
             ),
         );
@@ -176,9 +200,10 @@ fn main() -> ExitCode {
             progress(
                 "bench_suite",
                 format!(
-                    "golden gate passed ({} workloads within ±{})",
+                    "golden gate passed ({} workloads within ±{}, {} serve pins)",
                     golden.workloads.len(),
-                    golden.tolerance
+                    golden.tolerance,
+                    golden.serve.len()
                 ),
             );
             ExitCode::SUCCESS

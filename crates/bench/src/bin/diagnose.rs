@@ -95,8 +95,10 @@ fn main() {
         seed,
         workloads,
         // The quality drill-down has no serving engine in the loop; the
-        // delta-stream comparison lives in `bench_suite` runs.
+        // delta-stream and serving-host comparisons live in `bench_suite`
+        // runs.
         delta_streams: Vec::new(),
+        serve: Vec::new(),
     };
     print!("{}", render_report(&report));
     write_json(&options.out_dir, &report.filename(), &report);

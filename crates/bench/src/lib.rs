@@ -36,6 +36,7 @@ use grgad_datasets::{DatasetScale, GrGadDataset};
 use grgad_metrics::{evaluate_predicted_groups, DetectionReport};
 use serde::Serialize;
 
+pub mod serve_bench;
 pub mod suite;
 
 /// Command-line options common to all experiment binaries.

@@ -1,0 +1,442 @@
+//! The serving-host throughput benchmark (`--preset serve`).
+//!
+//! Spawns the `grgad_server` binary, drives [`SERVE_CLIENTS`] concurrent
+//! socket clients — one tenant each — through seeded delta/score scripts at
+//! every worker count in [`SERVE_WORKER_SWEEP`], then SIGTERMs the host and
+//! requires a clean (exit 0) drain. Throughput and latency numbers are
+//! informational (they move with the machine); what the golden gate pins is
+//! the *shape* of the run — client/worker counts — and the `parity_ok`
+//! flag: every concurrent response stream must be byte-identical to a
+//! serial [`grgad_serve::Session`] replay of the same script, i.e.
+//! concurrency must never change scores (DESIGN.md §11).
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use grgad_serve::Session;
+use grgad_server::{GrgadError, HostClient};
+use serde::{Deserialize, Serialize};
+
+use crate::suite::{BenchReport, SuitePreset, BENCH_FORMAT};
+
+/// Concurrent socket clients per workload (the acceptance floor is 4).
+pub const SERVE_CLIENTS: usize = 4;
+
+/// Mutation/score rounds in every client script.
+pub const SERVE_ROUNDS: usize = 6;
+
+/// Scheduler worker counts swept — single-worker (fully serialized
+/// scheduling) and the CI default — so the parity flag covers both ends.
+pub const SERVE_WORKER_SWEEP: [usize; 2] = [1, 4];
+
+/// Throughput/latency measurements of one serving-host workload, plus the
+/// determinism flag the golden gate pins.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServeThroughputRecord {
+    /// Workload name (e.g. `serve-4c-1w`).
+    pub workload: String,
+    /// Seed of the demo artifacts and client scripts.
+    pub seed: u64,
+    /// Concurrent client connections driven.
+    pub clients: usize,
+    /// Scheduler worker threads of the host under test.
+    pub workers: usize,
+    /// Timed engine-op requests per client (host lifecycle ops excluded).
+    pub requests_per_client: usize,
+    /// Wall-clock of the whole concurrent phase (milliseconds).
+    pub total_millis: f64,
+    /// Graph deltas applied per second, summed over clients.
+    pub deltas_per_sec: f64,
+    /// Score requests served per second, summed over clients.
+    pub scores_per_sec: f64,
+    /// Median request round-trip latency (milliseconds).
+    pub p50_latency_ms: f64,
+    /// 99th-percentile request round-trip latency (milliseconds).
+    pub p99_latency_ms: f64,
+    /// True when every client's concurrent response stream was
+    /// byte-identical to a serial in-process `Session` replay.
+    pub parity_ok: bool,
+}
+
+/// The deterministic engine-op script one benchmark client runs against its
+/// tenant: load, a baseline score, [`SERVE_ROUNDS`] delta+score rounds with
+/// LCG-seeded edge insertions, and a final stats probe. Host lifecycle ops
+/// (`create`/`drop`) are sent outside this script so every line here has a
+/// serial [`Session`] equivalent for the parity replay.
+pub fn tenant_script(tenant: &str, seed: u64, model: &Path, graph: &Path) -> Vec<String> {
+    let mut state = seed ^ 0xa076_1d64_78bd_642f;
+    let mut next = move |m: u64| -> u64 {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (state >> 33) % m
+    };
+    // Paths go through the JSON serializer so the script stays valid no
+    // matter what the temp directory looks like.
+    let model = serde_json::to_string(&model.display().to_string()).unwrap_or_default();
+    let graph = serde_json::to_string(&graph.display().to_string()).unwrap_or_default();
+    let mut lines = vec![
+        format!(r#"{{"op":"load","tenant":"{tenant}","model":{model},"graph":{graph}}}"#),
+        format!(r#"{{"op":"score","tenant":"{tenant}","top":0}}"#),
+    ];
+    for _ in 0..SERVE_ROUNDS {
+        // Edges between the 40 background nodes of the demo graph; a
+        // duplicate insertion yields a deterministic error response, which
+        // the parity replay reproduces just as well as a success.
+        let u = next(40);
+        let v = next(40);
+        lines.push(format!(
+            r#"{{"op":"apply_delta","tenant":"{tenant}","deltas":[{{"kind":"add_edge","u":{u},"v":{v}}}]}}"#
+        ));
+        lines.push(format!(r#"{{"op":"score","tenant":"{tenant}","top":0}}"#));
+    }
+    lines.push(format!(r#"{{"op":"stats","tenant":"{tenant}"}}"#));
+    lines
+}
+
+/// Replays a script serially through an in-process [`Session`] — the
+/// reference stream the concurrent responses must match byte-for-byte.
+/// Engine ops carry a `tenant` field the single-tenant session ignores, so
+/// the very same lines drive both sides.
+pub fn serial_replay(script: &[String]) -> Vec<String> {
+    let mut session = Session::new();
+    script
+        .iter()
+        .map(|line| session.handle_line(line).to_json_line())
+        .collect()
+}
+
+struct ServeArtifacts {
+    dir: PathBuf,
+    model: PathBuf,
+    graph: PathBuf,
+}
+
+/// Generates the demo model/graph artifacts the client scripts `load`, in a
+/// per-process temp directory (absolute paths, so neither the host process
+/// nor the serial replay depends on a working directory).
+fn generate_artifacts(seed: u64) -> Result<ServeArtifacts, String> {
+    let dir = std::env::temp_dir().join(format!("grgad-bench-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let dataset = grgad_datasets::example::generate(40, seed);
+    let model = grgad_core::TpGrGad::new(grgad_core::TpGrGadConfig::fast().with_seed(seed))
+        .fit(&dataset.graph)
+        .map_err(|e| format!("fitting demo model: {e}"))?;
+    let model_path = dir.join("model.json");
+    let graph_path = dir.join("graph.json");
+    model
+        .save(&model_path)
+        .map_err(|e| format!("saving demo model: {e}"))?;
+    grgad_datasets::io::save_json(&dataset, &graph_path)
+        .map_err(|e| format!("saving demo graph: {e}"))?;
+    Ok(ServeArtifacts {
+        dir,
+        model: model_path,
+        graph: graph_path,
+    })
+}
+
+/// Locates the `grgad_server` binary next to the running executable
+/// (`target/<profile>/` for `bench_suite`, one level up from `deps/` when
+/// invoked from a test harness).
+fn server_binary() -> Result<PathBuf, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let name = format!("grgad_server{}", std::env::consts::EXE_SUFFIX);
+    let mut candidates = Vec::new();
+    if let Some(dir) = exe.parent() {
+        candidates.push(dir.join(&name));
+        if let Some(parent) = dir.parent() {
+            candidates.push(parent.join(&name));
+        }
+    }
+    candidates
+        .iter()
+        .find(|p| p.is_file())
+        .cloned()
+        .ok_or_else(|| {
+            format!(
+                "grgad_server binary not found next to {} — build it first \
+                 (`cargo build --release -p grgad-server`)",
+                exe.display()
+            )
+        })
+}
+
+fn connect_retry(socket: &Path) -> Result<HostClient, String> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match HostClient::connect_unix(socket) {
+            Ok(client) => return Ok(client),
+            Err(GrgadError::Transport { .. }) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(format!("connecting {}: {e}", socket.display())),
+        }
+    }
+}
+
+struct ClientRun {
+    responses: Vec<String>,
+    latency_ms: Vec<f64>,
+}
+
+/// One benchmark client: create the tenant, run the timed script
+/// request-by-request (round-trip latency per line), then drop the tenant.
+fn run_client(socket: &Path, tenant: &str, script: &[String]) -> Result<ClientRun, String> {
+    let mut client = connect_retry(socket)?;
+    let created = client
+        .send_line(&format!(r#"{{"op":"create","tenant":"{tenant}"}}"#))
+        .map_err(|e| format!("{tenant}: create: {e}"))?;
+    if !created.contains(r#""ok":true"#) {
+        return Err(format!("{tenant}: create rejected: {created}"));
+    }
+    let mut responses = Vec::with_capacity(script.len());
+    let mut latency_ms = Vec::with_capacity(script.len());
+    for line in script {
+        let t = Instant::now();
+        let response = client
+            .send_line(line)
+            .map_err(|e| format!("{tenant}: {e}"))?;
+        latency_ms.push(t.elapsed().as_secs_f64() * 1_000.0);
+        responses.push(response);
+    }
+    client
+        .send_line(&format!(r#"{{"op":"drop","tenant":"{tenant}"}}"#))
+        .map_err(|e| format!("{tenant}: drop: {e}"))?;
+    Ok(ClientRun {
+        responses,
+        latency_ms,
+    })
+}
+
+/// Nearest-rank percentile of an ascending-sorted latency sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// SIGTERMs the host and waits (bounded) for a clean exit — the graceful
+/// drain is part of what the benchmark certifies.
+fn shutdown_clean(child: &mut Child) -> Result<(), String> {
+    let pid = child.id();
+    let status = Command::new("kill")
+        .arg(pid.to_string())
+        .status()
+        .map_err(|e| format!("kill {pid}: {e}"))?;
+    if !status.success() {
+        return Err(format!("kill {pid} failed: {status}"));
+    }
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) if status.success() => return Ok(()),
+            Ok(Some(status)) => return Err(format!("server exited non-zero: {status}")),
+            Ok(None) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            Ok(None) => return Err("server did not exit within 60s of SIGTERM".to_string()),
+            Err(e) => return Err(format!("waiting for server: {e}")),
+        }
+    }
+}
+
+/// Runs one workload: spawn the host at `workers`, drive the concurrent
+/// clients, verify parity against the serial replay, drain the host.
+fn run_serve_workload(
+    server_bin: &Path,
+    artifacts: &ServeArtifacts,
+    seed: u64,
+    workers: usize,
+) -> Result<ServeThroughputRecord, String> {
+    let socket = artifacts.dir.join(format!("host-{workers}w.sock"));
+    let _ = std::fs::remove_file(&socket);
+    let mut child = Command::new(server_bin)
+        .args([
+            "--listen",
+            &format!("unix:{}", socket.display()),
+            "--workers",
+            &workers.to_string(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawning {}: {e}", server_bin.display()))?;
+
+    let scripts: Vec<(String, Vec<String>)> = (0..SERVE_CLIENTS)
+        .map(|i| {
+            let tenant = format!("bench-{workers}w-c{i}");
+            let client_seed = seed
+                .wrapping_add(i as u64 * 7_919)
+                .wrapping_add(workers as u64);
+            let script = tenant_script(&tenant, client_seed, &artifacts.model, &artifacts.graph);
+            (tenant, script)
+        })
+        .collect();
+
+    let measured = (|| {
+        let wall = Instant::now();
+        let runs = grgad_parallel::par_map_indexed(&scripts, |_, (tenant, script)| {
+            run_client(&socket, tenant, script)
+        });
+        let total = wall.elapsed();
+        let mut client_runs = Vec::with_capacity(runs.len());
+        for run in runs {
+            client_runs.push(run?);
+        }
+
+        let mut parity_ok = true;
+        for ((_, script), run) in scripts.iter().zip(&client_runs) {
+            parity_ok &= serial_replay(script) == run.responses;
+        }
+
+        let mut latencies: Vec<f64> = client_runs
+            .iter()
+            .flat_map(|r| r.latency_ms.iter().copied())
+            .collect();
+        latencies.sort_by(f64::total_cmp);
+        let secs = total.as_secs_f64().max(f64::EPSILON);
+        let deltas = SERVE_CLIENTS * SERVE_ROUNDS;
+        let scores = SERVE_CLIENTS * (SERVE_ROUNDS + 1);
+        Ok(ServeThroughputRecord {
+            workload: format!("serve-{SERVE_CLIENTS}c-{workers}w"),
+            seed,
+            clients: SERVE_CLIENTS,
+            workers,
+            requests_per_client: scripts.first().map_or(0, |(_, s)| s.len()),
+            total_millis: total.as_secs_f64() * 1_000.0,
+            deltas_per_sec: deltas as f64 / secs,
+            scores_per_sec: scores as f64 / secs,
+            p50_latency_ms: percentile(&latencies, 0.50),
+            p99_latency_ms: percentile(&latencies, 0.99),
+            parity_ok,
+        })
+    })();
+
+    match measured {
+        Ok(record) => {
+            shutdown_clean(&mut child)?;
+            let _ = std::fs::remove_file(&socket);
+            Ok(record)
+        }
+        Err(e) => {
+            // The benchmark already failed; tear the host down hard so the
+            // error surfaces instead of a hang.
+            let _ = child.kill();
+            let _ = child.wait();
+            let _ = std::fs::remove_file(&socket);
+            Err(e)
+        }
+    }
+}
+
+/// Runs the full serve suite: demo artifacts once, then one workload per
+/// entry of [`SERVE_WORKER_SWEEP`], assembled into a [`BenchReport`] whose
+/// `workloads`/`delta_streams` sections are empty (this suite measures the
+/// host, not the pipeline).
+pub fn run_serve_suite(seed: u64, log: bool) -> Result<BenchReport, String> {
+    let server_bin = server_binary()?;
+    let artifacts = generate_artifacts(seed)?;
+    // The client fan-out runs on the deterministic pool; make sure it has a
+    // lane per client even on narrow CI hosts, otherwise "4 concurrent
+    // clients" would silently degrade to the core count.
+    grgad_parallel::set_max_threads(SERVE_CLIENTS.max(grgad_parallel::max_threads()));
+    let mut serve = Vec::new();
+    for workers in SERVE_WORKER_SWEEP {
+        if log {
+            crate::progress(
+                "bench_suite",
+                format!(
+                    "preset=serve workers={workers}: {SERVE_CLIENTS} concurrent clients x {} requests",
+                    2 + 2 * SERVE_ROUNDS + 1
+                ),
+            );
+        }
+        serve.push(run_serve_workload(&server_bin, &artifacts, seed, workers)?);
+    }
+    Ok(BenchReport {
+        format: BENCH_FORMAT.to_string(),
+        suite: SuitePreset::Serve.name().to_string(),
+        seed,
+        workloads: Vec::new(),
+        delta_streams: Vec::new(),
+        serve,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_script_is_deterministic_and_valid_json() {
+        let model = Path::new("/tmp/m.json");
+        let graph = Path::new("/tmp/g.json");
+        let a = tenant_script("t1", 7, model, graph);
+        let b = tenant_script("t1", 7, model, graph);
+        assert_eq!(a, b, "same seed must yield the same script");
+        assert_ne!(
+            a,
+            tenant_script("t1", 8, model, graph),
+            "different seeds must vary the delta stream"
+        );
+        assert_eq!(a.len(), 2 + 2 * SERVE_ROUNDS + 1);
+        for line in &a {
+            let value: serde::Value = serde_json::from_str(line).expect("script line is JSON");
+            assert!(
+                value.field("tenant").is_ok(),
+                "engine ops must carry the tenant: {line}"
+            );
+        }
+        assert!(a[0].contains(r#""op":"load""#));
+        assert!(a.last().expect("non-empty").contains(r#""op":"stats""#));
+    }
+
+    #[test]
+    fn serial_replay_answers_every_script_line() {
+        // Without artifacts on disk the load fails, but the replay still
+        // produces one deterministic response per request — exactly what a
+        // host connection would return for the same lines.
+        let script = tenant_script(
+            "t1",
+            3,
+            Path::new("/nonexistent/m"),
+            Path::new("/nonexistent/g"),
+        );
+        let first = serial_replay(&script);
+        assert_eq!(first.len(), script.len());
+        assert_eq!(first, serial_replay(&script));
+        assert!(first[0].contains(r#""ok":false"#), "{}", first[0]);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.99), 0.0);
+        assert_eq!(percentile(&[5.0], 0.5), 5.0);
+        let sample = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sample, 0.0), 1.0);
+        assert_eq!(percentile(&sample, 1.0), 4.0);
+        assert_eq!(percentile(&sample, 0.5), 3.0);
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let record = ServeThroughputRecord {
+            workload: "serve-4c-4w".to_string(),
+            seed: 0,
+            clients: SERVE_CLIENTS,
+            workers: 4,
+            requests_per_client: 15,
+            total_millis: 42.0,
+            deltas_per_sec: 100.0,
+            scores_per_sec: 120.0,
+            p50_latency_ms: 1.5,
+            p99_latency_ms: 7.0,
+            parity_ok: true,
+        };
+        let json = serde_json::to_string(&record).expect("serialize");
+        let back: ServeThroughputRecord = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, record);
+    }
+}

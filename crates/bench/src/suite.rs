@@ -34,8 +34,10 @@ use serde::{Deserialize, Serialize};
 /// Version tag of the `BENCH_*.json` schema; bump on breaking layout
 /// changes so stale artifacts and goldens fail loudly instead of silently
 /// misparsing. v2 added the delta-stream workload records
-/// ([`DeltaStreamRecord`]).
-pub const BENCH_FORMAT: &str = "grgad-bench/v2";
+/// ([`DeltaStreamRecord`]); v3 added the serving-host throughput records
+/// ([`crate::serve_bench::ServeThroughputRecord`]) and their golden
+/// parity pins.
+pub const BENCH_FORMAT: &str = "grgad-bench/v3";
 
 /// One pipeline stage execution inside a workload run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -144,6 +146,9 @@ pub struct BenchReport {
     /// Incremental-vs-full delta-stream comparisons (empty for suites that
     /// skip them, e.g. `diagnose`).
     pub delta_streams: Vec<DeltaStreamRecord>,
+    /// Serving-host throughput records (only the `serve` suite produces
+    /// them; empty elsewhere).
+    pub serve: Vec<crate::serve_bench::ServeThroughputRecord>,
 }
 
 impl BenchReport {
@@ -161,6 +166,10 @@ pub enum SuitePreset {
     /// The scale sweep: 1k → 100k nodes, exercising the CSR hot paths at
     /// sizes the paper datasets cannot reach.
     Scale,
+    /// The serving-host throughput suite: concurrent socket clients against
+    /// the `grgad_server` binary ([`crate::serve_bench`]); no fit/score
+    /// sweep points of its own.
+    Serve,
 }
 
 impl SuitePreset {
@@ -169,23 +178,29 @@ impl SuitePreset {
         match self {
             SuitePreset::Ci => "ci",
             SuitePreset::Scale => "scale",
+            SuitePreset::Serve => "serve",
         }
     }
 
-    /// Background-node counts of the sweep points.
+    /// Background-node counts of the sweep points (`serve` has none — its
+    /// workloads are client/worker combinations, not graph sizes).
     pub fn sizes(&self) -> &'static [usize] {
         match self {
             SuitePreset::Ci => &[600, 1_200, 2_400],
             SuitePreset::Scale => &[1_000, 10_000, 100_000],
+            SuitePreset::Serve => &[],
         }
     }
 
-    /// Parses a preset name (`ci` | `scale`).
+    /// Parses a preset name (`ci` | `scale` | `serve`).
     pub fn parse(s: &str) -> Result<Self, String> {
         match s.to_ascii_lowercase().as_str() {
             "ci" => Ok(SuitePreset::Ci),
             "scale" => Ok(SuitePreset::Scale),
-            other => Err(format!("unknown preset `{other}` (expected ci|scale)")),
+            "serve" => Ok(SuitePreset::Serve),
+            other => Err(format!(
+                "unknown preset `{other}` (expected ci|scale|serve)"
+            )),
         }
     }
 }
@@ -478,6 +493,7 @@ pub fn run_suite(
         seed,
         workloads,
         delta_streams,
+        serve: Vec::new(),
     }
 }
 
@@ -544,6 +560,22 @@ pub fn render_report(report: &BenchReport) -> String {
             if d.parity_ok { "ok" } else { "FAIL" },
         ));
     }
+    for s in &report.serve {
+        out.push_str(&format!(
+            "{:16} clients={} workers={} reqs/client={} total={:>8.1}ms deltas/s={:>8.1} \
+             scores/s={:>8.1} p50={:.2}ms p99={:.2}ms parity={}\n",
+            s.workload,
+            s.clients,
+            s.workers,
+            s.requests_per_client,
+            s.total_millis,
+            s.deltas_per_sec,
+            s.scores_per_sec,
+            s.p50_latency_ms,
+            s.p99_latency_ms,
+            if s.parity_ok { "ok" } else { "FAIL" },
+        ));
+    }
     out
 }
 
@@ -560,6 +592,25 @@ pub struct GoldenWorkload {
     pub auc: f32,
 }
 
+/// A pinned serving-host workload: determinism (parity) and concurrency
+/// shape are gated, not throughput numbers — wall-clock varies across
+/// hosts, but "4 concurrent socket clients reproduce the serial replay
+/// byte-for-byte" must not.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GoldenServe {
+    /// Workload name, matched against
+    /// [`crate::serve_bench::ServeThroughputRecord::workload`].
+    pub workload: String,
+    /// Seed the record was pinned under.
+    pub seed: u64,
+    /// Minimum concurrent clients the run must have driven.
+    pub clients: usize,
+    /// Exact scheduler worker count the pin was taken at.
+    pub workers: usize,
+    /// Pinned parity flag (always `true` in committed goldens).
+    pub parity_ok: bool,
+}
+
 /// A golden-metric snapshot: the quality gate for one suite.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GoldenMetrics {
@@ -571,6 +622,8 @@ pub struct GoldenMetrics {
     pub tolerance: f32,
     /// One pin per sweep point.
     pub workloads: Vec<GoldenWorkload>,
+    /// One pin per serving-host workload (empty for the fit/score suites).
+    pub serve: Vec<GoldenServe>,
 }
 
 impl GoldenMetrics {
@@ -588,6 +641,17 @@ impl GoldenMetrics {
                     seed: w.seed,
                     cr: w.metrics.cr,
                     auc: w.metrics.auc,
+                })
+                .collect(),
+            serve: report
+                .serve
+                .iter()
+                .map(|s| GoldenServe {
+                    workload: s.workload.clone(),
+                    seed: s.seed,
+                    clients: s.clients,
+                    workers: s.workers,
+                    parity_ok: s.parity_ok,
                 })
                 .collect(),
         }
@@ -662,6 +726,48 @@ pub fn compare_golden(report: &BenchReport, golden: &GoldenMetrics) -> Result<()
             ));
         }
     }
+    for pin in &golden.serve {
+        let Some(run) = report.serve.iter().find(|s| s.workload == pin.workload) else {
+            failures.push(format!(
+                "pinned serve workload `{}` missing from report",
+                pin.workload
+            ));
+            continue;
+        };
+        if run.seed != pin.seed {
+            failures.push(format!(
+                "{}: seed {} does not match pinned seed {}",
+                pin.workload, run.seed, pin.seed
+            ));
+            continue;
+        }
+        if run.clients < pin.clients {
+            failures.push(format!(
+                "{}: ran {} concurrent clients, pin requires at least {}",
+                pin.workload, run.clients, pin.clients
+            ));
+        }
+        if run.workers != pin.workers {
+            failures.push(format!(
+                "{}: scheduler ran {} workers, pin expects {}",
+                pin.workload, run.workers, pin.workers
+            ));
+        }
+        if run.parity_ok != pin.parity_ok {
+            failures.push(format!(
+                "{}: parity flag is {} (pinned {}) — concurrent serving changed scores",
+                pin.workload, run.parity_ok, pin.parity_ok
+            ));
+        }
+    }
+    for run in &report.serve {
+        if !golden.serve.iter().any(|p| p.workload == run.workload) {
+            failures.push(format!(
+                "serve workload `{}` is not pinned in the golden snapshot (re-pin with --write-golden)",
+                run.workload
+            ));
+        }
+    }
     if failures.is_empty() {
         Ok(())
     } else {
@@ -707,6 +813,7 @@ mod tests {
             seed: 5,
             workloads: vec![record],
             delta_streams: Vec::new(),
+            serve: Vec::new(),
         }
     }
 
@@ -783,10 +890,83 @@ mod tests {
     }
 
     #[test]
+    fn serve_golden_gate_pins_parity_and_concurrency_shape() {
+        let serve_record = crate::serve_bench::ServeThroughputRecord {
+            workload: "serve-4c-1w".to_string(),
+            seed: 5,
+            clients: 4,
+            workers: 1,
+            requests_per_client: 14,
+            total_millis: 120.0,
+            deltas_per_sec: 200.0,
+            scores_per_sec: 230.0,
+            p50_latency_ms: 2.0,
+            p99_latency_ms: 9.0,
+            parity_ok: true,
+        };
+        let mut report = tiny_report();
+        report.serve = vec![serve_record];
+        let golden = GoldenMetrics::from_report(&report, 0.02);
+        assert_eq!(golden.serve.len(), 1);
+        assert!(compare_golden(&report, &golden).is_ok());
+
+        // Throughput numbers may move freely — the gate only pins shape.
+        let mut faster = report.clone();
+        faster.serve[0].deltas_per_sec *= 10.0;
+        faster.serve[0].p99_latency_ms /= 10.0;
+        assert!(compare_golden(&faster, &golden).is_ok());
+
+        // Broken parity is the headline failure.
+        let mut broken = report.clone();
+        broken.serve[0].parity_ok = false;
+        let failures = compare_golden(&broken, &golden).unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("parity flag")),
+            "{failures:?}"
+        );
+
+        // Fewer concurrent clients than pinned fails; more is fine.
+        let mut fewer = report.clone();
+        fewer.serve[0].clients = 2;
+        assert!(compare_golden(&fewer, &golden).is_err());
+        let mut more = report.clone();
+        more.serve[0].clients = 8;
+        assert!(compare_golden(&more, &golden).is_ok());
+
+        // A different worker count is a different workload — exact match.
+        let mut reworked = report.clone();
+        reworked.serve[0].workers = 2;
+        assert!(compare_golden(&reworked, &golden).is_err());
+
+        // Missing pinned record and unpinned extra record both fail.
+        let mut missing = report.clone();
+        missing.serve.clear();
+        let failures = compare_golden(&missing, &golden).unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("missing")),
+            "{failures:?}"
+        );
+        let mut extra = report.clone();
+        let mut second = extra.serve[0].clone();
+        second.workload = "serve-4c-4w".to_string();
+        extra.serve.push(second);
+        let failures = compare_golden(&extra, &golden).unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("not pinned")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
     fn preset_parsing_and_sizes() {
         assert_eq!(SuitePreset::parse("ci").unwrap(), SuitePreset::Ci);
         assert_eq!(SuitePreset::parse("SCALE").unwrap(), SuitePreset::Scale);
+        assert_eq!(SuitePreset::parse("serve").unwrap(), SuitePreset::Serve);
         assert!(SuitePreset::parse("huge").is_err());
+        assert!(
+            SuitePreset::Serve.sizes().is_empty(),
+            "serve workloads are client/worker combinations, not graph sizes"
+        );
         assert_eq!(SuitePreset::Ci.sizes().len(), 3);
         assert!(SuitePreset::Scale.sizes().contains(&100_000));
         assert!(

@@ -3,6 +3,7 @@
 //! resulting record round-trips through the on-disk `BENCH_*.json` schema,
 //! and the golden gate catches perturbed metrics.
 
+use grgad_bench::serve_bench::{SERVE_CLIENTS, SERVE_WORKER_SWEEP};
 use grgad_bench::suite::{
     bench_config, compare_golden, load_golden, load_report, run_delta_stream, run_workload,
     BenchReport, GoldenMetrics, SuitePreset, BENCH_FORMAT,
@@ -23,6 +24,7 @@ fn ci_smallest_report() -> BenchReport {
         // Small delta rounds keep most candidate groups cache-valid, so the
         // incremental-beats-full assertion below has a comfortable margin.
         delta_streams: vec![run_delta_stream(&dataset, &config, 3, 6)],
+        serve: Vec::new(),
     }
 }
 
@@ -90,7 +92,7 @@ fn checked_in_goldens_match_schema_and_suites() {
     // and pin exactly its preset's sweep points at the default seed — this
     // catches a re-pin that forgot a sweep point or drifted the format,
     // including for the scale suite that CI never executes.
-    for preset in [SuitePreset::Ci, SuitePreset::Scale] {
+    for preset in [SuitePreset::Ci, SuitePreset::Scale, SuitePreset::Serve] {
         let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
             .join("goldens")
             .join(format!("BENCH_GOLDEN_{}.json", preset.name()));
@@ -111,5 +113,27 @@ fn checked_in_goldens_match_schema_and_suites() {
             .collect();
         assert_eq!(pinned, expected, "{}", preset.name());
         assert!(golden.workloads.iter().all(|w| w.seed == 0));
+
+        if preset == SuitePreset::Serve {
+            // The serve suite pins one record per worker-sweep point, each
+            // at the acceptance floor of 4 concurrent clients with the
+            // concurrency-parity flag true.
+            let expected: Vec<String> = SERVE_WORKER_SWEEP
+                .iter()
+                .map(|w| format!("serve-{SERVE_CLIENTS}c-{w}w"))
+                .collect();
+            let pinned: Vec<&str> = golden.serve.iter().map(|p| p.workload.as_str()).collect();
+            assert_eq!(pinned, expected);
+            assert!(golden
+                .serve
+                .iter()
+                .all(|p| p.seed == 0 && p.clients >= 4 && p.parity_ok));
+        } else {
+            assert!(
+                golden.serve.is_empty(),
+                "{}: only the serve suite pins serve records",
+                preset.name()
+            );
+        }
     }
 }

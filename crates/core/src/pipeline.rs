@@ -391,6 +391,20 @@ impl TrainedTpGrGad {
         self.score_impl(graph, &mut NullObserver, Some(cache))
     }
 
+    /// [`TrainedTpGrGad::score_cached`] with a [`PipelineObserver`]
+    /// receiving per-stage timing/workload reports — the serving host's
+    /// incremental path with telemetry attached. Observation never touches
+    /// the numeric path: results stay bit-identical to
+    /// [`TrainedTpGrGad::score_cached`] under the same cache state.
+    pub fn score_cached_observed(
+        &self,
+        graph: &Graph,
+        cache: &mut GroupEmbeddingCache,
+        observer: &mut dyn PipelineObserver,
+    ) -> Result<TpGrGadResult, GrgadError> {
+        self.score_impl(graph, observer, Some(cache))
+    }
+
     /// [`TrainedTpGrGad::score`] with a [`PipelineObserver`] receiving
     /// per-stage timing/workload reports (every report has
     /// `train_epochs == 0`).

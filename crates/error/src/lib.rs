@@ -83,6 +83,29 @@ pub enum GrgadError {
         /// What is wrong with the request.
         message: String,
     },
+    /// A transport-level failure of the framed socket protocol (truncated
+    /// frame, oversized length prefix, socket I/O error, ...). Unlike
+    /// [`GrgadError::Protocol`] — which describes a malformed *payload* on
+    /// an otherwise healthy connection — a transport error means the byte
+    /// stream itself can no longer be trusted and the connection closes.
+    Transport {
+        /// What went wrong on the wire.
+        message: String,
+    },
+    /// A request addressed a tenant the engine registry does not host.
+    TenantNotFound {
+        /// The tenant id the request named.
+        tenant: String,
+    },
+    /// The serving host shed load: a scheduler shard's bounded work queue
+    /// was full when the request arrived. The request was **not** executed;
+    /// the client may retry.
+    Overloaded {
+        /// Which resource was saturated (e.g. `"scheduler shard 3"`).
+        context: String,
+        /// The bounded capacity that was exhausted.
+        capacity: usize,
+    },
 }
 
 impl GrgadError {
@@ -98,6 +121,9 @@ impl GrgadError {
             GrgadError::ModelIo { .. } => "model_io",
             GrgadError::ConfigInvalid { .. } => "config_invalid",
             GrgadError::Protocol { .. } => "protocol",
+            GrgadError::Transport { .. } => "transport",
+            GrgadError::TenantNotFound { .. } => "tenant_not_found",
+            GrgadError::Overloaded { .. } => "overloaded",
         }
     }
 
@@ -162,6 +188,28 @@ impl GrgadError {
             message: message.into(),
         }
     }
+
+    /// Convenience constructor for [`GrgadError::Transport`].
+    pub fn transport(message: impl Into<String>) -> Self {
+        GrgadError::Transport {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`GrgadError::TenantNotFound`].
+    pub fn tenant_not_found(tenant: impl Into<String>) -> Self {
+        GrgadError::TenantNotFound {
+            tenant: tenant.into(),
+        }
+    }
+
+    /// Convenience constructor for [`GrgadError::Overloaded`].
+    pub fn overloaded(context: impl Into<String>, capacity: usize) -> Self {
+        GrgadError::Overloaded {
+            context: context.into(),
+            capacity,
+        }
+    }
 }
 
 impl fmt::Display for GrgadError {
@@ -194,6 +242,14 @@ impl fmt::Display for GrgadError {
                 write!(f, "invalid configuration: {message}")
             }
             GrgadError::Protocol { message } => write!(f, "protocol error: {message}"),
+            GrgadError::Transport { message } => write!(f, "transport error: {message}"),
+            GrgadError::TenantNotFound { tenant } => {
+                write!(f, "tenant `{tenant}` is not hosted by this server")
+            }
+            GrgadError::Overloaded { context, capacity } => write!(
+                f,
+                "{context}: request queue full (capacity {capacity}); retry later"
+            ),
         }
     }
 }
@@ -250,6 +306,21 @@ mod tests {
                 GrgadError::protocol("unknown op `frobnicate`"),
                 "protocol",
                 "unknown op",
+            ),
+            (
+                GrgadError::transport("frame length 99999999 exceeds limit"),
+                "transport",
+                "frame length",
+            ),
+            (
+                GrgadError::tenant_not_found("acme"),
+                "tenant_not_found",
+                "`acme` is not hosted",
+            ),
+            (
+                GrgadError::overloaded("scheduler shard 3", 64),
+                "overloaded",
+                "capacity 64",
             ),
         ];
         for (err, kind, needle) in cases {

@@ -19,7 +19,8 @@ pub enum Rule {
     D2,
     /// Float ordering through `partial_cmp` instead of `total_cmp`.
     D3,
-    /// Raw threading (`std::thread::spawn`/`rayon`/…) outside `grgad-parallel`.
+    /// Raw threading (`std::thread::spawn`/`rayon`/…) outside the allowlist:
+    /// `grgad-parallel` plus the serving host's socket layer.
     T1,
     /// Nested parallel primitives (oversubscription at a call site).
     T2,
@@ -80,7 +81,10 @@ impl Rule {
             Rule::D1 => "no HashMap/HashSet (nondeterministic iteration order) — use BTreeMap/BTreeSet",
             Rule::D2 => "no unseeded RNG (thread_rng/from_entropy) or wall-clock (SystemTime, Instant outside timing seams)",
             Rule::D3 => "float ordering must use total_cmp, not partial_cmp",
-            Rule::T1 => "no std::thread::spawn/scope or rayon/crossbeam outside crates/parallel",
+            Rule::T1 => {
+                "no std::thread::spawn/scope or rayon/crossbeam outside the threading \
+                 allowlist (crates/parallel + crates/server/src/worker.rs)"
+            }
             Rule::T2 => "no parallel primitive inside an argument to another parallel primitive (oversubscription)",
             Rule::P1 => "no unwrap/expect/panic!/unreachable! inside pub fn -> Result bodies of core/serve/datasets/error",
             Rule::P2 => "no truncating `as` integer casts in id-bearing crates — use try_into",
@@ -202,6 +206,22 @@ const P2_CRATES: [&str; 5] = ["graph", "serve", "datasets", "core", "sampling"];
 
 /// Crates allowed to use `unsafe` *with* a `SAFETY:` comment (U1).
 const UNSAFE_CRATES: [&str; 2] = ["linalg", "parallel"];
+
+/// Crates allowed to touch `std::thread` directly (T1): the deterministic
+/// pool itself.
+const T1_CRATES: [&str; 1] = ["parallel"];
+
+/// Exact files allowed to touch `std::thread` directly (T1) outside
+/// [`T1_CRATES`]: the serving host's socket layer — its accept loop and
+/// connection readers are I/O threads that *feed* the pool and cannot be
+/// expressed as jobs on it. Keep this list to files whose module docs
+/// justify the exemption.
+const T1_FILES: [&str; 1] = ["crates/server/src/worker.rs"];
+
+/// True when `ctx` is exempt from T1 via the crate or exact-file allowlist.
+fn t1_exempt(ctx: &FileContext) -> bool {
+    T1_CRATES.contains(&ctx.crate_name.as_str()) || T1_FILES.contains(&ctx.rel_path.as_str())
+}
 
 #[derive(Debug, Default)]
 struct FileState {
@@ -326,15 +346,17 @@ pub fn lint_source(src: &str, ctx: &FileContext) -> Vec<Diagnostic> {
                 &mut out,
             );
         }
-        if ctx.crate_name != "parallel" {
+        if !t1_exempt(ctx) {
             for pat in ["thread::spawn", "thread::scope", "thread::Builder"] {
                 if let Some(col) = code.find(pat) {
                     emit(
                         Rule::T1,
                         col,
                         format!(
-                            "`{pat}` outside `crates/parallel`; all concurrency \
-                             goes through the deterministic `grgad-parallel` pool"
+                            "`{pat}` outside the threading allowlist \
+                             (crates/parallel + the server socket layer); all \
+                             concurrency goes through the deterministic \
+                             `grgad-parallel` pool"
                         ),
                         &mut out,
                     );
@@ -345,7 +367,7 @@ pub fn lint_source(src: &str, ctx: &FileContext) -> Vec<Diagnostic> {
                     emit(
                         Rule::T1,
                         col,
-                        format!("`{word}` outside `crates/parallel`"),
+                        format!("`{word}` outside the threading allowlist"),
                         &mut out,
                     );
                 }
@@ -780,6 +802,33 @@ mod tests {
         let src =
             "// grgad-lint: allow(D1) reason=\"k\"\nlet a = 1;\nuse std::collections::HashMap;\n";
         assert_eq!(lint_source(src, &lib_ctx("crates/core/src/x.rs")).len(), 1);
+    }
+
+    #[test]
+    fn t1_allowlist_is_exact() {
+        let src = "fn f() {\n    std::thread::Builder::new();\n    std::thread::spawn(|| 1);\n}\n";
+        // The exact allowlisted file is exempt…
+        assert!(
+            lint_source(src, &lib_ctx("crates/server/src/worker.rs")).is_empty(),
+            "worker.rs is the server crate's one threading file"
+        );
+        // …but every other file in the same crate still fires, including
+        // near-miss paths.
+        for path in [
+            "crates/server/src/lib.rs",
+            "crates/server/src/scheduler.rs",
+            "crates/server/src/worker/mod.rs",
+            "crates/server/src/bin/grgad_server.rs",
+            "crates/core/src/worker.rs",
+        ] {
+            let t1 = lint_source(src, &lib_ctx(path))
+                .into_iter()
+                .filter(|d| d.rule == Rule::T1)
+                .count();
+            assert_eq!(t1, 2, "{path} should fire T1 twice");
+        }
+        // The pool crate stays exempt wholesale.
+        assert!(lint_source(src, &lib_ctx("crates/parallel/src/pool.rs")).is_empty());
     }
 
     #[test]

@@ -1,0 +1,9 @@
+//@ path: crates/server/src/scheduler.rs
+// The allowlist is exact-file, not crate-wide: the rest of the server
+// crate must schedule work on the executor, never spawn threads itself.
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 1 + 1); //~ T1
+    let _ = h.join();
+    let b = std::thread::Builder::new().spawn(|| 2); //~ T1
+    let _ = b;
+}

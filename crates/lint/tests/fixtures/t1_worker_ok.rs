@@ -1,0 +1,10 @@
+//@ path: crates/server/src/worker.rs
+// The serving host's socket layer is the one file outside crates/parallel
+// on the T1 allowlist: its accept loop and connection readers feed the
+// deterministic pool instead of competing with it.
+pub fn accept_loop() {
+    let handle = std::thread::Builder::new()
+        .name("grgad-conn-1".to_string())
+        .spawn(|| 1 + 1);
+    let _ = handle;
+}

@@ -17,6 +17,11 @@
 //! output, and each item's arithmetic happens in exactly the order the serial
 //! loop would have used.
 //!
+//! Two further seams serve long-lived processes rather than batch calls:
+//! the bounded sharded [`executor`] (FIFO-per-shard worker threads with
+//! backpressure, the serving host's scheduling substrate) and the
+//! [`shutdown`] signal flag (cooperative SIGTERM/SIGINT draining).
+//!
 //! # Thread-count resolution
 //!
 //! The number of worker threads is a process-wide setting:
@@ -43,6 +48,12 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+pub mod executor;
+pub mod shutdown;
+
+pub use executor::{Executor, SubmitError};
+pub use shutdown::{install_signal_handler, request_shutdown, shutdown_requested};
 
 /// Sentinel meaning "no explicit [`set_max_threads`] call yet".
 const UNSET: usize = usize::MAX;

@@ -37,14 +37,26 @@ fn main() -> std::io::Result<()> {
 
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
+    let mut input = stdin.lock();
     let mut out = stdout.lock();
     let mut session = Session::new();
-    for line in stdin.lock().lines() {
-        let line = line?;
-        if line.trim().is_empty() {
+    // Read raw bytes rather than `lines()`: a line of invalid UTF-8 must
+    // become an `ok:false` protocol-error response on the wire, not an
+    // io::Error that kills the whole session.
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        if input.read_until(b'\n', &mut buf)? == 0 {
+            break; // EOF
+        }
+        while matches!(buf.last(), Some(b'\n' | b'\r')) {
+            buf.pop();
+        }
+        // Whitespace-only lines are blank separators, not requests.
+        if buf.iter().all(|b| b.is_ascii_whitespace()) {
             continue;
         }
-        let response = session.handle_line(&line);
+        let response = session.handle_payload(&buf);
         out.write_all(response.to_json_line().as_bytes())?;
         out.write_all(b"\n")?;
         out.flush()?;

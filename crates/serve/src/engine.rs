@@ -260,6 +260,17 @@ impl ScoringEngine {
     /// # Errors
     /// Whatever [`TrainedTpGrGad::score`] rejects.
     pub fn score(&mut self) -> Result<(TpGrGadResult, ScoreMode), GrgadError> {
+        self.score_observed(&mut grgad_core::NullObserver)
+    }
+
+    /// [`ScoringEngine::score`] with a [`grgad_core::PipelineObserver`]
+    /// receiving per-stage reports — the serving host's telemetry hook.
+    /// Observation is read-only: results are bit-identical to
+    /// [`ScoringEngine::score`] from the same engine state.
+    pub fn score_observed(
+        &mut self,
+        observer: &mut dyn grgad_core::PipelineObserver,
+    ) -> Result<(TpGrGadResult, ScoreMode), GrgadError> {
         let n = self.graph.num_nodes();
         let touched = self.touched_nodes();
         let dirty_fraction = if n == 0 {
@@ -277,7 +288,9 @@ impl ScoringEngine {
             self.cache.invalidate_edges(&edges);
             ScoreMode::Incremental
         };
-        let result = self.model.score_cached(&self.graph, &mut self.cache)?;
+        let result = self
+            .model
+            .score_cached_observed(&self.graph, &mut self.cache, observer)?;
         self.dirty_nodes.clear();
         self.dirty_edges.clear();
         match mode {
@@ -464,6 +477,48 @@ mod tests {
         assert_eq!(outcome.new_nodes, vec![n + 1], "assigned id reported");
         assert!(engine.graph().has_edge(1, 2));
         assert_eq!(engine.graph().num_nodes(), n + 2);
+    }
+
+    #[test]
+    fn observed_scoring_is_bit_identical_and_reports_stages() {
+        // trained_pair is deterministic, so two calls with one seed give
+        // identical engines (TrainedTpGrGad is deliberately not Clone).
+        let (model_a, graph_a) = trained_pair(9);
+        let (model_b, graph_b) = trained_pair(9);
+        let mut plain = ScoringEngine::new(model_a, graph_a).expect("engine");
+        let mut observed = ScoringEngine::new(model_b, graph_b).expect("engine");
+
+        let mut timings = grgad_core::TimingObserver::new();
+        let (a, mode_a) = plain.score().expect("plain score");
+        let (b, mode_b) = observed.score_observed(&mut timings).expect("observed");
+        assert_eq!(mode_a, mode_b);
+        assert_eq!(a.scores, b.scores, "observer must not perturb scores");
+        assert_eq!(a.candidate_groups, b.candidate_groups);
+        assert!(!timings.stages.is_empty(), "stages were reported");
+        assert!(
+            timings.stages.iter().all(|s| s.train_epochs == 0),
+            "serving never trains"
+        );
+
+        // Incremental path reports stages too, and stays bit-identical.
+        let dim = observed.graph().feature_dim();
+        for engine in [&mut plain, &mut observed] {
+            engine
+                .apply_delta(&GraphDelta::SetFeatures {
+                    node: 1,
+                    features: vec![0.75; dim],
+                })
+                .expect("delta");
+        }
+        let before = timings.stages.len();
+        let (a, mode_a) = plain.score().expect("plain rescore");
+        let (b, mode_b) = observed.score_observed(&mut timings).expect("observed");
+        assert_eq!(
+            (mode_a, mode_b),
+            (ScoreMode::Incremental, ScoreMode::Incremental)
+        );
+        assert_eq!(a.scores, b.scores);
+        assert!(timings.stages.len() > before);
     }
 
     #[test]

@@ -25,5 +25,8 @@ pub mod session;
 
 pub use engine::{DeltaBatchOutcome, EngineConfig, EngineStats, ScoreMode, ScoringEngine};
 pub use grgad_error::GrgadError;
-pub use protocol::{GraphDelta, RequestOp, ResponseBody, ScoreRequest, ScoreResponse, TopGroup};
+pub use protocol::{
+    payload_str, GraphDelta, RequestOp, ResponseBody, ScoreRequest, ScoreResponse, TopGroup,
+    MAX_REQUEST_BYTES,
+};
 pub use session::Session;

@@ -181,12 +181,62 @@ fn opt_field<'v>(value: &'v Value, key: &str) -> Option<&'v Value> {
         .map(|(_, v)| v)
 }
 
+/// Upper bound on one request line/frame payload, in bytes (16 MiB).
+///
+/// Shared by every transport that carries the NDJSON protocol: the stdin
+/// binary enforces it per line, the socket host enforces it per frame
+/// *before* allocating the payload buffer. Large enough for bulk
+/// `apply_delta` batches (a 16 MiB line holds ~200k edge deltas), small
+/// enough that a malicious or corrupted length prefix cannot make the
+/// server allocate unbounded memory.
+pub const MAX_REQUEST_BYTES: usize = 16 * 1024 * 1024;
+
+/// Parses one request payload as raw bytes: the boundary every transport
+/// funnels through. Rejects — with a typed [`GrgadError::Protocol`], never
+/// by dropping the input silently — payloads that are empty, oversized
+/// (> [`MAX_REQUEST_BYTES`]) or not valid UTF-8, then parses the text via
+/// [`parse_request`].
+///
+/// # Errors
+/// [`GrgadError::Protocol`] as above, plus everything [`parse_request`]
+/// rejects.
+pub fn parse_request_bytes(payload: &[u8]) -> Result<ScoreRequest, GrgadError> {
+    parse_request(payload_str(payload)?)
+}
+
+/// Validates a raw request payload (non-empty, within
+/// [`MAX_REQUEST_BYTES`], valid UTF-8) and returns it as text. The shared
+/// boundary check for every byte-oriented transport — the stdin binary, the
+/// socket host's frames.
+///
+/// # Errors
+/// [`GrgadError::Protocol`] for an empty, oversized or non-UTF-8 payload.
+pub fn payload_str(payload: &[u8]) -> Result<&str, GrgadError> {
+    if payload.is_empty() {
+        return Err(GrgadError::protocol("empty request (zero-length payload)"));
+    }
+    if payload.len() > MAX_REQUEST_BYTES {
+        return Err(GrgadError::protocol(format!(
+            "request of {} bytes exceeds the {MAX_REQUEST_BYTES}-byte limit",
+            payload.len()
+        )));
+    }
+    std::str::from_utf8(payload)
+        .map_err(|e| GrgadError::protocol(format!("request is not valid UTF-8: {e}")))
+}
+
 /// Parses one NDJSON request line into a typed [`ScoreRequest`].
 ///
 /// # Errors
-/// [`GrgadError::Protocol`] for malformed JSON, a missing/unknown `op` or
-/// missing operation fields.
+/// [`GrgadError::Protocol`] for an oversized line (> [`MAX_REQUEST_BYTES`]),
+/// malformed JSON, a missing/unknown `op` or missing operation fields.
 pub fn parse_request(line: &str) -> Result<ScoreRequest, GrgadError> {
+    if line.len() > MAX_REQUEST_BYTES {
+        return Err(GrgadError::protocol(format!(
+            "request of {} bytes exceeds the {MAX_REQUEST_BYTES}-byte limit",
+            line.len()
+        )));
+    }
     let value: Value =
         serde_json::from_str(line).map_err(|e| GrgadError::protocol(format!("bad JSON: {e}")))?;
     let op_name = opt_field(&value, "op")
@@ -463,6 +513,42 @@ mod tests {
                 "{line} -> {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn malformed_payload_bytes_are_typed_protocol_errors() {
+        // Table: (payload bytes, substring the error message must contain).
+        // Covers the transport-boundary failure modes that used to be
+        // dropped or could kill the stdin loop: empty frames, frames larger
+        // than the limit, non-UTF-8 bytes, truncated NDJSON and unknown
+        // methods all surface as GrgadError::Protocol with a diagnostic.
+        let oversized = vec![b'x'; MAX_REQUEST_BYTES + 1];
+        let cases: Vec<(&[u8], &str)> = vec![
+            (b"", "empty request"),
+            (&oversized, "exceeds"),
+            (&[0xff, 0xfe, b'{', b'}'], "not valid UTF-8"),
+            (br#"{"op":"score""#, "bad JSON"),
+            (br#"{"op":"frobnicate"}"#, "unknown op"),
+        ];
+        for (payload, needle) in cases {
+            let err = parse_request_bytes(payload).unwrap_err();
+            assert!(
+                matches!(err, GrgadError::Protocol { .. }),
+                "{payload:?} -> {err:?}"
+            );
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn payload_bytes_at_the_limit_still_parse() {
+        // A request padded with trailing spaces up to exactly
+        // MAX_REQUEST_BYTES must parse: the limit is inclusive.
+        let mut payload = br#"{"op":"stats"}"#.to_vec();
+        payload.resize(MAX_REQUEST_BYTES, b' ');
+        let req = parse_request_bytes(&payload).unwrap();
+        assert_eq!(req.op, RequestOp::Stats);
     }
 
     #[test]

@@ -29,6 +29,21 @@ impl Session {
         self.engine.as_ref()
     }
 
+    /// Handles one request payload as raw bytes: the entry point for
+    /// transports that read bytes off a wire (the stdin binary's
+    /// `read_until` loop, the socket host's frames). Payloads that are
+    /// empty, oversized (> [`crate::protocol::MAX_REQUEST_BYTES`]) or not
+    /// valid UTF-8 become
+    /// `ok:false` protocol-error responses — never a dropped request or a
+    /// dead process — and valid UTF-8 takes the exact [`Self::handle_line`]
+    /// path, so responses stay byte-identical across transports.
+    pub fn handle_payload(&mut self, payload: &[u8]) -> ScoreResponse {
+        match crate::protocol::payload_str(payload) {
+            Ok(line) => self.handle_line(line),
+            Err(error) => ScoreResponse::err("?", error),
+        }
+    }
+
     /// Handles one NDJSON request line; never panics — every failure mode
     /// becomes an `ok:false` response.
     pub fn handle_line(&mut self, line: &str) -> ScoreResponse {
@@ -198,6 +213,26 @@ mod tests {
         assert!(bad.to_json_line().contains("\"kind\":\"invalid_node_id\""));
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn byte_payloads_match_line_handling_and_reject_garbage() {
+        let mut session = Session::new();
+        // Valid UTF-8 bytes take the exact handle_line path.
+        let via_bytes = session.handle_payload(br#"{"op":"stats"}"#).to_json_line();
+        let via_line = session.handle_line(r#"{"op":"stats"}"#).to_json_line();
+        assert_eq!(via_bytes, via_line);
+        // Garbage becomes a typed protocol error response, not a drop.
+        for (payload, needle) in [
+            (&b""[..], "empty request"),
+            (&[0xff, 0xfe][..], "not valid UTF-8"),
+        ] {
+            let line = session.handle_payload(payload).to_json_line();
+            assert!(
+                line.contains("\"kind\":\"protocol\"") && line.contains(needle),
+                "{line}"
+            );
+        }
     }
 
     #[test]

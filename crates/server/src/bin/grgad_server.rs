@@ -1,0 +1,100 @@
+//! `grgad_server` — the multi-tenant TP-GrGAD serving host.
+//!
+//! ```text
+//! grgad_server --listen unix:/tmp/grgad.sock [--workers 4] [--queue 64]
+//! grgad_server --listen tcp:127.0.0.1:7431
+//! grgad_server --connect unix:/tmp/grgad.sock --script session.ndjson
+//! ```
+//!
+//! Serve mode hosts engines behind the framed socket transport until
+//! SIGTERM/ctrl-C, then drains in-flight requests and exits 0. Client mode
+//! (`--connect`) pipelines an NDJSON script file through the socket and
+//! prints one response per line to stdout — the CI smoke driver.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::io::Write;
+use std::sync::Arc;
+
+use grgad_server::{EngineRegistry, HostClient, ListenAddr, ServerConfig};
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().collect();
+
+    if let Some(spec) = flag(&args, "--connect") {
+        let addr = ListenAddr::parse(spec).map_err(std::io::Error::from)?;
+        let Some(script) = flag(&args, "--script") else {
+            eprintln!("--connect requires --script FILE (NDJSON requests)");
+            std::process::exit(2);
+        };
+        let lines: Vec<String> = std::fs::read_to_string(script)?
+            .lines()
+            .map(str::to_string)
+            .collect();
+        let mut client = connect_retry(&addr).map_err(std::io::Error::from)?;
+        let responses = client
+            .run_script_pipelined(&lines)
+            .map_err(std::io::Error::from)?;
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for response in responses {
+            out.write_all(response.as_bytes())?;
+            out.write_all(b"\n")?;
+        }
+        return Ok(());
+    }
+
+    let Some(spec) = flag(&args, "--listen") else {
+        eprintln!(
+            "usage: grgad_server --listen unix:PATH|tcp:ADDR [--workers N] [--queue N]\n\
+             \u{20}      grgad_server --connect unix:PATH|tcp:ADDR --script FILE"
+        );
+        std::process::exit(2);
+    };
+    let listen = ListenAddr::parse(spec).map_err(std::io::Error::from)?;
+    let mut config = ServerConfig::new(listen);
+    if let Some(workers) = num_flag(&args, "--workers") {
+        config.workers = workers.max(1);
+    }
+    if let Some(queue) = num_flag(&args, "--queue") {
+        config.queue_capacity = queue.max(1);
+    }
+
+    eprintln!(
+        "grgad_server listening on {spec} ({} workers, queue {})",
+        config.workers, config.queue_capacity
+    );
+    let registry = Arc::new(EngineRegistry::new());
+    grgad_server::serve(&config, registry).map_err(std::io::Error::from)?;
+    eprintln!("grgad_server drained; exiting");
+    Ok(())
+}
+
+/// Connects, retrying transport failures for up to 30s — client mode is
+/// routinely launched right after the host process (CI backgrounds the
+/// server and fires the scripted clients immediately), so "socket not bound
+/// yet" must not be fatal.
+fn connect_retry(addr: &ListenAddr) -> Result<HostClient, grgad_server::GrgadError> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        match HostClient::connect(addr) {
+            Ok(client) => return Ok(client),
+            Err(grgad_server::GrgadError::Transport { .. })
+                if std::time::Instant::now() < deadline =>
+            {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+}
+
+fn num_flag(args: &[String], name: &str) -> Option<usize> {
+    flag(args, name).and_then(|v| v.parse().ok())
+}

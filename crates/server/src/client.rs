@@ -1,0 +1,155 @@
+//! [`HostClient`]: a minimal blocking client for the framed host protocol.
+//!
+//! Used by the CI smoke driver (`grgad_server --connect`), the parity test
+//! suite and the serving benchmark. One request line in, one response line
+//! out, in order — the host guarantees per-connection response ordering, so
+//! a client may also pipeline a whole script and read the responses back
+//! ([`HostClient::run_script_pipelined`]).
+
+use std::io::BufReader;
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use grgad_error::GrgadError;
+
+use crate::framing::{read_frame, write_frame, FrameEvent};
+use crate::worker::ListenAddr;
+
+enum ClientConn {
+    #[cfg(unix)]
+    Unix(BufReader<UnixStream>, UnixStream),
+    Tcp(BufReader<TcpStream>, TcpStream),
+}
+
+/// A blocking client connection to a serving host.
+pub struct HostClient {
+    conn: ClientConn,
+}
+
+impl HostClient {
+    /// Connects to a Unix-domain socket host.
+    ///
+    /// # Errors
+    /// [`GrgadError::Transport`] when the socket cannot be connected.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &Path) -> Result<HostClient, GrgadError> {
+        let stream = UnixStream::connect(path)
+            .map_err(|e| GrgadError::transport(format!("connecting {}: {e}", path.display())))?;
+        let reader = stream
+            .try_clone()
+            .map_err(|e| GrgadError::transport(format!("cloning stream: {e}")))?;
+        Ok(HostClient {
+            conn: ClientConn::Unix(BufReader::new(reader), stream),
+        })
+    }
+
+    /// Connects to a TCP host.
+    ///
+    /// # Errors
+    /// [`GrgadError::Transport`] when the address cannot be connected.
+    pub fn connect_tcp(addr: &str) -> Result<HostClient, GrgadError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| GrgadError::transport(format!("connecting {addr}: {e}")))?;
+        let reader = stream
+            .try_clone()
+            .map_err(|e| GrgadError::transport(format!("cloning stream: {e}")))?;
+        Ok(HostClient {
+            conn: ClientConn::Tcp(BufReader::new(reader), stream),
+        })
+    }
+
+    /// Connects to either address family.
+    ///
+    /// # Errors
+    /// As [`HostClient::connect_unix`] / [`HostClient::connect_tcp`].
+    pub fn connect(addr: &ListenAddr) -> Result<HostClient, GrgadError> {
+        match addr {
+            #[cfg(unix)]
+            ListenAddr::Unix(path) => HostClient::connect_unix(path),
+            ListenAddr::Tcp(addr) => HostClient::connect_tcp(addr),
+        }
+    }
+
+    fn write_payload(&mut self, payload: &[u8]) -> Result<(), GrgadError> {
+        match &mut self.conn {
+            #[cfg(unix)]
+            ClientConn::Unix(_, w) => write_frame(w, payload),
+            ClientConn::Tcp(_, w) => write_frame(w, payload),
+        }
+    }
+
+    fn read_response(&mut self) -> Result<String, GrgadError> {
+        let event = match &mut self.conn {
+            #[cfg(unix)]
+            ClientConn::Unix(r, _) => read_frame(r)?,
+            ClientConn::Tcp(r, _) => read_frame(r)?,
+        };
+        match event {
+            FrameEvent::Frame(payload) => String::from_utf8(payload)
+                .map_err(|e| GrgadError::transport(format!("response is not UTF-8: {e}"))),
+            FrameEvent::Eof => Err(GrgadError::transport(
+                "server closed the connection before responding",
+            )),
+            FrameEvent::Idle => Err(GrgadError::transport("read timed out waiting for response")),
+        }
+    }
+
+    /// Sends one request line and reads its response line.
+    ///
+    /// # Errors
+    /// [`GrgadError::Transport`] on any framing/socket failure.
+    pub fn send_line(&mut self, line: &str) -> Result<String, GrgadError> {
+        self.write_payload(line.as_bytes())?;
+        self.read_response()
+    }
+
+    /// Writes one request frame without waiting for its response — pair
+    /// with [`HostClient::recv_line`] to pipeline by hand (e.g. to observe
+    /// the host draining in-flight requests across a SIGTERM).
+    ///
+    /// # Errors
+    /// [`GrgadError::Transport`] on any framing/socket failure.
+    pub fn send_request(&mut self, line: &str) -> Result<(), GrgadError> {
+        self.write_payload(line.as_bytes())
+    }
+
+    /// Reads the next response frame (blocking).
+    ///
+    /// # Errors
+    /// [`GrgadError::Transport`] on framing/socket failure, on EOF before a
+    /// response, or on a read timeout when one is configured.
+    pub fn recv_line(&mut self) -> Result<String, GrgadError> {
+        self.read_response()
+    }
+
+    /// Sends raw payload bytes (possibly invalid UTF-8/JSON — for testing
+    /// the host's error paths) and reads the response line.
+    ///
+    /// # Errors
+    /// [`GrgadError::Transport`] on any framing/socket failure.
+    pub fn send_raw(&mut self, payload: &[u8]) -> Result<String, GrgadError> {
+        self.write_payload(payload)?;
+        self.read_response()
+    }
+
+    /// Pipelines a whole script: writes every request frame, then reads the
+    /// same number of responses. Responses come back in request order (the
+    /// host's per-connection ordering guarantee); blank lines are skipped
+    /// like the stdin server does.
+    ///
+    /// # Errors
+    /// [`GrgadError::Transport`] on any framing/socket failure.
+    pub fn run_script_pipelined(&mut self, lines: &[String]) -> Result<Vec<String>, GrgadError> {
+        let requests: Vec<&String> = lines.iter().filter(|l| !l.trim().is_empty()).collect();
+        for line in &requests {
+            self.write_payload(line.as_bytes())?;
+        }
+        let mut responses = Vec::with_capacity(requests.len());
+        for _ in 0..requests.len() {
+            responses.push(self.read_response()?);
+        }
+        Ok(responses)
+    }
+}

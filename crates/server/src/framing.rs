@@ -1,0 +1,182 @@
+//! Length-prefixed framing for the socket transport.
+//!
+//! One frame = a 4-byte big-endian payload length followed by that many
+//! payload bytes. Payloads are the exact NDJSON lines the stdin protocol
+//! speaks (`grgad_serve::protocol`), minus the trailing newline — framing
+//! replaces line-termination on the socket so payloads may contain any
+//! bytes, and a reader always knows how much to expect.
+//!
+//! Framing failures are [`GrgadError::Transport`]: once a length prefix is
+//! corrupt or a frame is truncated the byte stream cannot be re-synchronized
+//! and the connection must close. Malformed *payloads* on a healthy stream
+//! are the payload layer's business ([`GrgadError::Protocol`]) and keep the
+//! connection alive.
+
+use std::io::{ErrorKind, Read, Write};
+
+use grgad_error::GrgadError;
+
+/// Hard ceiling on one frame's payload, matching the NDJSON protocol's
+/// per-line limit so both transports accept exactly the same payloads. The
+/// reader enforces it *before* allocating, so a corrupt length prefix can
+/// never balloon memory.
+pub const MAX_FRAME_BYTES: usize = grgad_serve::MAX_REQUEST_BYTES;
+
+/// What [`read_frame`] observed on the stream.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A complete frame's payload.
+    Frame(Vec<u8>),
+    /// Clean end-of-stream on a frame boundary.
+    Eof,
+    /// A read timeout expired before the first header byte arrived — the
+    /// stream is healthy but idle. Only produced when the underlying stream
+    /// has a read timeout configured; lets callers poll a shutdown flag
+    /// between frames.
+    Idle,
+}
+
+/// Writes one frame (header + payload) and flushes.
+///
+/// # Errors
+/// [`GrgadError::Transport`] for an oversized payload or any I/O failure.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), GrgadError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(GrgadError::transport(format!(
+            "refusing to send a {}-byte frame (limit {MAX_FRAME_BYTES})",
+            payload.len()
+        )));
+    }
+    let len = u32::try_from(payload.len())
+        .map_err(|_| GrgadError::transport("frame length does not fit in a u32 header"))?;
+    w.write_all(&len.to_be_bytes())
+        .and_then(|()| w.write_all(payload))
+        .and_then(|()| w.flush())
+        .map_err(|e| GrgadError::transport(format!("writing frame: {e}")))
+}
+
+/// Reads one frame, distinguishing clean EOF and idle timeouts from
+/// transport corruption.
+///
+/// A timeout (`WouldBlock`/`TimedOut`) *before any header byte* yields
+/// [`FrameEvent::Idle`]; a timeout mid-frame keeps reading — the frame has
+/// started and abandoning it would desynchronize the stream.
+///
+/// # Errors
+/// [`GrgadError::Transport`] for a length prefix over [`MAX_FRAME_BYTES`],
+/// EOF mid-header or mid-payload (truncated frame), or any other I/O error.
+pub fn read_frame(r: &mut impl Read) -> Result<FrameEvent, GrgadError> {
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(FrameEvent::Eof),
+            Ok(0) => {
+                return Err(GrgadError::transport(format!(
+                    "truncated frame header: EOF after {got} of 4 bytes"
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e)
+                if got == 0 && matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
+            {
+                return Ok(FrameEvent::Idle)
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) => return Err(GrgadError::transport(format!("reading frame header: {e}"))),
+        }
+    }
+    let len = usize::try_from(u32::from_be_bytes(header))
+        .map_err(|_| GrgadError::transport("frame length does not fit in usize"))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(GrgadError::transport(format!(
+            "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(GrgadError::transport(format!(
+                    "truncated frame payload: EOF after {got} of {len} bytes"
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(GrgadError::transport(format!("reading frame payload: {e}"))),
+        }
+    }
+    Ok(FrameEvent::Frame(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(payload: &[u8]) -> FrameEvent {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).expect("write");
+        read_frame(&mut buf.as_slice()).expect("read")
+    }
+
+    #[test]
+    fn frames_round_trip_including_empty_and_binary() {
+        assert_eq!(
+            roundtrip(br#"{"op":"stats"}"#),
+            FrameEvent::Frame(br#"{"op":"stats"}"#.to_vec())
+        );
+        assert_eq!(roundtrip(b""), FrameEvent::Frame(Vec::new()));
+        assert_eq!(
+            roundtrip(&[0xff, 0x00, 0xfe]),
+            FrameEvent::Frame(vec![0xff, 0x00, 0xfe])
+        );
+    }
+
+    #[test]
+    fn consecutive_frames_then_clean_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").expect("write");
+        write_frame(&mut buf, b"two").expect("write");
+        let mut r = buf.as_slice();
+        assert_eq!(
+            read_frame(&mut r).expect("1"),
+            FrameEvent::Frame(b"one".to_vec())
+        );
+        assert_eq!(
+            read_frame(&mut r).expect("2"),
+            FrameEvent::Frame(b"two".to_vec())
+        );
+        assert_eq!(read_frame(&mut r).expect("eof"), FrameEvent::Eof);
+    }
+
+    #[test]
+    fn corruption_is_a_transport_error() {
+        // Huge length prefix: rejected before allocating.
+        let huge = (u32::MAX).to_be_bytes();
+        let err = read_frame(&mut huge.as_slice()).unwrap_err();
+        assert!(matches!(err, GrgadError::Transport { .. }), "{err:?}");
+        assert!(err.to_string().contains("exceeds"), "{err}");
+
+        // Truncated header.
+        let err = read_frame(&mut [0u8, 0].as_slice()).unwrap_err();
+        assert!(err.to_string().contains("truncated frame header"), "{err}");
+
+        // Truncated payload.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").expect("write");
+        buf.truncate(buf.len() - 2);
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("truncated frame payload"), "{err}");
+
+        // Oversized writes are refused up front.
+        let big = vec![0u8; MAX_FRAME_BYTES + 1];
+        let err = write_frame(&mut Vec::new(), &big).unwrap_err();
+        assert!(matches!(err, GrgadError::Transport { .. }), "{err:?}");
+    }
+}

@@ -1,0 +1,284 @@
+//! The host envelope: how the multi-tenant server extends the single-engine
+//! NDJSON protocol.
+//!
+//! Every frame payload is one NDJSON object. Three *host* operations manage
+//! tenant lifecycle in the registry:
+//!
+//! ```text
+//! {"op":"create","tenant":"acme"}
+//! {"op":"drop","tenant":"acme"}
+//! {"op":"tenants"}
+//! ```
+//!
+//! Every other `op` is an *engine* operation: the exact
+//! `grgad_serve::protocol` request, plus a `"tenant"` field naming the
+//! target engine:
+//!
+//! ```text
+//! {"op":"load","tenant":"acme","model":"model.json","graph":"graph.json"}
+//! {"op":"score","tenant":"acme","top":3}
+//! ```
+//!
+//! Engine operations are deliberately **not** re-parsed here: the raw line
+//! is handed to the tenant's `Session`, whose parser ignores the extra
+//! `"tenant"` field. The socket response for an engine op is therefore
+//! byte-identical to replaying the same line through the stdin binary —
+//! the parity contract the concurrency tests pin down.
+
+use grgad_error::GrgadError;
+use grgad_serve::{payload_str, ScoreResponse};
+use serde::Value;
+
+/// Longest accepted tenant name.
+pub const MAX_TENANT_NAME_LEN: usize = 64;
+
+/// One parsed host-envelope request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HostRequest {
+    /// Create an empty tenant slot (no engine loaded yet).
+    Create {
+        /// The tenant to create.
+        tenant: String,
+    },
+    /// Drop a tenant and its engine.
+    Drop {
+        /// The tenant to drop.
+        tenant: String,
+    },
+    /// List hosted tenants (sorted).
+    Tenants,
+    /// An engine operation to route to one tenant's session.
+    Engine {
+        /// The target tenant.
+        tenant: String,
+        /// The engine op's wire name (echoed in routing-error responses).
+        op: String,
+        /// The full request line, passed to the session verbatim.
+        raw_line: String,
+    },
+}
+
+/// Validates a tenant name: 1–[`MAX_TENANT_NAME_LEN`] chars from
+/// `[a-z0-9_-]`. Names become registry keys and appear in file-system-ish
+/// contexts (logs, golden transcripts), so the alphabet is kept boring.
+///
+/// # Errors
+/// [`GrgadError::Protocol`] describing the violation.
+pub fn validate_tenant_name(tenant: &str) -> Result<(), GrgadError> {
+    if tenant.is_empty() {
+        return Err(GrgadError::protocol("tenant name must not be empty"));
+    }
+    if tenant.len() > MAX_TENANT_NAME_LEN {
+        return Err(GrgadError::protocol(format!(
+            "tenant name of {} chars exceeds the {MAX_TENANT_NAME_LEN}-char limit",
+            tenant.len()
+        )));
+    }
+    if let Some(bad) = tenant
+        .chars()
+        .find(|c| !(c.is_ascii_lowercase() || c.is_ascii_digit() || matches!(c, '_' | '-')))
+    {
+        return Err(GrgadError::protocol(format!(
+            "tenant name contains `{bad}`; allowed characters are [a-z0-9_-]"
+        )));
+    }
+    Ok(())
+}
+
+fn string_field(value: &Value, key: &str, op: &str) -> Result<String, GrgadError> {
+    let field = value
+        .as_map()
+        .and_then(|entries| entries.iter().find(|(k, _)| k == key))
+        .map(|(_, v)| v)
+        .ok_or_else(|| GrgadError::protocol(format!("op `{op}`: missing `{key}` field")))?;
+    match field {
+        Value::Str(s) => Ok(s.clone()),
+        _ => Err(GrgadError::protocol(format!(
+            "op `{op}`: `{key}` must be a string"
+        ))),
+    }
+}
+
+/// Parses one frame payload into a [`HostRequest`].
+///
+/// # Errors
+/// [`GrgadError::Protocol`] for an empty/oversized/non-UTF-8 payload,
+/// malformed JSON, a missing or non-string `op`, a host op without its
+/// `tenant`, an invalid tenant name, or an engine op without a `tenant`
+/// field. Unknown engine op names are *not* rejected here — the tenant's
+/// session parser owns that error so its message matches stdin serving.
+pub fn parse_host_request(payload: &[u8]) -> Result<HostRequest, GrgadError> {
+    let line = payload_str(payload)?;
+    let value: Value =
+        serde_json::from_str(line).map_err(|e| GrgadError::protocol(format!("bad JSON: {e}")))?;
+    let op = string_field(&value, "op", "?")
+        .map_err(|_| GrgadError::protocol("missing or non-string `op` field"))?;
+    match op.as_str() {
+        "create" | "drop" => {
+            let tenant = string_field(&value, "tenant", &op)?;
+            validate_tenant_name(&tenant)?;
+            Ok(if op == "create" {
+                HostRequest::Create { tenant }
+            } else {
+                HostRequest::Drop { tenant }
+            })
+        }
+        "tenants" => Ok(HostRequest::Tenants),
+        _ => {
+            let tenant = string_field(&value, "tenant", &op).map_err(|_| {
+                GrgadError::protocol(format!(
+                    "op `{op}`: engine operations on the host require a `tenant` field"
+                ))
+            })?;
+            validate_tenant_name(&tenant)?;
+            Ok(HostRequest::Engine {
+                tenant,
+                op,
+                raw_line: line.to_string(),
+            })
+        }
+    }
+}
+
+/// Best-effort extraction of the `op` field from a payload whose full parse
+/// failed, so error responses echo the op the client asked for whenever the
+/// payload got far enough to name one (`"?"` otherwise — matching the stdin
+/// binary's convention for unparseable requests).
+pub fn op_hint(payload: &[u8]) -> String {
+    payload_str(payload)
+        .ok()
+        .and_then(|line| serde_json::from_str::<Value>(line).ok())
+        .and_then(|value| string_field(&value, "op", "?").ok())
+        .unwrap_or_else(|| "?".to_string())
+}
+
+/// Renders the success response of a `create`/`drop` host op.
+pub fn host_ok(op: &str, tenant: &str) -> String {
+    render(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("op".into(), Value::Str(op.into())),
+        ("tenant".into(), Value::Str(tenant.into())),
+    ])
+}
+
+/// Renders the success response of the `tenants` host op.
+pub fn host_tenants(tenants: &[String]) -> String {
+    render(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("op".into(), Value::Str("tenants".into())),
+        (
+            "tenants".into(),
+            Value::Seq(tenants.iter().map(|t| Value::Str(t.clone())).collect()),
+        ),
+    ])
+}
+
+/// Renders a failure response for any op — the same
+/// `{"ok":false,"op":...,"error":{"kind":...,"message":...}}` shape the
+/// engine protocol uses, so clients parse one error format.
+pub fn host_err(op: &str, error: GrgadError) -> String {
+    ScoreResponse::err(op, error).to_json_line()
+}
+
+fn render(entries: Vec<(String, Value)>) -> String {
+    serde_json::to_string(&Value::Map(entries)).unwrap_or_else(|_| {
+        // The value trees above hold only strings/bools, so rendering
+        // cannot fail; mirror ScoreResponse's structured fallback anyway.
+        "{\"ok\":false,\"op\":\"?\",\"error\":{\"kind\":\"protocol\",\"message\":\"render failure\"}}"
+            .to_string()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_host_and_engine_ops() {
+        assert_eq!(
+            parse_host_request(br#"{"op":"create","tenant":"acme"}"#).unwrap(),
+            HostRequest::Create {
+                tenant: "acme".into()
+            }
+        );
+        assert_eq!(
+            parse_host_request(br#"{"op":"drop","tenant":"a-b_3"}"#).unwrap(),
+            HostRequest::Drop {
+                tenant: "a-b_3".into()
+            }
+        );
+        assert_eq!(
+            parse_host_request(br#"{"op":"tenants"}"#).unwrap(),
+            HostRequest::Tenants
+        );
+        let line = r#"{"op":"score","tenant":"acme","top":3}"#;
+        assert_eq!(
+            parse_host_request(line.as_bytes()).unwrap(),
+            HostRequest::Engine {
+                tenant: "acme".into(),
+                op: "score".into(),
+                raw_line: line.into(),
+            }
+        );
+        // Unknown engine ops still route (the session owns the error).
+        assert!(matches!(
+            parse_host_request(br#"{"op":"frobnicate","tenant":"acme"}"#).unwrap(),
+            HostRequest::Engine { .. }
+        ));
+    }
+
+    #[test]
+    fn malformed_envelopes_are_protocol_errors() {
+        let long = format!(r#"{{"op":"create","tenant":"{}"}}"#, "x".repeat(65));
+        let cases: Vec<(&[u8], &str)> = vec![
+            (b"", "empty request"),
+            (&[0xff, 0xfe], "not valid UTF-8"),
+            (b"not json", "bad JSON"),
+            (br#"{"tenant":"acme"}"#, "missing or non-string `op`"),
+            (br#"{"op":42}"#, "missing or non-string `op`"),
+            (br#"{"op":"create"}"#, "missing `tenant`"),
+            (br#"{"op":"create","tenant":""}"#, "must not be empty"),
+            (
+                br#"{"op":"create","tenant":"Bad Name"}"#,
+                "allowed characters",
+            ),
+            (long.as_bytes(), "exceeds the 64-char limit"),
+            (br#"{"op":"score"}"#, "require a `tenant` field"),
+        ];
+        for (payload, needle) in cases {
+            let err = parse_host_request(payload).unwrap_err();
+            assert!(
+                matches!(err, GrgadError::Protocol { .. }),
+                "{payload:?} -> {err:?}"
+            );
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn op_hint_recovers_the_requested_op_when_present() {
+        assert_eq!(op_hint(br#"{"op":"create","tenant":"Bad Name"}"#), "create");
+        assert_eq!(op_hint(br#"{"op":"score"}"#), "score");
+        assert_eq!(op_hint(br#"{"tenant":"acme"}"#), "?");
+        assert_eq!(op_hint(b"not json"), "?");
+        assert_eq!(op_hint(&[0xff, 0xfe]), "?");
+    }
+
+    #[test]
+    fn responses_render_stable_shapes() {
+        assert_eq!(
+            host_ok("create", "acme"),
+            r#"{"ok":true,"op":"create","tenant":"acme"}"#
+        );
+        assert_eq!(
+            host_tenants(&["a".into(), "b".into()]),
+            r#"{"ok":true,"op":"tenants","tenants":["a","b"]}"#
+        );
+        let err = host_err("load", GrgadError::tenant_not_found("ghost"));
+        assert!(
+            err.contains(r#""kind":"tenant_not_found""#) && err.contains("ghost"),
+            "{err}"
+        );
+    }
+}

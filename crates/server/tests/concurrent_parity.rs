@@ -1,0 +1,179 @@
+//! Concurrency never changes bytes: N clients driving interleaved
+//! delta/score streams through the socket host produce responses
+//! **byte-identical** to replaying the same request lines through a serial
+//! stdin [`grgad_serve::Session`] — across seeds and worker counts — and
+//! commuting deltas from concurrent clients on one shared tenant reach the
+//! identical final engine state.
+
+mod common;
+
+use std::path::Path;
+
+use grgad_serve::Session;
+
+/// A deterministic per-seed engine-op stream for one tenant: load, then
+/// interleaved delta/score rounds, then stats. Some generated deltas are
+/// deliberately invalid (self-loops, duplicate edges) — error responses
+/// must round-trip byte-identically too. Absolute artifact paths so the
+/// same lines load in both the host process and the in-process replay.
+fn engine_script(tenant: &str, seed: u64, artifacts: &Path) -> Vec<String> {
+    let model = artifacts.join("model.json");
+    let graph = artifacts.join("graph.json");
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = move |m: u64| {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (state >> 33) % m
+    };
+
+    let mut lines = vec![
+        format!(
+            r#"{{"op":"load","tenant":"{tenant}","model":"{}","graph":"{}"}}"#,
+            model.display(),
+            graph.display()
+        ),
+        format!(r#"{{"op":"score","tenant":"{tenant}","top":2}}"#),
+    ];
+    for _ in 0..4 {
+        let u = next(40);
+        let v = next(40);
+        lines.push(format!(
+            r#"{{"op":"apply_delta","tenant":"{tenant}","deltas":[{{"kind":"add_edge","u":{u},"v":{v}}}]}}"#
+        ));
+        lines.push(format!(r#"{{"op":"score","tenant":"{tenant}","top":2}}"#));
+    }
+    lines.push(format!(r#"{{"op":"stats","tenant":"{tenant}"}}"#));
+    lines
+}
+
+#[test]
+fn tenant_per_client_streams_match_serial_replay_bytes() {
+    let artifacts = common::ensure_demo_artifacts();
+
+    for workers in [1usize, 4] {
+        let server = common::ServerProc::start(workers);
+        let socket = server.socket.clone();
+
+        for seed in [3u64, 17, 29] {
+            let tenants: Vec<String> = (0..3).map(|i| format!("w{workers}s{seed}t{i}")).collect();
+            let scripts: Vec<Vec<String>> = tenants
+                .iter()
+                .enumerate()
+                .map(|(i, t)| engine_script(t, seed + 101 * i as u64, &artifacts))
+                .collect();
+
+            // Concurrent socket clients, one tenant each.
+            let socket_outputs = grgad_parallel::par_map_indexed(&scripts, |i, script| {
+                let mut client = common::connect_retry(&socket);
+                let create = client
+                    .send_line(&format!(r#"{{"op":"create","tenant":"{}"}}"#, tenants[i]))
+                    .expect("create tenant");
+                assert!(
+                    create.starts_with(r#"{"ok":true,"op":"create""#),
+                    "{create}"
+                );
+                client
+                    .run_script_pipelined(script)
+                    .expect("pipelined script")
+            });
+
+            // Serial replay: the exact same lines through a stdin Session
+            // (which ignores the extra `tenant` field) must produce the
+            // exact same bytes, response by response.
+            for (i, script) in scripts.iter().enumerate() {
+                let mut session = Session::new();
+                for (j, line) in script.iter().enumerate() {
+                    let want = session.handle_line(line).to_json_line();
+                    assert_eq!(
+                        socket_outputs[i][j], want,
+                        "tenant {} line {j} diverged from serial replay \
+                         (workers={workers}, seed={seed})",
+                        tenants[i]
+                    );
+                }
+            }
+        }
+
+        server.shutdown_clean();
+    }
+}
+
+#[test]
+fn commuting_deltas_on_a_shared_tenant_reach_identical_final_state() {
+    let artifacts = common::ensure_demo_artifacts();
+    let server = common::ServerProc::start(4);
+    let socket = server.socket.clone();
+
+    let load_line = format!(
+        r#"{{"op":"load","tenant":"shared","model":"{}","graph":"{}"}}"#,
+        artifacts.join("model.json").display(),
+        artifacts.join("graph.json").display()
+    );
+    let score_line = r#"{"op":"score","tenant":"shared","top":3}"#;
+    let stats_line = r#"{"op":"stats","tenant":"shared"}"#;
+
+    let mut main_client = common::connect_retry(&socket);
+    assert_eq!(
+        main_client
+            .send_line(r#"{"op":"create","tenant":"shared"}"#)
+            .expect("create"),
+        r#"{"ok":true,"op":"create","tenant":"shared"}"#
+    );
+    let load_resp = main_client.send_line(&load_line).expect("load");
+    assert!(
+        load_resp.starts_with(r#"{"ok":true,"op":"load""#),
+        "{load_resp}"
+    );
+
+    // Four clients race disjoint single-edge delta batches at one tenant.
+    // The scheduler serializes them FIFO on the tenant's shard in whatever
+    // arrival order the race produced — but the batches commute, so the
+    // final engine state is order-independent.
+    let batches: Vec<String> = [(0u32, 11u32), (1, 12), (2, 13), (3, 14)]
+        .iter()
+        .map(|(u, v)| {
+            format!(
+                r#"{{"op":"apply_delta","tenant":"shared","deltas":[{{"kind":"add_edge","u":{u},"v":{v}}}]}}"#
+            )
+        })
+        .collect();
+    let delta_responses = grgad_parallel::par_map_indexed(&batches, |_, line| {
+        let mut client = common::connect_retry(&socket);
+        client.send_line(line).expect("apply_delta")
+    });
+    for resp in &delta_responses {
+        assert!(
+            resp.starts_with(r#"{"ok":true,"op":"apply_delta","applied":1"#),
+            "{resp}"
+        );
+    }
+
+    // All four responses received => all four batches executed; the score
+    // and stats queued now run after every delta.
+    let score = main_client.send_line(score_line).expect("score");
+    let stats = main_client.send_line(stats_line).expect("stats");
+
+    // Serial replay applies the same batches in one canonical order.
+    let mut session = Session::new();
+    assert!(session
+        .handle_line(&load_line)
+        .to_json_line()
+        .contains("\"ok\":true"));
+    for line in &batches {
+        let resp = session.handle_line(line).to_json_line();
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+    }
+    assert_eq!(
+        score,
+        session.handle_line(score_line).to_json_line(),
+        "concurrent delta interleaving changed the final scores"
+    );
+    assert_eq!(
+        stats,
+        session.handle_line(stats_line).to_json_line(),
+        "concurrent delta interleaving changed the final engine stats"
+    );
+
+    server.shutdown_clean();
+}

@@ -1,0 +1,108 @@
+//! Smoke tests of the `grgad_server` host binary: tenant lifecycle and
+//! error paths pinned inline, plus the committed 4-client scripted session
+//! (`crates/server/ci/client{1..4}.ndjson`) driven **concurrently** against
+//! one host — each client's responses must reproduce its committed golden
+//! byte-for-byte, the same check the CI server-smoke job runs with
+//! `grgad_server --connect --script` and `diff`.
+
+mod common;
+
+#[test]
+fn host_lifecycle_and_error_paths_are_pinned() {
+    let server = common::ServerProc::start(2);
+    let mut client = server.client();
+
+    // Empty host.
+    assert_eq!(
+        client.send_line(r#"{"op":"tenants"}"#).expect("tenants"),
+        r#"{"ok":true,"op":"tenants","tenants":[]}"#
+    );
+
+    // Host-op error paths are typed wire errors, not closed connections.
+    let resp = client
+        .send_line(r#"{"op":"create","tenant":"Bad Name!"}"#)
+        .expect("bad create");
+    assert!(resp.starts_with(r#"{"ok":false,"op":"create""#), "{resp}");
+    assert!(resp.contains(r#""kind":"protocol""#), "{resp}");
+
+    let resp = client.send_line(r#"{"op":"score"}"#).expect("tenantless");
+    assert!(resp.contains("require a `tenant` field"), "{resp}");
+
+    let resp = client
+        .send_line(r#"{"op":"score","tenant":"ghost"}"#)
+        .expect("ghost");
+    assert!(resp.contains(r#""kind":"tenant_not_found""#), "{resp}");
+
+    // A malformed payload (invalid UTF-8) is a protocol error; the frame
+    // itself was well-formed, so the connection survives.
+    let resp = client.send_raw(&[0xff, 0xfe]).expect("raw garbage");
+    assert!(resp.contains("not valid UTF-8"), "{resp}");
+
+    // Lifecycle: create, duplicate-create, list, drop, double-drop.
+    assert_eq!(
+        client
+            .send_line(r#"{"op":"create","tenant":"acme"}"#)
+            .expect("create"),
+        r#"{"ok":true,"op":"create","tenant":"acme"}"#
+    );
+    assert_eq!(
+        client.send_line(r#"{"op":"tenants"}"#).expect("tenants"),
+        r#"{"ok":true,"op":"tenants","tenants":["acme"]}"#
+    );
+    let resp = client
+        .send_line(r#"{"op":"create","tenant":"acme"}"#)
+        .expect("dup create");
+    assert!(resp.contains("already exists"), "{resp}");
+    assert_eq!(
+        client
+            .send_line(r#"{"op":"drop","tenant":"acme"}"#)
+            .expect("drop"),
+        r#"{"ok":true,"op":"drop","tenant":"acme"}"#
+    );
+    let resp = client
+        .send_line(r#"{"op":"drop","tenant":"acme"}"#)
+        .expect("double drop");
+    assert!(resp.contains(r#""kind":"tenant_not_found""#), "{resp}");
+
+    server.shutdown_clean();
+}
+
+#[test]
+fn concurrent_scripted_clients_match_committed_goldens() {
+    let server = common::ServerProc::start(4);
+    let root = common::repo_root();
+    let socket = server.socket.clone();
+
+    let ids = [1usize, 2, 3, 4];
+    let outputs = grgad_parallel::par_map_indexed(&ids, |_, id| {
+        let script =
+            std::fs::read_to_string(root.join(format!("crates/server/ci/client{id}.ndjson")))
+                .expect("read committed client script");
+        let lines: Vec<String> = script.lines().map(str::to_string).collect();
+        let mut client = common::connect_retry(&socket);
+        client.run_script_pipelined(&lines).expect("scripted run")
+    });
+
+    for (id, responses) in ids.iter().zip(&outputs) {
+        let golden = std::fs::read_to_string(
+            root.join(format!("crates/server/ci/client{id}.golden.ndjson")),
+        )
+        .expect("read committed golden");
+        let got: String = responses.iter().map(|r| format!("{r}\n")).collect();
+        assert_eq!(
+            got, golden,
+            "client{id} responses drifted from ci/client{id}.golden.ndjson — if \
+             the change is intentional, regenerate the goldens (see README \
+             Serving host)"
+        );
+    }
+
+    // Sanity: the scripts exercise success and failure paths.
+    let all: String = outputs.iter().flatten().cloned().collect();
+    assert!(all.contains("\"mode\":\"incremental\""));
+    assert!(all.contains("\"kind\":\"invalid_node_id\""));
+    assert!(all.contains("\"kind\":\"tenant_not_found\""));
+    assert!(all.contains("unknown op `frobnicate`"));
+
+    server.shutdown_clean();
+}

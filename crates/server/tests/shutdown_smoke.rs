@@ -1,0 +1,84 @@
+//! Graceful shutdown: SIGTERM while requests are in flight drains them —
+//! every pipelined response still arrives as a complete frame (the framed
+//! reader errors on any truncation), the connection then closes cleanly,
+//! and the host process exits 0.
+
+mod common;
+
+use std::time::Duration;
+
+use grgad_server::GrgadError;
+
+#[test]
+fn sigterm_drains_in_flight_requests_and_exits_zero() {
+    let artifacts = common::ensure_demo_artifacts();
+    let server = common::ServerProc::start(1);
+    let mut client = server.client();
+
+    assert_eq!(
+        client
+            .send_line(r#"{"op":"create","tenant":"drainee"}"#)
+            .expect("create"),
+        r#"{"ok":true,"op":"create","tenant":"drainee"}"#
+    );
+    let load_line = format!(
+        r#"{{"op":"load","tenant":"drainee","model":"{}","graph":"{}"}}"#,
+        artifacts.join("model.json").display(),
+        artifacts.join("graph.json").display()
+    );
+    let load_resp = client.send_line(&load_line).expect("load");
+    assert!(
+        load_resp.starts_with(r#"{"ok":true,"op":"load""#),
+        "{load_resp}"
+    );
+
+    // Pipeline a full re-score plus a tail request without reading, give
+    // the reader a moment to pick both frames up, then SIGTERM mid-flight.
+    client
+        .send_request(r#"{"op":"score","tenant":"drainee","top":0}"#)
+        .expect("send score");
+    client
+        .send_request(r#"{"op":"stats","tenant":"drainee"}"#)
+        .expect("send stats");
+    std::thread::sleep(Duration::from_millis(150));
+    server.sigterm();
+
+    // Both in-flight responses must still arrive, whole and in order.
+    let score = client.recv_line().expect("drained score response");
+    assert!(
+        score.starts_with(r#"{"ok":true,"op":"score""#),
+        "in-flight score was not drained intact: {score}"
+    );
+    let stats = client.recv_line().expect("drained stats response");
+    assert!(
+        stats.starts_with(r#"{"ok":true,"op":"stats""#),
+        "in-flight stats was not drained intact: {stats}"
+    );
+
+    // ...followed by a clean close: EOF at a frame boundary, which the
+    // client surfaces as a typed transport error — never a partial frame
+    // (those would read as "truncated frame header/payload").
+    match client.recv_line() {
+        Err(GrgadError::Transport { message }) => {
+            assert!(
+                message.contains("closed the connection"),
+                "expected clean EOF at a frame boundary, got: {message}"
+            );
+        }
+        other => panic!("expected transport EOF after drain, got {other:?}"),
+    }
+
+    server.wait_clean_exit();
+}
+
+#[test]
+fn sigterm_on_an_idle_host_exits_zero() {
+    let server = common::ServerProc::start(2);
+    // Prove liveness first so the SIGTERM hits a fully started host.
+    let mut client = server.client();
+    assert_eq!(
+        client.send_line(r#"{"op":"tenants"}"#).expect("tenants"),
+        r#"{"ok":true,"op":"tenants","tenants":[]}"#
+    );
+    server.shutdown_clean();
+}

@@ -45,6 +45,7 @@ pub use grgad_outlier as outlier;
 pub use grgad_parallel as parallel;
 pub use grgad_sampling as sampling;
 pub use grgad_serve as serve;
+pub use grgad_server as server;
 pub use grgad_tpgcl as tpgcl;
 pub use grgad_tsne as tsne;
 
@@ -65,5 +66,6 @@ pub mod prelude {
     pub use grgad_outlier::{Ecod, OutlierDetector};
     pub use grgad_sampling::{sample_candidate_groups, SamplingConfig};
     pub use grgad_serve::{EngineConfig, GraphDelta, ScoreMode, ScoringEngine};
+    pub use grgad_server::{EngineRegistry, HostClient, ListenAddr, ServerConfig};
     pub use grgad_tpgcl::{Augmentation, Tpgcl, TpgclConfig};
 }

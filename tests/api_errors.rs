@@ -3,9 +3,12 @@
 //! boundary can actually emit is dead weight, and a boundary emitting the
 //! wrong variant breaks the serving layer's wire mapping.
 
+use std::sync::Arc;
+
 use tp_grgad::prelude::*;
 use tp_grgad::serve::protocol::parse_request;
 use tp_grgad::serve::Session;
+use tp_grgad::server::{read_frame, ResponseWriter, Scheduler};
 
 fn fitted(seed: u64) -> (TrainedTpGrGad, GrGadDataset) {
     let dataset = datasets::example::generate(30, seed);
@@ -95,6 +98,49 @@ fn every_error_variant_is_producible_from_the_public_api() {
             "protocol",
             Box::new(|| parse_request(r#"{"op":"warp_core"}"#).unwrap_err()),
         ),
+        (
+            // A frame whose length prefix exceeds the wire limit is
+            // transport corruption, not a protocol error.
+            "transport",
+            Box::new(|| {
+                let mut corrupt: &[u8] = &[0xff, 0xff, 0xff, 0xff];
+                read_frame(&mut corrupt).unwrap_err()
+            }),
+        ),
+        (
+            // Routing an op to a tenant nobody created.
+            "tenant_not_found",
+            Box::new(|| EngineRegistry::new().route("ghost").unwrap_err()),
+        ),
+        (
+            // A full scheduler shard sheds load instead of blocking. With
+            // one worker and a single queue slot, submitting faster than
+            // the worker drains must shed within a few thousand attempts —
+            // every accepted job still completes (checked via `flushed`).
+            "overloaded",
+            Box::new(|| {
+                let scheduler = Scheduler::new(1, 1);
+                let registry = EngineRegistry::new();
+                let route = registry.create("overload-probe").expect("create");
+                let writer = ResponseWriter::new(Box::new(std::io::sink()));
+                let mut seq = 0u64;
+                let err = loop {
+                    match scheduler.submit_engine(
+                        &route,
+                        r#"{"op":"stats"}"#.into(),
+                        Arc::clone(&writer),
+                        seq,
+                    ) {
+                        Ok(()) => seq += 1,
+                        Err(e) => break e,
+                    }
+                    assert!(seq < 10_000, "single-slot shard never filled");
+                };
+                scheduler.shutdown();
+                assert_eq!(writer.flushed(), seq, "accepted jobs must all run");
+                err
+            }),
+        ),
     ];
 
     let mut covered = std::collections::BTreeSet::new();
@@ -120,6 +166,9 @@ fn every_error_variant_is_producible_from_the_public_api() {
         "model_io",
         "config_invalid",
         "protocol",
+        "transport",
+        "tenant_not_found",
+        "overloaded",
     ];
     for kind in all_kinds {
         assert!(covered.contains(kind), "no public-API producer for {kind}");
@@ -155,6 +204,13 @@ fn error_payloads_carry_actionable_context() {
             assert_eq!(num_nodes, n);
         }
         other => panic!("expected InvalidNodeId, got {other:?}"),
+    }
+
+    // TenantNotFound names the tenant the client asked for, so the wire
+    // error is self-explanatory.
+    match EngineRegistry::new().route("ghost").unwrap_err() {
+        GrgadError::TenantNotFound { tenant } => assert_eq!(tenant, "ghost"),
+        other => panic!("expected TenantNotFound, got {other:?}"),
     }
 
     // ShapeMismatch reports expected vs got dims.
