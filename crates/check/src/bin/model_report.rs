@@ -1,0 +1,157 @@
+//! CI entry point: runs the bounded model-checking suites and prints a
+//! JSON artifact with explored-schedule counts.
+//!
+//! Exit status is non-zero if any suite fails or explores fewer schedules
+//! than its pinned floor — floors, not exact counts, so sounder pruning
+//! can only shrink the space legitimately by *keeping* results identical,
+//! while an accidentally emptied search trips the gate. Budgets are
+//! schedule counts (never wall-clock), so CI and local runs explore the
+//! same set; the CI job adds a wall-clock timeout around the whole binary.
+
+use std::sync::Arc;
+
+use grgad_check::model::ModelBackend;
+use grgad_check::{explore, Config, Outcome};
+use grgad_parallel::ExecutorCore;
+
+struct Suite {
+    name: &'static str,
+    /// Minimum schedules the exploration must cover (regression floor).
+    floor: u64,
+    config: Config,
+    body: fn(),
+}
+
+fn submit_values(executor: &ExecutorCore<ModelBackend>, shard: usize, values: &[u64]) {
+    for &value in values {
+        executor
+            .try_submit(
+                shard,
+                Box::new(move || {
+                    let _ = std::hint::black_box(value);
+                }),
+            )
+            .expect("queue has capacity in this scenario");
+    }
+}
+
+fn drain_on_shutdown() {
+    let executor: ExecutorCore<ModelBackend> = ExecutorCore::new(1, 4);
+    submit_values(&executor, 0, &[1, 2]);
+    let stats = executor.shutdown_stats();
+    assert_eq!(stats.jobs_run, 2, "accepted jobs must run");
+}
+
+fn fifo_single_shard() {
+    let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let executor: ExecutorCore<ModelBackend> = ExecutorCore::new(1, 4);
+    for value in 0..2u64 {
+        let log = Arc::clone(&log);
+        executor
+            .try_submit(
+                0,
+                Box::new(move || {
+                    log.lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .push(value);
+                }),
+            )
+            .expect("queue has capacity");
+    }
+    executor.shutdown();
+    let got = log
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .clone();
+    assert_eq!(got, vec![0, 1], "same-shard jobs must run in FIFO order");
+}
+
+fn panic_containment() {
+    let executor: ExecutorCore<ModelBackend> = ExecutorCore::new(1, 4);
+    executor
+        .try_submit(0, Box::new(|| panic!("job panic (contained)")))
+        .expect("queue has capacity");
+    executor
+        .try_submit(0, Box::new(|| {}))
+        .expect("queue has capacity");
+    let stats = executor.shutdown_stats();
+    assert_eq!(stats.jobs_run, 2);
+    assert_eq!(stats.jobs_panicked, 1);
+}
+
+fn suites() -> Vec<Suite> {
+    let quick = Config {
+        max_preemptions: 2,
+        max_schedules: 40_000,
+        max_steps: 20_000,
+        spurious_wakeups: false,
+        max_spurious_wakes: 2,
+        sleep_sets: true,
+    };
+    vec![
+        Suite {
+            name: "executor_drain_on_shutdown",
+            floor: 50,
+            config: quick.clone(),
+            body: drain_on_shutdown,
+        },
+        Suite {
+            name: "executor_fifo_single_shard",
+            floor: 50,
+            config: quick.clone(),
+            body: fifo_single_shard,
+        },
+        Suite {
+            name: "executor_panic_containment",
+            floor: 50,
+            config: quick,
+            body: panic_containment,
+        },
+    ]
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut ok = true;
+    for suite in suites() {
+        let outcome: Outcome = explore(&suite.config, suite.body);
+        let passed = outcome.failure.is_none() && !outcome.truncated;
+        let above_floor = outcome.schedules >= suite.floor;
+        ok &= passed && above_floor;
+        let failure = outcome
+            .failure
+            .as_ref()
+            .map(|f| format!("{f}"))
+            .unwrap_or_default();
+        rows.push(format!(
+            "    {{\"suite\": \"{}\", \"schedules\": {}, \"pruned\": {}, \"floor\": {}, \
+             \"truncated\": {}, \"passed\": {}, \"failure\": \"{}\"}}",
+            suite.name,
+            outcome.schedules,
+            outcome.pruned,
+            suite.floor,
+            outcome.truncated,
+            passed && above_floor,
+            json_escape(&failure),
+        ));
+    }
+    println!(
+        "{{\n  \"schema\": \"grgad-check/v1\",\n  \"ok\": {ok},\n  \"suites\": [\n{}\n  ]\n}}",
+        rows.join(",\n")
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,799 @@
+//! The cooperative scheduler at the heart of the model checker.
+//!
+//! Tasks are real OS threads, but only one ever runs at a time: before
+//! each *visible operation* (lock, unlock, wait, notify, atomic access,
+//! spawn, join) a task publishes the operation it is about to perform and
+//! parks on the controller until the scheduler hands it the token. The
+//! scheduler records every choice point — which tasks were runnable, which
+//! one was picked — so a run is fully determined by its decision trace and
+//! can be replayed bit-for-bit. The explorer in [`crate::explore`] drives a
+//! depth-first search over those traces.
+//!
+//! Shared state guarded by the controller's own (real) mutex:
+//!
+//! - the task table (state machine per task: ready / waiting on a condvar /
+//!   finished, plus the pending published op),
+//! - the model object tables (lock held-bits, condvar waiter queues, flag
+//!   and counter values),
+//! - the per-run exploration bookkeeping (decision log, replay prefix,
+//!   sleep set, preemption budget, step count).
+//!
+//! Failure handling: when the scheduler detects a deadlock / lost wakeup /
+//! panic / step-limit hit, it marks the run *aborting* and wakes every
+//! parked task; each wakes into a [`AbortRun`] panic that unwinds its stack
+//! (releasing model guards along the way) and ends the task. Operations
+//! attempted while unwinding are applied best-effort without scheduling so
+//! destructors (`Drop` on an executor, guard drops) never deadlock or
+//! double-panic.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::explore::{Config, Failure, FailureKind};
+
+/// Panic payload used to tear down tasks of an aborted run. Caught (and
+/// swallowed) by the task wrapper; any `catch_unwind` in user code that
+/// intercepts it merely delays the teardown until the next visible op.
+pub(crate) struct AbortRun;
+
+/// A visible operation, published by a task before it executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// First transition of a freshly spawned task.
+    Start,
+    LockAcquire(usize),
+    LockRelease(usize),
+    /// Atomic release-and-enqueue on `condvar`; the lock is `mutex`.
+    Wait {
+        condvar: usize,
+        mutex: usize,
+    },
+    NotifyOne(usize),
+    NotifyAll(usize),
+    FlagLoad(usize),
+    FlagStore(usize, bool),
+    CounterLoad(usize),
+    CounterAdd(usize, u64),
+    /// Create a new task (the child id is allocated at execution).
+    Spawn,
+    /// Block until the target task has finished.
+    Join(usize),
+}
+
+/// Object-identity kinds for the independence relation.
+const KIND_LOCK: u8 = 0;
+const KIND_CONDVAR: u8 = 1;
+const KIND_FLAG: u8 = 2;
+const KIND_COUNTER: u8 = 3;
+
+impl Op {
+    /// The model objects this op touches, or `None` for thread-lifecycle
+    /// ops which are conservatively dependent with everything (they change
+    /// the task set itself).
+    fn objects(self) -> Option<[Option<(u8, usize)>; 2]> {
+        match self {
+            Op::Start | Op::Spawn | Op::Join(_) => None,
+            Op::LockAcquire(m) | Op::LockRelease(m) => Some([Some((KIND_LOCK, m)), None]),
+            Op::Wait { condvar, mutex } => {
+                Some([Some((KIND_CONDVAR, condvar)), Some((KIND_LOCK, mutex))])
+            }
+            Op::NotifyOne(c) | Op::NotifyAll(c) => Some([Some((KIND_CONDVAR, c)), None]),
+            Op::FlagLoad(f) | Op::FlagStore(f, _) => Some([Some((KIND_FLAG, f)), None]),
+            Op::CounterLoad(c) | Op::CounterAdd(c, _) => Some([Some((KIND_COUNTER, c)), None]),
+        }
+    }
+
+    /// Whether two ops may not commute. Used by the sleep-set pruning: a
+    /// sleeping task stays asleep only while executed ops are independent
+    /// of its pending op.
+    fn dependent(self, other: Op) -> bool {
+        let (Some(a), Some(b)) = (self.objects(), other.objects()) else {
+            return true;
+        };
+        a.iter()
+            .flatten()
+            .any(|oa| b.iter().flatten().any(|ob| oa == ob))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    /// Published a pending op and is parked awaiting the token (or is the
+    /// active task executing between two op points).
+    Ready,
+    /// Parked inside `Condvar::wait`: the model lock is released and the
+    /// task sits in the condvar's waiter queue.
+    WaitingCv {
+        condvar: usize,
+        mutex: usize,
+    },
+    Finished,
+}
+
+struct Task {
+    state: TaskState,
+    pending: Option<Op>,
+}
+
+/// One scheduling choice: the runnable candidates (post-filter, in the
+/// order the DFS enumerates them) and which was picked.
+#[derive(Debug, Clone)]
+pub(crate) struct Decision {
+    pub candidates: Vec<usize>,
+    pub chosen: usize,
+}
+
+/// Everything behind the controller's mutex.
+struct Sched {
+    config: Config,
+    tasks: Vec<Task>,
+    /// The task currently holding the execution token, if any.
+    active: Option<usize>,
+    /// Tasks whose OS thread has not yet ended (both states counted).
+    tasks_alive: usize,
+
+    // Model object tables, indexed by per-kind ids.
+    locks: Vec<bool>,
+    cv_waiters: Vec<Vec<usize>>,
+    flags: Vec<bool>,
+    counters: Vec<u64>,
+
+    // Per-run exploration state.
+    replay: Vec<usize>,
+    decisions: Vec<Decision>,
+    sleep: BTreeSet<usize>,
+    preemptions: usize,
+    spurious_used: usize,
+    steps: u64,
+    executed: Vec<(usize, Op)>,
+    aborting: bool,
+    pruned: bool,
+    failure: Option<Failure>,
+}
+
+impl Sched {
+    /// Whether `tid`'s published op can execute right now.
+    fn enabled(&self, tid: usize) -> bool {
+        if self.tasks[tid].state != TaskState::Ready {
+            return false;
+        }
+        match self.tasks[tid].pending {
+            Some(Op::LockAcquire(m)) => !self.locks[m],
+            Some(Op::Join(target)) => self.tasks[target].state == TaskState::Finished,
+            Some(_) => true,
+            // Ready with no pending op: the task is mid-execution (it is
+            // or was the active task); it is not schedulable again until
+            // it publishes its next op.
+            None => false,
+        }
+    }
+
+    /// The op to test a parked-or-ready task against for sleep-set
+    /// dependence purposes.
+    fn dependence_op(&self, tid: usize) -> Option<Op> {
+        match self.tasks[tid].state {
+            TaskState::Ready => self.tasks[tid].pending,
+            TaskState::WaitingCv { condvar, mutex } => Some(Op::Wait { condvar, mutex }),
+            TaskState::Finished => None,
+        }
+    }
+
+    fn describe_blocked(&self) -> String {
+        let mut parts = Vec::new();
+        for (tid, task) in self.tasks.iter().enumerate() {
+            match task.state {
+                TaskState::Finished => {}
+                TaskState::WaitingCv { condvar, .. } => {
+                    parts.push(format!("task {tid} waiting on condvar {condvar}"));
+                }
+                TaskState::Ready => match task.pending {
+                    Some(Op::LockAcquire(m)) => {
+                        parts.push(format!("task {tid} blocked acquiring lock {m}"));
+                    }
+                    Some(Op::Join(t)) => {
+                        parts.push(format!("task {tid} blocked joining task {t}"));
+                    }
+                    other => parts.push(format!("task {tid} blocked on {other:?}")),
+                },
+            }
+        }
+        parts.join("; ")
+    }
+}
+
+/// The controller shared by every task of one run.
+pub(crate) struct Controller {
+    state: Mutex<Sched>,
+    cv: Condvar,
+    /// OS join handles for every spawned task thread, joined by the
+    /// explorer after the run ends. Lock order: `state` may be held while
+    /// taking this, never the reverse.
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Arc<Controller>>> =
+        const { std::cell::RefCell::new(None) };
+    pub(crate) static IN_MODEL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs a process-wide panic hook that suppresses the default report
+/// for panics on model task threads (aborted runs unwind via panics by
+/// design; real task panics are reported through [`Failure`] instead).
+pub(crate) fn install_quiet_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_MODEL.with(|c| c.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+impl Controller {
+    pub(crate) fn new(config: Config, replay: Vec<usize>) -> Arc<Controller> {
+        Arc::new(Controller {
+            state: Mutex::new(Sched {
+                config,
+                tasks: Vec::new(),
+                active: None,
+                tasks_alive: 0,
+                locks: Vec::new(),
+                cv_waiters: Vec::new(),
+                flags: Vec::new(),
+                counters: Vec::new(),
+                replay,
+                decisions: Vec::new(),
+                sleep: BTreeSet::new(),
+                preemptions: 0,
+                spurious_used: 0,
+                steps: 0,
+                executed: Vec::new(),
+                aborting: false,
+                pruned: false,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+            os_handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The controller of the current model task thread.
+    ///
+    /// # Panics
+    /// Panics when called outside a model run — model primitives may only
+    /// be created and used inside the closure passed to
+    /// [`crate::explore`] / [`crate::check`].
+    pub(crate) fn current() -> Arc<Controller> {
+        CURRENT.with(|c| c.borrow().clone()).unwrap_or_else(|| {
+            panic!(
+                "grgad-check model primitives used outside a model run; \
+                 construct them inside the closure passed to grgad_check::check()"
+            )
+        })
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, Sched> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    // ---- object allocation (not schedule points: creation is invisible
+    // to other tasks until the object is shared) ----
+
+    pub(crate) fn alloc_monitor(&self) -> (usize, usize) {
+        let mut s = self.lock_state();
+        s.locks.push(false);
+        s.cv_waiters.push(Vec::new());
+        (s.locks.len() - 1, s.cv_waiters.len() - 1)
+    }
+
+    pub(crate) fn alloc_flag(&self, value: bool) -> usize {
+        let mut s = self.lock_state();
+        s.flags.push(value);
+        s.flags.len() - 1
+    }
+
+    pub(crate) fn alloc_counter(&self, value: u64) -> usize {
+        let mut s = self.lock_state();
+        s.counters.push(value);
+        s.counters.len() - 1
+    }
+
+    // ---- task lifecycle ----
+
+    /// Registers the root task (id 0). Called once per run before `kick`.
+    pub(crate) fn register_root(&self) -> usize {
+        let mut s = self.lock_state();
+        debug_assert!(s.tasks.is_empty(), "root task must be registered first");
+        s.tasks.push(Task {
+            state: TaskState::Ready,
+            pending: Some(Op::Start),
+        });
+        s.tasks_alive = 1;
+        0
+    }
+
+    /// Starts the scheduling loop: makes the first decision.
+    pub(crate) fn kick(&self) {
+        let mut s = self.lock_state();
+        self.advance(&mut s, None);
+    }
+
+    /// Entry point of every task thread: park until the task's `Start` op
+    /// is chosen, then execute it and return to run the body.
+    pub(crate) fn task_begin(&self, tid: usize) {
+        let mut s = self.lock_state();
+        loop {
+            if s.aborting {
+                drop(s);
+                std::panic::panic_any(AbortRun);
+            }
+            if s.active == Some(tid) {
+                break;
+            }
+            s = self
+                .cv
+                .wait(s)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        self.execute(&mut s, tid, Op::Start);
+        s.tasks[tid].pending = None;
+    }
+
+    /// Called by the task wrapper when the task body returns or unwinds.
+    pub(crate) fn task_end(&self, tid: usize, unwind: Option<Box<dyn std::any::Any + Send>>) {
+        let mut s = self.lock_state();
+        s.tasks[tid].state = TaskState::Finished;
+        s.tasks[tid].pending = None;
+        s.sleep.remove(&tid);
+        s.tasks_alive -= 1;
+        if let Some(payload) = unwind {
+            if !payload.is::<AbortRun>() && s.failure.is_none() {
+                let message = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|m| (*m).to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                self.fail(&mut s, FailureKind::Panic, format!("task {tid}: {message}"));
+            }
+        }
+        if s.active == Some(tid) {
+            s.active = None;
+            if !s.aborting {
+                self.advance(&mut s, None);
+            }
+        }
+        // Wake the explorer (watching tasks_alive) and any parked task
+        // that must observe `aborting`.
+        self.cv.notify_all();
+    }
+
+    /// Spawn a new task: a schedule point for the parent, then the child
+    /// thread is created parked on its own `Start` op.
+    pub(crate) fn spawn_task(
+        self: &Arc<Self>,
+        name: String,
+        body: Box<dyn FnOnce() + Send + 'static>,
+    ) -> usize {
+        let tid = self.self_tid();
+        let mut s = self.lock_state();
+        if s.aborting || std::thread::panicking() {
+            drop(s);
+            if std::thread::panicking() {
+                // Best effort during teardown: never start new work.
+                return usize::MAX;
+            }
+            std::panic::panic_any(AbortRun);
+        }
+        s = self.schedule_point(s, tid, Op::Spawn);
+        self.execute(&mut s, tid, Op::Spawn);
+        let child = s.tasks.len();
+        s.tasks.push(Task {
+            state: TaskState::Ready,
+            pending: Some(Op::Start),
+        });
+        s.tasks_alive += 1;
+        s.tasks[tid].pending = None;
+        let ctl = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || run_task(ctl, child, body))
+            .expect("model task threads must spawn");
+        self.os_handles
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(handle);
+        child
+    }
+
+    fn self_tid(&self) -> usize {
+        SELF_TID.with(|t| t.get()).unwrap_or(0)
+    }
+
+    // ---- the op point: publish, park, execute ----
+
+    /// The single gateway every visible op goes through. Returns the op's
+    /// value (loads) or 0.
+    pub(crate) fn op_point(&self, op: Op) -> u64 {
+        let tid = self.self_tid();
+        let mut s = self.lock_state();
+        if s.aborting || std::thread::panicking() {
+            // During teardown (run abort, or destructors running while a
+            // real panic unwinds) apply ops best-effort with no
+            // scheduling, so Drop impls never block or double-panic.
+            let value = self.execute_raw(&mut s, tid, op, false);
+            if !std::thread::panicking() {
+                drop(s);
+                std::panic::panic_any(AbortRun);
+            }
+            return value;
+        }
+        s = self.schedule_point(s, tid, op);
+        let value = self.execute_raw(&mut s, tid, op, true);
+        if let Op::Wait { mutex, .. } = op {
+            // The wait executed atomically (released the lock, joined the
+            // waiter queue). Hand the token on, park until a notify (or
+            // spurious wake) makes us runnable and the scheduler picks our
+            // implicit re-acquire.
+            s.active = None;
+            self.advance(&mut s, None);
+            loop {
+                if s.aborting {
+                    drop(s);
+                    std::panic::panic_any(AbortRun);
+                }
+                if s.active == Some(tid) {
+                    break;
+                }
+                s = self
+                    .cv
+                    .wait(s)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+            self.execute(&mut s, tid, Op::LockAcquire(mutex));
+        }
+        s.tasks[tid].pending = None;
+        value
+    }
+
+    /// Publish `op` as pending, hand the token to the scheduler, park
+    /// until chosen. On return the caller holds the token and must
+    /// execute `op`.
+    fn schedule_point<'a>(
+        &'a self,
+        mut s: MutexGuard<'a, Sched>,
+        tid: usize,
+        op: Op,
+    ) -> MutexGuard<'a, Sched> {
+        s.tasks[tid].pending = Some(op);
+        s.active = None;
+        self.advance(&mut s, Some(tid));
+        loop {
+            if s.aborting {
+                drop(s);
+                std::panic::panic_any(AbortRun);
+            }
+            if s.active == Some(tid) {
+                break;
+            }
+            s = self
+                .cv
+                .wait(s)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        s
+    }
+
+    /// Apply `op`'s state transition. The caller holds the token.
+    fn execute(&self, s: &mut Sched, tid: usize, op: Op) {
+        self.execute_raw(s, tid, op, true);
+    }
+
+    fn execute_raw(&self, s: &mut Sched, tid: usize, op: Op, scheduled: bool) -> u64 {
+        if scheduled {
+            s.steps += 1;
+            s.executed.push((tid, op));
+            if s.steps > s.config.max_steps {
+                self.fail(
+                    s,
+                    FailureKind::StepLimit,
+                    format!(
+                        "run exceeded {} steps; likely livelock or unbounded loop",
+                        s.config.max_steps
+                    ),
+                );
+            }
+        }
+        let value = match op {
+            Op::Start | Op::Spawn | Op::Join(_) => 0,
+            Op::LockAcquire(m) => {
+                debug_assert!(!scheduled || !s.locks[m], "scheduler granted a held lock");
+                s.locks[m] = true;
+                0
+            }
+            Op::LockRelease(m) => {
+                s.locks[m] = false;
+                0
+            }
+            Op::Wait { condvar, mutex } => {
+                s.locks[mutex] = false;
+                s.cv_waiters[condvar].push(tid);
+                s.tasks[tid].state = TaskState::WaitingCv { condvar, mutex };
+                s.tasks[tid].pending = None;
+                0
+            }
+            Op::NotifyOne(c) => {
+                if !s.cv_waiters[c].is_empty() {
+                    let woken = s.cv_waiters[c].remove(0);
+                    self.wake_waiter(s, woken);
+                }
+                0
+            }
+            Op::NotifyAll(c) => {
+                let waiters = std::mem::take(&mut s.cv_waiters[c]);
+                for woken in waiters {
+                    self.wake_waiter(s, woken);
+                }
+                0
+            }
+            Op::FlagLoad(f) => u64::from(s.flags[f]),
+            Op::FlagStore(f, v) => {
+                s.flags[f] = v;
+                0
+            }
+            Op::CounterLoad(c) => s.counters[c],
+            Op::CounterAdd(c, n) => {
+                s.counters[c] = s.counters[c].wrapping_add(n);
+                0
+            }
+        };
+        if scheduled && s.config.sleep_sets {
+            self.update_sleep(s, tid, op);
+        }
+        value
+    }
+
+    /// Move a condvar waiter to "ready, pending the lock re-acquire".
+    fn wake_waiter(&self, s: &mut Sched, woken: usize) {
+        if let TaskState::WaitingCv { mutex, .. } = s.tasks[woken].state {
+            s.tasks[woken].state = TaskState::Ready;
+            s.tasks[woken].pending = Some(Op::LockAcquire(mutex));
+        }
+    }
+
+    /// Classic sleep-set maintenance: after `tid` executed `op`, the tasks
+    /// that stay asleep are the previously sleeping tasks plus the
+    /// already-explored siblings of this decision, minus any whose pending
+    /// op is dependent on `op`.
+    fn update_sleep(&self, s: &mut Sched, tid: usize, op: Op) {
+        let mut sleep = std::mem::take(&mut s.sleep);
+        if let Some(decision) = s.decisions.last() {
+            if decision.chosen == tid {
+                for &candidate in &decision.candidates {
+                    if candidate == tid {
+                        break;
+                    }
+                    sleep.insert(candidate);
+                }
+            }
+        }
+        sleep.remove(&tid);
+        sleep.retain(|&t| match s.dependence_op(t) {
+            Some(pending) => !pending.dependent(op),
+            None => false,
+        });
+        s.sleep = sleep;
+    }
+
+    // ---- the scheduler ----
+
+    /// Pick the next task to run. `from` is the task that just published a
+    /// pending op (so "keep running `from`" is the first DFS branch);
+    /// `None` after a wait or task exit where no continuation preference
+    /// exists.
+    fn advance(&self, s: &mut Sched, from: Option<usize>) {
+        loop {
+            if s.aborting {
+                self.cv.notify_all();
+                return;
+            }
+            let enabled: Vec<usize> = (0..s.tasks.len()).filter(|&t| s.enabled(t)).collect();
+            let wakeable: Vec<usize> =
+                if s.config.spurious_wakeups && s.spurious_used < s.config.max_spurious_wakes {
+                    (0..s.tasks.len())
+                        .filter(|&t| matches!(s.tasks[t].state, TaskState::WaitingCv { .. }))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+
+            if enabled.is_empty() && wakeable.is_empty() {
+                let unfinished: Vec<usize> = (0..s.tasks.len())
+                    .filter(|&t| s.tasks[t].state != TaskState::Finished)
+                    .collect();
+                if unfinished.is_empty() {
+                    // Run complete; the explorer watches tasks_alive.
+                    self.cv.notify_all();
+                    return;
+                }
+                // Classification: a lock that can never be granted is a
+                // deadlock; otherwise, if anyone is parked in a wait (the
+                // rest merely joining them), the wakeup was lost.
+                let lock_blocked = unfinished.iter().any(|&t| {
+                    matches!(s.tasks[t].pending, Some(Op::LockAcquire(_)))
+                        && s.tasks[t].state == TaskState::Ready
+                });
+                let any_waiting = unfinished
+                    .iter()
+                    .any(|&t| matches!(s.tasks[t].state, TaskState::WaitingCv { .. }));
+                let kind = if !lock_blocked && any_waiting {
+                    FailureKind::LostWakeup
+                } else {
+                    FailureKind::Deadlock
+                };
+                let message = s.describe_blocked();
+                self.fail(s, kind, message);
+                return;
+            }
+
+            // Candidate order fixes the DFS branch order: continuing the
+            // current task first, then others by ascending id, then
+            // spurious wakes last (they are the most intrusive branch).
+            let mut candidates: Vec<usize> = Vec::new();
+            if let Some(f) = from {
+                if enabled.contains(&f) {
+                    candidates.push(f);
+                }
+            }
+            candidates.extend(enabled.iter().copied().filter(|&t| Some(t) != from));
+            let first_wake = candidates.len();
+            candidates.extend(wakeable.iter().copied());
+
+            // Preemption bound: once the budget is spent, a task that can
+            // continue is not preempted (switches at blocking points stay
+            // free).
+            if let Some(f) = from {
+                if enabled.contains(&f) && s.preemptions >= s.config.max_preemptions {
+                    candidates = vec![f];
+                }
+            }
+
+            // Sleep-set filter: never schedule a sleeping task — every
+            // schedule reachable through it was covered via an explored
+            // sibling branch.
+            if s.config.sleep_sets {
+                let sleep = s.sleep.clone();
+                candidates.retain(|t| !sleep.contains(t));
+            }
+
+            if candidates.is_empty() {
+                // All runnable tasks are asleep: this prefix is redundant.
+                s.pruned = true;
+                s.aborting = true;
+                self.cv.notify_all();
+                return;
+            }
+
+            let index = s.decisions.len();
+            let chosen = if index < s.replay.len() {
+                let want = s.replay[index];
+                if !candidates.contains(&want) {
+                    self.fail(
+                        s,
+                        FailureKind::Panic,
+                        format!(
+                            "replay diverged at decision {index}: \
+                             task {want} not among candidates {candidates:?}"
+                        ),
+                    );
+                    return;
+                }
+                want
+            } else {
+                candidates[0]
+            };
+
+            let spurious = candidates
+                .iter()
+                .position(|&c| c == chosen)
+                .is_some_and(|p| p >= first_wake)
+                && matches!(s.tasks[chosen].state, TaskState::WaitingCv { .. });
+
+            if let Some(f) = from {
+                if !spurious && chosen != f && enabled.contains(&f) {
+                    s.preemptions += 1;
+                }
+            }
+
+            s.decisions.push(Decision { candidates, chosen });
+
+            if spurious {
+                // A spurious wakeup is an inline transition: the waiter
+                // leaves the queue and becomes ready to re-acquire its
+                // lock. No thread needs the token for that; decide again.
+                let TaskState::WaitingCv { condvar, mutex } = s.tasks[chosen].state else {
+                    unreachable!("spurious candidate must be waiting");
+                };
+                s.cv_waiters[condvar].retain(|&w| w != chosen);
+                self.wake_waiter(s, chosen);
+                s.spurious_used += 1;
+                s.steps += 1;
+                s.executed.push((chosen, Op::Wait { condvar, mutex }));
+                if s.config.sleep_sets {
+                    self.update_sleep(s, chosen, Op::Wait { condvar, mutex });
+                }
+                continue;
+            }
+
+            s.active = Some(chosen);
+            self.cv.notify_all();
+            return;
+        }
+    }
+
+    fn fail(&self, s: &mut Sched, kind: FailureKind, message: String) {
+        if s.failure.is_none() {
+            s.failure = Some(Failure {
+                kind,
+                message,
+                trace: s.decisions.iter().map(|d| d.chosen).collect(),
+                ops: s
+                    .executed
+                    .iter()
+                    .map(|(tid, op)| format!("task {tid}: {op:?}"))
+                    .collect(),
+            });
+        }
+        s.aborting = true;
+        self.cv.notify_all();
+    }
+
+    // ---- run results, consumed by the explorer ----
+
+    /// Blocks until every task thread has ended.
+    pub(crate) fn wait_run_end(&self) {
+        let mut s = self.lock_state();
+        while s.tasks_alive > 0 {
+            s = self
+                .cv
+                .wait(s)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    pub(crate) fn take_os_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(
+            &mut *self
+                .os_handles
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
+    }
+
+    pub(crate) fn run_result(&self) -> (Vec<Decision>, Option<Failure>, bool) {
+        let s = self.lock_state();
+        (s.decisions.clone(), s.failure.clone(), s.pruned)
+    }
+}
+
+thread_local! {
+    static SELF_TID: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Body of every model task thread: bind the controller and task id,
+/// park for the Start op, run the user closure, report the outcome.
+pub(crate) fn run_task(ctl: Arc<Controller>, tid: usize, body: Box<dyn FnOnce() + Send>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&ctl)));
+    IN_MODEL.with(|c| c.set(true));
+    SELF_TID.with(|t| t.set(Some(tid)));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        ctl.task_begin(tid);
+        body();
+    }));
+    ctl.task_end(tid, outcome.err());
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}

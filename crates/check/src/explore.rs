@@ -1,0 +1,243 @@
+//! Bounded exhaustive schedule exploration.
+//!
+//! Each run executes the test body under the cooperative scheduler in
+//! [`crate::controller`], following a *replay prefix* of task choices and
+//! extending it greedily (first candidate at every fresh decision). From
+//! the finished run's decision log the explorer computes the
+//! lexicographically next unexplored prefix — the deepest decision with an
+//! untried sibling candidate — and runs again, a plain depth-first search
+//! over schedule prefixes. Candidate lists at a given depth are a pure
+//! function of the choices above them, so the search needs no tree in
+//! memory, only the current prefix.
+//!
+//! Pruning and bounding knobs live in [`Config`]: a preemption bound (a
+//! schedule may switch away from a runnable task at most `max_preemptions`
+//! times; blocking switches are free), sleep sets (a task whose pending op
+//! is independent of everything executed since its branch was explored is
+//! never rescheduled), an overall schedule budget, and a per-run step
+//! limit that converts livelocks into reportable failures. Budgets are
+//! deterministic counts, never wall-clock, so CI and local runs explore
+//! identical schedule sets.
+
+use std::sync::Arc;
+
+use crate::controller::{install_quiet_panic_hook, run_task, Controller, Decision};
+
+/// Exploration bounds and feature toggles.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum context switches away from a still-runnable task per
+    /// schedule. 2 catches most real concurrency bugs while keeping the
+    /// schedule count polynomial.
+    pub max_preemptions: usize,
+    /// Hard ceiling on explored schedules; hitting it sets
+    /// [`Outcome::truncated`] rather than failing.
+    pub max_schedules: u64,
+    /// Per-run step ceiling; exceeding it is reported as
+    /// [`FailureKind::StepLimit`] (livelock detector).
+    pub max_steps: u64,
+    /// Also branch on spurious condvar wakeups (a waiter may wake with no
+    /// notify). Off by default: it multiplies the schedule count and the
+    /// executor's loops are separately checked to tolerate it.
+    pub spurious_wakeups: bool,
+    /// Spurious wakeups injected per schedule, at most. Without a bound
+    /// the DFS could wake a predicate-looping waiter forever; one or two
+    /// injections already break any `if`-guarded wait.
+    pub max_spurious_wakes: usize,
+    /// Sleep-set pruning (sound: only provably redundant schedules are
+    /// skipped). Exposed so tests can measure the unpruned space.
+    pub sleep_sets: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_preemptions: 2,
+            max_schedules: 50_000,
+            max_steps: 20_000,
+            spurious_wakeups: false,
+            max_spurious_wakes: 2,
+            sleep_sets: true,
+        }
+    }
+}
+
+/// What a schedule exploration found.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Schedules fully or partially executed (including pruned ones).
+    pub schedules: u64,
+    /// Schedules abandoned early by sleep-set pruning.
+    pub pruned: u64,
+    /// True when `max_schedules` stopped the search before exhaustion.
+    pub truncated: bool,
+    /// The first failing schedule, if any.
+    pub failure: Option<Failure>,
+}
+
+/// A failing schedule: what went wrong and the decision trace to replay it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub kind: FailureKind,
+    pub message: String,
+    /// Task ids chosen at each decision point; feed to [`replay`] to
+    /// reproduce the failure deterministically.
+    pub trace: Vec<usize>,
+    /// Human-readable log of executed visible ops, in order.
+    pub ops: Vec<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Unfinished tasks and none can run (at least one blocked on a lock
+    /// or join).
+    Deadlock,
+    /// Every unfinished task is parked in `Condvar::wait` — a wakeup was
+    /// lost or never sent.
+    LostWakeup,
+    /// A task panicked (assertion failure or explicit panic).
+    Panic,
+    /// The per-run step limit was exceeded (livelock or unbounded loop).
+    StepLimit,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:?}: {}", self.kind, self.message)?;
+        writeln!(f, "schedule trace: {:?}", self.trace)?;
+        writeln!(f, "executed ops:")?;
+        for op in &self.ops {
+            writeln!(f, "  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+struct RunResult {
+    decisions: Vec<Decision>,
+    failure: Option<Failure>,
+    pruned: bool,
+}
+
+fn run_once(config: &Config, replay: Vec<usize>, body: Arc<dyn Fn() + Send + Sync>) -> RunResult {
+    install_quiet_panic_hook();
+    let ctl = Controller::new(config.clone(), replay);
+    let root = ctl.register_root();
+    let root_ctl = Arc::clone(&ctl);
+    let handle = std::thread::Builder::new()
+        .name("model-root".to_string())
+        .spawn(move || run_task(root_ctl, root, Box::new(move || body())))
+        .expect("model root thread must spawn");
+    ctl.kick();
+    ctl.wait_run_end();
+    let _ = handle.join();
+    for worker in ctl.take_os_handles() {
+        let _ = worker.join();
+    }
+    let (decisions, failure, pruned) = ctl.run_result();
+    RunResult {
+        decisions,
+        failure,
+        pruned,
+    }
+}
+
+/// The next unexplored prefix after `decisions`, depth-first: at the
+/// deepest decision with an untried candidate, advance to it; above,
+/// keep the same choices. `None` when the space is exhausted.
+fn next_prefix(decisions: &[Decision]) -> Option<Vec<usize>> {
+    for depth in (0..decisions.len()).rev() {
+        let decision = &decisions[depth];
+        let position = decision
+            .candidates
+            .iter()
+            .position(|&c| c == decision.chosen)
+            .unwrap_or(decision.candidates.len());
+        if position + 1 < decision.candidates.len() {
+            let mut prefix: Vec<usize> = decisions[..depth].iter().map(|d| d.chosen).collect();
+            prefix.push(decision.candidates[position + 1]);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+/// Explores every schedule of `body` within `config`'s bounds, stopping at
+/// the first failure. `body` runs once per schedule; it must be
+/// deterministic apart from scheduling (no ambient time or randomness —
+/// everything visible must go through the model primitives).
+pub fn explore<F>(config: &Config, body: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let mut replay: Vec<usize> = Vec::new();
+    let mut schedules = 0u64;
+    let mut pruned = 0u64;
+    loop {
+        let run = run_once(config, replay, Arc::clone(&body));
+        schedules += 1;
+        if run.pruned {
+            pruned += 1;
+        }
+        if let Some(failure) = run.failure {
+            return Outcome {
+                schedules,
+                pruned,
+                truncated: false,
+                failure: Some(failure),
+            };
+        }
+        match next_prefix(&run.decisions) {
+            Some(prefix) if schedules < config.max_schedules => replay = prefix,
+            Some(_) => {
+                return Outcome {
+                    schedules,
+                    pruned,
+                    truncated: true,
+                    failure: None,
+                }
+            }
+            None => {
+                return Outcome {
+                    schedules,
+                    pruned,
+                    truncated: false,
+                    failure: None,
+                }
+            }
+        }
+    }
+}
+
+/// Re-executes `body` under one exact schedule (a [`Failure::trace`]),
+/// returning the failure it reproduces, if any. The trace must come from
+/// the same body and config; a divergent trace is itself reported as a
+/// failure.
+pub fn replay<F>(config: &Config, trace: &[usize], body: F) -> Option<Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    run_once(config, trace.to_vec(), Arc::new(body)).failure
+}
+
+/// [`explore`], panicking with the full failure report (kind, message,
+/// decision trace, op log) if any schedule fails. The panic makes model
+/// tests read like ordinary assertions and gives `#[should_panic]` mutant
+/// tests something to catch.
+///
+/// # Panics
+/// Panics when a schedule within the bounds fails.
+pub fn check<F>(config: &Config, body: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let outcome = explore(config, body);
+    if let Some(failure) = &outcome.failure {
+        panic!(
+            "model check failed after {} schedules\n{failure}",
+            outcome.schedules
+        );
+    }
+    outcome
+}

@@ -1,0 +1,216 @@
+//! Instrumented shims implementing [`grgad_parallel::sync`]'s backend
+//! traits on top of the cooperative scheduler.
+//!
+//! Every visible operation — acquire, release, wait, notify, flag and
+//! counter access, spawn, join — is routed through
+//! [`Controller::op_point`], which makes it a scheduling decision point.
+//! The *data* behind a [`ModelMonitor`] still lives in a real
+//! `std::sync::Mutex`, but that mutex is uncontended by construction: a
+//! task only touches it while holding the corresponding *model* lock, and
+//! the scheduler runs one task at a time. This keeps the shims free of
+//! `unsafe` while preserving exclusive access.
+//!
+//! Atomics are modeled as sequentially consistent — strictly stronger than
+//! the acquire/release and relaxed orderings the production backend uses.
+//! The model therefore cannot see weak-memory reorderings; that remains
+//! ThreadSanitizer's job (DESIGN.md §12).
+
+use std::ops::{Deref, DerefMut};
+
+use grgad_parallel::sync::{Backend, Counter, Flag, Monitor};
+
+use crate::controller::{Controller, Op};
+
+/// The model-checking backend; plug into generic cores as
+/// `ExecutorCore<ModelBackend>`.
+pub struct ModelBackend;
+
+/// A mutex+condvar monitor whose every operation is a schedule point.
+pub struct ModelMonitor<T> {
+    lock_id: usize,
+    condvar_id: usize,
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`ModelMonitor`]; dropping it is a visible release.
+pub struct ModelGuard<'a, T> {
+    monitor: &'a ModelMonitor<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// When false, dropping performs no model release (used by `wait`,
+    /// where the release is part of the atomic wait transition).
+    armed: bool,
+}
+
+impl<T> Deref for ModelGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("model guard accessed after wait handoff")
+    }
+}
+
+impl<T> DerefMut for ModelGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("model guard accessed after wait handoff")
+    }
+}
+
+impl<T> Drop for ModelGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            // Release order: the model release is a schedule point, but no
+            // other task can reach the inner mutex until *after* it (they
+            // would block at their own acquire op first), so dropping the
+            // inner guard afterwards is race-free.
+            Controller::current().op_point(Op::LockRelease(self.monitor.lock_id));
+            self.inner = None;
+        }
+    }
+}
+
+impl<T: Send> Monitor<T> for ModelMonitor<T> {
+    type Guard<'a>
+        = ModelGuard<'a, T>
+    where
+        T: 'a;
+
+    fn new(value: T) -> Self {
+        let (lock_id, condvar_id) = Controller::current().alloc_monitor();
+        ModelMonitor {
+            lock_id,
+            condvar_id,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn lock(&self) -> Self::Guard<'_> {
+        Controller::current().op_point(Op::LockAcquire(self.lock_id));
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        ModelGuard {
+            monitor: self,
+            inner: Some(inner),
+            armed: true,
+        }
+    }
+
+    fn wait<'a>(&'a self, mut guard: Self::Guard<'a>) -> Self::Guard<'a> {
+        debug_assert!(
+            std::ptr::eq(guard.monitor, self),
+            "wait called with a guard from a different monitor"
+        );
+        // Hand the inner data lock back first (we are the only runnable
+        // task, so nothing races), then perform the atomic
+        // release-and-enqueue as one model transition. op_point returns
+        // only after a notify (or spurious wake) re-granted us the model
+        // lock.
+        guard.inner = None;
+        guard.armed = false;
+        drop(guard);
+        Controller::current().op_point(Op::Wait {
+            condvar: self.condvar_id,
+            mutex: self.lock_id,
+        });
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        ModelGuard {
+            monitor: self,
+            inner: Some(inner),
+            armed: true,
+        }
+    }
+
+    fn notify_one(&self) {
+        Controller::current().op_point(Op::NotifyOne(self.condvar_id));
+    }
+
+    fn notify_all(&self) {
+        Controller::current().op_point(Op::NotifyAll(self.condvar_id));
+    }
+}
+
+/// A model `AtomicBool`; loads and stores are schedule points.
+pub struct ModelFlag {
+    id: usize,
+}
+
+impl Flag for ModelFlag {
+    fn new(value: bool) -> Self {
+        ModelFlag {
+            id: Controller::current().alloc_flag(value),
+        }
+    }
+
+    fn load(&self) -> bool {
+        Controller::current().op_point(Op::FlagLoad(self.id)) != 0
+    }
+
+    fn store(&self, value: bool) {
+        Controller::current().op_point(Op::FlagStore(self.id, value));
+    }
+}
+
+/// A model `AtomicU64` event counter.
+pub struct ModelCounter {
+    id: usize,
+}
+
+impl Counter for ModelCounter {
+    fn new(value: u64) -> Self {
+        ModelCounter {
+            id: Controller::current().alloc_counter(value),
+        }
+    }
+
+    fn load(&self) -> u64 {
+        Controller::current().op_point(Op::CounterLoad(self.id))
+    }
+
+    fn add(&self, n: u64) {
+        Controller::current().op_point(Op::CounterAdd(self.id, n));
+    }
+}
+
+/// Join handle for a model task.
+pub struct ModelJoin {
+    tid: usize,
+}
+
+impl Backend for ModelBackend {
+    type Monitor<T: Send + 'static> = ModelMonitor<T>;
+    type Flag = ModelFlag;
+    type Counter = ModelCounter;
+    type JoinHandle = ModelJoin;
+
+    fn spawn(name: String, body: impl FnOnce() + Send + 'static) -> ModelJoin {
+        let tid = Controller::current().spawn_task(name, Box::new(body));
+        ModelJoin { tid }
+    }
+
+    fn join(handle: ModelJoin) {
+        if handle.tid == usize::MAX {
+            // Spawn was refused during run teardown; nothing to join.
+            return;
+        }
+        Controller::current().op_point(Op::Join(handle.tid));
+    }
+}
+
+/// Spawns a model task directly (for hand-written protocol tests that do
+/// not go through a generic core).
+pub fn spawn(body: impl FnOnce() + Send + 'static) -> ModelJoin {
+    ModelBackend::spawn("model-task".to_string(), body)
+}
+
+/// Joins a task spawned with [`spawn`].
+pub fn join(handle: ModelJoin) {
+    ModelBackend::join(handle);
+}

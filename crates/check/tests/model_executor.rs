@@ -1,0 +1,225 @@
+//! The `ExecutorCore` invariant suite under the model checker: every
+//! bounded interleaving of the *real* executor code (not a port — the
+//! generic backend seam routes the production scheduling logic through
+//! the instrumented primitives).
+//!
+//! Invariants (DESIGN.md §12): same-shard FIFO order, bounded-queue
+//! reject-not-block, shutdown drains everything accepted, panic
+//! containment. Each test asserts a minimum explored-schedule count so a
+//! broken explorer (exploring one schedule and declaring victory) fails
+//! loudly.
+//!
+//! Note on auxiliary state: test bodies may use a plain `std::sync::Mutex`
+//! for result logs because the model runs one task at a time and the log
+//! is only touched between model ops — the raw mutex is uncontended by
+//! construction. Handshakes that *block* must use model primitives
+//! (`ModelMonitor`), never spin loops: under the checker a spin loop is a
+//! livelock and trips the step limit by design.
+
+use std::sync::{Arc, Mutex};
+
+use grgad_check::model::{ModelBackend, ModelMonitor};
+use grgad_check::{check, Config};
+use grgad_parallel::sync::Monitor;
+use grgad_parallel::{ExecutorCore, SubmitError};
+
+fn config() -> Config {
+    Config {
+        max_preemptions: 2,
+        max_schedules: 40_000,
+        max_steps: 20_000,
+        spurious_wakeups: false,
+        max_spurious_wakes: 2,
+        sleep_sets: true,
+    }
+}
+
+fn locked<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[test]
+fn same_shard_fifo_order() {
+    let outcome = check(&config(), || {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let executor: ExecutorCore<ModelBackend> = ExecutorCore::new(1, 4);
+        for value in 0..3u32 {
+            let log = Arc::clone(&log);
+            executor
+                .try_submit(0, Box::new(move || locked(&log).push(value)))
+                .expect("capacity 4 fits 3 jobs");
+        }
+        let stats = executor.shutdown_stats();
+        assert_eq!(stats.jobs_run, 3);
+        assert_eq!(*locked(&log), vec![0, 1, 2], "same-shard jobs must be FIFO");
+    });
+    assert!(
+        outcome.schedules >= 50,
+        "expected a real interleaving space, got {}",
+        outcome.schedules
+    );
+    assert!(!outcome.truncated, "schedule budget must cover the space");
+}
+
+#[test]
+fn cross_shard_jobs_interleave_but_shards_stay_fifo() {
+    let outcome = check(&config(), || {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let executor: ExecutorCore<ModelBackend> = ExecutorCore::new(2, 4);
+        for (shard, value) in [(0, 10u32), (0, 11), (1, 20)] {
+            let log = Arc::clone(&log);
+            executor
+                .try_submit(shard, Box::new(move || locked(&log).push(value)))
+                .expect("capacity 4 fits the jobs");
+        }
+        let stats = executor.shutdown_stats();
+        assert_eq!(stats.jobs_run, 3);
+        let order = locked(&log).clone();
+        let shard0: Vec<u32> = order.iter().copied().filter(|v| *v < 20).collect();
+        assert_eq!(shard0, vec![10, 11], "shard 0 must stay FIFO");
+        assert!(order.contains(&20), "shard 1's job must run");
+    });
+    assert!(
+        outcome.schedules >= 50,
+        "expected a real interleaving space, got {}",
+        outcome.schedules
+    );
+    assert!(!outcome.truncated);
+}
+
+#[test]
+fn bounded_queue_rejects_instead_of_blocking() {
+    // A deterministic Full: park the single worker inside a job via a
+    // monitor handshake, then overfill the capacity-1 queue. If
+    // `try_submit` ever blocked instead of rejecting, the model would
+    // report the resulting deadlock on some schedule.
+    let outcome = check(&config(), || {
+        let started: Arc<ModelMonitor<bool>> = Arc::new(Monitor::new(false));
+        let release: Arc<ModelMonitor<bool>> = Arc::new(Monitor::new(false));
+        let executor: ExecutorCore<ModelBackend> = ExecutorCore::new(1, 1);
+
+        let (started_job, release_job) = (Arc::clone(&started), Arc::clone(&release));
+        executor
+            .try_submit(
+                0,
+                Box::new(move || {
+                    {
+                        let mut flag = started_job.lock();
+                        *flag = true;
+                    }
+                    started_job.notify_all();
+                    let mut flag = release_job.lock();
+                    while !*flag {
+                        flag = release_job.wait(flag);
+                    }
+                }),
+            )
+            .expect("empty queue accepts the blocker");
+
+        // Wait until the worker holds the blocker job (queue now empty).
+        {
+            let mut flag = started.lock();
+            while !*flag {
+                flag = started.wait(flag);
+            }
+        }
+
+        executor
+            .try_submit(0, Box::new(|| {}))
+            .expect("queue drained by the busy worker has room again");
+        let rejection = executor.try_submit(0, Box::new(|| {}));
+        assert_eq!(
+            rejection.map(|_| ()),
+            Err(SubmitError::Full {
+                shard: 0,
+                capacity: 1
+            }),
+            "a full bounded queue must reject, not block"
+        );
+
+        {
+            let mut flag = release.lock();
+            *flag = true;
+        }
+        release.notify_all();
+        let stats = executor.shutdown_stats();
+        assert_eq!(stats.jobs_run, 2, "blocker plus the one accepted job");
+    });
+    assert!(
+        outcome.schedules >= 20,
+        "expected a real interleaving space, got {}",
+        outcome.schedules
+    );
+    assert!(!outcome.truncated);
+}
+
+#[test]
+fn shutdown_drains_everything_accepted() {
+    let outcome = check(&config(), || {
+        let executor: ExecutorCore<ModelBackend> = ExecutorCore::new(1, 4);
+        let mut accepted = 0u64;
+        for _ in 0..3 {
+            if executor.try_submit(0, Box::new(|| {})).is_ok() {
+                accepted += 1;
+            }
+        }
+        let stats = executor.shutdown_stats();
+        assert_eq!(
+            stats.jobs_run, accepted,
+            "every accepted job must run before shutdown returns"
+        );
+    });
+    assert!(
+        outcome.schedules >= 50,
+        "expected a real interleaving space, got {}",
+        outcome.schedules
+    );
+    assert!(!outcome.truncated);
+}
+
+#[test]
+fn panic_containment_keeps_the_worker_alive() {
+    let outcome = check(&config(), || {
+        let executor: ExecutorCore<ModelBackend> = ExecutorCore::new(1, 4);
+        executor
+            .try_submit(0, Box::new(|| panic!("deliberate job panic")))
+            .expect("capacity 4 fits 2 jobs");
+        executor
+            .try_submit(0, Box::new(|| {}))
+            .expect("capacity 4 fits 2 jobs");
+        let stats = executor.shutdown_stats();
+        assert_eq!(
+            stats.jobs_run, 2,
+            "the job after the panicking one must run"
+        );
+        assert_eq!(stats.jobs_panicked, 1, "the panic must be counted");
+    });
+    assert!(
+        outcome.schedules >= 20,
+        "expected a real interleaving space, got {}",
+        outcome.schedules
+    );
+    assert!(!outcome.truncated);
+}
+
+#[test]
+fn executor_survives_spurious_wakeups() {
+    // The worker's wait sits in a predicate loop; injected spurious
+    // wakeups must not drop jobs, wedge the worker, or break the drain.
+    let config = Config {
+        spurious_wakeups: true,
+        max_spurious_wakes: 1,
+        ..config()
+    };
+    let outcome = check(&config, || {
+        let executor: ExecutorCore<ModelBackend> = ExecutorCore::new(1, 2);
+        executor
+            .try_submit(0, Box::new(|| {}))
+            .expect("capacity 2 fits 1 job");
+        let stats = executor.shutdown_stats();
+        assert_eq!(stats.jobs_run, 1);
+    });
+    assert!(!outcome.truncated);
+}

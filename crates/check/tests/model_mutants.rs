@@ -1,0 +1,174 @@
+//! Seeded-mutant negative tests: deliberately broken versions of the
+//! executor's shutdown/drain protocol, ported op-for-op, that the model
+//! checker must catch. Each mutant corresponds to a line a reviewer could
+//! plausibly delete from `crates/parallel/src/executor.rs`; the positive
+//! twin (the faithful protocol) passes, proving the failure comes from the
+//! seeded bug and not the harness.
+//!
+//! The `#[should_panic]` tests go through [`grgad_check::check`], which
+//! panics with the failing schedule's trace — exactly what a real
+//! regression would produce.
+
+use std::sync::{Arc, Mutex};
+
+use grgad_check::model::{self, ModelFlag, ModelMonitor};
+use grgad_check::{check, explore, Config, FailureKind};
+use grgad_parallel::sync::{Flag, Monitor};
+
+fn config() -> Config {
+    Config {
+        max_preemptions: 2,
+        max_schedules: 40_000,
+        max_steps: 20_000,
+        spurious_wakeups: false,
+        max_spurious_wakes: 2,
+        sleep_sets: true,
+    }
+}
+
+/// The executor's worker/shutdown protocol for one shard, with switches
+/// for the seeded mutations. Mirrors `worker_loop` + `begin_shutdown`.
+fn shutdown_protocol(jobs: u32, lock_touch: bool, drain_loop: bool) -> u64 {
+    let queue: Arc<ModelMonitor<Vec<u32>>> = Arc::new(Monitor::new(Vec::new()));
+    let closed = Arc::new(ModelFlag::new(false));
+    let done = Arc::new(Mutex::new(0u64));
+
+    let (worker_queue, worker_closed, worker_done) =
+        (Arc::clone(&queue), Arc::clone(&closed), Arc::clone(&done));
+    let worker = model::spawn(move || loop {
+        let job = {
+            let mut guard = worker_queue.lock();
+            loop {
+                if drain_loop {
+                    // Faithful: drain the queue before honoring `closed`.
+                    if let Some(job) = guard.pop() {
+                        break job;
+                    }
+                    if worker_closed.load() {
+                        return;
+                    }
+                } else {
+                    // MUTANT: honors `closed` before draining — jobs still
+                    // queued at shutdown are silently dropped.
+                    if worker_closed.load() {
+                        return;
+                    }
+                    if let Some(job) = guard.pop() {
+                        break job;
+                    }
+                }
+                guard = worker_queue.wait(guard);
+            }
+        };
+        let _ = job;
+        *worker_done
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) += 1;
+    });
+
+    for value in 0..jobs {
+        {
+            let mut guard = queue.lock();
+            guard.push(value);
+        }
+        queue.notify_one();
+    }
+
+    // begin_shutdown:
+    closed.store(true);
+    if lock_touch {
+        // Faithful: touching the lock means a worker between its closed
+        // check and its wait cannot miss the notification.
+        drop(queue.lock());
+    }
+    queue.notify_all();
+    model::join(worker);
+
+    let ran = *done.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    ran
+}
+
+#[test]
+fn faithful_protocol_passes_all_schedules() {
+    let outcome = check(&config(), || {
+        let ran = shutdown_protocol(2, true, true);
+        assert_eq!(ran, 2, "every accepted job must run");
+    });
+    assert!(outcome.schedules >= 50, "got {}", outcome.schedules);
+    assert!(!outcome.truncated);
+}
+
+#[test]
+#[should_panic(expected = "model check failed")]
+fn mutant_missing_shutdown_lock_touch_loses_the_wakeup() {
+    // Without the lock touch, `closed.store + notify_all` can fire in the
+    // window after the worker checked `closed` but before it entered
+    // `wait` — the notification lands on an empty waiter queue and the
+    // worker waits forever.
+    check(&config(), || {
+        let _ = shutdown_protocol(0, false, true);
+    });
+}
+
+#[test]
+fn mutant_missing_lock_touch_is_a_lost_wakeup_specifically() {
+    let outcome = explore(&config(), || {
+        let _ = shutdown_protocol(0, false, true);
+    });
+    let failure = outcome.failure.expect("the lost wakeup must be found");
+    assert_eq!(failure.kind, FailureKind::LostWakeup);
+    assert!(!failure.trace.is_empty(), "trace must allow replay");
+}
+
+#[test]
+#[should_panic(expected = "model check failed")]
+fn mutant_dropped_drain_loop_drops_accepted_jobs() {
+    // Checking `closed` before popping lets a shutdown racing the last
+    // submit strand accepted jobs in the queue.
+    check(&config(), || {
+        let ran = shutdown_protocol(2, true, false);
+        assert_eq!(ran, 2, "every accepted job must run");
+    });
+}
+
+#[test]
+#[should_panic(expected = "model check failed")]
+fn mutant_if_guarded_wait_breaks_under_spurious_wakeup() {
+    // The C2 lint rule's dynamic twin: an `if`-guarded wait lets one
+    // spurious wakeup past the predicate.
+    let config = Config {
+        spurious_wakeups: true,
+        ..config()
+    };
+    check(&config, || {
+        let monitor: Arc<ModelMonitor<bool>> = Arc::new(Monitor::new(false));
+        let inner = Arc::clone(&monitor);
+        let waiter = model::spawn(move || {
+            let guard = inner.lock();
+            let guard = if !*guard { inner.wait(guard) } else { guard };
+            assert!(*guard, "woke without the predicate holding");
+        });
+        {
+            let mut guard = monitor.lock();
+            *guard = true;
+        }
+        monitor.notify_one();
+        model::join(waiter);
+    });
+}
+
+#[test]
+fn failing_schedule_replays_from_its_trace() {
+    let outcome = explore(&config(), || {
+        let ran = shutdown_protocol(2, true, false);
+        assert_eq!(ran, 2);
+    });
+    let failure = outcome.failure.expect("dropped drain loop must fail");
+    let replayed = grgad_check::replay(&config(), &failure.trace, || {
+        let ran = shutdown_protocol(2, true, false);
+        assert_eq!(ran, 2);
+    })
+    .expect("the recorded trace must reproduce the failure");
+    assert_eq!(replayed.kind, failure.kind);
+    assert_eq!(replayed.trace, failure.trace);
+}

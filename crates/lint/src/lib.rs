@@ -22,10 +22,12 @@
 //! CI artifact upload.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod lockorder;
 pub mod report;
 pub mod rules;
 pub mod scanner;
 
+pub use lockorder::LockEdge;
 pub use report::Report;
 pub use rules::{Diagnostic, FileContext, FileKind, Rule};
 
@@ -56,8 +58,14 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
 
 /// Lints an explicit file list. Paths are reported relative to `root`
 /// when possible, verbatim otherwise.
+///
+/// Two passes: the per-file rule engine first, then the cross-file
+/// lock-order cycle check (C1) over the union of every file's
+/// lock-acquisition edges — a cycle split across crates (one file locks
+/// `a` then `b`, another `b` then `a`) is invisible to any single file.
 pub fn lint_files(root: &Path, files: &[PathBuf]) -> Result<Report, String> {
     let mut report = Report::default();
+    let mut edges = Vec::new();
     for path in files {
         let src = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -67,9 +75,14 @@ pub fn lint_files(root: &Path, files: &[PathBuf]) -> Result<Report, String> {
             .to_string_lossy()
             .replace('\\', "/");
         let ctx = FileContext::classify(&rel);
-        report.diagnostics.extend(rules::lint_source(&src, &ctx));
+        let (diags, file_edges) = rules::lint_source_edges(&src, &ctx);
+        report.diagnostics.extend(diags);
+        edges.extend(file_edges);
         report.files_scanned += 1;
     }
+    report
+        .diagnostics
+        .extend(lockorder::cycle_diagnostics(&edges));
     report
         .diagnostics
         .sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));

@@ -1,0 +1,177 @@
+//! Cross-file lock-order analysis (rule C1).
+//!
+//! The per-file walk in [`crate::rules`] records a [`LockEdge`] whenever a
+//! lock of class `acquired` is taken while a guard of class `held` is
+//! still lexically live in the same function. A *lock class* is the last
+//! identifier of the receiver expression — `shard.queue.lock()` is class
+//! `queue` — so the analysis is field-name-granular, which is exactly the
+//! granularity at which this workspace names its mutexes.
+//!
+//! This module unions every file's edges into one directed graph over
+//! classes and reports each acquisition site whose edge lies on a cycle:
+//! two threads taking the same pair of classes in opposite orders can
+//! deadlock, and the cure is a single global acquisition order. Cycles of
+//! length one (re-acquiring the class you already hold) are reported too.
+//!
+//! Like every grgad-lint rule this is a lexical over-approximation:
+//! acquisitions hidden behind helper functions (`self.lock()`) or guards
+//! not bound by a `let` are invisible, and two same-named fields on
+//! unrelated types share a class. DESIGN.md §12 discusses the trade-off;
+//! the model checker in `grgad-check` covers the dynamic side.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::rules::{Diagnostic, Rule};
+
+/// One lock-order observation: at `path:line:col`, a lock of class
+/// `acquired` was taken while a guard of class `held` was live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// Class of the guard already held.
+    pub held: String,
+    /// Class of the lock being acquired under it.
+    pub acquired: String,
+    /// Workspace-relative path of the acquisition site.
+    pub path: String,
+    /// 1-based line of the acquisition.
+    pub line: usize,
+    /// 1-based column of the acquisition.
+    pub col: usize,
+}
+
+/// Reports a C1 diagnostic at every acquisition site whose edge lies on a
+/// cycle in the union of `edges`. Deterministic: sites are reported in
+/// input order, deduplicated by position.
+pub fn cycle_diagnostics(edges: &[LockEdge]) -> Vec<Diagnostic> {
+    let mut adjacency: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for edge in edges {
+        adjacency
+            .entry(edge.held.as_str())
+            .or_default()
+            .insert(edge.acquired.as_str());
+    }
+
+    let mut out = Vec::new();
+    let mut seen = BTreeSet::new();
+    for edge in edges {
+        let Some(back) = path_between(&adjacency, &edge.acquired, &edge.held) else {
+            continue;
+        };
+        if !seen.insert((edge.path.clone(), edge.line, edge.col)) {
+            continue;
+        }
+        // Render the full cycle: held -> acquired -> … -> held.
+        let mut cycle = vec![edge.held.as_str()];
+        cycle.extend(back);
+        out.push(Diagnostic {
+            rule: Rule::C1,
+            path: edge.path.clone(),
+            line: edge.line,
+            col: edge.col,
+            message: format!(
+                "acquiring lock class `{}` while holding `{}` closes the \
+                 lock-order cycle {}; pick one global acquisition order \
+                 across the workspace",
+                edge.acquired,
+                edge.held,
+                cycle.join(" -> "),
+            ),
+        });
+    }
+    out
+}
+
+/// Shortest directed path `from -> … -> to` over `adjacency` (as the list
+/// of visited nodes starting at `from`), or `None` when unreachable. A
+/// zero-length path (`from == to`) counts as reachable, so self-edges
+/// form cycles.
+fn path_between<'a>(
+    adjacency: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    from: &'a str,
+    to: &str,
+) -> Option<Vec<&'a str>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = VecDeque::from([from]);
+    while let Some(node) = queue.pop_front() {
+        for &next in adjacency.get(node).into_iter().flatten() {
+            if next == from || parent.contains_key(next) {
+                continue;
+            }
+            parent.insert(next, node);
+            if next == to {
+                let mut path = vec![next];
+                let mut cursor = next;
+                while let Some(&prev) = parent.get(cursor) {
+                    path.push(prev);
+                    cursor = prev;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(next);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(held: &str, acquired: &str, line: usize) -> LockEdge {
+        LockEdge {
+            held: held.to_string(),
+            acquired: acquired.to_string(),
+            path: "crates/x/src/lib.rs".to_string(),
+            line,
+            col: 1,
+        }
+    }
+
+    #[test]
+    fn opposite_orders_across_edges_form_a_cycle() {
+        let edges = [edge("a", "b", 1), edge("b", "a", 9)];
+        let diags = cycle_diagnostics(&edges);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(
+            diags[0].message.contains("a -> b -> a"),
+            "{}",
+            diags[0].message
+        );
+        assert_eq!(diags[1].line, 9);
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let edges = [edge("a", "b", 1), edge("a", "b", 7), edge("b", "c", 3)];
+        assert!(cycle_diagnostics(&edges).is_empty());
+    }
+
+    #[test]
+    fn self_edge_is_a_unit_cycle() {
+        let diags = cycle_diagnostics(&[edge("a", "a", 4)]);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("a -> a"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn longer_cycles_are_traced_through_intermediates() {
+        let edges = [edge("a", "b", 1), edge("b", "c", 2), edge("c", "a", 3)];
+        let diags = cycle_diagnostics(&edges);
+        assert_eq!(diags.len(), 3);
+        assert!(
+            diags[0].message.contains("a -> b -> c -> a"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn duplicate_sites_report_once() {
+        let edges = [edge("a", "b", 1), edge("a", "b", 1), edge("b", "a", 2)];
+        assert_eq!(cycle_diagnostics(&edges).len(), 2);
+    }
+}

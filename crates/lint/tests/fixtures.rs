@@ -13,7 +13,8 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use grgad_lint::rules::lint_source;
+use grgad_lint::lockorder::cycle_diagnostics;
+use grgad_lint::rules::{lint_source, lint_source_edges};
 use grgad_lint::{FileContext, Rule};
 
 fn fixtures_dir() -> PathBuf {
@@ -87,7 +88,7 @@ fn bad_fixtures_fire_exactly_the_marked_rules() {
         );
         checked += 1;
     }
-    assert!(checked >= 14, "expected >=14 bad fixtures, found {checked}");
+    assert!(checked >= 17, "expected >=17 bad fixtures, found {checked}");
 }
 
 #[test]
@@ -111,7 +112,40 @@ fn ok_fixtures_are_clean() {
         );
         checked += 1;
     }
-    assert!(checked >= 13, "expected >=13 ok fixtures, found {checked}");
+    assert!(checked >= 16, "expected >=16 ok fixtures, found {checked}");
+}
+
+/// The C1 pair under `fixtures/crossfile/` is clean file-by-file — each
+/// file's lock order is internally consistent — and only the union of
+/// their edges closes the cycle. This is the shape `lint_files` runs.
+#[test]
+fn cross_file_lock_order_cycle_needs_the_union() {
+    let dir = fixtures_dir().join("crossfile");
+    let mut edges = Vec::new();
+    let mut expected = Vec::new();
+    for name in ["c1_cross_a.rs", "c1_cross_b.rs"] {
+        let path = dir.join(name);
+        let (ctx, src, marks) = parse_fixture(&path);
+        let (diags, file_edges) = lint_source_edges(&src, &ctx);
+        assert!(diags.is_empty(), "{name}: per-file diagnostics {diags:?}");
+        assert!(
+            cycle_diagnostics(&file_edges).is_empty(),
+            "{name}: must be cycle-free on its own"
+        );
+        for (line, id) in marks {
+            expected.push((ctx.rel_path.clone(), line, id));
+        }
+        edges.extend(file_edges);
+    }
+    expected.sort();
+    assert_eq!(expected.len(), 2, "both files mark their closing edge");
+
+    let mut got: Vec<(String, usize, String)> = cycle_diagnostics(&edges)
+        .into_iter()
+        .map(|d| (d.path, d.line, d.rule.id().to_string()))
+        .collect();
+    got.sort();
+    assert_eq!(got, expected, "union of edges must close the cycle");
 }
 
 #[test]

@@ -1,0 +1,14 @@
+//@ path: crates/gnn/src/fixture.rs
+pub fn forward(a: &Shard, b: &Shard) {
+    let ga = a.state.lock();
+    let gb = b.queue.lock(); //~ C1
+    drop(gb);
+    drop(ga);
+}
+
+pub fn backward(a: &Shard, b: &Shard) {
+    let gb = b.queue.lock();
+    let ga = a.state.lock(); //~ C1
+    drop(ga);
+    drop(gb);
+}

@@ -1,0 +1,24 @@
+//@ path: crates/gnn/src/fixture.rs
+pub fn forward(a: &Shard, b: &Shard) {
+    let ga = a.state.lock();
+    let gb = b.queue.lock();
+    drop(gb);
+    drop(ga);
+}
+
+pub fn backward(a: &Shard, b: &Shard) {
+    // Same global order as `forward`: state before queue.
+    let ga = a.state.lock();
+    let gb = b.queue.lock();
+    drop(gb);
+    drop(ga);
+}
+
+pub fn sequential(a: &Shard, b: &Shard) {
+    // Reversed textual order, but the first guard is gone before the
+    // second acquisition: no edge, no cycle.
+    let gb = b.queue.lock();
+    drop(gb);
+    let ga = a.state.lock();
+    drop(ga);
+}

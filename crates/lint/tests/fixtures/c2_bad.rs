@@ -1,0 +1,13 @@
+//@ path: crates/gnn/src/fixture.rs
+pub fn wait_once(monitor: &Gate) {
+    let mut guard = monitor.state.lock();
+    if !guard.ready {
+        guard = monitor.state.wait(guard); //~ C2
+    }
+    drop(guard);
+}
+
+pub fn wait_bare(monitor: &Gate) {
+    let guard = monitor.state.lock();
+    let _woken = monitor.state.wait(guard); //~ C2
+}

@@ -1,0 +1,24 @@
+//@ path: crates/gnn/src/fixture.rs
+pub fn wait_ready(monitor: &Gate) {
+    let mut guard = monitor.state.lock();
+    while !guard.ready {
+        guard = monitor.state.wait(guard);
+    }
+    drop(guard);
+}
+
+pub fn wait_in_loop(monitor: &Gate) {
+    let mut guard = monitor.state.lock();
+    loop {
+        if guard.ready {
+            break;
+        }
+        guard = monitor.state.wait(guard);
+    }
+    drop(guard);
+}
+
+pub fn reap(child: &mut Child) -> i32 {
+    // A no-argument wait is a process/handle wait, not a condvar wait.
+    child.wait()
+}

@@ -1,0 +1,11 @@
+//@ path: crates/gnn/src/fixture.rs
+pub fn run_under_lock(shard: &Shard, job: Job) {
+    let guard = shard.queue.lock();
+    job(); //~ C3
+    drop(guard);
+}
+
+pub fn contain_under_lock(shard: &Shard) {
+    let _guard = shard.queue.lock();
+    let _ = std::panic::catch_unwind(|| 1); //~ C3
+}

@@ -1,0 +1,21 @@
+//@ path: crates/gnn/src/fixture.rs
+pub fn run_released(shard: &Shard, job: Job) {
+    let guard = shard.queue.lock();
+    drop(guard);
+    job();
+}
+
+pub fn run_scoped(shard: &Shard, job: Job) {
+    let popped = {
+        let mut guard = shard.queue.lock();
+        guard.pop()
+    };
+    job();
+    drop(popped);
+}
+
+pub fn handler(shard: &Shard) {
+    // Definition site of a callback-shaped name, not a call under a lock.
+    let guard = shard.queue.lock();
+    drop(guard);
+}

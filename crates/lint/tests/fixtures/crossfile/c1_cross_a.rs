@@ -1,0 +1,7 @@
+//@ path: crates/gnn/src/routing.rs
+pub fn route(table: &Table, stats: &Stats) {
+    let gt = table.routes.lock();
+    let gs = stats.counters.lock(); //~ C1
+    drop(gs);
+    drop(gt);
+}

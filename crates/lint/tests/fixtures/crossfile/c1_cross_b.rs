@@ -1,0 +1,7 @@
+//@ path: crates/server/src/reporting.rs
+pub fn snapshot(table: &Table, stats: &Stats) {
+    let gs = stats.counters.lock();
+    let gt = table.routes.lock(); //~ C1
+    drop(gt);
+    drop(gs);
+}

@@ -39,14 +39,35 @@
 //! payload is dropped rather than propagated because there is no joining
 //! caller mid-stream to rethrow into; the count makes the failure
 //! observable.
+//!
+//! # Model checking
+//!
+//! Everything above is a *claimed* property of lock/condvar/atomic
+//! interleavings. The executor is therefore written against the
+//! [`crate::sync::Backend`] seam as [`ExecutorCore`]; `grgad-check`
+//! instantiates it on instrumented shims and exhaustively explores bounded
+//! schedules of exactly this code — FIFO order, bounded reject,
+//! drain-on-shutdown and panic containment are machine-checked invariants,
+//! not reviewed ones (DESIGN.md §12). [`Executor`] is the production
+//! instantiation on [`StdBackend`].
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
+
+use crate::sync::{Backend, Counter, Flag, Monitor, StdBackend};
 
 /// A unit of work: boxed once at submission, run once on a shard worker.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Final counters returned by [`ExecutorCore::shutdown_stats`] after the
+/// drain completed and every worker joined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Jobs executed to completion (panicking jobs included).
+    pub jobs_run: u64,
+    /// Jobs whose unwind was caught and contained by a worker.
+    pub jobs_panicked: u64,
+}
 
 /// Why [`Executor::try_submit`] rejected a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,58 +95,61 @@ impl std::fmt::Display for SubmitError {
     }
 }
 
-/// One shard: a bounded FIFO queue drained by a single dedicated worker.
-struct Shard {
-    queue: Mutex<VecDeque<Job>>,
-    /// Signals the worker that a job arrived or the executor closed.
-    wake: Condvar,
+/// One shard: a bounded FIFO queue and its wake signal, drained by a
+/// single dedicated worker.
+struct Shard<B: Backend> {
+    /// The queue and the condvar that signals the worker that a job
+    /// arrived or the executor closed.
+    queue: B::Monitor<VecDeque<Job>>,
 }
 
 /// State shared by all shards and the submission side.
-struct Shared {
-    shards: Vec<Shard>,
+struct Shared<B: Backend> {
+    shards: Vec<Shard<B>>,
     capacity: usize,
-    closed: AtomicBool,
-    jobs_run: AtomicU64,
-    jobs_panicked: AtomicU64,
+    closed: B::Flag,
+    jobs_run: B::Counter,
+    jobs_panicked: B::Counter,
 }
 
-/// A fixed pool of long-lived worker threads, one per bounded FIFO shard.
-/// See the module docs for the ordering, backpressure and shutdown
-/// contracts.
-pub struct Executor {
-    shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+/// A fixed pool of long-lived worker threads, one per bounded FIFO shard,
+/// generic over the [`Backend`] sync seam. See the module docs for the
+/// ordering, backpressure and shutdown contracts. Production code uses
+/// the [`Executor`] alias; `grgad-check` model tests instantiate this on
+/// the instrumented backend.
+pub struct ExecutorCore<B: Backend> {
+    shared: Arc<Shared<B>>,
+    workers: Vec<B::JoinHandle>,
 }
 
-impl Executor {
+/// The production executor: [`ExecutorCore`] on real OS threads and
+/// `std::sync` primitives.
+pub type Executor = ExecutorCore<StdBackend>;
+
+impl<B: Backend> ExecutorCore<B> {
     /// Starts `shards` worker threads, each owning a FIFO queue bounded at
     /// `capacity` jobs. Both are clamped to at least 1.
-    pub fn new(shards: usize, capacity: usize) -> Executor {
+    pub fn new(shards: usize, capacity: usize) -> ExecutorCore<B> {
         let shards = shards.max(1);
         let capacity = capacity.max(1);
         let shared = Arc::new(Shared {
             shards: (0..shards)
                 .map(|_| Shard {
-                    queue: Mutex::new(VecDeque::new()),
-                    wake: Condvar::new(),
+                    queue: B::Monitor::new(VecDeque::new()),
                 })
                 .collect(),
             capacity,
-            closed: AtomicBool::new(false),
-            jobs_run: AtomicU64::new(0),
-            jobs_panicked: AtomicU64::new(0),
+            closed: B::Flag::new(false),
+            jobs_run: B::Counter::new(0),
+            jobs_panicked: B::Counter::new(0),
         });
         let workers = (0..shards)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("grgad-exec-{i}"))
-                    .spawn(move || worker_loop(&shared, i))
-                    .expect("executor worker threads must spawn")
+                B::spawn(format!("grgad-exec-{i}"), move || worker_loop(&shared, i))
             })
             .collect();
-        Executor { shared, workers }
+        ExecutorCore { shared, workers }
     }
 
     /// Number of shards (== worker threads).
@@ -140,12 +164,12 @@ impl Executor {
 
     /// Jobs executed to completion so far (including panicked ones).
     pub fn jobs_run(&self) -> u64 {
-        self.shared.jobs_run.load(Ordering::Relaxed)
+        self.shared.jobs_run.load()
     }
 
     /// Jobs whose closure panicked (contained, worker kept running).
     pub fn jobs_panicked(&self) -> u64 {
-        self.shared.jobs_panicked.load(Ordering::Relaxed)
+        self.shared.jobs_panicked.load()
     }
 
     /// Jobs currently waiting on `shard`'s queue (racy snapshot; intended
@@ -154,7 +178,6 @@ impl Executor {
         self.shared.shards[shard % self.shared.shards.len()]
             .queue
             .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .len()
     }
 
@@ -170,15 +193,12 @@ impl Executor {
         shard: usize,
         job: impl FnOnce() + Send + 'static,
     ) -> Result<(), SubmitError> {
-        if self.shared.closed.load(Ordering::Acquire) {
+        if self.shared.closed.load() {
             return Err(SubmitError::Closed);
         }
         let index = shard % self.shared.shards.len();
         let target = &self.shared.shards[index];
-        let mut queue = target
-            .queue
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut queue = target.queue.lock();
         if queue.len() >= self.shared.capacity {
             return Err(SubmitError::Full {
                 shard: index,
@@ -187,85 +207,86 @@ impl Executor {
         }
         queue.push_back(Box::new(job));
         drop(queue);
-        target.wake.notify_one();
+        target.queue.notify_one();
         Ok(())
     }
 
     /// Closes the queues, drains every job already accepted, and joins the
     /// worker threads. Consumes the executor; all accepted work completes
     /// before this returns.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(self) {
+        self.shutdown_stats();
+    }
+
+    /// [`Self::shutdown`], returning the final counters. The executor is
+    /// gone by the time `shutdown` returns, so this is the only way to
+    /// observe how much work a fully drained executor actually ran —
+    /// model tests and edge-case tests assert on it.
+    pub fn shutdown_stats(mut self) -> ExecutorStats {
         self.begin_shutdown();
         for handle in self.workers.drain(..) {
             // A worker that panicked outside a job (impossible by
             // construction — jobs are unwind-caught) is not worth taking
             // the shutdown path down with.
-            let _ = handle.join();
+            B::join(handle);
+        }
+        ExecutorStats {
+            jobs_run: self.shared.jobs_run.load(),
+            jobs_panicked: self.shared.jobs_panicked.load(),
         }
     }
 
     fn begin_shutdown(&self) {
-        self.shared.closed.store(true, Ordering::Release);
+        self.shared.closed.store(true);
         for shard in &self.shared.shards {
             // Touch the lock so a worker between its closed-check and its
             // condvar wait cannot miss the notification.
-            drop(
-                shard
-                    .queue
-                    .lock()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner()),
-            );
-            shard.wake.notify_all();
+            drop(shard.queue.lock());
+            shard.queue.notify_all();
         }
     }
 }
 
-impl Drop for Executor {
+impl<B: Backend> Drop for ExecutorCore<B> {
     fn drop(&mut self) {
         // Mirrors `shutdown` for executors dropped without an explicit
         // call (e.g. on an error path): drain accepted work, then join.
         self.begin_shutdown();
         for handle in self.workers.drain(..) {
-            let _ = handle.join();
+            B::join(handle);
         }
     }
 }
 
 /// One worker: pop-run until the executor closes *and* the queue is empty.
-fn worker_loop(shared: &Shared, index: usize) {
+fn worker_loop<B: Backend>(shared: &Shared<B>, index: usize) {
     let shard = &shared.shards[index];
     loop {
         let job = {
-            let mut queue = shard
-                .queue
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let mut queue = shard.queue.lock();
             loop {
                 if let Some(job) = queue.pop_front() {
                     break job;
                 }
-                if shared.closed.load(Ordering::Acquire) {
+                if shared.closed.load() {
                     return;
                 }
-                queue = shard
-                    .wake
-                    .wait(queue)
-                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                queue = shard.queue.wait(queue);
             }
         };
         // Contain job panics: a serving worker must outlive any one bad
         // request. The payload is dropped; the counter records it.
         if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
-            shared.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+            shared.jobs_panicked.add(1);
         }
-        shared.jobs_run.fetch_add(1, Ordering::Relaxed);
+        shared.jobs_run.add(1);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::mpsc;
+    use std::sync::{mpsc, Mutex};
 
     #[test]
     fn same_shard_jobs_run_serially_in_submission_order() {
@@ -350,25 +371,29 @@ mod tests {
     #[test]
     fn shutdown_drains_accepted_jobs_then_rejects() {
         let executor = Executor::new(3, 128);
-        let counter = Arc::new(AtomicU64::new(0));
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
         for i in 0..96 {
             let counter = Arc::clone(&counter);
             executor
                 .try_submit(i, move || {
-                    counter.fetch_add(1, Ordering::Relaxed);
+                    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 })
                 .expect("submit");
         }
         let shared = Arc::clone(&executor.shared);
         executor.shutdown();
-        assert_eq!(counter.load(Ordering::Relaxed), 96, "all accepted jobs ran");
-        assert_eq!(shared.jobs_run.load(Ordering::Relaxed), 96);
+        assert_eq!(
+            counter.load(std::sync::atomic::Ordering::Relaxed),
+            96,
+            "all accepted jobs ran"
+        );
+        assert_eq!(Counter::load(&shared.jobs_run), 96);
     }
 
     #[test]
     fn closed_executor_rejects_submissions() {
         let executor = Executor::new(1, 4);
-        executor.shared.closed.store(true, Ordering::Release);
+        Flag::store(&executor.shared.closed, true);
         assert_eq!(
             executor.try_submit(0, || {}).expect_err("closed"),
             SubmitError::Closed
@@ -381,18 +406,22 @@ mod tests {
         executor
             .try_submit(0, || panic!("bad request"))
             .expect("submit panicking job");
-        let probe = Arc::new(AtomicU64::new(0));
+        let probe = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let p = Arc::clone(&probe);
         executor
             .try_submit(0, move || {
-                p.store(7, Ordering::Relaxed);
+                p.store(7, std::sync::atomic::Ordering::Relaxed);
             })
             .expect("submit follow-up");
         let shared = Arc::clone(&executor.shared);
         executor.shutdown();
-        assert_eq!(probe.load(Ordering::Relaxed), 7, "worker survived a panic");
-        assert_eq!(shared.jobs_panicked.load(Ordering::Relaxed), 1);
-        assert_eq!(shared.jobs_run.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            probe.load(std::sync::atomic::Ordering::Relaxed),
+            7,
+            "worker survived a panic"
+        );
+        assert_eq!(Counter::load(&shared.jobs_panicked), 1);
+        assert_eq!(Counter::load(&shared.jobs_run), 2);
     }
 
     #[test]

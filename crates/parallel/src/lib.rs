@@ -51,8 +51,9 @@ use std::sync::OnceLock;
 
 pub mod executor;
 pub mod shutdown;
+pub mod sync;
 
-pub use executor::{Executor, SubmitError};
+pub use executor::{Executor, ExecutorCore, ExecutorStats, SubmitError};
 pub use shutdown::{install_signal_handler, request_shutdown, shutdown_requested};
 
 /// Sentinel meaning "no explicit [`set_max_threads`] call yet".

@@ -1,0 +1,218 @@
+//! The synchronization-backend seam: every primitive the long-lived
+//! [`crate::executor`] relies on — a mutex+condvar *monitor*, an
+//! acquire/release boolean flag, a relaxed event counter, and thread
+//! spawn/join — expressed as traits so the same executor code can run on
+//! real [`std::sync`] primitives in production and on instrumented shims
+//! under the `grgad-check` model checker.
+//!
+//! Production code never names these traits: [`crate::Executor`] is an
+//! alias for `ExecutorCore<StdBackend>` and behaves exactly as before.
+//! The model checker instantiates `ExecutorCore<ModelBackend>` with shims
+//! that route every acquire/release/wait/notify/load/store through a
+//! controlled cooperative scheduler, so bounded *exhaustive* interleaving
+//! exploration runs against the real scheduling logic, not a port of it
+//! (DESIGN.md §12).
+//!
+//! The seam is deliberately coarse: a [`Monitor`] couples a mutex with its
+//! condvar because that is the only pattern the executor uses (a queue and
+//! its wake signal), and it spares the traits a cross-type guard dance.
+//! Atomic orderings are fixed by the trait contract ([`Flag`] is
+//! acquire/release, [`Counter`] is relaxed) rather than parameterized —
+//! the model treats both as sequentially consistent, which is strictly
+//! stronger; weak-memory effects remain ThreadSanitizer's job.
+
+use std::ops::DerefMut;
+
+/// A mutex paired with its condition variable. `Guard` is the RAII lock
+/// guard; dropping it releases the lock.
+pub trait Monitor<T>: Send + Sync {
+    /// The RAII lock guard type.
+    type Guard<'a>: DerefMut<Target = T>
+    where
+        Self: 'a,
+        T: 'a;
+
+    /// A monitor owning `value`.
+    fn new(value: T) -> Self;
+
+    /// Acquires the lock, blocking until it is free. Poisoning is
+    /// recovered from (the workspace convention: a poisoned queue is
+    /// still a queue).
+    fn lock(&self) -> Self::Guard<'_>;
+
+    /// Atomically releases the guard and blocks until notified, then
+    /// reacquires the lock. Callers must re-check their predicate in a
+    /// loop (spurious wakeups are allowed; lint rule C2 enforces the
+    /// loop shape statically).
+    fn wait<'a>(&'a self, guard: Self::Guard<'a>) -> Self::Guard<'a>;
+
+    /// Wakes one waiter, if any.
+    fn notify_one(&self);
+
+    /// Wakes every waiter.
+    fn notify_all(&self);
+}
+
+/// An `AtomicBool` with acquire loads and release stores.
+pub trait Flag: Send + Sync {
+    fn new(value: bool) -> Self;
+    fn load(&self) -> bool;
+    fn store(&self, value: bool);
+}
+
+/// An `AtomicU64` event counter with relaxed loads and adds.
+pub trait Counter: Send + Sync {
+    fn new(value: u64) -> Self;
+    fn load(&self) -> u64;
+    fn add(&self, n: u64);
+}
+
+/// The full backend: primitive types plus thread spawn/join.
+pub trait Backend: 'static {
+    type Monitor<T: Send + 'static>: Monitor<T>;
+    type Flag: Flag;
+    type Counter: Counter;
+    type JoinHandle: Send;
+
+    /// Spawns a worker thread (a cooperative task under the model).
+    ///
+    /// # Panics
+    /// Panics if the underlying thread cannot be spawned.
+    fn spawn(name: String, body: impl FnOnce() + Send + 'static) -> Self::JoinHandle;
+
+    /// Joins a spawned thread. A panic on the worker is swallowed — the
+    /// executor's workers catch job unwinds themselves, so a panic here
+    /// is already a bug being contained, not propagated.
+    fn join(handle: Self::JoinHandle);
+}
+
+/// The production backend: real `std::sync` primitives and OS threads.
+pub struct StdBackend;
+
+/// `std::sync::Mutex` + `Condvar`, with poison recovery on every path.
+pub struct StdMonitor<T> {
+    mutex: std::sync::Mutex<T>,
+    condvar: std::sync::Condvar,
+}
+
+impl<T: Send> Monitor<T> for StdMonitor<T> {
+    type Guard<'a>
+        = std::sync::MutexGuard<'a, T>
+    where
+        T: 'a;
+
+    fn new(value: T) -> Self {
+        StdMonitor {
+            mutex: std::sync::Mutex::new(value),
+            condvar: std::sync::Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> Self::Guard<'_> {
+        self.mutex
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn wait<'a>(&'a self, guard: Self::Guard<'a>) -> Self::Guard<'a> {
+        self.condvar
+            // grgad-lint: allow(C2) reason="trait forwarder, not a wait site; predicate loops are enforced at every call site of Monitor::wait"
+            .wait(guard)
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn notify_one(&self) {
+        self.condvar.notify_one();
+    }
+
+    fn notify_all(&self) {
+        self.condvar.notify_all();
+    }
+}
+
+impl Flag for std::sync::atomic::AtomicBool {
+    fn new(value: bool) -> Self {
+        std::sync::atomic::AtomicBool::new(value)
+    }
+
+    fn load(&self) -> bool {
+        std::sync::atomic::AtomicBool::load(self, std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn store(&self, value: bool) {
+        std::sync::atomic::AtomicBool::store(self, value, std::sync::atomic::Ordering::Release);
+    }
+}
+
+impl Counter for std::sync::atomic::AtomicU64 {
+    fn new(value: u64) -> Self {
+        std::sync::atomic::AtomicU64::new(value)
+    }
+
+    fn load(&self) -> u64 {
+        std::sync::atomic::AtomicU64::load(self, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn add(&self, n: u64) {
+        std::sync::atomic::AtomicU64::fetch_add(self, n, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+impl Backend for StdBackend {
+    type Monitor<T: Send + 'static> = StdMonitor<T>;
+    type Flag = std::sync::atomic::AtomicBool;
+    type Counter = std::sync::atomic::AtomicU64;
+    type JoinHandle = std::thread::JoinHandle<()>;
+
+    fn spawn(name: String, body: impl FnOnce() + Send + 'static) -> Self::JoinHandle {
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(body)
+            .expect("backend worker threads must spawn")
+    }
+
+    fn join(handle: Self::JoinHandle) {
+        let _ = handle.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_monitor_lock_wait_notify() {
+        let monitor: StdMonitor<Vec<u32>> = Monitor::new(vec![1]);
+        {
+            let mut guard = monitor.lock();
+            guard.push(2);
+        }
+        assert_eq!(*monitor.lock(), vec![1, 2]);
+        // notify with no waiter is a no-op, not an error.
+        monitor.notify_one();
+        monitor.notify_all();
+    }
+
+    #[test]
+    fn std_flag_and_counter_roundtrip() {
+        let flag = <std::sync::atomic::AtomicBool as Flag>::new(false);
+        assert!(!Flag::load(&flag));
+        Flag::store(&flag, true);
+        assert!(Flag::load(&flag));
+
+        let counter = <std::sync::atomic::AtomicU64 as Counter>::new(5);
+        Counter::add(&counter, 3);
+        assert_eq!(Counter::load(&counter), 8);
+    }
+
+    #[test]
+    fn std_spawn_join_runs_body() {
+        let flag = std::sync::Arc::new(<std::sync::atomic::AtomicBool as Flag>::new(false));
+        let inner = std::sync::Arc::clone(&flag);
+        let handle = StdBackend::spawn("sync-test".to_string(), move || {
+            Flag::store(&*inner, true);
+        });
+        StdBackend::join(handle);
+        assert!(Flag::load(&*flag));
+    }
+}

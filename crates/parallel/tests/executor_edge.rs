@@ -1,0 +1,187 @@
+//! Executor edge cases that the in-crate unit tests skip: capacity-1
+//! queues (fill, reject, drain, resubmit), shutdown racing a full queue,
+//! and panic counting under concurrent submitters.
+//!
+//! Everything here is Miri-enabled by design (ISSUE 8 satellite): no
+//! spin-waits, no timeouts — all cross-thread sequencing goes through
+//! blocking `mpsc` channel handshakes, which the interpreter executes
+//! fine at small iteration counts. The executor is the only long-lived
+//! thread code in the workspace, so this file is its UB pass.
+
+use std::sync::{mpsc, Arc, Mutex};
+
+use grgad_parallel::{Executor, SubmitError};
+
+/// Parks the single worker of `executor` inside a job. Returns the gate
+/// sender; dropping or sending on it releases the worker. The handshake
+/// guarantees that on return the worker has *dequeued* the blocker, so
+/// the (capacity-1) queue is observably empty.
+fn park_worker(executor: &Executor) -> mpsc::Sender<()> {
+    let (gate_tx, gate_rx) = mpsc::channel::<()>();
+    let (started_tx, started_rx) = mpsc::channel::<()>();
+    executor
+        .try_submit(0, move || {
+            started_tx.send(()).expect("report start");
+            // Released by sender drop (RecvError) or an explicit send.
+            let _ = gate_rx.recv();
+        })
+        .expect("empty queue accepts the blocker");
+    started_rx.recv().expect("worker must start the blocker");
+    gate_tx
+}
+
+#[test]
+fn capacity_one_fill_reject_drain_resubmit() {
+    let executor = Executor::new(1, 1);
+    let gate = park_worker(&executor);
+
+    let (done_tx, done_rx) = mpsc::channel::<u32>();
+    // Fill: the single slot takes one job while the worker is parked.
+    let tx = done_tx.clone();
+    executor
+        .try_submit(0, move || tx.send(1).expect("send"))
+        .expect("one job fits the capacity-1 queue");
+    // Reject: the second submission must shed, not block.
+    let rejected = executor.try_submit(0, || {});
+    assert_eq!(
+        rejected,
+        Err(SubmitError::Full {
+            shard: 0,
+            capacity: 1
+        }),
+        "full capacity-1 queue must reject"
+    );
+
+    // Drain: release the worker and wait for the queued job to finish.
+    gate.send(()).expect("release worker");
+    assert_eq!(done_rx.recv().expect("queued job runs"), 1);
+
+    // Resubmit: the drained slot is usable again.
+    let tx = done_tx.clone();
+    executor
+        .try_submit(0, move || tx.send(2).expect("send"))
+        .expect("drained queue accepts again");
+    assert_eq!(done_rx.recv().expect("resubmitted job runs"), 2);
+
+    let stats = executor.shutdown_stats();
+    assert_eq!(stats.jobs_run, 3, "blocker + filled + resubmitted");
+    assert_eq!(stats.jobs_panicked, 0);
+}
+
+#[test]
+fn shutdown_while_queue_full_still_drains_accepted_jobs() {
+    let executor = Executor::new(1, 1);
+    let gate = park_worker(&executor);
+
+    let ran = Arc::new(Mutex::new(false));
+    let flag = Arc::clone(&ran);
+    executor
+        .try_submit(0, move || {
+            *flag.lock().unwrap_or_else(|poisoned| poisoned.into_inner()) = true;
+        })
+        .expect("one job fits");
+    assert!(
+        executor.try_submit(0, || {}).is_err(),
+        "queue is full going into shutdown"
+    );
+
+    // Release the worker from a helper thread *after* shutdown has begun
+    // parking on the drain, so shutdown really does overlap a full queue.
+    let releaser = std::thread::spawn(move || gate.send(()).expect("release"));
+    let stats = executor.shutdown_stats();
+    releaser.join().expect("releaser joins");
+
+    assert!(
+        *ran.lock().unwrap_or_else(|poisoned| poisoned.into_inner()),
+        "the queued job must run before shutdown returns"
+    );
+    assert_eq!(
+        stats.jobs_run, 2,
+        "blocker + queued job, rejected job never"
+    );
+}
+
+#[test]
+fn jobs_panicked_counts_under_concurrent_submitters() {
+    let executor = Executor::new(2, 64);
+    let (accepted_ok, accepted_bad) = std::thread::scope(|scope| {
+        let submit_ok = scope.spawn(|| {
+            let mut accepted = 0u64;
+            for i in 0..4u64 {
+                if executor
+                    .try_submit(usize::try_from(i).unwrap_or(0), || {})
+                    .is_ok()
+                {
+                    accepted += 1;
+                }
+            }
+            accepted
+        });
+        let submit_bad = scope.spawn(|| {
+            let mut accepted = 0u64;
+            for i in 0..4u64 {
+                if executor
+                    .try_submit(usize::try_from(i).unwrap_or(0), || {
+                        panic!("deliberate job panic")
+                    })
+                    .is_ok()
+                {
+                    accepted += 1;
+                }
+            }
+            accepted
+        });
+        (
+            submit_ok.join().expect("ok submitter"),
+            submit_bad.join().expect("bad submitter"),
+        )
+    });
+
+    let stats = executor.shutdown_stats();
+    assert_eq!(
+        stats.jobs_run,
+        accepted_ok + accepted_bad,
+        "every accepted job runs, panicking or not"
+    );
+    assert_eq!(
+        stats.jobs_panicked, accepted_bad,
+        "exactly the panicking jobs are counted"
+    );
+}
+
+#[test]
+fn small_iteration_submit_drain_shutdown() {
+    // The minimal submit → drain → shutdown cycle, sized for Miri.
+    let executor = Executor::new(2, 4);
+    let (tx, rx) = mpsc::channel::<u32>();
+    for value in 0..3u32 {
+        let tx = tx.clone();
+        executor
+            .try_submit(usize::try_from(value).unwrap_or(0), move || {
+                tx.send(value).expect("send");
+            })
+            .expect("capacity 4 fits");
+    }
+    drop(tx);
+    let mut got: Vec<u32> = rx.iter().collect();
+    got.sort_unstable();
+    assert_eq!(got, vec![0, 1, 2]);
+    let stats = executor.shutdown_stats();
+    assert_eq!(stats.jobs_run, 3);
+    assert_eq!(stats.jobs_panicked, 0);
+}
+
+#[test]
+fn shard_indices_wrap_instead_of_panicking() {
+    let executor = Executor::new(2, 4);
+    let (tx, rx) = mpsc::channel::<usize>();
+    for shard in [0usize, 1, 2, 99] {
+        let tx = tx.clone();
+        executor
+            .try_submit(shard, move || tx.send(shard).expect("send"))
+            .expect("wrapped shard index is valid");
+    }
+    drop(tx);
+    assert_eq!(rx.iter().count(), 4);
+    executor.shutdown();
+}

@@ -48,6 +48,6 @@ pub use client::HostClient;
 pub use framing::{read_frame, write_frame, FrameEvent, MAX_FRAME_BYTES};
 pub use grgad_error::GrgadError;
 pub use hostproto::{op_hint, parse_host_request, validate_tenant_name, HostRequest};
-pub use registry::{EngineRegistry, TenantRoute};
-pub use scheduler::{shard_for_tenant, ResponseWriter, Scheduler};
+pub use registry::{EngineRegistry, EngineRegistryCore, TenantRoute};
+pub use scheduler::{shard_for_tenant, ResponseWriter, ResponseWriterCore, Scheduler};
 pub use worker::{serve, ListenAddr, ServerConfig};

@@ -14,9 +14,9 @@
 //! state, even while the old session's eviction job is still queued.
 
 use std::collections::BTreeMap;
-use std::sync::{Mutex, MutexGuard};
 
 use grgad_error::GrgadError;
+use grgad_parallel::sync::{Backend, Monitor, StdBackend};
 
 use crate::hostproto::validate_tenant_name;
 
@@ -45,21 +45,32 @@ struct RegistryInner {
 }
 
 /// Maps tenant names to routes; shared by every connection thread.
-#[derive(Default)]
-pub struct EngineRegistry {
-    inner: Mutex<RegistryInner>,
+/// Generic over the sync [`Backend`] so `grgad-check` can model-check the
+/// drop+create epoch-freshness invariant; production code uses the
+/// [`EngineRegistry`] alias.
+pub struct EngineRegistryCore<B: Backend> {
+    inner: B::Monitor<RegistryInner>,
 }
 
-impl EngineRegistry {
+/// The production registry, on real `std::sync` primitives.
+pub type EngineRegistry = EngineRegistryCore<StdBackend>;
+
+impl<B: Backend> Default for EngineRegistryCore<B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<B: Backend> EngineRegistryCore<B> {
     /// An empty registry.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            inner: B::Monitor::new(RegistryInner::default()),
+        }
     }
 
-    fn lock(&self) -> MutexGuard<'_, RegistryInner> {
-        self.inner
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    fn lock(&self) -> <B::Monitor<RegistryInner> as Monitor<RegistryInner>>::Guard<'_> {
+        self.inner.lock()
     }
 
     /// Creates a tenant (no engine loaded until its first `load` op).

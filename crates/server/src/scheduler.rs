@@ -22,9 +22,10 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::io::Write;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use grgad_error::GrgadError;
+use grgad_parallel::sync::{Backend, Monitor, StdBackend};
 use grgad_parallel::{Executor, SubmitError};
 use grgad_serve::Session;
 
@@ -67,16 +68,21 @@ struct WriterState {
 /// Writes one connection's response frames in request order, buffering
 /// responses that complete early. Shared between the connection's reader
 /// thread (host-op and error responses) and the executor workers (engine-op
-/// responses).
-pub struct ResponseWriter {
-    state: Mutex<WriterState>,
+/// responses). Generic over the sync [`Backend`] so `grgad-check` can
+/// model-check the in-order-flush invariant; production code uses the
+/// [`ResponseWriter`] alias.
+pub struct ResponseWriterCore<B: Backend> {
+    state: B::Monitor<WriterState>,
 }
 
-impl ResponseWriter {
+/// The production response writer, on real `std::sync` primitives.
+pub type ResponseWriter = ResponseWriterCore<StdBackend>;
+
+impl<B: Backend> ResponseWriterCore<B> {
     /// A writer over the connection's send half.
     pub fn new(sink: Box<dyn Write + Send>) -> Arc<Self> {
         Arc::new(Self {
-            state: Mutex::new(WriterState {
+            state: B::Monitor::new(WriterState {
                 next: 0,
                 pending: BTreeMap::new(),
                 sink,
@@ -89,10 +95,7 @@ impl ResponseWriter {
     /// flushed) as soon as the sequence is contiguous. Duplicate or stale
     /// sequence numbers are a caller bug and are discarded.
     pub fn complete(&self, seq: u64, response_line: String) {
-        let mut state = self
-            .state
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut state = self.state.lock();
         if seq >= state.next {
             state.pending.insert(seq, response_line);
         }
@@ -116,18 +119,12 @@ impl ResponseWriter {
     /// Sequence numbers flushed (or discarded after a write failure) so
     /// far: all of `0..flushed()` are finished.
     pub fn flushed(&self) -> u64 {
-        self.state
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .next
+        self.state.lock().next
     }
 
     /// True once a write failed and the connection is effectively dead.
     pub fn failed(&self) -> bool {
-        self.state
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .failed
+        self.state.lock().failed
     }
 }
 
@@ -224,6 +221,7 @@ fn map_submit_error(e: SubmitError) -> GrgadError {
 mod tests {
     use super::*;
     use crate::registry::EngineRegistry;
+    use std::sync::Mutex;
 
     #[test]
     fn shard_routing_is_stable_and_in_range() {

@@ -1,0 +1,85 @@
+//! Model-checks the `EngineRegistry` epoch-freshness invariant: however a
+//! drop+re-create of a tenant interleaves with concurrent routing, a
+//! route handed out for the new incarnation never aliases the old one's
+//! worker-local session key. This is the real `EngineRegistryCore` under
+//! the instrumented backend.
+
+use std::sync::{Arc, Mutex};
+
+use grgad_check::model::{self, ModelBackend};
+use grgad_check::{check, Config};
+use grgad_server::EngineRegistryCore;
+
+fn config() -> Config {
+    Config {
+        max_preemptions: 2,
+        max_schedules: 40_000,
+        max_steps: 20_000,
+        spurious_wakeups: false,
+        max_spurious_wakes: 2,
+        sleep_sets: true,
+    }
+}
+
+#[test]
+fn recreate_never_aliases_the_dropped_incarnation() {
+    let outcome = check(&config(), || {
+        let registry: Arc<EngineRegistryCore<ModelBackend>> = Arc::new(EngineRegistryCore::new());
+        let first = registry.create("acme").expect("create").key();
+
+        // One task routes concurrently with the drop+create; it must see
+        // either the old or the new incarnation, never a third state.
+        let routes = Arc::new(Mutex::new(Vec::new()));
+        let (registry_r, routes_r) = (Arc::clone(&registry), Arc::clone(&routes));
+        let router = model::spawn(move || {
+            if let Ok(route) = registry_r.route("acme") {
+                routes_r
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .push(route.key());
+            }
+        });
+
+        registry.drop_tenant("acme").expect("drop");
+        let second = registry.create("acme").expect("re-create").key();
+        model::join(router);
+
+        assert_ne!(first, second, "new incarnation must get a fresh key");
+        for seen in routes.lock().unwrap_or_else(|p| p.into_inner()).iter() {
+            assert!(
+                *seen == first || *seen == second,
+                "route {seen} belongs to no incarnation"
+            );
+        }
+        assert_eq!(registry.route("acme").expect("route").key(), second);
+    });
+    assert!(
+        outcome.schedules >= 5,
+        "expected a real interleaving space, got {}",
+        outcome.schedules
+    );
+    assert!(!outcome.truncated);
+}
+
+#[test]
+fn concurrent_creates_of_distinct_tenants_both_land() {
+    let outcome = check(&config(), || {
+        let registry: Arc<EngineRegistryCore<ModelBackend>> = Arc::new(EngineRegistryCore::new());
+        let registry_w = Arc::clone(&registry);
+        let worker = model::spawn(move || {
+            registry_w.create("alpha").expect("create alpha");
+        });
+        registry.create("beta").expect("create beta");
+        model::join(worker);
+        assert_eq!(registry.tenants(), vec!["alpha", "beta"]);
+        let alpha = registry.route("alpha").expect("alpha");
+        let beta = registry.route("beta").expect("beta");
+        assert_ne!(alpha.epoch, beta.epoch, "epochs are process-unique");
+    });
+    assert!(
+        outcome.schedules >= 3,
+        "expected a real interleaving space, got {}",
+        outcome.schedules
+    );
+    assert!(!outcome.truncated);
+}
