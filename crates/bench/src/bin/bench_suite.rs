@@ -200,9 +200,10 @@ fn main() -> ExitCode {
             progress(
                 "bench_suite",
                 format!(
-                    "golden gate passed ({} workloads within ±{}, {} serve pins)",
+                    "golden gate passed ({} workloads within ±{}, {} delta-stream pins, {} serve pins)",
                     golden.workloads.len(),
                     golden.tolerance,
+                    golden.delta_streams.len(),
                     golden.serve.len()
                 ),
             );

@@ -36,8 +36,10 @@ use serde::{Deserialize, Serialize};
 /// misparsing. v2 added the delta-stream workload records
 /// ([`DeltaStreamRecord`]); v3 added the serving-host throughput records
 /// ([`crate::serve_bench::ServeThroughputRecord`]) and their golden
-/// parity pins.
-pub const BENCH_FORMAT: &str = "grgad-bench/v3";
+/// parity pins; v4 added the incremental-reuse counters and per-round
+/// parity flags to delta-stream records, plus their golden pins
+/// ([`GoldenDeltaStream`]: parity + a minimum incremental-speedup floor).
+pub const BENCH_FORMAT: &str = "grgad-bench/v4";
 
 /// One pipeline stage execution inside a workload run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -130,6 +132,18 @@ pub struct DeltaStreamRecord {
     /// True when every incremental score was bit-identical to the full
     /// re-score on the same graph state (checked every round).
     pub parity_ok: bool,
+    /// Reconstruction errors recomputed across the run (dirty hop-balls
+    /// only on incremental rounds; every node on full populates).
+    pub nodes_rescored: u64,
+    /// Anchors carried over unchanged from the previous round.
+    pub anchors_reused: u64,
+    /// Candidate-group draws that went through a fresh topology search.
+    pub groups_resampled: u64,
+    /// Candidate-group draws replayed from the memoized draw cache.
+    pub groups_reused: u64,
+    /// Per-round parity flags in round order; [`Self::parity_ok`] is their
+    /// conjunction, kept so the gate can name the first diverging round.
+    pub round_parity: Vec<bool>,
 }
 
 /// A full suite run: the content of one `BENCH_<suite>.json`.
@@ -322,6 +336,31 @@ pub fn run_workload(dataset: &GrGadDataset, config: &TpGrGadConfig) -> WorkloadR
     run_workload_detailed(dataset, config).0
 }
 
+/// The two delta-stream regimes the suite benchmarks. They bound the
+/// incremental path from both ends: [`Churn`](DeltaStreamKind::Churn) is the
+/// adversarial mix (topology rewires scramble anchors and candidate draws, so
+/// incremental mostly proves it never *loses* to full), while
+/// [`Drift`](DeltaStreamKind::Drift) is the realistic serving regime (small
+/// attribute nudges, stable anchors, wholesale draw replay) where the
+/// incremental speedup target applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaStreamKind {
+    /// Mixed feature rewrites + edge insertions/removals.
+    Churn,
+    /// Low-churn attribute drift: ±[`DRIFT_NUDGE`] nudges, no topology edits.
+    Drift,
+}
+
+impl DeltaStreamKind {
+    /// Workload-name suffix (`powerlaw-600-deltas` / `powerlaw-600-drift`).
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            DeltaStreamKind::Churn => "deltas",
+            DeltaStreamKind::Drift => "drift",
+        }
+    }
+}
+
 /// Generates one seeded mutation round: a mix of feature updates, edge
 /// insertions between random pairs and removals of existing edges. All
 /// randomness comes from the caller's RNG, so the stream is a pure function
@@ -358,6 +397,28 @@ fn seeded_deltas<R: Rng>(rng: &mut R, graph: &grgad_graph::Graph, count: usize) 
     deltas
 }
 
+/// Generates one low-churn drift round: `count` random nodes each get every
+/// feature nudged by ±[`DRIFT_NUDGE`]. Topology is untouched, so anchors stay
+/// stable round over round and the memoized candidate draws replay wholesale
+/// — the regime the incremental score path is optimized for.
+fn seeded_drift_deltas<R: Rng>(
+    rng: &mut R,
+    graph: &grgad_graph::Graph,
+    count: usize,
+) -> Vec<GraphDelta> {
+    let n = graph.num_nodes();
+    let mut deltas = Vec::with_capacity(count);
+    for _ in 0..count {
+        let node = rng.gen_range(0..n);
+        let mut features = graph.features().row(node).to_vec();
+        for x in features.iter_mut() {
+            *x += rng.gen_range(-DRIFT_NUDGE..DRIFT_NUDGE);
+        }
+        deltas.push(GraphDelta::SetFeatures { node, features });
+    }
+    deltas
+}
+
 /// Runs the delta-stream workload: fit once, bind a [`ScoringEngine`],
 /// then for `rounds` rounds apply `deltas_per_round` seeded mutations and
 /// re-score both incrementally (engine, cached embeddings) and from scratch
@@ -368,6 +429,7 @@ pub fn run_delta_stream(
     config: &TpGrGadConfig,
     rounds: usize,
     deltas_per_round: usize,
+    kind: DeltaStreamKind,
 ) -> DeltaStreamRecord {
     let trained = TpGrGad::new(config.clone())
         .fit(&dataset.graph)
@@ -381,11 +443,16 @@ pub fn run_delta_stream(
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x9e37));
     let mut incremental = Duration::ZERO;
     let mut full = Duration::ZERO;
-    let mut parity_ok = true;
+    let mut round_parity = Vec::with_capacity(rounds);
     for _ in 0..rounds {
         // RemoveEdge picks from the *current* adjacency, so generate against
         // the live graph before applying.
-        let deltas = seeded_deltas(&mut rng, engine.graph(), deltas_per_round);
+        let deltas = match kind {
+            DeltaStreamKind::Churn => seeded_deltas(&mut rng, engine.graph(), deltas_per_round),
+            DeltaStreamKind::Drift => {
+                seeded_drift_deltas(&mut rng, engine.graph(), deltas_per_round)
+            }
+        };
         for delta in &deltas {
             engine.apply_delta(delta).expect("seeded deltas are valid");
         }
@@ -399,16 +466,18 @@ pub fn run_delta_stream(
         let full_result = engine.model().score(&snapshot).expect("full score");
         full += t.elapsed();
 
-        parity_ok &= inc_result.scores == full_result.scores
-            && inc_result.candidate_groups == full_result.candidate_groups
-            && inc_result.predicted_anomalous == full_result.predicted_anomalous;
+        round_parity.push(
+            inc_result.scores == full_result.scores
+                && inc_result.candidate_groups == full_result.candidate_groups
+                && inc_result.predicted_anomalous == full_result.predicted_anomalous,
+        );
     }
 
     let stats = engine.stats();
     let incremental_millis = millis(incremental);
     let full_millis = millis(full);
     DeltaStreamRecord {
-        workload: format!("{}-deltas", dataset.name),
+        workload: format!("{}-{}", dataset.name, kind.suffix()),
         seed: config.seed,
         nodes: dataset.graph.num_nodes(),
         rounds,
@@ -422,7 +491,12 @@ pub fn run_delta_stream(
         },
         cache_hits: stats.cache_hits,
         cache_misses: stats.cache_misses,
-        parity_ok,
+        parity_ok: round_parity.iter().all(|&ok| ok),
+        nodes_rescored: stats.nodes_rescored,
+        anchors_reused: stats.anchors_reused,
+        groups_resampled: stats.groups_resampled,
+        groups_reused: stats.groups_reused,
+        round_parity,
     }
 }
 
@@ -468,7 +542,7 @@ pub fn run_suite(
             if log {
                 crate::progress(
                     "bench_suite",
-                    format!("preset={} nodes={nodes}: delta stream", preset.name()),
+                    format!("preset={} nodes={nodes}: delta streams", preset.name()),
                 );
             }
             delta_streams.push(run_delta_stream(
@@ -476,6 +550,14 @@ pub fn run_suite(
                 &config,
                 DELTA_STREAM_ROUNDS,
                 DELTA_STREAM_DELTAS_PER_ROUND,
+                DeltaStreamKind::Churn,
+            ));
+            delta_streams.push(run_delta_stream(
+                &dataset,
+                &config,
+                DELTA_STREAM_ROUNDS,
+                DRIFT_STREAM_DELTAS_PER_ROUND,
+                DeltaStreamKind::Drift,
             ));
         } else if log {
             crate::progress(
@@ -506,8 +588,19 @@ pub const MAX_DELTA_STREAM_NODES: usize = 10_000;
 /// Mutation rounds per delta-stream workload.
 pub const DELTA_STREAM_ROUNDS: usize = 4;
 
-/// Deltas applied per mutation round.
+/// Deltas applied per mutation round of the churn stream.
 pub const DELTA_STREAM_DELTAS_PER_ROUND: usize = 24;
+
+/// Deltas applied per mutation round of the low-churn drift stream. Kept
+/// small on purpose: the drift workload models steady-state serving (a
+/// couple of metadata updates between scores), where the incremental path
+/// must deliver its headline speedup.
+pub const DRIFT_STREAM_DELTAS_PER_ROUND: usize = 2;
+
+/// Magnitude of each per-feature drift nudge (uniform in `±DRIFT_NUDGE`).
+/// Small enough that anchor sets stay stable across rounds, which is what
+/// lets the memoized candidate draws replay instead of re-searching.
+pub const DRIFT_NUDGE: f32 = 0.02;
 
 /// Renders a report as the human-readable view of the same data the JSON
 /// carries — `bench_suite` and `diagnose` both print this, so the two views
@@ -547,7 +640,8 @@ pub fn render_report(report: &BenchReport) -> String {
     for d in &report.delta_streams {
         out.push_str(&format!(
             "{:16} nodes={:<7} {} rounds x {} deltas: incremental={:>8.1}ms full={:>8.1}ms \
-             speedup={:.2}x cache={}h/{}m parity={}\n",
+             speedup={:.2}x cache={}h/{}m rescored={} anchors_reused={} draws={}r/{}c \
+             parity={}\n",
             d.workload,
             d.nodes,
             d.rounds,
@@ -557,6 +651,10 @@ pub fn render_report(report: &BenchReport) -> String {
             d.speedup,
             d.cache_hits,
             d.cache_misses,
+            d.nodes_rescored,
+            d.anchors_reused,
+            d.groups_resampled,
+            d.groups_reused,
             if d.parity_ok { "ok" } else { "FAIL" },
         ));
     }
@@ -611,6 +709,33 @@ pub struct GoldenServe {
     pub parity_ok: bool,
 }
 
+/// A pinned delta-stream workload: bit-for-bit parity every round, plus a
+/// conservative floor on the incremental-vs-full speedup. The floor is
+/// pinned at half the measured speedup (never below 1.0, see
+/// [`pin_speedup_floor`]) so host-to-host timing variance cannot flake the
+/// gate while a real regression — the incremental path degrading back
+/// toward full-re-score cost — still fails it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GoldenDeltaStream {
+    /// Workload name, matched against [`DeltaStreamRecord::workload`].
+    pub workload: String,
+    /// Seed the record was pinned under.
+    pub seed: u64,
+    /// Pinned parity flag (always `true` in committed goldens).
+    pub parity_ok: bool,
+    /// Minimum `full_millis / incremental_millis` ratio the run must reach.
+    pub min_speedup: f64,
+}
+
+/// The conservative speedup floor `--write-golden` pins: half the measured
+/// speedup, rounded down to two decimals, never below 1.0.
+pub fn pin_speedup_floor(measured: f64) -> f64 {
+    if !measured.is_finite() {
+        return 1.0;
+    }
+    ((measured / 2.0) * 100.0).floor().max(100.0) / 100.0
+}
+
 /// A golden-metric snapshot: the quality gate for one suite.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GoldenMetrics {
@@ -622,6 +747,9 @@ pub struct GoldenMetrics {
     pub tolerance: f32,
     /// One pin per sweep point.
     pub workloads: Vec<GoldenWorkload>,
+    /// One pin per delta-stream workload (parity + speedup floor; empty
+    /// for suites without delta streams).
+    pub delta_streams: Vec<GoldenDeltaStream>,
     /// One pin per serving-host workload (empty for the fit/score suites).
     pub serve: Vec<GoldenServe>,
 }
@@ -641,6 +769,16 @@ impl GoldenMetrics {
                     seed: w.seed,
                     cr: w.metrics.cr,
                     auc: w.metrics.auc,
+                })
+                .collect(),
+            delta_streams: report
+                .delta_streams
+                .iter()
+                .map(|d| GoldenDeltaStream {
+                    workload: d.workload.clone(),
+                    seed: d.seed,
+                    parity_ok: d.parity_ok,
+                    min_speedup: pin_speedup_floor(d.speedup),
                 })
                 .collect(),
             serve: report
@@ -674,7 +812,9 @@ impl GoldenMetrics {
 ///
 /// Fails on: schema/suite mismatch, a pinned workload missing from the
 /// report (or run under a different seed), a report workload that is not
-/// pinned at all, and CR or AUC drifting beyond the snapshot's tolerance.
+/// pinned at all, CR or AUC drifting beyond the snapshot's tolerance, a
+/// delta-stream round losing bit-for-bit incremental parity, and the
+/// incremental speedup falling below its pinned floor.
 /// Every violation is reported, not just the first.
 pub fn compare_golden(report: &BenchReport, golden: &GoldenMetrics) -> Result<(), Vec<String>> {
     let mut failures = Vec::new();
@@ -722,6 +862,61 @@ pub fn compare_golden(report: &BenchReport, golden: &GoldenMetrics) -> Result<()
         if !golden.workloads.iter().any(|p| p.workload == run.workload) {
             failures.push(format!(
                 "workload `{}` is not pinned in the golden snapshot (re-pin with --write-golden)",
+                run.workload
+            ));
+        }
+    }
+    for pin in &golden.delta_streams {
+        let Some(run) = report
+            .delta_streams
+            .iter()
+            .find(|d| d.workload == pin.workload)
+        else {
+            failures.push(format!(
+                "pinned delta-stream workload `{}` missing from report",
+                pin.workload
+            ));
+            continue;
+        };
+        if run.seed != pin.seed {
+            failures.push(format!(
+                "{}: seed {} does not match pinned seed {}",
+                pin.workload, run.seed, pin.seed
+            ));
+            continue;
+        }
+        if run.parity_ok != pin.parity_ok {
+            failures.push(format!(
+                "{}: parity flag is {} (pinned {}) — incremental re-score diverged from full",
+                pin.workload, run.parity_ok, pin.parity_ok
+            ));
+        }
+        if pin.parity_ok {
+            if let Some(round) = run.round_parity.iter().position(|&ok| !ok) {
+                failures.push(format!(
+                    "{}: round {round} lost bit-for-bit incremental parity",
+                    pin.workload
+                ));
+            }
+        }
+        // NaN is rejected explicitly: `total_cmp` ranks NaN above +inf, so
+        // without the check a NaN speedup would sail over any floor.
+        let meets_floor = !run.speedup.is_nan() && run.speedup.total_cmp(&pin.min_speedup).is_ge();
+        if !meets_floor {
+            failures.push(format!(
+                "{}: incremental speedup {:.2}x fell below the pinned floor {:.2}x",
+                pin.workload, run.speedup, pin.min_speedup
+            ));
+        }
+    }
+    for run in &report.delta_streams {
+        if !golden
+            .delta_streams
+            .iter()
+            .any(|p| p.workload == run.workload)
+        {
+            failures.push(format!(
+                "delta-stream workload `{}` is not pinned in the golden snapshot (re-pin with --write-golden)",
                 run.workload
             ));
         }
@@ -878,8 +1073,9 @@ mod tests {
         let mut config = bench_config(120, 5);
         config.gae.epochs = 10;
         config.tpgcl.epochs = 3;
-        let record = run_delta_stream(&dataset, &config, 2, 9);
+        let record = run_delta_stream(&dataset, &config, 2, 9, DeltaStreamKind::Churn);
         assert!(record.parity_ok, "incremental must equal full re-score");
+        assert_eq!(record.round_parity, vec![true, true]);
         assert_eq!((record.rounds, record.deltas_per_round), (2, 9));
         assert!(record.workload.ends_with("-deltas"));
         assert!(record.incremental_millis > 0.0 && record.full_millis > 0.0);
@@ -887,6 +1083,117 @@ mod tests {
             record.cache_hits > 0,
             "small delta rounds must reuse cached embeddings: {record:?}"
         );
+        assert!(
+            record.groups_reused > 0,
+            "small delta rounds must replay memoized draws: {record:?}"
+        );
+        assert!(
+            record.nodes_rescored >= record.nodes as u64,
+            "the warm-up populate rescores every node once: {record:?}"
+        );
+    }
+
+    #[test]
+    fn drift_stream_keeps_parity_and_replays_draws() {
+        let dataset = example::generate(120, 5);
+        let mut config = bench_config(120, 5);
+        config.gae.epochs = 10;
+        config.tpgcl.epochs = 3;
+        let record = run_delta_stream(&dataset, &config, 2, 2, DeltaStreamKind::Drift);
+        assert!(record.parity_ok, "incremental must equal full re-score");
+        assert_eq!(record.round_parity, vec![true, true]);
+        assert!(record.workload.ends_with("-drift"));
+        assert!(
+            record.groups_reused > 0 && record.anchors_reused > 0,
+            "attribute drift must keep anchors stable and replay draws: {record:?}"
+        );
+        assert!(
+            record.nodes_rescored < (record.nodes as u64) * 3,
+            "drift rounds must patch hop balls, not refill the graph: {record:?}"
+        );
+    }
+
+    #[test]
+    fn delta_stream_golden_gate_pins_parity_and_speedup_floor() {
+        let record = DeltaStreamRecord {
+            workload: "example-deltas".to_string(),
+            seed: 5,
+            nodes: 120,
+            rounds: 2,
+            deltas_per_round: 9,
+            incremental_millis: 10.0,
+            full_millis: 60.0,
+            speedup: 6.0,
+            cache_hits: 10,
+            cache_misses: 5,
+            parity_ok: true,
+            nodes_rescored: 200,
+            anchors_reused: 12,
+            groups_resampled: 30,
+            groups_reused: 70,
+            round_parity: vec![true, true],
+        };
+        let mut report = tiny_report();
+        report.delta_streams = vec![record];
+        let golden = GoldenMetrics::from_report(&report, 0.02);
+        assert_eq!(golden.delta_streams.len(), 1);
+        assert!(
+            (golden.delta_streams[0].min_speedup - 3.0).abs() < 1e-9,
+            "floor is half the measured speedup: {golden:?}"
+        );
+        assert!(compare_golden(&report, &golden).is_ok());
+
+        // Timings may move freely above the floor.
+        let mut faster = report.clone();
+        faster.delta_streams[0].speedup = 20.0;
+        assert!(compare_golden(&faster, &golden).is_ok());
+
+        // Dropping below the floor fails the gate.
+        let mut slow = report.clone();
+        slow.delta_streams[0].speedup = 2.0;
+        let failures = compare_golden(&slow, &golden).unwrap_err();
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("below the pinned floor")),
+            "{failures:?}"
+        );
+
+        // A single diverging round fails even if the aggregate flag lies.
+        let mut round_broken = report.clone();
+        round_broken.delta_streams[0].round_parity[1] = false;
+        let failures = compare_golden(&round_broken, &golden).unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("round 1 lost")),
+            "{failures:?}"
+        );
+
+        // The aggregate parity flag is pinned too.
+        let mut broken = report.clone();
+        broken.delta_streams[0].parity_ok = false;
+        assert!(compare_golden(&broken, &golden).is_err());
+
+        // Missing pinned record and unpinned extra record both fail.
+        let mut missing = report.clone();
+        missing.delta_streams.clear();
+        let failures = compare_golden(&missing, &golden).unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("missing")),
+            "{failures:?}"
+        );
+        let mut extra = report.clone();
+        let mut second = extra.delta_streams[0].clone();
+        second.workload = "other-deltas".to_string();
+        extra.delta_streams.push(second);
+        let failures = compare_golden(&extra, &golden).unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("not pinned")),
+            "{failures:?}"
+        );
+
+        // A non-finite measured speedup pins the conservative 1.0 floor.
+        assert!((pin_speedup_floor(f64::INFINITY) - 1.0).abs() < 1e-9);
+        assert!((pin_speedup_floor(0.5) - 1.0).abs() < 1e-9);
     }
 
     #[test]

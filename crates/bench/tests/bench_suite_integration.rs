@@ -6,7 +6,7 @@
 use grgad_bench::serve_bench::{SERVE_CLIENTS, SERVE_WORKER_SWEEP};
 use grgad_bench::suite::{
     bench_config, compare_golden, load_golden, load_report, run_delta_stream, run_workload,
-    BenchReport, GoldenMetrics, SuitePreset, BENCH_FORMAT,
+    BenchReport, DeltaStreamKind, GoldenMetrics, SuitePreset, BENCH_FORMAT, MAX_DELTA_STREAM_NODES,
 };
 use grgad_datasets::powerlaw;
 
@@ -23,7 +23,13 @@ fn ci_smallest_report() -> BenchReport {
         workloads: vec![run_workload(&dataset, &config)],
         // Small delta rounds keep most candidate groups cache-valid, so the
         // incremental-beats-full assertion below has a comfortable margin.
-        delta_streams: vec![run_delta_stream(&dataset, &config, 3, 6)],
+        delta_streams: vec![run_delta_stream(
+            &dataset,
+            &config,
+            3,
+            6,
+            DeltaStreamKind::Churn,
+        )],
         serve: Vec::new(),
     }
 }
@@ -113,6 +119,49 @@ fn checked_in_goldens_match_schema_and_suites() {
             .collect();
         assert_eq!(pinned, expected, "{}", preset.name());
         assert!(golden.workloads.iter().all(|w| w.seed == 0));
+
+        // Delta-stream pins: a churn + drift pair per sweep point that runs
+        // the streams, all with parity pinned true and a speedup floor of at
+        // least 1.0 (the incremental path must never lose to a from-scratch
+        // re-score). The low-churn drift workload additionally pins a
+        // meaningful speedup floor: it models the steady-state serving
+        // regime the incremental path exists for, so losing that win is a
+        // regression even when parity holds.
+        let expected_deltas: Vec<String> = preset
+            .sizes()
+            .iter()
+            .filter(|&&n| n <= MAX_DELTA_STREAM_NODES)
+            .flat_map(|n| {
+                [
+                    format!("powerlaw-{n}-deltas"),
+                    format!("powerlaw-{n}-drift"),
+                ]
+            })
+            .collect();
+        let pinned_deltas: Vec<&str> = golden
+            .delta_streams
+            .iter()
+            .map(|p| p.workload.as_str())
+            .collect();
+        assert_eq!(pinned_deltas, expected_deltas, "{}", preset.name());
+        assert!(golden
+            .delta_streams
+            .iter()
+            .all(|p| p.seed == 0 && p.parity_ok && p.min_speedup >= 1.0));
+        let drift_floor = if preset == SuitePreset::Scale {
+            2.5
+        } else {
+            1.5
+        };
+        assert!(
+            golden
+                .delta_streams
+                .iter()
+                .filter(|p| p.workload.ends_with("-drift"))
+                .all(|p| p.min_speedup >= drift_floor),
+            "{}: drift pins must keep a real incremental win (floor {drift_floor}x)",
+            preset.name()
+        );
 
         if preset == SuitePreset::Serve {
             // The serve suite pins one record per worker-sweep point, each

@@ -32,9 +32,12 @@
 //! [`TrainedTpGrGad::check_compat`], [`TpGrGadConfig::validate`]) so the
 //! panic sites inside the numeric stages are unreachable for input that
 //! passed — the serving layer (`grgad-serve`) maps the error taxonomy
-//! straight onto its wire protocol. [`GroupEmbeddingCache`] is the seam
-//! that layer uses to re-score evolving graphs incrementally with
-//! bit-identical output (see DESIGN.md §8–9).
+//! straight onto its wire protocol. [`IncrementalState`] is the seam that
+//! layer uses to re-score evolving graphs incrementally with bit-identical
+//! output: it persists cached reconstruction errors, memoized candidate
+//! draws, and the [`GroupEmbeddingCache`] across
+//! [`TrainedTpGrGad::score_incremental`] rounds, recomputing only inside
+//! the dirty region (see DESIGN.md §8–9).
 
 // The serving contract: no `unwrap()` on the core public path — every
 // fallible surface returns `Result<_, GrgadError>` instead. Enforced here
@@ -44,11 +47,13 @@
 
 pub mod config;
 pub mod error;
+pub mod incremental;
 pub mod pipeline;
 pub mod stage;
 
 pub use config::{DetectorKind, TpGrGadConfig, TpGrGadConfigBuilder};
 pub use error::GrgadError;
+pub use incremental::{IncrementalState, IncrementalStats, ScoreMode};
 pub use pipeline::{GroupEmbeddingCache, TpGrGad, TpGrGadResult, TrainedTpGrGad};
 pub use stage::{
     peak_rss_bytes, NullObserver, PipelineObserver, PipelinePhase, PipelineStage, StageTimings,

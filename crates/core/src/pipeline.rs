@@ -8,7 +8,7 @@
 //! [`TpGrGad::detect`] is a thin `fit(g).score(g)` wrapper and produces
 //! bit-for-bit identical output.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
 use grgad_datasets::GrGadDataset;
@@ -18,10 +18,11 @@ use grgad_graph::{Graph, Group};
 use grgad_linalg::Matrix;
 use grgad_metrics::{evaluate_detection, DetectionReport};
 use grgad_outlier::{threshold_by_contamination, OutlierDetector};
-use grgad_sampling::{sample_candidate_groups, SamplingStats};
+use grgad_sampling::{sample_candidate_groups, sample_candidate_groups_cached, SamplingStats};
 use grgad_tpgcl::Tpgcl;
 
 use crate::config::TpGrGadConfig;
+use crate::incremental::{IncrementalState, ScoreMode};
 use crate::stage::{observe_stage, NullObserver, PipelineObserver, PipelinePhase, PipelineStage};
 
 /// Everything produced by one scoring run of the pipeline.
@@ -232,7 +233,7 @@ impl TpGrGad {
 /// once the cache exceeds a small multiple of the batch size, so a
 /// long-running engine's memory tracks its working set instead of its
 /// history.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct GroupEmbeddingCache {
     entries: BTreeMap<Group, Vec<f32>>,
     hits: u64,
@@ -304,6 +305,38 @@ impl GroupEmbeddingCache {
                 .iter()
                 .any(|&(u, v)| group.contains(u) && group.contains(v))
         });
+    }
+
+    /// Cache contents as a serde tree — groups flattened to node-id lists
+    /// so [`crate::IncrementalState`] can persist the cache without `Group`
+    /// carrying serde impls.
+    pub(crate) fn snapshot_value(&self) -> serde::Value {
+        use serde::Serialize;
+        let entries: Vec<(Vec<usize>, Vec<f32>)> = self
+            .entries
+            .iter()
+            .map(|(group, row)| (group.nodes().to_vec(), row.clone()))
+            .collect();
+        serde::Value::Map(vec![
+            ("entries".to_string(), entries.to_value()),
+            ("hits".to_string(), self.hits.to_value()),
+            ("misses".to_string(), self.misses.to_value()),
+        ])
+    }
+
+    /// Inverse of [`GroupEmbeddingCache::snapshot_value`].
+    pub(crate) fn from_snapshot_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::Deserialize;
+        let raw = Vec::<(Vec<usize>, Vec<f32>)>::from_value(value.field("entries")?)?;
+        let mut entries = BTreeMap::new();
+        for (nodes, row) in raw {
+            entries.insert(Group::new(nodes), row);
+        }
+        Ok(Self {
+            entries,
+            hits: u64::from_value(value.field("hits")?)?,
+            misses: u64::from_value(value.field("misses")?)?,
+        })
     }
 }
 
@@ -383,6 +416,8 @@ impl TrainedTpGrGad {
     /// invalidation contract ([`GroupEmbeddingCache::invalidate_nodes`] on
     /// every mutated node); the cache is refreshed with this run's
     /// embeddings on return.
+    #[deprecated(note = "use `score_incremental`, which also reuses node errors, \
+                anchors and candidate draws and tracks dirt itself")]
     pub fn score_cached(
         &self,
         graph: &Graph,
@@ -396,6 +431,8 @@ impl TrainedTpGrGad {
     /// incremental path with telemetry attached. Observation never touches
     /// the numeric path: results stay bit-identical to
     /// [`TrainedTpGrGad::score_cached`] under the same cache state.
+    #[deprecated(note = "use `score_incremental_observed`, which also reuses node \
+                errors, anchors and candidate draws and tracks dirt itself")]
     pub fn score_cached_observed(
         &self,
         graph: &Graph,
@@ -414,6 +451,195 @@ impl TrainedTpGrGad {
         observer: &mut dyn PipelineObserver,
     ) -> Result<TpGrGadResult, GrgadError> {
         self.score_impl(graph, observer, None)
+    }
+
+    /// Scores an evolving graph by patching the cached state in `state`
+    /// instead of recomputing the pipeline — the delta re-scoring path.
+    /// Equivalent to `score_incremental_observed` with a no-op observer.
+    ///
+    /// Callers record every mutation with [`IncrementalState::mark_node`] /
+    /// [`IncrementalState::mark_edge`] between scores; this method then
+    /// re-runs only dirty-region work at each level (reconstruction errors
+    /// on the GCN receptive-field ball, candidate draws through touched
+    /// topology, embeddings of touched groups) and consumes the recorded
+    /// dirt. The result is **bit-identical** to [`TrainedTpGrGad::score`]
+    /// on the same graph — DESIGN.md §9 states the invariant, and
+    /// `tests/incremental_parity.rs` plus the low-churn property test pin
+    /// it across seeds and thread counts.
+    ///
+    /// A cold state, an [`IncrementalState::invalidate`]d state, or a dirty
+    /// fraction above [`IncrementalState::max_dirty_fraction`] falls back
+    /// to a full recompute (reported as [`ScoreMode::Full`]) that refills
+    /// every cache, so the next round patches again.
+    ///
+    /// # Errors
+    /// Whatever [`TrainedTpGrGad::check_compat`] rejects. On error the
+    /// state is untouched: recorded dirt stays pending.
+    pub fn score_incremental(
+        &self,
+        graph: &Graph,
+        state: &mut IncrementalState,
+    ) -> Result<(TpGrGadResult, ScoreMode), GrgadError> {
+        self.score_incremental_observed(graph, state, &mut NullObserver)
+    }
+
+    /// [`TrainedTpGrGad::score_incremental`] with a [`PipelineObserver`]
+    /// receiving per-stage timing/workload reports. Stage-1 reports carry
+    /// the number of nodes actually re-scored (the dirty hop ball) rather
+    /// than the node count; observation never touches the numeric path.
+    pub fn score_incremental_observed(
+        &self,
+        graph: &Graph,
+        state: &mut IncrementalState,
+        observer: &mut dyn PipelineObserver,
+    ) -> Result<(TpGrGadResult, ScoreMode), GrgadError> {
+        self.check_compat(graph)?;
+        let config = &self.config;
+        grgad_parallel::set_max_threads(config.num_threads);
+
+        // Mode decision: the dirty-node fraction (touched nodes over the
+        // current node count) gates patching — past the threshold the hop
+        // balls cover most of the graph and patching costs more than it
+        // saves, so recompute everything and refill the caches instead.
+        let touched = state.dirty.touched_nodes();
+        let n = graph.num_nodes();
+        let fraction = if n == 0 {
+            1.0
+        } else {
+            touched.len() as f32 / n as f32
+        };
+        let mode = if state.errors.is_none() || fraction > state.max_dirty_fraction {
+            ScoreMode::Full
+        } else {
+            ScoreMode::Incremental
+        };
+        if mode == ScoreMode::Full {
+            state.errors = None;
+            state.draws.clear();
+            state.embeddings.clear();
+        }
+        let (dirty_nodes, topology_dirty): (BTreeSet<usize>, BTreeSet<usize>) = match mode {
+            ScoreMode::Full => (BTreeSet::new(), BTreeSet::new()),
+            ScoreMode::Incremental => (touched, state.dirty.topology_nodes()),
+        };
+
+        // Stage 1: anchor localization — reconstruction errors patched on
+        // the receptive-field hop ball of the dirty set (with the target
+        // rebuild skipped entirely on feature-only rounds), anchor
+        // selection re-run on the (cheap) full error vector.
+        let (anchor_nodes, node_errors, rescored) = observe_stage(
+            observer,
+            PipelineStage::AnchorLocalization,
+            PipelinePhase::Score,
+            || {
+                let (errors, rescored) = self.mhgae.infer_errors_cached(
+                    graph,
+                    &mut state.errors,
+                    &dirty_nodes,
+                    &topology_dirty,
+                );
+                let node_errors = errors.combined;
+                let anchors = select_anchor_nodes(&node_errors, config.anchor_fraction);
+                ((anchors, node_errors, rescored), rescored, 0)
+            },
+        );
+        state.nodes_rescored += rescored as u64;
+        state.record_anchor_reuse(&anchor_nodes);
+
+        // Stage 2: candidate sampling — prune draws whose search region
+        // touches dirty topology, then replay Alg. 1 through the memo
+        // (bit-identical because draws never consume RNG).
+        if mode == ScoreMode::Incremental {
+            state.draws.prune(graph, &topology_dirty, &config.sampling);
+        }
+        let (candidate_groups, sampling_stats) = observe_stage(
+            observer,
+            PipelineStage::CandidateSampling,
+            PipelinePhase::Score,
+            || {
+                let (groups, stats) = sample_candidate_groups_cached(
+                    graph,
+                    &anchor_nodes,
+                    &config.sampling,
+                    &mut state.draws,
+                );
+                let count = groups.len();
+                ((groups, stats), count, 0)
+            },
+        );
+
+        // Level 3 invalidation, then consume the dirt: per-member for node
+        // dirt, pairwise for edge dirt (an edge whose other endpoint lies
+        // outside a group cannot change that group's induced subgraph).
+        if mode == ScoreMode::Incremental {
+            let nodes: Vec<usize> = state.dirty.nodes().iter().copied().collect();
+            let edges: Vec<(usize, usize)> = state.dirty.edges().iter().copied().collect();
+            state.embeddings.invalidate_nodes(&nodes);
+            state.embeddings.invalidate_edges(&edges);
+        }
+        state.dirty.clear();
+        match mode {
+            ScoreMode::Incremental => state.scores_incremental += 1,
+            ScoreMode::Full => state.scores_full += 1,
+        }
+
+        if candidate_groups.is_empty() {
+            return Ok((
+                TpGrGadResult {
+                    anchor_nodes,
+                    node_errors,
+                    candidate_groups,
+                    sampling_stats,
+                    embeddings: Matrix::zeros(0, 0),
+                    scores: Vec::new(),
+                    predicted_anomalous: Vec::new(),
+                },
+                mode,
+            ));
+        }
+
+        // Stage 3: embed candidates, reusing every surviving cached row.
+        let embeddings = observe_stage(
+            observer,
+            PipelineStage::GroupEmbedding,
+            PipelinePhase::Score,
+            || {
+                let z = embed_groups_cached(
+                    self.tpgcl.as_ref(),
+                    graph,
+                    &candidate_groups,
+                    config.use_tpgcl,
+                    &mut state.embeddings,
+                );
+                (z, candidate_groups.len(), 0)
+            },
+        );
+
+        // Stage 4: score with the fitted detector and threshold.
+        let (scores, predicted_anomalous) = observe_stage(
+            observer,
+            PipelineStage::OutlierScoring,
+            PipelinePhase::Score,
+            || {
+                let scores = self.detector.score(&embeddings);
+                let flags = self.apply_threshold(&scores);
+                let count = scores.len();
+                ((scores, flags), count, 0)
+            },
+        );
+
+        Ok((
+            TpGrGadResult {
+                anchor_nodes,
+                node_errors,
+                candidate_groups,
+                sampling_stats,
+                embeddings,
+                scores,
+                predicted_anomalous,
+            },
+            mode,
+        ))
     }
 
     fn score_impl(
@@ -996,6 +1222,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn score_cached_is_bit_identical_and_survives_invalidation() {
         let dataset = example::generate(40, 13);
         let trained = quick_detector(7).fit(&dataset.graph).unwrap();
@@ -1023,6 +1250,200 @@ mod tests {
         assert!(cache.len() < before);
         let after = trained.score_cached(&dataset.graph, &mut cache).unwrap();
         assert_eq!(after.scores, full.scores);
+    }
+
+    /// Bitwise equality of every output a serving host relies on — stricter
+    /// than `==` on scores alone because `-0.0 == 0.0`.
+    fn assert_bit_identical(a: &TpGrGadResult, b: &TpGrGadResult, context: &str) {
+        assert_eq!(a.anchor_nodes, b.anchor_nodes, "{context}: anchors");
+        assert_eq!(
+            a.node_errors
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            b.node_errors
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            "{context}: node errors"
+        );
+        assert_eq!(a.candidate_groups, b.candidate_groups, "{context}: groups");
+        assert_eq!(
+            a.scores.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.scores.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            "{context}: scores"
+        );
+        assert_eq!(
+            a.predicted_anomalous, b.predicted_anomalous,
+            "{context}: predictions"
+        );
+    }
+
+    /// One low-churn round: flip one deterministic edge and rewrite one
+    /// node's features, recording the dirt exactly like a serving host.
+    fn apply_small_delta(graph: &mut Graph, state: &mut IncrementalState, round: usize) {
+        let n = graph.num_nodes();
+        let a = (round * 5 + 1) % n;
+        let b = (round * 11 + 3) % n;
+        if a != b {
+            let flipped = if graph.has_edge(a, b) {
+                graph.try_remove_edge(a, b).unwrap()
+            } else {
+                graph.try_add_edge(a, b).unwrap()
+            };
+            if flipped {
+                state.mark_edge(a, b);
+            }
+        }
+        let c = (round * 7 + 2) % n;
+        let mut features = graph.features().row(c).to_vec();
+        features[0] += 0.25;
+        graph.try_set_node_features(c, &features).unwrap();
+        state.mark_node(c);
+    }
+
+    #[test]
+    fn score_incremental_matches_score_bitwise_across_rounds_and_fallback() {
+        let dataset = example::generate(40, 13);
+        let mut graph = dataset.graph.clone();
+        let trained = quick_detector(7).fit(&graph).unwrap();
+        let mut state = IncrementalState::new()
+            .with_max_dirty_fraction(0.3)
+            .unwrap();
+
+        // Cold state: full recompute, bit-identical to `score`.
+        let (cold, mode) = trained.score_incremental(&graph, &mut state).unwrap();
+        assert_eq!(mode, ScoreMode::Full);
+        assert_bit_identical(&cold, &trained.score(&graph).unwrap(), "cold");
+        assert!(!state.is_cold());
+
+        // Low-churn rounds stay incremental and exact.
+        for round in 0..4 {
+            apply_small_delta(&mut graph, &mut state, round);
+            let (patched, mode) = trained.score_incremental(&graph, &mut state).unwrap();
+            assert_eq!(mode, ScoreMode::Incremental, "round {round}");
+            assert_bit_identical(
+                &patched,
+                &trained.score(&graph).unwrap(),
+                &format!("round {round}"),
+            );
+        }
+        let stats = state.stats();
+        assert_eq!(stats.scores_incremental, 4);
+        assert_eq!(stats.scores_full, 1);
+        assert!(stats.groups_reused > 0, "draw cache never hit");
+        assert!(stats.anchors_reused > 0, "no anchor overlap across rounds");
+        assert!(stats.cache_hits > 0, "embedding cache never hit");
+        // 1 full scan + 4 patched rounds must rescore far fewer than 5 full
+        // scans — the whole point of the incremental path.
+        assert!(
+            stats.nodes_rescored < 5 * graph.num_nodes() as u64,
+            "rescored {} of {} node-rounds",
+            stats.nodes_rescored,
+            5 * graph.num_nodes()
+        );
+
+        // A churn burst past max_dirty_fraction falls back to Full...
+        for v in 0..(graph.num_nodes() * 2).div_ceil(5) {
+            let mut features = graph.features().row(v).to_vec();
+            features[0] -= 0.5;
+            graph.try_set_node_features(v, &features).unwrap();
+            state.mark_node(v);
+        }
+        let (burst, mode) = trained.score_incremental(&graph, &mut state).unwrap();
+        assert_eq!(mode, ScoreMode::Full);
+        assert_bit_identical(&burst, &trained.score(&graph).unwrap(), "burst");
+
+        // ...and the refilled caches make the next round incremental again.
+        apply_small_delta(&mut graph, &mut state, 9);
+        let (resumed, mode) = trained.score_incremental(&graph, &mut state).unwrap();
+        assert_eq!(mode, ScoreMode::Incremental);
+        assert_bit_identical(&resumed, &trained.score(&graph).unwrap(), "resumed");
+    }
+
+    /// Satellite regression: a RemoveEdge→AddEdge of the *same* edge in one
+    /// delta batch nets out to an unchanged graph, but the recorded dirt
+    /// must still evict every cached group containing both endpoints — a
+    /// host that "optimized away" the no-op pair would keep stale rows the
+    /// moment the batch interleaves other mutations.
+    #[test]
+    fn remove_then_readd_same_edge_still_evicts_pairwise_groups() {
+        let dataset = example::generate(40, 17);
+        let mut graph = dataset.graph.clone();
+        let trained = quick_detector(5).fit(&graph).unwrap();
+        let mut state = IncrementalState::new();
+        let (baseline, _) = trained.score_incremental(&graph, &mut state).unwrap();
+
+        // Find an existing edge with both endpoints inside some candidate
+        // group, so pairwise eviction has something to evict.
+        let mut picked = None;
+        'outer: for group in &baseline.candidate_groups {
+            let nodes = group.nodes();
+            for (i, &u) in nodes.iter().enumerate() {
+                for &v in &nodes[i + 1..] {
+                    if graph.has_edge(u, v) {
+                        picked = Some((u, v));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let (u, v) = picked.expect("no candidate group contains an edge");
+        let evictable = baseline
+            .candidate_groups
+            .iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .iter()
+            .filter(|g| g.contains(u) && g.contains(v))
+            .count() as u64;
+        assert!(evictable > 0);
+
+        let misses_before = state.stats().cache_misses;
+        assert!(graph.try_remove_edge(u, v).unwrap());
+        state.mark_edge(u, v);
+        assert!(graph.try_add_edge(u, v).unwrap());
+        state.mark_edge(u, v);
+
+        let (rescored, mode) = trained.score_incremental(&graph, &mut state).unwrap();
+        assert_eq!(mode, ScoreMode::Incremental);
+        assert_bit_identical(&rescored, &baseline, "net-unchanged batch");
+        assert_eq!(
+            state.stats().cache_misses - misses_before,
+            evictable,
+            "pairwise eviction must re-embed exactly the groups holding both endpoints"
+        );
+    }
+
+    #[test]
+    fn incremental_state_serde_round_trips_mid_stream() {
+        let dataset = example::generate(36, 9);
+        let mut graph = dataset.graph.clone();
+        let trained = quick_detector(11).fit(&graph).unwrap();
+        let mut state = IncrementalState::new();
+        trained.score_incremental(&graph, &mut state).unwrap();
+        // Leave dirt pending so the snapshot carries a non-trivial region.
+        apply_small_delta(&mut graph, &mut state, 0);
+
+        let json = state.to_json().unwrap();
+        let mut restored = IncrementalState::from_json(&json).unwrap();
+        assert_eq!(restored.stats(), state.stats());
+        assert_eq!(restored.dirty(), state.dirty());
+
+        // Original and restored states continue scoring identically.
+        let (a, mode_a) = trained.score_incremental(&graph, &mut state).unwrap();
+        let (b, mode_b) = trained.score_incremental(&graph, &mut restored).unwrap();
+        assert_eq!(mode_a, mode_b);
+        assert_bit_identical(&a, &b, "restored state");
+        assert_eq!(state.stats(), restored.stats());
+
+        // And the file form round-trips through `save`.
+        let path =
+            std::env::temp_dir().join(format!("grgad_state_roundtrip_{}.json", std::process::id()));
+        state.save(&path).unwrap();
+        let reloaded =
+            IncrementalState::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(reloaded.stats(), state.stats());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub struct NodeErrors {
 }
 
 impl NodeErrors {
-    fn combine(structure: Vec<f32>, attribute: Vec<f32>, lambda: f32) -> Self {
+    pub(crate) fn combine(structure: Vec<f32>, attribute: Vec<f32>, lambda: f32) -> Self {
         let normalize = |xs: &[f32]| -> Vec<f32> {
             let lo = xs.iter().copied().fold(f32::INFINITY, f32::min);
             let hi = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -287,31 +287,23 @@ impl Gae {
         // Both decode heads are embarrassingly parallel per node: each node's
         // error reads only its own target row / embedding rows and lands in
         // its own slot, so the output is identical at any thread count.
-        let structure: Vec<f32> = grgad_parallel::par_map_range_min(n, 64, |i| {
-            let mut err = 0.0;
-            let mut count = 0usize;
-            for (j, t) in target.row_iter(i) {
-                let dot: f32 = z.row(i).iter().zip(z.row(j)).map(|(&a, &b)| a * b).sum();
-                err += (t - sigmoid_scalar(dot)).abs();
-                count += 1;
-            }
-            if count > 0 {
-                err / count as f32
-            } else {
-                0.0
-            }
-        });
+        let structure: Vec<f32> =
+            grgad_parallel::par_map_range_min(n, 64, |i| structure_error_row(z, target, i));
         let attribute: Vec<f32> = grgad_parallel::par_map_range_min(n, 256, |i| {
-            graph
-                .features()
-                .row(i)
-                .iter()
-                .zip(x_hat.row(i))
-                .map(|(&a, &b)| (a - b) * (a - b))
-                .sum::<f32>()
-                .sqrt()
+            attribute_error_row(graph.features(), x_hat, i)
         });
         NodeErrors::combine(structure, attribute, self.config.lambda)
+    }
+
+    /// Per-layer `(weight, bias, activation)` snapshots of the encoder, in
+    /// forward order — consumed by the incremental error cache.
+    pub(crate) fn encoder_snapshot(&self) -> Vec<(Matrix, Matrix, Activation)> {
+        self.encoder.layer_snapshots()
+    }
+
+    /// `(weight, bias, activation)` snapshot of the attribute decoder.
+    pub(crate) fn decoder_snapshot(&self) -> (Matrix, Matrix, Activation) {
+        self.attr_decoder.snapshot()
     }
 
     /// Input feature dimensionality this GAE was built for.
@@ -344,6 +336,43 @@ impl Gae {
         self.attr_decoder
             .import_weights(weights[split].clone(), weights[split + 1].clone());
     }
+}
+
+/// One node's structure reconstruction error: per stored entry of its
+/// target row, the deviation between the target weight and the decoded
+/// link probability, averaged over the row (0 for an empty row).
+///
+/// This is the exact per-slot closure body of the parallel structure-error
+/// map in [`Gae`]: the incremental error cache recomputes single rows
+/// through this same function, so a spliced value is bit-identical to a
+/// full recomputation.
+pub(crate) fn structure_error_row(z: &Matrix, target: &CsrMatrix, i: usize) -> f32 {
+    let mut err = 0.0;
+    let mut count = 0usize;
+    for (j, t) in target.row_iter(i) {
+        let dot: f32 = z.row(i).iter().zip(z.row(j)).map(|(&a, &b)| a * b).sum();
+        err += (t - sigmoid_scalar(dot)).abs();
+        count += 1;
+    }
+    if count > 0 {
+        err / count as f32
+    } else {
+        0.0
+    }
+}
+
+/// One node's attribute reconstruction error: the Euclidean distance
+/// between its feature row and the decoded reconstruction. Shared between
+/// the full parallel map and the incremental row patcher (see
+/// [`structure_error_row`]).
+pub(crate) fn attribute_error_row(features: &Matrix, x_hat: &Matrix, i: usize) -> f32 {
+    features
+        .row(i)
+        .iter()
+        .zip(x_hat.row(i))
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum::<f32>()
+        .sqrt()
 }
 
 #[cfg(test)]

@@ -54,6 +54,14 @@ impl GcnLayer {
         self.bias.set_value(bias);
     }
 
+    /// Snapshots the layer as `(weight, bias, activation)` plain matrices —
+    /// the per-layer form consumed by [`GcnInference`] and the incremental
+    /// row-patching kernels (`crate::incremental`).
+    pub(crate) fn snapshot(&self) -> (Matrix, Matrix, Activation) {
+        let (w, b) = self.export_weights();
+        (w, b, self.activation)
+    }
+
     /// Input feature dimensionality.
     pub fn in_dim(&self) -> usize {
         self.weight.shape().0
@@ -163,15 +171,14 @@ impl GcnEncoder {
     /// snapshots the plain weight matrices first and runs on those.
     pub fn inference(&self) -> GcnInference {
         GcnInference {
-            layers: self
-                .layers
-                .iter()
-                .map(|l| {
-                    let (w, b) = l.export_weights();
-                    (w, b, l.activation)
-                })
-                .collect(),
+            layers: self.layer_snapshots(),
         }
+    }
+
+    /// Per-layer `(weight, bias, activation)` snapshots, in forward order —
+    /// what the incremental error cache patches rows against.
+    pub(crate) fn layer_snapshots(&self) -> Vec<(Matrix, Matrix, Activation)> {
+        self.layers.iter().map(GcnLayer::snapshot).collect()
     }
 }
 

@@ -20,9 +20,11 @@
 pub mod anchors;
 pub mod gae;
 pub mod gcn;
+pub mod incremental;
 pub mod mhgae;
 
 pub use anchors::select_anchor_nodes;
 pub use gae::{Gae, GaeConfig, NodeErrors};
 pub use gcn::{GcnEncoder, GcnInference, GcnLayer};
+pub use incremental::ErrorCache;
 pub use mhgae::{MhGae, ReconstructionTarget};

@@ -24,6 +24,75 @@ pub fn bfs_distances(graph: &Graph, source: usize) -> Vec<Option<usize>> {
     dist
 }
 
+/// BFS distances from the nearest of several `sources`; `None` for nodes no
+/// source reaches. With an empty source set every node is unreached.
+///
+/// This is the distance-to-dirt oracle of incremental re-scoring: seeding
+/// with the dirty set gives, in one `O(V + E)` sweep, how far every node is
+/// from the nearest mutation — which is exactly what bounds the reusability
+/// of any locality-`r` computation (a BFS tree, a shortest path, a cycle
+/// search) cached from before the mutation.
+pub fn multi_source_bfs_distances(
+    graph: &Graph,
+    sources: impl IntoIterator<Item = usize>,
+) -> Vec<Option<usize>> {
+    let n = graph.num_nodes();
+    let mut dist = vec![None; n];
+    let mut queue = VecDeque::new();
+    for s in sources {
+        if s < n && dist[s].is_none() {
+            dist[s] = Some(0);
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued node must have a distance");
+        for &v in graph.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The closed hop ball `N_radius[sources]`: every node within `radius` hops
+/// of some source (sources themselves included), sorted ascending.
+///
+/// This is the GCN receptive-field bound: after a mutation confined to
+/// `sources`, the output of an `L`-layer message-passing forward can differ
+/// from its pre-mutation value only on `hop_ball(graph, sources, L)` —
+/// each propagation step widens the affected set by at most one hop.
+pub fn hop_ball(
+    graph: &Graph,
+    sources: impl IntoIterator<Item = usize>,
+    radius: usize,
+) -> Vec<usize> {
+    let n = graph.num_nodes();
+    let mut dist = vec![None; n];
+    let mut queue = VecDeque::new();
+    for s in sources {
+        if s < n && dist[s].is_none() {
+            dist[s] = Some(0usize);
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued node must have a distance");
+        if du >= radius {
+            continue;
+        }
+        for &v in graph.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    (0..n).filter(|&v| dist[v].is_some()).collect()
+}
+
 /// Unweighted shortest path from `source` to `target` (inclusive), or `None`
 /// if unreachable. A path from a node to itself is `[source]`.
 pub fn shortest_path(graph: &Graph, source: usize, target: usize) -> Option<Vec<usize>> {
@@ -146,6 +215,34 @@ mod tests {
         assert_eq!(t1, vec![0, 1, 2]);
         let t2 = bounded_bfs_tree(&g, 0, 2, 100);
         assert_eq!(t2, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn multi_source_distances_take_the_nearest_source() {
+        let g = sample();
+        let d = multi_source_bfs_distances(&g, [1, 3]);
+        assert_eq!(d[0], Some(1));
+        assert_eq!(d[1], Some(0));
+        assert_eq!(d[2], Some(1));
+        assert_eq!(d[3], Some(0));
+        assert_eq!(d[4], None);
+        // Empty source set: nothing is reached; out-of-range ids ignored.
+        assert!(multi_source_bfs_distances(&g, [])
+            .iter()
+            .all(Option::is_none));
+        assert!(multi_source_bfs_distances(&g, [99])
+            .iter()
+            .all(Option::is_none));
+    }
+
+    #[test]
+    fn hop_ball_is_the_closed_radius_neighborhood() {
+        let g = sample();
+        assert_eq!(hop_ball(&g, [3], 0), vec![3]);
+        assert_eq!(hop_ball(&g, [3], 1), vec![2, 3]);
+        assert_eq!(hop_ball(&g, [3], 2), vec![0, 1, 2, 3]);
+        assert_eq!(hop_ball(&g, [0, 4], 1), vec![0, 1, 2, 4]);
+        assert!(hop_ball(&g, [], 5).is_empty());
     }
 
     #[test]

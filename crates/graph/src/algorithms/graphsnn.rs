@@ -14,6 +14,8 @@
 //! beyond one-hop neighborhoods (comparable to a higher-order WL test),
 //! capturing the long-range inconsistency that defines group anomalies.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use grgad_linalg::CsrMatrix;
 
 use crate::Graph;
@@ -34,6 +36,66 @@ pub fn graphsnn_adjacency(graph: &Graph, lambda: f32) -> CsrMatrix {
     }
     let raw = CsrMatrix::from_triplets(n, n, triplets);
     // Standardize into [0, 1].
+    let max = raw.iter().map(|(_, _, v)| v).fold(0.0_f32, f32::max);
+    if max > 0.0 {
+        raw.scale(1.0 / max)
+    } else {
+        raw
+    }
+}
+
+/// [`graphsnn_adjacency`] with a cross-round cache of raw per-edge overlap
+/// weights, recomputing only the weights a mutation can have changed.
+///
+/// `raw_weights` maps each undirected edge `(min, max)` to its raw
+/// (pre-standardization) overlap weight from a previous call on a graph
+/// that has since been mutated; `affected` is any superset of the nodes
+/// whose *neighborhood* changed (the endpoints of every inserted or
+/// removed edge). The raw weight of edge `(v, µ)` reads only the closed
+/// neighborhoods of `v` and `µ` and the edges among their overlap — all
+/// within one hop of `v` — so it can change only when `v` or `µ` lies in
+/// the closed 1-hop ball of `affected`. Those weights (plus any edge
+/// missing from the cache, e.g. a new edge) are recomputed; all others are
+/// reused verbatim, and entries for edges no longer present are dropped.
+///
+/// The global standardization is re-derived from scratch every call: `max`
+/// over a set of floats is exact regardless of order, and the scale is
+/// applied per-entry, so the result is **bit-for-bit identical** to
+/// [`graphsnn_adjacency`] on the same graph. On return `raw_weights` holds
+/// exactly the current edge set's raw weights, ready for the next round.
+pub fn graphsnn_adjacency_cached(
+    graph: &Graph,
+    lambda: f32,
+    raw_weights: &mut BTreeMap<(usize, usize), f32>,
+    affected: &BTreeSet<usize>,
+) -> CsrMatrix {
+    let n = graph.num_nodes();
+    // Closed 1-hop ball of the affected set: the endpoints whose raw
+    // weights must be recomputed.
+    let near: BTreeSet<usize> = {
+        let mut near: BTreeSet<usize> = affected.iter().copied().filter(|&v| v < n).collect();
+        for &v in affected {
+            if v < n {
+                near.extend(graph.neighbors(v).iter().copied());
+            }
+        }
+        near
+    };
+    let mut fresh: BTreeMap<(usize, usize), f32> = BTreeMap::new();
+    let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(2 * graph.num_edges());
+    for (v, mu) in graph.edges() {
+        let key = (v.min(mu), v.max(mu));
+        let cached = raw_weights.get(&key).copied();
+        let w = match cached {
+            Some(w) if !near.contains(&v) && !near.contains(&mu) => w,
+            _ => overlap_weight(graph, v, mu, lambda),
+        };
+        fresh.insert(key, w);
+        triplets.push((v, mu, w));
+        triplets.push((mu, v, w));
+    }
+    *raw_weights = fresh;
+    let raw = CsrMatrix::from_triplets(n, n, triplets);
     let max = raw.iter().map(|(_, _, v)| v).fold(0.0_f32, f32::max);
     if max > 0.0 {
         raw.scale(1.0 / max)
@@ -156,5 +218,44 @@ mod tests {
         let g = Graph::with_no_features(3);
         let a = graphsnn_adjacency(&g, 1.0);
         assert_eq!(a.nnz(), 0);
+    }
+
+    fn assert_bitwise_eq(a: &CsrMatrix, b: &CsrMatrix) {
+        let av: Vec<(usize, usize, u32)> = a.iter().map(|(i, j, v)| (i, j, v.to_bits())).collect();
+        let bv: Vec<(usize, usize, u32)> = b.iter().map(|(i, j, v)| (i, j, v.to_bits())).collect();
+        assert_eq!(av, bv);
+    }
+
+    #[test]
+    fn cached_target_is_bitwise_identical_across_mutations() {
+        let mut g = Graph::with_no_features(8);
+        for i in 0..7 {
+            g.add_edge(i, i + 1);
+        }
+        g.add_edge(0, 2);
+        g.add_edge(3, 5);
+
+        let mut raw = BTreeMap::new();
+        let full = graphsnn_adjacency(&g, 1.0);
+        let cached = graphsnn_adjacency_cached(&g, 1.0, &mut raw, &BTreeSet::new());
+        assert_bitwise_eq(&full, &cached);
+        assert_eq!(raw.len(), g.num_edges());
+
+        // Mutate: add one edge, remove another; affected = their endpoints.
+        assert!(g.try_add_edge(1, 6).expect("add"));
+        assert!(g.try_remove_edge(3, 5).expect("remove"));
+        let affected: BTreeSet<usize> = [1, 6, 3, 5].into_iter().collect();
+        let full = graphsnn_adjacency(&g, 1.0);
+        let cached = graphsnn_adjacency_cached(&g, 1.0, &mut raw, &affected);
+        assert_bitwise_eq(&full, &cached);
+        assert_eq!(raw.len(), g.num_edges(), "removed edge pruned from cache");
+
+        // A second round on top of the refreshed cache, touching the
+        // max-weight region too (global rescale must still agree).
+        assert!(g.try_add_edge(0, 3).expect("add"));
+        let affected: BTreeSet<usize> = [0, 3].into_iter().collect();
+        let full = graphsnn_adjacency(&g, 1.0);
+        let cached = graphsnn_adjacency_cached(&g, 1.0, &mut raw, &affected);
+        assert_bitwise_eq(&full, &cached);
     }
 }

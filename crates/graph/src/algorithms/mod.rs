@@ -20,9 +20,11 @@ pub mod graphsnn;
 pub mod khop;
 pub mod paths;
 
-pub use bfs::{bfs_distances, bounded_bfs_tree, shortest_path};
+pub use bfs::{
+    bfs_distances, bounded_bfs_tree, hop_ball, multi_source_bfs_distances, shortest_path,
+};
 pub use components::{connected_components, connected_components_of_subset};
 pub use cycles::{cycles_through, cycles_through_budgeted};
-pub use graphsnn::graphsnn_adjacency;
+pub use graphsnn::{graphsnn_adjacency, graphsnn_adjacency_cached};
 pub use khop::khop_matrix;
 pub use paths::{bellman_ford, shortest_path_bellman_ford};

@@ -1,0 +1,130 @@
+//! [`DirtyRegion`]: the set of nodes and edges touched by graph mutations
+//! since the last score — the bookkeeping every incremental stage keys off.
+//!
+//! The region distinguishes *node* dirt (re-featured or appended nodes:
+//! their own state changed) from *edge* dirt (both endpoints of a changed
+//! edge: their neighborhoods changed). The distinction matters because the
+//! stages consume different projections:
+//!
+//! * GCN receptive-field patching ([`DirtyRegion::touched_nodes`]) needs
+//!   every touched node — feature changes propagate through the forward
+//!   pass exactly like adjacency changes.
+//! * Candidate-draw invalidation ([`DirtyRegion::topology_nodes`]) needs
+//!   only edge endpoints — path/tree/cycle searches never read features,
+//!   so re-featuring a node cannot invalidate a draw through it.
+//! * Group-embedding invalidation treats node dirt per-member but edge
+//!   dirt *pairwise* (a group's induced subgraph is untouched unless it
+//!   contains **both** endpoints), so the raw edge set stays accessible.
+//!
+//! Edges are stored canonically as `(min, max)`, so a `RemoveEdge` followed
+//! by an `AddEdge` of the same edge inside one batch collapses to a single
+//! entry — the pairwise invalidation still fires even though the edge nets
+//! out to no structural change (its *weights* in the reconstruction target
+//! may still differ, and intermediate scores never observed the removal).
+
+use std::collections::BTreeSet;
+
+/// Nodes and edges dirtied since the last successful score.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DirtyRegion {
+    nodes: BTreeSet<usize>,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl DirtyRegion {
+    /// An empty region: nothing dirty.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a node whose own state changed (features set, node appended).
+    pub fn mark_node(&mut self, node: usize) {
+        self.nodes.insert(node);
+    }
+
+    /// Marks a changed edge (inserted or removed); stored as `(min, max)`.
+    pub fn mark_edge(&mut self, u: usize, v: usize) {
+        self.edges.insert((u.min(v), u.max(v)));
+    }
+
+    /// True when no mutation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.edges.is_empty()
+    }
+
+    /// Forgets all recorded dirt (after a successful score).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.edges.clear();
+    }
+
+    /// Nodes whose own state changed (re-featured or appended).
+    pub fn nodes(&self) -> &BTreeSet<usize> {
+        &self.nodes
+    }
+
+    /// Changed edges, canonically `(min, max)`.
+    pub fn edges(&self) -> &BTreeSet<(usize, usize)> {
+        &self.edges
+    }
+
+    /// Every node a delta touched: dirty nodes plus the endpoints of every
+    /// dirty edge. This is the seed set for receptive-field hop balls and
+    /// the numerator of the dirty fraction.
+    pub fn touched_nodes(&self) -> BTreeSet<usize> {
+        let mut touched = self.nodes.clone();
+        for &(u, v) in &self.edges {
+            touched.insert(u);
+            touched.insert(v);
+        }
+        touched
+    }
+
+    /// Nodes whose *neighborhood* changed: the endpoints of dirty edges.
+    /// Feature-only dirt is excluded — topology searches (paths, trees,
+    /// cycles, overlap weights) never read features.
+    pub fn topology_nodes(&self) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for &(u, v) in &self.edges {
+            out.insert(u);
+            out.insert(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_canonicalize_and_remove_add_collapses_to_one_entry() {
+        let mut d = DirtyRegion::new();
+        d.mark_edge(7, 3);
+        d.mark_edge(3, 7); // the same edge again, e.g. RemoveEdge then AddEdge
+        assert_eq!(d.edges().len(), 1);
+        assert!(d.edges().contains(&(3, 7)));
+        assert_eq!(
+            d.touched_nodes().into_iter().collect::<Vec<_>>(),
+            vec![3, 7]
+        );
+    }
+
+    #[test]
+    fn topology_nodes_exclude_feature_dirt() {
+        let mut d = DirtyRegion::new();
+        d.mark_node(1);
+        d.mark_edge(2, 5);
+        assert_eq!(
+            d.touched_nodes().into_iter().collect::<Vec<_>>(),
+            vec![1, 2, 5]
+        );
+        assert_eq!(
+            d.topology_nodes().into_iter().collect::<Vec<_>>(),
+            vec![2, 5]
+        );
+        assert!(!d.is_empty());
+        d.clear();
+        assert!(d.is_empty());
+    }
+}

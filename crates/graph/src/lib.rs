@@ -21,10 +21,12 @@
 // infallible. Enforced per-crate so the vendored shims stay untouched.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod algorithms;
+pub mod dirty;
 pub mod graph;
 pub mod group;
 pub mod patterns;
 
+pub use dirty::DirtyRegion;
 pub use graph::Graph;
 pub use group::Group;
 pub use patterns::TopologyPattern;

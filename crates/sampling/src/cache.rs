@@ -1,0 +1,340 @@
+//! Memoized graph-search draws for incremental candidate re-sampling.
+//!
+//! # Why memoization gives bit-for-bit replay
+//!
+//! `sample_candidate_groups` consumes its seeded RNG only in the *outer*
+//! loop — pair subsampling/shuffling and the background-root shuffle. The
+//! graph searches themselves (shortest path, bounded BFS tree, bounded cycle
+//! enumeration) are deterministic functions of `(graph, arguments)` and
+//! never touch the RNG. So re-running the outer loop verbatim while
+//! answering each search from a cache produces the exact byte sequence of a
+//! fresh run, **provided every cache entry equals what a fresh search on the
+//! current graph would return.**
+//!
+//! # The pruning invariant
+//!
+//! [`DrawCache::prune`] maintains that proviso inductively. Given the set of
+//! *topology-dirty* nodes (endpoints of every edge added or removed since
+//! the last prune — feature rewrites cannot change a graph search), it
+//! computes each node's hop distance `d(x)` to the nearest dirty node and
+//! retains an entry only when the search that produced it could not have
+//! explored — nor can now reach — any dirty node:
+//!
+//! * `path(v→µ) = Some(p)`: kept iff `d(v) ≥ |p|`. The BFS from `v` that
+//!   found `p` explored only nodes within `|p|−1` hops, all still clean, so
+//!   it replays identically; and any *new* route through a changed edge
+//!   passes a dirty node at ≥ `|p|` hops, hence is strictly longer.
+//! * `path(v→µ) = None`: kept iff `d(v) = ∞`. "No path" was decided by
+//!   exhausting `v`'s component; if no dirty node is in that component
+//!   (in the current graph), the component — and the answer — is unchanged.
+//!   An added edge that newly connects `v` to `µ` puts its dirty endpoints
+//!   into `v`'s component, making `d(v)` finite.
+//! * `tree(root)`: kept iff `d(root) ≥ tree_depth + 1` — the bounded BFS
+//!   reads adjacency only within `tree_depth` hops.
+//! * `cycles(v)`: kept iff `d(v) ≥ max_cycle_len + 1` — the bounded DFS
+//!   walks simple paths of at most `max_cycle_len` nodes through `v`.
+//!
+//! Each rule is conservative (it may evict a still-valid entry, never keep a
+//! stale one), so after every prune the invariant holds for the current
+//! graph, and the memoized replay is bit-identical to a fresh
+//! `sample_candidate_groups` call. The parity tests in `sampler.rs` pin
+//! this across randomized delta rounds.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use grgad_graph::algorithms::multi_source_bfs_distances;
+use grgad_graph::Graph;
+
+use crate::sampler::SamplingConfig;
+
+/// Cross-round cache of candidate-group search draws, keyed by search
+/// arguments. Owned by the pipeline's `IncrementalState`; feed it to
+/// `sample_candidate_groups_cached` and [`DrawCache::prune`] it after every
+/// batch of graph deltas (or [`DrawCache::clear`] it on a full fallback).
+#[derive(Clone, Debug, Default)]
+pub struct DrawCache {
+    /// `shortest_path(v, µ)` results, including negative ("no path") ones.
+    paths: BTreeMap<(usize, usize), Option<Vec<usize>>>,
+    /// `bounded_bfs_tree(root, tree_depth, max_group_size)` results.
+    trees: BTreeMap<usize, Vec<usize>>,
+    /// `cycles_through_budgeted(v, …)` results.
+    cycles: BTreeMap<usize, Vec<Vec<usize>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DrawCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized draws (across all three search kinds).
+    pub fn len(&self) -> usize {
+        self.paths.len() + self.trees.len() + self.cycles.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative draws answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cumulative draws that ran the underlying graph search.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every memoized draw (counters are kept — they are lifetime
+    /// statistics, not validity state).
+    pub fn clear(&mut self) {
+        self.paths.clear();
+        self.trees.clear();
+        self.cycles.clear();
+    }
+
+    /// Evicts every draw a topology change could have affected (module docs
+    /// give the per-kind validity rules). `topology_dirty` must contain both
+    /// endpoints of every edge added or removed since the previous prune;
+    /// nodes whose *features* changed need not be included. Returns the
+    /// number of evicted entries.
+    pub fn prune(
+        &mut self,
+        graph: &Graph,
+        topology_dirty: &BTreeSet<usize>,
+        config: &SamplingConfig,
+    ) -> usize {
+        if topology_dirty.is_empty() {
+            return 0;
+        }
+        let before = self.len();
+        let n = graph.num_nodes();
+        let dist = multi_source_bfs_distances(graph, topology_dirty.iter().copied());
+        // Hop distance to the nearest topology-dirty node; `None` = ∞.
+        let d = |v: usize| -> Option<usize> { dist.get(v).copied().flatten() };
+
+        self.paths.retain(|&(v, _), draw| {
+            if v >= n {
+                return false;
+            }
+            match (draw.as_ref(), d(v)) {
+                // A found path replays iff the BFS ball that produced it
+                // (radius |p|−1) and every shorter route stay clean.
+                (Some(p), Some(dv)) => dv >= p.len(),
+                (Some(_), None) => true,
+                // "No path" survives only while v's component has no dirty
+                // node at all.
+                (None, dv) => dv.is_none(),
+            }
+        });
+        let tree_radius = config.tree_depth + 1;
+        self.trees
+            .retain(|&root, _| root < n && d(root).is_none_or(|dr| dr >= tree_radius));
+        let cycle_radius = config.max_cycle_len + 1;
+        self.cycles
+            .retain(|&v, _| v < n && d(v).is_none_or(|dv| dv >= cycle_radius));
+        before - self.len()
+    }
+
+    /// Cumulative hit/miss counters in one read (avoids two borrows at call
+    /// sites that diff them around a sampling run).
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    pub(crate) fn path_entry(
+        &mut self,
+        key: (usize, usize),
+        compute: impl FnOnce() -> Option<Vec<usize>>,
+    ) -> Option<Vec<usize>> {
+        match self.paths.entry(key) {
+            std::collections::btree_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                e.get().clone()
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                self.misses += 1;
+                e.insert(compute()).clone()
+            }
+        }
+    }
+
+    pub(crate) fn tree_entry(
+        &mut self,
+        root: usize,
+        compute: impl FnOnce() -> Vec<usize>,
+    ) -> Vec<usize> {
+        match self.trees.entry(root) {
+            std::collections::btree_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                e.get().clone()
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                self.misses += 1;
+                e.insert(compute()).clone()
+            }
+        }
+    }
+
+    pub(crate) fn cycles_entry(
+        &mut self,
+        v: usize,
+        compute: impl FnOnce() -> Vec<Vec<usize>>,
+    ) -> Vec<Vec<usize>> {
+        match self.cycles.entry(v) {
+            std::collections::btree_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                e.get().clone()
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                self.misses += 1;
+                e.insert(compute()).clone()
+            }
+        }
+    }
+}
+
+/// Flattened pair-draw entries, as serialized (the map keys are tuples,
+/// which the vendored serde cannot use as JSON object keys).
+type PathEntries = Vec<((usize, usize), Option<Vec<usize>>)>;
+
+// Hand serde: the vendored derive covers named-field structs of primitive
+// fields only, and the draw maps are keyed by non-string types.
+impl serde::Serialize for DrawCache {
+    fn to_value(&self) -> serde::Value {
+        let paths: PathEntries = self.paths.iter().map(|(&k, v)| (k, v.clone())).collect();
+        let trees: Vec<(usize, Vec<usize>)> =
+            self.trees.iter().map(|(&k, v)| (k, v.clone())).collect();
+        let cycles: Vec<(usize, Vec<Vec<usize>>)> =
+            self.cycles.iter().map(|(&k, v)| (k, v.clone())).collect();
+        serde::Value::Map(vec![
+            ("paths".to_string(), paths.to_value()),
+            ("trees".to_string(), trees.to_value()),
+            ("cycles".to_string(), cycles.to_value()),
+            ("hits".to_string(), self.hits.to_value()),
+            ("misses".to_string(), self.misses.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for DrawCache {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let paths = PathEntries::from_value(value.field("paths")?)?;
+        let trees = Vec::<(usize, Vec<usize>)>::from_value(value.field("trees")?)?;
+        let cycles = Vec::<(usize, Vec<Vec<usize>>)>::from_value(value.field("cycles")?)?;
+        Ok(Self {
+            paths: paths.into_iter().collect(),
+            trees: trees.into_iter().collect(),
+            cycles: cycles.into_iter().collect(),
+            hits: u64::from_value(value.field("hits")?)?,
+            misses: u64::from_value(value.field("misses")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_graph(n: usize) -> Graph {
+        let mut g = Graph::with_no_features(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn prune_keeps_draws_far_from_the_dirty_region() {
+        let g = line_graph(30);
+        let config = SamplingConfig {
+            tree_depth: 2,
+            max_cycle_len: 4,
+            ..Default::default()
+        };
+        let mut cache = DrawCache::new();
+        // Seed some entries by computing through the memoizing accessors.
+        let _ = cache.path_entry((0, 3), || Some(vec![0, 1, 2, 3]));
+        let _ = cache.path_entry((29, 26), || Some(vec![29, 28, 27, 26]));
+        let _ = cache.tree_entry(1, || vec![0, 1, 2, 3]);
+        let _ = cache.tree_entry(28, || vec![26, 27, 28, 29]);
+        let _ = cache.cycles_entry(0, Vec::new);
+        let _ = cache.cycles_entry(29, Vec::new);
+        assert_eq!(cache.len(), 6);
+        assert_eq!(cache.misses(), 6);
+
+        // Dirty the far end of the line: node 0's draws sit ≥ 26 hops away
+        // and all survive; node 29's draws are inside every radius and go.
+        let dirty: BTreeSet<usize> = [28, 29].into_iter().collect();
+        let evicted = cache.prune(&g, &dirty, &config);
+        assert_eq!(evicted, 3);
+        assert_eq!(cache.path_entry((0, 3), || None), Some(vec![0, 1, 2, 3]));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn negative_path_draws_survive_only_in_untouched_components() {
+        // Two components: 0-1-2 and 3-4-5.
+        let mut g = Graph::with_no_features(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(3, 4);
+        g.add_edge(4, 5);
+        let config = SamplingConfig::default();
+        let mut cache = DrawCache::new();
+        let _ = cache.path_entry((0, 5), || None);
+        let _ = cache.path_entry((3, 0), || None);
+
+        // A change inside 3..5 leaves 0's component untouched: the (0,5)
+        // negative draw stays, the (3,0) one goes.
+        let dirty: BTreeSet<usize> = [4, 5].into_iter().collect();
+        cache.prune(&g, &dirty, &config);
+        assert_eq!(cache.path_entry((0, 5), || Some(vec![99])), None);
+        assert_eq!(cache.path_entry((3, 0), || Some(vec![42])), Some(vec![42]));
+
+        // Bridging the components dirties both sides: nothing negative may
+        // survive.
+        assert!(g.try_add_edge(2, 3).expect("in range"));
+        let dirty: BTreeSet<usize> = [2, 3].into_iter().collect();
+        cache.prune(&g, &dirty, &config);
+        assert_eq!(cache.path_entry((0, 5), || Some(vec![7])), Some(vec![7]));
+    }
+
+    #[test]
+    fn draw_cache_serde_round_trips() {
+        use serde::{Deserialize, Serialize};
+
+        let mut cache = DrawCache::new();
+        let _ = cache.path_entry((1, 4), || Some(vec![1, 2, 3, 4]));
+        let _ = cache.path_entry((9, 2), || None);
+        let _ = cache.tree_entry(3, || vec![2, 3, 4]);
+        let _ = cache.cycles_entry(7, || vec![vec![7, 8, 9], vec![7, 1, 2]]);
+        let back = DrawCache::from_value(&cache.to_value()).expect("round trip");
+        assert_eq!(back.len(), cache.len());
+        assert_eq!(back.counters(), cache.counters());
+        let mut back = back;
+        assert_eq!(
+            back.path_entry((1, 4), || None),
+            Some(vec![1, 2, 3, 4]),
+            "restored entries must answer draws"
+        );
+        assert_eq!(back.path_entry((9, 2), || Some(vec![0])), None);
+    }
+
+    #[test]
+    fn empty_dirty_set_prunes_nothing_and_clear_drops_everything() {
+        let g = line_graph(5);
+        let config = SamplingConfig::default();
+        let mut cache = DrawCache::new();
+        let _ = cache.tree_entry(2, || vec![1, 2, 3]);
+        assert_eq!(cache.prune(&g, &BTreeSet::new(), &config), 0);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 1, "counters survive clear()");
+    }
+}

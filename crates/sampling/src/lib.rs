@@ -21,6 +21,10 @@
 // themselves with `expect` + a `grgad-lint` suppression where truly
 // infallible. Enforced per-crate so the vendored shims stay untouched.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+mod cache;
 mod sampler;
 
-pub use sampler::{sample_candidate_groups, SamplingConfig, SamplingStats};
+pub use cache::DrawCache;
+pub use sampler::{
+    sample_candidate_groups, sample_candidate_groups_cached, SamplingConfig, SamplingStats,
+};

@@ -8,6 +8,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use crate::cache::DrawCache;
+
 /// Hyperparameters of Alg. 1.
 ///
 /// Serde is hand-written (below) instead of derived for one reason: this
@@ -141,11 +143,99 @@ pub struct SamplingStats {
     pub pairs_examined: usize,
 }
 
+/// The three graph searches of Alg. 1 behind one seam, so the sampler's
+/// outer loop (pair enumeration, RNG draws, dedup, caps) is written once
+/// and runs identically whether each draw is computed fresh or answered
+/// from a [`DrawCache`]. The searches never consume the RNG — that is what
+/// makes memoized replay bit-identical (see `crate::cache`).
+trait DrawOracle {
+    fn path(&mut self, graph: &Graph, v: usize, mu: usize) -> Option<Vec<usize>>;
+    fn tree(&mut self, graph: &Graph, root: usize, config: &SamplingConfig) -> Vec<usize>;
+    fn cycles(&mut self, graph: &Graph, v: usize, config: &SamplingConfig) -> Vec<Vec<usize>>;
+}
+
+/// Always runs the underlying search — the historical behaviour.
+struct FreshOracle;
+
+impl DrawOracle for FreshOracle {
+    fn path(&mut self, graph: &Graph, v: usize, mu: usize) -> Option<Vec<usize>> {
+        shortest_path(graph, v, mu)
+    }
+
+    fn tree(&mut self, graph: &Graph, root: usize, config: &SamplingConfig) -> Vec<usize> {
+        bounded_bfs_tree(graph, root, config.tree_depth, config.max_group_size)
+    }
+
+    fn cycles(&mut self, graph: &Graph, v: usize, config: &SamplingConfig) -> Vec<Vec<usize>> {
+        cycles_through_budgeted(
+            graph,
+            v,
+            config.max_cycle_len,
+            config.max_cycles_per_anchor,
+            config.max_cycle_dfs_steps,
+        )
+    }
+}
+
+/// Answers draws from a [`DrawCache`], running (and memoizing) the search
+/// only on a miss.
+struct CachedOracle<'a> {
+    cache: &'a mut DrawCache,
+}
+
+impl DrawOracle for CachedOracle<'_> {
+    fn path(&mut self, graph: &Graph, v: usize, mu: usize) -> Option<Vec<usize>> {
+        self.cache
+            .path_entry((v, mu), || shortest_path(graph, v, mu))
+    }
+
+    fn tree(&mut self, graph: &Graph, root: usize, config: &SamplingConfig) -> Vec<usize> {
+        self.cache.tree_entry(root, || {
+            bounded_bfs_tree(graph, root, config.tree_depth, config.max_group_size)
+        })
+    }
+
+    fn cycles(&mut self, graph: &Graph, v: usize, config: &SamplingConfig) -> Vec<Vec<usize>> {
+        self.cache.cycles_entry(v, || {
+            cycles_through_budgeted(
+                graph,
+                v,
+                config.max_cycle_len,
+                config.max_cycles_per_anchor,
+                config.max_cycle_dfs_steps,
+            )
+        })
+    }
+}
+
 /// Samples candidate anomaly groups from the anchors (Alg. 1).
 pub fn sample_candidate_groups(
     graph: &Graph,
     anchors: &[usize],
     config: &SamplingConfig,
+) -> (Vec<Group>, SamplingStats) {
+    sample_with_oracle(graph, anchors, config, &mut FreshOracle)
+}
+
+/// [`sample_candidate_groups`] answering each graph search from `cache`
+/// (memoizing misses). Output is **bit-for-bit identical** to the fresh
+/// sampler as long as the cache has been [`DrawCache::prune`]d for every
+/// topology change since its entries were recorded — the incremental
+/// scoring path's contract.
+pub fn sample_candidate_groups_cached(
+    graph: &Graph,
+    anchors: &[usize],
+    config: &SamplingConfig,
+    cache: &mut DrawCache,
+) -> (Vec<Group>, SamplingStats) {
+    sample_with_oracle(graph, anchors, config, &mut CachedOracle { cache })
+}
+
+fn sample_with_oracle(
+    graph: &Graph,
+    anchors: &[usize],
+    config: &SamplingConfig,
+    oracle: &mut impl DrawOracle,
 ) -> (Vec<Group>, SamplingStats) {
     let mut stats = SamplingStats::default();
     let mut seen: BTreeSet<Group> = BTreeSet::new();
@@ -216,13 +306,13 @@ pub fn sample_candidate_groups(
             break;
         }
         // Path search (Line 5 of Alg. 1).
-        if let Some(path) = shortest_path(graph, v, mu) {
+        if let Some(path) = oracle.path(graph, v, mu) {
             if path.len() <= config.max_path_len {
                 push(path, &mut seen, &mut groups, &mut stats, Source::Path);
             }
         }
         // Tree search (Line 7 of Alg. 1): depth-bounded BFS tree from v.
-        let tree = bounded_bfs_tree(graph, v, config.tree_depth, config.max_group_size);
+        let tree = oracle.tree(graph, v, config);
         push(tree, &mut seen, &mut groups, &mut stats, Source::Tree);
     }
 
@@ -231,13 +321,7 @@ pub fn sample_candidate_groups(
         if groups.len() >= config.max_groups {
             break;
         }
-        for cycle in cycles_through_budgeted(
-            graph,
-            v,
-            config.max_cycle_len,
-            config.max_cycles_per_anchor,
-            config.max_cycle_dfs_steps,
-        ) {
+        for cycle in oracle.cycles(graph, v, config) {
             push(cycle, &mut seen, &mut groups, &mut stats, Source::Cycle);
         }
     }
@@ -252,7 +336,7 @@ pub fn sample_candidate_groups(
             .collect();
         non_anchors.shuffle(&mut rng);
         for &root in non_anchors.iter().take(config.background_groups) {
-            let tree = bounded_bfs_tree(graph, root, config.tree_depth, config.max_group_size);
+            let tree = oracle.tree(graph, root, config);
             push(tree, &mut seen, &mut groups, &mut stats, Source::Background);
         }
     }
@@ -417,6 +501,71 @@ mod tests {
         let loaded = SamplingConfig::from_value(&legacy).unwrap();
         assert_eq!(loaded.max_cycle_dfs_steps, usize::MAX);
         assert_eq!(loaded.seed, 9);
+    }
+
+    /// The cached sampler must reproduce the fresh sampler bit-for-bit
+    /// across randomized delta rounds, provided the cache is pruned for
+    /// every topology change — the incremental scoring contract.
+    #[test]
+    fn cached_sampler_is_bit_identical_across_delta_rounds() {
+        use crate::cache::DrawCache;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let n = 60;
+        let mut g = Graph::with_no_features(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        for i in (0..n).step_by(7) {
+            g.add_edge(i, (i + 13) % n);
+        }
+        let config = SamplingConfig {
+            max_anchor_pairs: 60,
+            max_groups: 300,
+            background_groups: 10,
+            seed: 21,
+            ..Default::default()
+        };
+        let mut cache = DrawCache::new();
+        let mut rng = StdRng::seed_from_u64(5);
+
+        for round in 0..6 {
+            // Anchors drift between rounds, as real re-localization would.
+            let anchors: Vec<usize> = (0..8).map(|_| rng.gen_range(0..g.num_nodes())).collect();
+            let anchors: Vec<usize> = {
+                let set: BTreeSet<usize> = anchors.into_iter().collect();
+                set.into_iter().collect()
+            };
+
+            let (fresh, fresh_stats) = sample_candidate_groups(&g, &anchors, &config);
+            let (cached, cached_stats) =
+                sample_candidate_groups_cached(&g, &anchors, &config, &mut cache);
+            assert_eq!(fresh, cached, "round {round}");
+            assert_eq!(fresh_stats.from_paths, cached_stats.from_paths);
+            assert_eq!(fresh_stats.from_trees, cached_stats.from_trees);
+            assert_eq!(fresh_stats.from_cycles, cached_stats.from_cycles);
+            assert_eq!(fresh_stats.from_background, cached_stats.from_background);
+
+            // Mutate a few edges and prune the cache for exactly those
+            // endpoints.
+            let mut dirty = BTreeSet::new();
+            for _ in 0..2 {
+                let u = rng.gen_range(0..g.num_nodes());
+                let v = rng.gen_range(0..g.num_nodes());
+                let changed = if g.has_edge(u, v) {
+                    g.try_remove_edge(u, v).expect("in range")
+                } else {
+                    g.try_add_edge(u, v).expect("in range")
+                };
+                if changed {
+                    dirty.insert(u);
+                    dirty.insert(v);
+                }
+            }
+            cache.prune(&g, &dirty, &config);
+        }
+        assert!(cache.hits() > 0, "repeat rounds must reuse draws");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! grgad_serve                          # serve stdin → stdout
+//! grgad_serve --max-dirty-fraction 0.4 # tune the full-re-score fallback
 //! grgad_serve --demo-artifacts DIR     # write a demo model.json + graph.json
 //! grgad_serve --demo-artifacts DIR --seed 7 --nodes 60
 //! ```
@@ -21,7 +22,7 @@
 use std::io::{BufRead, Write};
 
 use grgad_core::{TpGrGad, TpGrGadConfig};
-use grgad_serve::Session;
+use grgad_serve::{EngineConfig, Session};
 
 fn main() -> std::io::Result<()> {
     let args: Vec<String> = std::env::args().collect();
@@ -35,11 +36,26 @@ fn main() -> std::io::Result<()> {
         return write_demo_artifacts(std::path::Path::new(dir), seed, nodes);
     }
 
+    let mut engine_config = EngineConfig::builder();
+    if let Some(i) = args.iter().position(|a| a == "--max-dirty-fraction") {
+        let parsed = args.get(i + 1).and_then(|v| v.parse::<f32>().ok());
+        let Some(fraction) = parsed else {
+            eprintln!("--max-dirty-fraction requires a numeric argument");
+            std::process::exit(2);
+        };
+        engine_config = engine_config.max_dirty_fraction(fraction);
+    }
+    let engine_config = engine_config.build();
+    if let Err(e) = engine_config.validate() {
+        eprintln!("invalid engine configuration: {e}");
+        std::process::exit(2);
+    }
+
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut input = stdin.lock();
     let mut out = stdout.lock();
-    let mut session = Session::new();
+    let mut session = Session::with_config(engine_config);
     // Read raw bytes rather than `lines()`: a line of invalid UTF-8 must
     // become an `ok:false` protocol-error response on the wire, not an
     // io::Error that kills the whole session.

@@ -3,41 +3,55 @@
 //!
 //! # Dirty-region re-scoring invariant
 //!
-//! The engine tracks the set of *dirty nodes* — every node touched by a
-//! delta since the last score (both endpoints of an edge change, re-featured
-//! nodes, appended nodes). At score time it drops exactly the cached group
-//! embeddings containing a dirty node and reuses the rest
-//! ([`grgad_core::GroupEmbeddingCache`]). Because a group's embedding
-//! depends only on its members' feature rows and induced edges — both
-//! untouched for a cache-valid group — and the per-group GCN forward writes
-//! index-addressed output slots independent of batch composition, the
-//! incremental result is **bit-for-bit identical** to a from-scratch
+//! The engine records every mutation into a persistent
+//! [`grgad_core::IncrementalState`] and scores through
+//! [`TrainedTpGrGad::score_incremental_observed`], which patches **three
+//! levels** of cached state instead of recomputing the pipeline
+//! (DESIGN.md §9):
+//!
+//! 1. reconstruction errors / anchors, recomputed only on the GCN
+//!    receptive-field hop ball of the dirty region;
+//! 2. candidate-group draws, replayed from a memo and re-searched only
+//!    through dirty topology;
+//! 3. group embeddings, invalidated per-member for node dirt and pairwise
+//!    for edge dirt.
+//!
+//! The result is **bit-for-bit identical** to a from-scratch
 //! [`TrainedTpGrGad::score`] on the same final graph
 //! (`tests/incremental_parity.rs` proves this for seeded 200-delta streams
-//! at 1 and 4 threads). The other stages (anchor inference, sampling,
-//! detector scoring) re-run fully: their outputs depend on global graph
-//! state, and they are cheap relative to the per-group embedding forwards.
+//! at 1 and 4 threads; the low-churn property test pins it per round).
 //!
 //! Past a configurable dirty fraction ([`EngineConfig::max_dirty_fraction`])
-//! the engine stops pretending the cache helps, clears it and reports the
-//! run as a full re-score; the output is identical either way.
+//! the engine stops pretending the caches help, clears them and reports the
+//! run as a full re-score; the output is identical either way, and the full
+//! run refills every cache so the next round patches again.
 
-use std::collections::BTreeSet;
+use std::path::Path;
 
-use grgad_core::{GroupEmbeddingCache, TpGrGadResult, TrainedTpGrGad};
+use grgad_core::{IncrementalState, TpGrGadResult, TrainedTpGrGad};
 use grgad_error::GrgadError;
 use grgad_graph::{Graph, Group};
 use serde::{Deserialize, Serialize};
 
 use crate::protocol::GraphDelta;
 
-/// Tuning knobs of the [`ScoringEngine`].
-#[derive(Clone, Copy, Debug)]
+pub use grgad_core::ScoreMode;
+
+/// Tuning knobs of the [`ScoringEngine`]. Build fluently and validate at
+/// the boundary, mirroring `TpGrGadConfig`:
+///
+/// ```
+/// use grgad_serve::EngineConfig;
+///
+/// let config = EngineConfig::builder().max_dirty_fraction(0.4).build();
+/// config.validate().expect("in bounds");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EngineConfig {
-    /// Dirty-node fraction (dirty / total nodes) above which a score
-    /// request skips cache reuse entirely: the cache is cleared and the run
-    /// is reported as [`ScoreMode::Full`]. With most of the graph dirty,
-    /// per-entry invalidation would evict nearly everything anyway.
+    /// Dirty-node fraction (touched / total nodes) above which a score
+    /// request skips cache patching entirely: every cache level is cleared
+    /// and the run is reported as [`ScoreMode::Full`]. With most of the
+    /// graph dirty, the hop balls cover nearly everything anyway.
     pub max_dirty_fraction: f32,
 }
 
@@ -49,29 +63,60 @@ impl Default for EngineConfig {
     }
 }
 
-/// How a score request was served.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ScoreMode {
-    /// Cached group embeddings were reused for clean groups.
-    Incremental,
-    /// Everything was recomputed (first score, or dirty fraction exceeded
-    /// [`EngineConfig::max_dirty_fraction`]).
-    Full,
+impl EngineConfig {
+    /// Starts a fluent builder from the default configuration.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::new(Self::default())
+    }
+
+    /// Checks every knob, mirroring `TpGrGadConfig::validate`.
+    ///
+    /// # Errors
+    /// [`GrgadError::ConfigInvalid`] (wire tag `config_invalid`) naming the
+    /// offending knob — here `max_dirty_fraction` outside `[0, 1]` or
+    /// non-finite.
+    pub fn validate(&self) -> Result<(), GrgadError> {
+        if !self.max_dirty_fraction.is_finite() || !(0.0..=1.0).contains(&self.max_dirty_fraction) {
+            return Err(GrgadError::config("max_dirty_fraction must be in [0, 1]"));
+        }
+        Ok(())
+    }
 }
 
-impl ScoreMode {
-    /// Wire name (`incremental` | `full`).
-    pub fn name(&self) -> &'static str {
-        match self {
-            ScoreMode::Incremental => "incremental",
-            ScoreMode::Full => "full",
-        }
+/// Fluent builder for [`EngineConfig`]; `build` defers validation to
+/// [`EngineConfig::validate`] so construction sites stay infallible and the
+/// boundary ([`ScoringEngine::with_config`]) rejects bad knobs with the
+/// `config_invalid` wire tag.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Starts from an explicit base configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Self { config }
+    }
+
+    /// Sets the full-re-score fallback threshold.
+    pub fn max_dirty_fraction(mut self, fraction: f32) -> Self {
+        self.config.max_dirty_fraction = fraction;
+        self
+    }
+
+    /// Finalizes the configuration (unvalidated — see
+    /// [`EngineConfig::validate`]).
+    pub fn build(self) -> EngineConfig {
+        self.config
     }
 }
 
 /// Engine counters, the `stats` op payload. All values are deterministic
 /// functions of the request history (no wall-clock), so scripted sessions
-/// golden-diff cleanly.
+/// golden-diff cleanly. The incremental-reuse counters (`nodes_rescored`
+/// through `groups_reused`) mirror [`grgad_core::IncrementalStats`]; new
+/// fields only ever append, so the payload stays backward-compatible for
+/// clients that ignore unknown keys.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Nodes in the working graph.
@@ -94,6 +139,15 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Lifetime cache misses (embedding forwards computed).
     pub cache_misses: u64,
+    /// Nodes whose reconstruction errors were recomputed, summed over all
+    /// scores (a full score counts every node).
+    pub nodes_rescored: u64,
+    /// Anchor slots that re-selected a previous-round anchor.
+    pub anchors_reused: u64,
+    /// Candidate draws answered by running a graph search.
+    pub groups_resampled: u64,
+    /// Candidate draws answered from the draw cache.
+    pub groups_reused: u64,
 }
 
 /// The outcome of a delta batch: how far it got, what node ids were
@@ -116,18 +170,8 @@ pub struct DeltaBatchOutcome {
 pub struct ScoringEngine {
     model: TrainedTpGrGad,
     graph: Graph,
-    cache: GroupEmbeddingCache,
-    /// Nodes whose own state changed (features set, node appended) — a
-    /// cached group containing any of these is invalid.
-    dirty_nodes: BTreeSet<usize>,
-    /// Changed edges — a cached group is only invalid when it contains
-    /// **both** endpoints (its induced subgraph is untouched otherwise),
-    /// so these invalidate pairwise instead of per-endpoint.
-    dirty_edges: BTreeSet<(usize, usize)>,
-    config: EngineConfig,
+    state: IncrementalState,
     deltas_applied: u64,
-    scores_incremental: u64,
-    scores_full: u64,
 }
 
 impl ScoringEngine {
@@ -141,25 +185,23 @@ impl ScoringEngine {
     }
 
     /// [`ScoringEngine::new`] with explicit tuning knobs.
+    ///
+    /// # Errors
+    /// Whatever [`EngineConfig::validate`] or
+    /// [`TrainedTpGrGad::check_compat`] rejects.
     pub fn with_config(
         model: TrainedTpGrGad,
         graph: Graph,
         config: EngineConfig,
     ) -> Result<Self, GrgadError> {
-        if !(0.0..=1.0).contains(&config.max_dirty_fraction) {
-            return Err(GrgadError::config("max_dirty_fraction must be in [0, 1]"));
-        }
+        config.validate()?;
         model.check_compat(&graph)?;
+        let state = IncrementalState::new().with_max_dirty_fraction(config.max_dirty_fraction)?;
         Ok(Self {
             model,
             graph,
-            cache: GroupEmbeddingCache::new(),
-            dirty_nodes: BTreeSet::new(),
-            dirty_edges: BTreeSet::new(),
-            config,
+            state,
             deltas_applied: 0,
-            scores_incremental: 0,
-            scores_full: 0,
         })
     }
 
@@ -177,16 +219,7 @@ impl ScoringEngine {
     /// appended nodes plus endpoints of changed edges) — the numerator of
     /// the dirty fraction.
     pub fn dirty_nodes(&self) -> usize {
-        self.touched_nodes().len()
-    }
-
-    fn touched_nodes(&self) -> BTreeSet<usize> {
-        let mut touched = self.dirty_nodes.clone();
-        for &(u, v) in &self.dirty_edges {
-            touched.insert(u);
-            touched.insert(v);
-        }
-        touched
+        self.state.dirty().touched_nodes().len()
     }
 
     /// Applies one delta to the working graph, validating it first; an
@@ -201,24 +234,24 @@ impl ScoringEngine {
         let new_node = match delta {
             GraphDelta::AddNode { features } => {
                 let id = self.graph.try_add_node(features)?;
-                self.dirty_nodes.insert(id);
+                self.state.mark_node(id);
                 Some(id)
             }
             GraphDelta::AddEdge { u, v } => {
                 if self.graph.try_add_edge(*u, *v)? {
-                    self.dirty_edges.insert((*u.min(v), *u.max(v)));
+                    self.state.mark_edge(*u, *v);
                 }
                 None
             }
             GraphDelta::RemoveEdge { u, v } => {
                 if self.graph.try_remove_edge(*u, *v)? {
-                    self.dirty_edges.insert((*u.min(v), *u.max(v)));
+                    self.state.mark_edge(*u, *v);
                 }
                 None
             }
             GraphDelta::SetFeatures { node, features } => {
                 self.graph.try_set_node_features(*node, features)?;
-                self.dirty_nodes.insert(*node);
+                self.state.mark_node(*node);
                 None
             }
         };
@@ -252,10 +285,10 @@ impl ScoringEngine {
         outcome
     }
 
-    /// Scores the current working graph, reusing cached group embeddings
-    /// for groups untouched by deltas since they were cached. Bit-identical
-    /// to `self.model().score(self.graph())` by the dirty-region invariant
-    /// (module docs); the dirty set resets on success.
+    /// Scores the current working graph by patching the persistent
+    /// incremental state. Bit-identical to `self.model().score(self.graph())`
+    /// by the dirty-region invariant (module docs); the recorded dirt is
+    /// consumed on success.
     ///
     /// # Errors
     /// Whatever [`TrainedTpGrGad::score`] rejects.
@@ -271,33 +304,8 @@ impl ScoringEngine {
         &mut self,
         observer: &mut dyn grgad_core::PipelineObserver,
     ) -> Result<(TpGrGadResult, ScoreMode), GrgadError> {
-        let n = self.graph.num_nodes();
-        let touched = self.touched_nodes();
-        let dirty_fraction = if n == 0 {
-            1.0
-        } else {
-            touched.len() as f32 / n as f32
-        };
-        let mode = if self.cache.is_empty() || dirty_fraction > self.config.max_dirty_fraction {
-            self.cache.clear();
-            ScoreMode::Full
-        } else {
-            let nodes: Vec<usize> = self.dirty_nodes.iter().copied().collect();
-            self.cache.invalidate_nodes(&nodes);
-            let edges: Vec<(usize, usize)> = self.dirty_edges.iter().copied().collect();
-            self.cache.invalidate_edges(&edges);
-            ScoreMode::Incremental
-        };
-        let result = self
-            .model
-            .score_cached_observed(&self.graph, &mut self.cache, observer)?;
-        self.dirty_nodes.clear();
-        self.dirty_edges.clear();
-        match mode {
-            ScoreMode::Incremental => self.scores_incremental += 1,
-            ScoreMode::Full => self.scores_full += 1,
-        }
-        Ok((result, mode))
+        self.model
+            .score_incremental_observed(&self.graph, &mut self.state, observer)
     }
 
     /// Scores caller-supplied raw node-id lists on the working graph.
@@ -313,20 +321,47 @@ impl ScoringEngine {
         self.model.score_groups(&self.graph, &groups)
     }
 
+    /// Drops every cached level of the incremental state (the
+    /// `state_invalidate` op). The next score recomputes from scratch — and
+    /// refills the caches. Counters and pending dirt are kept.
+    pub fn invalidate_state(&mut self) {
+        self.state.invalidate();
+    }
+
+    /// Persists the incremental state as JSON (the `state_save` op).
+    ///
+    /// # Errors
+    /// [`GrgadError::ModelIo`] carrying the path and the cause.
+    pub fn save_state(&self, path: impl AsRef<Path>) -> Result<(), GrgadError> {
+        self.state.save(path)
+    }
+
     /// Deterministic engine counters (the `stats` op).
     pub fn stats(&self) -> EngineStats {
+        let inner = self.state.stats();
         EngineStats {
             nodes: self.graph.num_nodes(),
             edges: self.graph.num_edges(),
             feature_dim: self.graph.feature_dim(),
             dirty_nodes: self.dirty_nodes(),
             deltas_applied: self.deltas_applied,
-            scores_incremental: self.scores_incremental,
-            scores_full: self.scores_full,
-            cache_entries: self.cache.len(),
-            cache_hits: self.cache.hits(),
-            cache_misses: self.cache.misses(),
+            scores_incremental: inner.scores_incremental,
+            scores_full: inner.scores_full,
+            cache_entries: inner.cached_embeddings,
+            cache_hits: inner.cache_hits,
+            cache_misses: inner.cache_misses,
+            nodes_rescored: inner.nodes_rescored,
+            anchors_reused: inner.anchors_reused,
+            groups_resampled: inner.groups_resampled,
+            groups_reused: inner.groups_reused,
         }
+    }
+}
+
+#[cfg(test)]
+impl ScoringEngine {
+    fn stats_inner_for_test(&self) -> grgad_core::IncrementalStats {
+        self.state.stats()
     }
 }
 
@@ -384,9 +419,7 @@ mod tests {
         let mut engine = ScoringEngine::with_config(
             model,
             graph,
-            EngineConfig {
-                max_dirty_fraction: 0.05,
-            },
+            EngineConfig::builder().max_dirty_fraction(0.05).build(),
         )
         .expect("engine");
         let _ = engine.score().expect("warm-up");
@@ -404,6 +437,64 @@ mod tests {
         assert_eq!(mode, ScoreMode::Full);
         let full = engine.model().score(engine.graph()).expect("full");
         assert_eq!(result.scores, full.scores);
+    }
+
+    #[test]
+    fn engine_config_builder_validates_at_the_boundary() {
+        assert_eq!(
+            EngineConfig::builder().build(),
+            EngineConfig::default(),
+            "builder defaults match Default"
+        );
+        for bad in [-0.5, 1.5, f32::NAN] {
+            let config = EngineConfig::builder().max_dirty_fraction(bad).build();
+            assert!(matches!(
+                config.validate().unwrap_err(),
+                GrgadError::ConfigInvalid { .. }
+            ));
+            let (model, graph) = trained_pair(12);
+            let err = ScoringEngine::with_config(model, graph, config)
+                .err()
+                .expect("bad config must be rejected");
+            assert!(matches!(err, GrgadError::ConfigInvalid { .. }), "{err:?}");
+        }
+    }
+
+    /// Satellite regression: RemoveEdge→AddEdge of the same edge inside one
+    /// batch nets out to an unchanged graph but must still dirty both
+    /// endpoints, so stale pairwise rows cannot survive the round.
+    #[test]
+    fn remove_then_readd_same_edge_in_one_batch_still_invalidates() {
+        let (model, graph) = trained_pair(10);
+        // Pick an existing edge.
+        let (u, v) = {
+            let mut found = None;
+            'outer: for u in 0..graph.num_nodes() {
+                for v in (u + 1)..graph.num_nodes() {
+                    if graph.has_edge(u, v) {
+                        found = Some((u, v));
+                        break 'outer;
+                    }
+                }
+            }
+            found.expect("example graph has an edge")
+        };
+        let mut engine = ScoringEngine::new(model, graph).expect("engine");
+        let (baseline, _) = engine.score().expect("baseline");
+
+        let outcome = engine.apply_deltas(&[
+            GraphDelta::RemoveEdge { u, v },
+            GraphDelta::AddEdge { u, v },
+        ]);
+        assert_eq!(outcome.error, None);
+        assert!(
+            engine.dirty_nodes() >= 2,
+            "net-unchanged edge pair must still dirty its endpoints"
+        );
+        let (rescored, mode) = engine.score().expect("rescore");
+        assert_eq!(mode, ScoreMode::Incremental);
+        assert_eq!(rescored.scores, baseline.scores);
+        assert_eq!(rescored.candidate_groups, baseline.candidate_groups);
     }
 
     #[test]
@@ -546,6 +637,7 @@ mod tests {
         let before = engine.stats();
         assert_eq!(before.deltas_applied, 0);
         assert_eq!(before.scores_full + before.scores_incremental, 0);
+        assert_eq!(before.nodes_rescored, 0);
 
         let _ = engine.score().expect("score");
         engine
@@ -558,9 +650,36 @@ mod tests {
         assert_eq!(stats.scores_incremental, 1);
         assert!(stats.cache_entries > 0);
         assert!(stats.cache_hits > 0, "{stats:?}");
+        assert!(stats.groups_reused > 0, "draws replayed on round two");
+        assert!(stats.anchors_reused > 0, "anchor overlap across rounds");
+        assert!(
+            stats.nodes_rescored >= engine.graph().num_nodes() as u64,
+            "full round rescores everything"
+        );
 
         let json = serde_json::to_string(&stats).expect("stats serialize");
         let back: EngineStats = serde_json::from_str(&json).expect("stats parse");
         assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn invalidate_and_save_round_trip_engine_state() {
+        let (model, graph) = trained_pair(13);
+        let mut engine = ScoringEngine::new(model, graph).expect("engine");
+        let (baseline, _) = engine.score().expect("score");
+
+        let path =
+            std::env::temp_dir().join(format!("grgad_engine_state_{}.json", std::process::id()));
+        engine.save_state(&path).expect("save");
+        let restored =
+            grgad_core::IncrementalState::from_json(&std::fs::read_to_string(&path).expect("read"))
+                .expect("parse");
+        assert_eq!(restored.stats(), engine.stats_inner_for_test());
+        let _ = std::fs::remove_file(&path);
+
+        engine.invalidate_state();
+        let (again, mode) = engine.score().expect("rescore");
+        assert_eq!(mode, ScoreMode::Full, "invalidated state goes full");
+        assert_eq!(again.scores, baseline.scores);
     }
 }

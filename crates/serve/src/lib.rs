@@ -3,17 +3,20 @@
 //!
 //! A server session holds one [`ScoringEngine`] — a trained model bound to
 //! a mutable working graph — and feeds it [`GraphDelta`] mutations between
-//! score requests. Scoring is incremental: only candidate groups touching
-//! dirty (recently mutated) regions pay the per-group GCN embedding
-//! forward, with a configurable full-re-score fallback once too much of the
-//! graph is dirty; either way the output is bit-identical to scoring the
-//! final graph from scratch (see [`engine`] for the invariant and
-//! `tests/incremental_parity.rs` for the proof).
+//! score requests. Scoring is incremental at every level: reconstruction
+//! errors are patched on the dirty region's GCN hop ball, candidate draws
+//! replay from a memo, and only groups touching dirty regions pay the
+//! per-group GCN embedding forward — with a configurable full-re-score
+//! fallback once too much of the graph is dirty; either way the output is
+//! bit-identical to scoring the final graph from scratch (see [`engine`]
+//! and DESIGN.md §9 for the invariant, `tests/incremental_parity.rs` for
+//! the proof).
 //!
 //! The `grgad_serve` binary speaks the [`protocol`] over stdin/stdout —
 //! NDJSON request/response lines, no network dependencies — with
-//! `load`/`apply_delta`/`score`/`score_groups`/`stats` ops. See the README
-//! "Serving" section for a session transcript.
+//! `load`/`apply_delta`/`score`/`score_groups`/`stats`/`state_save`/
+//! `state_invalidate` ops. See the README "Serving" section for a session
+//! transcript.
 
 // Serving code must never panic on malformed input: every failure mode is
 // a typed error on the wire. Same gate as grgad-core.
@@ -23,7 +26,9 @@ pub mod engine;
 pub mod protocol;
 pub mod session;
 
-pub use engine::{DeltaBatchOutcome, EngineConfig, EngineStats, ScoreMode, ScoringEngine};
+pub use engine::{
+    DeltaBatchOutcome, EngineConfig, EngineConfigBuilder, EngineStats, ScoreMode, ScoringEngine,
+};
 pub use grgad_error::GrgadError;
 pub use protocol::{
     payload_str, GraphDelta, RequestOp, ResponseBody, ScoreRequest, ScoreResponse, TopGroup,

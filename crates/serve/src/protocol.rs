@@ -1,8 +1,9 @@
 //! The NDJSON wire protocol of `grgad_serve`.
 //!
-//! One request per line on stdin, one response per line on stdout. Four
-//! operations (plus a direct group-scoring op for callers that manage their
-//! own candidates):
+//! One request per line on stdin, one response per line on stdout. The
+//! core operations (plus a direct group-scoring op for callers that manage
+//! their own candidates, and two ops over the persistent incremental
+//! state):
 //!
 //! ```text
 //! {"op":"load","model":"model.json","graph":"graph.json"}
@@ -10,6 +11,8 @@
 //! {"op":"score","top":3}
 //! {"op":"score_groups","groups":[[0,1,2],[4,5]]}
 //! {"op":"stats"}
+//! {"op":"state_save","path":"state.json"}
+//! {"op":"state_invalidate"}
 //! ```
 //!
 //! Responses always carry `"ok"` and echo `"op"`; failures add an
@@ -159,6 +162,15 @@ pub enum RequestOp {
     },
     /// Report engine counters.
     Stats,
+    /// Persist the engine's incremental state (all cache levels, pending
+    /// dirt, counters) as JSON at the given path.
+    StateSave {
+        /// Destination path for the state snapshot.
+        path: String,
+    },
+    /// Drop every cached level of the incremental state; the next score
+    /// recomputes from scratch (and refills the caches).
+    StateInvalidate,
 }
 
 impl RequestOp {
@@ -170,6 +182,8 @@ impl RequestOp {
             RequestOp::Score { .. } => "score",
             RequestOp::ScoreGroups { .. } => "score_groups",
             RequestOp::Stats => "stats",
+            RequestOp::StateSave { .. } => "state_save",
+            RequestOp::StateInvalidate => "state_invalidate",
         }
     }
 }
@@ -265,9 +279,14 @@ pub fn parse_request(line: &str) -> Result<ScoreRequest, GrgadError> {
                 .map_err(proto)?,
         },
         "stats" => RequestOp::Stats,
+        "state_save" => RequestOp::StateSave {
+            path: String::from_value(value.field("path").map_err(proto)?).map_err(proto)?,
+        },
+        "state_invalidate" => RequestOp::StateInvalidate,
         other => {
             return Err(GrgadError::protocol(format!(
-                "unknown op `{other}` (expected load|apply_delta|score|score_groups|stats)"
+                "unknown op `{other}` (expected load|apply_delta|score|score_groups|stats|\
+                 state_save|state_invalidate)"
             )))
         }
     };
@@ -325,6 +344,16 @@ pub enum ResponseBody {
     },
     /// `stats` succeeded.
     Stats(EngineStats),
+    /// `state_save` succeeded.
+    StateSaved {
+        /// The path the state was written to (echoed from the request).
+        path: String,
+    },
+    /// `state_invalidate` succeeded.
+    StateInvalidated {
+        /// Dirty-node count still pending (dirt survives invalidation).
+        dirty_nodes: usize,
+    },
 }
 
 /// One NDJSON response line, typed.
@@ -414,6 +443,12 @@ impl ScoreResponse {
                 ResponseBody::Stats(stats) => {
                     entries.push(("stats".into(), stats.to_value()));
                 }
+                ResponseBody::StateSaved { path } => {
+                    entries.push(("path".into(), Value::Str(path.clone())));
+                }
+                ResponseBody::StateInvalidated { dirty_nodes } => {
+                    entries.push(("dirty_nodes".into(), dirty_nodes.to_value()));
+                }
             },
             Err(error) => {
                 if let Some((applied, new_nodes)) = &self.partial {
@@ -494,6 +529,18 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"op":"stats"}"#).unwrap().op,
             RequestOp::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"state_save","path":"s.json"}"#)
+                .unwrap()
+                .op,
+            RequestOp::StateSave {
+                path: "s.json".to_string()
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"state_invalidate"}"#).unwrap().op,
+            RequestOp::StateInvalidate
         );
     }
 

@@ -7,7 +7,7 @@
 use grgad_core::TrainedTpGrGad;
 use grgad_error::GrgadError;
 
-use crate::engine::ScoringEngine;
+use crate::engine::{EngineConfig, ScoringEngine};
 use crate::protocol::{
     parse_request, GraphDelta, RequestOp, ResponseBody, ScoreResponse, TopGroup,
 };
@@ -16,12 +16,24 @@ use crate::protocol::{
 #[derive(Default)]
 pub struct Session {
     engine: Option<ScoringEngine>,
+    config: EngineConfig,
 }
 
 impl Session {
-    /// A session with nothing loaded yet.
+    /// A session with nothing loaded yet and default engine knobs.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A session whose `load` op binds engines with the given knobs — how
+    /// the `grgad_serve` binary threads `--max-dirty-fraction` through.
+    /// `config` must already be validated ([`EngineConfig::validate`]);
+    /// an invalid one surfaces as a `config_invalid` error at `load` time.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Self {
+            engine: None,
+            config,
+        }
     }
 
     /// The loaded engine, when a `load` has succeeded.
@@ -98,7 +110,7 @@ impl Session {
             RequestOp::Load { model, graph } => {
                 let model = TrainedTpGrGad::load(&model)?;
                 let dataset = grgad_datasets::io::load_json(std::path::Path::new(&graph))?;
-                let engine = ScoringEngine::new(model, dataset.graph)?;
+                let engine = ScoringEngine::with_config(model, dataset.graph, self.config)?;
                 let body = ResponseBody::Loaded {
                     nodes: engine.graph().num_nodes(),
                     edges: engine.graph().num_edges(),
@@ -132,6 +144,17 @@ impl Session {
                 Ok(ResponseBody::GroupScores { scores })
             }
             RequestOp::Stats => Ok(ResponseBody::Stats(self.engine_mut()?.stats())),
+            RequestOp::StateSave { path } => {
+                self.engine_mut()?.save_state(&path)?;
+                Ok(ResponseBody::StateSaved { path })
+            }
+            RequestOp::StateInvalidate => {
+                let engine = self.engine_mut()?;
+                engine.invalidate_state();
+                Ok(ResponseBody::StateInvalidated {
+                    dirty_nodes: engine.dirty_nodes(),
+                })
+            }
         }
     }
 }
@@ -206,6 +229,31 @@ mod tests {
 
         let stats = session.handle_line(r#"{"op":"stats"}"#);
         assert!(stats.to_json_line().contains("\"deltas_applied\":1"));
+        assert!(
+            stats.to_json_line().contains("\"groups_reused\""),
+            "incremental-reuse counters on the wire: {}",
+            stats.to_json_line()
+        );
+
+        // state_save writes a reloadable snapshot; state_invalidate forces
+        // the next score back to full mode.
+        let state_path = dir.join("state.json");
+        let saved = session.handle_line(&format!(
+            r#"{{"op":"state_save","path":"{}"}}"#,
+            state_path.display()
+        ));
+        assert!(saved.result.is_ok(), "{:?}", saved.result);
+        let snapshot = std::fs::read_to_string(&state_path).expect("state written");
+        grgad_core::IncrementalState::from_json(&snapshot).expect("snapshot parses");
+
+        let invalidated = session.handle_line(r#"{"op":"state_invalidate"}"#);
+        assert!(invalidated.result.is_ok(), "{:?}", invalidated.result);
+        let after = session.handle_line(r#"{"op":"score","top":1}"#);
+        assert!(
+            after.to_json_line().contains("\"mode\":\"full\""),
+            "{}",
+            after.to_json_line()
+        );
 
         // Bad delta surfaces the typed error kind on the wire.
         let bad = session

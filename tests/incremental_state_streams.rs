@@ -1,0 +1,166 @@
+//! Property test for the first-class [`IncrementalState`] API: across seeded
+//! low-churn delta streams, [`TrainedTpGrGad::score_incremental`] must equal
+//! a from-scratch `score()` **bit-for-bit after every round** — at 1 and 4
+//! worker threads, and on both sides of the dirty-fraction fallback
+//! threshold (rounds small enough to stay incremental and churn bursts large
+//! enough to force the full-mode fallback take the same oracle).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tp_grgad::prelude::*;
+
+/// Mutates the graph in place with `count` seeded deltas and marks the same
+/// dirt on the state — exactly what a serving host does per batch.
+fn churn<R: Rng>(rng: &mut R, graph: &mut Graph, state: &mut IncrementalState, count: usize) {
+    let n = graph.num_nodes();
+    let dim = graph.feature_dim();
+    for _ in 0..count {
+        match rng.gen_range(0..3u32) {
+            0 => {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if graph.try_add_edge(u, v).expect("valid endpoints") {
+                    state.mark_edge(u, v);
+                }
+            }
+            1 => {
+                let u = rng.gen_range(0..n);
+                if graph.degree(u) > 0 {
+                    let v = graph.neighbors(u)[rng.gen_range(0..graph.degree(u))];
+                    if graph.try_remove_edge(u, v).expect("valid endpoints") {
+                        state.mark_edge(u, v);
+                    }
+                }
+            }
+            _ => {
+                let node = rng.gen_range(0..n);
+                let features: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+                graph
+                    .try_set_node_features(node, &features)
+                    .expect("valid node");
+                state.mark_node(node);
+            }
+        }
+    }
+}
+
+fn assert_parity(incremental: &TpGrGadResult, full: &TpGrGadResult, context: &str) {
+    assert_eq!(
+        incremental.anchor_nodes, full.anchor_nodes,
+        "{context}: anchors diverged"
+    );
+    assert_eq!(
+        incremental.candidate_groups, full.candidate_groups,
+        "{context}: groups diverged"
+    );
+    let inc_bits: Vec<u32> = incremental.scores.iter().map(|s| s.to_bits()).collect();
+    let full_bits: Vec<u32> = full.scores.iter().map(|s| s.to_bits()).collect();
+    assert_eq!(inc_bits, full_bits, "{context}: score bits diverged");
+    assert_eq!(
+        incremental.predicted_anomalous, full.predicted_anomalous,
+        "{context}: predictions diverged"
+    );
+}
+
+/// One seeded stream: 6 low-churn rounds (2 deltas each, safely below the
+/// fallback threshold), then one churn burst (touching well over half the
+/// graph, forcing the full-mode fallback), then 2 more low-churn rounds to
+/// prove the state recovers into incremental mode. Returns the per-round
+/// score bits for the cross-thread determinism check.
+fn run_stream(seed: u64, num_threads: usize) -> Vec<Vec<u32>> {
+    let dataset = datasets::example::generate(50, seed);
+    let mut config = TpGrGadConfig::fast().with_seed(seed);
+    config.num_threads = num_threads;
+    let trained = TpGrGad::new(config).fit(&dataset.graph).expect("fit");
+
+    let mut graph = dataset.graph.clone();
+    let mut state = IncrementalState::new()
+        .with_max_dirty_fraction(0.3)
+        .expect("valid fraction");
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x51_7C_C1_B7));
+    let mut history = Vec::new();
+
+    // Cold start is always a full score.
+    let (first, mode) = trained
+        .score_incremental(&graph, &mut state)
+        .expect("cold score");
+    assert_eq!(
+        mode,
+        ScoreMode::Full,
+        "seed {seed}: cold state must go full"
+    );
+    assert_parity(&first, &trained.score(&graph).expect("oracle"), "cold");
+
+    for round in 0..9usize {
+        let burst = round == 6;
+        if burst {
+            // Touch > 30% of nodes: the dirty fraction crosses the
+            // threshold and the state must fall back to a full re-score.
+            for node in 0..graph.num_nodes() / 2 {
+                let features: Vec<f32> = (0..graph.feature_dim())
+                    .map(|_| rng.gen_range(-1.0..1.0f32))
+                    .collect();
+                graph
+                    .try_set_node_features(node, &features)
+                    .expect("valid node");
+                state.mark_node(node);
+            }
+        } else {
+            churn(&mut rng, &mut graph, &mut state, 2);
+        }
+
+        let (incremental, mode) = trained
+            .score_incremental(&graph, &mut state)
+            .expect("incremental score");
+        let expected = if burst {
+            ScoreMode::Full
+        } else {
+            ScoreMode::Incremental
+        };
+        assert_eq!(
+            mode, expected,
+            "seed {seed} threads {num_threads} round {round}: wrong mode"
+        );
+
+        let full = trained.score(&graph).expect("full oracle");
+        assert_parity(
+            &incremental,
+            &full,
+            &format!("seed {seed} threads {num_threads} round {round}"),
+        );
+        history.push(incremental.scores.iter().map(|s| s.to_bits()).collect());
+    }
+
+    let stats = state.stats();
+    assert_eq!(
+        (stats.scores_incremental, stats.scores_full),
+        (8, 2),
+        "seed {seed}: 8 low-churn rounds + cold start + burst"
+    );
+    assert!(
+        stats.groups_reused > 0 && stats.anchors_reused > 0,
+        "seed {seed}: low churn must reuse draws and anchors: {stats:?}"
+    );
+    history
+}
+
+#[test]
+fn low_churn_streams_match_full_scoring_bit_for_bit_seed_5() {
+    let single = run_stream(5, 1);
+    let multi = run_stream(5, 4);
+    assert_eq!(single, multi, "thread count must not change score bits");
+}
+
+#[test]
+fn low_churn_streams_match_full_scoring_bit_for_bit_seed_6() {
+    let single = run_stream(6, 1);
+    let multi = run_stream(6, 4);
+    assert_eq!(single, multi, "thread count must not change score bits");
+}
+
+#[test]
+fn low_churn_streams_match_full_scoring_bit_for_bit_seed_7() {
+    let single = run_stream(7, 1);
+    let multi = run_stream(7, 4);
+    assert_eq!(single, multi, "thread count must not change score bits");
+}
