@@ -8,22 +8,23 @@
 use grgad_linalg::ops::{sigmoid_scalar, softplus_scalar};
 use grgad_linalg::{CsrMatrix, Matrix};
 
+use crate::nn::Activation;
 use crate::tensor::Tensor;
 
 impl Tensor {
     /// Dense matrix product `self × other`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         let value = self.value().matmul(&other.value());
-        let a_val = self.value_clone();
-        let b_val = other.value_clone();
         Tensor::from_op(
             value,
             vec![self.clone(), other.clone()],
-            Box::new(move |grad, parents| {
+            Box::new(move |grad, _out, parents| {
                 if parents[0].requires_grad() {
+                    let b_val = parents[1].value();
                     parents[0].accumulate_grad(&grad.matmul(&b_val.transpose()));
                 }
                 if parents[1].requires_grad() {
+                    let a_val = parents[0].value();
                     parents[1].accumulate_grad(&a_val.transpose().matmul(grad));
                 }
             }),
@@ -38,9 +39,78 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![x.clone()],
-            Box::new(move |grad, parents| {
+            Box::new(move |grad, _out, parents| {
                 if parents[0].requires_grad() {
                     parents[0].accumulate_grad(&adj.transpose_matmul_dense(grad));
+                }
+            }),
+        )
+    }
+
+    /// Fused graph-convolution step `act((adj × x) × W + b)` recorded as a
+    /// single tape node.
+    ///
+    /// Bit-identical to the `spmm → matmul → add_bias → activation`
+    /// composition: the forward pass runs the exact same kernel sequence on
+    /// the same inputs, and the backward pass replays the composed chain —
+    /// activation derivative from the stored output (`relu` output is
+    /// positive iff its input is, `sigmoid`/`tanh` derivatives are functions
+    /// of the output), bias gradient via `sum_rows`, weight gradient via
+    /// `(adj × x)ᵀ × d`, input gradient via `adjᵀ × (d × Wᵀ)`. Gradient
+    /// accumulation targets are disjoint, so ordering cannot change sums.
+    ///
+    /// The point of fusing is the tape footprint: the composition stores up
+    /// to four n-row intermediates per layer (propagation, pre-bias,
+    /// pre-activation, output) for the whole lifetime of the graph, while
+    /// this node stores only the output and recomputes the propagated input
+    /// `adj × x` transiently during backward. On a million-node GCN that is
+    /// the difference between the fit peaking on the tape and peaking on the
+    /// forward pass itself.
+    pub fn gcn_layer(
+        adj: &CsrMatrix,
+        x: &Tensor,
+        weight: &Tensor,
+        bias: &Tensor,
+        activation: Activation,
+    ) -> Tensor {
+        let pre = adj
+            .matmul_dense(&x.value())
+            .matmul(&weight.value())
+            .add_row_broadcast(&bias.value());
+        let value = match activation {
+            Activation::Identity => pre,
+            Activation::Relu => pre.map(|v| v.max(0.0)),
+            Activation::Sigmoid => pre.map(sigmoid_scalar),
+            Activation::Tanh => pre.map(f32::tanh),
+        };
+        let adj = adj.clone();
+        Tensor::from_op(
+            value,
+            vec![x.clone(), weight.clone(), bias.clone()],
+            Box::new(move |grad, out, parents| {
+                // Activation backward, derived from the stored output so no
+                // pre-activation matrix needs to live on the tape.
+                let masked = match activation {
+                    Activation::Identity => None,
+                    Activation::Relu => {
+                        Some(grad.zip_map(out, |g, y| if y > 0.0 { g } else { 0.0 }))
+                    }
+                    Activation::Sigmoid => Some(grad.zip_map(out, |g, y| g * y * (1.0 - y))),
+                    Activation::Tanh => Some(grad.zip_map(out, |g, y| g * (1.0 - y * y))),
+                };
+                let d = masked.as_ref().unwrap_or(grad);
+                if parents[2].requires_grad() {
+                    parents[2].accumulate_grad(&d.sum_rows());
+                }
+                if parents[1].requires_grad() {
+                    // Recompute the propagated input transiently instead of
+                    // keeping it resident between forward and backward.
+                    let propagated = adj.matmul_dense(&parents[0].value());
+                    parents[1].accumulate_grad(&propagated.transpose().matmul(d));
+                }
+                if parents[0].requires_grad() {
+                    let d_prop = d.matmul(&parents[1].value().transpose());
+                    parents[0].accumulate_grad(&adj.transpose_matmul_dense(&d_prop));
                 }
             }),
         )
@@ -52,7 +122,7 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone(), other.clone()],
-            Box::new(|grad, parents| {
+            Box::new(|grad, _out, parents| {
                 parents[0].accumulate_grad(grad);
                 parents[1].accumulate_grad(grad);
             }),
@@ -65,7 +135,7 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone(), other.clone()],
-            Box::new(|grad, parents| {
+            Box::new(|grad, _out, parents| {
                 parents[0].accumulate_grad(grad);
                 parents[1].accumulate_grad(&grad.scale(-1.0));
             }),
@@ -75,14 +145,12 @@ impl Tensor {
     /// Element-wise (Hadamard) product.
     pub fn mul(&self, other: &Tensor) -> Tensor {
         let value = self.value().hadamard(&other.value());
-        let a_val = self.value_clone();
-        let b_val = other.value_clone();
         Tensor::from_op(
             value,
             vec![self.clone(), other.clone()],
-            Box::new(move |grad, parents| {
-                parents[0].accumulate_grad(&grad.hadamard(&b_val));
-                parents[1].accumulate_grad(&grad.hadamard(&a_val));
+            Box::new(move |grad, _out, parents| {
+                parents[0].accumulate_grad(&grad.hadamard(&parents[1].value()));
+                parents[1].accumulate_grad(&grad.hadamard(&parents[0].value()));
             }),
         )
     }
@@ -93,7 +161,7 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone(), bias.clone()],
-            Box::new(|grad, parents| {
+            Box::new(|grad, _out, parents| {
                 parents[0].accumulate_grad(grad);
                 if parents[1].requires_grad() {
                     parents[1].accumulate_grad(&grad.sum_rows());
@@ -108,7 +176,7 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone()],
-            Box::new(move |grad, parents| {
+            Box::new(move |grad, _out, parents| {
                 parents[0].accumulate_grad(&grad.scale(s));
             }),
         )
@@ -120,7 +188,7 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone()],
-            Box::new(|grad, parents| {
+            Box::new(|grad, _out, parents| {
                 parents[0].accumulate_grad(grad);
             }),
         )
@@ -128,12 +196,12 @@ impl Tensor {
 
     /// Rectified linear unit.
     pub fn relu(&self) -> Tensor {
-        let input = self.value_clone();
-        let value = input.map(|x| x.max(0.0));
+        let value = self.value().map(|x| x.max(0.0));
         Tensor::from_op(
             value,
             vec![self.clone()],
-            Box::new(move |grad, parents| {
+            Box::new(move |grad, _out, parents| {
+                let input = parents[0].value();
                 let masked = grad.zip_map(&input, |g, x| if x > 0.0 { g } else { 0.0 });
                 parents[0].accumulate_grad(&masked);
             }),
@@ -143,12 +211,11 @@ impl Tensor {
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Tensor {
         let out = self.value().map(sigmoid_scalar);
-        let out_clone = out.clone();
         Tensor::from_op(
             out,
             vec![self.clone()],
-            Box::new(move |grad, parents| {
-                let d = grad.zip_map(&out_clone, |g, y| g * y * (1.0 - y));
+            Box::new(move |grad, out, parents| {
+                let d = grad.zip_map(out, |g, y| g * y * (1.0 - y));
                 parents[0].accumulate_grad(&d);
             }),
         )
@@ -157,12 +224,11 @@ impl Tensor {
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Tensor {
         let out = self.value().map(f32::tanh);
-        let out_clone = out.clone();
         Tensor::from_op(
             out,
             vec![self.clone()],
-            Box::new(move |grad, parents| {
-                let d = grad.zip_map(&out_clone, |g, y| g * (1.0 - y * y));
+            Box::new(move |grad, out, parents| {
+                let d = grad.zip_map(out, |g, y| g * (1.0 - y * y));
                 parents[0].accumulate_grad(&d);
             }),
         )
@@ -171,12 +237,11 @@ impl Tensor {
     /// Element-wise exponential (values are clamped to avoid overflow).
     pub fn exp(&self) -> Tensor {
         let out = self.value().map(|x| x.min(30.0).exp());
-        let out_clone = out.clone();
         Tensor::from_op(
             out,
             vec![self.clone()],
-            Box::new(move |grad, parents| {
-                parents[0].accumulate_grad(&grad.hadamard(&out_clone));
+            Box::new(move |grad, out, parents| {
+                parents[0].accumulate_grad(&grad.hadamard(out));
             }),
         )
     }
@@ -184,12 +249,12 @@ impl Tensor {
     /// Element-wise natural logarithm (inputs clamped at a small positive
     /// epsilon for stability).
     pub fn ln(&self) -> Tensor {
-        let input = self.value_clone();
-        let out = input.map(|x| x.max(1e-12).ln());
+        let out = self.value().map(|x| x.max(1e-12).ln());
         Tensor::from_op(
             out,
             vec![self.clone()],
-            Box::new(move |grad, parents| {
+            Box::new(move |grad, _out, parents| {
+                let input = parents[0].value();
                 let d = grad.zip_map(&input, |g, x| g / x.max(1e-12));
                 parents[0].accumulate_grad(&d);
             }),
@@ -198,12 +263,12 @@ impl Tensor {
 
     /// Element-wise softplus `ln(1 + e^x)`.
     pub fn softplus(&self) -> Tensor {
-        let input = self.value_clone();
-        let out = input.map(softplus_scalar);
+        let out = self.value().map(softplus_scalar);
         Tensor::from_op(
             out,
             vec![self.clone()],
-            Box::new(move |grad, parents| {
+            Box::new(move |grad, _out, parents| {
+                let input = parents[0].value();
                 let d = grad.zip_map(&input, |g, x| g * sigmoid_scalar(x));
                 parents[0].accumulate_grad(&d);
             }),
@@ -216,7 +281,7 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone()],
-            Box::new(|grad, parents| {
+            Box::new(|grad, _out, parents| {
                 parents[0].accumulate_grad(&grad.transpose());
             }),
         )
@@ -229,7 +294,7 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone()],
-            Box::new(move |grad, parents| {
+            Box::new(move |grad, _out, parents| {
                 let g = grad[(0, 0)];
                 parents[0].accumulate_grad(&Matrix::full(rows, cols, g));
             }),
@@ -251,7 +316,7 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone()],
-            Box::new(move |grad, parents| {
+            Box::new(move |grad, _out, parents| {
                 let mut g = Matrix::zeros(rows, cols);
                 let scale = 1.0 / rows.max(1) as f32;
                 for i in 0..rows {
@@ -272,7 +337,7 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone()],
-            Box::new(move |grad, parents| {
+            Box::new(move |grad, _out, parents| {
                 let mut g = Matrix::zeros(rows, cols);
                 for (r, &i) in indices.iter().enumerate() {
                     for j in 0..cols {
@@ -291,7 +356,7 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone(), other.clone()],
-            Box::new(move |grad, parents| {
+            Box::new(move |grad, _out, parents| {
                 let rows = grad.rows();
                 let total = grad.cols();
                 let mut ga = Matrix::zeros(rows, a_cols);
@@ -313,7 +378,7 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone(), other.clone()],
-            Box::new(move |grad, parents| {
+            Box::new(move |grad, _out, parents| {
                 let cols = grad.cols();
                 let total = grad.rows();
                 let mut ga = Matrix::zeros(a_rows, cols);
@@ -334,18 +399,21 @@ impl Tensor {
     /// an `(E × 1)` tensor. This is the inner-product structure decoder used
     /// by GAE/MH-GAE without materializing the full `n × n` reconstruction.
     pub fn edge_dot(&self, edges: &[(usize, usize)]) -> Tensor {
-        let z = self.value_clone();
         let mut scores = Matrix::zeros(edges.len(), 1);
-        for (e, &(u, v)) in edges.iter().enumerate() {
-            let dot: f32 = z.row(u).iter().zip(z.row(v)).map(|(&a, &b)| a * b).sum();
-            scores[(e, 0)] = dot;
+        {
+            let z = self.value();
+            for (e, &(u, v)) in edges.iter().enumerate() {
+                let dot: f32 = z.row(u).iter().zip(z.row(v)).map(|(&a, &b)| a * b).sum();
+                scores[(e, 0)] = dot;
+            }
         }
         let edges = edges.to_vec();
         let (rows, cols) = self.shape();
         Tensor::from_op(
             scores,
             vec![self.clone()],
-            Box::new(move |grad, parents| {
+            Box::new(move |grad, _out, parents| {
+                let z = parents[0].value();
                 let mut g = Matrix::zeros(rows, cols);
                 for (e, &(u, v)) in edges.iter().enumerate() {
                     let ge = grad[(e, 0)];
@@ -354,16 +422,44 @@ impl Tensor {
                         g[(v, j)] += ge * z[(u, j)];
                     }
                 }
+                drop(z);
                 parents[0].accumulate_grad(&g);
             }),
         )
     }
 
     /// Mean-squared-error loss against a constant target, as a 1×1 tensor.
+    ///
+    /// Fused: neither the difference nor its square is materialized — the
+    /// forward streams the reduction and the backward recomputes the
+    /// difference from the parent's (still live) value. Bit-identical to
+    /// the composed `sub`/`mul`/`mean` formulation: the per-element float
+    /// operation sequence is preserved exactly (`d = a − b`, `d·d`,
+    /// left-to-right sum, `× 1/n`; gradient `c·d + c·d` with `c = g/n`),
+    /// but the tape carries no full-size intermediate, which matters when
+    /// `self` is an `n × dim` reconstruction of a million-node graph.
     pub fn mse_loss(&self, target: &Matrix) -> Tensor {
         assert_eq!(self.shape(), target.shape(), "mse_loss: shape mismatch");
-        let diff = self.sub(&Tensor::constant(target.clone()));
-        diff.mul(&diff).mean()
+        let (rows, cols) = self.shape();
+        let n = (rows * cols).max(1) as f32;
+        let mut acc = 0.0f32;
+        for (&a, &b) in self.value().as_slice().iter().zip(target.as_slice()) {
+            let d = a - b;
+            acc += d * d;
+        }
+        let target = target.clone();
+        Tensor::from_op(
+            Matrix::from_vec(1, 1, vec![acc * (1.0 / n)]),
+            vec![self.clone()],
+            Box::new(move |grad, _out, parents| {
+                let c = grad[(0, 0)] * (1.0 / n);
+                let g = parents[0].value().zip_map(&target, |a, b| {
+                    let e = c * (a - b);
+                    e + e
+                });
+                parents[0].accumulate_grad(&g);
+            }),
+        )
     }
 
     /// Binary cross-entropy with logits against a constant 0/1 target,
@@ -444,6 +540,142 @@ mod tests {
             |t| Tensor::spmm(&adj, t).mul(&Tensor::spmm(&adj, t)).sum(),
             2e-2,
         );
+    }
+
+    fn test_adj() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            4,
+            4,
+            vec![
+                (0, 0, 0.5),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 0.5),
+                (2, 1, 0.5),
+                (2, 3, 1.0),
+                (3, 2, 1.0),
+                (3, 3, 0.5),
+            ],
+        )
+    }
+
+    #[test]
+    fn fused_gcn_layer_matches_composition_bitwise() {
+        let adj = test_adj();
+        let mut r = rng();
+        let activations = [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ];
+        for act in activations {
+            let x_val = Matrix::rand_uniform(4, 3, -1.0, 1.0, &mut r);
+            let w_val = Matrix::rand_uniform(3, 2, -1.0, 1.0, &mut r);
+            let b_val = Matrix::rand_uniform(1, 2, -0.5, 0.5, &mut r);
+
+            let fused = (
+                Tensor::parameter(x_val.clone()),
+                Tensor::parameter(w_val.clone()),
+                Tensor::parameter(b_val.clone()),
+            );
+            let composed = (
+                Tensor::parameter(x_val),
+                Tensor::parameter(w_val),
+                Tensor::parameter(b_val),
+            );
+
+            let fused_out = Tensor::gcn_layer(&adj, &fused.0, &fused.1, &fused.2, act);
+            let composed_out = act.apply(
+                &Tensor::spmm(&adj, &composed.0)
+                    .matmul(&composed.1)
+                    .add_bias(&composed.2),
+            );
+            let a = fused_out.value_clone();
+            let b = composed_out.value_clone();
+            for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(u.to_bits(), v.to_bits(), "forward diverged for {act:?}");
+            }
+
+            // Weight the sum so the upstream gradient is non-uniform.
+            let weighting = Matrix::rand_uniform(4, 2, 0.5, 1.5, &mut r);
+            fused_out
+                .mul(&Tensor::constant(weighting.clone()))
+                .sum()
+                .backward();
+            composed_out
+                .mul(&Tensor::constant(weighting))
+                .sum()
+                .backward();
+            for (name, f, c) in [
+                ("x", &fused.0, &composed.0),
+                ("w", &fused.1, &composed.1),
+                ("b", &fused.2, &composed.2),
+            ] {
+                let fg = f.grad().expect("fused gradient");
+                let cg = c.grad().expect("composed gradient");
+                for (u, v) in fg.as_slice().iter().zip(cg.as_slice()) {
+                    assert_eq!(
+                        u.to_bits(),
+                        v.to_bits(),
+                        "gradient of {name} diverged for {act:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grad_gcn_layer_all_parents() {
+        let adj = test_adj();
+        let mut r = rng();
+        let x = Matrix::rand_uniform(4, 3, -1.0, 1.0, &mut r);
+        let w = Matrix::rand_uniform(3, 2, -1.0, 1.0, &mut r);
+        let b = Matrix::rand_uniform(1, 2, -0.5, 0.5, &mut r);
+        for act in [Activation::Identity, Activation::Sigmoid, Activation::Tanh] {
+            check_gradient(
+                x.clone(),
+                |t| {
+                    Tensor::gcn_layer(
+                        &adj,
+                        t,
+                        &Tensor::constant(w.clone()),
+                        &Tensor::constant(b.clone()),
+                        act,
+                    )
+                    .sum()
+                },
+                2e-2,
+            );
+            check_gradient(
+                w.clone(),
+                |t| {
+                    Tensor::gcn_layer(
+                        &adj,
+                        &Tensor::constant(x.clone()),
+                        t,
+                        &Tensor::constant(b.clone()),
+                        act,
+                    )
+                    .sum()
+                },
+                2e-2,
+            );
+            check_gradient(
+                b.clone(),
+                |t| {
+                    Tensor::gcn_layer(
+                        &adj,
+                        &Tensor::constant(x.clone()),
+                        &Tensor::constant(w.clone()),
+                        t,
+                        act,
+                    )
+                    .sum()
+                },
+                2e-2,
+            );
+        }
     }
 
     #[test]

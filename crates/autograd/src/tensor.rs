@@ -11,9 +11,13 @@ static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
 
 /// Closure computing the contribution of an output gradient to the parents.
 ///
-/// Arguments: gradient flowing into this node, and the parent tensors (in the
-/// order they were registered when the op was recorded).
-pub(crate) type BackwardFn = Box<dyn Fn(&Matrix, &[Tensor])>;
+/// Arguments: gradient flowing into this node, the node's own (forward)
+/// value, and the parent tensors (in the order they were registered when the
+/// op was recorded). Ops read whatever forward values they need from the
+/// `value`/parent arguments instead of capturing clones — the tape then holds
+/// exactly one matrix per node, which is what keeps training peak memory at
+/// the size of the forward pass.
+pub(crate) type BackwardFn = Box<dyn Fn(&Matrix, &Matrix, &[Tensor])>;
 
 pub(crate) struct TensorInner {
     pub(crate) id: usize,
@@ -159,11 +163,21 @@ impl Tensor {
         let order = self.topological_order();
         self.accumulate_grad(&seed);
         for node in order {
-            let grad = node.0.grad.borrow().clone();
+            let Some(backward) = &node.0.backward else {
+                // Leaf: keep the accumulated gradient for the optimizer.
+                continue;
+            };
+            // Take (don't clone) the gradient: every child already added its
+            // contribution (children come first in the order), and nothing
+            // reads an intermediate gradient after backward. Releasing each
+            // one as soon as it has been propagated keeps the live set at
+            // the propagation frontier instead of the whole tape — on an
+            // n-node GCN forward that is the difference between O(layers)
+            // and O(tape) full-size matrices resident during backward.
+            let grad = node.0.grad.borrow_mut().take();
             let Some(grad) = grad else { continue };
-            if let Some(backward) = &node.0.backward {
-                backward(&grad, &node.0.parents);
-            }
+            let out = node.0.value.borrow();
+            backward(&grad, &out, &node.0.parents);
         }
     }
 

@@ -13,8 +13,13 @@
 //! `bench_suite`), drives concurrent socket clients and gates on the
 //! concurrency-parity flags instead of CR/AUC.
 //!
+//! The `scale1m` preset is the out-of-core guard: one million-node
+//! power-law workload generated straight to disk, loaded back mmap-backed
+//! and gated on peak RSS alongside CR/AUC.
+//!
 //! ```text
-//! bench_suite --preset ci|scale|serve which sweep to run (default: ci)
+//! bench_suite --preset ci|scale|serve|scale1m
+//!                                  which sweep to run (default: ci)
 //!             --seed N             master seed (default: 0, the pinned seed)
 //!             --out DIR            where BENCH_<suite>.json goes (default: .)
 //!             --threads N          worker threads (0 = auto)

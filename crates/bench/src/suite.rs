@@ -38,8 +38,11 @@ use serde::{Deserialize, Serialize};
 /// ([`crate::serve_bench::ServeThroughputRecord`]) and their golden
 /// parity pins; v4 added the incremental-reuse counters and per-round
 /// parity flags to delta-stream records, plus their golden pins
-/// ([`GoldenDeltaStream`]: parity + a minimum incremental-speedup floor).
-pub const BENCH_FORMAT: &str = "grgad-bench/v4";
+/// ([`GoldenDeltaStream`]: parity + a minimum incremental-speedup floor);
+/// v5 added the out-of-core storage gates: per-workload mmap-scoring
+/// parity flags ([`WorkloadRecord::mmap_parity`]) and golden peak-RSS
+/// ceilings ([`GoldenWorkload::max_peak_rss_bytes`]).
+pub const BENCH_FORMAT: &str = "grgad-bench/v5";
 
 /// One pipeline stage execution inside a workload run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -95,6 +98,12 @@ pub struct WorkloadRecord {
     /// Process peak RSS (bytes) after the run; `None` where the platform
     /// does not expose it.
     pub peak_rss_bytes: Option<u64>,
+    /// `Some(true)` when re-scoring the same trained model against an
+    /// mmap-backed on-disk copy of the dataset (written through
+    /// [`grgad_datasets::stream::write_dataset`]) reproduced the in-memory
+    /// scores bit-for-bit. `None` when the input dataset was already
+    /// storage-backed, so there is no in-memory side to compare against.
+    pub mmap_parity: Option<bool>,
     /// Per-stage timing records, fit stages first, in execution order.
     pub stages: Vec<StageRecord>,
     /// CR/F1/AUC against the planted ground truth.
@@ -184,6 +193,11 @@ pub enum SuitePreset {
     /// the `grgad_server` binary ([`crate::serve_bench`]); no fit/score
     /// sweep points of its own.
     Serve,
+    /// The out-of-core sweep: a single million-node power-law workload,
+    /// generated straight to disk ([`grgad_datasets::stream`]) and scored
+    /// off the mmap-backed artifact. Its golden pins peak RSS alongside
+    /// CR/AUC — the OOM guard for the storage subsystem.
+    Scale1m,
 }
 
 impl SuitePreset {
@@ -193,6 +207,7 @@ impl SuitePreset {
             SuitePreset::Ci => "ci",
             SuitePreset::Scale => "scale",
             SuitePreset::Serve => "serve",
+            SuitePreset::Scale1m => "scale1m",
         }
     }
 
@@ -203,17 +218,19 @@ impl SuitePreset {
             SuitePreset::Ci => &[600, 1_200, 2_400],
             SuitePreset::Scale => &[1_000, 10_000, 100_000],
             SuitePreset::Serve => &[],
+            SuitePreset::Scale1m => &[1_000_000],
         }
     }
 
-    /// Parses a preset name (`ci` | `scale` | `serve`).
+    /// Parses a preset name (`ci` | `scale` | `serve` | `scale1m`).
     pub fn parse(s: &str) -> Result<Self, String> {
         match s.to_ascii_lowercase().as_str() {
             "ci" => Ok(SuitePreset::Ci),
             "scale" => Ok(SuitePreset::Scale),
             "serve" => Ok(SuitePreset::Serve),
+            "scale1m" | "powerlaw-1m" => Ok(SuitePreset::Scale1m),
             other => Err(format!(
-                "unknown preset `{other}` (expected ci|scale|serve)"
+                "unknown preset `{other}` (expected ci|scale|serve|scale1m)"
             )),
         }
     }
@@ -304,6 +321,8 @@ pub fn run_workload_detailed(
         config.match_jaccard,
     );
 
+    let mmap_parity = mmap_scoring_parity(dataset, &trained, &result);
+
     let mut stages = stage_records(&fit_timings);
     stages.extend(stage_records(&score_timings));
     let threads = stages.iter().map(|s| s.threads).max().unwrap_or(1);
@@ -321,6 +340,7 @@ pub fn run_workload_detailed(
         peak_rss_bytes: fit_timings
             .max_peak_rss_bytes()
             .max(score_timings.max_peak_rss_bytes()),
+        mmap_parity,
         stages,
         metrics: QualityRecord {
             cr: report.cr,
@@ -334,6 +354,39 @@ pub fn run_workload_detailed(
 /// [`run_workload_detailed`] without the raw result.
 pub fn run_workload(dataset: &GrGadDataset, config: &TpGrGadConfig) -> WorkloadRecord {
     run_workload_detailed(dataset, config).0
+}
+
+/// Re-scores the trained model against an mmap-backed on-disk copy of the
+/// dataset and compares bit-for-bit with the in-memory result. Returns
+/// `None` when the input features are already served through the storage
+/// seam (the out-of-core suites) — there is no in-memory side to compare.
+fn mmap_scoring_parity(
+    dataset: &GrGadDataset,
+    trained: &grgad_core::TrainedTpGrGad,
+    in_memory: &TpGrGadResult,
+) -> Option<bool> {
+    if dataset.graph.features().is_shared() {
+        return None;
+    }
+    let dir = std::env::temp_dir().join(format!(
+        "grgad_bench_parity_{}_{}",
+        std::process::id(),
+        dataset.name
+    ));
+    grgad_datasets::stream::write_dataset(dataset, &dir)
+        .expect("benchmark parity artifact is writable");
+    let mapped = grgad_datasets::stream::load_dataset(&dir)
+        .expect("freshly written parity artifact loads back");
+    debug_assert!(mapped.graph.features().is_shared());
+    let mapped_result = trained
+        .score(&mapped.graph)
+        .expect("mmap-backed copy of a valid dataset scores");
+    std::fs::remove_dir_all(&dir).ok();
+    Some(
+        mapped_result.scores == in_memory.scores
+            && mapped_result.candidate_groups == in_memory.candidate_groups
+            && mapped_result.predicted_anomalous == in_memory.predicted_anomalous,
+    )
 }
 
 /// The two delta-stream regimes the suite benchmarks. They bound the
@@ -522,7 +575,29 @@ pub fn run_suite(
                 format!("preset={} nodes={nodes}: generating", preset.name()),
             );
         }
-        let dataset = powerlaw::generate_sized(nodes, seed);
+        // Above the in-memory generation ceiling the workload is generated
+        // straight to disk and loaded back mmap-backed — bit-identical to
+        // `generate_sized` at the same seed, but peak RSS never holds the
+        // full feature matrix. The artifact must outlive the run (the
+        // feature matrix pages from it), so cleanup happens after.
+        let (dataset, artifact) = if nodes > MAX_IN_MEMORY_GENERATION_NODES {
+            let dir = grgad_datasets::stream::artifact_dir(
+                &std::env::temp_dir().join("grgad_bench_artifacts"),
+                nodes,
+                seed,
+            );
+            grgad_datasets::stream::write_powerlaw(
+                &powerlaw::PowerLawParams::with_nodes(nodes),
+                seed,
+                &dir,
+            )
+            .expect("benchmark artifact directory is writable");
+            let dataset = grgad_datasets::stream::load_dataset(&dir)
+                .expect("freshly written benchmark artifact loads back");
+            (dataset, Some(dir))
+        } else {
+            (powerlaw::generate_sized(nodes, seed), None)
+        };
         let mut config = bench_config(nodes, seed);
         if let Some(threads) = num_threads {
             config.num_threads = threads;
@@ -568,6 +643,10 @@ pub fn run_suite(
                 ),
             );
         }
+        if let Some(dir) = artifact {
+            drop(dataset); // unmap the feature file before deleting it
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
     BenchReport {
         format: BENCH_FORMAT.to_string(),
@@ -578,6 +657,12 @@ pub fn run_suite(
         serve: Vec::new(),
     }
 }
+
+/// Largest sweep point generated fully in memory; above this the suite
+/// streams generation to a temporary on-disk artifact and loads it back
+/// mmap-backed ([`grgad_datasets::stream`]), keeping peak RSS independent
+/// of `nodes × feature_dim`.
+pub const MAX_IN_MEMORY_GENERATION_NODES: usize = 200_000;
 
 /// Largest sweep point that also runs the delta-stream workload; above
 /// this the extra fit + per-round full re-scores would dominate suite
@@ -614,7 +699,7 @@ pub fn render_report(report: &BenchReport) -> String {
     for w in &report.workloads {
         out.push_str(&format!(
             "{:16} nodes={:<7} edges={:<8} attrs={:<4} gt_groups={:<3} candidates={:<4} threads={} \
-             fit={:>9.1}ms score={:>8.1}ms rss={} CR={:.3} F1={:.3} AUC={:.3}\n",
+             fit={:>9.1}ms score={:>8.1}ms rss={} mmap={} CR={:.3} F1={:.3} AUC={:.3}\n",
             w.workload,
             w.nodes,
             w.edges,
@@ -626,6 +711,11 @@ pub fn render_report(report: &BenchReport) -> String {
             w.score_millis,
             w.peak_rss_bytes
                 .map_or_else(|| "n/a".to_string(), |b| format!("{:.0}MB", b as f64 / 1e6)),
+            match w.mmap_parity {
+                Some(true) => "ok",
+                Some(false) => "FAIL",
+                None => "n/a",
+            },
             w.metrics.cr,
             w.metrics.f1,
             w.metrics.auc,
@@ -677,7 +767,8 @@ pub fn render_report(report: &BenchReport) -> String {
     out
 }
 
-/// A pinned CR/AUC pair for one seeded workload.
+/// A pinned CR/AUC pair for one seeded workload, plus the out-of-core
+/// gates: a peak-RSS ceiling and the mmap-scoring parity flag.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GoldenWorkload {
     /// Workload name, matched against [`WorkloadRecord::workload`].
@@ -688,6 +779,15 @@ pub struct GoldenWorkload {
     pub cr: f32,
     /// Pinned group-wise AUC.
     pub auc: f32,
+    /// Peak-RSS ceiling in bytes (1.5× the RSS measured at pin time, see
+    /// [`pin_rss_cap`]) — the OOM regression gate. `None` where the pinning
+    /// platform did not expose RSS; runs without an RSS reading skip the
+    /// check rather than fail it.
+    pub max_peak_rss_bytes: Option<u64>,
+    /// Pinned mmap-scoring parity flag ([`WorkloadRecord::mmap_parity`]):
+    /// `Some(true)` in committed goldens for in-memory workloads, `None`
+    /// for workloads that are already storage-backed.
+    pub mmap_parity: Option<bool>,
 }
 
 /// A pinned serving-host workload: determinism (parity) and concurrency
@@ -736,6 +836,14 @@ pub fn pin_speedup_floor(measured: f64) -> f64 {
     ((measured / 2.0) * 100.0).floor().max(100.0) / 100.0
 }
 
+/// The peak-RSS ceiling `--write-golden` pins: 1.5× the measured RSS.
+/// Wide enough that allocator and page-cache variance across hosts cannot
+/// flake the gate, tight enough that reverting to a dense O(N·dim)
+/// intermediate on a million-node workload (a multiple-GB jump) fails it.
+pub fn pin_rss_cap(measured: Option<u64>) -> Option<u64> {
+    measured.map(|bytes| bytes.saturating_add(bytes / 2))
+}
+
 /// A golden-metric snapshot: the quality gate for one suite.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GoldenMetrics {
@@ -769,6 +877,8 @@ impl GoldenMetrics {
                     seed: w.seed,
                     cr: w.metrics.cr,
                     auc: w.metrics.auc,
+                    max_peak_rss_bytes: pin_rss_cap(w.peak_rss_bytes),
+                    mmap_parity: w.mmap_parity,
                 })
                 .collect(),
             delta_streams: report
@@ -856,6 +966,25 @@ pub fn compare_golden(report: &BenchReport, golden: &GoldenMetrics) -> Result<()
                     pin.workload, golden.tolerance
                 ));
             }
+        }
+        // RSS ceiling: the OOM gate. Skipped (not failed) when the running
+        // platform exposes no RSS reading — the ceiling still gates every
+        // Linux run, which is where CI enforces it.
+        if let (Some(cap), Some(rss)) = (pin.max_peak_rss_bytes, run.peak_rss_bytes) {
+            if rss > cap {
+                failures.push(format!(
+                    "{}: peak RSS {:.0}MB exceeds the pinned ceiling {:.0}MB",
+                    pin.workload,
+                    rss as f64 / 1e6,
+                    cap as f64 / 1e6
+                ));
+            }
+        }
+        if run.mmap_parity != pin.mmap_parity {
+            failures.push(format!(
+                "{}: mmap-scoring parity is {:?} (pinned {:?}) — storage-backed scoring diverged from in-memory",
+                pin.workload, run.mmap_parity, pin.mmap_parity
+            ));
         }
     }
     for run in &report.workloads {
@@ -1027,6 +1156,11 @@ mod tests {
         if cfg!(target_os = "linux") {
             assert!(w.peak_rss_bytes.unwrap_or(0) > 0);
         }
+        assert_eq!(
+            w.mmap_parity,
+            Some(true),
+            "storage-backed scoring must be bit-identical to in-memory"
+        );
         assert!(w.metrics.auc >= 0.0 && w.metrics.auc <= 1.0);
     }
 
@@ -1065,6 +1199,56 @@ mod tests {
         let mut reseeded = report.clone();
         reseeded.workloads[0].seed += 1;
         assert!(compare_golden(&reseeded, &golden).is_err());
+    }
+
+    #[test]
+    fn golden_gate_pins_rss_ceiling_and_mmap_parity() {
+        let report = tiny_report();
+        let golden = GoldenMetrics::from_report(&report, 0.02);
+        let pin = &golden.workloads[0];
+        if let Some(rss) = report.workloads[0].peak_rss_bytes {
+            assert_eq!(
+                pin.max_peak_rss_bytes,
+                Some(rss + rss / 2),
+                "ceiling is 1.5x the measured RSS"
+            );
+
+            // RSS may move freely below the ceiling...
+            let mut leaner = report.clone();
+            leaner.workloads[0].peak_rss_bytes = Some(rss / 2);
+            assert!(compare_golden(&leaner, &golden).is_ok());
+
+            // ...but blowing past it fails the gate.
+            let mut bloated = report.clone();
+            bloated.workloads[0].peak_rss_bytes = Some(rss * 2);
+            let failures = compare_golden(&bloated, &golden).unwrap_err();
+            assert!(
+                failures
+                    .iter()
+                    .any(|f| f.contains("exceeds the pinned ceiling")),
+                "{failures:?}"
+            );
+
+            // A run without an RSS reading skips the check (non-Linux hosts)
+            // rather than failing it.
+            let mut unreadable = report.clone();
+            unreadable.workloads[0].peak_rss_bytes = None;
+            assert!(compare_golden(&unreadable, &golden).is_ok());
+        }
+        assert_eq!(pin.mmap_parity, Some(true));
+
+        // Losing storage parity is a gate failure.
+        let mut diverged = report.clone();
+        diverged.workloads[0].mmap_parity = Some(false);
+        let failures = compare_golden(&diverged, &golden).unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("mmap-scoring parity")),
+            "{failures:?}"
+        );
+
+        // A pin without an RSS reading gates nothing.
+        assert_eq!(pin_rss_cap(None), None);
+        assert_eq!(pin_rss_cap(Some(1_000)), Some(1_500));
     }
 
     #[test]
@@ -1269,6 +1453,11 @@ mod tests {
         assert_eq!(SuitePreset::parse("ci").unwrap(), SuitePreset::Ci);
         assert_eq!(SuitePreset::parse("SCALE").unwrap(), SuitePreset::Scale);
         assert_eq!(SuitePreset::parse("serve").unwrap(), SuitePreset::Serve);
+        assert_eq!(SuitePreset::parse("scale1m").unwrap(), SuitePreset::Scale1m);
+        assert_eq!(
+            SuitePreset::parse("powerlaw-1m").unwrap(),
+            SuitePreset::Scale1m
+        );
         assert!(SuitePreset::parse("huge").is_err());
         assert!(
             SuitePreset::Serve.sizes().is_empty(),
@@ -1279,6 +1468,14 @@ mod tests {
         assert!(
             SuitePreset::Scale.sizes().iter().any(|&n| n >= 100_000),
             "scale suite must reach 100k nodes"
+        );
+        assert_eq!(SuitePreset::Scale1m.sizes(), &[1_000_000]);
+        assert!(
+            SuitePreset::Scale1m
+                .sizes()
+                .iter()
+                .all(|&n| n > MAX_IN_MEMORY_GENERATION_NODES),
+            "the 1M sweep must take the streaming generation path"
         );
     }
 
@@ -1301,6 +1498,21 @@ mod tests {
         );
         assert_eq!(small.seed, 0);
         assert_eq!(bench_config(600, 9).seed, 9);
+        let huge = bench_config(1_000_000, 0);
+        assert_eq!(
+            (huge.gae.hidden_dim, huge.gae.embed_dim),
+            (large.gae.hidden_dim, large.gae.embed_dim),
+            "out-of-core sizes keep the same encoder widths — the RSS budget \
+             is met by the fused single-node GCN tape, not by shrinking the \
+             model (narrower encoders collapse million-node AUC to chance)"
+        );
+        assert!(
+            matches!(
+                huge.reconstruction_target,
+                ReconstructionTarget::GraphSnn { .. }
+            ),
+            "the long-range-sensitive target survives the out-of-core tier"
+        );
     }
 
     #[test]

@@ -98,7 +98,12 @@ fn checked_in_goldens_match_schema_and_suites() {
     // and pin exactly its preset's sweep points at the default seed — this
     // catches a re-pin that forgot a sweep point or drifted the format,
     // including for the scale suite that CI never executes.
-    for preset in [SuitePreset::Ci, SuitePreset::Scale, SuitePreset::Serve] {
+    for preset in [
+        SuitePreset::Ci,
+        SuitePreset::Scale,
+        SuitePreset::Serve,
+        SuitePreset::Scale1m,
+    ] {
         let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
             .join("goldens")
             .join(format!("BENCH_GOLDEN_{}.json", preset.name()));
@@ -119,6 +124,30 @@ fn checked_in_goldens_match_schema_and_suites() {
             .collect();
         assert_eq!(pinned, expected, "{}", preset.name());
         assert!(golden.workloads.iter().all(|w| w.seed == 0));
+
+        // Out-of-core gates: in-memory suites pin bitwise mmap-scoring
+        // parity; the scale1m suite's input is already storage-backed (no
+        // in-memory side to compare) but must pin a peak-RSS ceiling — the
+        // whole point of the out-of-core sweep.
+        if preset == SuitePreset::Scale1m {
+            assert!(
+                golden.workloads.iter().all(|w| w.mmap_parity.is_none()),
+                "scale1m scores the mmap-backed artifact directly"
+            );
+            assert!(
+                golden
+                    .workloads
+                    .iter()
+                    .all(|w| w.max_peak_rss_bytes.is_some()),
+                "scale1m must pin the peak-RSS ceiling"
+            );
+        } else {
+            assert!(
+                golden.workloads.iter().all(|w| w.mmap_parity == Some(true)),
+                "{}: storage-backed scoring must be pinned bit-identical",
+                preset.name()
+            );
+        }
 
         // Delta-stream pins: a churn + drift pair per sweep point that runs
         // the streams, all with parity pinned true and a speedup floor of at

@@ -1,0 +1,57 @@
+//! Storage-backend parity: the full pipeline must be bit-identical whether
+//! node features live in RAM or page from an mmap-backed grgad-store
+//! artifact, and at any thread count. Fit parity is compared on the
+//! serialized model (every trained weight), score parity on the raw f32
+//! bits — any divergence anywhere in the fit/score paths fails loudly.
+
+use grgad_bench::suite::bench_config;
+use grgad_core::TpGrGad;
+use grgad_datasets::{powerlaw, stream};
+
+#[test]
+fn fit_and_score_are_bit_identical_across_storage_backends_and_threads() {
+    let dataset = powerlaw::generate_sized(600, 0);
+    let dir = std::env::temp_dir().join(format!("grgad_storage_parity_{}", std::process::id()));
+    stream::write_dataset(&dataset, &dir).expect("write artifact");
+    let mapped = stream::load_dataset(&dir).expect("load artifact");
+    assert!(
+        mapped.graph.features().is_shared(),
+        "loaded features must be served through the storage seam"
+    );
+
+    // (model JSON, score bits, candidate groups, predictions) of the first
+    // combination; every other (backend × threads) combination must match
+    // it exactly.
+    let mut reference: Option<(String, Vec<u32>, usize)> = None;
+    for threads in [1usize, 4] {
+        for (backend, graph) in [("owned", &dataset.graph), ("mmap", &mapped.graph)] {
+            let mut config = bench_config(600, 0);
+            config.gae.epochs = 8;
+            config.tpgcl.epochs = 3;
+            config.num_threads = threads;
+            let trained = TpGrGad::new(config)
+                .fit(graph)
+                .expect("benchmark dataset fits");
+            let model_json = trained.to_json().expect("model serializes");
+            let result = trained.score(graph).expect("benchmark dataset scores");
+            let score_bits: Vec<u32> = result.scores.iter().map(|s| s.to_bits()).collect();
+            let groups = result.candidate_groups.len();
+            match &reference {
+                None => reference = Some((model_json, score_bits, groups)),
+                Some((ref_json, ref_bits, ref_groups)) => {
+                    assert_eq!(
+                        ref_json, &model_json,
+                        "trained model diverged (backend={backend}, threads={threads})"
+                    );
+                    assert_eq!(
+                        ref_bits, &score_bits,
+                        "scores diverged (backend={backend}, threads={threads})"
+                    );
+                    assert_eq!(ref_groups, &groups);
+                }
+            }
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -15,6 +15,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use crate::gauss;
+use crate::sink::GraphSink;
 
 /// The topology of an injected anomaly group.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,8 +53,12 @@ impl InjectedPattern {
 /// Every new node receives `base_profile` plus Gaussian noise of the given
 /// scale. The group is attached to the host graph through `attach_points`
 /// random existing nodes (so it is not a disconnected component).
-pub fn inject_pattern_group(
-    graph: &mut Graph,
+///
+/// Generic over [`GraphSink`] so the streaming dataset writer plants groups
+/// through the exact same code (and RNG draw sequence) as the in-memory
+/// generators.
+pub fn inject_pattern_group<S: GraphSink>(
+    sink: &mut S,
     pattern: InjectedPattern,
     base_profile: &[f32],
     noise_std: f32,
@@ -66,16 +71,16 @@ pub fn inject_pattern_group(
             .map(|&b| b + gauss(rng, noise_std))
             .collect()
     };
-    let existing_nodes = graph.num_nodes();
+    let existing_nodes = sink.num_nodes();
     let mut members: Vec<usize> = Vec::with_capacity(pattern.node_count());
 
     match pattern {
         InjectedPattern::Path(len) => {
             for i in 0..len {
                 let f = make_features(rng);
-                let v = graph.add_node(&f);
+                let v = sink.add_node(&f);
                 if i > 0 {
-                    graph.add_edge(members[i - 1], v);
+                    sink.add_edge(members[i - 1], v);
                 }
                 members.push(v);
             }
@@ -84,29 +89,29 @@ pub fn inject_pattern_group(
             children,
             grandchildren,
         } => {
-            let root = graph.add_node(&make_features(rng));
+            let root = sink.add_node(&make_features(rng));
             members.push(root);
             for _ in 0..children {
-                let c = graph.add_node(&make_features(rng));
-                graph.add_edge(root, c);
+                let c = sink.add_node(&make_features(rng));
+                sink.add_edge(root, c);
                 members.push(c);
                 for _ in 0..grandchildren {
-                    let gc = graph.add_node(&make_features(rng));
-                    graph.add_edge(c, gc);
+                    let gc = sink.add_node(&make_features(rng));
+                    sink.add_edge(c, gc);
                     members.push(gc);
                 }
             }
         }
         InjectedPattern::Cycle(len) => {
             for i in 0..len {
-                let v = graph.add_node(&make_features(rng));
+                let v = sink.add_node(&make_features(rng));
                 if i > 0 {
-                    graph.add_edge(members[i - 1], v);
+                    sink.add_edge(members[i - 1], v);
                 }
                 members.push(v);
             }
             if len >= 3 {
-                graph.add_edge(members[0], members[len - 1]);
+                sink.add_edge(members[0], members[len - 1]);
             }
         }
     }
@@ -116,7 +121,7 @@ pub fn inject_pattern_group(
         for _ in 0..attach_points {
             let host = rng.gen_range(0..existing_nodes);
             let member = *members.choose(rng).expect("non-empty group");
-            graph.add_edge(host, member);
+            sink.add_edge(host, member);
         }
     }
 

@@ -9,7 +9,8 @@
 //! group members, non-finite feature values — and reports it as a typed
 //! [`GrgadError`] instead of panicking deep inside a constructor.
 
-use std::fs;
+use std::fs::{self, File};
+use std::io::BufReader;
 use std::path::Path;
 
 use grgad_error::GrgadError;
@@ -82,13 +83,18 @@ pub fn save_json(dataset: &GrGadDataset, path: &Path) -> Result<(), GrgadError> 
 
 /// Reads a dataset from a JSON file produced by [`save_json`].
 ///
+/// Parsing streams through a [`BufReader`] ([`serde_json::from_reader`]), so
+/// the file is never materialized as one giant `String` — peak memory is the
+/// decoded dataset plus a fixed-size read buffer, which matters once
+/// snapshots reach hundreds of megabytes.
+///
 /// Missing/unreadable files and malformed JSON are [`GrgadError::ModelIo`]
 /// carrying the path and the underlying cause; structurally invalid content
 /// (shape or node-id violations) keeps its specific variant.
 pub fn load_json(path: &Path) -> Result<GrGadDataset, GrgadError> {
-    let json = fs::read_to_string(path)
-        .map_err(|e| GrgadError::model_io(path.display().to_string(), e))?;
-    let file: DatasetFile = serde_json::from_str(&json)
+    let io_err = |e: std::io::Error| GrgadError::model_io(path.display().to_string(), e);
+    let reader = BufReader::new(File::open(path).map_err(io_err)?);
+    let file: DatasetFile = serde_json::from_reader(reader)
         .map_err(|e| GrgadError::model_io(path.display().to_string(), e))?;
     file.into_dataset()
 }
@@ -163,6 +169,32 @@ mod tests {
             file.into_dataset().unwrap_err(),
             GrgadError::NonFiniteInput { .. }
         ));
+    }
+
+    #[test]
+    fn large_file_roundtrips_bit_identically_through_streaming_reader() {
+        // A several-thousand-node powerlaw graph serializes to multiple MB —
+        // well past the streaming parser's internal refill buffer — so this
+        // exercises value parsing across many buffer boundaries.
+        let original = crate::powerlaw::generate_sized(4_000, 11);
+        let dir = std::env::temp_dir().join("grgad_io_test_large");
+        let path = dir.join("powerlaw-4000.json");
+        save_json(&original, &path).unwrap();
+        let bytes = fs::metadata(&path).unwrap().len();
+        assert!(bytes > 500_000, "file unexpectedly small: {bytes} bytes");
+        let restored = load_json(&path).unwrap();
+        assert_eq!(original.statistics(), restored.statistics());
+        assert_eq!(original.anomaly_groups, restored.anomaly_groups);
+        let (fa, fb) = (
+            original.graph.features().as_slice(),
+            restored.graph.features().as_slice(),
+        );
+        assert_eq!(fa.len(), fb.len());
+        assert!(fa.iter().zip(fb).all(|(x, y)| x.to_bits() == y.to_bits()));
+        for v in 0..original.graph.num_nodes() {
+            assert_eq!(original.graph.neighbors(v), restored.graph.neighbors(v));
+        }
+        fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   nodes) with planted anomaly groups, used by the scale-sweep benchmark.
 //! * [`injection`] — reusable anomaly-group injection primitives.
 //! * [`io`] — JSON (de)serialization of datasets.
+//! * [`sink`] — the [`sink::GraphSink`] seam one generation path writes
+//!   through, whether the destination is RAM or disk.
+//! * [`stream`] — bounded-memory streaming generation/loading backed by
+//!   `grgad-store` (mmap-able feature files, line-streamed edge lists).
 
 // The serving contract extends workspace-wide: no `unwrap()` outside
 // test code — fallible paths return `Result<_, GrgadError>` or justify
@@ -35,6 +39,8 @@ pub mod injection;
 pub mod io;
 pub mod powerlaw;
 pub mod simml;
+pub mod sink;
+pub mod stream;
 
 pub use dataset::{DatasetStatistics, GrGadDataset};
 

@@ -16,7 +16,7 @@
 //! the scale-sweep benchmark suite (`grgad-bench`) relies on this to pin
 //! golden CR/AUC metrics per workload.
 
-use grgad_graph::Graph;
+use grgad_graph::{Graph, Group};
 use grgad_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,6 +24,7 @@ use rand::{Rng, SeedableRng};
 use crate::dataset::GrGadDataset;
 use crate::gauss;
 use crate::injection::{inject_pattern_group, InjectedPattern};
+use crate::sink::GraphSink;
 
 /// Parameters of the power-law benchmark generator.
 #[derive(Clone, Debug)]
@@ -76,8 +77,29 @@ impl PowerLawParams {
 
 /// Generates a power-law Gr-GAD benchmark from explicit parameters.
 pub fn generate(params: &PowerLawParams, seed: u64) -> GrGadDataset {
+    let mut graph = Graph::new(0, Matrix::zeros(0, params.feature_dim));
+    let groups = generate_into(params, seed, &mut graph);
+    let dataset = GrGadDataset::new(params.name.clone(), graph, groups);
+    dataset
+        .validate()
+        .expect("powerlaw generator produced an inconsistent dataset");
+    dataset
+}
+
+/// Runs the full generation (background + planted groups) into any
+/// [`GraphSink`], returning the planted groups.
+///
+/// This is *the* generation path: [`generate`] points it at an in-memory
+/// [`Graph`], the streaming writer ([`crate::stream`]) at disk-backed
+/// storage. RNG consumption is a pure function of `params` and `seed`, so
+/// both backends produce bit-identical datasets.
+pub(crate) fn generate_into<S: GraphSink>(
+    params: &PowerLawParams,
+    seed: u64,
+    sink: &mut S,
+) -> Vec<Group> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut graph = powerlaw_background(params, &mut rng);
+    powerlaw_background(params, &mut rng, sink);
 
     // Off-manifold anomaly profile: the community centroids live in
     // `[-1, 1]`-ish Gaussian space, the planted profile sits `profile_shift`
@@ -103,7 +125,7 @@ pub fn generate(params: &PowerLawParams, seed: u64) -> GrGadDataset {
     let mut groups = Vec::with_capacity(params.num_groups);
     for g in 0..params.num_groups {
         groups.push(inject_pattern_group(
-            &mut graph,
+            sink,
             patterns[g % patterns.len()],
             &profile,
             params.noise_std,
@@ -111,12 +133,7 @@ pub fn generate(params: &PowerLawParams, seed: u64) -> GrGadDataset {
             &mut rng,
         ));
     }
-
-    let dataset = GrGadDataset::new(params.name.clone(), graph, groups);
-    dataset
-        .validate()
-        .expect("powerlaw generator produced an inconsistent dataset");
-    dataset
+    groups
 }
 
 /// Generates the standard sweep point of the given size
@@ -126,8 +143,9 @@ pub fn generate_sized(nodes: usize, seed: u64) -> GrGadDataset {
 }
 
 /// The Chung–Lu background: power-law weights, community-structured
-/// Gaussian attributes.
-fn powerlaw_background(params: &PowerLawParams, rng: &mut StdRng) -> Graph {
+/// Gaussian attributes. Emits nodes one feature row at a time — the sink
+/// decides whether rows accumulate in RAM or stream to disk.
+fn powerlaw_background<S: GraphSink>(params: &PowerLawParams, rng: &mut StdRng, sink: &mut S) {
     let n = params.nodes;
     let d = params.feature_dim;
     let c = params.communities.max(1);
@@ -141,14 +159,14 @@ fn powerlaw_background(params: &PowerLawParams, rng: &mut StdRng) -> Graph {
             centroids[(k, j)] = gauss(rng, 1.0);
         }
     }
-    let mut features = Matrix::zeros(n, d);
+    let mut row = vec![0.0_f32; d];
     for i in 0..n {
         let k = i % c;
-        for j in 0..d {
-            features[(i, j)] = centroids[(k, j)] + gauss(rng, 0.5);
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = centroids[(k, j)] + gauss(rng, 0.5);
         }
+        sink.add_node(&row);
     }
-    let mut graph = Graph::new(n, features);
 
     // Expected-degree weights w_i ∝ (i + i₀)^(-1/(γ-1)); the i₀ offset
     // flattens the head of the distribution so the top-ranked nodes' weights
@@ -170,14 +188,13 @@ fn powerlaw_background(params: &PowerLawParams, rng: &mut StdRng) -> Graph {
 
     let mut attempts = 0usize;
     let max_attempts = params.target_edges.saturating_mul(20);
-    while graph.num_edges() < params.target_edges && attempts < max_attempts {
+    while sink.num_edges() < params.target_edges && attempts < max_attempts {
         attempts += 1;
         let u = draw(rng);
         let v = draw(rng);
         // add_edge ignores self-loops and duplicates.
-        graph.add_edge(u, v);
+        sink.add_edge(u, v);
     }
-    graph
 }
 
 #[cfg(test)]

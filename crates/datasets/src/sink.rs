@@ -1,0 +1,47 @@
+//! The [`GraphSink`] seam: one generation path, two destinations.
+//!
+//! The power-law generator and the injection primitives mutate a graph
+//! through this minimal trait instead of [`Graph`] directly, so the *same*
+//! code — consuming the RNG in the same order — can build either an
+//! in-memory [`Graph`] or the bounded-memory streaming artifact
+//! ([`crate::stream`]). Bit-identical output between the two backends is
+//! then a property of the construction, not of two implementations kept in
+//! sync by hand (regression-tested in `crate::stream`).
+
+use grgad_graph::Graph;
+
+/// A growable undirected attributed graph under construction.
+///
+/// Contract (matching [`Graph`]'s mutation invariants): node ids are handed
+/// out contiguously from 0; `add_edge` ignores self-loops and duplicates and
+/// returns whether the edge was inserted; `num_edges` counts the distinct
+/// undirected edges accepted so far.
+pub trait GraphSink {
+    /// Number of nodes added so far.
+    fn num_nodes(&self) -> usize;
+    /// Number of distinct undirected edges accepted so far.
+    fn num_edges(&self) -> usize;
+    /// Appends a node with the given feature row, returning its id.
+    fn add_node(&mut self, features: &[f32]) -> usize;
+    /// Adds the undirected edge `(u, v)`; self-loops and duplicates are
+    /// ignored. Returns true if the edge was inserted.
+    fn add_edge(&mut self, u: usize, v: usize) -> bool;
+}
+
+impl GraphSink for Graph {
+    fn num_nodes(&self) -> usize {
+        Graph::num_nodes(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        Graph::num_edges(self)
+    }
+
+    fn add_node(&mut self, features: &[f32]) -> usize {
+        Graph::add_node(self, features)
+    }
+
+    fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        Graph::add_edge(self, u, v)
+    }
+}

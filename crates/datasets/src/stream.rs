@@ -1,0 +1,477 @@
+//! Bounded-memory streaming generation and loading of power-law datasets.
+//!
+//! [`write_powerlaw`] runs the *same* generation code as
+//! [`crate::powerlaw::generate`] (one shared [`GraphSink`] path, identical
+//! RNG draw sequence) but streams every feature row straight to a
+//! [`grgad_store::DiskMatrix`] file instead of accumulating an in-RAM
+//! matrix — the only resident state is the compact adjacency needed for
+//! edge deduplication. The on-disk artifact is a directory:
+//!
+//! * `features.gsm` — the node-feature matrix in grgad-store format
+//!   (checksummed, mmap-able);
+//! * `edges.txt` — `grgad-edges/v1 <nodes> <edges>` header, then one
+//!   ascending `u v` pair per line (u < v, matching [`Graph::edges`] order);
+//! * `groups.json` — the planted anomaly groups.
+//!
+//! [`load_dataset`] rebuilds a [`GrGadDataset`] *without a full in-RAM
+//! staging copy*: features are memory-mapped and enter the pipeline as a
+//! shared copy-on-write [`grgad_linalg::Matrix`], and edges stream line by
+//! line through [`EdgeListReader`] directly into adjacency lists. The
+//! result is bit-identical to the in-memory generator at the same
+//! parameters and seed (regression-tested below), so every golden CR/AUC
+//! pin applies unchanged to out-of-core runs.
+
+use std::fs::{self, File};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use grgad_error::GrgadError;
+use grgad_graph::{Graph, Group};
+use grgad_linalg::Matrix;
+use grgad_store::{DiskMatrix, DiskMatrixWriter};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::GrGadDataset;
+use crate::powerlaw::{self, PowerLawParams};
+use crate::sink::GraphSink;
+
+/// Format tag of the edge-list file header.
+pub const EDGES_FORMAT: &str = "grgad-edges/v1";
+
+/// Format tag of the groups manifest.
+pub const GROUPS_FORMAT: &str = "grgad-groups/v1";
+
+/// File names inside a streaming-dataset directory.
+pub const FEATURES_FILE: &str = "features.gsm";
+/// See [`FEATURES_FILE`].
+pub const EDGES_FILE: &str = "edges.txt";
+/// See [`FEATURES_FILE`].
+pub const GROUPS_FILE: &str = "groups.json";
+
+/// The planted-groups manifest (`groups.json`).
+#[derive(Serialize, Deserialize)]
+struct GroupsFile {
+    format: String,
+    name: String,
+    groups: Vec<Vec<usize>>,
+}
+
+/// A [`GraphSink`] that streams feature rows to disk and keeps only the
+/// deduplicating adjacency in memory.
+struct StreamSink {
+    adj: Vec<Vec<usize>>,
+    num_edges: usize,
+    features: DiskMatrixWriter,
+    /// First write error, deferred so the infallible [`GraphSink`] trait
+    /// stays honest; surfaced when the writer is finalized.
+    error: Option<GrgadError>,
+}
+
+impl GraphSink for StreamSink {
+    fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn add_node(&mut self, features: &[f32]) -> usize {
+        if self.error.is_none() {
+            if let Err(e) = self.features.push_row(features) {
+                self.error = Some(e);
+            }
+        }
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        // Mirrors `Graph::add_edge` exactly: self-loops and duplicates are
+        // ignored, both endpoint lists stay strictly sorted.
+        debug_assert!(u < self.adj.len() && v < self.adj.len());
+        if u == v {
+            return false;
+        }
+        let pos_u = match self.adj[u].binary_search(&v) {
+            Ok(_) => return false,
+            Err(pos) => pos,
+        };
+        self.adj[u].insert(pos_u, v);
+        let pos_v = self.adj[v]
+            .binary_search(&u)
+            .expect_err("adjacency symmetric by construction");
+        self.adj[v].insert(pos_v, u);
+        self.num_edges += 1;
+        true
+    }
+}
+
+/// Generates the power-law dataset into `dir` as a streaming artifact.
+///
+/// Bit-identical to [`powerlaw::generate`] at the same `params`/`seed`:
+/// both run the same `powerlaw::generate_into` and differ only in where
+/// rows and edges land. Peak memory is O(edges + feature_dim), independent of
+/// `nodes × feature_dim`.
+pub fn write_powerlaw(params: &PowerLawParams, seed: u64, dir: &Path) -> Result<(), GrgadError> {
+    let io_err = |p: &Path, e: std::io::Error| GrgadError::storage_io(p.display().to_string(), e);
+    fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+
+    let features_path = dir.join(FEATURES_FILE);
+    let mut sink = StreamSink {
+        adj: Vec::with_capacity(params.nodes),
+        num_edges: 0,
+        features: DiskMatrixWriter::create(&features_path, params.feature_dim)?,
+        error: None,
+    };
+    let groups = powerlaw::generate_into(params, seed, &mut sink);
+    if let Some(e) = sink.error {
+        return Err(e);
+    }
+    sink.features.finish()?;
+
+    let edges_path = dir.join(EDGES_FILE);
+    let file = File::create(&edges_path).map_err(|e| io_err(&edges_path, e))?;
+    let mut out = BufWriter::new(file);
+    writeln!(out, "{EDGES_FORMAT} {} {}", sink.adj.len(), sink.num_edges)
+        .map_err(|e| io_err(&edges_path, e))?;
+    for (u, nbrs) in sink.adj.iter().enumerate() {
+        for &v in nbrs.iter().filter(|&&v| u < v) {
+            writeln!(out, "{u} {v}").map_err(|e| io_err(&edges_path, e))?;
+        }
+    }
+    out.flush().map_err(|e| io_err(&edges_path, e))?;
+
+    write_groups(dir, &params.name, &groups)
+}
+
+/// Writes an arbitrary in-memory dataset as a streaming artifact — the same
+/// directory layout [`write_powerlaw`] produces, minus the bounded-memory
+/// generation (the dataset already exists in RAM).
+///
+/// Round-tripping through [`load_dataset`] yields a bit-identical dataset
+/// whose feature matrix is served through the storage seam (mmap-backed
+/// where available): the storage-parity harness in `grgad-bench` scores
+/// both copies and gates on bitwise-equal results.
+pub fn write_dataset(dataset: &GrGadDataset, dir: &Path) -> Result<(), GrgadError> {
+    let io_err = |p: &Path, e: std::io::Error| GrgadError::storage_io(p.display().to_string(), e);
+    fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+
+    DiskMatrixWriter::write_matrix(dir.join(FEATURES_FILE), dataset.graph.features())?;
+
+    let edges_path = dir.join(EDGES_FILE);
+    let file = File::create(&edges_path).map_err(|e| io_err(&edges_path, e))?;
+    let mut out = BufWriter::new(file);
+    writeln!(
+        out,
+        "{EDGES_FORMAT} {} {}",
+        dataset.graph.num_nodes(),
+        dataset.graph.num_edges()
+    )
+    .map_err(|e| io_err(&edges_path, e))?;
+    for (u, v) in dataset.graph.edges() {
+        writeln!(out, "{u} {v}").map_err(|e| io_err(&edges_path, e))?;
+    }
+    out.flush().map_err(|e| io_err(&edges_path, e))?;
+
+    write_groups(dir, &dataset.name, &dataset.anomaly_groups)
+}
+
+/// Writes the planted-groups manifest (`groups.json`) into `dir`.
+fn write_groups(dir: &Path, name: &str, groups: &[Group]) -> Result<(), GrgadError> {
+    let groups_path = dir.join(GROUPS_FILE);
+    let manifest = GroupsFile {
+        format: GROUPS_FORMAT.to_string(),
+        name: name.to_string(),
+        groups: groups.iter().map(|g| g.nodes().to_vec()).collect(),
+    };
+    let json = serde_json::to_string(&manifest)
+        .map_err(|e| GrgadError::storage_io(groups_path.display().to_string(), e))?;
+    fs::write(&groups_path, json)
+        .map_err(|e| GrgadError::storage_io(groups_path.display().to_string(), e))?;
+    Ok(())
+}
+
+/// Opens a grgad-store feature file as a shared (mmap-backed where
+/// available) copy-on-write [`Matrix`].
+pub fn open_feature_matrix(path: &Path) -> Result<Matrix, GrgadError> {
+    DiskMatrix::open(path)?.into_matrix()
+}
+
+/// A streaming reader of `grgad-edges/v1` files: edges are yielded one at a
+/// time off a buffered line reader, never staged as a full in-RAM list.
+pub struct EdgeListReader {
+    path: String,
+    lines: std::io::Lines<BufReader<File>>,
+    num_nodes: usize,
+    num_edges: usize,
+    yielded: usize,
+}
+
+impl EdgeListReader {
+    /// Opens the file and parses the header line.
+    pub fn open(path: &Path) -> Result<Self, GrgadError> {
+        let path_str = path.display().to_string();
+        let file = File::open(path)
+            .map_err(|e| GrgadError::storage_io(&path_str, format!("open failed: {e}")))?;
+        let mut lines = BufReader::new(file).lines();
+        let header = lines
+            .next()
+            .transpose()
+            .map_err(|e| GrgadError::storage_io(&path_str, format!("header read failed: {e}")))?
+            .ok_or_else(|| GrgadError::storage_io(&path_str, "empty edge-list file"))?;
+        let mut parts = header.split_whitespace();
+        let format = parts.next().unwrap_or("");
+        if format != EDGES_FORMAT {
+            return Err(GrgadError::storage_io(
+                &path_str,
+                format!("bad edge-list header {format:?}, expected {EDGES_FORMAT:?}"),
+            ));
+        }
+        let parse = |field: Option<&str>, name: &str| -> Result<usize, GrgadError> {
+            field
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| GrgadError::storage_io(&path_str, format!("bad {name} in header")))
+        };
+        let num_nodes = parse(parts.next(), "node count")?;
+        let num_edges = parse(parts.next(), "edge count")?;
+        Ok(Self {
+            path: path_str,
+            lines,
+            num_nodes,
+            num_edges,
+            yielded: 0,
+        })
+    }
+
+    /// Node count promised by the header.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Edge count promised by the header.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The next edge, `None` at a clean end of file. Malformed lines,
+    /// out-of-range endpoints and an edge count that disagrees with the
+    /// header are typed errors.
+    #[allow(
+        clippy::should_implement_trait,
+        reason = "Iterator cannot return Result cleanly"
+    )]
+    pub fn next(&mut self) -> Option<Result<(usize, usize), GrgadError>> {
+        loop {
+            let line = match self.lines.next() {
+                None => {
+                    if self.yielded != self.num_edges {
+                        return Some(Err(GrgadError::storage_io(
+                            &self.path,
+                            format!(
+                                "edge count mismatch: header promises {}, file has {} (truncated?)",
+                                self.num_edges, self.yielded
+                            ),
+                        )));
+                    }
+                    return None;
+                }
+                Some(Err(e)) => {
+                    return Some(Err(GrgadError::storage_io(
+                        &self.path,
+                        format!("read failed: {e}"),
+                    )))
+                }
+                Some(Ok(line)) => line,
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (u, v) = match (
+                parts.next().and_then(|s| s.parse::<usize>().ok()),
+                parts.next().and_then(|s| s.parse::<usize>().ok()),
+            ) {
+                (Some(u), Some(v)) => (u, v),
+                _ => {
+                    return Some(Err(GrgadError::storage_io(
+                        &self.path,
+                        format!("malformed edge line {:?}", line),
+                    )))
+                }
+            };
+            if u >= self.num_nodes || v >= self.num_nodes {
+                return Some(Err(GrgadError::storage_io(
+                    &self.path,
+                    format!("edge ({u}, {v}) outside graph of {} nodes", self.num_nodes),
+                )));
+            }
+            self.yielded += 1;
+            return Some(Ok((u, v)));
+        }
+    }
+}
+
+/// Loads a streaming-dataset directory into a [`GrGadDataset`] whose
+/// feature matrix stays mmap-backed (shared, copy-on-write) — the pipeline
+/// reads features straight off the page cache.
+pub fn load_dataset(dir: &Path) -> Result<GrGadDataset, GrgadError> {
+    let features = open_feature_matrix(&dir.join(FEATURES_FILE))?;
+
+    let edges_path = dir.join(EDGES_FILE);
+    let mut reader = EdgeListReader::open(&edges_path)?;
+    if reader.num_nodes() != features.rows() {
+        return Err(GrgadError::storage_io(
+            edges_path.display().to_string(),
+            format!(
+                "node count mismatch: edge list has {}, feature matrix has {}",
+                reader.num_nodes(),
+                features.rows()
+            ),
+        ));
+    }
+    let mut graph = Graph::new(reader.num_nodes(), features);
+    while let Some(edge) = reader.next() {
+        let (u, v) = edge?;
+        graph.add_edge(u, v);
+    }
+
+    let groups_path = dir.join(GROUPS_FILE);
+    let group_err =
+        |cause: String| GrgadError::storage_io(groups_path.display().to_string(), cause);
+    let json =
+        fs::read_to_string(&groups_path).map_err(|e| group_err(format!("read failed: {e}")))?;
+    let manifest: GroupsFile =
+        serde_json::from_str(&json).map_err(|e| group_err(format!("parse failed: {e}")))?;
+    if manifest.format != GROUPS_FORMAT {
+        return Err(group_err(format!(
+            "bad groups format {:?}, expected {GROUPS_FORMAT:?}",
+            manifest.format
+        )));
+    }
+    let n = graph.num_nodes();
+    let groups = manifest
+        .groups
+        .into_iter()
+        .map(|nodes| Group::try_new(nodes, n))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let dataset = GrGadDataset::new(manifest.name, graph, groups);
+    dataset.validate().map_err(group_err)?;
+    Ok(dataset)
+}
+
+/// Convenience: the conventional artifact directory for a sweep point,
+/// `<base>/powerlaw-<nodes>-s<seed>`.
+pub fn artifact_dir(base: &Path, nodes: usize, seed: u64) -> PathBuf {
+    base.join(format!("powerlaw-{nodes}-s{seed}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("grgad_stream_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn streaming_artifact_is_bit_identical_to_in_memory_generator() {
+        for (nodes, seed) in [(600usize, 7u64), (1_500, 42)] {
+            let params = PowerLawParams::with_nodes(nodes);
+            let in_memory = powerlaw::generate(&params, seed);
+
+            let dir = temp_dir(&format!("parity_{nodes}_{seed}"));
+            write_powerlaw(&params, seed, &dir).expect("streaming write");
+            let streamed = load_dataset(&dir).expect("streaming load");
+
+            assert_eq!(in_memory.statistics(), streamed.statistics());
+            assert_eq!(in_memory.anomaly_groups, streamed.anomaly_groups);
+            for v in 0..in_memory.graph.num_nodes() {
+                assert_eq!(
+                    in_memory.graph.neighbors(v),
+                    streamed.graph.neighbors(v),
+                    "node {v}"
+                );
+            }
+            let (a, b) = (
+                in_memory.graph.features().as_slice(),
+                streamed.graph.features().as_slice(),
+            );
+            assert_eq!(a.len(), b.len());
+            assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+            // The loaded features must actually be served through the
+            // storage seam, not copied out.
+            assert!(streamed.graph.features().is_shared());
+            fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn write_dataset_round_trips_bit_identically_and_stays_shared() {
+        let original = crate::example::generate(300, 17);
+        let dir = temp_dir("write_dataset");
+        write_dataset(&original, &dir).expect("write");
+        let reloaded = load_dataset(&dir).expect("load");
+
+        assert_eq!(original.name, reloaded.name);
+        assert_eq!(original.statistics(), reloaded.statistics());
+        assert_eq!(original.anomaly_groups, reloaded.anomaly_groups);
+        for v in 0..original.graph.num_nodes() {
+            assert_eq!(original.graph.neighbors(v), reloaded.graph.neighbors(v));
+        }
+        let (a, b) = (
+            original.graph.features().as_slice(),
+            reloaded.graph.features().as_slice(),
+        );
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert!(reloaded.graph.features().is_shared());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loader_rejects_truncated_edge_list() {
+        let params = PowerLawParams::with_nodes(64);
+        let dir = temp_dir("trunc");
+        write_powerlaw(&params, 3, &dir).expect("write");
+        let edges_path = dir.join(EDGES_FILE);
+        let content = fs::read_to_string(&edges_path).expect("read");
+        let cut: String = content
+            .lines()
+            .take(content.lines().count() - 3)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        fs::write(&edges_path, cut).expect("truncate");
+        let err = load_dataset(&dir).expect_err("truncated edges");
+        assert_eq!(err.kind(), "storage_io");
+        assert!(err.to_string().contains("edge count mismatch"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loader_rejects_bad_header_and_out_of_range_edges() {
+        let params = PowerLawParams::with_nodes(64);
+        let dir = temp_dir("badheader");
+        write_powerlaw(&params, 4, &dir).expect("write");
+        let edges_path = dir.join(EDGES_FILE);
+        let original = fs::read_to_string(&edges_path).expect("read");
+
+        fs::write(&edges_path, "wrong/v9 10 0\n").expect("write bad header");
+        let err = load_dataset(&dir).expect_err("bad header");
+        assert!(err.to_string().contains("bad edge-list header"), "{err}");
+
+        let mut lines: Vec<String> = original.lines().map(String::from).collect();
+        lines[1] = "0 999999".to_string();
+        fs::write(&edges_path, lines.join("\n")).expect("write bad edge");
+        let err = load_dataset(&dir).expect_err("out of range");
+        assert!(err.to_string().contains("outside graph"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_artifact_directory_is_typed_error() {
+        let err = load_dataset(Path::new("/nonexistent/grgad/stream")).expect_err("missing");
+        assert_eq!(err.kind(), "storage_io");
+    }
+}

@@ -106,6 +106,19 @@ pub enum GrgadError {
         /// The bounded capacity that was exhausted.
         capacity: usize,
     },
+    /// An out-of-core storage artifact could not be opened, mapped or
+    /// trusted (missing/truncated file, bad magic, unsupported schema
+    /// version, checksum mismatch, mmap failure, ...). Unlike
+    /// [`GrgadError::ModelIo`] — which covers JSON model/dataset documents —
+    /// this variant covers the binary `grgad-store` on-disk format, where a
+    /// corrupted file must surface as a typed error instead of undefined
+    /// behaviour through a stale mapping.
+    StorageIo {
+        /// The storage file involved.
+        path: String,
+        /// The underlying cause, rendered as text.
+        cause: String,
+    },
 }
 
 impl GrgadError {
@@ -124,6 +137,7 @@ impl GrgadError {
             GrgadError::Transport { .. } => "transport",
             GrgadError::TenantNotFound { .. } => "tenant_not_found",
             GrgadError::Overloaded { .. } => "overloaded",
+            GrgadError::StorageIo { .. } => "storage_io",
         }
     }
 
@@ -210,6 +224,15 @@ impl GrgadError {
             capacity,
         }
     }
+
+    /// Convenience constructor for [`GrgadError::StorageIo`]; `cause` is
+    /// any displayable underlying error.
+    pub fn storage_io(path: impl Into<String>, cause: impl fmt::Display) -> Self {
+        GrgadError::StorageIo {
+            path: path.into(),
+            cause: cause.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for GrgadError {
@@ -250,6 +273,9 @@ impl fmt::Display for GrgadError {
                 f,
                 "{context}: request queue full (capacity {capacity}); retry later"
             ),
+            GrgadError::StorageIo { path, cause } => {
+                write!(f, "{path}: storage error: {cause}")
+            }
         }
     }
 }
@@ -321,6 +347,11 @@ mod tests {
                 GrgadError::overloaded("scheduler shard 3", 64),
                 "overloaded",
                 "capacity 64",
+            ),
+            (
+                GrgadError::storage_io("/tmp/features.gsm", "checksum mismatch"),
+                "storage_io",
+                "checksum mismatch",
             ),
         ];
         for (err, kind, needle) in cases {

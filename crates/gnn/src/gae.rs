@@ -19,7 +19,7 @@ use grgad_linalg::{CsrMatrix, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::gcn::{GcnEncoder, GcnLayer};
+use crate::gcn::{GcnEncoder, GcnInference, GcnLayer};
 
 /// Hyperparameters of the GAE / MH-GAE training loop.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
@@ -179,6 +179,10 @@ impl Gae {
                 let logits = z.edge_dot(&pairs);
                 logits.sigmoid().mse_loss(&targets)
             };
+            // The ops captured what they need; free the caller-side batch
+            // before backward so only one copy is live during the peak.
+            drop(pairs);
+            drop(targets);
 
             let loss = structure_loss
                 .scale(self.config.lambda)
@@ -189,11 +193,16 @@ impl Gae {
             opt.step();
         }
 
-        // Cache the final forward pass for error computation / inspection.
-        let z = self.encoder.forward(&adj_norm, &x);
-        let x_hat = self.attr_decoder.forward(&adj_norm, &z);
-        self.embeddings = Some(z.value_clone());
-        self.reconstructed_attrs = Some(x_hat.value_clone());
+        // Cache the final forward pass for error computation / inspection —
+        // on the autodiff-free chunked kernels (bit-identical to the
+        // `Tensor` forward) so no training-size tape is rebuilt once
+        // training is over.
+        let z = GcnInference::from_snapshots(self.encoder_snapshot())
+            .forward(&adj_norm, graph.features());
+        let x_hat =
+            GcnInference::from_snapshots(vec![self.decoder_snapshot()]).forward(&adj_norm, &z);
+        self.embeddings = Some(z);
+        self.reconstructed_attrs = Some(x_hat);
         final_loss
     }
 
@@ -235,20 +244,42 @@ impl Gae {
     ///
     /// Unlike [`Gae::fit`] this works for *any* graph with the same feature
     /// dimensionality — it is the inference path of a trained model, used to
-    /// score new snapshots without retraining.
+    /// score new snapshots without retraining. It runs on the chunked
+    /// autodiff-free kernels ([`crate::gcn::GcnInference`]): no autograd
+    /// graph, no full-size propagated intermediates, and bit-identical
+    /// values to the `Tensor` forward.
     pub fn infer(&self, graph: &Graph) -> (Matrix, Matrix) {
         let adj_norm = graph.normalized_adjacency();
-        let x = Tensor::constant(graph.features().clone());
-        let z = self.encoder.forward(&adj_norm, &x);
-        let x_hat = self.attr_decoder.forward(&adj_norm, &z);
-        (z.value_clone(), x_hat.value_clone())
+        let z = GcnInference::from_snapshots(self.encoder_snapshot())
+            .forward(&adj_norm, graph.features());
+        let x_hat =
+            GcnInference::from_snapshots(vec![self.decoder_snapshot()]).forward(&adj_norm, &z);
+        (z, x_hat)
     }
 
     /// Computes per-node reconstruction errors for an arbitrary graph using
     /// the current (trained) weights — the zero-training scoring path.
+    ///
+    /// The attribute decode is fused into the per-node error map: row `i` of
+    /// the reconstruction is computed (`gcn::layer_row`), reduced to
+    /// its error, and dropped — the `n × feature_dim` matrix `X'` is never
+    /// materialized, so scoring stays `O(n · embed_dim)` beyond the input
+    /// features (which may themselves be mmap-backed). Bit-identical to
+    /// decoding `X'` in full and erroring against it.
     pub fn node_errors_on(&self, graph: &Graph, target: &CsrMatrix) -> NodeErrors {
-        let (z, x_hat) = self.infer(graph);
-        self.errors_from(&z, &x_hat, graph, target)
+        let adj_norm = graph.normalized_adjacency();
+        let z = GcnInference::from_snapshots(self.encoder_snapshot())
+            .forward(&adj_norm, graph.features());
+        let (dw, db, dact) = self.decoder_snapshot();
+        let n = graph.num_nodes();
+        let structure: Vec<f32> =
+            grgad_parallel::par_map_range_min(n, 64, |i| structure_error_row(&z, target, i));
+        let features = graph.features();
+        let attribute: Vec<f32> = grgad_parallel::par_map_range_min(n, 256, |i| {
+            let x_hat_row = crate::gcn::layer_row(&adj_norm, &z, &dw, &db, dact, i);
+            attribute_error_from_rows(features.row(i), &x_hat_row)
+        });
+        NodeErrors::combine(structure, attribute, self.config.lambda)
     }
 
     /// Computes per-node reconstruction errors against the given structure
@@ -366,10 +397,16 @@ pub(crate) fn structure_error_row(z: &Matrix, target: &CsrMatrix, i: usize) -> f
 /// the full parallel map and the incremental row patcher (see
 /// [`structure_error_row`]).
 pub(crate) fn attribute_error_row(features: &Matrix, x_hat: &Matrix, i: usize) -> f32 {
-    features
-        .row(i)
+    attribute_error_from_rows(features.row(i), x_hat.row(i))
+}
+
+/// [`attribute_error_row`] on raw row slices — the form the fused
+/// decode-and-score map uses, where the reconstruction row exists only as a
+/// transient buffer and never joins a full `X'` matrix.
+pub(crate) fn attribute_error_from_rows(features_row: &[f32], x_hat_row: &[f32]) -> f32 {
+    features_row
         .iter()
-        .zip(x_hat.row(i))
+        .zip(x_hat_row)
         .map(|(&a, &b)| (a - b) * (a - b))
         .sum::<f32>()
         .sqrt()

@@ -29,10 +29,13 @@ impl GcnLayer {
     }
 
     /// Forward pass with the given propagation operator.
+    ///
+    /// Uses the fused single-node [`Tensor::gcn_layer`] op: bit-identical to
+    /// the `spmm → matmul → add_bias → activation` composition but the tape
+    /// keeps only the layer output, which is what lets a million-node fit
+    /// stay within the out-of-core RSS budget (`DESIGN.md` §13).
     pub fn forward(&self, adj: &CsrMatrix, x: &Tensor) -> Tensor {
-        let propagated = Tensor::spmm(adj, x);
-        self.activation
-            .apply(&propagated.matmul(&self.weight).add_bias(&self.bias))
+        Tensor::gcn_layer(adj, x, &self.weight, &self.bias, self.activation)
     }
 
     /// Trainable parameters.
@@ -183,28 +186,137 @@ impl GcnEncoder {
 }
 
 /// An autodiff-free, `Send + Sync` snapshot of a [`GcnEncoder`]: plain weight
-/// matrices plus activations. Its [`GcnInference::forward`] applies exactly
-/// the same linalg kernels as the `Tensor` forward pass
+/// matrices plus activations. Its [`GcnInference::forward`] replays exactly
+/// the same per-element operation sequence as the `Tensor` forward pass
 /// (`spmm → matmul → add_bias → activation` per layer), so the produced
-/// values are bit-for-bit identical to [`GcnEncoder::forward`].
+/// values are bit-for-bit identical to [`GcnEncoder::forward`] — but it
+/// computes each layer **row by row** with the fused `layer_row_into`
+/// kernel, never materializing the `n × in_dim` propagated intermediate or
+/// the pre-activation copy the matrix-at-a-time chain allocates. Peak memory
+/// per layer is one input plus one output matrix, so million-node graphs
+/// score within the out-of-core budget (DESIGN.md §13).
 pub struct GcnInference {
     layers: Vec<(Matrix, Matrix, Activation)>,
 }
 
 impl GcnInference {
+    /// Builds an inference stack directly from `(weight, bias, activation)`
+    /// layer snapshots — used by `Gae` to run its decoder through the same
+    /// chunked kernels as the encoder.
+    pub(crate) fn from_snapshots(layers: Vec<(Matrix, Matrix, Activation)>) -> Self {
+        Self { layers }
+    }
+
     /// Inference forward pass with the given propagation operator.
     pub fn forward(&self, adj: &CsrMatrix, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
+        let mut h: Option<Matrix> = None;
         for (weight, bias, activation) in &self.layers {
-            h = adj.matmul_dense(&h).matmul(weight).add_row_broadcast(bias);
-            h = match activation {
-                Activation::Identity => h,
-                Activation::Relu => h.map(|v| v.max(0.0)),
-                Activation::Sigmoid => h.map(grgad_linalg::ops::sigmoid_scalar),
-                Activation::Tanh => h.map(f32::tanh),
-            };
+            let input = h.as_ref().unwrap_or(x);
+            h = Some(forward_layer_rows(adj, input, weight, bias, *activation));
         }
-        h
+        h.unwrap_or_else(|| x.clone())
+    }
+}
+
+/// One full GCN layer `act((Â·input)·W + b)`, computed output-row by
+/// output-row with [`layer_row_into`]. Each row reads arbitrary rows of
+/// `input` (propagation is not row-local) but writes only its own output
+/// slot, so rows parallelize with thread-count-invariant results; the only
+/// full-size allocations are the input (borrowed) and the output.
+pub(crate) fn forward_layer_rows(
+    adj: &CsrMatrix,
+    input: &Matrix,
+    weight: &Matrix,
+    bias: &Matrix,
+    activation: Activation,
+) -> Matrix {
+    let n = adj.rows();
+    let mut out = Matrix::zeros(n, weight.cols());
+    if n == 0 || weight.cols() == 0 {
+        return out;
+    }
+    let compute_row = |i: usize, o_row: &mut [f32]| {
+        layer_row_into(adj, input, weight, bias, activation, i, o_row);
+    };
+    if n >= 64 {
+        grgad_parallel::par_chunks_mut(out.as_mut_slice(), weight.cols(), compute_row);
+    } else {
+        for i in 0..n {
+            compute_row(i, out.row_mut(i));
+        }
+    }
+    out
+}
+
+/// Computes row `i` of one GCN layer, `act((Â·input)·W + b)[i]`, into
+/// `o_row` (`weight.cols()` wide, zero-initialized by the caller).
+///
+/// Replays, for a single row, the exact kernels the matrix-at-a-time chain
+/// uses — the CSR row accumulation of `matmul_dense`, the ikj zero-skip
+/// loop of the dense `matmul`, the bias broadcast and the scalar
+/// activation — in the same order, so the result is bitwise equal to the
+/// corresponding row of a full-matrix forward (`gcn` test
+/// `inference_snapshot_matches_tensor_forward_bitwise` pins this).
+pub(crate) fn layer_row_into(
+    adj: &CsrMatrix,
+    input: &Matrix,
+    weight: &Matrix,
+    bias: &Matrix,
+    activation: Activation,
+    i: usize,
+    o_row: &mut [f32],
+) {
+    // Â·input, row i: accumulate stored entries in CSR order.
+    let mut propagated = vec![0.0f32; input.cols()];
+    for (k, v) in adj.row_iter(i) {
+        for (j, &d) in input.row(k).iter().enumerate() {
+            propagated[j] += v * d;
+        }
+    }
+    // (row)·W with the dense kernel's ikj order and zero-skip.
+    for (k, &a_ik) in propagated.iter().enumerate() {
+        if a_ik == 0.0 {
+            continue;
+        }
+        for (j, &b_kj) in weight.row(k).iter().enumerate() {
+            o_row[j] += a_ik * b_kj;
+        }
+    }
+    // Bias broadcast, then activation.
+    let bias_row = bias.row(0);
+    for (j, o) in o_row.iter_mut().enumerate() {
+        *o += bias_row[j];
+    }
+    apply_activation_row(o_row, activation);
+}
+
+/// Recomputes row `i` of one GCN layer as a fresh `Vec` (see
+/// [`layer_row_into`]) — the splice-friendly form the incremental error
+/// cache patches rows with.
+pub(crate) fn layer_row(
+    adj: &CsrMatrix,
+    input: &Matrix,
+    weight: &Matrix,
+    bias: &Matrix,
+    activation: Activation,
+    i: usize,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; weight.cols()];
+    layer_row_into(adj, input, weight, bias, activation, i, &mut out);
+    out
+}
+
+/// Applies an activation to one row in place, elementwise — the scalar
+/// bodies must match the matrix-level activation maps exactly (`v.max(0.0)`
+/// for ReLU, [`grgad_linalg::ops::sigmoid_scalar`], [`f32::tanh`]).
+pub(crate) fn apply_activation_row(row: &mut [f32], activation: Activation) {
+    match activation {
+        Activation::Identity => {}
+        Activation::Relu => row.iter_mut().for_each(|v| *v = v.max(0.0)),
+        Activation::Sigmoid => row
+            .iter_mut()
+            .for_each(|v| *v = grgad_linalg::ops::sigmoid_scalar(*v)),
+        Activation::Tanh => row.iter_mut().for_each(|v| *v = f32::tanh(*v)),
     }
 }
 

@@ -42,6 +42,7 @@ use grgad_graph::Graph;
 use grgad_linalg::{CsrMatrix, Matrix};
 
 use crate::gae::{attribute_error_row, structure_error_row, NodeErrors};
+use crate::gcn::{forward_layer_rows, layer_row};
 use crate::mhgae::{MhGae, ReconstructionTarget};
 
 /// Cross-round cache of everything stage 1 derives from the graph: the
@@ -126,89 +127,26 @@ impl serde::Deserialize for ErrorCache {
     }
 }
 
-/// Applies an activation to a whole matrix with the same scalar kernels as
-/// `GcnInference::forward` (and thus, bit-for-bit, the `Tensor` forward).
-fn apply_activation(h: Matrix, activation: Activation) -> Matrix {
-    match activation {
-        Activation::Identity => h,
-        Activation::Relu => h.map(|v| v.max(0.0)),
-        Activation::Sigmoid => h.map(grgad_linalg::ops::sigmoid_scalar),
-        Activation::Tanh => h.map(f32::tanh),
-    }
-}
-
-/// Applies an activation to one row in place, elementwise — the scalar
-/// bodies must match [`apply_activation`] exactly.
-fn apply_activation_row(row: &mut [f32], activation: Activation) {
-    match activation {
-        Activation::Identity => {}
-        Activation::Relu => row.iter_mut().for_each(|v| *v = v.max(0.0)),
-        Activation::Sigmoid => row
-            .iter_mut()
-            .for_each(|v| *v = grgad_linalg::ops::sigmoid_scalar(*v)),
-        Activation::Tanh => row.iter_mut().for_each(|v| *v = f32::tanh(*v)),
-    }
-}
-
-/// Recomputes row `i` of one GCN layer: `act((Â·input)·W + b)[i]`.
-///
-/// Replays, for a single row, the exact kernels the full forward uses —
-/// the CSR row accumulation of `matmul_dense`, the ikj zero-skip loop of
-/// the dense `matmul`, the bias broadcast and the scalar activation — in
-/// the same order, so the result is bitwise equal to the corresponding row
-/// of a full-matrix forward.
-fn layer_row(
-    adj: &CsrMatrix,
-    input: &Matrix,
-    weight: &Matrix,
-    bias: &Matrix,
-    activation: Activation,
-    i: usize,
-) -> Vec<f32> {
-    // Â·input, row i: accumulate stored entries in CSR order.
-    let mut propagated = vec![0.0f32; input.cols()];
-    for (k, v) in adj.row_iter(i) {
-        for (j, &d) in input.row(k).iter().enumerate() {
-            propagated[j] += v * d;
-        }
-    }
-    // (row)·W with the dense kernel's ikj order and zero-skip.
-    let mut out = vec![0.0f32; weight.cols()];
-    for (k, &a_ik) in propagated.iter().enumerate() {
-        if a_ik == 0.0 {
-            continue;
-        }
-        for (j, &b_kj) in weight.row(k).iter().enumerate() {
-            out[j] += a_ik * b_kj;
-        }
-    }
-    // Bias broadcast, then activation.
-    let bias_row = bias.row(0);
-    for (j, o) in out.iter_mut().enumerate() {
-        *o += bias_row[j];
-    }
-    apply_activation_row(&mut out, activation);
-    out
-}
-
-/// Full per-layer forward with the inference (matrix) kernels, returning
-/// every encoder layer output plus the decoded attributes. Bit-identical to
-/// the `Tensor` forward (`gcn` test `inference_snapshot_matches_tensor_
-/// forward_bitwise` pins the kernel identity).
+/// Full per-layer forward with the chunked inference kernels
+/// ([`forward_layer_rows`]), returning every encoder layer output plus the
+/// decoded attributes. Bit-identical to the `Tensor` forward (`gcn` test
+/// `inference_snapshot_matches_tensor_forward_bitwise` pins the kernel
+/// identity).
 fn full_forward(
     graph: &Graph,
     encoder: &[(Matrix, Matrix, Activation)],
     decoder: &(Matrix, Matrix, Activation),
 ) -> (Vec<Matrix>, Matrix) {
     let adj = graph.normalized_adjacency();
-    let mut outputs = Vec::with_capacity(encoder.len());
-    let mut h = graph.features().clone();
+    let mut outputs: Vec<Matrix> = Vec::with_capacity(encoder.len());
     for (w, b, act) in encoder {
-        h = apply_activation(adj.matmul_dense(&h).matmul(w).add_row_broadcast(b), *act);
-        outputs.push(h.clone());
+        let input = outputs.last().unwrap_or_else(|| graph.features());
+        let h = forward_layer_rows(&adj, input, w, b, *act);
+        outputs.push(h);
     }
     let (dw, db, dact) = decoder;
-    let x_hat = apply_activation(adj.matmul_dense(&h).matmul(dw).add_row_broadcast(db), *dact);
+    let last = outputs.last().unwrap_or_else(|| graph.features());
+    let x_hat = forward_layer_rows(&adj, last, dw, db, *dact);
     (outputs, x_hat)
 }
 

@@ -2,40 +2,119 @@
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
+use std::sync::Arc;
 
 use grgad_error::GrgadError;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// Read-only backing storage a [`Matrix`] can run on without owning the
+/// bytes — the out-of-core seam.
+///
+/// `grgad-store`'s mmap-backed `DiskMatrix` implements this so million-node
+/// feature matrices page from disk through the kernel instead of living in
+/// an owned `Vec<f32>`; the rest of the pipeline sees an ordinary `Matrix`.
+/// Implementations must uphold `as_slice().len() == rows() * cols()` for the
+/// lifetime of the value ([`Matrix::from_storage`] re-checks it once at the
+/// boundary).
+pub trait MatrixStorage: Send + Sync {
+    /// Number of rows.
+    fn rows(&self) -> usize;
+    /// Number of columns.
+    fn cols(&self) -> usize;
+    /// The full row-major element slice (`rows() * cols()` long).
+    fn as_slice(&self) -> &[f32];
+}
+
+/// The backing store of a [`Matrix`]: either an owned heap vector (the
+/// common case) or shared read-only storage behind the [`MatrixStorage`]
+/// seam. Shared storage is promoted to owned by copy-on-write the moment a
+/// mutating method needs `&mut` access, so every existing call site keeps
+/// its semantics bit-for-bit.
+#[derive(Clone)]
+enum MatrixData {
+    Owned(Vec<f32>),
+    Shared(Arc<dyn MatrixStorage>),
+}
+
 /// A row-major dense matrix of `f32` values.
 ///
 /// This is the single dense container used across the workspace: node feature
 /// matrices, GCN weights, embeddings, gradients and intermediate activations
-/// are all `Matrix` values.
-#[derive(Clone, PartialEq)]
+/// are all `Matrix` values. A `Matrix` normally owns its elements; via
+/// [`Matrix::from_storage`] it can instead borrow them from shared read-only
+/// storage (e.g. an mmap-backed file), promoting to an owned copy only when
+/// mutated.
+#[derive(Clone)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data: MatrixData,
 }
 
 impl Matrix {
-    /// Creates a `rows × cols` matrix filled with zeros.
-    pub fn zeros(rows: usize, cols: usize) -> Self {
+    /// Internal constructor for an owned matrix whose shape is already
+    /// consistent with `data.len()`.
+    #[inline]
+    fn owned(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        debug_assert_eq!(data.len(), rows * cols);
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: MatrixData::Owned(data),
         }
+    }
+
+    /// Wraps shared read-only storage as a matrix, validating that the
+    /// storage length matches its declared shape. The matrix reads directly
+    /// from the storage (zero copies) until a mutating method promotes it to
+    /// an owned copy.
+    pub fn from_storage(storage: Arc<dyn MatrixStorage>) -> Result<Self, GrgadError> {
+        let (rows, cols) = (storage.rows(), storage.cols());
+        let expected = rows.checked_mul(cols).ok_or_else(|| {
+            GrgadError::shape("Matrix::from_storage: rows*cols overflow", 0, rows)
+        })?;
+        if storage.as_slice().len() != expected {
+            return Err(GrgadError::shape(
+                format!("Matrix::from_storage: storage for {rows}x{cols}"),
+                expected,
+                storage.as_slice().len(),
+            ));
+        }
+        Ok(Self {
+            rows,
+            cols,
+            data: MatrixData::Shared(storage),
+        })
+    }
+
+    /// True while the matrix reads from shared [`MatrixStorage`] (i.e. no
+    /// mutating method has promoted it to an owned copy yet). Diagnostic
+    /// hook for the out-of-core paths and their tests.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.data, MatrixData::Shared(_))
+    }
+
+    /// Copy-on-write promotion: replaces shared storage with an owned copy
+    /// and returns the backing vector for mutation.
+    fn data_mut(&mut self) -> &mut Vec<f32> {
+        if let MatrixData::Shared(storage) = &self.data {
+            self.data = MatrixData::Owned(storage.as_slice().to_vec());
+        }
+        match &mut self.data {
+            MatrixData::Owned(vec) => vec,
+            MatrixData::Shared(_) => unreachable!("promoted to Owned above"),
+        }
+    }
+
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::owned(rows, cols, vec![0.0; rows * cols])
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![value; rows * cols],
-        }
+        Self::owned(rows, cols, vec![value; rows * cols])
     }
 
     /// Creates the `n × n` identity matrix.
@@ -64,7 +143,7 @@ impl Matrix {
                 data.len(),
             ));
         }
-        Ok(Self { rows, cols, data })
+        Ok(Self::owned(rows, cols, data))
     }
 
     /// Creates a matrix from row slices, validating that rows are not ragged.
@@ -84,17 +163,13 @@ impl Matrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Ok(Self {
-            rows: rows.len(),
-            cols: c,
-            data,
-        })
+        Ok(Self::owned(rows.len(), c, data))
     }
 
     /// `Err(NonFiniteInput)` when any entry is NaN or infinite — the
     /// boundary check behind `Graph::validate`.
     pub fn validate_finite(&self, context: &str) -> Result<(), GrgadError> {
-        if self.data.iter().all(|v| v.is_finite()) {
+        if self.as_slice().iter().all(|v| v.is_finite()) {
             Ok(())
         } else {
             Err(GrgadError::non_finite(context))
@@ -117,7 +192,7 @@ impl Matrix {
             rows * cols,
             data.len()
         );
-        Self { rows, cols, data }
+        Self::owned(rows, cols, data)
     }
 
     /// Creates a matrix from row slices. All rows must have equal length.
@@ -129,11 +204,7 @@ impl Matrix {
             assert_eq!(row.len(), c, "from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Self {
-            rows: r,
-            cols: c,
-            data,
-        }
+        Self::owned(r, c, data)
     }
 
     /// Appends one row in place (amortized `O(cols)` via the backing
@@ -149,7 +220,7 @@ impl Matrix {
             self.cols = row.len();
         }
         assert_eq!(row.len(), self.cols, "push_row: column mismatch");
-        self.data.extend_from_slice(row);
+        self.data_mut().extend_from_slice(row);
         self.rows += 1;
     }
 
@@ -169,7 +240,7 @@ impl Matrix {
         let data = (0..rows * cols)
             .map(|_| rng.gen_range(-limit..=limit))
             .collect();
-        Self { rows, cols, data }
+        Self::owned(rows, cols, data)
     }
 
     /// Uniform random matrix in `[lo, hi)`.
@@ -181,7 +252,7 @@ impl Matrix {
         rng: &mut R,
     ) -> Self {
         let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
-        Self { rows, cols, data }
+        Self::owned(rows, cols, data)
     }
 
     /// Standard-normal random matrix (Box–Muller; avoids an extra dependency).
@@ -197,7 +268,7 @@ impl Matrix {
                 data.push(r * theta.sin() * std);
             }
         }
-        Self { rows, cols, data }
+        Self::owned(rows, cols, data)
     }
 
     /// Number of rows.
@@ -221,44 +292,54 @@ impl Matrix {
     /// Total number of elements.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.rows * self.cols
     }
 
     /// True if the matrix has zero elements.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
     /// Flat row-major data slice.
     #[inline]
     pub fn as_slice(&self) -> &[f32] {
-        &self.data
+        match &self.data {
+            MatrixData::Owned(vec) => vec,
+            MatrixData::Shared(storage) => storage.as_slice(),
+        }
     }
 
-    /// Mutable flat row-major data slice.
+    /// Mutable flat row-major data slice (promotes shared storage to an
+    /// owned copy first).
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data_mut()
     }
 
-    /// Consumes the matrix and returns its flat data.
+    /// Consumes the matrix and returns its flat data (copying out of shared
+    /// storage when necessary).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        match self.data {
+            MatrixData::Owned(vec) => vec,
+            MatrixData::Shared(storage) => storage.as_slice().to_vec(),
+        }
     }
 
     /// Borrow of row `i` as a slice.
     #[inline]
     pub fn row(&self, i: usize) -> &[f32] {
         let start = i * self.cols;
-        &self.data[start..start + self.cols]
+        &self.as_slice()[start..start + self.cols]
     }
 
-    /// Mutable borrow of row `i`.
+    /// Mutable borrow of row `i` (promotes shared storage to an owned copy
+    /// first).
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
         let start = i * self.cols;
-        &mut self.data[start..start + self.cols]
+        let end = start + self.cols;
+        &mut self.data_mut()[start..end]
     }
 
     /// Copies column `j` into a new vector.
@@ -309,7 +390,7 @@ impl Matrix {
             }
         };
         if crate::parallel_worthwhile(self.rows, self.rows * self.cols * other.cols) {
-            grgad_parallel::par_chunks_mut(&mut out.data, other.cols, compute_row);
+            grgad_parallel::par_chunks_mut(out.data_mut(), other.cols, compute_row);
         } else {
             for i in 0..self.rows {
                 compute_row(i, out.row_mut(i));
@@ -320,16 +401,16 @@ impl Matrix {
 
     /// Element-wise map into a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix::owned(
+            self.rows,
+            self.cols,
+            self.as_slice().iter().map(|&x| f(x)).collect(),
+        )
     }
 
     /// In-place element-wise map.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in self.data_mut() {
             *x = f(*x);
         }
     }
@@ -337,16 +418,15 @@ impl Matrix {
     /// Element-wise binary combination of equally shaped matrices.
     pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "zip_map: shape mismatch");
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self
-                .data
+        Matrix::owned(
+            self.rows,
+            self.cols,
+            self.as_slice()
                 .iter()
-                .zip(other.data.iter())
+                .zip(other.as_slice().iter())
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
-        }
+        )
     }
 
     /// Element-wise addition.
@@ -373,11 +453,12 @@ impl Matrix {
     pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
         assert_eq!(bias.rows, 1, "add_row_broadcast: bias must be a row vector");
         assert_eq!(bias.cols, self.cols, "add_row_broadcast: width mismatch");
+        let bias_row = bias.as_slice();
         let mut out = self.clone();
         for i in 0..out.rows {
             let row = out.row_mut(i);
             for (j, v) in row.iter_mut().enumerate() {
-                *v += bias.data[j];
+                *v += bias_row[j];
             }
         }
         out
@@ -385,36 +466,36 @@ impl Matrix {
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        self.as_slice().iter().sum()
     }
 
     /// Mean of all elements (0 for an empty matrix).
     pub fn mean(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.is_empty() {
             0.0
         } else {
-            self.sum() / self.data.len() as f32
+            self.sum() / self.len() as f32
         }
     }
 
     /// Column-wise sums as a `1 × cols` matrix.
     pub fn sum_rows(&self) -> Matrix {
-        let mut out = Matrix::zeros(1, self.cols);
+        let mut out = vec![0.0; self.cols];
         for i in 0..self.rows {
             for (j, &v) in self.row(i).iter().enumerate() {
-                out.data[j] += v;
+                out[j] += v;
             }
         }
-        out
+        Matrix::owned(1, self.cols, out)
     }
 
     /// Row-wise sums as a `rows × 1` matrix.
     pub fn sum_cols(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.rows, 1);
-        for i in 0..self.rows {
-            out.data[i] = self.row(i).iter().sum();
+        let mut out = vec![0.0; self.rows];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.row(i).iter().sum();
         }
-        out
+        Matrix::owned(self.rows, 1, out)
     }
 
     /// Column-wise means as a `1 × cols` matrix.
@@ -427,7 +508,7 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+        self.as_slice().iter().map(|x| x * x).sum::<f32>().sqrt()
     }
 
     /// L2 norm of row `i`.
@@ -447,13 +528,9 @@ impl Matrix {
     /// Vertically stacks `self` on top of `other`.
     pub fn vstack(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "vstack: column mismatch");
-        let mut data = self.data.clone();
-        data.extend_from_slice(&other.data);
-        Matrix {
-            rows: self.rows + other.rows,
-            cols: self.cols,
-            data,
-        }
+        let mut data = self.as_slice().to_vec();
+        data.extend_from_slice(other.as_slice());
+        Matrix::owned(self.rows + other.rows, self.cols, data)
     }
 
     /// Horizontally concatenates `self` and `other`.
@@ -470,17 +547,23 @@ impl Matrix {
     /// True if every element is finite (no NaN/inf) — used as a training
     /// sanity check.
     pub fn all_finite(&self) -> bool {
-        self.data.iter().all(|x| x.is_finite())
+        self.as_slice().iter().all(|x| x.is_finite())
     }
 
     /// Maximum element (NaN-free input assumed); `None` when empty.
     pub fn max(&self) -> Option<f32> {
-        self.data.iter().copied().reduce(f32::max)
+        self.as_slice().iter().copied().reduce(f32::max)
     }
 
     /// Minimum element (NaN-free input assumed); `None` when empty.
     pub fn min(&self) -> Option<f32> {
-        self.data.iter().copied().reduce(f32::min)
+        self.as_slice().iter().copied().reduce(f32::min)
+    }
+}
+
+impl PartialEq for Matrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.as_slice() == other.as_slice()
     }
 }
 
@@ -490,7 +573,7 @@ impl Index<(usize, usize)> for Matrix {
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f32 {
         debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
-        &self.data[i * self.cols + j]
+        &self.as_slice()[i * self.cols + j]
     }
 }
 
@@ -498,7 +581,8 @@ impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
         debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
-        &mut self.data[i * self.cols + j]
+        let idx = i * self.cols + j;
+        &mut self.data_mut()[idx]
     }
 }
 
@@ -507,7 +591,7 @@ impl Serialize for Matrix {
         serde::Value::Map(vec![
             ("rows".to_string(), self.rows.to_value()),
             ("cols".to_string(), self.cols.to_value()),
-            ("data".to_string(), self.data.to_value()),
+            ("data".to_string(), self.as_slice().to_value()),
         ])
     }
 }

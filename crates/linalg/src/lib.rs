@@ -25,7 +25,7 @@ pub mod ops;
 pub mod sparse;
 pub mod stats;
 
-pub use dense::Matrix;
+pub use dense::{Matrix, MatrixStorage};
 pub use sparse::CsrMatrix;
 
 /// Minimum number of multiply-adds before a matrix product is worth handing

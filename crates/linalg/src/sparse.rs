@@ -1,6 +1,7 @@
 //! Compressed-sparse-row matrices for graph operators.
 
 use crate::Matrix;
+use grgad_error::GrgadError;
 
 /// A compressed-sparse-row (CSR) matrix of `f32` values.
 ///
@@ -56,6 +57,80 @@ impl CsrMatrix {
             indices,
             values,
         }
+    }
+
+    /// Builds a CSR matrix directly from pre-sorted CSR parts, skipping the
+    /// per-row staging vectors `from_triplets` allocates. The caller promises
+    /// column indices are strictly increasing within each row; this is
+    /// validated (along with shape consistency) so a malformed input surfaces
+    /// as a typed error rather than silently corrupt sparse algebra.
+    ///
+    /// This is the bounded-memory construction path for million-node
+    /// adjacency operators: `Graph::adjacency` keeps sorted, deduplicated
+    /// neighbour lists, so it can emit `(indptr, indices, values)` in one
+    /// pass without materializing `Vec<Vec<(usize, f32)>>` staging.
+    pub fn from_sorted_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f32>,
+    ) -> Result<Self, GrgadError> {
+        if indptr.len() != rows + 1 {
+            return Err(GrgadError::shape(
+                "CsrMatrix::from_sorted_parts: indptr length",
+                rows + 1,
+                indptr.len(),
+            ));
+        }
+        if indices.len() != values.len() {
+            return Err(GrgadError::shape(
+                "CsrMatrix::from_sorted_parts: indices/values length",
+                indices.len(),
+                values.len(),
+            ));
+        }
+        if indptr.first() != Some(&0) || indptr.last() != Some(&indices.len()) {
+            return Err(GrgadError::shape(
+                "CsrMatrix::from_sorted_parts: indptr bounds",
+                indices.len(),
+                *indptr.last().unwrap_or(&0),
+            ));
+        }
+        for i in 0..rows {
+            let (s, e) = (indptr[i], indptr[i + 1]);
+            if s > e || e > indices.len() {
+                return Err(GrgadError::shape(
+                    "CsrMatrix::from_sorted_parts: indptr monotonicity",
+                    e,
+                    s,
+                ));
+            }
+            let row = &indices[s..e];
+            for (k, &c) in row.iter().enumerate() {
+                if c >= cols {
+                    return Err(GrgadError::shape(
+                        "CsrMatrix::from_sorted_parts: column out of bounds",
+                        cols,
+                        c,
+                    ));
+                }
+                if k > 0 && row[k - 1] >= c {
+                    return Err(GrgadError::shape(
+                        "CsrMatrix::from_sorted_parts: columns must be strictly increasing",
+                        row[k - 1] + 1,
+                        c,
+                    ));
+                }
+            }
+        }
+        Ok(Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
     }
 
     /// Builds a CSR matrix from a dense matrix, keeping entries with
@@ -429,6 +504,40 @@ mod tests {
         assert_eq!(t.shape(), (4, 2));
         assert_eq!(t.get(3, 0), 1.5);
         assert_close(&t.transpose().to_dense(), &m.to_dense(), 0.0);
+    }
+
+    #[test]
+    fn from_sorted_parts_matches_from_triplets() {
+        let via_triplets = sample();
+        let via_parts = CsrMatrix::from_sorted_parts(
+            3,
+            3,
+            vec![0, 1, 3, 4],
+            vec![1, 0, 2, 1],
+            vec![1.0, 1.0, 2.0, 2.0],
+        )
+        .expect("valid parts");
+        assert_eq!(via_parts, via_triplets);
+    }
+
+    #[test]
+    fn from_sorted_parts_rejects_malformed_inputs() {
+        // indptr wrong length
+        assert!(CsrMatrix::from_sorted_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // indptr last != nnz
+        assert!(CsrMatrix::from_sorted_parts(1, 2, vec![0, 2], vec![0], vec![1.0]).is_err());
+        // unsorted columns within a row
+        assert!(
+            CsrMatrix::from_sorted_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err()
+        );
+        // duplicate column within a row
+        assert!(
+            CsrMatrix::from_sorted_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_err()
+        );
+        // column out of bounds
+        assert!(CsrMatrix::from_sorted_parts(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
+        // indices/values length mismatch
+        assert!(CsrMatrix::from_sorted_parts(1, 2, vec![0, 1], vec![0], vec![1.0, 2.0]).is_err());
     }
 
     #[test]

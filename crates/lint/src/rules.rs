@@ -107,7 +107,9 @@ impl Rule {
             Rule::H1 => "no dbg!/println!/eprintln! in library code",
             Rule::H2 => "no #[allow(clippy::…)] without a reason comment",
             Rule::H3 => "no todo!/unimplemented!",
-            Rule::U1 => "no unsafe outside linalg/parallel; unsafe there requires a SAFETY: comment",
+            Rule::U1 => {
+                "no unsafe outside linalg/parallel/store; unsafe there requires a SAFETY: comment"
+            }
             Rule::L1 => "malformed grgad-lint suppression directive",
         }
     }
@@ -220,8 +222,9 @@ const P1_CRATES: [&str; 4] = ["core", "serve", "datasets", "error"];
 /// Crates where node ids flow through integer casts (P2).
 const P2_CRATES: [&str; 5] = ["graph", "serve", "datasets", "core", "sampling"];
 
-/// Crates allowed to use `unsafe` *with* a `SAFETY:` comment (U1).
-const UNSAFE_CRATES: [&str; 2] = ["linalg", "parallel"];
+/// Crates allowed to use `unsafe` *with* a `SAFETY:` comment (U1): the
+/// compute kernels plus the mmap-backed storage layer.
+const UNSAFE_CRATES: [&str; 3] = ["linalg", "parallel", "store"];
 
 /// Crates allowed to touch `std::thread` directly (T1): the deterministic
 /// pool itself, plus the model checker (its controller runs every model
@@ -464,7 +467,7 @@ pub fn lint_source_edges(src: &str, ctx: &FileContext) -> (Vec<Diagnostic>, Vec<
                 emit(
                     Rule::U1,
                     col,
-                    "`unsafe` outside the kernel crates (linalg, parallel)".to_string(),
+                    "`unsafe` outside the kernel crates (linalg, parallel, store)".to_string(),
                     &mut out,
                 );
             } else if !has_safety_comment(&st.recent_comments, &line.comment) {

@@ -1,0 +1,4 @@
+//@ path: crates/store/src/fixture.rs
+pub fn data(ptr: *const f32, len: usize) -> &'static [f32] {
+    unsafe { std::slice::from_raw_parts(ptr, len) } //~ U1
+}

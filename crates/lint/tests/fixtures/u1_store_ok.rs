@@ -1,0 +1,6 @@
+//@ path: crates/store/src/fixture.rs
+pub fn data(ptr: *const f32, len: usize) -> &'static [f32] {
+    // SAFETY: ptr came from a live mapping of at least `len` elements,
+    // validated against the file header before construction.
+    unsafe { std::slice::from_raw_parts(ptr, len) }
+}

@@ -1,0 +1,603 @@
+//! `DiskMatrix` / `DiskMatrixWriter`: the mmap-backed matrix artifact.
+//!
+//! All `unsafe` in this crate lives here, confined to the memory-mapping
+//! region type, and is only ever constructed *after* the header, file
+//! length and checksum have been fully validated — the kernel-facing code
+//! never trusts on-disk geometry. On non-Unix, big-endian or Miri builds
+//! the same API is served from a validated heap buffer instead.
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use grgad_error::GrgadError;
+use grgad_linalg::{Matrix, MatrixStorage};
+
+use crate::header::{Checksum, Header, HEADER_LEN};
+
+/// True when this build uses the real `mmap(2)` fast path.
+///
+/// Little-endian is required because the mapping is reinterpreted as `f32`
+/// in place; other targets decode through the heap fallback, byte-for-byte
+/// compatible with files written anywhere.
+pub const MMAP_BACKED: bool = cfg!(all(unix, target_endian = "little", not(miri)));
+
+#[cfg(all(unix, target_endian = "little", not(miri)))]
+mod sys {
+    //! Raw libc surface for the mapping. `std` already links libc on every
+    //! Unix target, so declaring the two symbols here keeps the crate
+    //! dependency-free.
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    /// `mmap(2)`'s error return value.
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// A read-only, page-aligned private mapping of a whole matrix file.
+///
+/// Invariants (established by [`DiskMatrix::open`] before construction and
+/// relied on by every `unsafe` block below):
+///
+/// 1. `ptr` came from a successful `mmap(len, PROT_READ, MAP_PRIVATE)` of a
+///    file whose length equals `len`, and has not been unmapped.
+/// 2. `len >= HEADER_LEN + elements * 4`, so the data region
+///    `[HEADER_LEN, HEADER_LEN + elements * 4)` lies inside the mapping.
+/// 3. `HEADER_LEN` is a multiple of 4 and `ptr` is page-aligned, so the data
+///    region is aligned for `f32`.
+/// 4. The mapping is never written through (`PROT_READ`) and `MAP_PRIVATE`
+///    isolates it from other mappings, so `&[f32]` reborrows stay valid for
+///    the region's lifetime as long as no other process truncates the file
+///    (documented crate-level caveat: artifacts are immutable once written).
+#[cfg(all(unix, target_endian = "little", not(miri)))]
+struct MmapRegion {
+    ptr: *mut std::ffi::c_void,
+    len: usize,
+    elements: usize,
+}
+
+#[cfg(all(unix, target_endian = "little", not(miri)))]
+impl MmapRegion {
+    /// Maps `file` (of exactly `len` bytes, `len > 0`) read-only.
+    fn map(file: &File, len: usize, elements: usize, path: &str) -> Result<Self, GrgadError> {
+        use std::os::unix::io::AsRawFd;
+        debug_assert!(len >= HEADER_LEN + elements * 4);
+        // SAFETY: requesting a fresh PROT_READ + MAP_PRIVATE mapping of a
+        // file descriptor we own for the call's duration; addr=null lets the
+        // kernel choose the placement, so no existing mapping is clobbered.
+        // The result is checked against MAP_FAILED before use.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            return Err(GrgadError::storage_io(
+                path,
+                format!("mmap of {len} bytes failed"),
+            ));
+        }
+        Ok(Self { ptr, len, elements })
+    }
+
+    /// The raw little-endian data-region bytes (for checksumming).
+    fn data_bytes(&self) -> &[u8] {
+        // SAFETY: invariants 1–2 — the mapping is live and the data region
+        // lies inside it; u8 has no alignment requirement. The returned
+        // borrow cannot outlive `self`, and Drop (the only unmapping path)
+        // takes `&mut self`, so no slice exists when munmap runs.
+        unsafe {
+            std::slice::from_raw_parts((self.ptr as *const u8).add(HEADER_LEN), self.elements * 4)
+        }
+    }
+
+    /// The data region viewed as `f32` elements.
+    fn data_f32(&self) -> &[f32] {
+        // SAFETY: invariants 1–3 — region in bounds, live, 4-byte aligned
+        // (page-aligned base + HEADER_LEN); little-endian cfg means on-disk
+        // bytes are the in-memory f32 repr and every bit pattern is valid.
+        // Read-only mapping + Drop-by-&mut (inv. 4) rule out aliased writes.
+        unsafe {
+            std::slice::from_raw_parts(
+                (self.ptr as *const u8).add(HEADER_LEN) as *const f32,
+                self.elements,
+            )
+        }
+    }
+}
+
+#[cfg(all(unix, target_endian = "little", not(miri)))]
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        // SAFETY: invariant 1 — `ptr`/`len` are exactly what mmap returned
+        // and Drop runs at most once, so this is the unique munmap of the
+        // region; failure is ignored (nothing useful to do in Drop).
+        unsafe {
+            sys::munmap(self.ptr, self.len);
+        }
+    }
+}
+
+#[cfg(all(unix, target_endian = "little", not(miri)))]
+// SAFETY: the region is an immutable, read-only mapping (invariant 4): all
+// access after construction is via `&self` reads of memory the kernel will
+// not relocate, and deallocation is confined to Drop. That is exactly the
+// contract of a `Box<[f32]>`, which is Send + Sync.
+unsafe impl Send for MmapRegion {}
+#[cfg(all(unix, target_endian = "little", not(miri)))]
+// SAFETY: see the Send impl above — shared `&self` reads of immutable,
+// never-unmapped-while-borrowed memory are data-race free.
+unsafe impl Sync for MmapRegion {}
+
+/// The storage behind a [`DiskMatrix`]: a real mapping where available, a
+/// validated heap buffer everywhere else (and always for empty matrices,
+/// which `mmap(2)` rejects).
+enum Backing {
+    #[cfg(all(unix, target_endian = "little", not(miri)))]
+    Mapped(MmapRegion),
+    Heap(Vec<f32>),
+}
+
+/// A read-only matrix served from a `grgad-store` file.
+///
+/// Open with [`DiskMatrix::open`] (full validation), then either read rows
+/// directly or hand the whole artifact to the pipeline as a shared
+/// [`Matrix`] via [`DiskMatrix::into_matrix`].
+pub struct DiskMatrix {
+    path: String,
+    rows: usize,
+    cols: usize,
+    backing: Backing,
+}
+
+impl DiskMatrix {
+    /// Opens and fully validates a matrix file.
+    ///
+    /// Validation order: header magic/version → dimension overflow → exact
+    /// file length (catches truncation *and* trailing garbage) → FNV-1a
+    /// checksum of the data region. Any failure is a typed
+    /// [`GrgadError::StorageIo`] naming the file; the mmap is never
+    /// reinterpreted as `f32` before all checks pass.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, GrgadError> {
+        let path_str = path.as_ref().display().to_string();
+        let mut file = File::open(path.as_ref())
+            .map_err(|e| GrgadError::storage_io(&path_str, format!("open failed: {e}")))?;
+
+        let mut head = [0u8; HEADER_LEN];
+        let mut filled = 0;
+        while filled < HEADER_LEN {
+            match file.read(&mut head[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) => {
+                    return Err(GrgadError::storage_io(
+                        &path_str,
+                        format!("header read failed: {e}"),
+                    ))
+                }
+            }
+        }
+        let header = Header::decode(&head[..filled], &path_str)?;
+        let elements = header.element_count(&path_str)?;
+        let data_len = elements.checked_mul(4).ok_or_else(|| {
+            GrgadError::storage_io(
+                &path_str,
+                format!("data region for {elements} elements overflows"),
+            )
+        })?;
+        let expected_len = (HEADER_LEN + data_len) as u64;
+        let actual_len = file
+            .metadata()
+            .map_err(|e| GrgadError::storage_io(&path_str, format!("stat failed: {e}")))?
+            .len();
+        if actual_len != expected_len {
+            return Err(GrgadError::storage_io(
+                &path_str,
+                format!(
+                    "file length mismatch: header promises {expected_len} bytes \
+                     ({}x{} f32), file has {actual_len} (truncated or corrupt)",
+                    header.rows, header.cols
+                ),
+            ));
+        }
+
+        let rows = header.rows as usize;
+        let cols = header.cols as usize;
+        let backing = Self::load_backing(&mut file, elements, expected_len as usize, &path_str)?;
+        let matrix = Self {
+            path: path_str,
+            rows,
+            cols,
+            backing,
+        };
+
+        let mut checksum = Checksum::new();
+        match &matrix.backing {
+            #[cfg(all(unix, target_endian = "little", not(miri)))]
+            Backing::Mapped(region) => checksum.update(region.data_bytes()),
+            Backing::Heap(data) => {
+                for &v in data {
+                    checksum.update(&v.to_le_bytes());
+                }
+            }
+        }
+        if checksum.digest() != header.checksum {
+            return Err(GrgadError::storage_io(
+                &matrix.path,
+                format!(
+                    "checksum mismatch: header {:#018x}, data {:#018x} (corrupt data region)",
+                    header.checksum,
+                    checksum.digest()
+                ),
+            ));
+        }
+        Ok(matrix)
+    }
+
+    #[cfg(all(unix, target_endian = "little", not(miri)))]
+    fn load_backing(
+        file: &mut File,
+        elements: usize,
+        file_len: usize,
+        path: &str,
+    ) -> Result<Backing, GrgadError> {
+        if elements == 0 {
+            // mmap(2) rejects zero-length mappings; an empty matrix has no
+            // data region to map anyway.
+            return Ok(Backing::Heap(Vec::new()));
+        }
+        Ok(Backing::Mapped(MmapRegion::map(
+            file, file_len, elements, path,
+        )?))
+    }
+
+    #[cfg(not(all(unix, target_endian = "little", not(miri))))]
+    fn load_backing(
+        file: &mut File,
+        elements: usize,
+        _file_len: usize,
+        path: &str,
+    ) -> Result<Backing, GrgadError> {
+        file.seek(SeekFrom::Start(HEADER_LEN as u64))
+            .map_err(|e| GrgadError::storage_io(path, format!("seek failed: {e}")))?;
+        let mut bytes = vec![0u8; elements * 4];
+        file.read_exact(&mut bytes)
+            .map_err(|e| GrgadError::storage_io(path, format!("data read failed: {e}")))?;
+        let data = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Ok(Backing::Heap(data))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The file this matrix is served from.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// True when this instance reads through a real memory mapping (false on
+    /// the heap fallback used by Miri / non-Unix / empty files).
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(unix, target_endian = "little", not(miri)))]
+            Backing::Mapped(_) => true,
+            Backing::Heap(_) => false,
+        }
+    }
+
+    /// The full element slice (row-major).
+    pub fn data(&self) -> &[f32] {
+        match &self.backing {
+            #[cfg(all(unix, target_endian = "little", not(miri)))]
+            Backing::Mapped(region) => region.data_f32(),
+            Backing::Heap(data) => data,
+        }
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        let start = i * self.cols;
+        &self.data()[start..start + self.cols]
+    }
+
+    /// Wraps this artifact in a shared, copy-on-write [`Matrix`]: read paths
+    /// run straight off the storage; the first mutation promotes to an owned
+    /// heap copy.
+    pub fn into_matrix(self) -> Result<Matrix, GrgadError> {
+        Matrix::from_storage(Arc::new(self))
+    }
+}
+
+impl MatrixStorage for DiskMatrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn as_slice(&self) -> &[f32] {
+        self.data()
+    }
+}
+
+impl std::fmt::Debug for DiskMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskMatrix")
+            .field("path", &self.path)
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+/// Streams a matrix to disk one row at a time in bounded memory.
+///
+/// The header is written twice: a provisional one at creation (so a crashed
+/// writer leaves a file that [`DiskMatrix::open`] rejects with a typed
+/// length/checksum error, never garbage data), and the final one — real row
+/// count and checksum — on [`DiskMatrixWriter::finish`].
+pub struct DiskMatrixWriter {
+    path: String,
+    out: BufWriter<File>,
+    cols: usize,
+    rows: usize,
+    checksum: Checksum,
+    row_buf: Vec<u8>,
+}
+
+impl DiskMatrixWriter {
+    /// Creates (truncating) the file and reserves the header.
+    pub fn create(path: impl AsRef<Path>, cols: usize) -> Result<Self, GrgadError> {
+        let path_str = path.as_ref().display().to_string();
+        let file = File::create(path.as_ref())
+            .map_err(|e| GrgadError::storage_io(&path_str, format!("create failed: {e}")))?;
+        let mut out = BufWriter::new(file);
+        // Provisional header: rows=0 and a fresh checksum, so an unfinished
+        // file self-identifies as empty-but-longer-than-promised.
+        let provisional = Header {
+            rows: 0,
+            cols: cols as u64,
+            checksum: Checksum::new().digest(),
+        };
+        out.write_all(&provisional.encode())
+            .map_err(|e| GrgadError::storage_io(&path_str, format!("header write failed: {e}")))?;
+        Ok(Self {
+            path: path_str,
+            out,
+            cols,
+            rows: 0,
+            checksum: Checksum::new(),
+            row_buf: vec![0u8; cols * 4],
+        })
+    }
+
+    /// Appends one row (must have exactly `cols` elements).
+    pub fn push_row(&mut self, row: &[f32]) -> Result<(), GrgadError> {
+        if row.len() != self.cols {
+            return Err(GrgadError::shape(
+                format!("DiskMatrixWriter::push_row on {}", self.path),
+                self.cols,
+                row.len(),
+            ));
+        }
+        for (chunk, &v) in self.row_buf.chunks_exact_mut(4).zip(row) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        self.checksum.update(&self.row_buf);
+        self.out
+            .write_all(&self.row_buf)
+            .map_err(|e| GrgadError::storage_io(&self.path, format!("row write failed: {e}")))?;
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Number of rows pushed so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Target column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Finalizes the header (row count + checksum) and flushes to disk.
+    pub fn finish(mut self) -> Result<(), GrgadError> {
+        let header = Header {
+            rows: self.rows as u64,
+            cols: self.cols as u64,
+            checksum: self.checksum.digest(),
+        };
+        self.out
+            .flush()
+            .map_err(|e| GrgadError::storage_io(&self.path, format!("flush failed: {e}")))?;
+        let file = self.out.get_mut();
+        file.seek(SeekFrom::Start(0))
+            .map_err(|e| GrgadError::storage_io(&self.path, format!("header seek failed: {e}")))?;
+        file.write_all(&header.encode()).map_err(|e| {
+            GrgadError::storage_io(&self.path, format!("header rewrite failed: {e}"))
+        })?;
+        file.sync_all()
+            .map_err(|e| GrgadError::storage_io(&self.path, format!("sync failed: {e}")))?;
+        Ok(())
+    }
+
+    /// Convenience: streams an in-memory [`Matrix`] to `path` in one pass.
+    pub fn write_matrix(path: impl AsRef<Path>, m: &Matrix) -> Result<(), GrgadError> {
+        let mut w = Self::create(path, m.cols())?;
+        for i in 0..m.rows() {
+            w.push_row(m.row(i))?;
+        }
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("grgad_store_{}_{name}", std::process::id()));
+        p
+    }
+
+    fn sample_matrix() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 2.5, -3.0],
+            &[0.0, f32::MIN_POSITIVE, 1e30],
+            &[-0.0, 42.0, -1e-30],
+        ])
+    }
+
+    #[test]
+    fn write_read_roundtrip_is_bit_identical() {
+        let path = temp_path("roundtrip.gsm");
+        let m = sample_matrix();
+        DiskMatrixWriter::write_matrix(&path, &m).expect("write");
+        let d = DiskMatrix::open(&path).expect("open");
+        assert_eq!((d.rows(), d.cols()), (3, 3));
+        assert_eq!(d.is_mapped(), MMAP_BACKED);
+        for i in 0..3 {
+            let (disk, mem) = (d.row(i), m.row(i));
+            assert_eq!(disk.len(), mem.len());
+            for (a, b) in disk.iter().zip(mem) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+            }
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn into_matrix_shares_storage_and_promotes_on_write() {
+        let path = temp_path("cow.gsm");
+        let m = sample_matrix();
+        DiskMatrixWriter::write_matrix(&path, &m).expect("write");
+        let mut shared = DiskMatrix::open(&path)
+            .expect("open")
+            .into_matrix()
+            .expect("wrap");
+        assert!(shared.is_shared());
+        assert_eq!(shared, m);
+        // Arithmetic off the mapping is bit-identical to in-memory.
+        let (a, b) = (shared.matmul(&m.transpose()), m.matmul(&m.transpose()));
+        assert_eq!(a, b);
+        // First mutation promotes to an owned copy; the file is untouched.
+        shared[(0, 0)] = 99.0;
+        assert!(!shared.is_shared());
+        assert_eq!(shared[(0, 0)], 99.0);
+        let reread = DiskMatrix::open(&path).expect("reopen");
+        assert_eq!(reread.row(0)[0], 1.0);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_and_zero_width_matrices_roundtrip() {
+        for (name, rows, cols) in [("empty.gsm", 0, 4), ("zerow.gsm", 3, 0)] {
+            let path = temp_path(name);
+            let mut w = DiskMatrixWriter::create(&path, cols).expect("create");
+            for _ in 0..rows {
+                w.push_row(&vec![0.0; cols]).expect("push");
+            }
+            w.finish().expect("finish");
+            let d = DiskMatrix::open(&path).expect("open");
+            assert_eq!((d.rows(), d.cols()), (rows, cols));
+            assert!(!d.is_mapped(), "empty data region must not mmap");
+            fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn missing_file_is_typed_storage_error() {
+        let err = DiskMatrix::open("/nonexistent/grgad/features.gsm").expect_err("missing");
+        assert_eq!(err.kind(), "storage_io");
+        assert!(err.to_string().contains("open failed"));
+    }
+
+    #[test]
+    fn truncated_file_is_typed_storage_error() {
+        let path = temp_path("trunc.gsm");
+        DiskMatrixWriter::write_matrix(&path, &sample_matrix()).expect("write");
+        let full = fs::read(&path).expect("read back");
+        // Cut mid-data: header intact, data region short.
+        fs::write(&path, &full[..full.len() - 5]).expect("truncate");
+        let err = DiskMatrix::open(&path).expect_err("truncated");
+        assert_eq!(err.kind(), "storage_io");
+        assert!(err.to_string().contains("length mismatch"), "{err}");
+        // Cut mid-header.
+        fs::write(&path, &full[..HEADER_LEN / 2]).expect("truncate header");
+        let err = DiskMatrix::open(&path).expect_err("short header");
+        assert!(err.to_string().contains("too short"), "{err}");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_data_is_checksum_error() {
+        let path = temp_path("corrupt.gsm");
+        DiskMatrixWriter::write_matrix(&path, &sample_matrix()).expect("write");
+        let mut bytes = fs::read(&path).expect("read back");
+        let flip = HEADER_LEN + 6;
+        bytes[flip] ^= 0xff;
+        fs::write(&path, &bytes).expect("corrupt");
+        let err = DiskMatrix::open(&path).expect_err("corrupt");
+        assert_eq!(err.kind(), "storage_io");
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unfinished_writer_leaves_rejectable_file() {
+        let path = temp_path("unfinished.gsm");
+        {
+            let mut w = DiskMatrixWriter::create(&path, 2).expect("create");
+            w.push_row(&[1.0, 2.0]).expect("push");
+            // Writer dropped without finish(): provisional header stays.
+        }
+        let err = DiskMatrix::open(&path).expect_err("unfinished");
+        assert_eq!(err.kind(), "storage_io");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn push_row_rejects_wrong_width() {
+        let path = temp_path("width.gsm");
+        let mut w = DiskMatrixWriter::create(&path, 3).expect("create");
+        assert!(w.push_row(&[1.0]).is_err());
+        drop(w);
+        fs::remove_file(&path).ok();
+    }
+}

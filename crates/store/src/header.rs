@@ -1,0 +1,216 @@
+//! The versioned on-disk header of a `grgad-store` matrix file.
+//!
+//! Fixed 64-byte little-endian layout at offset 0; the `f32` data region
+//! starts at [`HEADER_LEN`] (a multiple of the element alignment, so a
+//! page-aligned mapping keeps the data slice properly aligned):
+//!
+//! | offset | size | field                                     |
+//! |--------|------|-------------------------------------------|
+//! | 0      | 8    | magic `b"GRGADSM\0"`                      |
+//! | 8      | 4    | schema version (`u32`, currently 1)       |
+//! | 12     | 4    | reserved (zero)                           |
+//! | 16     | 8    | rows (`u64`)                              |
+//! | 24     | 8    | cols (`u64`)                              |
+//! | 32     | 8    | FNV-1a-64 checksum of the data region     |
+//! | 40     | 24   | reserved (zero)                           |
+//!
+//! Forward compatibility: readers reject any schema version above
+//! [`SCHEMA_VERSION`] with a typed error instead of guessing at the layout,
+//! and the reserved space lets future versions add fields without moving
+//! the data offset.
+
+use grgad_error::GrgadError;
+
+/// Magic bytes identifying a grgad-store matrix file ("GRGAD Stored Matrix").
+pub const MAGIC: [u8; 8] = *b"GRGADSM\0";
+
+/// Current schema version written by [`crate::DiskMatrixWriter`].
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Total header size in bytes; the data region starts here.
+pub const HEADER_LEN: usize = 64;
+
+/// Seed and prime of the FNV-1a 64-bit hash (Fowler–Noll–Vo).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a-64 checksum over the raw little-endian data bytes.
+///
+/// FNV is not cryptographic — it guards against truncation, bit rot and
+/// partially written files, not adversaries, and it streams in O(1) state
+/// so the writer never buffers the data region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Checksum(u64);
+
+impl Checksum {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Absorbs a chunk of data bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// The digest so far.
+    pub fn digest(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Decoded header of a grgad-store matrix file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// Number of matrix rows.
+    pub rows: u64,
+    /// Number of matrix columns.
+    pub cols: u64,
+    /// FNV-1a-64 checksum of the `rows * cols * 4` data bytes.
+    pub checksum: u64,
+}
+
+impl Header {
+    /// Encodes the header into its 64-byte on-disk form.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut buf = [0u8; HEADER_LEN];
+        buf[0..8].copy_from_slice(&MAGIC);
+        buf[8..12].copy_from_slice(&SCHEMA_VERSION.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.rows.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.cols.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.checksum.to_le_bytes());
+        buf
+    }
+
+    /// Decodes and validates a header, naming `path` in every error.
+    pub fn decode(buf: &[u8], path: &str) -> Result<Self, GrgadError> {
+        if buf.len() < HEADER_LEN {
+            return Err(GrgadError::storage_io(
+                path,
+                format!(
+                    "file too short for header: {} bytes, need {HEADER_LEN}",
+                    buf.len()
+                ),
+            ));
+        }
+        if buf[0..8] != MAGIC {
+            return Err(GrgadError::storage_io(
+                path,
+                format!(
+                    "bad magic {:02x?}, not a grgad-store matrix file",
+                    &buf[0..8]
+                ),
+            ));
+        }
+        let version = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+        if version == 0 || version > SCHEMA_VERSION {
+            return Err(GrgadError::storage_io(
+                path,
+                format!(
+                    "unsupported schema version {version} (reader supports <= {SCHEMA_VERSION})"
+                ),
+            ));
+        }
+        let le_u64 = |at: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[at..at + 8]);
+            u64::from_le_bytes(b)
+        };
+        Ok(Self {
+            rows: le_u64(16),
+            cols: le_u64(24),
+            checksum: le_u64(32),
+        })
+    }
+
+    /// Element count as `usize`, rejecting dimension overflow on this target.
+    pub fn element_count(&self, path: &str) -> Result<usize, GrgadError> {
+        let rows = usize::try_from(self.rows).ok().ok_or_else(|| {
+            GrgadError::storage_io(path, format!("rows {} overflow usize", self.rows))
+        })?;
+        let cols = usize::try_from(self.cols).ok().ok_or_else(|| {
+            GrgadError::storage_io(path, format!("cols {} overflow usize", self.cols))
+        })?;
+        rows.checked_mul(cols).ok_or_else(|| {
+            GrgadError::storage_io(
+                path,
+                format!("dims {}x{} overflow usize", self.rows, self.cols),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let h = Header {
+            rows: 1_000_000,
+            cols: 16,
+            checksum: 0xdead_beef_cafe_f00d,
+        };
+        let buf = h.encode();
+        assert_eq!(buf.len(), HEADER_LEN);
+        assert_eq!(Header::decode(&buf, "t.gsm").expect("valid header"), h);
+    }
+
+    #[test]
+    fn decode_rejects_short_buffer() {
+        let err = Header::decode(&[0u8; 10], "short.gsm").expect_err("too short");
+        assert_eq!(err.kind(), "storage_io");
+        assert!(err.to_string().contains("too short"));
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let mut buf = Header {
+            rows: 1,
+            cols: 1,
+            checksum: 0,
+        }
+        .encode();
+        buf[0] = b'X';
+        let err = Header::decode(&buf, "bad.gsm").expect_err("bad magic");
+        assert_eq!(err.kind(), "storage_io");
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn decode_rejects_future_schema_version() {
+        let mut buf = Header {
+            rows: 1,
+            cols: 1,
+            checksum: 0,
+        }
+        .encode();
+        buf[8..12].copy_from_slice(&(SCHEMA_VERSION + 1).to_le_bytes());
+        let err = Header::decode(&buf, "future.gsm").expect_err("future version");
+        assert!(err.to_string().contains("schema version"));
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive_and_streamable() {
+        let mut a = Checksum::new();
+        a.update(b"hello ");
+        a.update(b"world");
+        let mut b = Checksum::new();
+        b.update(b"hello world");
+        assert_eq!(a.digest(), b.digest());
+        let mut c = Checksum::new();
+        c.update(b"world hello");
+        assert_ne!(a.digest(), c.digest());
+    }
+}

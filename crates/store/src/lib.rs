@@ -1,0 +1,49 @@
+//! Out-of-core storage for the TP-GrGAD pipeline.
+//!
+//! The all-in-memory [`grgad_linalg::Matrix`] tops out around 100k nodes on
+//! commodity RAM; the million-node regime needs dense feature/embedding
+//! matrices that live on disk and page in on demand. This crate provides:
+//!
+//! * [`DiskMatrix`] — a read-only, mmap-backed row-major `f32` matrix with a
+//!   versioned on-disk header (magic, schema version, dims, checksum). It
+//!   implements [`grgad_linalg::MatrixStorage`], so the rest of the pipeline
+//!   consumes it through an ordinary [`grgad_linalg::Matrix`] without
+//!   copying: [`DiskMatrix::into_matrix`] wraps the mapping in a shared,
+//!   copy-on-write `Matrix`, and every read-only operation (matmul, row
+//!   slicing, reductions, GCN message passing) runs straight off the
+//!   mapping, bit-identical to the in-memory path.
+//! * [`DiskMatrixWriter`] — a streaming writer that appends rows and
+//!   finalizes the header (dims + checksum) on [`DiskMatrixWriter::finish`],
+//!   so a matrix far larger than RAM can be produced one row at a time.
+//!
+//! # Corruption is an error, never UB
+//!
+//! [`DiskMatrix::open`] fully validates the artifact before any element is
+//! served: magic, schema version, header/dims/file-length consistency, and
+//! an FNV-1a checksum pass over the data region. A truncated, corrupted or
+//! foreign file yields a typed [`grgad_error::GrgadError::StorageIo`] — the
+//! `unsafe` mmap surface is never constructed over untrusted geometry.
+//!
+//! The one hazard validation cannot remove is *external* mutation: if
+//! another process truncates the file while it is mapped, reads fault
+//! (`SIGBUS`) — the artifacts are treated as immutable once written, which
+//! matches how the bench/serving layers produce them.
+//!
+//! # Portability and Miri
+//!
+//! The mmap fast path is gated to little-endian Unix targets outside Miri;
+//! everywhere else [`DiskMatrix`] transparently falls back to a validated
+//! heap buffer with the same endian-aware decoding, so behaviour (including
+//! every error path) is identical and the safe API is Miri-checkable.
+
+// The serving contract extends workspace-wide: no `unwrap()` outside
+// test code — fallible paths return `Result<_, GrgadError>` or justify
+// themselves with `expect` + a `grgad-lint` suppression where truly
+// infallible. Enforced per-crate so the vendored shims stay untouched.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod disk_matrix;
+pub mod header;
+
+pub use disk_matrix::{DiskMatrix, DiskMatrixWriter};
+pub use header::{Header, HEADER_LEN, MAGIC, SCHEMA_VERSION};

@@ -41,6 +41,27 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
     T::from_value(&value)
 }
 
+/// Parses JSON from an incremental byte source into a `T`.
+///
+/// Unlike [`from_str`], the document is never materialized as one
+/// contiguous string: bytes stream through a fixed-size buffer, so peak
+/// memory is the size of the resulting [`Value`] tree plus a constant.
+/// Semantics (accepted grammar, error wording, trailing-garbage rejection)
+/// match [`from_str`] byte for byte.
+pub fn from_reader<R: std::io::Read, T: Deserialize>(reader: R) -> Result<T> {
+    let mut parser = StreamParser::new(reader);
+    parser.skip_whitespace()?;
+    let value = parser.parse_value()?;
+    parser.skip_whitespace()?;
+    if parser.peek()?.is_some() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            parser.offset()
+        )));
+    }
+    T::from_value(&value)
+}
+
 fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) -> Result<()> {
     let (nl, pad, pad_close, colon) = match indent {
         Some(width) => (
@@ -324,6 +345,294 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Buffered incremental parser over any [`std::io::Read`]. Mirrors the
+/// slice [`Parser`] grammar exactly, one byte of lookahead at a time.
+struct StreamParser<R: std::io::Read> {
+    reader: R,
+    buf: Vec<u8>,
+    pos: usize,
+    len: usize,
+    /// Bytes consumed from the reader before the current buffer.
+    consumed: u64,
+    eof: bool,
+}
+
+/// Size of the streaming parser's refill buffer.
+const STREAM_BUF: usize = 8 * 1024;
+
+impl<R: std::io::Read> StreamParser<R> {
+    fn new(reader: R) -> Self {
+        Self {
+            reader,
+            buf: vec![0; STREAM_BUF],
+            pos: 0,
+            len: 0,
+            consumed: 0,
+            eof: false,
+        }
+    }
+
+    /// Absolute byte offset of the next unread byte (for error messages).
+    fn offset(&self) -> u64 {
+        self.consumed + self.pos as u64
+    }
+
+    fn refill(&mut self) -> Result<()> {
+        if self.pos < self.len || self.eof {
+            return Ok(());
+        }
+        self.consumed += self.len as u64;
+        self.pos = 0;
+        self.len = 0;
+        loop {
+            match self.reader.read(&mut self.buf) {
+                Ok(0) => {
+                    self.eof = true;
+                    return Ok(());
+                }
+                Ok(n) => {
+                    self.len = n;
+                    return Ok(());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(Error::custom(format!("read failed: {e}"))),
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<Option<u8>> {
+        self.refill()?;
+        Ok(if self.pos < self.len {
+            Some(self.buf[self.pos])
+        } else {
+            None
+        })
+    }
+
+    /// Consumes the already-peeked current byte.
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn next_byte(&mut self) -> Result<Option<u8>> {
+        let b = self.peek()?;
+        if b.is_some() {
+            self.bump();
+        }
+        Ok(b)
+    }
+
+    fn skip_whitespace(&mut self) -> Result<()> {
+        while self
+            .peek()?
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.bump();
+        }
+        Ok(())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek()? == Some(byte) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                byte as char,
+                self.offset()
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_whitespace()?;
+        match self.peek()? {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::custom(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.offset()
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: Value) -> Result<Value> {
+        let at = self.offset();
+        for &expected in keyword.as_bytes() {
+            if self.peek()? != Some(expected) {
+                return Err(Error::custom(format!("invalid literal at byte {at}")));
+            }
+            self.bump();
+        }
+        Ok(value)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let mut text = String::new();
+        if self.peek()? == Some(b'-') {
+            text.push('-');
+            self.bump();
+        }
+        while let Some(b) = self.peek()? {
+            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                text.push(b as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek()? {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    match self.peek()? {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            self.bump();
+                            let mut hex = [0u8; 4];
+                            for slot in &mut hex {
+                                *slot = self
+                                    .peek()?
+                                    .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                                self.bump();
+                            }
+                            let hex = std::str::from_utf8(&hex)
+                                .map_err(|_| Error::custom("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::custom("invalid \\u escape"))?;
+                            // Surrogate pairs are not needed for this
+                            // workspace's ASCII-ish dataset names.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("invalid \\u code point"))?,
+                            );
+                            // The closing bump below would double-consume:
+                            // the four hex bytes are already consumed, and
+                            // there is no trailing escape byte left.
+                            continue;
+                        }
+                        other => {
+                            return Err(Error::custom(format!("invalid escape {other:?}")));
+                        }
+                    }
+                    self.bump();
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.bump();
+                }
+                Some(lead) => {
+                    // Multi-byte UTF-8 code point: width from the leading
+                    // byte, continuation bytes pulled across refills.
+                    let width = match lead {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(Error::custom("invalid utf-8 in string")),
+                    };
+                    let mut bytes = [0u8; 4];
+                    bytes[0] = lead;
+                    self.bump();
+                    for slot in bytes.iter_mut().take(width).skip(1) {
+                        *slot = self
+                            .next_byte()?
+                            .ok_or_else(|| Error::custom("invalid utf-8 in string"))?;
+                    }
+                    let s = std::str::from_utf8(&bytes[..width])
+                        .map_err(|_| Error::custom("invalid utf-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace()?;
+        if self.peek()? == Some(b']') {
+            self.bump();
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace()?;
+            match self.peek()? {
+                Some(b',') => self.bump(),
+                Some(b']') => {
+                    self.bump();
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected , or ] at byte {}",
+                        self.offset()
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace()?;
+        if self.peek()? == Some(b'}') {
+            self.bump();
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_whitespace()?;
+            let key = self.parse_string()?;
+            self.skip_whitespace()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_whitespace()?;
+            match self.peek()? {
+                Some(b',') => self.bump(),
+                Some(b'}') => {
+                    self.bump();
+                    return Ok(Value::Map(entries));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected , or }} at byte {}",
+                        self.offset()
+                    )))
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,6 +676,78 @@ mod tests {
         assert!(from_str::<WrapValue>("{\"a\": }").is_err());
         assert!(from_str::<WrapValue>("[1, 2").is_err());
         assert!(from_str::<WrapValue>("true false").is_err());
+    }
+
+    /// A reader that hands out one byte per `read` call, forcing every
+    /// buffer-refill boundary the streaming parser has.
+    struct TrickleReader<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl std::io::Read for TrickleReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.bytes.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.bytes[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn from_reader_matches_from_str() {
+        let samples = [
+            r#"{"name": "a \"b\"\n é", "xs": [1, -2.5, 6.0e2], "flag": true, "none": null}"#,
+            "[[], {}, [1], {\"k\": [2, 3]}, \"héllo ✓\"]",
+            "  42.5  ",
+            "\"\"",
+        ];
+        for text in samples {
+            let via_str: WrapValue = from_str(text).expect("from_str");
+            let via_reader: WrapValue =
+                from_reader(text.as_bytes()).expect("from_reader whole-slice");
+            assert_eq!(via_str, via_reader, "{text}");
+            let via_trickle: WrapValue = from_reader(TrickleReader {
+                bytes: text.as_bytes(),
+                pos: 0,
+            })
+            .expect("from_reader trickle");
+            assert_eq!(via_str, via_trickle, "{text} (1-byte reads)");
+        }
+    }
+
+    #[test]
+    fn from_reader_rejects_what_from_str_rejects() {
+        for text in ["{\"a\": }", "[1, 2", "true false", "\"unterminated", "nul"] {
+            assert!(from_str::<WrapValue>(text).is_err(), "{text}");
+            assert!(
+                from_reader::<_, WrapValue>(text.as_bytes()).is_err(),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_reader_streams_documents_larger_than_its_buffer() {
+        let mut text = String::from("[");
+        for i in 0..10_000 {
+            if i > 0 {
+                text.push(',');
+            }
+            text.push_str(&format!("{i}"));
+        }
+        text.push(']');
+        assert!(text.len() > STREAM_BUF);
+        let parsed: WrapValue = from_reader(text.as_bytes()).expect("large doc");
+        match parsed.0 {
+            Value::Seq(items) => {
+                assert_eq!(items.len(), 10_000);
+                assert_eq!(items[9_999], Value::Num(9_999.0));
+            }
+            other => panic!("expected Seq, got {other:?}"),
+        }
     }
 
     /// Test helper: passes a raw `Value` through the Serialize/Deserialize
